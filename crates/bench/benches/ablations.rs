@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * traffic-weighted RBO vs classic geometric RBO — does the paper's
+//!   weighting change cluster structure, and what does it cost?
+//! * area-based endemicity vs a naive variance-of-ranks score;
+//! * privacy thresholding level vs rank-list depth;
+//! * collector sharding degree vs ingest throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::endemicity::popularity_curves;
+use wwv_core::AnalysisContext;
+use wwv_stats::rbo::{rbo_classic, rbo_weighted, WeightModel};
+use wwv_stats::spearman::average_ranks;
+use wwv_telemetry::client::ClientSimulator;
+use wwv_telemetry::collector::Collector;
+use wwv_telemetry::wire::encode_frame;
+use wwv_telemetry::DatasetBuilder;
+use wwv_world::{Breakdown, Metric, Month, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+
+    // --- RBO weighting ablation. ---
+    let a = ctx.key_list(ctx.breakdown(0, Platform::Windows, Metric::PageLoads));
+    let b = ctx.key_list(ctx.breakdown(5, Platform::Windows, Metric::PageLoads));
+    let empirical =
+        WeightModel::Empirical { weights: ctx.traffic_weights(Platform::Windows, Metric::PageLoads) };
+    let mut group = c.benchmark_group("ablation/rbo");
+    group.bench_function("traffic_weighted", |bch| {
+        bch.iter(|| black_box(rbo_weighted(&a, &b, &empirical, 2_000)))
+    });
+    group.bench_function("classic_geometric", |bch| {
+        bch.iter(|| black_box(rbo_classic(&a, &b, 0.98, 2_000)))
+    });
+    group.finish();
+
+    // --- Endemicity score ablation. ---
+    let curves = popularity_curves(&ctx, Platform::Windows, Metric::PageLoads, 200);
+    let mut group = c.benchmark_group("ablation/endemicity");
+    group.bench_function("area_score", |bch| {
+        bch.iter(|| {
+            let sum: f64 = curves.iter().map(|c| c.endemicity()).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function("naive_rank_variance", |bch| {
+        bch.iter(|| {
+            let sum: f64 = curves
+                .iter()
+                .map(|c| {
+                    let ranks: Vec<f64> = c.ranks.iter().map(|r| *r as f64).collect();
+                    let r = average_ranks(&ranks);
+                    let mean = r.iter().sum::<f64>() / r.len() as f64;
+                    r.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / r.len() as f64
+                })
+                .sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+
+    // --- Privacy threshold ablation: stricter thresholds, shallower lists. ---
+    let mut group = c.benchmark_group("ablation/privacy_threshold");
+    group.sample_size(10);
+    for threshold in [250u64, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |bch, &t| {
+            bch.iter(|| {
+                let ds = DatasetBuilder::new(world)
+                    .months(&[Month::February2022])
+                    .base_volume(2.0e8)
+                    .client_threshold(t)
+                    .max_depth(3_000)
+                    .build();
+                black_box(ds.lists.values().map(|l| l.len()).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+
+    // --- Collector sharding ablation. ---
+    let sim = ClientSimulator::new(world);
+    let b0 = Breakdown {
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    };
+    let frames: Vec<_> = sim.batches(b0, 50).iter().map(encode_frame).collect();
+    let mut group = c.benchmark_group("ablation/collector_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |bch, &w| {
+            bch.iter(|| {
+                let collector = Collector::start(w, 1_000);
+                for frame in &frames {
+                    collector.ingest(frame.clone());
+                }
+                black_box(collector.finish())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

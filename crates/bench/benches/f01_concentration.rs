@@ -1,0 +1,23 @@
+//! Fig. 1 / §4.1 bench: traffic-concentration curves and headline stats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::concentration::{concentration_curve, headline_stats};
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform, TrafficCurve};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    c.bench_function("f01/curve_calibration", |b| {
+        b.iter(|| black_box(TrafficCurve::windows_page_loads()))
+    });
+    c.bench_function("f01/fig1_series", |b| {
+        b.iter(|| black_box(concentration_curve(Platform::Windows, Metric::PageLoads)))
+    });
+    c.bench_function("f01/headline_stats", |b| b.iter(|| black_box(headline_stats(&ctx))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

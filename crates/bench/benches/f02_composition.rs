@@ -1,0 +1,25 @@
+//! Fig. 2 bench: category composition of top-100 / top-10K.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::composition::composition;
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    // Warm the category/key caches so the benched iterations measure the
+    // analysis, not first-touch memoization.
+    composition(&ctx, Platform::Windows, Metric::PageLoads);
+    c.bench_function("f02/composition_windows_loads", |b| {
+        b.iter(|| black_box(composition(&ctx, Platform::Windows, Metric::PageLoads)))
+    });
+    c.bench_function("f02/composition_android_time", |b| {
+        b.iter(|| black_box(composition(&ctx, Platform::Android, Metric::TimeOnPage)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 3/14 bench: category prevalence by rank threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::prevalence::{figure3_categories, prevalence_by_rank};
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    let thresholds = [10, 30, 100, 300, 1_000, 2_000];
+    let cats = figure3_categories();
+    prevalence_by_rank(&ctx, cats[0], Platform::Windows, Metric::PageLoads, &thresholds);
+    c.bench_function("f03/one_category", |b| {
+        b.iter(|| {
+            black_box(prevalence_by_rank(
+                &ctx,
+                cats[0],
+                Platform::Windows,
+                Metric::PageLoads,
+                &thresholds,
+            ))
+        })
+    });
+    c.bench_function("f03/figure3_panel", |b| {
+        b.iter(|| {
+            for cat in &cats {
+                black_box(prevalence_by_rank(
+                    &ctx,
+                    *cat,
+                    Platform::Windows,
+                    Metric::PageLoads,
+                    &thresholds,
+                ));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

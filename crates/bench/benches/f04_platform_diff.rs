@@ -1,0 +1,24 @@
+//! Fig. 4/15 bench: desktop-vs-mobile category contrasts with significance
+//! testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::platform_diff::platform_differences;
+use wwv_core::AnalysisContext;
+use wwv_world::Metric;
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    platform_differences(&ctx, Metric::PageLoads);
+    c.bench_function("f04/page_loads", |b| {
+        b.iter(|| black_box(platform_differences(&ctx, Metric::PageLoads)))
+    });
+    c.bench_function("f04/time_on_page", |b| {
+        b.iter(|| black_box(platform_differences(&ctx, Metric::TimeOnPage)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! §4.4 / Fig. 5 bench: metric agreement and metric leaning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::metric_diff::{metric_agreement, metric_leaning};
+use wwv_core::AnalysisContext;
+use wwv_world::Platform;
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    metric_agreement(&ctx, Platform::Windows);
+    c.bench_function("f05/agreement_windows", |b| {
+        b.iter(|| black_box(metric_agreement(&ctx, Platform::Windows)))
+    });
+    c.bench_function("f05/leaning_windows", |b| {
+        b.iter(|| black_box(metric_leaning(&ctx, Platform::Windows)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! §4.5 bench: month-pair stability and the December anomaly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture_all_months;
+use wwv_core::temporal::{adjacent_month_stability, december_anomaly};
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture_all_months();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
+    c.bench_function("f06/adjacent_top100", |b| {
+        b.iter(|| {
+            black_box(adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100))
+        })
+    });
+    c.bench_function("f06/december_anomaly", |b| {
+        b.iter(|| black_box(december_anomaly(&ctx, Platform::Windows, Metric::TimeOnPage, 1_000)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

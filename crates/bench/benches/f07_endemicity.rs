@@ -1,0 +1,36 @@
+//! §5.1 / Figs. 6–7 bench: popularity curves, endemicity scores, shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::endemicity::popularity_curves;
+use wwv_core::global_national::classify_global_national;
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    let curves = popularity_curves(&ctx, Platform::Windows, Metric::PageLoads, 200);
+    c.bench_function("f07/build_curves", |b| {
+        b.iter(|| black_box(popularity_curves(&ctx, Platform::Windows, Metric::PageLoads, 200)))
+    });
+    c.bench_function("f07/score_and_shape", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for curve in &curves {
+                acc += curve.endemicity();
+                black_box(curve.shape());
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("f07/classify_global_national", |b| {
+        b.iter(|| {
+            black_box(classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

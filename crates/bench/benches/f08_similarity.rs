@@ -1,0 +1,32 @@
+//! §5.3.1 / Fig. 10 bench: the 45×45 traffic-weighted RBO matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::similarity::similarity_matrix;
+use wwv_core::AnalysisContext;
+use wwv_stats::rbo::{rbo_classic, rbo_weighted, WeightModel};
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    let a = ctx.key_list(ctx.breakdown(0, Platform::Windows, Metric::PageLoads));
+    let b = ctx.key_list(ctx.breakdown(1, Platform::Windows, Metric::PageLoads));
+    let weights = WeightModel::Empirical { weights: ctx.traffic_weights(Platform::Windows, Metric::PageLoads) };
+    c.bench_function("f08/one_pair_weighted_rbo", |bch| {
+        bch.iter(|| black_box(rbo_weighted(&a, &b, &weights, 2_000)))
+    });
+    c.bench_function("f08/one_pair_classic_rbo", |bch| {
+        bch.iter(|| black_box(rbo_classic(&a, &b, 0.98, 2_000)))
+    });
+    let mut group = c.benchmark_group("f08/full_matrix");
+    group.sample_size(10);
+    group.bench_function("45x45", |bch| {
+        bch.iter(|| black_box(similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

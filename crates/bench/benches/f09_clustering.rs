@@ -1,0 +1,30 @@
+//! Fig. 11/21 bench: affinity propagation + silhouettes over the RBO matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::clustering::cluster_countries;
+use wwv_core::similarity::similarity_matrix;
+use wwv_core::AnalysisContext;
+use wwv_stats::{silhouette_score, AffinityParams, AffinityPropagation};
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    let sim = similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads);
+    c.bench_function("f09/affinity_propagation", |b| {
+        b.iter(|| {
+            black_box(AffinityPropagation::new(AffinityParams::default()).fit(&sim.matrix))
+        })
+    });
+    let clustering = AffinityPropagation::new(AffinityParams::default()).fit(&sim.matrix).unwrap();
+    let dist = sim.matrix.map(|v| 1.0 - v);
+    c.bench_function("f09/silhouette", |b| {
+        b.iter(|| black_box(silhouette_score(&dist, &clustering.labels)))
+    });
+    c.bench_function("f09/full_fig11", |b| b.iter(|| black_box(cluster_countries(&sim))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

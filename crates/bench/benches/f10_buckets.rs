@@ -1,0 +1,27 @@
+//! Fig. 12 bench: 990 pairwise intersections per rank bucket.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::buckets::bucket_intersections;
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    bucket_intersections(&ctx, Platform::Windows, Metric::PageLoads, &[10]);
+    c.bench_function("f10/buckets_10_100_1000", |b| {
+        b.iter(|| {
+            black_box(bucket_intersections(
+                &ctx,
+                Platform::Windows,
+                Metric::PageLoads,
+                &[10, 100, 1_000],
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

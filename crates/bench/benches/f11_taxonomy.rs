@@ -1,0 +1,29 @@
+//! Fig. 13 / Table 3 bench: the category-curation pipeline and the noisy
+//! categorizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_taxonomy::curation::run_curation;
+use wwv_taxonomy::{Categorizer, Category, NoisyCategorizer, TrueCategorizer};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("f11/run_curation", |b| b.iter(|| black_box(run_curation(7))));
+    let truth = TrueCategorizer::new((0..10_000).map(|i| {
+        (format!("site{i}.example.com"), Category::ALL[i % Category::ALL.len()])
+    }));
+    let noisy = NoisyCategorizer::new(truth, 42);
+    c.bench_function("f11/categorize_1k_domains", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1_000 {
+                if noisy.categorize(&format!("site{i}.example.com")).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

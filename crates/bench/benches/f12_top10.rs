@@ -1,0 +1,26 @@
+//! §4.2.1 / Table 4 bench: top-10 composition across countries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_core::top10::{endemic_top10_keys, top10_category_tally, top10_coverage};
+use wwv_core::AnalysisContext;
+use wwv_world::{Metric, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, ds) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+    top10_coverage(&ctx, Platform::Windows, Metric::PageLoads);
+    c.bench_function("f12/coverage", |b| {
+        b.iter(|| black_box(top10_coverage(&ctx, Platform::Windows, Metric::PageLoads)))
+    });
+    c.bench_function("f12/tally", |b| {
+        b.iter(|| black_box(top10_category_tally(&ctx, Platform::Windows, Metric::PageLoads)))
+    });
+    c.bench_function("f12/endemic_keys", |b| {
+        b.iter(|| black_box(endemic_top10_keys(&ctx, Platform::Windows, Metric::PageLoads)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Substrate benches: world generation, demand computation, dataset build,
+//! wire codec, and collector ingest throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_telemetry::client::ClientSimulator;
+use wwv_telemetry::collector::Collector;
+use wwv_telemetry::wire::{decode_frame, encode_frame};
+use wwv_telemetry::DatasetBuilder;
+use wwv_world::{Breakdown, Metric, Month, Platform, World, WorldConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/world");
+    group.sample_size(10);
+    group.bench_function("generate_small_world", |b| {
+        b.iter(|| black_box(World::new(WorldConfig::small())))
+    });
+    group.finish();
+
+    let (world, _) = bench_fixture();
+    let b0 = Breakdown {
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    };
+    c.bench_function("pipeline/demand_one_breakdown", |b| {
+        b.iter(|| black_box(world.demand(b0)))
+    });
+    let mut group = c.benchmark_group("pipeline/dataset");
+    group.sample_size(10);
+    group.bench_function("build_feb_dataset", |b| {
+        b.iter(|| {
+            black_box(
+                DatasetBuilder::new(world)
+                    .months(&[Month::February2022])
+                    .base_volume(2.0e8)
+                    .client_threshold(500)
+                    .max_depth(3_000)
+                    .build(),
+            )
+        })
+    });
+    group.finish();
+
+    // Wire codec throughput.
+    let sim = ClientSimulator::new(world);
+    let batches = sim.batches(b0, 50);
+    let frames: Vec<_> = batches.iter().map(encode_frame).collect();
+    let bytes: usize = frames.iter().map(|f| f.len()).sum();
+    let mut group = c.benchmark_group("pipeline/wire");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("encode_50_batches", |b| {
+        b.iter(|| {
+            for batch in &batches {
+                black_box(encode_frame(batch));
+            }
+        })
+    });
+    group.bench_function("decode_50_batches", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                let mut f = frame.clone();
+                black_box(decode_frame(&mut f).expect("valid frame"));
+            }
+        })
+    });
+    group.finish();
+
+    // Collector ingest.
+    let mut group = c.benchmark_group("pipeline/collector");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("ingest_50_batches_4_workers", |b| {
+        b.iter(|| {
+            let collector = Collector::start(4, 1_000);
+            for frame in &frames {
+                collector.ingest(frame.clone());
+            }
+            black_box(collector.finish())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

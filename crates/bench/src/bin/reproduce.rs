@@ -1,0 +1,106 @@
+//! The experiment harness: regenerates every table and figure of the paper
+//! and prints paper-stated vs measured values.
+//!
+//! Usage:
+//!   reproduce [--scale small|full] [--json PATH] [--figures DIR] [only-ids…]
+//!
+//! `--scale small` (default) runs on a reduced world in ~a minute;
+//! `--scale full` uses the paper-scale configuration (top-10K lists for all
+//! 45 countries across six months) and takes considerably longer.
+//! Optional trailing arguments filter the *printed* rows to experiment-id
+//! prefixes (e.g. `F1 S4.5`); the JSON report always contains everything.
+
+use wwv_bench::{run_experiments, Scale};
+use wwv_core::{AnalysisContext, ExperimentReport, ReportRow};
+use wwv_telemetry::DatasetBuilder;
+use wwv_world::World;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::small();
+    let mut json_path: Option<String> = None;
+    let mut figures_dir: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("full") => Scale::full(),
+                    Some("small") | None => Scale::small(),
+                    Some(other) => {
+                        eprintln!("unknown scale {other:?}; use small|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--figures" => {
+                i += 1;
+                figures_dir = args.get(i).cloned();
+            }
+            other => filters.push(other.to_owned()),
+        }
+        i += 1;
+    }
+
+    eprintln!("[reproduce] scale = {}", scale.name);
+    eprintln!("[reproduce] generating world …");
+    let world = World::new(scale.config.clone());
+    eprintln!("[reproduce] universe: {} sites", world.universe().len());
+    eprintln!("[reproduce] building dataset (6 months × 45 countries × 2 platforms × 2 metrics) …");
+    let dataset = DatasetBuilder::new(&world)
+        .base_volume(scale.base_volume)
+        .client_threshold(scale.client_threshold)
+        .max_depth(scale.max_depth)
+        .build();
+    eprintln!(
+        "[reproduce] dataset: {} lists, {} distinct domains",
+        dataset.lists.len(),
+        dataset.domains.len()
+    );
+    let ctx = AnalysisContext::with_depth(&world, &dataset, scale.analysis_depth);
+
+    let mut report = ExperimentReport::new();
+    run_experiments(&mut report, &ctx, &world, &dataset, &scale);
+
+    let mut printed = ExperimentReport::new();
+    for row in report
+        .rows
+        .iter()
+        .filter(|r| filters.is_empty() || filters.iter().any(|f| r.id.starts_with(f.as_str())))
+    {
+        printed.push(ReportRow::clone(row));
+    }
+    println!("{}", printed.render());
+
+    if let Some(dir) = figures_dir {
+        std::fs::create_dir_all(&dir).expect("create figures dir");
+        let thresholds: Vec<usize> = if scale.analysis_depth >= 10_000 {
+            vec![10, 30, 50, 100, 300, 1_000, 3_000, 10_000]
+        } else {
+            vec![10, 30, 50, 100, 300, 1_000, 2_000]
+        };
+        let figures = wwv_core::figures::all_figures(
+            &ctx,
+            scale.head_depth,
+            &thresholds,
+            scale.top_bucket,
+        );
+        for fig in &figures {
+            let path = format!("{dir}/{}.tsv", fig.name);
+            std::fs::write(&path, fig.to_tsv()).expect("write figure tsv");
+        }
+        eprintln!("[reproduce] wrote {} figure tables to {dir}", figures.len());
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json).expect("write json report");
+        eprintln!("[reproduce] wrote {path}");
+    }
+}

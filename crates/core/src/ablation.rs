@@ -1,0 +1,190 @@
+//! Analysis-level ablations for the design choices DESIGN.md calls out.
+//!
+//! The benches time these alternatives; this module measures what they
+//! *change*, so the choice of method is justified by results, not habit:
+//!
+//! * §5.3.1 uses traffic-weighted RBO instead of classic geometric RBO —
+//!   does the weighting actually alter the similarity structure?
+//! * §5.1's endemicity score is an area under the popularity curve — how
+//!   differently would a naive variance-of-ranks score rank sites?
+
+use crate::context::AnalysisContext;
+use crate::endemicity::popularity_curves;
+use crate::similarity::{similarity_matrix, SimilarityMatrix};
+use serde::Serialize;
+use wwv_stats::rbo::{rbo_classic, rbo_extrapolated};
+use wwv_stats::{spearman_rho, SymmetricMatrix};
+use wwv_world::{Metric, Platform, COUNTRIES};
+
+/// Comparison of similarity structures under different RBO weightings.
+#[derive(Debug, Clone, Serialize)]
+pub struct RboAblation {
+    /// Spearman correlation between the pairwise similarities of the two
+    /// weightings (high = same structure, choice cosmetic).
+    pub pairwise_spearman: f64,
+    /// Country with the lowest mean similarity under traffic weighting.
+    pub weighted_outlier: String,
+    /// Country with the lowest mean similarity under classic weighting.
+    pub classic_outlier: String,
+    /// Mean absolute difference of pairwise similarities.
+    pub mean_abs_difference: f64,
+}
+
+/// Builds the classic-RBO similarity matrix (geometric weights, p tuned so
+/// the expected evaluation depth matches the paper's head emphasis).
+pub fn classic_similarity_matrix(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    p: f64,
+) -> SimilarityMatrix {
+    let lists: Vec<_> = ctx
+        .countries()
+        .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))
+        .collect();
+    let n = lists.len();
+    let matrix = SymmetricMatrix::build(n, |i, j| {
+        if i == j {
+            return 1.0;
+        }
+        let depth = ctx.depth.min(lists[i].len().max(lists[j].len())).max(1);
+        rbo_classic(&lists[i], &lists[j], p, depth).unwrap_or(0.0)
+    });
+    SimilarityMatrix {
+        platform,
+        metric,
+        labels: COUNTRIES.iter().map(|c| c.code.to_owned()).collect(),
+        matrix,
+    }
+}
+
+/// Runs the RBO-weighting ablation.
+pub fn rbo_ablation(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> RboAblation {
+    let weighted = similarity_matrix(ctx, platform, metric);
+    let classic = classic_similarity_matrix(ctx, platform, metric, 0.98);
+    let w = weighted.matrix.off_diagonal();
+    let c = classic.matrix.off_diagonal();
+    let spearman = spearman_rho(&w, &c).unwrap_or(0.0);
+    let mad = w
+        .iter()
+        .zip(&c)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / w.len().max(1) as f64;
+    let outlier = |m: &SimilarityMatrix| {
+        m.labels
+            .iter()
+            .min_by(|a, b| {
+                m.mean_similarity(a)
+                    .partial_cmp(&m.mean_similarity(b))
+                    .expect("finite similarity")
+            })
+            .cloned()
+            .unwrap_or_default()
+    };
+    RboAblation {
+        pairwise_spearman: spearman,
+        weighted_outlier: outlier(&weighted),
+        classic_outlier: outlier(&classic),
+        mean_abs_difference: mad,
+    }
+}
+
+/// Comparison of the paper's area-based endemicity score against a naive
+/// variance-of-ranks baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndemicityAblation {
+    /// Rank correlation between the two site orderings.
+    pub score_spearman: f64,
+    /// The naive score's verdict on google (should be near the global end
+    /// for both scores; the naive score often misranks absent-heavy sites).
+    pub google_naive_percentile: f64,
+    /// The area score's percentile for google.
+    pub google_area_percentile: f64,
+}
+
+/// Runs the endemicity-score ablation.
+pub fn endemicity_ablation(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    head: usize,
+) -> EndemicityAblation {
+    let curves = popularity_curves(ctx, platform, metric, head);
+    let area: Vec<f64> = curves.iter().map(|c| c.endemicity()).collect();
+    // Naive baseline: population variance of raw ranks.
+    let naive: Vec<f64> = curves
+        .iter()
+        .map(|c| {
+            let mean = c.ranks.iter().sum::<usize>() as f64 / c.ranks.len() as f64;
+            c.ranks.iter().map(|r| (*r as f64 - mean).powi(2)).sum::<f64>() / c.ranks.len() as f64
+        })
+        .collect();
+    let spearman = spearman_rho(&area, &naive).unwrap_or(0.0);
+    let percentile = |scores: &[f64], idx: usize| {
+        let below = scores.iter().filter(|s| **s < scores[idx]).count();
+        100.0 * below as f64 / scores.len().max(1) as f64
+    };
+    let google = curves.iter().position(|c| c.key == "google");
+    EndemicityAblation {
+        score_spearman: spearman,
+        google_naive_percentile: google.map(|i| percentile(&naive, i)).unwrap_or(100.0),
+        google_area_percentile: google.map(|i| percentile(&area, i)).unwrap_or(100.0),
+    }
+}
+
+/// Extrapolated vs finite-depth geometric RBO on the same pair — the
+/// estimator difference the workspace's finite variant absorbs.
+pub fn rbo_estimator_gap(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> f64 {
+    let a = ctx.key_list(ctx.breakdown(0, platform, metric));
+    let b = ctx.key_list(ctx.breakdown(1, platform, metric));
+    let depth = ctx.depth.min(a.len().max(b.len())).max(1);
+    let finite = rbo_classic(&a, &b, 0.98, depth).unwrap_or(0.0);
+    let ext = rbo_extrapolated(&a, &b, 0.98, depth).unwrap_or(0.0);
+    (finite - ext).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AnalysisContext<'static> {
+        let (world, ds) = crate::testutil::small();
+        AnalysisContext::with_depth(world, ds, 2_000)
+    }
+
+    #[test]
+    fn weightings_agree_on_structure_but_differ_in_detail() {
+        let ablation = rbo_ablation(&ctx(), Platform::Windows, Metric::PageLoads);
+        // Same broad structure…
+        assert!(ablation.pairwise_spearman > 0.5, "spearman {}", ablation.pairwise_spearman);
+        // …but the numbers genuinely differ (the weighting matters).
+        assert!(ablation.mean_abs_difference > 0.01, "MAD {}", ablation.mean_abs_difference);
+    }
+
+    #[test]
+    fn korea_is_the_outlier_under_both_weightings() {
+        let ablation = rbo_ablation(&ctx(), Platform::Windows, Metric::PageLoads);
+        assert_eq!(ablation.weighted_outlier, "KR");
+        assert_eq!(ablation.classic_outlier, "KR");
+    }
+
+    #[test]
+    fn area_score_and_naive_variance_disagree_enough_to_matter() {
+        let ablation = endemicity_ablation(&ctx(), Platform::Windows, Metric::PageLoads, 200);
+        // Correlated (both measure endemicity)…
+        assert!(ablation.score_spearman > 0.2, "spearman {}", ablation.score_spearman);
+        // …and google sits at the global (low) end of the area score.
+        assert!(
+            ablation.google_area_percentile < 10.0,
+            "google area percentile {}",
+            ablation.google_area_percentile
+        );
+    }
+
+    #[test]
+    fn estimator_gap_is_small() {
+        let gap = rbo_estimator_gap(&ctx(), Platform::Windows, Metric::PageLoads);
+        assert!(gap < 0.2, "gap {gap}");
+    }
+}

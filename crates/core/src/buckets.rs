@@ -1,0 +1,110 @@
+//! §5.3.3 — Cross-country intersection by rank bucket (Fig. 12).
+//!
+//! For each rank-bucket size, the unweighted percent intersection of every
+//! country pair's top lists, sorted descending with a cumulative sum — the
+//! paper's compact alternative to a heatmap per bucket.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_world::{Metric, Platform};
+
+/// The bucket sizes Fig. 12 plots.
+pub const FIG12_BUCKETS: [usize; 4] = [10, 100, 1_000, 10_000];
+
+/// One Fig. 12 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketIntersections {
+    /// Rank-bucket size (top-N).
+    pub bucket: usize,
+    /// All 990 pairwise percent intersections, sorted descending (0–1).
+    pub sorted: Vec<f64>,
+    /// Cumulative sums of `sorted`.
+    pub cumulative: Vec<f64>,
+}
+
+impl BucketIntersections {
+    /// Mean pairwise intersection for this bucket.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// Computes Fig. 12 for one (platform, metric).
+pub fn bucket_intersections(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    buckets: &[usize],
+) -> Vec<BucketIntersections> {
+    let lists: Vec<_> = ctx
+        .countries()
+        .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))
+        .collect();
+    buckets
+        .iter()
+        .map(|&bucket| {
+            let mut values = Vec::with_capacity(lists.len() * (lists.len() - 1) / 2);
+            for i in 0..lists.len() {
+                for j in 0..i {
+                    if lists[i].is_empty() || lists[j].is_empty() {
+                        continue;
+                    }
+                    values.push(lists[i].percent_intersection(&lists[j], bucket));
+                }
+            }
+            values.sort_by(|a, b| b.partial_cmp(a).expect("finite intersections"));
+            let cumulative = wwv_stats::descriptive::cumsum(&values);
+            BucketIntersections { bucket, sorted: values, cumulative }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<BucketIntersections> {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        bucket_intersections(&ctx, Platform::Windows, Metric::PageLoads, &[10, 100, 1_000])
+    }
+
+    #[test]
+    fn all_pairs_present() {
+        let s = series();
+        for b in &s {
+            assert_eq!(b.sorted.len(), 45 * 44 / 2);
+            for v in &b.sorted {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_descending_with_cumulative() {
+        let s = series();
+        for b in &s {
+            for pair in b.sorted.windows(2) {
+                assert!(pair[0] >= pair[1]);
+            }
+            assert_eq!(b.cumulative.len(), b.sorted.len());
+            assert!((b.cumulative.last().unwrap() - b.sorted.iter().sum::<f64>()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn head_more_similar_than_tail() {
+        // §5.3.3: countries' popular sites are more similar among topmost
+        // ranks than deeper down.
+        let s = series();
+        let top10 = s[0].mean();
+        let top1000 = s[2].mean();
+        assert!(
+            top10 > top1000,
+            "top-10 mean {top10} should exceed top-1000 mean {top1000}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! §5.3.1 — Country clusters (Fig. 11) and their validation (Fig. 21).
+//!
+//! Affinity propagation over the weighted-RBO similarity matrix, validated
+//! with silhouette coefficients on the corresponding distance matrix
+//! (distance = 1 − similarity).
+
+use crate::similarity::SimilarityMatrix;
+use serde::Serialize;
+use wwv_stats::silhouette::silhouette_by_cluster;
+use wwv_stats::{AffinityParams, AffinityPropagation, ClusterSilhouette, SymmetricMatrix};
+
+/// One country cluster.
+#[derive(Debug, Clone, Serialize)]
+pub struct CountryCluster {
+    /// Cluster index.
+    pub index: usize,
+    /// ISO codes of the members.
+    pub members: Vec<String>,
+    /// ISO code of the exemplar country.
+    pub exemplar: String,
+    /// Mean silhouette coefficient of the cluster.
+    pub silhouette: f64,
+}
+
+/// Fig. 11 + Fig. 21 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct CountryClustering {
+    /// Clusters, largest first.
+    pub clusters: Vec<CountryCluster>,
+    /// Average silhouette coefficient over all countries (paper: 0.11).
+    pub average_silhouette: f64,
+    /// Whether affinity propagation converged.
+    pub converged: bool,
+}
+
+/// Clusters countries from a similarity matrix.
+pub fn cluster_countries(sim: &SimilarityMatrix) -> Option<CountryClustering> {
+    let clustering = AffinityPropagation::new(AffinityParams::default()).fit(&sim.matrix)?;
+    let distance = sim.matrix.map(|v| 1.0 - v);
+    let groups: Vec<ClusterSilhouette> = if clustering.k() >= 2 {
+        silhouette_by_cluster(&distance, &clustering.labels)?
+    } else {
+        Vec::new()
+    };
+    let average = if groups.is_empty() {
+        0.0
+    } else {
+        let all: Vec<f64> = groups.iter().flat_map(|g| g.values.iter().copied()).collect();
+        all.iter().sum::<f64>() / all.len() as f64
+    };
+    let mut clusters: Vec<CountryCluster> = (0..clustering.k())
+        .map(|c| {
+            let members: Vec<String> =
+                clustering.members(c).iter().map(|i| sim.labels[*i].clone()).collect();
+            CountryCluster {
+                index: c,
+                members,
+                exemplar: sim.labels[clustering.exemplars[c]].clone(),
+                silhouette: groups.get(c).map(|g| g.mean).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    Some(CountryClustering { clusters, average_silhouette: average, converged: clustering.converged })
+}
+
+/// Distance matrix from a similarity matrix (1 − s).
+pub fn distance_matrix(sim: &SimilarityMatrix) -> SymmetricMatrix {
+    sim.matrix.map(|v| 1.0 - v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use crate::similarity::similarity_matrix;
+    use wwv_world::{Metric, Platform};
+
+    fn clustering() -> CountryClustering {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        let sim = similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads);
+        cluster_countries(&sim).expect("clustering succeeds")
+    }
+
+    #[test]
+    fn moderate_cluster_count() {
+        // Paper: 11 clusters of 45 countries. Accept a band.
+        let c = clustering();
+        let total: usize = c.clusters.iter().map(|cl| cl.members.len()).sum();
+        assert_eq!(total, 45, "every country clustered once");
+        assert!(
+            (4..=20).contains(&c.clusters.len()),
+            "cluster count {} out of band",
+            c.clusters.len()
+        );
+    }
+
+    #[test]
+    fn clusters_are_weak_but_positive_structures() {
+        // Paper: average silhouette ≈ 0.11 — clusters exist but are loose.
+        let c = clustering();
+        assert!(c.average_silhouette > -0.1, "avg SC {}", c.average_silhouette);
+        assert!(c.average_silhouette < 0.6, "clusters should be loose, SC {}", c.average_silhouette);
+    }
+
+    #[test]
+    fn language_families_cluster_together() {
+        let c = clustering();
+        let cluster_of = |code: &str| -> usize {
+            c.clusters
+                .iter()
+                .position(|cl| cl.members.iter().any(|m| m == code))
+                .unwrap_or(usize::MAX)
+        };
+        // At least two of the North-Africa four share a cluster.
+        let naf = ["DZ", "EG", "MA", "TN"];
+        let mut shared = 0;
+        for i in 0..naf.len() {
+            for j in 0..i {
+                if cluster_of(naf[i]) == cluster_of(naf[j]) {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(shared >= 2, "North-Africa pairs sharing a cluster: {shared}");
+        // Several Hispanic-America countries cluster together.
+        let hisp = ["MX", "AR", "CL", "CO", "PE"];
+        let mut hisp_shared = 0;
+        for i in 0..hisp.len() {
+            for j in 0..i {
+                if cluster_of(hisp[i]) == cluster_of(hisp[j]) {
+                    hisp_shared += 1;
+                }
+            }
+        }
+        assert!(hisp_shared >= 3, "Hispanic pairs sharing a cluster: {hisp_shared}");
+    }
+
+    #[test]
+    fn exemplars_are_members() {
+        let c = clustering();
+        for cl in &c.clusters {
+            assert!(cl.members.contains(&cl.exemplar), "{:?}", cl);
+        }
+    }
+}

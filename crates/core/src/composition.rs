@@ -1,0 +1,172 @@
+//! §4.2.2 — Types of websites receiving most traffic (Fig. 2).
+//!
+//! Two perspectives per (platform, metric): the share of *sites* per
+//! category in the top-100 and top-10K, and the share of *traffic* per
+//! category (sites weighted by the Fig. 1 distribution at their rank). The
+//! global view averages each statistic across the 45 countries, as the
+//! paper does.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use std::collections::HashMap;
+use wwv_taxonomy::Category;
+use wwv_world::{Metric, Platform};
+
+/// Fig. 2 result for one (platform, metric).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompositionBreakdown {
+    /// Platform.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Per-category percentage of sites in the top 100 (average of
+    /// countries), keyed by category name.
+    pub sites_top100: HashMap<String, f64>,
+    /// Per-category percentage of sites in the top 10K.
+    pub sites_top10k: HashMap<String, f64>,
+    /// Per-category percentage of traffic in the top 100.
+    pub traffic_top100: HashMap<String, f64>,
+    /// Per-category percentage of traffic in the top 10K.
+    pub traffic_top10k: HashMap<String, f64>,
+}
+
+impl CompositionBreakdown {
+    /// Convenience lookup with 0 default.
+    pub fn traffic_10k(&self, category: Category) -> f64 {
+        *self.traffic_top10k.get(category.name()).unwrap_or(&0.0)
+    }
+
+    /// Convenience lookup with 0 default.
+    pub fn sites_10k(&self, category: Category) -> f64 {
+        *self.sites_top10k.get(category.name()).unwrap_or(&0.0)
+    }
+}
+
+/// Computes Fig. 2 for one (platform, metric).
+pub fn composition(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> CompositionBreakdown {
+    let weights = ctx.traffic_weights(platform, metric);
+    let n_cats = Category::ALL.len();
+    // Accumulators: average over countries of per-country percentages.
+    let mut sites100 = vec![0.0f64; n_cats];
+    let mut sites10k = vec![0.0f64; n_cats];
+    let mut traffic100 = vec![0.0f64; n_cats];
+    let mut traffic10k = vec![0.0f64; n_cats];
+    let mut countries = 0usize;
+    for ci in ctx.countries() {
+        let b = ctx.breakdown(ci, platform, metric);
+        let list = ctx.domain_list(b);
+        if list.is_empty() {
+            continue;
+        }
+        countries += 1;
+        let mut c_sites100 = vec![0.0f64; n_cats];
+        let mut c_sites10k = vec![0.0f64; n_cats];
+        let mut c_traffic100 = vec![0.0f64; n_cats];
+        let mut c_traffic10k = vec![0.0f64; n_cats];
+        let mut w100 = 0.0;
+        let mut w10k = 0.0;
+        for (i, d) in list.iter().enumerate() {
+            let cat = ctx.category_of(*d).index();
+            let w = weights.get(i).copied().unwrap_or(0.0);
+            if i < 100 {
+                c_sites100[cat] += 1.0;
+                c_traffic100[cat] += w;
+                w100 += w;
+            }
+            c_sites10k[cat] += 1.0;
+            c_traffic10k[cat] += w;
+            w10k += w;
+        }
+        let n100 = list.len().min(100) as f64;
+        let n10k = list.len() as f64;
+        for cat in 0..n_cats {
+            sites100[cat] += 100.0 * c_sites100[cat] / n100;
+            sites10k[cat] += 100.0 * c_sites10k[cat] / n10k;
+            if w100 > 0.0 {
+                traffic100[cat] += 100.0 * c_traffic100[cat] / w100;
+            }
+            if w10k > 0.0 {
+                traffic10k[cat] += 100.0 * c_traffic10k[cat] / w10k;
+            }
+        }
+    }
+    let to_map = |acc: Vec<f64>| -> HashMap<String, f64> {
+        Category::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| acc[*i] > 0.0)
+            .map(|(i, c)| (c.name().to_owned(), acc[i] / countries.max(1) as f64))
+            .collect()
+    };
+    CompositionBreakdown {
+        platform,
+        metric,
+        sites_top100: to_map(sites100),
+        sites_top10k: to_map(sites10k),
+        traffic_top100: to_map(traffic100),
+        traffic_top10k: to_map(traffic10k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let comp = composition(&ctx, Platform::Windows, Metric::PageLoads);
+        for map in [&comp.sites_top100, &comp.sites_top10k, &comp.traffic_top100, &comp.traffic_top10k] {
+            let total: f64 = map.values().sum();
+            assert!((total - 100.0).abs() < 1.0, "sum {total}");
+        }
+    }
+
+    #[test]
+    fn search_dominates_load_traffic_not_site_count() {
+        // Fig. 2 / §4.2.2: search engines capture 20–25% of page loads but
+        // are a tiny fraction of the 10K site population.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let comp = composition(&ctx, Platform::Windows, Metric::PageLoads);
+        let search_traffic = comp.traffic_10k(Category::SearchEngines);
+        let search_sites = comp.sites_10k(Category::SearchEngines);
+        assert!(search_traffic > 12.0, "search traffic {search_traffic}%");
+        assert!(search_sites < 5.0, "search sites {search_sites}%");
+        assert!(search_traffic > search_sites * 4.0);
+    }
+
+    #[test]
+    fn video_dominates_desktop_time() {
+        // §4.2.2: users spend the plurality of desktop time on video
+        // streaming (33% of top-10K time in the paper).
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let comp = composition(&ctx, Platform::Windows, Metric::TimeOnPage);
+        let video = comp.traffic_10k(Category::VideoStreaming);
+        assert!(video > 15.0, "video time share {video}%");
+        // Video receives more time share than search.
+        assert!(video > comp.traffic_10k(Category::SearchEngines));
+    }
+
+    #[test]
+    fn adult_prominent_in_mobile_time() {
+        // §4.2.2: the plurality of mobile browser time goes to adult content.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let comp = composition(&ctx, Platform::Android, Metric::TimeOnPage);
+        let adult = comp.traffic_10k(Category::Pornography);
+        let desktop = composition(&ctx, Platform::Windows, Metric::TimeOnPage);
+        assert!(
+            adult > desktop.traffic_10k(Category::Pornography),
+            "adult more prominent on mobile"
+        );
+        assert!(adult > 8.0, "mobile adult time share {adult}%");
+    }
+}

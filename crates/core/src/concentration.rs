@@ -1,0 +1,169 @@
+//! §4.1 — Distribution of browsing across sites (Fig. 1 and the headline
+//! statistics of §4.1.2).
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_stats::QuantileSummary;
+use wwv_world::{Metric, Platform, TrafficCurve, COUNTRIES};
+
+/// One Fig. 1 series: cumulative traffic share by rank.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConcentrationCurve {
+    /// Platform of the series.
+    pub platform: Platform,
+    /// Metric of the series.
+    pub metric: Metric,
+    /// Evaluation ranks (log-spaced, 1 … 1M).
+    pub ranks: Vec<u64>,
+    /// Cumulative share at each rank.
+    pub cumulative: Vec<f64>,
+}
+
+/// Produces a Fig. 1 series from the global distribution data.
+pub fn concentration_curve(platform: Platform, metric: Metric) -> ConcentrationCurve {
+    let curve = TrafficCurve::for_breakdown(platform, metric);
+    let mut ranks = Vec::new();
+    let mut rank = 1u64;
+    while rank <= 1_000_000 {
+        ranks.push(rank);
+        // ~10 points per decade.
+        rank = ((rank as f64) * 1.26).ceil() as u64;
+    }
+    let cumulative = ranks.iter().map(|r| curve.cumulative(*r)).collect();
+    ConcentrationCurve { platform, metric, ranks, cumulative }
+}
+
+/// §4.1.2 headline statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeadlineStats {
+    /// Global share of the single top site (Windows page loads).
+    pub top1_share_windows_loads: f64,
+    /// Sites needed to reach 25% of Windows page loads.
+    pub sites_for_quarter_windows_loads: u64,
+    /// Cumulative share of the top 100 / top 10K / top 1M (Windows loads).
+    pub top100_windows_loads: f64,
+    /// Top-10K share.
+    pub top10k_windows_loads: f64,
+    /// Top-1M share.
+    pub top1m_windows_loads: f64,
+    /// Global share of the top site by Windows time on page.
+    pub top1_share_windows_time: f64,
+    /// Sites needed for half of Windows time.
+    pub sites_for_half_windows_time: u64,
+    /// Sites needed to reach 25% of Android page loads.
+    pub sites_for_quarter_android_loads: u64,
+    /// Per-country top-site share of page loads: median and quartiles
+    /// (paper: 12–33%, median 20%).
+    pub country_top1_share: QuantileSummary,
+    /// Minimum and maximum per-country top-site share.
+    pub country_top1_range: (f64, f64),
+    /// Countries where Google is #1 by Windows page loads (paper: 44/45).
+    pub google_top_loads_countries: usize,
+    /// The country where Google is not #1 (paper: South Korea, led by Naver).
+    pub non_google_leader: Option<(String, String)>,
+    /// Countries where YouTube leads Windows time on page (paper: 40/45).
+    pub youtube_top_time_countries: usize,
+}
+
+/// Smallest rank whose cumulative share reaches `target`.
+pub fn sites_for_share(curve: &TrafficCurve, target: f64) -> u64 {
+    let mut rank = 1u64;
+    while rank <= 1_000_000 {
+        if curve.cumulative(rank) >= target {
+            return rank;
+        }
+        rank += 1;
+    }
+    1_000_000
+}
+
+/// Computes the headline statistics from the dataset.
+pub fn headline_stats(ctx: &AnalysisContext<'_>) -> HeadlineStats {
+    let win_loads = TrafficCurve::windows_page_loads();
+    let win_time = TrafficCurve::windows_time_on_page();
+    let and_loads = TrafficCurve::android_page_loads();
+
+    // Per-country top-share and leaders, from the observed rank lists.
+    let mut top1_shares = Vec::new();
+    let mut google_top = 0usize;
+    let mut youtube_time_top = 0usize;
+    let mut non_google_leader = None;
+    for ci in ctx.countries() {
+        let b = ctx.breakdown(ci, Platform::Windows, Metric::PageLoads);
+        if let Some(list) = ctx.dataset.list(b) {
+            if list.is_empty() {
+                continue;
+            }
+            let total: u64 = list.entries.iter().map(|(_, c)| c).sum();
+            let (top_domain, top_count) = list.entries[0];
+            top1_shares.push(top_count as f64 / total as f64);
+            let key = ctx.key_of(top_domain);
+            if key == "google" {
+                google_top += 1;
+            } else {
+                non_google_leader = Some((COUNTRIES[ci].name.to_owned(), key));
+            }
+        }
+        let bt = ctx.breakdown(ci, Platform::Windows, Metric::TimeOnPage);
+        if let Some(list) = ctx.dataset.list(bt) {
+            if let Some(top) = list.at_rank(1) {
+                if ctx.key_of(top) == "youtube" {
+                    youtube_time_top += 1;
+                }
+            }
+        }
+    }
+
+    HeadlineStats {
+        top1_share_windows_loads: win_loads.share(1),
+        sites_for_quarter_windows_loads: sites_for_share(&win_loads, 0.25),
+        top100_windows_loads: win_loads.cumulative(100),
+        top10k_windows_loads: win_loads.cumulative(10_000),
+        top1m_windows_loads: win_loads.cumulative(1_000_000),
+        top1_share_windows_time: win_time.share(1),
+        sites_for_half_windows_time: sites_for_share(&win_time, 0.50),
+        sites_for_quarter_android_loads: sites_for_share(&and_loads, 0.25),
+        country_top1_share: QuantileSummary::of(&top1_shares)
+            .unwrap_or(QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 }),
+        country_top1_range: (
+            top1_shares.iter().cloned().fold(f64::INFINITY, f64::min),
+            top1_shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ),
+        google_top_loads_countries: google_top,
+        non_google_leader,
+        youtube_top_time_countries: youtube_time_top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_series_covers_six_decades() {
+        let series = concentration_curve(Platform::Windows, Metric::PageLoads);
+        assert_eq!(series.ranks[0], 1);
+        assert!(*series.ranks.last().unwrap() >= 630_000);
+        // Cumulative non-decreasing.
+        for pair in series.cumulative.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    #[test]
+    fn sites_for_share_matches_anchors() {
+        let c = TrafficCurve::windows_page_loads();
+        assert_eq!(sites_for_share(&c, 0.17), 1);
+        assert_eq!(sites_for_share(&c, 0.25), 6);
+        let t = TrafficCurve::windows_time_on_page();
+        assert_eq!(sites_for_share(&t, 0.50), 7);
+        let a = TrafficCurve::android_page_loads();
+        assert_eq!(sites_for_share(&a, 0.25), 10);
+    }
+
+    #[test]
+    fn sites_for_unreachable_share_saturates() {
+        let c = TrafficCurve::windows_page_loads();
+        assert_eq!(sites_for_share(&c, 0.999), 1_000_000);
+    }
+}

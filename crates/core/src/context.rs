@@ -1,0 +1,224 @@
+//! Shared analysis context.
+//!
+//! Every analysis consumes the dataset through the same three lenses the
+//! paper does:
+//!
+//! * **rank lists of domains** per breakdown (the raw Chrome artifact);
+//! * **merged site keys** for cross-country comparison — §3.1's
+//!   ccTLD-merging step, implemented with the real PSL pipeline;
+//! * **categories** per domain, via the (noisy) categorization oracle plus
+//!   the paper's manual verification of Search Engines and Social Networks
+//!   (those two categories answer from ground truth);
+//! * **traffic weights** per rank from the Fig. 1 distribution curves.
+//!
+//! Key derivation and categorization are memoized per interned domain.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use wwv_domains::{DomainName, PublicSuffixList, SiteKey};
+use wwv_stats::RankedList;
+use wwv_taxonomy::{Categorizer, Category, NoisyCategorizer, TrueCategorizer};
+use wwv_telemetry::{ChromeDataset, DomainId};
+use wwv_world::{Breakdown, Metric, Month, Platform, World, COUNTRIES};
+
+/// Shared, memoizing analysis context.
+pub struct AnalysisContext<'a> {
+    /// The world model (ground truth).
+    pub world: &'a World,
+    /// The telemetry dataset (observations).
+    pub dataset: &'a ChromeDataset,
+    /// Analysis depth: the paper's top-10K cutoff, or the full list when
+    /// shorter (small countries; small test configs).
+    pub depth: usize,
+    psl: PublicSuffixList,
+    categorizer: NoisyCategorizer<TrueCategorizer>,
+    keys: RefCell<HashMap<DomainId, String>>,
+    categories: RefCell<HashMap<DomainId, Category>>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Builds a context at the paper's standard depth (top 10K).
+    pub fn new(world: &'a World, dataset: &'a ChromeDataset) -> Self {
+        Self::with_depth(world, dataset, 10_000)
+    }
+
+    /// Builds a context with an explicit depth.
+    pub fn with_depth(world: &'a World, dataset: &'a ChromeDataset, depth: usize) -> Self {
+        // Ground truth for the categorization oracle: every interned domain's
+        // real category, from the world model.
+        let truth = TrueCategorizer::new((0..dataset.domains.len() as u32).map(|i| {
+            let id = DomainId(i);
+            let site = world.universe().site(dataset.domains.site(id));
+            (dataset.domains.name(id).to_owned(), site.category)
+        }));
+        let categorizer = NoisyCategorizer::new(truth, world.config().seed.derive("categorizer"));
+        AnalysisContext {
+            world,
+            dataset,
+            depth,
+            psl: PublicSuffixList::embedded(),
+            categorizer,
+            keys: RefCell::new(HashMap::new()),
+            categories: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The reference month (February 2022, §3.1).
+    pub fn reference_month(&self) -> Month {
+        Month::reference()
+    }
+
+    /// Breakdown for the reference month.
+    pub fn breakdown(&self, country: usize, platform: Platform, metric: Metric) -> Breakdown {
+        Breakdown { country, platform, metric, month: self.reference_month() }
+    }
+
+    /// Country indices.
+    pub fn countries(&self) -> std::ops::Range<usize> {
+        0..COUNTRIES.len()
+    }
+
+    /// Raw domain rank list for a breakdown, truncated to the analysis depth.
+    pub fn domain_list(&self, b: Breakdown) -> RankedList<DomainId> {
+        match self.dataset.list(b) {
+            Some(list) => RankedList::new(list.domains().take(self.depth)),
+            None => RankedList::new(std::iter::empty()),
+        }
+    }
+
+    /// The merged site key of a domain (memoized). Domains that are
+    /// themselves public suffixes fall back to their full name.
+    pub fn key_of(&self, id: DomainId) -> String {
+        if let Some(k) = self.keys.borrow().get(&id) {
+            return k.clone();
+        }
+        let name = self.dataset.domains.name(id);
+        let key = DomainName::parse(name)
+            .ok()
+            .and_then(|d| SiteKey::of(&d, &self.psl).ok())
+            .map(|k| k.as_str().to_owned())
+            .unwrap_or_else(|| name.to_owned());
+        self.keys.borrow_mut().insert(id, key.clone());
+        key
+    }
+
+    /// Merged site-key rank list for a breakdown (cross-country comparable,
+    /// §3.1 "Aggregating Sites Across Domains"). Duplicate keys keep their
+    /// best rank.
+    pub fn key_list(&self, b: Breakdown) -> RankedList<String> {
+        match self.dataset.list(b) {
+            Some(list) => {
+                RankedList::new(list.domains().take(self.depth).map(|d| self.key_of(d)))
+            }
+            None => RankedList::new(std::iter::empty()),
+        }
+    }
+
+    /// Category of a domain as the paper's pipeline sees it: the manually
+    /// verified sets answer from ground truth, everything else from the
+    /// noisy categorization API (memoized).
+    pub fn category_of(&self, id: DomainId) -> Category {
+        if let Some(c) = self.categories.borrow().get(&id) {
+            return *c;
+        }
+        let truth = self.world.universe().site(self.dataset.domains.site(id)).category;
+        let category = if matches!(truth, Category::SearchEngines | Category::SocialNetworks) {
+            // §3.2: these two sets were manually verified.
+            truth
+        } else {
+            self.categorizer.categorize(self.dataset.domains.name(id)).unwrap_or(Category::Unknown)
+        };
+        self.categories.borrow_mut().insert(id, category);
+        category
+    }
+
+    /// Ground-truth category (used by analyses that the paper ran on
+    /// manually verified data, e.g. the top-10 review of §4.2.1).
+    pub fn true_category_of(&self, id: DomainId) -> Category {
+        self.world.universe().site(self.dataset.domains.site(id)).category
+    }
+
+    /// Per-rank traffic weights (Fig. 1 distribution) materialized to the
+    /// analysis depth, for a (platform, metric) pair.
+    pub fn traffic_weights(&self, platform: Platform, metric: Metric) -> Vec<f64> {
+        self.dataset.curve(platform, metric).shares(self.depth)
+    }
+
+    /// Effective analysis depth for a breakdown (depth, or the list length
+    /// when shorter).
+    pub fn effective_depth(&self, b: Breakdown) -> usize {
+        self.dataset.list(b).map(|l| l.len().min(self.depth)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::Country;
+
+    fn fixtures() -> &'static (World, ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    #[test]
+    fn key_merging_collapses_cctlds() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let uk = ds.domains.get("amazon.co.uk").expect("amazon.co.uk in dataset");
+        let de = ds.domains.get("amazon.de").expect("amazon.de in dataset");
+        assert_eq!(ctx.key_of(uk), "amazon");
+        assert_eq!(ctx.key_of(de), "amazon");
+    }
+
+    #[test]
+    fn key_list_preserves_best_rank() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let b = ctx.breakdown(Country::index_of("US").unwrap(), Platform::Windows, Metric::PageLoads);
+        let keys = ctx.key_list(b);
+        assert_eq!(keys.at_rank(1).map(String::as_str), Some("google"));
+        assert!(keys.len() > 500);
+    }
+
+    #[test]
+    fn manual_categories_always_correct() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let google = ds.domains.get("google.com").unwrap();
+        assert_eq!(ctx.category_of(google), Category::SearchEngines);
+        assert_eq!(ctx.true_category_of(google), Category::SearchEngines);
+    }
+
+    #[test]
+    fn api_categories_mostly_correct() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let b = ctx.breakdown(Country::index_of("FR").unwrap(), Platform::Windows, Metric::PageLoads);
+        let list = ctx.domain_list(b);
+        let agree = list
+            .iter()
+            .filter(|d| ctx.category_of(**d) == ctx.true_category_of(**d))
+            .count();
+        let rate = agree as f64 / list.len() as f64;
+        assert!(rate > 0.75, "API agreement {rate}");
+        assert!(rate < 1.0, "noise should exist");
+    }
+
+    #[test]
+    fn traffic_weights_decreasing() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let w = ctx.traffic_weights(Platform::Windows, Metric::PageLoads);
+        assert_eq!(w.len(), 2_000);
+        assert!(w[0] > w[100]);
+    }
+
+    #[test]
+    fn memoization_is_stable() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let id = ds.domains.get("google.com").unwrap();
+        assert_eq!(ctx.key_of(id), ctx.key_of(id));
+        assert_eq!(ctx.category_of(id), ctx.category_of(id));
+    }
+}

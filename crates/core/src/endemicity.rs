@@ -1,0 +1,286 @@
+//! §5.1 — Website popularity curves and endemicity scores.
+//!
+//! For every site appearing in the top-1K of at least one country: collect
+//! its rank in every country's top-10K (absent = rank 10 001), sort ranks
+//! ascending, plot `−log10(rank)` — the *website popularity curve* — and
+//! distill it to the **endemicity score** `E_w`: the area between the
+//! theoretically flattest curve at the site's best rank and the actual
+//! curve. `E_w ∈ [0, 180]`; small = globally popular, large = endemic.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use std::collections::HashMap;
+use wwv_world::{Metric, Platform, COUNTRIES};
+
+/// Rank assigned to countries where the site is absent from the top-10K
+/// (the paper's "lowest possible rank value + 1").
+pub const ABSENT_RANK: usize = 10_001;
+
+/// A website popularity curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PopularityCurve {
+    /// Site key.
+    pub key: String,
+    /// Per-country ranks sorted ascending (best first), absent = 10 001.
+    pub ranks: Vec<usize>,
+}
+
+impl PopularityCurve {
+    /// The curve's y-values: `−log10(rank)` for each sorted rank.
+    pub fn values(&self) -> Vec<f64> {
+        self.ranks.iter().map(|r| -(*r as f64).log10()).collect()
+    }
+
+    /// Best (smallest) rank across countries.
+    pub fn best_rank(&self) -> usize {
+        *self.ranks.first().expect("curves cover all countries")
+    }
+
+    /// Number of countries whose top-10K contains the site.
+    pub fn present_in(&self) -> usize {
+        self.ranks.iter().filter(|r| **r < ABSENT_RANK).count()
+    }
+
+    /// The endemicity score: area between the flattest possible curve at the
+    /// best rank and the actual curve,
+    /// `E_w = Σ_i (log10(r_i) − log10(r_1))`.
+    pub fn endemicity(&self) -> f64 {
+        let best = (self.best_rank() as f64).log10();
+        self.ranks.iter().map(|r| (*r as f64).log10() - best).sum()
+    }
+
+    /// Theoretical maximum endemicity for this curve's best rank: every
+    /// other country at the absent rank.
+    pub fn max_endemicity(&self) -> f64 {
+        let best = (self.best_rank() as f64).log10();
+        (self.ranks.len() as f64 - 1.0) * ((ABSENT_RANK as f64).log10() - best)
+    }
+
+    /// Distance from the theoretical maximum (§5.1's outlier-detection
+    /// feature: globally popular sites are far from the bound).
+    pub fn distance_from_max(&self) -> f64 {
+        self.max_endemicity() - self.endemicity()
+    }
+
+    /// Normalized endemicity `E_w / E_max ∈ [0, 1]`: 0 = perfectly global,
+    /// 1 = as endemic as the site's best rank allows. Sites whose best rank
+    /// is the absent sentinel have no room between the bounds and count as
+    /// fully endemic.
+    pub fn endemicity_ratio(&self) -> f64 {
+        let max = self.max_endemicity();
+        if max <= 0.0 {
+            return 1.0;
+        }
+        (self.endemicity() / max).clamp(0.0, 1.0)
+    }
+
+    /// Classifies the curve into one of the six Table 1 shapes.
+    pub fn shape(&self) -> CurveShape {
+        let n = self.ranks.len();
+        let present = self.present_in();
+        let values = self.values();
+        let range = values[0] - values[n - 1];
+        if present <= 1 {
+            return CurveShape::SingleCountry;
+        }
+        if range < 1.0 {
+            return CurveShape::Flat;
+        }
+        // Largest single drop between consecutive (sorted) countries.
+        let mut max_drop = 0.0f64;
+        let mut drop_pos = 0usize;
+        let mut big_drops = 0usize;
+        for i in 0..n - 1 {
+            let d = values[i] - values[i + 1];
+            if d > max_drop {
+                max_drop = d;
+                drop_pos = i;
+            }
+            if d > 0.8 {
+                big_drops += 1;
+            }
+        }
+        if big_drops >= 2 {
+            return CurveShape::MultiInflection;
+        }
+        if max_drop > range * 0.6 {
+            if drop_pos < n / 8 {
+                CurveShape::HeadCliff
+            } else {
+                CurveShape::PlateauThenCliff
+            }
+        } else {
+            CurveShape::GradualDecline
+        }
+    }
+}
+
+/// The six popularity-curve shapes (Table 1 / Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CurveShape {
+    /// Similar rank in every country (google, facebook).
+    Flat,
+    /// Smoothly decreasing popularity across countries.
+    GradualDecline,
+    /// Popular in a small handful of countries, then a sharp drop
+    /// (regional services).
+    HeadCliff,
+    /// Consistently popular across many countries, absent from the rest
+    /// (e.g. hbomax's market footprint).
+    PlateauThenCliff,
+    /// Several distinct popularity tiers (multiple inflection points).
+    MultiInflection,
+    /// In the top-10K of exactly one country (fully endemic).
+    SingleCountry,
+}
+
+impl CurveShape {
+    /// All six shapes.
+    pub const ALL: [CurveShape; 6] = [
+        CurveShape::Flat,
+        CurveShape::GradualDecline,
+        CurveShape::HeadCliff,
+        CurveShape::PlateauThenCliff,
+        CurveShape::MultiInflection,
+        CurveShape::SingleCountry,
+    ];
+}
+
+/// Builds popularity curves for every site key in the top-`head_depth`
+/// (paper: 1K) of at least one country, using every country's
+/// top-10K list for one (platform, metric).
+pub fn popularity_curves(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    head_depth: usize,
+) -> Vec<PopularityCurve> {
+    let n = COUNTRIES.len();
+    // Per-country key → rank maps.
+    let mut rank_maps: Vec<HashMap<String, usize>> = Vec::with_capacity(n);
+    let mut heads: Vec<Vec<String>> = Vec::with_capacity(n);
+    for ci in ctx.countries() {
+        let list = ctx.key_list(ctx.breakdown(ci, platform, metric));
+        heads.push(list.iter().take(head_depth).cloned().collect());
+        rank_maps.push(list.rank_map());
+    }
+    // Candidate keys: union of heads.
+    let mut candidates: Vec<String> = heads.into_iter().flatten().collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+        .into_iter()
+        .map(|key| {
+            let mut ranks: Vec<usize> = rank_maps
+                .iter()
+                .map(|m| m.get(&key).copied().unwrap_or(ABSENT_RANK).min(ABSENT_RANK))
+                .collect();
+            ranks.sort_unstable();
+            PopularityCurve { key, ranks }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(ranks: Vec<usize>) -> PopularityCurve {
+        let mut ranks = ranks;
+        ranks.sort_unstable();
+        PopularityCurve { key: "test".into(), ranks }
+    }
+
+    #[test]
+    fn flat_curve_scores_low() {
+        let c = curve(vec![1; 45]);
+        assert_eq!(c.endemicity(), 0.0);
+        assert_eq!(c.shape(), CurveShape::Flat);
+        assert!(c.distance_from_max() > 170.0);
+    }
+
+    #[test]
+    fn single_country_site_scores_max() {
+        let mut ranks = vec![ABSENT_RANK; 45];
+        ranks[0] = 1;
+        let c = curve(ranks);
+        assert_eq!(c.shape(), CurveShape::SingleCountry);
+        assert!((c.endemicity() - c.max_endemicity()).abs() < 1e-9);
+        assert!(c.endemicity() > 175.0 && c.endemicity() <= 180.0);
+    }
+
+    #[test]
+    fn score_bounds() {
+        // Any curve scores within [0, 180].
+        for ranks in [
+            vec![5; 45],
+            (1..=45).map(|i| i * 37).collect::<Vec<_>>(),
+            vec![1, 10, 100, 1_000, 10_000]
+                .into_iter()
+                .chain(std::iter::repeat(ABSENT_RANK).take(40))
+                .collect::<Vec<_>>(),
+        ] {
+            let c = curve(ranks);
+            assert!(c.endemicity() >= 0.0);
+            assert!(c.endemicity() <= 180.1, "score {}", c.endemicity());
+        }
+    }
+
+    #[test]
+    fn plateau_then_cliff_detected() {
+        // Popular (ranks 3–30) in 12 countries, absent elsewhere.
+        let ranks: Vec<usize> =
+            (0..12).map(|i| 3 + i * 2).chain(std::iter::repeat(ABSENT_RANK).take(33)).collect();
+        let c = curve(ranks);
+        assert_eq!(c.shape(), CurveShape::PlateauThenCliff);
+    }
+
+    #[test]
+    fn head_cliff_detected() {
+        // Top-3 in two countries, deep tail elsewhere.
+        let ranks: Vec<usize> =
+            vec![2, 3].into_iter().chain((0..43).map(|i| 6_000 + i * 50)).collect();
+        let c = curve(ranks);
+        assert_eq!(c.shape(), CurveShape::HeadCliff);
+    }
+
+    #[test]
+    fn gradual_decline_detected() {
+        let ranks: Vec<usize> = (0..45).map(|i| 10 + i * 150).collect();
+        let c = curve(ranks);
+        assert_eq!(c.shape(), CurveShape::GradualDecline);
+    }
+
+    #[test]
+    fn multi_inflection_detected() {
+        // Three tiers: top-10 in 10 countries, ~1K in 15, absent in 20.
+        let ranks: Vec<usize> = (0..10)
+            .map(|i| 5 + i)
+            .chain((0..15).map(|i| 1_000 + i * 10))
+            .chain(std::iter::repeat(ABSENT_RANK).take(20))
+            .collect();
+        let c = curve(ranks);
+        assert_eq!(c.shape(), CurveShape::MultiInflection);
+    }
+
+    #[test]
+    fn real_curves_from_dataset() {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        let curves = popularity_curves(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        assert!(curves.len() > 500, "got {}", curves.len());
+        let by_key: HashMap<&str, &PopularityCurve> =
+            curves.iter().map(|c| (c.key.as_str(), c)).collect();
+        // Google is globally flat and low-endemicity.
+        let google = by_key["google"];
+        assert_eq!(google.present_in(), 45);
+        assert!(google.endemicity() < 20.0, "google E = {}", google.endemicity());
+        // Naver is endemic to South Korea.
+        let naver = by_key["naver"];
+        assert!(naver.endemicity() > 100.0, "naver E = {}", naver.endemicity());
+        assert!(google.endemicity() < naver.endemicity());
+        // National long-tail sites are single-country.
+        let national = curves.iter().find(|c| c.key.starts_with("nus")).unwrap();
+        assert_eq!(national.shape(), CurveShape::SingleCountry);
+    }
+}

@@ -1,0 +1,400 @@
+//! Plot-ready figure data.
+//!
+//! Every figure of the paper, exported as a tab-separated table (one file
+//! per figure) so any plotting tool can regenerate the visual. The
+//! `reproduce` harness writes these with `--figures DIR`.
+
+use crate::buckets::{bucket_intersections, FIG12_BUCKETS};
+use crate::clustering::cluster_countries;
+use crate::composition::composition;
+use crate::concentration::concentration_curve;
+use crate::context::AnalysisContext;
+use crate::endemicity::popularity_curves;
+use crate::global_national::{classify_global_national, global_share_by_bucket, RANK_BUCKETS};
+use crate::metric_diff::metric_leaning;
+use crate::platform_diff::platform_differences;
+use crate::prevalence::{figure3_categories, prevalence_by_rank};
+use crate::similarity::similarity_matrix;
+use crate::temporal::category_share_by_month;
+use wwv_taxonomy::Category;
+use wwv_world::{Metric, Month, Platform};
+
+/// One exportable figure: a named table.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// File stem (e.g. `fig01_concentration`).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each cell already rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigureData {
+    /// Renders the table as TSV.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Fig. 1 — cumulative traffic share by rank, all four series.
+pub fn fig01(_ctx: &AnalysisContext<'_>) -> FigureData {
+    let series: Vec<_> = [
+        (Platform::Windows, Metric::PageLoads),
+        (Platform::Windows, Metric::TimeOnPage),
+        (Platform::Android, Metric::PageLoads),
+        (Platform::Android, Metric::TimeOnPage),
+    ]
+    .iter()
+    .map(|(p, m)| concentration_curve(*p, *m))
+    .collect();
+    let mut rows = Vec::new();
+    for (i, rank) in series[0].ranks.iter().enumerate() {
+        rows.push(vec![
+            rank.to_string(),
+            f(series[0].cumulative[i]),
+            f(series[1].cumulative[i]),
+            f(series[2].cumulative[i]),
+            f(series[3].cumulative[i]),
+        ]);
+    }
+    FigureData {
+        name: "fig01_concentration".into(),
+        columns: vec![
+            "rank".into(),
+            "windows_loads".into(),
+            "windows_time".into(),
+            "android_loads".into(),
+            "android_time".into(),
+        ],
+        rows,
+    }
+}
+
+/// Fig. 2 — category composition of top-100/top-10K, sites and traffic.
+pub fn fig02(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> FigureData {
+    let comp = composition(ctx, platform, metric);
+    let mut rows: Vec<Vec<String>> = Category::ALL
+        .iter()
+        .filter_map(|c| {
+            let s100 = comp.sites_top100.get(c.name()).copied().unwrap_or(0.0);
+            let s10k = comp.sites_top10k.get(c.name()).copied().unwrap_or(0.0);
+            let t100 = comp.traffic_top100.get(c.name()).copied().unwrap_or(0.0);
+            let t10k = comp.traffic_top10k.get(c.name()).copied().unwrap_or(0.0);
+            if s100 + s10k + t100 + t10k == 0.0 {
+                return None;
+            }
+            Some(vec![c.name().to_owned(), f(s100), f(s10k), f(t100), f(t10k)])
+        })
+        .collect();
+    rows.sort_by(|a, b| b[4].partial_cmp(&a[4]).expect("rendered floats"));
+    FigureData {
+        name: format!("fig02_composition_{platform}_{metric}").replace(' ', "_").to_lowercase(),
+        columns: vec![
+            "category".into(),
+            "pct_sites_top100".into(),
+            "pct_sites_top10k".into(),
+            "pct_traffic_top100".into(),
+            "pct_traffic_top10k".into(),
+        ],
+        rows,
+    }
+}
+
+/// Fig. 3 — category prevalence by rank threshold (median and quartiles).
+pub fn fig03(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric, thresholds: &[usize]) -> FigureData {
+    let mut rows = Vec::new();
+    for cat in figure3_categories() {
+        let series = prevalence_by_rank(ctx, cat, platform, metric, thresholds);
+        for (t, q) in series.thresholds.iter().zip(&series.summary) {
+            rows.push(vec![
+                cat.name().to_owned(),
+                t.to_string(),
+                f(q.q25),
+                f(q.median),
+                f(q.q75),
+            ]);
+        }
+    }
+    FigureData {
+        name: format!("fig03_prevalence_{platform}_{metric}").replace(' ', "_").to_lowercase(),
+        columns: vec!["category".into(), "top_n".into(), "q25".into(), "median".into(), "q75".into()],
+        rows,
+    }
+}
+
+/// Figs. 4/15 — platform difference scores.
+pub fn fig04(ctx: &AnalysisContext<'_>, metric: Metric) -> FigureData {
+    let rows = platform_differences(ctx, metric)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.category,
+                f(r.score),
+                r.significant_countries.to_string(),
+                f(r.android_share),
+                f(r.windows_share),
+            ]
+        })
+        .collect();
+    FigureData {
+        name: format!("fig04_platform_diff_{metric}").replace(' ', "_").to_lowercase(),
+        columns: vec![
+            "category".into(),
+            "score".into(),
+            "significant_countries".into(),
+            "android_share_pct".into(),
+            "windows_share_pct".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figs. 5/16 — metric-leaning category distribution.
+pub fn fig05(ctx: &AnalysisContext<'_>, platform: Platform) -> FigureData {
+    let leaning = metric_leaning(ctx, platform);
+    let mut rows = Vec::new();
+    for cat in Category::ALL {
+        let l = leaning.loads_leaning.get(cat.name()).copied().unwrap_or(0.0);
+        let t = leaning.time_leaning.get(cat.name()).copied().unwrap_or(0.0);
+        let o = leaning.other.get(cat.name()).copied().unwrap_or(0.0);
+        if l + t + o > 0.0 {
+            rows.push(vec![cat.name().to_owned(), f(l), f(o), f(t)]);
+        }
+    }
+    FigureData {
+        name: format!("fig05_metric_leaning_{platform}").to_lowercase(),
+        columns: vec![
+            "category".into(),
+            "pct_loads_leaning".into(),
+            "pct_other".into(),
+            "pct_time_leaning".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figs. 6/7 — popularity curves and the endemicity scatter.
+pub fn fig07(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric, head: usize) -> FigureData {
+    let curves = popularity_curves(ctx, platform, metric, head);
+    let rows = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.key.clone(),
+                c.best_rank().to_string(),
+                c.present_in().to_string(),
+                f(c.endemicity()),
+                f(c.endemicity_ratio()),
+                format!("{:?}", c.shape()),
+            ]
+        })
+        .collect();
+    FigureData {
+        name: format!("fig07_endemicity_{platform}_{metric}").replace(' ', "_").to_lowercase(),
+        columns: vec![
+            "site".into(),
+            "best_rank".into(),
+            "countries_present".into(),
+            "endemicity".into(),
+            "endemicity_ratio".into(),
+            "shape".into(),
+        ],
+        rows,
+    }
+}
+
+/// Figs. 9/17 — globally-popular share by rank bucket.
+pub fn fig09(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric, head: usize) -> FigureData {
+    let (split, _) = classify_global_national(ctx, platform, metric, head);
+    let data = global_share_by_bucket(ctx, &split, &RANK_BUCKETS);
+    let rows = data
+        .buckets
+        .iter()
+        .zip(&data.global_pct)
+        .map(|((lo, hi), pct)| vec![format!("{lo}-{hi}"), f(*pct), f(100.0 - *pct)])
+        .collect();
+    FigureData {
+        name: format!("fig09_global_share_{platform}_{metric}").replace(' ', "_").to_lowercase(),
+        columns: vec!["rank_bucket".into(), "pct_global".into(), "pct_national".into()],
+        rows,
+    }
+}
+
+/// Figs. 10/18/19/20 — the similarity heatmap.
+pub fn fig10(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> FigureData {
+    let sim = similarity_matrix(ctx, platform, metric);
+    let mut columns = vec!["country".to_owned()];
+    columns.extend(sim.labels.iter().cloned());
+    let rows = sim
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let mut row = vec![label.clone()];
+            row.extend((0..sim.labels.len()).map(|j| f(sim.matrix.get(i, j))));
+            row
+        })
+        .collect();
+    FigureData {
+        name: format!("fig10_similarity_{platform}_{metric}").replace(' ', "_").to_lowercase(),
+        columns,
+        rows,
+    }
+}
+
+/// Figs. 11/21 — clusters with silhouettes.
+pub fn fig11(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> Option<FigureData> {
+    let sim = similarity_matrix(ctx, platform, metric);
+    let clustering = cluster_countries(&sim)?;
+    let mut rows = Vec::new();
+    for cluster in &clustering.clusters {
+        for member in &cluster.members {
+            rows.push(vec![
+                cluster.index.to_string(),
+                cluster.exemplar.clone(),
+                member.clone(),
+                f(cluster.silhouette),
+            ]);
+        }
+    }
+    Some(FigureData {
+        name: "fig11_clusters".into(),
+        columns: vec!["cluster".into(), "exemplar".into(), "country".into(), "cluster_silhouette".into()],
+        rows,
+    })
+}
+
+/// Fig. 12 — sorted pairwise intersections with cumulative sums.
+pub fn fig12(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> FigureData {
+    let buckets: Vec<usize> =
+        FIG12_BUCKETS.iter().copied().filter(|b| *b <= ctx.depth).collect();
+    let series = bucket_intersections(ctx, platform, metric, &buckets);
+    let mut rows = Vec::new();
+    for s in &series {
+        for (i, (v, c)) in s.sorted.iter().zip(&s.cumulative).enumerate() {
+            rows.push(vec![s.bucket.to_string(), (i + 1).to_string(), f(*v), f(*c)]);
+        }
+    }
+    FigureData {
+        name: "fig12_bucket_intersections".into(),
+        columns: vec!["bucket".into(), "pair_index".into(), "intersection".into(), "cumulative".into()],
+        rows,
+    }
+}
+
+/// §4.5 — category share by month (the December anomaly series).
+pub fn fig_temporal(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric, bucket: usize) -> FigureData {
+    let mut rows = Vec::new();
+    for cat in [
+        Category::Ecommerce,
+        Category::Education,
+        Category::EducationalInstitutions,
+        Category::NewsMedia,
+        Category::VideoStreaming,
+    ] {
+        let series = category_share_by_month(ctx, cat, platform, metric, bucket);
+        for (month, share) in Month::ALL.iter().zip(&series.shares) {
+            rows.push(vec![cat.name().to_owned(), month.to_string(), f(*share)]);
+        }
+    }
+    FigureData {
+        name: "fig_temporal_category_share".into(),
+        columns: vec!["category".into(), "month".into(), "pct_of_top_sites".into()],
+        rows,
+    }
+}
+
+/// Every exportable figure at once.
+pub fn all_figures(ctx: &AnalysisContext<'_>, head: usize, thresholds: &[usize], bucket: usize) -> Vec<FigureData> {
+    let mut out = vec![fig01(ctx)];
+    for (p, m) in [
+        (Platform::Windows, Metric::PageLoads),
+        (Platform::Windows, Metric::TimeOnPage),
+        (Platform::Android, Metric::PageLoads),
+        (Platform::Android, Metric::TimeOnPage),
+    ] {
+        out.push(fig02(ctx, p, m));
+        out.push(fig10(ctx, p, m));
+    }
+    out.push(fig03(ctx, Platform::Windows, Metric::PageLoads, thresholds));
+    out.push(fig03(ctx, Platform::Android, Metric::TimeOnPage, thresholds));
+    out.push(fig04(ctx, Metric::PageLoads));
+    out.push(fig04(ctx, Metric::TimeOnPage));
+    out.push(fig05(ctx, Platform::Windows));
+    out.push(fig05(ctx, Platform::Android));
+    out.push(fig07(ctx, Platform::Windows, Metric::PageLoads, head));
+    out.push(fig09(ctx, Platform::Windows, Metric::PageLoads, head));
+    out.push(fig09(ctx, Platform::Windows, Metric::TimeOnPage, head));
+    if let Some(fig) = fig11(ctx, Platform::Windows, Metric::PageLoads) {
+        out.push(fig);
+    }
+    out.push(fig12(ctx, Platform::Windows, Metric::PageLoads));
+    out.push(fig_temporal(ctx, Platform::Windows, Metric::TimeOnPage, bucket));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AnalysisContext<'static> {
+        let (world, ds) = crate::testutil::small();
+        AnalysisContext::with_depth(world, ds, 2_000)
+    }
+
+    #[test]
+    fn fig01_has_four_series() {
+        let fig = fig01(&ctx());
+        assert_eq!(fig.columns.len(), 5);
+        assert!(fig.rows.len() > 40);
+        let tsv = fig.to_tsv();
+        assert!(tsv.starts_with("rank\twindows_loads"));
+    }
+
+    #[test]
+    fn fig10_is_square() {
+        let fig = fig10(&ctx(), Platform::Windows, Metric::PageLoads);
+        assert_eq!(fig.rows.len(), 45);
+        assert_eq!(fig.columns.len(), 46);
+        for row in &fig.rows {
+            assert_eq!(row.len(), 46);
+        }
+    }
+
+    #[test]
+    fn tsv_cells_match_columns() {
+        let figs = [
+            fig04(&ctx(), Metric::PageLoads),
+            fig05(&ctx(), Platform::Windows),
+            fig09(&ctx(), Platform::Windows, Metric::PageLoads, 200),
+        ];
+        for fig in figs {
+            for row in &fig.rows {
+                assert_eq!(row.len(), fig.columns.len(), "figure {}", fig.name);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_names_unique() {
+        let all = all_figures(&ctx(), 200, &[10, 100, 1_000], 1_000);
+        let mut names: Vec<&str> = all.iter().map(|f| f.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 15, "exported {} figures", before);
+    }
+}

@@ -1,0 +1,273 @@
+//! §5.2 — Global vs. national popularity (Table 2, Figs. 7, 8, 9, 17).
+//!
+//! A site is *globally popular* when its distance from the theoretical
+//! maximum endemicity is a high outlier among all scored sites; everything
+//! else in the scored set is *nationally popular*; sites never reaching the
+//! top-1K anywhere are the long tail.
+
+use crate::context::AnalysisContext;
+use crate::endemicity::{popularity_curves, PopularityCurve};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use wwv_stats::{median, tukey_outliers, OutlierVerdict};
+use wwv_world::{Metric, Platform};
+
+/// Popularity class of a scored site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PopularityClass {
+    /// Similar presence across many countries (outlier distance from the
+    /// endemicity bound).
+    Global,
+    /// Popular in one country or a small region.
+    National,
+}
+
+/// The §5.2 classification for one (platform, metric).
+#[derive(Debug, Clone, Serialize)]
+pub struct GlobalNationalSplit {
+    /// Platform.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Scored curves with their class, keyed by site key.
+    pub classes: HashMap<String, PopularityClass>,
+    /// Fraction of scored sites that are globally popular (paper: ≈2%).
+    pub global_fraction: f64,
+    /// Number of scored sites.
+    pub scored: usize,
+}
+
+/// Classifies every scored site (Fig. 7's orange/purple split).
+pub fn classify_global_national(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    head_depth: usize,
+) -> (GlobalNationalSplit, Vec<PopularityCurve>) {
+    let curves = popularity_curves(ctx, platform, metric, head_depth);
+    // Globally popular = low-outlier *normalized* endemicity (E/E_max). The
+    // normalization keeps deep-but-everywhere sites comparable with head
+    // sites; the outlier rule mirrors the paper's "distance from the upper
+    // bound" detection. The scored population is overwhelmingly endemic
+    // (ratio ≈ 1), so low outliers are exactly the thin global head.
+    let ratios: Vec<f64> = curves.iter().map(|c| c.endemicity_ratio()).collect();
+    let verdicts = tukey_outliers(&ratios, 1.5).unwrap_or_default();
+    let mut classes = HashMap::with_capacity(curves.len());
+    let mut global = 0usize;
+    for ((curve, verdict), ratio) in curves.iter().zip(&verdicts).zip(&ratios) {
+        // The fence can sit high when endemic mass dominates; require a
+        // genuinely global profile as well.
+        let class = if *verdict == OutlierVerdict::Low && *ratio < 0.6 {
+            global += 1;
+            PopularityClass::Global
+        } else {
+            PopularityClass::National
+        };
+        classes.insert(curve.key.clone(), class);
+    }
+    let split = GlobalNationalSplit {
+        platform,
+        metric,
+        global_fraction: if curves.is_empty() { 0.0 } else { global as f64 / curves.len() as f64 },
+        scored: curves.len(),
+        classes,
+    };
+    (split, curves)
+}
+
+/// Fig. 8: category composition of globally vs nationally popular sites.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassComposition {
+    /// Percentage of globally popular sites per category.
+    pub global: HashMap<String, f64>,
+    /// Percentage of nationally popular sites per category.
+    pub national: HashMap<String, f64>,
+}
+
+/// Computes Fig. 8 from a split. Categories come through the pipeline's
+/// categorizer applied to the best-ranked domain of each key.
+pub fn class_composition(
+    ctx: &AnalysisContext<'_>,
+    split: &GlobalNationalSplit,
+) -> ClassComposition {
+    // Map keys back to a representative domain for categorization: scan all
+    // reference-month lists once, keeping each key's best-ranked domain.
+    let mut rep: HashMap<String, wwv_telemetry::DomainId> = HashMap::new();
+    for ci in ctx.countries() {
+        let b = ctx.breakdown(ci, split.platform, split.metric);
+        let list = ctx.domain_list(b);
+        for d in list.iter() {
+            let key = ctx.key_of(*d);
+            rep.entry(key).or_insert(*d);
+        }
+    }
+    let mut counts: HashMap<(PopularityClass, String), usize> = HashMap::new();
+    let mut totals: HashMap<PopularityClass, usize> = HashMap::new();
+    for (key, class) in &split.classes {
+        if let Some(d) = rep.get(key) {
+            let cat = ctx.category_of(*d).name().to_owned();
+            *counts.entry((*class, cat)).or_insert(0) += 1;
+            *totals.entry(*class).or_insert(0) += 1;
+        }
+    }
+    let pct = |class: PopularityClass| -> HashMap<String, f64> {
+        let total = *totals.get(&class).unwrap_or(&0);
+        if total == 0 {
+            return HashMap::new();
+        }
+        counts
+            .iter()
+            .filter(|((c, _), _)| *c == class)
+            .map(|((_, cat), n)| (cat.clone(), 100.0 * *n as f64 / total as f64))
+            .collect()
+    };
+    ClassComposition { global: pct(PopularityClass::Global), national: pct(PopularityClass::National) }
+}
+
+/// Fig. 9/17 rank buckets.
+pub const RANK_BUCKETS: [(usize, usize); 6] =
+    [(1, 10), (11, 20), (21, 50), (51, 100), (101, 200), (201, 500)];
+
+/// Fig. 9: share of globally popular sites per rank bucket.
+#[derive(Debug, Clone, Serialize)]
+pub struct GlobalShareByBucket {
+    /// Bucket bounds (1-based, inclusive).
+    pub buckets: Vec<(usize, usize)>,
+    /// Median (across countries) percentage of globally popular sites in
+    /// each bucket.
+    pub global_pct: Vec<f64>,
+}
+
+/// Computes Fig. 9 (page loads) / Fig. 17 (time on page).
+pub fn global_share_by_bucket(
+    ctx: &AnalysisContext<'_>,
+    split: &GlobalNationalSplit,
+    buckets: &[(usize, usize)],
+) -> GlobalShareByBucket {
+    let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); buckets.len()];
+    for ci in ctx.countries() {
+        let list = ctx.key_list(ctx.breakdown(ci, split.platform, split.metric));
+        if list.is_empty() {
+            continue;
+        }
+        for (bi, (lo, hi)) in buckets.iter().enumerate() {
+            if list.len() < *lo {
+                continue;
+            }
+            let hi = (*hi).min(list.len());
+            let mut global = 0usize;
+            let mut total = 0usize;
+            for rank in *lo..=hi {
+                let key = list.at_rank(rank).expect("rank within bounds");
+                total += 1;
+                if split.classes.get(key) == Some(&PopularityClass::Global) {
+                    global += 1;
+                }
+            }
+            if total > 0 {
+                per_bucket[bi].push(100.0 * global as f64 / total as f64);
+            }
+        }
+    }
+    GlobalShareByBucket {
+        buckets: buckets.to_vec(),
+        global_pct: per_bucket.iter().map(|v| median(v).unwrap_or(0.0)).collect(),
+    }
+}
+
+/// §5.1's cross-country endemic-site statistic: of sites in the top-`head`
+/// of ≥1 country, the fraction absent from every *other* country's top-10K.
+pub fn endemic_fraction(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric, head: usize) -> f64 {
+    let n = ctx.countries().len();
+    // Count, per key, the number of countries whose top-10K contains it and
+    // the number whose top-head contains it.
+    let mut in_head: HashSet<String> = HashSet::new();
+    let mut presence: HashMap<String, usize> = HashMap::new();
+    for ci in 0..n {
+        let list = ctx.key_list(ctx.breakdown(ci, platform, metric));
+        for (i, key) in list.iter().enumerate() {
+            *presence.entry(key.clone()).or_insert(0) += 1;
+            if i < head {
+                in_head.insert(key.clone());
+            }
+        }
+    }
+    if in_head.is_empty() {
+        return 0.0;
+    }
+    let endemic = in_head.iter().filter(|k| presence.get(*k) == Some(&1)).count();
+    endemic as f64 / in_head.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    #[test]
+    fn most_sites_are_national() {
+        // Table 2: ≈98% national, ≈2% global.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        assert!(split.scored > 500);
+        assert!(split.global_fraction < 0.15, "global fraction {}", split.global_fraction);
+        assert!(split.global_fraction > 0.0, "some sites must be global");
+    }
+
+    #[test]
+    fn google_is_global_national_sites_are_national() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        assert_eq!(split.classes.get("google"), Some(&PopularityClass::Global));
+        assert_eq!(split.classes.get("youtube"), Some(&PopularityClass::Global));
+        if let Some(c) = split.classes.get("naver") {
+            assert_eq!(*c, PopularityClass::National);
+        }
+    }
+
+    #[test]
+    fn global_share_falls_with_rank() {
+        // Fig. 9: globally popular sites dominate the top 10 but national
+        // sites take over by ranks 101–200.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        let fig9 = global_share_by_bucket(&ctx, &split, &RANK_BUCKETS);
+        let top10 = fig9.global_pct[0];
+        let deep = fig9.global_pct[4]; // 101–200
+        assert!(top10 > 40.0, "top-10 global share {top10}%");
+        assert!(deep < top10, "deep bucket {deep}% must be below top-10 {top10}%");
+        assert!(deep < 50.0, "ranks 101–200 mostly national, got {deep}% global");
+    }
+
+    #[test]
+    fn composition_differs_between_classes() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        let comp = class_composition(&ctx, &split);
+        assert!(!comp.global.is_empty() && !comp.national.is_empty());
+        // Technology leans global; educational institutions lean national
+        // (Fig. 8 directions).
+        let tech_g = comp.global.get("Technology").copied().unwrap_or(0.0);
+        let tech_n = comp.national.get("Technology").copied().unwrap_or(0.0);
+        assert!(tech_g > tech_n, "tech global {tech_g}% vs national {tech_n}%");
+    }
+
+    #[test]
+    fn majority_of_head_sites_are_endemic() {
+        // §5.1: 53.9% of sites in some country's top-1K appear in no other
+        // country's top-10K.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let f = endemic_fraction(&ctx, Platform::Windows, Metric::PageLoads, 200);
+        assert!(f > 0.35, "endemic fraction {f}");
+        assert!(f < 0.85, "endemic fraction {f}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # wwv-core
+//!
+//! The paper's primary contribution: every analysis of *"A World Wide View
+//! of Browsing the World Wide Web"* (IMC 2022), implemented over the
+//! [`wwv_telemetry::ChromeDataset`] artifact exactly as §3–§5 describe.
+//!
+//! One module per experiment family; see DESIGN.md for the full experiment
+//! index mapping each figure/table to its module and bench target.
+//!
+//! * [`context`] — shared analysis context (domain→key merging via the PSL,
+//!   domain categorization, traffic-distribution weights).
+//! * [`concentration`] — Fig. 1 and the §4.1.2 headline statistics.
+//! * [`composition`] — Fig. 2 category composition of top-100/top-10K.
+//! * [`prevalence`] — Figs. 3/14 category prevalence by rank.
+//! * [`platform_diff`] — Figs. 4/15 desktop-vs-mobile category contrasts.
+//! * [`metric_diff`] — §4.4 and Figs. 5/16 page-loads vs time-on-page.
+//! * [`temporal`] — §4.5 temporal stability and the December anomaly.
+//! * [`endemicity`] — §5.1 popularity curves, Table 1 shapes, E_w scores.
+//! * [`global_national`] — §5.2, Table 2, Figs. 7/8/9/17.
+//! * [`similarity`] — §5.3.1 traffic-weighted RBO matrices (Figs. 10/18–20).
+//! * [`clustering`] — affinity propagation + silhouettes (Figs. 11/21).
+//! * [`buckets`] — §5.3.3 / Fig. 12 intersection by rank bucket.
+//! * [`top10`] — §4.2.1 / §5.3.2 top-10 composition and Table 4.
+//! * [`report`] — paper-vs-measured experiment reporting.
+
+pub mod ablation;
+pub mod buckets;
+pub mod clustering;
+pub mod composition;
+pub mod concentration;
+pub mod context;
+pub mod endemicity;
+pub mod figures;
+pub mod global_national;
+pub mod metric_diff;
+pub mod platform_diff;
+pub mod prevalence;
+pub mod report;
+pub mod representative;
+pub mod similarity;
+pub mod temporal;
+#[doc(hidden)]
+pub mod testutil;
+pub mod top10;
+
+pub use context::AnalysisContext;
+pub use report::{ExperimentReport, ReportRow};

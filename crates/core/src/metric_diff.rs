@@ -1,0 +1,265 @@
+//! §4.4 — Time on page vs. page loads (plus Figs. 5 and 16).
+//!
+//! Quantifies how the two popularity metrics disagree: percent intersection
+//! and Spearman's ρ between each country's top-10K lists, and the categories
+//! of the most page-loads-leaning vs most time-on-page-leaning sites.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use std::collections::HashMap;
+use wwv_stats::{median, QuantileSummary};
+use wwv_world::{Metric, Platform};
+
+/// §4.4 list-agreement summary for one platform.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricAgreement {
+    /// Platform.
+    pub platform: Platform,
+    /// Cross-country summary of top-10K percent intersection (0–1).
+    pub intersection: QuantileSummary,
+    /// Cross-country summary of Spearman's ρ within the intersection.
+    pub spearman: QuantileSummary,
+}
+
+/// Computes §4.4's intersection/ρ statistics for one platform.
+pub fn metric_agreement(ctx: &AnalysisContext<'_>, platform: Platform) -> MetricAgreement {
+    let mut intersections = Vec::new();
+    let mut rhos = Vec::new();
+    for ci in ctx.countries() {
+        let loads = ctx.key_list(ctx.breakdown(ci, platform, Metric::PageLoads));
+        let time = ctx.key_list(ctx.breakdown(ci, platform, Metric::TimeOnPage));
+        if loads.is_empty() || time.is_empty() {
+            continue;
+        }
+        let depth = ctx.depth.min(loads.len()).min(time.len());
+        intersections.push(loads.percent_intersection(&time, depth));
+        if let Some(rho) = loads.spearman_within_intersection(&time, depth) {
+            rhos.push(rho);
+        }
+    }
+    let zero = QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 };
+    MetricAgreement {
+        platform,
+        intersection: QuantileSummary::of(&intersections).unwrap_or(zero),
+        spearman: QuantileSummary::of(&rhos).unwrap_or(zero),
+    }
+}
+
+/// Fig. 5/16: category counts among loads-leaning, time-leaning, and other
+/// sites (top/bottom 20% by the loads-share : time-share ratio).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricLeaning {
+    /// Platform.
+    pub platform: Platform,
+    /// Median (across countries) percentage of loads-leaning sites per
+    /// category.
+    pub loads_leaning: HashMap<String, f64>,
+    /// Median percentage of time-leaning sites per category.
+    pub time_leaning: HashMap<String, f64>,
+    /// Median percentage among all other sites per category.
+    pub other: HashMap<String, f64>,
+}
+
+/// Computes Fig. 5 (desktop) / Fig. 16 (mobile).
+pub fn metric_leaning(ctx: &AnalysisContext<'_>, platform: Platform) -> MetricLeaning {
+    let weights_loads = ctx.traffic_weights(platform, Metric::PageLoads);
+    let weights_time = ctx.traffic_weights(platform, Metric::TimeOnPage);
+    let n_cats = wwv_taxonomy::Category::ALL.len();
+    let mut pct_loads: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    let mut pct_time: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    let mut pct_other: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    for ci in ctx.countries() {
+        let loads = ctx.domain_list(ctx.breakdown(ci, platform, Metric::PageLoads));
+        let time = ctx.domain_list(ctx.breakdown(ci, platform, Metric::TimeOnPage));
+        if loads.is_empty() || time.is_empty() {
+            continue;
+        }
+        // Estimated share of loads / time per domain (by list rank).
+        let time_ranks = time.rank_map();
+        // Ratio only defined for sites in both lists.
+        let mut ratios: Vec<(f64, usize)> = Vec::new(); // (ratio, category idx)
+        for (i, d) in loads.iter().enumerate() {
+            if let Some(&tr) = time_ranks.get(d) {
+                let ls = weights_loads.get(i).copied().unwrap_or(0.0);
+                let ts = weights_time.get(tr - 1).copied().unwrap_or(0.0);
+                if ls > 0.0 && ts > 0.0 {
+                    ratios.push((ls / ts, ctx.category_of(*d).index()));
+                }
+            }
+        }
+        if ratios.len() < 10 {
+            continue;
+        }
+        ratios.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite ratios"));
+        let q = ratios.len() / 5;
+        let (loads_slice, rest) = ratios.split_at(q);
+        let (other_slice, time_slice) = rest.split_at(rest.len() - q);
+        let tally = |slice: &[(f64, usize)]| -> Vec<f64> {
+            let mut counts = vec![0.0f64; n_cats];
+            for (_, c) in slice {
+                counts[*c] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            if total > 0.0 {
+                for v in &mut counts {
+                    *v = 100.0 * *v / total;
+                }
+            }
+            counts
+        };
+        let l = tally(loads_slice);
+        let t = tally(time_slice);
+        let o = tally(other_slice);
+        for c in 0..n_cats {
+            pct_loads[c].push(l[c]);
+            pct_time[c].push(t[c]);
+            pct_other[c].push(o[c]);
+        }
+    }
+    let to_map = |acc: &[Vec<f64>]| -> HashMap<String, f64> {
+        wwv_taxonomy::Category::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let m = median(&acc[i])?;
+                if m > 0.0 {
+                    Some((c.name().to_owned(), m))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    MetricLeaning {
+        platform,
+        loads_leaning: to_map(&pct_loads),
+        time_leaning: to_map(&pct_time),
+        other: to_map(&pct_other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+    use wwv_taxonomy::Category;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    #[test]
+    fn agreement_is_moderate_not_perfect() {
+        // §4.4: intersection ≈65–74%, ρ ≈0.65–0.69 — the metrics agree only
+        // moderately. Depth must sit below the surviving-site population so
+        // list truncation binds (at the survivor count intersection is
+        // trivially 1).
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(world, ds, 1_200);
+        let a = metric_agreement(&ctx, Platform::Windows);
+        assert!(a.intersection.median > 0.35, "intersection {:?}", a.intersection);
+        assert!(a.intersection.median < 0.98, "metrics must differ; {:?}", a.intersection);
+        assert!(a.spearman.median > 0.2, "spearman {:?}", a.spearman);
+        assert!(a.spearman.median < 0.98);
+    }
+
+    #[test]
+    fn leaning_directions_match_paper() {
+        // Fig. 5: E-commerce loads-leaning; Video Streaming time-leaning.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let l = metric_leaning(&ctx, Platform::Windows);
+        let ecom_loads = l.loads_leaning.get(Category::Ecommerce.name()).copied().unwrap_or(0.0);
+        let ecom_time = l.time_leaning.get(Category::Ecommerce.name()).copied().unwrap_or(0.0);
+        assert!(ecom_loads > ecom_time, "ecommerce: loads {ecom_loads}% vs time {ecom_time}%");
+        let video_loads =
+            l.loads_leaning.get(Category::VideoStreaming.name()).copied().unwrap_or(0.0);
+        let video_time =
+            l.time_leaning.get(Category::VideoStreaming.name()).copied().unwrap_or(0.0);
+        assert!(video_time > video_loads, "video: time {video_time}% vs loads {video_loads}%");
+    }
+
+    #[test]
+    fn leaning_percentages_bounded() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let l = metric_leaning(&ctx, Platform::Android);
+        for map in [&l.loads_leaning, &l.time_leaning, &l.other] {
+            for (k, v) in map {
+                assert!((0.0..=100.0).contains(v), "{k}: {v}");
+            }
+        }
+    }
+}
+
+/// §4.4's per-category robustness: intersection and Spearman between the two
+/// metrics restricted to domains of one category. The paper reports 57–72%
+/// intersection / 0.5–0.8 ρ on desktop and 67–82% / 0.6–0.85 on mobile.
+pub fn category_metric_agreement(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    category: wwv_taxonomy::Category,
+) -> MetricAgreement {
+    let mut intersections = Vec::new();
+    let mut rhos = Vec::new();
+    for ci in ctx.countries() {
+        let loads = ctx.domain_list(ctx.breakdown(ci, platform, Metric::PageLoads));
+        let time = ctx.domain_list(ctx.breakdown(ci, platform, Metric::TimeOnPage));
+        if loads.is_empty() || time.is_empty() {
+            continue;
+        }
+        // Filter each list to the category, preserving order, then compare.
+        let filt = |list: &wwv_stats::RankedList<wwv_telemetry::DomainId>| {
+            wwv_stats::RankedList::new(
+                list.iter().filter(|d| ctx.category_of(**d) == category).copied(),
+            )
+        };
+        let l = filt(&loads);
+        let t = filt(&time);
+        if l.len() < 5 || t.len() < 5 {
+            continue;
+        }
+        // Depth below the smaller population so truncation binds.
+        let depth = (l.len().min(t.len()) * 2 / 3).max(5);
+        intersections.push(l.percent_intersection(&t, depth));
+        if let Some(rho) = l.spearman_within_intersection(&t, depth) {
+            rhos.push(rho);
+        }
+    }
+    let zero = QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 };
+    MetricAgreement {
+        platform,
+        intersection: QuantileSummary::of(&intersections).unwrap_or(zero),
+        spearman: QuantileSummary::of(&rhos).unwrap_or(zero),
+    }
+}
+
+#[cfg(test)]
+mod category_tests {
+    use super::*;
+    use wwv_taxonomy::Category;
+
+    #[test]
+    fn per_category_agreement_in_plausible_range() {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        for cat in [Category::Business, Category::NewsMedia] {
+            let a = category_metric_agreement(&ctx, Platform::Windows, cat);
+            assert!(
+                a.intersection.median > 0.2 && a.intersection.median <= 1.0,
+                "{}: {:?}",
+                cat.name(),
+                a.intersection
+            );
+        }
+    }
+
+    #[test]
+    fn category_restriction_changes_the_numbers() {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 1_200);
+        let overall = metric_agreement(&ctx, Platform::Windows);
+        let business = category_metric_agreement(&ctx, Platform::Windows, Category::Business);
+        assert!((overall.intersection.median - business.intersection.median).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! §4.3 — Desktop vs. mobile browsing behavior (Figs. 4 and 15).
+//!
+//! Per category: estimate traffic volume on each platform (top-10K sites
+//! weighted by the Fig. 1 distribution), test the per-country difference in
+//! category site-proportions with a two-proportion test under Bonferroni
+//! correction, and report the paper's normalized difference score
+//! `(A − W) / max(A, W)` for categories with significant differences.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_stats::descriptive::normalized_difference;
+use wwv_stats::{median, two_proportion_test};
+use wwv_taxonomy::Category;
+use wwv_world::{Metric, Platform};
+
+/// Fig. 4 row: one category's platform contrast.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformDiff {
+    /// Category.
+    pub category: String,
+    /// Median (across countries) normalized difference score in [-1, 1]:
+    /// positive = mobile-leaning, negative = desktop-leaning.
+    pub score: f64,
+    /// Number of countries with a statistically significant difference
+    /// (Bonferroni-corrected p < 0.05).
+    pub significant_countries: usize,
+    /// Median weighted traffic share on Android (percent).
+    pub android_share: f64,
+    /// Median weighted traffic share on Windows (percent).
+    pub windows_share: f64,
+}
+
+/// Computes Fig. 4 (page loads) or Fig. 15 (time on page).
+pub fn platform_differences(ctx: &AnalysisContext<'_>, metric: Metric) -> Vec<PlatformDiff> {
+    let n_cats = Category::ALL.len();
+    let weights_w = ctx.traffic_weights(Platform::Windows, metric);
+    let weights_a = ctx.traffic_weights(Platform::Android, metric);
+    // Bonferroni family: the figure's comparisons are per category (the
+    // paper corrects the category-level test family at p = 0.05).
+    let m = n_cats;
+
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    let mut shares_a: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    let mut shares_w: Vec<Vec<f64>> = vec![Vec::new(); n_cats];
+    let mut significant: Vec<usize> = vec![0; n_cats];
+    // Pooled (all-country) volume counts decide whether a category appears
+    // in the figure at all; the per-country counts annotate each bar.
+    let mut pooled_a: Vec<u64> = vec![0; n_cats];
+    let mut pooled_w: Vec<u64> = vec![0; n_cats];
+    let mut pooled_na: u64 = 0;
+    let mut pooled_nw: u64 = 0;
+
+    for ci in ctx.countries() {
+        let list_w = ctx.domain_list(ctx.breakdown(ci, Platform::Windows, metric));
+        let list_a = ctx.domain_list(ctx.breakdown(ci, Platform::Android, metric));
+        if list_w.is_empty() || list_a.is_empty() {
+            continue;
+        }
+        let mut vol_w = vec![0.0f64; n_cats];
+        let mut vol_a = vec![0.0f64; n_cats];
+        let mut tot_w = 0.0;
+        let mut tot_a = 0.0;
+        for (i, d) in list_w.iter().enumerate() {
+            let c = ctx.category_of(*d).index();
+            let w = weights_w.get(i).copied().unwrap_or(0.0);
+            vol_w[c] += w;
+            tot_w += w;
+        }
+        for (i, d) in list_a.iter().enumerate() {
+            let c = ctx.category_of(*d).index();
+            let w = weights_a.get(i).copied().unwrap_or(0.0);
+            vol_a[c] += w;
+            tot_a += w;
+        }
+        // Effective trial count for the volume-proportion test: the paper
+        // tests *traffic volumes*; we convert each platform's weighted share
+        // into an expected count over the list's sites.
+        let n_w = list_w.len() as u64;
+        let n_a = list_a.len() as u64;
+        for c in 0..n_cats {
+            let share_w = if tot_w > 0.0 { vol_w[c] / tot_w } else { 0.0 };
+            let share_a = if tot_a > 0.0 { vol_a[c] / tot_a } else { 0.0 };
+            if share_w == 0.0 && share_a == 0.0 {
+                continue;
+            }
+            scores[c].push(normalized_difference(share_a, share_w));
+            shares_a[c].push(100.0 * share_a);
+            shares_w[c].push(100.0 * share_w);
+            let k_w = (share_w * n_w as f64).round() as u64;
+            let k_a = (share_a * n_a as f64).round() as u64;
+            pooled_a[c] += k_a;
+            pooled_w[c] += k_w;
+            if let Some(t) = two_proportion_test(k_a, n_a, k_w, n_w) {
+                if t.significant(0.05, m) {
+                    significant[c] += 1;
+                }
+            }
+        }
+        pooled_na += n_a;
+        pooled_nw += n_w;
+    }
+
+    let mut out = Vec::new();
+    for (c, cat) in Category::ALL.iter().enumerate() {
+        if scores[c].is_empty() {
+            continue;
+        }
+        // A category enters the figure when the pooled cross-country volume
+        // difference is significant (the per-country counts annotate bars).
+        let pooled_significant = two_proportion_test(pooled_a[c], pooled_na, pooled_w[c], pooled_nw)
+            .map(|t| t.significant(0.05, m))
+            .unwrap_or(false);
+        if !pooled_significant {
+            continue;
+        }
+        out.push(PlatformDiff {
+            category: cat.name().to_owned(),
+            score: median(&scores[c]).unwrap_or(0.0),
+            significant_countries: significant[c],
+            android_share: median(&shares_a[c]).unwrap_or(0.0),
+            windows_share: median(&shares_w[c]).unwrap_or(0.0),
+        });
+    }
+    // Most mobile-leaning first, as in the figure.
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    fn diff_of<'a>(rows: &'a [PlatformDiff], cat: Category) -> Option<&'a PlatformDiff> {
+        rows.iter().find(|r| r.category == cat.name())
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let rows = platform_differences(&ctx, Metric::PageLoads);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!((-1.0..=1.0).contains(&r.score), "{}: {}", r.category, r.score);
+            assert!(r.significant_countries <= 45);
+        }
+    }
+
+    #[test]
+    fn paper_directions_hold() {
+        // Fig. 4: Pornography/Dating mobile-leaning; Educational
+        // Institutions / Webmail / Gaming / Business desktop-leaning.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let rows = platform_differences(&ctx, Metric::PageLoads);
+        if let Some(p) = diff_of(&rows, Category::Pornography) {
+            assert!(p.score > 0.0, "porn score {}", p.score);
+        }
+        for cat in [Category::EducationalInstitutions, Category::Business, Category::Gaming] {
+            if let Some(d) = diff_of(&rows, cat) {
+                assert!(d.score < 0.0, "{} score {}", d.category, d.score);
+            }
+        }
+        // At least one of the desktop categories must be present & significant.
+        let desktopish = rows.iter().filter(|r| r.score < -0.1).count();
+        let mobileish = rows.iter().filter(|r| r.score > 0.1).count();
+        assert!(desktopish >= 2, "desktop-leaning categories detected: {desktopish}");
+        assert!(mobileish >= 2, "mobile-leaning categories detected: {mobileish}");
+    }
+
+    #[test]
+    fn sorted_most_mobile_first() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let rows = platform_differences(&ctx, Metric::PageLoads);
+        for pair in rows.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! §4.2.3 — Category prevalence by rank (Figs. 3 and 14).
+//!
+//! For a ladder of rank thresholds N, the percentage of top-N domains
+//! carrying each category label, summarized as median and 25–75% quartiles
+//! across the 45 countries.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_stats::QuantileSummary;
+use wwv_taxonomy::Category;
+use wwv_world::{Metric, Platform};
+
+/// The default threshold ladder (the paper plots 10 → 10K).
+pub const DEFAULT_THRESHOLDS: [usize; 10] = [10, 20, 30, 50, 100, 200, 500, 1_000, 5_000, 10_000];
+
+/// Prevalence-by-rank series for one category on one (platform, metric).
+#[derive(Debug, Clone, Serialize)]
+pub struct PrevalenceSeries {
+    /// Category.
+    pub category: String,
+    /// Platform.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Rank thresholds.
+    pub thresholds: Vec<usize>,
+    /// Cross-country summary of the category's percentage at each threshold.
+    pub summary: Vec<QuantileSummary>,
+}
+
+/// Computes prevalence-by-rank for one category.
+pub fn prevalence_by_rank(
+    ctx: &AnalysisContext<'_>,
+    category: Category,
+    platform: Platform,
+    metric: Metric,
+    thresholds: &[usize],
+) -> PrevalenceSeries {
+    // Per-country cumulative category counts along the list.
+    let mut per_threshold: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
+    for ci in ctx.countries() {
+        let b = ctx.breakdown(ci, platform, metric);
+        let list = ctx.domain_list(b);
+        if list.is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        let mut t = 0usize;
+        for (i, d) in list.iter().enumerate() {
+            if ctx.category_of(*d) == category {
+                count += 1;
+            }
+            while t < thresholds.len() && i + 1 == thresholds[t].min(list.len()) {
+                per_threshold[t].push(100.0 * count as f64 / (i + 1) as f64);
+                t += 1;
+            }
+            if t >= thresholds.len() {
+                break;
+            }
+        }
+        // Thresholds beyond the list length take the full-list value.
+        while t < thresholds.len() {
+            per_threshold[t].push(100.0 * count as f64 / list.len() as f64);
+            t += 1;
+        }
+    }
+    PrevalenceSeries {
+        category: category.name().to_owned(),
+        platform,
+        metric,
+        thresholds: thresholds.to_vec(),
+        summary: per_threshold
+            .iter()
+            .map(|v| {
+                QuantileSummary::of(v).unwrap_or(QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 })
+            })
+            .collect(),
+    }
+}
+
+/// The categories Fig. 3 plots.
+pub fn figure3_categories() -> Vec<Category> {
+    vec![
+        Category::VideoStreaming,
+        Category::Business,
+        Category::NewsMedia,
+        Category::Technology,
+        Category::Pornography,
+        Category::Ecommerce,
+        Category::EducationalInstitutions,
+        Category::EconomyFinance,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    /// Thresholds scaled to the small test dataset (lists ~1.5–2.5K deep).
+    const T: [usize; 6] = [10, 30, 100, 300, 1_000, 2_000];
+
+    #[test]
+    fn summaries_are_percentages() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let s = prevalence_by_rank(&ctx, Category::NewsMedia, Platform::Windows, Metric::PageLoads, &T);
+        assert_eq!(s.summary.len(), T.len());
+        for q in &s.summary {
+            assert!(q.median >= 0.0 && q.median <= 100.0);
+            assert!(q.q25 <= q.median && q.median <= q.q75);
+        }
+    }
+
+    #[test]
+    fn business_rises_toward_tail() {
+        // Fig. 3: Business is disproportionately represented in the long
+        // tail on desktop.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let s = prevalence_by_rank(&ctx, Category::Business, Platform::Windows, Metric::PageLoads, &T);
+        let head = s.summary[1].median; // top-30
+        let tail = s.summary[5].median; // top-2000
+        assert!(tail > head, "business head {head}% vs tail {tail}%");
+    }
+
+    #[test]
+    fn video_streaming_head_heavy_by_time() {
+        // Fig. 3: Video Streaming is a larger share of top sites than of the
+        // tail when ranking by time.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let s = prevalence_by_rank(&ctx, Category::VideoStreaming, Platform::Windows, Metric::TimeOnPage, &T);
+        let head = s.summary[0].median; // top-10
+        let tail = s.summary[5].median;
+        assert!(head > tail, "video head {head}% vs tail {tail}%");
+        assert!(head >= 20.0, "paper: video streaming >40% of top-10 by time; got {head}%");
+    }
+
+    #[test]
+    fn news_peaks_mid_rank() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let s = prevalence_by_rank(&ctx, Category::NewsMedia, Platform::Windows, Metric::PageLoads, &T);
+        let head = s.summary[0].median;
+        let mid = s.summary[2].median.max(s.summary[3].median); // top 100–300
+        let tail = s.summary[5].median;
+        assert!(mid > tail, "news mid {mid}% vs tail {tail}%");
+        assert!(mid >= head, "news mid {mid}% vs head {head}%");
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment reporting: paper-stated values vs measured values.
+
+use serde::Serialize;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportRow {
+    /// Experiment id (e.g. "F1", "T2", "S4.4").
+    pub id: String,
+    /// What is being compared.
+    pub quantity: String,
+    /// The paper's stated value, as printed.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the measured value falls in the acceptance band.
+    pub pass: bool,
+}
+
+impl ReportRow {
+    /// Builds a row from a numeric measurement and an inclusive band.
+    pub fn banded(id: &str, quantity: &str, paper: &str, measured: f64, lo: f64, hi: f64) -> Self {
+        ReportRow {
+            id: id.to_owned(),
+            quantity: quantity.to_owned(),
+            paper: paper.to_owned(),
+            measured: format!("{measured:.4}"),
+            pass: (lo..=hi).contains(&measured),
+        }
+    }
+
+    /// Builds a row from an exact expectation.
+    pub fn exact<T: PartialEq + std::fmt::Display>(id: &str, quantity: &str, paper: T, measured: T) -> Self {
+        ReportRow {
+            id: id.to_owned(),
+            quantity: quantity.to_owned(),
+            paper: paper.to_string(),
+            pass: paper == measured,
+            measured: measured.to_string(),
+        }
+    }
+
+    /// Builds a row from a boolean qualitative check.
+    pub fn check(id: &str, quantity: &str, paper: &str, measured: &str, pass: bool) -> Self {
+        ReportRow {
+            id: id.to_owned(),
+            quantity: quantity.to_owned(),
+            paper: paper.to_owned(),
+            measured: measured.to_owned(),
+            pass,
+        }
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExperimentReport {
+    /// All rows, in experiment order.
+    pub rows: Vec<ReportRow>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: ReportRow) {
+        self.rows.push(row);
+    }
+
+    /// Number of passing rows.
+    pub fn passed(&self) -> usize {
+        self.rows.iter().filter(|r| r.pass).count()
+    }
+
+    /// Renders a fixed-width text table (the `reproduce` harness output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:<52} {:<26} {:<26} {}\n",
+            "ID", "QUANTITY", "PAPER", "MEASURED", "PASS"
+        ));
+        out.push_str(&"-".repeat(124));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8} {:<52} {:<26} {:<26} {}\n",
+                r.id,
+                truncate(&r.quantity, 52),
+                truncate(&r.paper, 26),
+                truncate(&r.measured, 26),
+                if r.pass { "ok" } else { "MISS" }
+            ));
+        }
+        out.push_str(&format!("\n{} / {} rows pass\n", self.passed(), self.rows.len()));
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_pass_and_fail() {
+        assert!(ReportRow::banded("F1", "x", "0.17", 0.17, 0.15, 0.20).pass);
+        assert!(!ReportRow::banded("F1", "x", "0.17", 0.50, 0.15, 0.20).pass);
+    }
+
+    #[test]
+    fn exact_compares() {
+        assert!(ReportRow::exact("T2", "countries", 45, 45).pass);
+        assert!(!ReportRow::exact("T2", "countries", 45, 44).pass);
+    }
+
+    #[test]
+    fn render_contains_rows_and_summary() {
+        let mut report = ExperimentReport::new();
+        report.push(ReportRow::banded("F1", "top1 share", "17%", 0.17, 0.1, 0.2));
+        report.push(ReportRow::exact("T2", "n", 1, 2));
+        let text = report.render();
+        assert!(text.contains("F1"));
+        assert!(text.contains("MISS"));
+        assert!(text.contains("1 / 2 rows pass"));
+    }
+
+    #[test]
+    fn truncate_limits_width() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = truncate(&"x".repeat(100), 10);
+        assert!(long.chars().count() <= 10);
+    }
+}

@@ -1,0 +1,126 @@
+//! §5.3.1 — Traffic-weighted country similarity (Figs. 10, 18, 19, 20).
+//!
+//! Pairwise comparison of countries' top-10K lists with rank-biased overlap,
+//! weighted by the Fig. 1 traffic distribution instead of RBO's geometric
+//! weights — agreement on the sites carrying real traffic counts most.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_stats::rbo::{rbo_weighted, WeightModel};
+use wwv_stats::SymmetricMatrix;
+use wwv_world::{Metric, Platform, COUNTRIES};
+
+/// A country-similarity matrix with its labels.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimilarityMatrix {
+    /// Platform.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Country ISO codes, in matrix order.
+    pub labels: Vec<String>,
+    /// Pairwise weighted-RBO similarities in [0, 1]; diagonal = 1.
+    pub matrix: SymmetricMatrix,
+}
+
+impl SimilarityMatrix {
+    /// Similarity between two countries by ISO code.
+    pub fn between(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.labels.iter().position(|l| l == a)?;
+        let j = self.labels.iter().position(|l| l == b)?;
+        Some(self.matrix.get(i, j))
+    }
+
+    /// Mean off-diagonal similarity of one country (how "typical" it is).
+    pub fn mean_similarity(&self, code: &str) -> Option<f64> {
+        let i = self.labels.iter().position(|l| l == code)?;
+        let n = self.matrix.n();
+        let sum: f64 = (0..n).filter(|j| *j != i).map(|j| self.matrix.get(i, j)).sum();
+        Some(sum / (n - 1) as f64)
+    }
+}
+
+/// Computes the weighted-RBO similarity matrix for one (platform, metric).
+pub fn similarity_matrix(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> SimilarityMatrix {
+    let weights = WeightModel::Empirical { weights: ctx.traffic_weights(platform, metric) };
+    let lists: Vec<_> = ctx
+        .countries()
+        .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))
+        .collect();
+    let n = lists.len();
+    let matrix = SymmetricMatrix::build(n, |i, j| {
+        if i == j {
+            return 1.0;
+        }
+        let depth = ctx.depth.min(lists[i].len().max(lists[j].len()));
+        rbo_weighted(&lists[i], &lists[j], &weights, depth.max(1)).unwrap_or(0.0)
+    });
+    SimilarityMatrix {
+        platform,
+        metric,
+        labels: COUNTRIES.iter().map(|c| c.code.to_owned()).collect(),
+        matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SimilarityMatrix {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads)
+    }
+
+    #[test]
+    fn bounded_and_reflexive() {
+        let m = matrix();
+        assert_eq!(m.matrix.n(), 45);
+        for i in 0..45 {
+            assert_eq!(m.matrix.get(i, i), 1.0);
+            for j in 0..i {
+                let v = m.matrix.get(i, j);
+                assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn north_africa_cluster_is_tight() {
+        // Fig. 10: Algeria/Egypt/Morocco/Tunisia form a visually obvious
+        // cluster.
+        let m = matrix();
+        let within = m.between("DZ", "MA").unwrap();
+        let cross = m.between("DZ", "JP").unwrap();
+        assert!(within > cross, "DZ–MA {within} vs DZ–JP {cross}");
+    }
+
+    #[test]
+    fn korea_and_japan_are_outliers() {
+        // §5.3.1: JP and KR have distinct browsing patterns.
+        let m = matrix();
+        let kr = m.mean_similarity("KR").unwrap();
+        let jp = m.mean_similarity("JP").unwrap();
+        let us = m.mean_similarity("US").unwrap();
+        let fr = m.mean_similarity("FR").unwrap();
+        assert!(kr < us && kr < fr, "KR mean {kr} vs US {us}, FR {fr}");
+        assert!(jp < us && jp < fr, "JP mean {jp} vs US {us}, FR {fr}");
+    }
+
+    #[test]
+    fn hispanic_americas_cluster() {
+        let m = matrix();
+        let within = m.between("MX", "CO").unwrap();
+        let cross = m.between("MX", "TH").unwrap();
+        assert!(within > cross, "MX–CO {within} vs MX–TH {cross}");
+    }
+
+    #[test]
+    fn anglosphere_similarity_spans_continents() {
+        let m = matrix();
+        let anglo = m.between("AU", "CA").unwrap();
+        let mixed = m.between("AU", "PL").unwrap();
+        assert!(anglo > mixed, "AU–CA {anglo} vs AU–PL {mixed}");
+    }
+}

@@ -1,0 +1,228 @@
+//! §4.5 — Temporal stability of website popularity.
+//!
+//! Percent intersection and Spearman's ρ between month pairs per rank
+//! bucket, and the stability of category shares over time (including the
+//! December education-down / e-commerce-up shift).
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use wwv_stats::QuantileSummary;
+use wwv_taxonomy::Category;
+use wwv_world::{Breakdown, Metric, Month, Platform};
+
+/// The rank buckets §4.5 reports.
+pub const TEMPORAL_BUCKETS: [usize; 3] = [20, 100, 10_000];
+
+/// Month-pair similarity for one rank bucket.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonthPairStability {
+    /// Earlier month.
+    pub from: Month,
+    /// Later month.
+    pub to: Month,
+    /// Rank bucket (top-N).
+    pub bucket: usize,
+    /// Cross-country summary of percent intersection (0–1).
+    pub intersection: QuantileSummary,
+    /// Cross-country summary of Spearman's ρ.
+    pub spearman: QuantileSummary,
+}
+
+/// Computes stability between two months for one (platform, metric, bucket).
+pub fn month_pair_stability(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    from: Month,
+    to: Month,
+    bucket: usize,
+) -> MonthPairStability {
+    let mut intersections = Vec::new();
+    let mut rhos = Vec::new();
+    for ci in ctx.countries() {
+        let a = ctx.key_list(Breakdown { country: ci, platform, metric, month: from });
+        let b = ctx.key_list(Breakdown { country: ci, platform, metric, month: to });
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        let depth = bucket.min(a.len()).min(b.len());
+        intersections.push(a.percent_intersection(&b, depth));
+        if let Some(rho) = a.spearman_within_intersection(&b, depth) {
+            rhos.push(rho);
+        }
+    }
+    let zero = QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 };
+    MonthPairStability {
+        from,
+        to,
+        bucket,
+        intersection: QuantileSummary::of(&intersections).unwrap_or(zero),
+        spearman: QuantileSummary::of(&rhos).unwrap_or(zero),
+    }
+}
+
+/// Adjacent-month stability across the whole window for one bucket.
+pub fn adjacent_month_stability(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    bucket: usize,
+) -> Vec<MonthPairStability> {
+    Month::ALL
+        .windows(2)
+        .map(|pair| month_pair_stability(ctx, platform, metric, pair[0], pair[1], bucket))
+        .collect()
+}
+
+/// Stability of September vs every later month (the paper's second view).
+pub fn from_september_stability(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    bucket: usize,
+) -> Vec<MonthPairStability> {
+    Month::ALL[1..]
+        .iter()
+        .map(|m| month_pair_stability(ctx, platform, metric, Month::September2021, *m, bucket))
+        .collect()
+}
+
+/// Category share in the top-N of one month (median across countries).
+#[derive(Debug, Clone, Serialize)]
+pub struct CategoryShareByMonth {
+    /// Category.
+    pub category: String,
+    /// Per-month median share (percent of top-N sites), one per study month.
+    pub shares: Vec<f64>,
+}
+
+/// Tracks a category's share of top-`bucket` sites across all months.
+pub fn category_share_by_month(
+    ctx: &AnalysisContext<'_>,
+    category: Category,
+    platform: Platform,
+    metric: Metric,
+    bucket: usize,
+) -> CategoryShareByMonth {
+    let mut shares = Vec::with_capacity(Month::ALL.len());
+    for month in Month::ALL {
+        let mut per_country = Vec::new();
+        for ci in ctx.countries() {
+            let list = ctx.domain_list(Breakdown { country: ci, platform, metric, month });
+            if list.is_empty() {
+                continue;
+            }
+            let depth = bucket.min(list.len());
+            let count = list
+                .iter()
+                .take(depth)
+                .filter(|d| ctx.category_of(**d) == category)
+                .count();
+            per_country.push(100.0 * count as f64 / depth as f64);
+        }
+        shares.push(wwv_stats::median(&per_country).unwrap_or(0.0));
+    }
+    CategoryShareByMonth { category: category.name().to_owned(), shares }
+}
+
+/// The December anomaly summary (§4.5's headline temporal finding).
+#[derive(Debug, Clone, Serialize)]
+pub struct DecemberAnomaly {
+    /// Median intersection of the November→December pair.
+    pub nov_dec_intersection: f64,
+    /// Median intersection of the January→February pair (the most similar
+    /// adjacent pair in the paper).
+    pub jan_feb_intersection: f64,
+    /// Education share in November vs December (percent of top-N sites).
+    pub education_nov_dec: (f64, f64),
+    /// E-commerce share in November vs December.
+    pub ecommerce_nov_dec: (f64, f64),
+}
+
+/// Computes the December anomaly at one bucket for (platform, metric).
+pub fn december_anomaly(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    bucket: usize,
+) -> DecemberAnomaly {
+    let nov_dec = month_pair_stability(ctx, platform, metric, Month::November2021, Month::December2021, bucket);
+    let jan_feb = month_pair_stability(ctx, platform, metric, Month::January2022, Month::February2022, bucket);
+    let edu = category_share_by_month(ctx, Category::Education, platform, metric, bucket);
+    let edu_inst = category_share_by_month(ctx, Category::EducationalInstitutions, platform, metric, bucket);
+    let ecom = category_share_by_month(ctx, Category::Ecommerce, platform, metric, bucket);
+    let nov = Month::November2021.index();
+    let dec = Month::December2021.index();
+    DecemberAnomaly {
+        nov_dec_intersection: nov_dec.intersection.median,
+        jan_feb_intersection: jan_feb.intersection.median,
+        education_nov_dec: (edu.shares[nov] + edu_inst.shares[nov], edu.shares[dec] + edu_inst.shares[dec]),
+        ecommerce_nov_dec: (ecom.shares[nov], ecom.shares[dec]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small_all_months()
+    }
+
+    #[test]
+    fn adjacent_months_strongly_correlated() {
+        // §4.5: ~80–95% intersection, ρ ≳ 0.85 between adjacent months.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let pairs = adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
+        assert_eq!(pairs.len(), 5);
+        for p in &pairs {
+            assert!(p.intersection.median > 0.6, "{:?}→{:?}: {:?}", p.from, p.to, p.intersection);
+            assert!(p.spearman.median > 0.6, "{:?}→{:?}: {:?}", p.from, p.to, p.spearman);
+        }
+    }
+
+    #[test]
+    fn december_is_least_stable() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let a = december_anomaly(&ctx, Platform::Windows, Metric::PageLoads, 1_000);
+        assert!(
+            a.nov_dec_intersection < a.jan_feb_intersection,
+            "Nov→Dec {} vs Jan→Feb {}",
+            a.nov_dec_intersection,
+            a.jan_feb_intersection
+        );
+    }
+
+    #[test]
+    fn december_category_shift() {
+        // §4.5: education down, e-commerce up in December.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let a = december_anomaly(&ctx, Platform::Windows, Metric::TimeOnPage, 1_000);
+        assert!(
+            a.ecommerce_nov_dec.1 > a.ecommerce_nov_dec.0,
+            "ecommerce Nov {} → Dec {}",
+            a.ecommerce_nov_dec.0,
+            a.ecommerce_nov_dec.1
+        );
+        assert!(
+            a.education_nov_dec.1 < a.education_nov_dec.0,
+            "education Nov {} → Dec {}",
+            a.education_nov_dec.0,
+            a.education_nov_dec.1
+        );
+    }
+
+    #[test]
+    fn september_drift_grows_with_distance() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let drift = from_september_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
+        assert_eq!(drift.len(), 5);
+        // Sep→Oct at least as similar as Sep→Feb.
+        assert!(drift[0].intersection.median >= drift[4].intersection.median - 0.05);
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared test fixtures: one small world + dataset per process.
+
+use std::sync::OnceLock;
+use wwv_telemetry::{ChromeDataset, DatasetBuilder};
+use wwv_world::{Month, World, WorldConfig};
+
+static FIXTURE: OnceLock<(World, ChromeDataset)> = OnceLock::new();
+static FIXTURE_ALL_MONTHS: OnceLock<(World, ChromeDataset)> = OnceLock::new();
+
+/// A small world plus a February-only dataset (most analyses).
+pub fn small() -> &'static (World, ChromeDataset) {
+    FIXTURE.get_or_init(|| {
+        let world = World::new(WorldConfig::small());
+        let ds = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, ds)
+    })
+}
+
+/// A small world plus an all-months dataset (temporal analyses).
+pub fn small_all_months() -> &'static (World, ChromeDataset) {
+    FIXTURE_ALL_MONTHS.get_or_init(|| {
+        let world = World::new(WorldConfig::small());
+        let ds = DatasetBuilder::new(&world)
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, ds)
+    })
+}

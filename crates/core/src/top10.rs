@@ -1,0 +1,343 @@
+//! §4.2.1 / §5.3.2 — The composition of per-country top-10 lists (and the
+//! Table 4 long tail).
+//!
+//! The paper manually verified the top ten sites of every (country,
+//! platform, metric) breakdown; here the ground-truth categories play the
+//! role of that manual review.
+
+use crate::context::AnalysisContext;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use wwv_taxonomy::{Category, SuperCategory};
+use wwv_world::{Metric, Platform, COUNTRIES};
+
+/// §4.2.1 use-case coverage: how many countries have each use case in their
+/// top 10.
+#[derive(Debug, Clone, Serialize)]
+pub struct Top10Coverage {
+    /// Platform/metric of the breakdown.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Countries analyzed.
+    pub countries: usize,
+    /// Countries with ≥1 search engine in the top 10 (paper: 45/45).
+    pub search: usize,
+    /// Countries with ≥1 video platform in the top 10 (paper: 45/45).
+    pub video: usize,
+    /// Countries with ≥1 social network (paper: 44).
+    pub social: usize,
+    /// Countries with ≥1 adult site (paper: 43).
+    pub adult: usize,
+    /// Countries with ≥1 e-commerce site (paper: 32).
+    pub ecommerce: usize,
+    /// Countries with ≥1 chat/messaging site (paper: 30).
+    pub chat: usize,
+    /// Countries with ≥1 classified-ads/marketplace site (paper: 17).
+    pub classifieds: usize,
+    /// Countries with ≥1 gaming site (paper: Twitch 31, Roblox 26).
+    pub gaming: usize,
+    /// Countries with ≥1 news site (paper: 20).
+    pub news: usize,
+    /// Countries with ≥1 business-platform site (paper: 22).
+    pub business: usize,
+    /// Number of distinct site keys across all top-10s.
+    pub distinct_keys: usize,
+}
+
+/// Computes §4.2.1 coverage for one (platform, metric).
+pub fn top10_coverage(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> Top10Coverage {
+    let mut coverage = Top10Coverage {
+        platform,
+        metric,
+        countries: 0,
+        search: 0,
+        video: 0,
+        social: 0,
+        adult: 0,
+        ecommerce: 0,
+        chat: 0,
+        classifieds: 0,
+        gaming: 0,
+        news: 0,
+        business: 0,
+        distinct_keys: 0,
+    };
+    let mut keys: HashSet<String> = HashSet::new();
+    for ci in ctx.countries() {
+        let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));
+        if list.is_empty() {
+            continue;
+        }
+        coverage.countries += 1;
+        let mut cats: HashSet<Category> = HashSet::new();
+        for d in list.iter().take(10) {
+            cats.insert(ctx.true_category_of(*d));
+            keys.insert(ctx.key_of(*d));
+        }
+        let has = |c: Category| cats.contains(&c);
+        if has(Category::SearchEngines) {
+            coverage.search += 1;
+        }
+        if has(Category::VideoStreaming) || has(Category::Television) || has(Category::MoviesHomeVideo) {
+            coverage.video += 1;
+        }
+        if has(Category::SocialNetworks) {
+            coverage.social += 1;
+        }
+        if has(Category::Pornography) || has(Category::AdultThemes) {
+            coverage.adult += 1;
+        }
+        if has(Category::Ecommerce) {
+            coverage.ecommerce += 1;
+        }
+        if has(Category::ChatMessaging) || has(Category::Webmail) {
+            coverage.chat += 1;
+        }
+        if has(Category::AuctionsMarketplaces) {
+            coverage.classifieds += 1;
+        }
+        if has(Category::Gaming) {
+            coverage.gaming += 1;
+        }
+        if has(Category::NewsMedia) {
+            coverage.news += 1;
+        }
+        if has(Category::Business) {
+            coverage.business += 1;
+        }
+    }
+    coverage.distinct_keys = keys.len();
+    coverage
+}
+
+/// Table 4 analogue: categories appearing in top-10s, with the number of
+/// (country, top-10) occurrences — surfacing the long tail of use cases.
+pub fn top10_category_tally(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+) -> HashMap<String, usize> {
+    let mut tally: HashMap<String, usize> = HashMap::new();
+    for ci in ctx.countries() {
+        let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));
+        for d in list.iter().take(10) {
+            *tally.entry(ctx.true_category_of(*d).name().to_owned()).or_insert(0) += 1;
+        }
+    }
+    tally
+}
+
+/// §5.3.2's per-country endemic top-10 sites: keys in a country's top 10
+/// that appear in no other country's top 10.
+pub fn endemic_top10_keys(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+) -> HashMap<String, Vec<String>> {
+    let mut appearances: HashMap<String, usize> = HashMap::new();
+    let mut per_country: Vec<Vec<String>> = Vec::new();
+    for ci in ctx.countries() {
+        let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));
+        let keys: Vec<String> = list.iter().take(10).map(|d| ctx.key_of(*d)).collect();
+        for k in &keys {
+            *appearances.entry(k.clone()).or_insert(0) += 1;
+        }
+        per_country.push(keys);
+    }
+    let mut out = HashMap::new();
+    for (ci, keys) in per_country.into_iter().enumerate() {
+        let endemic: Vec<String> =
+            keys.into_iter().filter(|k| appearances.get(k) == Some(&1)).collect();
+        if !endemic.is_empty() {
+            out.insert(COUNTRIES[ci].code.to_owned(), endemic);
+        }
+    }
+    out
+}
+
+/// Super-category presence across top-10s, for broad use-case summaries.
+pub fn top10_supercategory_countries(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+) -> HashMap<SuperCategory, usize> {
+    let mut out: HashMap<SuperCategory, usize> = HashMap::new();
+    for ci in ctx.countries() {
+        let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));
+        let supers: HashSet<SuperCategory> =
+            list.iter().take(10).map(|d| ctx.true_category_of(*d).super_category()).collect();
+        for s in supers {
+            *out.entry(s).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::World;
+
+    fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
+        crate::testutil::small()
+    }
+
+    #[test]
+    fn every_country_has_search_and_video() {
+        // §4.2.1: all 45 countries rank a search engine and a video
+        // platform in their top ten.
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let c = top10_coverage(&ctx, Platform::Windows, Metric::PageLoads);
+        assert_eq!(c.countries, 45);
+        assert_eq!(c.search, 45, "search coverage");
+        assert!(c.video >= 42, "video coverage {}", c.video);
+    }
+
+    #[test]
+    fn social_and_adult_near_universal() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let c = top10_coverage(&ctx, Platform::Windows, Metric::PageLoads);
+        assert!(c.social >= 38, "social coverage {}", c.social);
+        assert!((30..=45).contains(&c.adult), "adult coverage {}", c.adult);
+        // Censoring countries lower adult coverage below social.
+        assert!(c.adult <= c.countries);
+    }
+
+    #[test]
+    fn endemic_top10_exists_for_korea() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let endemic = endemic_top10_keys(&ctx, Platform::Windows, Metric::PageLoads);
+        let kr = endemic.get("KR").expect("KR has endemic top-10 sites");
+        assert!(kr.len() >= 3, "KR endemic sites {kr:?}");
+    }
+
+    #[test]
+    fn tally_counts_are_plausible() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let tally = top10_category_tally(&ctx, Platform::Windows, Metric::PageLoads);
+        let total: usize = tally.values().sum();
+        assert_eq!(total, 450, "45 countries × 10 sites");
+        assert!(tally.contains_key("Search Engines"));
+    }
+
+    #[test]
+    fn supercategory_summary_covers_all_countries() {
+        let (world, ds) = fixtures();
+        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let sup = top10_supercategory_countries(&ctx, Platform::Windows, Metric::PageLoads);
+        assert_eq!(sup.get(&SuperCategory::SearchEngines), Some(&45));
+    }
+}
+
+/// §5.3.2's e-commerce pattern: keys in multiple countries' top lists whose
+/// *domains* differ per country (one eTLD per market, like amazon.de /
+/// amazon.co.uk), versus multi-country keys served from one domain.
+#[derive(Debug, Clone, Serialize)]
+pub struct CctldPattern {
+    /// Multi-country keys with per-country domains (the Amazon/Shopee shape).
+    pub per_country_domains: Vec<String>,
+    /// Multi-country keys served from a single domain everywhere.
+    pub single_domain: Vec<String>,
+}
+
+/// Detects the ccTLD pattern among keys in the top `depth` of ≥ `min_countries`
+/// countries.
+pub fn cctld_pattern(
+    ctx: &AnalysisContext<'_>,
+    platform: Platform,
+    metric: Metric,
+    depth: usize,
+    min_countries: usize,
+) -> CctldPattern {
+    // key → set of domains observed across countries.
+    let mut domains_of: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut countries_of: HashMap<String, HashSet<usize>> = HashMap::new();
+    for ci in ctx.countries() {
+        let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));
+        for d in list.iter().take(depth) {
+            let key = ctx.key_of(*d);
+            domains_of
+                .entry(key.clone())
+                .or_default()
+                .insert(ctx.dataset.domains.name(*d).to_owned());
+            countries_of.entry(key).or_default().insert(ci);
+        }
+    }
+    let mut per_country_domains = Vec::new();
+    let mut single_domain = Vec::new();
+    for (key, countries) in countries_of {
+        if countries.len() < min_countries {
+            continue;
+        }
+        let n_domains = domains_of.get(&key).map(HashSet::len).unwrap_or(0);
+        if n_domains >= countries.len().max(2) / 2 + 1 && n_domains > 1 {
+            per_country_domains.push(key);
+        } else {
+            single_domain.push(key);
+        }
+    }
+    per_country_domains.sort_unstable();
+    single_domain.sort_unstable();
+    CctldPattern { per_country_domains, single_domain }
+}
+
+/// §4.1.2's app-substitution statistic: of the sites in some country's
+/// Windows top 10 but not its Android top 10, the fraction with a dedicated
+/// Android app (paper: 93 of 114 sites, 82%).
+pub fn android_app_fraction(ctx: &AnalysisContext<'_>, metric: Metric) -> Option<f64> {
+    let mut desktop_only: HashSet<wwv_telemetry::DomainId> = HashSet::new();
+    for ci in ctx.countries() {
+        let win = ctx.domain_list(ctx.breakdown(ci, Platform::Windows, metric));
+        let and = ctx.domain_list(ctx.breakdown(ci, Platform::Android, metric));
+        let and_keys: HashSet<String> = and.iter().take(10).map(|d| ctx.key_of(*d)).collect();
+        for d in win.iter().take(10) {
+            if !and_keys.contains(&ctx.key_of(*d)) {
+                desktop_only.insert(*d);
+            }
+        }
+    }
+    if desktop_only.is_empty() {
+        return None;
+    }
+    let with_app = desktop_only
+        .iter()
+        .filter(|d| ctx.world.universe().site(ctx.dataset.domains.site(**d)).has_android_app)
+        .count();
+    Some(with_app as f64 / desktop_only.len() as f64)
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    #[test]
+    fn ecommerce_cctld_pattern_detected() {
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        let pattern = cctld_pattern(&ctx, Platform::Windows, Metric::PageLoads, 50, 5);
+        assert!(
+            pattern.per_country_domains.iter().any(|k| k == "amazon"),
+            "amazon must show the per-country-domain shape: {:?}",
+            pattern.per_country_domains
+        );
+        assert!(
+            pattern.single_domain.iter().any(|k| k == "google"),
+            "google serves one domain everywhere: {:?}",
+            &pattern.single_domain[..pattern.single_domain.len().min(10)]
+        );
+    }
+
+    #[test]
+    fn desktop_only_top10_sites_mostly_have_apps() {
+        // §4.1.2: 82% of Windows-top10-but-not-Android sites ship an app.
+        let (world, ds) = crate::testutil::small();
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
+        let fraction = android_app_fraction(&ctx, Metric::PageLoads).expect("some desktop-only sites");
+        assert!(fraction > 0.5, "app fraction {fraction}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for domain parsing and suffix resolution.
+
+use std::fmt;
+
+/// Errors produced while parsing or analyzing a domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The input string was empty (or consisted only of a trailing dot).
+    Empty,
+    /// The full name exceeded 253 characters.
+    TooLong {
+        /// Observed length in bytes after normalization.
+        len: usize,
+    },
+    /// A label (dot-separated component) was empty, i.e. the name contained
+    /// consecutive dots or a leading dot.
+    EmptyLabel {
+        /// Zero-based index of the offending label.
+        index: usize,
+    },
+    /// A label exceeded 63 characters.
+    LabelTooLong {
+        /// Zero-based index of the offending label.
+        index: usize,
+        /// Observed label length in bytes.
+        len: usize,
+    },
+    /// A label contained a character outside `[a-z0-9-_]` (after lowercasing).
+    ///
+    /// Underscores are tolerated because they appear in real hostnames even
+    /// though they are invalid in strict DNS; the paper's dataset is keyed by
+    /// observed hostnames.
+    InvalidCharacter {
+        /// Zero-based index of the offending label.
+        index: usize,
+        /// The first offending character.
+        ch: char,
+    },
+    /// A label started or ended with a hyphen.
+    HyphenEdge {
+        /// Zero-based index of the offending label.
+        index: usize,
+    },
+    /// The name consists solely of a public suffix (e.g. `co.uk`), so no
+    /// registrable domain exists.
+    IsPublicSuffix {
+        /// The normalized name that turned out to be a bare suffix.
+        name: String,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "domain name is empty"),
+            DomainError::TooLong { len } => {
+                write!(f, "domain name is {len} bytes, exceeding the 253-byte limit")
+            }
+            DomainError::EmptyLabel { index } => {
+                write!(f, "label {index} is empty (consecutive or leading dot)")
+            }
+            DomainError::LabelTooLong { index, len } => {
+                write!(f, "label {index} is {len} bytes, exceeding the 63-byte limit")
+            }
+            DomainError::InvalidCharacter { index, ch } => {
+                write!(f, "label {index} contains invalid character {ch:?}")
+            }
+            DomainError::HyphenEdge { index } => {
+                write!(f, "label {index} starts or ends with a hyphen")
+            }
+            DomainError::IsPublicSuffix { name } => {
+                write!(f, "{name:?} is itself a public suffix; no registrable domain exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}

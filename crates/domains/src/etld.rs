@@ -1,0 +1,121 @@
+//! Registrable-domain (eTLD+1) extraction.
+
+use crate::error::DomainError;
+use crate::name::DomainName;
+use crate::psl::PublicSuffixList;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The registrable domain of a hostname: one label plus the public suffix
+/// (`google.co.uk` for `www.google.co.uk`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegistrableDomain {
+    name: DomainName,
+    /// Number of labels belonging to the public suffix.
+    suffix_labels: usize,
+}
+
+impl RegistrableDomain {
+    /// Extracts the registrable domain of `domain` under `psl`.
+    ///
+    /// ```
+    /// use wwv_domains::{DomainName, PublicSuffixList, RegistrableDomain};
+    /// let psl = PublicSuffixList::embedded();
+    /// let d: DomainName = "maps.google.co.uk".parse().unwrap();
+    /// let r = RegistrableDomain::of(&d, &psl).unwrap();
+    /// assert_eq!(r.as_str(), "google.co.uk");
+    /// assert_eq!(r.label(), "google");
+    /// assert_eq!(r.suffix(), "co.uk");
+    /// ```
+    pub fn of(domain: &DomainName, psl: &PublicSuffixList) -> Result<Self, DomainError> {
+        let m = psl.checked_suffix(domain)?;
+        let keep = m.suffix_labels + 1;
+        let text = domain.rightmost(keep).expect("checked_suffix guarantees keep <= labels");
+        Ok(RegistrableDomain {
+            name: DomainName::parse(text).expect("substring of a valid name is valid"),
+            suffix_labels: m.suffix_labels,
+        })
+    }
+
+    /// The registrable domain as a string.
+    pub fn as_str(&self) -> &str {
+        self.name.as_str()
+    }
+
+    /// The underlying validated name.
+    pub fn domain(&self) -> &DomainName {
+        &self.name
+    }
+
+    /// The single label left of the public suffix (`google` in
+    /// `google.co.uk`). This is the unit the paper merges across ccTLDs.
+    pub fn label(&self) -> &str {
+        self.name.labels().next().expect("validated non-empty")
+    }
+
+    /// The public suffix portion (`co.uk` in `google.co.uk`).
+    pub fn suffix(&self) -> &str {
+        self.name.rightmost(self.suffix_labels).expect("suffix labels within bounds")
+    }
+}
+
+impl fmt::Display for RegistrableDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::embedded()
+    }
+
+    #[test]
+    fn extracts_etld_plus_one() {
+        let d = DomainName::parse("deep.sub.example.com").unwrap();
+        let r = RegistrableDomain::of(&d, &psl()).unwrap();
+        assert_eq!(r.as_str(), "example.com");
+        assert_eq!(r.label(), "example");
+        assert_eq!(r.suffix(), "com");
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let d = DomainName::parse("news.bbc.co.uk").unwrap();
+        let r = RegistrableDomain::of(&d, &psl()).unwrap();
+        assert_eq!(r.as_str(), "bbc.co.uk");
+        assert_eq!(r.suffix(), "co.uk");
+    }
+
+    #[test]
+    fn bare_suffix_is_error() {
+        let d = DomainName::parse("com.br").unwrap();
+        assert!(RegistrableDomain::of(&d, &psl()).is_err());
+    }
+
+    #[test]
+    fn unknown_tld_default_rule() {
+        let d = DomainName::parse("a.b.weirdtld").unwrap();
+        let r = RegistrableDomain::of(&d, &psl()).unwrap();
+        assert_eq!(r.as_str(), "b.weirdtld");
+    }
+
+    #[test]
+    fn idempotent_on_registrable_domain() {
+        let d = DomainName::parse("example.com").unwrap();
+        let r = RegistrableDomain::of(&d, &psl()).unwrap();
+        let again = RegistrableDomain::of(r.domain(), &psl()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn wildcard_suffix_registrable() {
+        let d = DomainName::parse("a.shop.foo.ck").unwrap();
+        let r = RegistrableDomain::of(&d, &psl()).unwrap();
+        // `*.ck` makes `foo.ck` the suffix, so eTLD+1 is `shop.foo.ck`.
+        assert_eq!(r.as_str(), "shop.foo.ck");
+    }
+}

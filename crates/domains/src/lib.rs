@@ -1,0 +1,34 @@
+//! # wwv-domains
+//!
+//! Domain-name handling substrate for the `wwv` workspace.
+//!
+//! The IMC'22 paper aggregates Chrome telemetry at *domain* granularity and,
+//! when comparing sites across countries, merges domains that differ only in
+//! their country-code suffix (e.g. `google.co.uk` is folded into `google.com`)
+//! using the Mozilla Public Suffix List. This crate provides everything needed
+//! for that pipeline:
+//!
+//! * [`DomainName`] — a validated, normalized (lower-cased, no trailing dot)
+//!   domain name with label-level accessors.
+//! * [`psl`] — a Public Suffix List implementation (normal, wildcard, and
+//!   exception rules) over an embedded snapshot covering the suffixes used by
+//!   the `wwv-world` site universe.
+//! * [`etld`] — registrable-domain (eTLD+1) extraction.
+//! * [`merge`] — derivation of a cross-country **site key**: the label left of
+//!   the public suffix, which is the unit the paper compares across countries.
+//!   This reproduces the paper's known imperfection: unrelated sites sharing a
+//!   left-most label (the paper's `top.com` vs `top.gg` example) collide.
+//!
+//! All types are `serde`-serializable so higher layers can persist datasets.
+
+pub mod error;
+pub mod etld;
+pub mod merge;
+pub mod name;
+pub mod psl;
+
+pub use error::DomainError;
+pub use etld::RegistrableDomain;
+pub use merge::SiteKey;
+pub use name::DomainName;
+pub use psl::{PublicSuffixList, SuffixMatch};

@@ -1,0 +1,116 @@
+//! Cross-country site merging (§3.1, "Aggregating Sites Across Domains").
+//!
+//! Top sites are often hosted under several ccTLDs (`google.com`,
+//! `google.co.uk`, `google.de`, …). When comparing sites across countries the
+//! paper folds these together. We reproduce that by reducing each registrable
+//! domain to its [`SiteKey`]: the single label left of the public suffix.
+//!
+//! The paper notes this process is imperfect — `top.com` (a crypto exchange)
+//! and `top.gg` (a Discord-server ranking) collide. The same collision exists
+//! here by construction, and is exercised in tests.
+
+use crate::error::DomainError;
+use crate::etld::RegistrableDomain;
+use crate::name::DomainName;
+use crate::psl::PublicSuffixList;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cross-country identity of a website: the eTLD+1 label with the public
+/// suffix stripped (`google` for both `google.com` and `google.co.uk`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteKey(String);
+
+impl SiteKey {
+    /// Derives the site key of a hostname.
+    ///
+    /// ```
+    /// use wwv_domains::{DomainName, PublicSuffixList, SiteKey};
+    /// let psl = PublicSuffixList::embedded();
+    /// let uk: DomainName = "www.google.co.uk".parse().unwrap();
+    /// let us: DomainName = "google.com".parse().unwrap();
+    /// assert_eq!(SiteKey::of(&uk, &psl).unwrap(), SiteKey::of(&us, &psl).unwrap());
+    /// ```
+    pub fn of(domain: &DomainName, psl: &PublicSuffixList) -> Result<Self, DomainError> {
+        let reg = RegistrableDomain::of(domain, psl)?;
+        Ok(SiteKey(reg.label().to_owned()))
+    }
+
+    /// Derives the site key from an already-extracted registrable domain.
+    pub fn of_registrable(reg: &RegistrableDomain) -> Self {
+        SiteKey(reg.label().to_owned())
+    }
+
+    /// Builds a site key directly from a label, validating label syntax.
+    pub fn from_label(label: &str) -> Result<Self, DomainError> {
+        // Reuse DomainName validation on the single label.
+        let d = DomainName::parse(label)?;
+        if d.label_count() != 1 {
+            return Err(DomainError::InvalidCharacter { index: 0, ch: '.' });
+        }
+        Ok(SiteKey(d.as_str().to_owned()))
+    }
+
+    /// The key as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SiteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for SiteKey {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::embedded()
+    }
+
+    fn key(s: &str) -> SiteKey {
+        SiteKey::of(&DomainName::parse(s).unwrap(), &psl()).unwrap()
+    }
+
+    #[test]
+    fn cctld_variants_merge() {
+        assert_eq!(key("google.com"), key("google.co.uk"));
+        assert_eq!(key("google.com"), key("www.google.com.br"));
+        assert_eq!(key("amazon.de"), key("amazon.co.jp"));
+    }
+
+    #[test]
+    fn distinct_sites_stay_distinct() {
+        assert_ne!(key("google.com"), key("youtube.com"));
+    }
+
+    #[test]
+    fn known_collision_reproduced() {
+        // The paper's documented imperfection: unrelated sites sharing the
+        // left-most label collide after merging.
+        assert_eq!(key("top.com"), key("top.gg"));
+    }
+
+    #[test]
+    fn from_label_validates() {
+        assert!(SiteKey::from_label("google").is_ok());
+        assert!(SiteKey::from_label("").is_err());
+        assert!(SiteKey::from_label("a.b").is_err());
+        assert!(SiteKey::from_label("UPPER").map(|k| k.as_str().to_owned()).unwrap() == "upper");
+    }
+
+    #[test]
+    fn subdomains_do_not_leak_into_key() {
+        assert_eq!(key("mail.google.com").as_str(), "google");
+        assert_eq!(key("a.b.c.d.example.co.kr").as_str(), "example");
+    }
+}

@@ -1,0 +1,337 @@
+//! Public Suffix List (PSL) rules and matching.
+//!
+//! Implements the [PSL algorithm](https://publicsuffix.org/list/) over an
+//! embedded snapshot of rules. The snapshot covers every suffix used by the
+//! `wwv-world` site universe (all 45 study countries plus the generic TLDs the
+//! paper's top sites live under) rather than vendoring the full Mozilla list;
+//! the matching semantics — normal rules, wildcard rules (`*.ck`), and
+//! exception rules (`!www.ck`) — are implemented in full.
+
+use crate::error::DomainError;
+use crate::name::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One PSL rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// A literal suffix such as `co.uk`.
+    Normal(String),
+    /// A wildcard rule `*.<base>`; matches any single label followed by base.
+    Wildcard(String),
+    /// An exception rule `!<name>`; overrides a wildcard, making the suffix
+    /// one label shorter.
+    Exception(String),
+}
+
+impl Rule {
+    /// Parses a rule from PSL text syntax (`co.uk`, `*.ck`, `!www.ck`).
+    pub fn parse(text: &str) -> Option<Rule> {
+        let text = text.trim();
+        if text.is_empty() || text.starts_with("//") {
+            return None;
+        }
+        if let Some(rest) = text.strip_prefix('!') {
+            return Some(Rule::Exception(rest.to_ascii_lowercase()));
+        }
+        if let Some(rest) = text.strip_prefix("*.") {
+            return Some(Rule::Wildcard(rest.to_ascii_lowercase()));
+        }
+        Some(Rule::Normal(text.to_ascii_lowercase()))
+    }
+}
+
+/// Result of matching a domain against the list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixMatch {
+    /// The public suffix (e.g. `co.uk` for `www.google.co.uk`).
+    pub suffix: String,
+    /// Number of labels in the suffix.
+    pub suffix_labels: usize,
+    /// Whether the match came from an explicit rule (vs the implicit `*`
+    /// default rule that treats an unknown TLD as a suffix).
+    pub explicit: bool,
+}
+
+/// An in-memory Public Suffix List.
+///
+/// ```
+/// use wwv_domains::{DomainName, PublicSuffixList};
+/// let psl = PublicSuffixList::embedded();
+/// let d: DomainName = "www.google.co.uk".parse().unwrap();
+/// assert_eq!(psl.public_suffix(&d).suffix, "co.uk");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PublicSuffixList {
+    /// Normal rules keyed by their full suffix text.
+    normal: HashMap<String, ()>,
+    /// Wildcard bases (`ck` for `*.ck`).
+    wildcard: HashMap<String, ()>,
+    /// Exception names (`www.ck` for `!www.ck`).
+    exception: HashMap<String, ()>,
+}
+
+impl PublicSuffixList {
+    /// Builds an empty list (only the implicit `*` default rule applies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a list from PSL-syntax lines. Comment lines (`//`) and blank
+    /// lines are skipped.
+    pub fn from_lines<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Self {
+        let mut list = Self::new();
+        for line in lines {
+            if let Some(rule) = Rule::parse(line) {
+                list.insert(rule);
+            }
+        }
+        list
+    }
+
+    /// Adds a rule.
+    pub fn insert(&mut self, rule: Rule) {
+        match rule {
+            Rule::Normal(s) => {
+                self.normal.insert(s, ());
+            }
+            Rule::Wildcard(s) => {
+                self.wildcard.insert(s, ());
+            }
+            Rule::Exception(s) => {
+                self.exception.insert(s, ());
+            }
+        }
+    }
+
+    /// Number of rules in the list.
+    pub fn len(&self) -> usize {
+        self.normal.len() + self.wildcard.len() + self.exception.len()
+    }
+
+    /// Whether the list holds no explicit rules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The embedded snapshot used throughout the workspace.
+    pub fn embedded() -> Self {
+        Self::from_lines(EMBEDDED_RULES.iter().copied())
+    }
+
+    /// Computes the public suffix of `domain` per the PSL algorithm:
+    ///
+    /// 1. Exception rules win outright; the suffix is the exception minus its
+    ///    left-most label.
+    /// 2. Otherwise the longest matching (normal or wildcard) rule wins.
+    /// 3. If nothing matches, the implicit `*` rule makes the TLD the suffix.
+    pub fn public_suffix(&self, domain: &DomainName) -> SuffixMatch {
+        let total = domain.label_count();
+        // Exception rules: check every right-aligned slice.
+        for n in (1..=total).rev() {
+            let candidate = domain.rightmost(n).expect("n <= total");
+            if self.exception.contains_key(candidate) {
+                // Suffix is the exception with its left-most label removed.
+                let (_, rest) = candidate.split_once('.').unwrap_or((candidate, ""));
+                let suffix = if rest.is_empty() { candidate } else { rest };
+                return SuffixMatch {
+                    suffix: suffix.to_owned(),
+                    suffix_labels: suffix.split('.').count(),
+                    explicit: true,
+                };
+            }
+        }
+        // Longest normal/wildcard match.
+        for n in (1..=total).rev() {
+            let candidate = domain.rightmost(n).expect("n <= total");
+            if self.normal.contains_key(candidate) {
+                return SuffixMatch { suffix: candidate.to_owned(), suffix_labels: n, explicit: true };
+            }
+            // `*.base` matches candidate when candidate = <label>.<base>.
+            if n >= 2 {
+                let (_, base) = candidate.split_once('.').expect("n >= 2 has a dot");
+                if self.wildcard.contains_key(base) {
+                    return SuffixMatch { suffix: candidate.to_owned(), suffix_labels: n, explicit: true };
+                }
+            }
+        }
+        // Implicit default rule `*`.
+        let tld = domain.tld().to_owned();
+        SuffixMatch { suffix: tld, suffix_labels: 1, explicit: false }
+    }
+
+    /// Returns `true` when the whole domain is itself a public suffix.
+    pub fn is_public_suffix(&self, domain: &DomainName) -> bool {
+        let m = self.public_suffix(domain);
+        m.suffix_labels == domain.label_count()
+    }
+
+    /// Validates that a registrable domain can be extracted, returning the
+    /// match on success.
+    pub fn checked_suffix(&self, domain: &DomainName) -> Result<SuffixMatch, DomainError> {
+        let m = self.public_suffix(domain);
+        if m.suffix_labels >= domain.label_count() {
+            return Err(DomainError::IsPublicSuffix { name: domain.as_str().to_owned() });
+        }
+        Ok(m)
+    }
+}
+
+/// Embedded rule snapshot.
+///
+/// Generic TLDs and the country suffixes for all 45 study countries
+/// (Appendix A of the paper), including multi-label registry suffixes, one
+/// wildcard family and its exception (mirroring the canonical `ck` example)
+/// so that all three rule kinds are exercised.
+pub const EMBEDDED_RULES: &[&str] = &[
+    // Generic TLDs.
+    "com", "org", "net", "io", "gg", "tv", "me", "co", "app", "dev", "info", "biz", "xyz",
+    "online", "site", "live", "wiki", "cx", "fm", "gov", "edu", "mil", "int",
+    // Africa.
+    "dz", "com.dz", "gov.dz", "edu.dz",
+    "eg", "com.eg", "gov.eg", "edu.eg",
+    "ke", "co.ke", "go.ke", "ac.ke",
+    "ma", "gov.ma", "ac.ma", "co.ma",
+    "ng", "com.ng", "gov.ng", "edu.ng",
+    "tn", "com.tn", "gov.tn",
+    "za", "co.za", "gov.za", "ac.za", "org.za",
+    // Asia.
+    "jp", "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    "in", "co.in", "gov.in", "ac.in", "org.in", "net.in",
+    "kr", "co.kr", "go.kr", "ac.kr", "or.kr", "ne.kr",
+    "tr", "com.tr", "gov.tr", "edu.tr", "org.tr",
+    "vn", "com.vn", "gov.vn", "edu.vn", "net.vn",
+    "tw", "com.tw", "gov.tw", "edu.tw", "org.tw",
+    "id", "co.id", "go.id", "ac.id", "or.id",
+    "th", "co.th", "go.th", "ac.th", "in.th",
+    "ph", "com.ph", "gov.ph", "edu.ph",
+    "hk", "com.hk", "gov.hk", "edu.hk", "org.hk",
+    // Europe.
+    "uk", "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk",
+    "fr", "gouv.fr", "asso.fr",
+    "ru", "com.ru", "org.ru",
+    "de",
+    "it", "gov.it", "edu.it",
+    "es", "com.es", "gob.es", "edu.es",
+    "nl",
+    "pl", "com.pl", "net.pl", "org.pl", "gov.pl", "edu.pl",
+    "ua", "com.ua", "gov.ua", "edu.ua", "net.ua", "in.ua",
+    "be", "ac.be",
+    // North America.
+    "ca", "gc.ca", "on.ca", "qc.ca", "bc.ca",
+    "cr", "co.cr", "go.cr", "ac.cr",
+    "do", "com.do", "gob.do", "edu.do", "org.do",
+    "gt", "com.gt", "gob.gt", "edu.gt",
+    "mx", "com.mx", "gob.mx", "edu.mx", "org.mx",
+    "pa", "com.pa", "gob.pa", "edu.pa",
+    "us", "k12.ca.us",
+    // Oceania.
+    "au", "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    "nz", "co.nz", "govt.nz", "ac.nz", "org.nz", "net.nz",
+    // South America.
+    "ar", "com.ar", "gob.ar", "edu.ar", "org.ar", "net.ar",
+    "bo", "com.bo", "gob.bo", "edu.bo",
+    "br", "com.br", "gov.br", "edu.br", "org.br", "net.br",
+    "cl", "gob.cl", "gov.cl",
+    "com.co", "gov.co", "edu.co", "org.co", "net.co",
+    "ec", "com.ec", "gob.ec", "edu.ec",
+    "pe", "com.pe", "gob.pe", "edu.pe", "org.pe",
+    "uy", "com.uy", "gub.uy", "edu.uy", "org.uy",
+    "ve", "com.ve", "gob.ve", "edu.ve", "org.ve",
+    // Wildcard family with exception (canonical PSL example).
+    "*.ck", "!www.ck",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::embedded()
+    }
+
+    fn dom(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn normal_rule_longest_wins() {
+        let m = psl().public_suffix(&dom("www.google.co.uk"));
+        assert_eq!(m.suffix, "co.uk");
+        assert_eq!(m.suffix_labels, 2);
+        assert!(m.explicit);
+    }
+
+    #[test]
+    fn single_label_tld() {
+        let m = psl().public_suffix(&dom("example.com"));
+        assert_eq!(m.suffix, "com");
+        assert!(m.explicit);
+    }
+
+    #[test]
+    fn unknown_tld_uses_default_rule() {
+        let m = psl().public_suffix(&dom("foo.unknowntld"));
+        assert_eq!(m.suffix, "unknowntld");
+        assert!(!m.explicit);
+    }
+
+    #[test]
+    fn wildcard_rule_matches_any_label() {
+        let m = psl().public_suffix(&dom("shop.example.ck"));
+        assert_eq!(m.suffix, "example.ck");
+        assert_eq!(m.suffix_labels, 2);
+    }
+
+    #[test]
+    fn exception_rule_overrides_wildcard() {
+        let m = psl().public_suffix(&dom("www.ck"));
+        assert_eq!(m.suffix, "ck");
+        assert_eq!(m.suffix_labels, 1);
+        let m = psl().public_suffix(&dom("blog.www.ck"));
+        assert_eq!(m.suffix, "ck", "exception applies anywhere right-aligned");
+    }
+
+    #[test]
+    fn bare_suffix_detected() {
+        assert!(psl().is_public_suffix(&dom("co.uk")));
+        assert!(psl().is_public_suffix(&dom("com")));
+        assert!(!psl().is_public_suffix(&dom("google.com")));
+    }
+
+    #[test]
+    fn checked_suffix_rejects_bare_suffix() {
+        let err = psl().checked_suffix(&dom("co.uk")).unwrap_err();
+        assert!(matches!(err, DomainError::IsPublicSuffix { .. }));
+    }
+
+    #[test]
+    fn rule_parse_handles_all_kinds() {
+        assert_eq!(Rule::parse("co.uk"), Some(Rule::Normal("co.uk".into())));
+        assert_eq!(Rule::parse("*.ck"), Some(Rule::Wildcard("ck".into())));
+        assert_eq!(Rule::parse("!www.ck"), Some(Rule::Exception("www.ck".into())));
+        assert_eq!(Rule::parse("// comment"), None);
+        assert_eq!(Rule::parse("   "), None);
+    }
+
+    #[test]
+    fn from_lines_skips_comments() {
+        let list = PublicSuffixList::from_lines(["// header", "com", "", "*.ck", "!www.ck"]);
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn study_country_suffixes_present() {
+        // Spot-check one multi-label suffix per continent.
+        for (name, want) in [
+            ("x.co.za", "co.za"),
+            ("x.co.kr", "co.kr"),
+            ("x.co.uk", "co.uk"),
+            ("x.com.mx", "com.mx"),
+            ("x.com.au", "com.au"),
+            ("x.com.br", "com.br"),
+        ] {
+            assert_eq!(psl().public_suffix(&dom(name)).suffix, want);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for domain parsing and PSL laws.
+
+use proptest::prelude::*;
+use wwv_domains::{DomainName, PublicSuffixList, RegistrableDomain, SiteKey};
+
+/// Strategy for syntactically valid labels.
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?").unwrap()
+}
+
+/// Strategy for valid domain names of 1..=5 labels.
+fn valid_domain() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label(), 1..=5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    /// Parsing a valid name succeeds and normalization is idempotent.
+    #[test]
+    fn parse_idempotent(raw in valid_domain()) {
+        let d = DomainName::parse(&raw).unwrap();
+        let d2 = DomainName::parse(d.as_str()).unwrap();
+        prop_assert_eq!(d.as_str(), d2.as_str());
+    }
+
+    /// Parsing is case-insensitive.
+    #[test]
+    fn parse_case_insensitive(raw in valid_domain()) {
+        let upper = raw.to_ascii_uppercase();
+        let a = DomainName::parse(&raw).unwrap();
+        let b = DomainName::parse(&upper).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Label iteration reconstructs the original string.
+    #[test]
+    fn labels_roundtrip(raw in valid_domain()) {
+        let d = DomainName::parse(&raw).unwrap();
+        let joined: Vec<&str> = d.labels().collect();
+        prop_assert_eq!(joined.join("."), d.as_str());
+    }
+
+    /// `rightmost(n)` always produces a parseable suffix whose label count is n.
+    #[test]
+    fn rightmost_is_consistent(raw in valid_domain(), n in 1usize..=5) {
+        let d = DomainName::parse(&raw).unwrap();
+        if let Some(s) = d.rightmost(n) {
+            let sub = DomainName::parse(s).unwrap();
+            prop_assert_eq!(sub.label_count(), n);
+            prop_assert!(d.as_str().ends_with(s));
+        } else {
+            prop_assert!(n == 0 || n > d.label_count());
+        }
+    }
+
+    /// The public suffix returned always right-aligns with the domain and has
+    /// at least one label; the registrable domain, when it exists, is the
+    /// suffix plus exactly one label.
+    #[test]
+    fn psl_suffix_laws(raw in valid_domain()) {
+        let psl = PublicSuffixList::embedded();
+        let d = DomainName::parse(&raw).unwrap();
+        let m = psl.public_suffix(&d);
+        prop_assert!(m.suffix_labels >= 1);
+        prop_assert!(m.suffix_labels <= d.label_count());
+        let dotted = format!(".{}", m.suffix);
+        prop_assert!(d.as_str() == m.suffix || d.as_str().ends_with(&dotted));
+
+        match RegistrableDomain::of(&d, &psl) {
+            Ok(reg) => {
+                prop_assert_eq!(reg.domain().label_count(), m.suffix_labels + 1);
+                prop_assert!(d.as_str().ends_with(reg.as_str()));
+                // Extraction is idempotent.
+                let again = RegistrableDomain::of(reg.domain(), &psl).unwrap();
+                prop_assert_eq!(&again, &reg);
+                // Site key equals the registrable domain's first label.
+                let k = SiteKey::of(&d, &psl).unwrap();
+                prop_assert_eq!(k.as_str(), reg.label());
+            }
+            Err(_) => {
+                // Only legitimate when the whole name is a public suffix.
+                prop_assert!(psl.is_public_suffix(&d));
+            }
+        }
+    }
+
+    /// Prepending a label never changes the registrable domain.
+    #[test]
+    fn subdomain_invariance(raw in valid_domain(), extra in label()) {
+        let psl = PublicSuffixList::embedded();
+        let d = DomainName::parse(&raw).unwrap();
+        if let Ok(reg) = RegistrableDomain::of(&d, &psl) {
+            let sub_raw = format!("{extra}.{raw}");
+            if let Ok(sub) = DomainName::parse(&sub_raw) {
+                let reg2 = RegistrableDomain::of(&sub, &psl).unwrap();
+                // Wildcard rules (*.ck) legitimately shift the suffix when the
+                // original registrable domain sat directly under the wildcard
+                // base; everywhere else the registrable domain is invariant.
+                if reg.suffix() != "ck" || d.label_count() > reg.domain().label_count() {
+                    prop_assert_eq!(reg2, reg);
+                }
+            }
+        }
+    }
+}

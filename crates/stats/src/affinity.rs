@@ -1,0 +1,325 @@
+//! Affinity propagation clustering (Frey & Dueck 2007).
+//!
+//! The paper clusters countries by browsing similarity with affinity
+//! propagation because it does not require choosing the number of clusters
+//! and accepts an arbitrary similarity matrix (§5.3.1). This implementation
+//! uses the standard responsibility/availability message-passing updates with
+//! damping, the median-similarity preference default, and convergence
+//! detection on a stable exemplar set.
+
+use crate::matrix::SymmetricMatrix;
+use crate::quantile::median;
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for affinity propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffinityParams {
+    /// Damping factor λ ∈ [0.5, 1). Messages update as
+    /// `λ·old + (1−λ)·new`; higher values converge more slowly but avoid
+    /// oscillation.
+    pub damping: f64,
+    /// Hard iteration cap.
+    pub max_iter: usize,
+    /// Number of consecutive iterations the exemplar set must stay unchanged
+    /// to declare convergence.
+    pub convergence_iter: usize,
+    /// Self-similarity (preference) for every point; `None` uses the median
+    /// of the off-diagonal similarities (the standard default, yielding a
+    /// moderate number of clusters).
+    pub preference: Option<f64>,
+}
+
+impl Default for AffinityParams {
+    fn default() -> Self {
+        AffinityParams { damping: 0.7, max_iter: 1000, convergence_iter: 20, preference: None }
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// `labels[i]` is the cluster index of point `i` (0-based, contiguous).
+    pub labels: Vec<usize>,
+    /// Indices of the exemplar point of each cluster.
+    pub exemplars: Vec<usize>,
+    /// Whether the run converged before `max_iter`.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels.iter().enumerate().filter(|(_, l)| **l == c).map(|(i, _)| i).collect()
+    }
+}
+
+/// Affinity propagation over a symmetric similarity matrix.
+#[derive(Debug, Clone)]
+pub struct AffinityPropagation {
+    params: AffinityParams,
+}
+
+impl AffinityPropagation {
+    /// Creates a runner with the given parameters.
+    pub fn new(params: AffinityParams) -> Self {
+        AffinityPropagation { params }
+    }
+
+    /// Clusters the points of `similarity` (larger = more similar).
+    ///
+    /// Returns `None` for an empty matrix or invalid damping.
+    pub fn fit(&self, similarity: &SymmetricMatrix) -> Option<Clustering> {
+        let n = similarity.n();
+        if n == 0 || !(0.5..1.0).contains(&self.params.damping) {
+            return None;
+        }
+        if n == 1 {
+            return Some(Clustering { labels: vec![0], exemplars: vec![0], converged: true, iterations: 0 });
+        }
+        let preference = match self.params.preference {
+            Some(p) => p,
+            None => median(&similarity.off_diagonal()).expect("n >= 2 has off-diagonal cells"),
+        };
+        // Dense similarity with preference on the diagonal. Exactly symmetric
+        // inputs make the message passing oscillate between equivalent
+        // configurations (the same degeneracy scikit-learn breaks with random
+        // noise), so a deterministic, index-derived jitter far below any real
+        // similarity difference is added to off-diagonal cells.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in 0..i {
+                let v = similarity.get(i, j);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let range = (hi - lo).max(preference.abs()).max(1e-12);
+        let jitter_scale = range * 1e-9;
+        let mut s = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                s[i * n + j] = if i == j {
+                    preference
+                } else {
+                    let h = (i.wrapping_mul(2_654_435_761) ^ j.wrapping_mul(40_503)) % 997;
+                    similarity.get(i, j) + jitter_scale * (h as f64 / 997.0)
+                };
+            }
+        }
+        let lam = self.params.damping;
+        let mut r = vec![0.0f64; n * n];
+        let mut a = vec![0.0f64; n * n];
+        let mut prev_exemplars: Vec<usize> = Vec::new();
+        let mut stable = 0usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for it in 1..=self.params.max_iter {
+            iterations = it;
+            // Responsibilities: r(i,k) = s(i,k) − max_{k'≠k}(a(i,k') + s(i,k')).
+            for i in 0..n {
+                // Find the largest and second-largest of a + s over k'.
+                let mut best = f64::NEG_INFINITY;
+                let mut second = f64::NEG_INFINITY;
+                let mut best_k = 0usize;
+                for k in 0..n {
+                    let v = a[i * n + k] + s[i * n + k];
+                    if v > best {
+                        second = best;
+                        best = v;
+                        best_k = k;
+                    } else if v > second {
+                        second = v;
+                    }
+                }
+                for k in 0..n {
+                    let cap = if k == best_k { second } else { best };
+                    let new_r = s[i * n + k] - cap;
+                    r[i * n + k] = lam * r[i * n + k] + (1.0 - lam) * new_r;
+                }
+            }
+            // Availabilities.
+            for k in 0..n {
+                // Sum of positive responsibilities toward k (excluding r(k,k)).
+                let mut pos_sum = 0.0;
+                for i in 0..n {
+                    if i != k {
+                        pos_sum += r[i * n + k].max(0.0);
+                    }
+                }
+                for i in 0..n {
+                    let new_a = if i == k {
+                        pos_sum
+                    } else {
+                        let without_i = pos_sum - r[i * n + k].max(0.0);
+                        (r[k * n + k] + without_i).min(0.0)
+                    };
+                    a[i * n + k] = lam * a[i * n + k] + (1.0 - lam) * new_a;
+                }
+            }
+            // Current exemplars: points where r(k,k) + a(k,k) > 0.
+            let exemplars: Vec<usize> =
+                (0..n).filter(|&k| r[k * n + k] + a[k * n + k] > 0.0).collect();
+            if !exemplars.is_empty() && exemplars == prev_exemplars {
+                stable += 1;
+                if stable >= self.params.convergence_iter {
+                    converged = true;
+                    break;
+                }
+            } else {
+                stable = 0;
+                prev_exemplars = exemplars;
+            }
+        }
+
+        let mut exemplars: Vec<usize> =
+            (0..n).filter(|&k| r[k * n + k] + a[k * n + k] > 0.0).collect();
+        if exemplars.is_empty() {
+            // Degenerate fallback: the point with the best net self-message.
+            let best = (0..n)
+                .max_by(|&x, &y| {
+                    let vx = r[x * n + x] + a[x * n + x];
+                    let vy = r[y * n + y] + a[y * n + y];
+                    vx.partial_cmp(&vy).expect("finite messages")
+                })
+                .expect("n >= 1");
+            exemplars = vec![best];
+        }
+        // Assign every point to its most similar exemplar; exemplars to themselves.
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            if let Some(pos) = exemplars.iter().position(|&e| e == i) {
+                labels[i] = pos;
+                continue;
+            }
+            let mut best_c = 0usize;
+            let mut best_sim = f64::NEG_INFINITY;
+            for (c, &e) in exemplars.iter().enumerate() {
+                let sim = s[i * n + e];
+                if sim > best_sim {
+                    best_sim = sim;
+                    best_c = c;
+                }
+            }
+            labels[i] = best_c;
+        }
+        Some(Clustering { labels, exemplars, converged, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a similarity matrix from squared-distance of 1-D points:
+    /// s(i,j) = −(x_i − x_j)².
+    fn sim_from_points(points: &[f64]) -> SymmetricMatrix {
+        SymmetricMatrix::build(points.len(), |i, j| -((points[i] - points[j]).powi(2)))
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let clustering = AffinityPropagation::new(AffinityParams::default())
+            .fit(&sim_from_points(&points))
+            .unwrap();
+        assert_eq!(clustering.k(), 2, "labels: {:?}", clustering.labels);
+        assert!(clustering.converged);
+        // First three points together, last three together.
+        assert_eq!(clustering.labels[0], clustering.labels[1]);
+        assert_eq!(clustering.labels[1], clustering.labels[2]);
+        assert_eq!(clustering.labels[3], clustering.labels[4]);
+        assert_eq!(clustering.labels[4], clustering.labels[5]);
+        assert_ne!(clustering.labels[0], clustering.labels[3]);
+    }
+
+    #[test]
+    fn three_blobs() {
+        let points = [0.0, 0.2, 5.0, 5.2, 10.0, 10.2];
+        let clustering = AffinityPropagation::new(AffinityParams::default())
+            .fit(&sim_from_points(&points))
+            .unwrap();
+        assert_eq!(clustering.k(), 3, "labels: {:?}", clustering.labels);
+    }
+
+    #[test]
+    fn exemplars_belong_to_their_clusters() {
+        let points = [0.0, 0.3, 8.0, 8.5, 20.0];
+        let clustering = AffinityPropagation::new(AffinityParams::default())
+            .fit(&sim_from_points(&points))
+            .unwrap();
+        for (c, &e) in clustering.exemplars.iter().enumerate() {
+            assert_eq!(clustering.labels[e], c, "exemplar must be in its own cluster");
+        }
+    }
+
+    #[test]
+    fn labels_are_contiguous() {
+        let points = [0.0, 1.0, 2.0, 50.0, 51.0];
+        let clustering = AffinityPropagation::new(AffinityParams::default())
+            .fit(&sim_from_points(&points))
+            .unwrap();
+        let max = *clustering.labels.iter().max().unwrap();
+        assert_eq!(max + 1, clustering.k());
+    }
+
+    #[test]
+    fn single_point() {
+        let m = SymmetricMatrix::new(1, 0.0);
+        let c = AffinityPropagation::new(AffinityParams::default()).fit(&m).unwrap();
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.labels, vec![0]);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let m = SymmetricMatrix::new(0, 0.0);
+        assert!(AffinityPropagation::new(AffinityParams::default()).fit(&m).is_none());
+    }
+
+    #[test]
+    fn invalid_damping_rejected() {
+        let m = SymmetricMatrix::new(2, 0.0);
+        let params = AffinityParams { damping: 0.2, ..Default::default() };
+        assert!(AffinityPropagation::new(params).fit(&m).is_none());
+    }
+
+    #[test]
+    fn low_preference_merges_clusters() {
+        // With a very low preference, being an exemplar is costly → one cluster.
+        let points = [0.0, 1.0, 2.0, 3.0];
+        let params = AffinityParams { preference: Some(-1000.0), ..Default::default() };
+        let clustering =
+            AffinityPropagation::new(params).fit(&sim_from_points(&points)).unwrap();
+        assert_eq!(clustering.k(), 1, "labels: {:?}", clustering.labels);
+    }
+
+    #[test]
+    fn high_preference_splits_clusters() {
+        // With preference 0 (= max similarity), every point wants to be its
+        // own exemplar.
+        let points = [0.0, 5.0, 10.0];
+        let params = AffinityParams { preference: Some(0.0), ..Default::default() };
+        let clustering =
+            AffinityPropagation::new(params).fit(&sim_from_points(&points)).unwrap();
+        assert_eq!(clustering.k(), 3);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let points = [0.0, 0.1, 9.0, 9.1];
+        let clustering = AffinityPropagation::new(AffinityParams::default())
+            .fit(&sim_from_points(&points))
+            .unwrap();
+        let total: usize = (0..clustering.k()).map(|c| clustering.members(c).len()).sum();
+        assert_eq!(total, points.len());
+    }
+}

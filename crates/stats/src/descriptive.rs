@@ -1,0 +1,126 @@
+//! Basic descriptive statistics and normalization helpers.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Weighted mean with weights `w`; `None` when lengths differ or the total
+/// weight is not strictly positive.
+pub fn weighted_mean(values: &[f64], w: &[f64]) -> Option<f64> {
+    if values.len() != w.len() {
+        return None;
+    }
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(values.iter().zip(w).map(|(v, w)| v * w).sum::<f64>() / total)
+}
+
+/// Scales `values` in place so they sum to 1.0. Returns `false` (leaving the
+/// input untouched) when the sum is not strictly positive and finite.
+pub fn normalize_in_place(values: &mut [f64]) -> bool {
+    let total: f64 = values.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return false;
+    }
+    for v in values.iter_mut() {
+        *v /= total;
+    }
+    true
+}
+
+/// Cumulative sums: `out[i] = values[0] + … + values[i]`.
+pub fn cumsum(values: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    values
+        .iter()
+        .map(|v| {
+            acc += v;
+            acc
+        })
+        .collect()
+}
+
+/// The paper's §4.3 normalized platform-difference score:
+/// `(a − w) / max(a, w)`, in `[-1, 1]`, positive when `a` dominates.
+///
+/// Returns 0 when both inputs are zero (no traffic on either platform).
+pub fn normalized_difference(a: f64, w: f64) -> f64 {
+    let m = a.max(w);
+    if m <= 0.0 {
+        return 0.0;
+    }
+    (a - w) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        let m = weighted_mean(&[1.0, 3.0], &[1.0, 3.0]).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(weighted_mean(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut v = vec![2.0, 3.0, 5.0];
+        assert!(normalize_in_place(&mut v));
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_sum() {
+        let mut v = vec![0.0, 0.0];
+        assert!(!normalize_in_place(&mut v));
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cumsum_basic() {
+        assert_eq!(cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert!(cumsum(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalized_difference_bounds_and_sign() {
+        assert_eq!(normalized_difference(0.0, 0.0), 0.0);
+        assert!((normalized_difference(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((normalized_difference(1.0, 2.0) + 0.5).abs() < 1e-12);
+        assert_eq!(normalized_difference(5.0, 0.0), 1.0);
+        assert_eq!(normalized_difference(0.0, 5.0), -1.0);
+    }
+}

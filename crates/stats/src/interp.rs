@@ -1,0 +1,163 @@
+//! Monotone cubic interpolation (Fritsch–Carlson / PCHIP).
+//!
+//! `wwv-world` calibrates its traffic-concentration curves by interpolating
+//! the paper's cumulative-share anchor points (Fig. 1) monotonically in
+//! log-rank space; a non-monotone interpolant would produce negative traffic
+//! shares, so plain cubic splines are not an option.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone piecewise-cubic Hermite interpolant through `(x, y)` knots.
+///
+/// If the knot `y` values are non-decreasing, every interpolated value is
+/// non-decreasing too (Fritsch–Carlson tangent limiting). Queries outside the
+/// knot range clamp to the end values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Tangent (dy/dx) at each knot.
+    tangents: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant. Requires at least 2 knots with strictly
+    /// increasing `x`; returns `None` otherwise.
+    pub fn new(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        for pair in points.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return None;
+            }
+        }
+        let n = points.len();
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        // Secant slopes.
+        let d: Vec<f64> =
+            (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])).collect();
+        // Initial tangents: average of adjacent secants (one-sided at ends).
+        let mut m = vec![0.0; n];
+        m[0] = d[0];
+        m[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            m[i] = if d[i - 1] * d[i] <= 0.0 { 0.0 } else { (d[i - 1] + d[i]) / 2.0 };
+        }
+        // Fritsch–Carlson limiting to preserve monotonicity.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                m[i] = 0.0;
+                m[i + 1] = 0.0;
+                continue;
+            }
+            let a = m[i] / d[i];
+            let b = m[i + 1] / d[i];
+            let s = a * a + b * b;
+            if s > 9.0 {
+                let tau = 3.0 / s.sqrt();
+                m[i] = tau * a * d[i];
+                m[i + 1] = tau * b * d[i];
+            }
+        }
+        Some(MonotoneCubic { xs, ys, tangents: m })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped to the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the containing interval.
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let h = self.xs[hi] - self.xs[lo];
+        let t = (x - self.xs[lo]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[lo]
+            + h10 * h * self.tangents[lo]
+            + h01 * self.ys[hi]
+            + h11 * h * self.tangents[hi]
+    }
+
+    /// The knot x-range.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("at least 2 knots"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_knots() {
+        let pts = [(0.0, 1.0), (1.0, 4.0), (3.0, 9.0)];
+        let c = MonotoneCubic::new(&pts).unwrap();
+        for (x, y) in pts {
+            assert!((c.eval(x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_between_monotone_knots() {
+        let pts = [(0.0, 0.0), (1.0, 0.17), (2.0, 0.25), (4.0, 0.70), (6.0, 0.95)];
+        let c = MonotoneCubic::new(&pts).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=600 {
+            let x = i as f64 * 0.01;
+            let y = c.eval(x);
+            assert!(y >= prev - 1e-12, "non-monotone at x = {x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let c = MonotoneCubic::new(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert_eq!(c.eval(-5.0), 1.0);
+        assert_eq!(c.eval(9.0), 2.0);
+    }
+
+    #[test]
+    fn flat_segments_stay_flat() {
+        let c = MonotoneCubic::new(&[(0.0, 1.0), (1.0, 1.0), (2.0, 3.0)]).unwrap();
+        assert!((c.eval(0.5) - 1.0).abs() < 1e-12, "no overshoot on a flat segment");
+    }
+
+    #[test]
+    fn rejects_bad_knots() {
+        assert!(MonotoneCubic::new(&[(0.0, 1.0)]).is_none());
+        assert!(MonotoneCubic::new(&[(1.0, 0.0), (1.0, 1.0)]).is_none());
+        assert!(MonotoneCubic::new(&[(2.0, 0.0), (1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn no_overshoot_beyond_knot_values() {
+        // Monotone data: interpolant must stay within [min, max] of knots.
+        let pts = [(0.0, 0.0), (1.0, 0.9), (2.0, 1.0)];
+        let c = MonotoneCubic::new(&pts).unwrap();
+        for i in 0..=200 {
+            let y = c.eval(i as f64 * 0.01);
+            assert!((0.0..=1.0 + 1e-12).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Kendall's rank correlation (τ-b).
+//!
+//! The paper reports Spearman's ρ; Kendall's τ is the standard robustness
+//! companion (less sensitive to single large displacements). The analysis
+//! suite exposes both so list-agreement findings can be checked under
+//! either statistic.
+
+/// Kendall's τ-b between paired observations, with tie correction.
+///
+/// Returns `None` for mismatched lengths, fewer than 2 points, or when
+/// either side is entirely tied. O(n²) pair enumeration — fine for the
+/// ≤10K-deep lists this workspace compares.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in 0..i {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Tied in both: contributes to neither.
+                continue;
+            }
+            if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if (dx > 0.0) == (dy > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = concordant + discordant + ties_x;
+    let n1 = concordant + discordant + ties_y;
+    if n0 == 0 || n1 == 0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / ((n0 as f64) * (n1 as f64)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&x, &x).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_swap_known_value() {
+        // n=4 with one adjacent swap: 5 concordant, 1 discordant → 4/6.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_handled() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!(tau > 0.8 && tau < 1.0, "tau {tau}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(kendall_tau(&[1.0], &[1.0]).is_none());
+        assert!(kendall_tau(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn tracks_spearman_direction() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + ((v * 7.0).sin() * 5.0)).collect();
+        let tau = kendall_tau(&x, &y).unwrap();
+        let rho = crate::spearman::spearman_rho(&x, &y).unwrap();
+        assert!(tau > 0.0 && rho > 0.0);
+        assert!(tau <= rho + 0.05, "tau {tau} vs rho {rho}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # wwv-stats
+//!
+//! Statistics substrate for the `wwv` workspace: every statistical method the
+//! IMC'22 paper uses, implemented from scratch.
+//!
+//! * [`descriptive`] — means, weighted sums, normalization.
+//! * [`quantile`] — linear-interpolation quantiles, medians, IQR summaries.
+//! * [`ranking`] — ranked lists, percent intersection, rank maps.
+//! * [`spearman`] — Spearman's rank correlation with tie handling (§4.4, §4.5).
+//! * [`rbo`] — rank-biased overlap, classic and traffic-weighted (§5.3.1).
+//! * [`proportion`] — two-proportion tests with Bonferroni correction (§4.3).
+//! * [`affinity`] — affinity propagation clustering (§5.3.1, Fig. 11).
+//! * [`silhouette`] — silhouette coefficients (Fig. 21).
+//! * [`outlier`] — IQR/MAD outlier detection (§5.1, global-vs-national split).
+//! * [`powerlaw`] — Zipf/power-law fitting for traffic-model calibration.
+//! * [`matrix`] — dense symmetric matrices for similarity/distance data.
+
+pub mod affinity;
+pub mod interp;
+pub mod kendall;
+pub mod descriptive;
+pub mod matrix;
+pub mod outlier;
+pub mod powerlaw;
+pub mod proportion;
+pub mod quantile;
+pub mod ranking;
+pub mod rbo;
+pub mod silhouette;
+pub mod spearman;
+
+pub use affinity::{AffinityParams, AffinityPropagation, Clustering};
+pub use interp::MonotoneCubic;
+pub use kendall::kendall_tau;
+pub use matrix::SymmetricMatrix;
+pub use outlier::{mad_outliers, tukey_outliers, OutlierVerdict};
+pub use proportion::{bonferroni_threshold, two_proportion_test, ProportionTest};
+pub use quantile::{iqr, median, quantile, QuantileSummary};
+pub use ranking::RankedList;
+pub use rbo::{rbo_classic, rbo_weighted, WeightModel};
+pub use silhouette::{silhouette_samples, silhouette_score, ClusterSilhouette};
+pub use spearman::spearman_rho;

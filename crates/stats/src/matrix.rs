@@ -1,0 +1,124 @@
+//! Dense symmetric matrices for pairwise similarity/distance data.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric `n × n` matrix storing the lower triangle plus diagonal.
+///
+/// Used for country-pair similarity (RBO) and distance matrices. Writes to
+/// `(i, j)` and `(j, i)` are the same cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricMatrix {
+    n: usize,
+    /// Row-major lower triangle: index(i ≥ j) = i(i+1)/2 + j.
+    data: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// Creates an `n × n` matrix filled with `fill`.
+    pub fn new(n: usize, fill: f64) -> Self {
+        SymmetricMatrix { n, data: vec![fill; n * (n + 1) / 2] }
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        assert!(hi < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// Reads cell `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)]
+    }
+
+    /// Writes cell `(i, j)` (and implicitly `(j, i)`).
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = value;
+    }
+
+    /// All strictly-off-diagonal values (each unordered pair once).
+    pub fn off_diagonal(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n * self.n.saturating_sub(1) / 2);
+        for i in 0..self.n {
+            for j in 0..i {
+                out.push(self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every pair `i ≥ j`.
+    pub fn build<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = SymmetricMatrix::new(n, 0.0);
+        for i in 0..n {
+            for j in 0..=i {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        SymmetricMatrix { n: self.n, data: self.data.iter().map(|v| f(*v)).collect() }
+    }
+
+    /// Full row `i` as a vector of length `n` (including the diagonal).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.n).map(|j| self.get(i, j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_reads_and_writes() {
+        let mut m = SymmetricMatrix::new(3, 0.0);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+    }
+
+    #[test]
+    fn diagonal_independent() {
+        let mut m = SymmetricMatrix::new(2, 1.0);
+        m.set(0, 0, 7.0);
+        assert_eq!(m.get(0, 0), 7.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn off_diagonal_counts_pairs_once() {
+        let m = SymmetricMatrix::build(4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.off_diagonal().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = SymmetricMatrix::new(2, 0.0);
+        m.get(2, 0);
+    }
+
+    #[test]
+    fn build_and_row() {
+        let m = SymmetricMatrix::build(3, |i, j| (i + j) as f64);
+        assert_eq!(m.row(1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = SymmetricMatrix::build(3, |i, j| (i + j) as f64);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.get(2, 1), 6.0);
+        assert_eq!(doubled.n(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Outlier detection (§5.1).
+//!
+//! The paper labels a site "globally popular" when its distance from the
+//! theoretical maximum endemicity is an *outlier* relative to the other
+//! sites. We provide the two standard robust detectors: Tukey's fences
+//! (IQR-based) and the MAD rule.
+
+use crate::quantile::{median, QuantileSummary};
+use serde::{Deserialize, Serialize};
+
+/// Classification of a single value relative to the bulk of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutlierVerdict {
+    /// Below the lower fence.
+    Low,
+    /// Within the fences.
+    Inlier,
+    /// Above the upper fence.
+    High,
+}
+
+/// Tukey's fences: values outside `[Q1 − k·IQR, Q3 + k·IQR]` are outliers.
+/// The conventional `k` is 1.5. Returns one verdict per input value; `None`
+/// for an empty slice.
+pub fn tukey_outliers(values: &[f64], k: f64) -> Option<Vec<OutlierVerdict>> {
+    let s = QuantileSummary::of(values)?;
+    let iqr = s.iqr();
+    let lo = s.q25 - k * iqr;
+    let hi = s.q75 + k * iqr;
+    Some(
+        values
+            .iter()
+            .map(|&v| {
+                if v < lo {
+                    OutlierVerdict::Low
+                } else if v > hi {
+                    OutlierVerdict::High
+                } else {
+                    OutlierVerdict::Inlier
+                }
+            })
+            .collect(),
+    )
+}
+
+/// MAD rule: values whose modified z-score
+/// `0.6745 · |x − median| / MAD` exceeds `threshold` (conventionally 3.5)
+/// are outliers. Falls back to [`tukey_outliers`] when MAD is zero (more
+/// than half the values identical). `None` for an empty slice.
+pub fn mad_outliers(values: &[f64], threshold: f64) -> Option<Vec<OutlierVerdict>> {
+    let med = median(values)?;
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    let mad = median(&deviations)?;
+    if mad <= 0.0 {
+        return tukey_outliers(values, 1.5);
+    }
+    Some(
+        values
+            .iter()
+            .map(|&v| {
+                let z = 0.6745 * (v - med) / mad;
+                if z < -threshold {
+                    OutlierVerdict::Low
+                } else if z > threshold {
+                    OutlierVerdict::High
+                } else {
+                    OutlierVerdict::Inlier
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tukey_flags_extremes() {
+        let mut values: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        values.push(1000.0);
+        let verdicts = tukey_outliers(&values, 1.5).unwrap();
+        assert_eq!(verdicts[20], OutlierVerdict::High);
+        assert!(verdicts[..20].iter().all(|v| *v == OutlierVerdict::Inlier));
+    }
+
+    #[test]
+    fn tukey_flags_low() {
+        let mut values: Vec<f64> = (100..120).map(|x| x as f64).collect();
+        values.push(-500.0);
+        let verdicts = tukey_outliers(&values, 1.5).unwrap();
+        assert_eq!(verdicts[20], OutlierVerdict::Low);
+    }
+
+    #[test]
+    fn mad_flags_extremes() {
+        let mut values: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        values.push(1000.0);
+        let verdicts = mad_outliers(&values, 3.5).unwrap();
+        assert_eq!(verdicts[20], OutlierVerdict::High);
+    }
+
+    #[test]
+    fn mad_zero_falls_back_to_tukey() {
+        // >50% identical values → MAD = 0.
+        let values = [5.0, 5.0, 5.0, 5.0, 5.0, 100.0];
+        let verdicts = mad_outliers(&values, 3.5).unwrap();
+        assert_eq!(verdicts[5], OutlierVerdict::High);
+        assert_eq!(verdicts[0], OutlierVerdict::Inlier);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(tukey_outliers(&[], 1.5).is_none());
+        assert!(mad_outliers(&[], 3.5).is_none());
+    }
+
+    #[test]
+    fn uniform_data_has_no_outliers() {
+        let values = vec![3.0; 10];
+        let verdicts = tukey_outliers(&values, 1.5).unwrap();
+        assert!(verdicts.iter().all(|v| *v == OutlierVerdict::Inlier));
+    }
+
+    #[test]
+    fn larger_k_is_more_permissive() {
+        let mut values: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        values.push(16.0);
+        let tight = tukey_outliers(&values, 0.5).unwrap();
+        let loose = tukey_outliers(&values, 3.0).unwrap();
+        assert_eq!(tight[10], OutlierVerdict::High);
+        assert_eq!(loose[10], OutlierVerdict::Inlier);
+    }
+}

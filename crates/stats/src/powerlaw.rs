@@ -1,0 +1,143 @@
+//! Zipf / power-law fitting for traffic-model calibration.
+//!
+//! The paper's Fig. 1 traffic-concentration curves are the empirical
+//! counterpart of a heavy-tailed rank–share law. `wwv-world` calibrates its
+//! generator against the paper's anchor points; this module provides the
+//! log–log least-squares fit used by calibration tests to confirm the
+//! generated rank–share relationship is indeed power-law-like.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted rank–share power law `share(rank) ≈ c · rank^(−s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Exponent `s` (positive for decreasing shares).
+    pub exponent: f64,
+    /// Scale constant `c`.
+    pub scale: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted share at a 1-based rank.
+    pub fn predict(&self, rank: usize) -> f64 {
+        self.scale * (rank as f64).powf(-self.exponent)
+    }
+}
+
+/// Fits `share ≈ c · rank^(−s)` by least squares in log–log space over
+/// 1-based ranks. Zero or negative shares are skipped (they have no
+/// logarithm). Returns `None` with fewer than 2 usable points.
+pub fn fit_power_law(shares: &[f64]) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = shares
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s > 0.0)
+        .map(|(i, s)| (((i + 1) as f64).ln(), s.ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in &points {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    Some(PowerLawFit { exponent: -slope, scale: intercept.exp(), r_squared })
+}
+
+/// Generates `n` normalized Zipf–Mandelbrot shares
+/// `w_r ∝ 1 / (r + q)^s`, rank 1 first.
+///
+/// The shift `q ≥ 0` flattens the head: `q = 0` is pure Zipf. Returns an
+/// empty vector for `n == 0`.
+pub fn zipf_mandelbrot_shares(n: usize, s: f64, q: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64 + q).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    if total > 0.0 {
+        for v in &mut w {
+            *v /= total;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let shares: Vec<f64> = (1..=100).map(|r| 2.0 * (r as f64).powf(-1.3)).collect();
+        let fit = fit_power_law(&shares).unwrap();
+        assert!((fit.exponent - 1.3).abs() < 1e-9);
+        assert!((fit.scale - 2.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn predict_inverts_fit() {
+        let shares: Vec<f64> = (1..=50).map(|r| (r as f64).powf(-0.8)).collect();
+        let fit = fit_power_law(&shares).unwrap();
+        assert!((fit.predict(10) - shares[9]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_zero_shares() {
+        let shares = [1.0, 0.0, 1.0 / 9.0];
+        // ranks 1 and 3 define share = rank^-2 exactly.
+        let fit = fit_power_law(&shares).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_power_law(&[1.0]).is_none());
+        assert!(fit_power_law(&[0.0, 0.0, 1.0]).is_none());
+        assert!(fit_power_law(&[]).is_none());
+    }
+
+    #[test]
+    fn zipf_shares_normalized_and_decreasing() {
+        let w = zipf_mandelbrot_shares(1000, 1.1, 2.0);
+        assert_eq!(w.len(), 1000);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn mandelbrot_shift_flattens_head() {
+        let pure = zipf_mandelbrot_shares(100, 1.2, 0.0);
+        let shifted = zipf_mandelbrot_shares(100, 1.2, 5.0);
+        // The shifted head captures a smaller fraction.
+        assert!(shifted[0] < pure[0]);
+    }
+
+    #[test]
+    fn zipf_fit_roundtrip() {
+        // A pure Zipf sample should be recovered with the right exponent.
+        let w = zipf_mandelbrot_shares(500, 0.9, 0.0);
+        let fit = fit_power_law(&w).unwrap();
+        assert!((fit.exponent - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_n_is_empty() {
+        assert!(zipf_mandelbrot_shares(0, 1.0, 0.0).is_empty());
+    }
+}

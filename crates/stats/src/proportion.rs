@@ -1,0 +1,248 @@
+//! Proportion tests and multiple-comparison correction (§4.3).
+//!
+//! The paper compares traffic volume per category across platforms with a
+//! binomial proportion test at `p = 0.05` under a Bonferroni correction. We
+//! provide both the pooled two-proportion z-test (used for the large counts
+//! typical of traffic data) and the exact Fisher test (for small counts),
+//! built on an ln-Γ implementation so factorials never overflow.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-proportion comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionTest {
+    /// Sample proportion of group A.
+    pub p_a: f64,
+    /// Sample proportion of group B.
+    pub p_b: f64,
+    /// Test statistic (z for the normal-approximation test; `NaN` for the
+    /// exact test, which has no statistic).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl ProportionTest {
+    /// Whether the difference is significant at family-wise level `alpha`
+    /// over `m` comparisons (Bonferroni).
+    pub fn significant(&self, alpha: f64, m: usize) -> bool {
+        self.p_value < bonferroni_threshold(alpha, m)
+    }
+}
+
+/// Per-comparison significance threshold under Bonferroni correction:
+/// `alpha / m`. `m == 0` is treated as a single comparison.
+pub fn bonferroni_threshold(alpha: f64, m: usize) -> f64 {
+    alpha / m.max(1) as f64
+}
+
+/// Pooled two-proportion z-test (two-sided).
+///
+/// Tests H0: the success probability is equal in both groups, given
+/// `k_a` successes out of `n_a` trials vs `k_b` out of `n_b`. Returns `None`
+/// when either trial count is zero or the pooled proportion is degenerate
+/// (all successes or all failures — no variance to test against).
+pub fn two_proportion_test(k_a: u64, n_a: u64, k_b: u64, n_b: u64) -> Option<ProportionTest> {
+    if n_a == 0 || n_b == 0 || k_a > n_a || k_b > n_b {
+        return None;
+    }
+    let p_a = k_a as f64 / n_a as f64;
+    let p_b = k_b as f64 / n_b as f64;
+    let pooled = (k_a + k_b) as f64 / (n_a + n_b) as f64;
+    let var = pooled * (1.0 - pooled) * (1.0 / n_a as f64 + 1.0 / n_b as f64);
+    if var <= 0.0 {
+        return None;
+    }
+    let z = (p_a - p_b) / var.sqrt();
+    let p_value = 2.0 * normal_sf(z.abs());
+    Some(ProportionTest { p_a, p_b, statistic: z, p_value: p_value.min(1.0) })
+}
+
+/// Two-sided Fisher exact test on the 2×2 table
+/// `[[k_a, n_a-k_a], [k_b, n_b-k_b]]`.
+///
+/// The two-sided p-value sums the probabilities of all tables (with the same
+/// margins) no more likely than the observed one — the "sum of small p"
+/// convention used by R's `fisher.test`.
+pub fn fisher_exact(k_a: u64, n_a: u64, k_b: u64, n_b: u64) -> Option<ProportionTest> {
+    if n_a == 0 || n_b == 0 || k_a > n_a || k_b > n_b {
+        return None;
+    }
+    let successes = k_a + k_b;
+    let total = n_a + n_b;
+    let observed = hypergeom_ln_pmf(k_a, n_a, successes, total);
+    let lo = successes.saturating_sub(n_b);
+    let hi = successes.min(n_a);
+    let mut p_value = 0.0;
+    for k in lo..=hi {
+        let lp = hypergeom_ln_pmf(k, n_a, successes, total);
+        // Tolerance guards against ln-Γ rounding flipping equal-probability
+        // tables in or out of the tail.
+        if lp <= observed + 1e-9 {
+            p_value += lp.exp();
+        }
+    }
+    Some(ProportionTest {
+        p_a: k_a as f64 / n_a as f64,
+        p_b: k_b as f64 / n_b as f64,
+        statistic: f64::NAN,
+        p_value: p_value.min(1.0),
+    })
+}
+
+/// ln P[X = k] for X ~ Hypergeometric(total, successes, draws=n_a):
+/// drawing `n_a` items from `total` of which `successes` are marked.
+fn hypergeom_ln_pmf(k: u64, n_a: u64, successes: u64, total: u64) -> f64 {
+    ln_choose(successes, k) + ln_choose(total - successes, n_a - k) - ln_choose(total, n_a)
+}
+
+/// ln C(n, k); `-inf` when k > n.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+/// Accurate to ~1e-13 for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Standard normal survival function P[Z > z], via the complementary error
+/// function (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let val = poly * (-x_abs * x_abs).exp();
+    if sign_neg {
+        2.0 - val
+    } else {
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..15 {
+            let fact: f64 = (1..=n).map(|i| i as f64).product();
+            assert!((ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normal_sf_known_points() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.959_964) - 0.025).abs() < 1e-4);
+        assert!((normal_sf(-1.0) - 0.841_344_7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn z_test_equal_proportions_not_significant() {
+        let t = two_proportion_test(50, 100, 500, 1000).unwrap();
+        assert!(t.statistic.abs() < 1e-9);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn z_test_detects_large_difference() {
+        let t = two_proportion_test(900, 1000, 100, 1000).unwrap();
+        assert!(t.p_value < 1e-10);
+        assert!(t.statistic > 0.0, "A dominates so z must be positive");
+    }
+
+    #[test]
+    fn z_test_rejects_degenerate_input() {
+        assert!(two_proportion_test(0, 0, 1, 10).is_none());
+        assert!(two_proportion_test(5, 3, 1, 10).is_none());
+        assert!(two_proportion_test(10, 10, 5, 5).is_none(), "pooled p = 1 has no variance");
+    }
+
+    #[test]
+    fn fisher_matches_textbook_example() {
+        // Lady tasting tea: table [[3,1],[1,3]]; two-sided p ≈ 0.4857.
+        let t = fisher_exact(3, 4, 1, 4).unwrap();
+        assert!((t.p_value - 0.485_714_28).abs() < 1e-6, "got {}", t.p_value);
+    }
+
+    #[test]
+    fn fisher_extreme_table() {
+        // [[10, 0], [0, 10]]: p = 2 / C(20,10) ≈ 1.08e-5.
+        let t = fisher_exact(10, 10, 0, 10).unwrap();
+        assert!((t.p_value - 2.0 / 184_756.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fisher_agrees_with_z_on_large_counts() {
+        let f = fisher_exact(300, 1000, 200, 1000).unwrap();
+        let z = two_proportion_test(300, 1000, 200, 1000).unwrap();
+        // Both strongly significant and within an order of magnitude.
+        assert!(f.p_value < 1e-5);
+        assert!(z.p_value < 1e-5);
+    }
+
+    #[test]
+    fn bonferroni_scales_threshold() {
+        assert_eq!(bonferroni_threshold(0.05, 1), 0.05);
+        assert_eq!(bonferroni_threshold(0.05, 10), 0.005);
+        assert_eq!(bonferroni_threshold(0.05, 0), 0.05);
+    }
+
+    #[test]
+    fn significance_respects_bonferroni() {
+        let t = two_proportion_test(60, 100, 40, 100).unwrap();
+        // p ≈ 0.0047: significant alone, not after correcting for 50 tests.
+        assert!(t.significant(0.05, 1));
+        assert!(!t.significant(0.05, 50));
+    }
+}

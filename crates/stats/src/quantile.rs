@@ -1,0 +1,135 @@
+//! Quantiles, medians, and interquartile summaries.
+//!
+//! The paper reports most cross-country statistics as "median and 25–75%
+//! quartiles among the 45 countries"; [`QuantileSummary`] is that triple.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear-interpolation quantile (the "R-7" / NumPy `linear` definition).
+///
+/// `q` must lie in `[0, 1]`. Returns `None` for an empty slice or an
+/// out-of-range `q`. The input need not be sorted.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    Some(quantile_sorted(&sorted, q).expect("bounds checked"))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending, avoiding the
+/// O(n log n) sort for repeated queries.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median; `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Interquartile range (Q3 − Q1); `None` for an empty slice.
+pub fn iqr(values: &[f64]) -> Option<f64> {
+    Some(quantile(values, 0.75)? - quantile(values, 0.25)?)
+}
+
+/// Median plus 25th/75th percentiles — the paper's standard cross-country
+/// summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSummary {
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+}
+
+impl QuantileSummary {
+    /// Computes the summary; `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = values.to_vec();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+        Some(QuantileSummary {
+            q25: quantile_sorted(&sorted, 0.25)?,
+            median: quantile_sorted(&sorted, 0.5)?,
+            q75: quantile_sorted(&sorted, 0.75)?,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q75 - self.q25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(3.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // pos = 0.5 * 3 = 1.5 → halfway between 2 and 3.
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        // pos = 0.25 * 3 = 0.75.
+        assert!((quantile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn iqr_basic() {
+        let v: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(iqr(&v), Some(2.0));
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let v: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let s = QuantileSummary::of(&v).unwrap();
+        assert_eq!(s.median, median(&v).unwrap());
+        assert!((s.iqr() - iqr(&v).unwrap()).abs() < 1e-12);
+        assert!(s.q25 <= s.median && s.median <= s.q75);
+    }
+}

@@ -1,0 +1,234 @@
+//! Ranked lists and set-overlap statistics.
+//!
+//! A [`RankedList`] is an ordered sequence of distinct keys, most popular
+//! first — the shape of every per-(country, platform, metric) list in the
+//! Chrome dataset. Rank values are **1-based** throughout, matching the
+//! paper's convention ("the top ranked website", rank 1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An ordered list of distinct keys, rank 1 first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedList<K: Eq + Hash + Clone> {
+    items: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone> RankedList<K> {
+    /// Builds a list from already-ordered items. Duplicate keys are dropped,
+    /// keeping the first (best-ranked) occurrence.
+    pub fn new<I: IntoIterator<Item = K>>(items: I) -> Self {
+        let mut seen = HashMap::new();
+        let mut out = Vec::new();
+        for item in items {
+            if seen.insert(item.clone(), ()).is_none() {
+                out.push(item);
+            }
+        }
+        RankedList { items: out }
+    }
+
+    /// Builds a list by sorting `(key, score)` pairs descending by score.
+    /// Ties break by the keys' own ordering for determinism.
+    pub fn from_scores<I: IntoIterator<Item = (K, f64)>>(pairs: I) -> Self
+    where
+        K: Ord,
+    {
+        let mut v: Vec<(K, f64)> = pairs.into_iter().collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("non-NaN scores").then_with(|| a.0.cmp(&b.0))
+        });
+        RankedList::new(v.into_iter().map(|(k, _)| k))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates keys best-first.
+    pub fn iter(&self) -> std::slice::Iter<'_, K> {
+        self.items.iter()
+    }
+
+    /// The key at 1-based `rank`, if present.
+    pub fn at_rank(&self, rank: usize) -> Option<&K> {
+        if rank == 0 {
+            return None;
+        }
+        self.items.get(rank - 1)
+    }
+
+    /// 1-based rank of `key`, if present. O(n); use [`RankedList::rank_map`]
+    /// for repeated lookups.
+    pub fn rank_of(&self, key: &K) -> Option<usize> {
+        self.items.iter().position(|k| k == key).map(|i| i + 1)
+    }
+
+    /// A map from key to 1-based rank.
+    pub fn rank_map(&self) -> HashMap<K, usize> {
+        self.items.iter().cloned().enumerate().map(|(i, k)| (k, i + 1)).collect()
+    }
+
+    /// A new list containing only the first `n` entries.
+    pub fn truncate(&self, n: usize) -> RankedList<K> {
+        RankedList { items: self.items.iter().take(n).cloned().collect() }
+    }
+
+    /// The underlying slice, best-first.
+    pub fn as_slice(&self) -> &[K] {
+        &self.items
+    }
+
+    /// Fraction of `self`'s top-`depth` keys also present in `other`'s
+    /// top-`depth` (symmetric; both lists truncated to `depth`).
+    ///
+    /// This is the paper's "percent intersection" (§4.4, §4.5, §5.3.3),
+    /// expressed in `[0, 1]`. The denominator is the smaller of the two
+    /// truncated lengths so short lists are not penalized.
+    pub fn percent_intersection(&self, other: &RankedList<K>, depth: usize) -> f64 {
+        let a = self.truncate(depth);
+        let b = other.truncate(depth);
+        let denom = a.len().min(b.len());
+        if denom == 0 {
+            return 0.0;
+        }
+        let bset: HashMap<&K, ()> = b.items.iter().map(|k| (k, ())).collect();
+        let inter = a.items.iter().filter(|k| bset.contains_key(k)).count();
+        inter as f64 / denom as f64
+    }
+
+    /// Keys present in both top-`depth` truncations, in `self`'s order.
+    pub fn intersection(&self, other: &RankedList<K>, depth: usize) -> Vec<K> {
+        let b = other.truncate(depth);
+        let bset: HashMap<&K, ()> = b.items.iter().map(|k| (k, ())).collect();
+        self.items.iter().take(depth).filter(|k| bset.contains_key(k)).cloned().collect()
+    }
+
+    /// Spearman's rank correlation over the keys common to both top-`depth`
+    /// truncations, using each key's rank within the truncated lists. This is
+    /// the paper's "Spearman within the intersection" (§4.4). Returns `None`
+    /// when fewer than two keys are shared.
+    pub fn spearman_within_intersection(&self, other: &RankedList<K>, depth: usize) -> Option<f64> {
+        let a_ranks = self.truncate(depth).rank_map();
+        let b_ranks = other.truncate(depth).rank_map();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (k, &ra) in &a_ranks {
+            if let Some(&rb) = b_ranks.get(k) {
+                xs.push(ra as f64);
+                ys.push(rb as f64);
+            }
+        }
+        crate::spearman::spearman_rho(&xs, &ys)
+    }
+}
+
+impl<K: Eq + Hash + Clone> FromIterator<K> for RankedList<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        RankedList::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(keys: &[&str]) -> RankedList<String> {
+        RankedList::new(keys.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn dedup_keeps_first() {
+        let l = list(&["a", "b", "a", "c"]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.rank_of(&"a".to_string()), Some(1));
+    }
+
+    #[test]
+    fn from_scores_orders_descending() {
+        let l = RankedList::from_scores([("a".to_string(), 1.0), ("b".to_string(), 5.0), ("c".to_string(), 3.0)]);
+        assert_eq!(l.as_slice(), &["b".to_string(), "c".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn from_scores_ties_break_by_key() {
+        let l = RankedList::from_scores([("b".to_string(), 1.0), ("a".to_string(), 1.0)]);
+        assert_eq!(l.at_rank(1).unwrap(), "a");
+    }
+
+    #[test]
+    fn ranks_are_one_based() {
+        let l = list(&["x", "y"]);
+        assert_eq!(l.at_rank(0), None);
+        assert_eq!(l.at_rank(1).unwrap(), "x");
+        assert_eq!(l.rank_of(&"y".to_string()), Some(2));
+        assert_eq!(l.rank_map()[&"y".to_string()], 2);
+    }
+
+    #[test]
+    fn percent_intersection_identical() {
+        let l = list(&["a", "b", "c"]);
+        assert_eq!(l.percent_intersection(&l, 3), 1.0);
+        assert_eq!(l.percent_intersection(&l, 10), 1.0);
+    }
+
+    #[test]
+    fn percent_intersection_disjoint() {
+        let a = list(&["a", "b"]);
+        let b = list(&["c", "d"]);
+        assert_eq!(a.percent_intersection(&b, 2), 0.0);
+    }
+
+    #[test]
+    fn percent_intersection_partial_and_symmetric() {
+        let a = list(&["a", "b", "c", "d"]);
+        let b = list(&["c", "d", "e", "f"]);
+        assert_eq!(a.percent_intersection(&b, 4), 0.5);
+        assert_eq!(b.percent_intersection(&a, 4), 0.5);
+        // Depth 2: {a,b} vs {c,d} are disjoint.
+        assert_eq!(a.percent_intersection(&b, 2), 0.0);
+    }
+
+    #[test]
+    fn percent_intersection_empty_lists() {
+        let a = list(&[]);
+        let b = list(&["x"]);
+        assert_eq!(a.percent_intersection(&b, 5), 0.0);
+    }
+
+    #[test]
+    fn spearman_within_intersection_perfect() {
+        let a = list(&["a", "b", "c", "d"]);
+        let rho = a.spearman_within_intersection(&a, 4).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_within_intersection_reversed() {
+        let a = list(&["a", "b", "c", "d"]);
+        let b = list(&["d", "c", "b", "a"]);
+        let rho = a.spearman_within_intersection(&b, 4).unwrap();
+        assert!((rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_needs_two_shared() {
+        let a = list(&["a", "b"]);
+        let b = list(&["a", "z"]);
+        assert!(a.spearman_within_intersection(&b, 2).is_none());
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let l = list(&["a", "b", "c"]);
+        assert_eq!(l.truncate(2).len(), 2);
+        assert_eq!(l.truncate(9).len(), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Rank-Biased Overlap (RBO) — classic and traffic-weighted.
+//!
+//! RBO compares two ranked lists, weighting agreement at the top of the
+//! lists more heavily than agreement further down. The classic formulation
+//! (Webber et al. 2010) uses geometric depth weights `p^(d-1)`. The paper
+//! (§5.3.1) replaces the geometric weights with the **empirical web traffic
+//! distribution** from its Fig. 1, so that agreement at rank *d* counts in
+//! proportion to the real share of traffic rank *d* receives. Both weightings
+//! share the same agreement machinery here.
+
+use crate::ranking::RankedList;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Depth-weighting scheme for RBO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightModel {
+    /// Geometric weights `p^(d-1)` with persistence parameter `p ∈ (0, 1)`.
+    Geometric {
+        /// Persistence parameter; larger values look deeper down the lists.
+        p: f64,
+    },
+    /// Empirical per-rank weights: `weights[d-1]` is the weight of depth `d`
+    /// (e.g. the share of traffic captured by the site at rank `d`). Depths
+    /// beyond the vector get weight 0.
+    Empirical {
+        /// Per-rank weights, rank 1 first. Need not be normalized.
+        weights: Vec<f64>,
+    },
+}
+
+impl WeightModel {
+    /// Weight of 1-based depth `d`.
+    pub fn weight(&self, d: usize) -> f64 {
+        match self {
+            WeightModel::Geometric { p } => p.powi(d as i32 - 1),
+            WeightModel::Empirical { weights } => weights.get(d - 1).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Agreement profile `A_d` for depths `1..=depth`: the proportion of overlap
+/// between the two depth-`d` prefixes, `|S_:d ∩ T_:d| / d`.
+pub fn agreement_profile<K: Eq + Hash + Clone>(
+    a: &RankedList<K>,
+    b: &RankedList<K>,
+    depth: usize,
+) -> Vec<f64> {
+    let mut seen_a: HashSet<&K> = HashSet::new();
+    let mut seen_b: HashSet<&K> = HashSet::new();
+    let mut both: HashSet<&K> = HashSet::new();
+    let mut out = Vec::with_capacity(depth);
+    for d in 1..=depth {
+        let ka = a.at_rank(d);
+        let kb = b.at_rank(d);
+        if let Some(ka) = ka {
+            seen_a.insert(ka);
+        }
+        if let Some(kb) = kb {
+            seen_b.insert(kb);
+        }
+        // New intersections at depth d can only involve the keys introduced
+        // at depth d; `both` deduplicates the ka == kb case.
+        if let Some(ka) = ka {
+            if seen_b.contains(ka) {
+                both.insert(ka);
+            }
+        }
+        if let Some(kb) = kb {
+            if seen_a.contains(kb) {
+                both.insert(kb);
+            }
+        }
+        out.push(both.len() as f64 / d as f64);
+    }
+    out
+}
+
+/// Finite-depth RBO with arbitrary weights, normalized so identical lists
+/// score exactly 1:
+///
+/// `RBO = Σ_d w_d · A_d / Σ_d w_d`, over `d = 1..=depth`.
+///
+/// Returns `None` when the total weight over the evaluated depths is not
+/// strictly positive.
+pub fn rbo_weighted<K: Eq + Hash + Clone>(
+    a: &RankedList<K>,
+    b: &RankedList<K>,
+    model: &WeightModel,
+    depth: usize,
+) -> Option<f64> {
+    if depth == 0 {
+        return None;
+    }
+    let profile = agreement_profile(a, b, depth);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, a_d) in profile.iter().enumerate() {
+        let w = model.weight(i + 1);
+        num += w * a_d;
+        den += w;
+    }
+    if den <= 0.0 {
+        return None;
+    }
+    Some(num / den)
+}
+
+/// Classic geometric-weight RBO at finite `depth`.
+pub fn rbo_classic<K: Eq + Hash + Clone>(
+    a: &RankedList<K>,
+    b: &RankedList<K>,
+    p: f64,
+    depth: usize,
+) -> Option<f64> {
+    if !(0.0 < p && p < 1.0) {
+        return None;
+    }
+    rbo_weighted(a, b, &WeightModel::Geometric { p }, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(keys: &[&str]) -> RankedList<String> {
+        RankedList::new(keys.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn identical_lists_score_one() {
+        let a = list(&["a", "b", "c", "d"]);
+        let r = rbo_classic(&a, &a, 0.9, 4).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_lists_score_zero() {
+        let a = list(&["a", "b"]);
+        let b = list(&["x", "y"]);
+        assert_eq!(rbo_classic(&a, &b, 0.9, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn agreement_profile_manual() {
+        let a = list(&["a", "b", "c"]);
+        let b = list(&["b", "a", "d"]);
+        let prof = agreement_profile(&a, &b, 3);
+        // d=1: {a} vs {b} → 0. d=2: {a,b} vs {b,a} → 2/2 = 1. d=3: overlap 2/3.
+        assert_eq!(prof[0], 0.0);
+        assert!((prof[1] - 1.0).abs() < 1e-12);
+        assert!((prof[2] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_key_same_depth_counts_once() {
+        let a = list(&["a", "b"]);
+        let b = list(&["a", "c"]);
+        let prof = agreement_profile(&a, &b, 2);
+        assert!((prof[0] - 1.0).abs() < 1e-12, "shared head counts exactly once, got {}", prof[0]);
+        assert!((prof[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_weighted_vs_bottom_swap() {
+        // Swapping the top differs more than swapping the bottom under
+        // top-heavy weights.
+        let base = list(&["a", "b", "c", "d", "e"]);
+        let top_swapped = list(&["b", "a", "c", "d", "e"]);
+        let bottom_swapped = list(&["a", "b", "c", "e", "d"]);
+        let p = 0.5; // strongly top-weighted
+        let r_top = rbo_classic(&base, &top_swapped, p, 5).unwrap();
+        let r_bottom = rbo_classic(&base, &bottom_swapped, p, 5).unwrap();
+        assert!(r_top < r_bottom);
+    }
+
+    #[test]
+    fn empirical_weights_emphasize_head() {
+        let base = list(&["a", "b", "c", "d"]);
+        let other = list(&["x", "b", "c", "d"]); // disagrees only at rank 1
+        // All weight on rank 1 → score must be 0.
+        let m = WeightModel::Empirical { weights: vec![1.0, 0.0, 0.0, 0.0] };
+        assert_eq!(rbo_weighted(&base, &other, &m, 4).unwrap(), 0.0);
+        // All weight on rank 4 → prefixes of depth 4 overlap 3/4.
+        let m = WeightModel::Empirical { weights: vec![0.0, 0.0, 0.0, 1.0] };
+        assert!((rbo_weighted(&base, &other, &m, 4).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_rejected() {
+        let a = list(&["a"]);
+        let m = WeightModel::Empirical { weights: vec![] };
+        assert_eq!(rbo_weighted(&a, &a, &m, 1), None);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        let a = list(&["a"]);
+        assert_eq!(rbo_classic(&a, &a, 0.0, 1), None);
+        assert_eq!(rbo_classic(&a, &a, 1.0, 1), None);
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        let a = list(&["a", "b", "c", "q", "r"]);
+        let b = list(&["c", "x", "a", "y", "z"]);
+        let r = rbo_classic(&a, &b, 0.9, 5).unwrap();
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = list(&["a", "b", "c", "d"]);
+        let b = list(&["b", "d", "a", "x"]);
+        let r1 = rbo_classic(&a, &b, 0.8, 4).unwrap();
+        let r2 = rbo_classic(&b, &a, 0.8, 4).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_lengths_handled() {
+        let a = list(&["a", "b", "c", "d", "e"]);
+        let b = list(&["a", "b"]);
+        let r = rbo_classic(&a, &b, 0.9, 5).unwrap();
+        assert!(r > 0.0 && r < 1.0);
+    }
+}
+
+/// Webber et al.'s extrapolated RBO (`RBO_EXT`): the point estimate that
+/// assumes agreement at unseen depths stays at the deepest observed level.
+///
+/// `RBO_EXT = (1−p)·Σ_{d=1..k} p^(d−1)·A_d + p^k·A_k`, where `k` is the
+/// evaluation depth. Unlike the finite normalized form, this estimates the
+/// *infinite-depth* geometric RBO from a `k`-deep prefix. Returns `None` for
+/// invalid `p` or zero depth.
+pub fn rbo_extrapolated<K: Eq + Hash + Clone>(
+    a: &RankedList<K>,
+    b: &RankedList<K>,
+    p: f64,
+    depth: usize,
+) -> Option<f64> {
+    if !(0.0 < p && p < 1.0) || depth == 0 {
+        return None;
+    }
+    let profile = agreement_profile(a, b, depth);
+    let mut acc = 0.0;
+    for (i, a_d) in profile.iter().enumerate() {
+        acc += p.powi(i as i32) * a_d;
+    }
+    let a_k = *profile.last().expect("depth >= 1");
+    Some((1.0 - p) * acc + p.powi(depth as i32) * a_k)
+}
+
+#[cfg(test)]
+mod ext_tests {
+    use super::*;
+
+    fn list(keys: &[&str]) -> RankedList<String> {
+        RankedList::new(keys.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn identical_lists_extrapolate_to_one() {
+        let a = list(&["a", "b", "c", "d", "e"]);
+        let r = rbo_extrapolated(&a, &a, 0.9, 5).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn disjoint_lists_extrapolate_to_zero() {
+        let a = list(&["a", "b"]);
+        let b = list(&["x", "y"]);
+        assert_eq!(rbo_extrapolated(&a, &b, 0.9, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bounded_and_close_to_normalized_form() {
+        let a = list(&["a", "b", "c", "d", "e", "f"]);
+        let b = list(&["b", "a", "c", "x", "e", "y"]);
+        let ext = rbo_extrapolated(&a, &b, 0.8, 6).unwrap();
+        let norm = rbo_classic(&a, &b, 0.8, 6).unwrap();
+        assert!((0.0..=1.0).contains(&ext));
+        assert!((ext - norm).abs() < 0.25, "ext {ext} vs normalized {norm}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let a = list(&["a"]);
+        assert!(rbo_extrapolated(&a, &a, 1.0, 1).is_none());
+        assert!(rbo_extrapolated(&a, &a, 0.9, 0).is_none());
+    }
+}

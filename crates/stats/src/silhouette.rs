@@ -1,0 +1,177 @@
+//! Silhouette coefficients for cluster validation (Rousseeuw 1987).
+//!
+//! Given cluster labels and pairwise distances, the silhouette of sample `i`
+//! is `(b_i − a_i) / max(a_i, b_i)` where `a_i` is the mean distance to the
+//! other members of its own cluster and `b_i` the mean distance to the
+//! nearest other cluster. Samples in singleton clusters score 0 by
+//! convention. The paper uses the average coefficient to quantify how
+//! well-separated its country clusters are (§5.3.1, Fig. 21).
+
+use crate::matrix::SymmetricMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-cluster silhouette summary (one row of the paper's Fig. 21).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSilhouette {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Member sample indices sorted by descending silhouette (plot order).
+    pub members: Vec<usize>,
+    /// Silhouette values aligned with `members`.
+    pub values: Vec<f64>,
+    /// Mean silhouette of the cluster.
+    pub mean: f64,
+}
+
+/// Per-sample silhouette coefficients.
+///
+/// Returns `None` when `labels` and the distance matrix disagree in size,
+/// or there are fewer than 2 clusters (silhouette undefined).
+pub fn silhouette_samples(distances: &SymmetricMatrix, labels: &[usize]) -> Option<Vec<f64>> {
+    let n = distances.n();
+    if labels.len() != n || n == 0 {
+        return None;
+    }
+    let k = labels.iter().max().map(|m| m + 1)?;
+    if k < 2 {
+        return None;
+    }
+    let mut cluster_size = vec![0usize; k];
+    for &l in labels {
+        cluster_size[l] += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let own = labels[i];
+        if cluster_size[own] <= 1 {
+            out.push(0.0);
+            continue;
+        }
+        // Mean distance to every cluster.
+        let mut sum = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sum[labels[j]] += distances.get(i, j);
+        }
+        let a = sum[own] / (cluster_size[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_size[c] > 0)
+            .map(|c| sum[c] / cluster_size[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            out.push(0.0);
+            continue;
+        }
+        let denom = a.max(b);
+        out.push(if denom > 0.0 { (b - a) / denom } else { 0.0 });
+    }
+    Some(out)
+}
+
+/// Mean silhouette over all samples.
+pub fn silhouette_score(distances: &SymmetricMatrix, labels: &[usize]) -> Option<f64> {
+    let vals = silhouette_samples(distances, labels)?;
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// Groups per-sample silhouettes by cluster, ordering members by descending
+/// value — the layout of a silhouette plot.
+pub fn silhouette_by_cluster(
+    distances: &SymmetricMatrix,
+    labels: &[usize],
+) -> Option<Vec<ClusterSilhouette>> {
+    let vals = silhouette_samples(distances, labels)?;
+    let k = labels.iter().max().map(|m| m + 1)?;
+    let mut out = Vec::with_capacity(k);
+    for c in 0..k {
+        let mut members: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, l)| **l == c).map(|(i, _)| i).collect();
+        members.sort_by(|&x, &y| vals[y].partial_cmp(&vals[x]).expect("finite silhouettes"));
+        let values: Vec<f64> = members.iter().map(|&i| vals[i]).collect();
+        let mean = if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 };
+        out.push(ClusterSilhouette { cluster: c, members, values, mean });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_from_points(points: &[f64]) -> SymmetricMatrix {
+        SymmetricMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let s = silhouette_score(&dist_from_points(&points), &labels).unwrap();
+        assert!(s > 0.9, "got {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let labels = [0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(&dist_from_points(&points), &labels).unwrap();
+        assert!(s < 0.0, "mismatched labels must score negative, got {s}");
+    }
+
+    #[test]
+    fn values_bounded() {
+        let points = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let labels = [0, 0, 1, 1, 0, 1];
+        for v in silhouette_samples(&dist_from_points(&points), &labels).unwrap() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_scores_zero() {
+        let points = [0.0, 0.1, 10.0];
+        let labels = [0, 0, 1];
+        let vals = silhouette_samples(&dist_from_points(&points), &labels).unwrap();
+        assert_eq!(vals[2], 0.0);
+        assert!(vals[0] > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_undefined() {
+        let points = [0.0, 1.0];
+        let labels = [0, 0];
+        assert!(silhouette_score(&dist_from_points(&points), &labels).is_none());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let d = SymmetricMatrix::new(3, 1.0);
+        assert!(silhouette_samples(&d, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn by_cluster_orders_descending() {
+        let points = [0.0, 0.5, 0.1, 9.0, 9.5];
+        let labels = [0, 0, 0, 1, 1];
+        let groups = silhouette_by_cluster(&dist_from_points(&points), &labels).unwrap();
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            for w in g.values.windows(2) {
+                assert!(w[0] >= w[1], "values must be sorted descending");
+            }
+            assert_eq!(g.members.len(), g.values.len());
+        }
+    }
+
+    #[test]
+    fn score_is_mean_of_samples() {
+        let points = [0.0, 1.0, 5.0, 6.0];
+        let labels = [0, 0, 1, 1];
+        let d = dist_from_points(&points);
+        let samples = silhouette_samples(&d, &labels).unwrap();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((silhouette_score(&d, &labels).unwrap() - mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Spearman's rank correlation coefficient with tie handling.
+
+/// Spearman's ρ between paired observations `x` and `y`.
+///
+/// Values are converted to average ranks (ties receive the mean of the ranks
+/// they span), then Pearson correlation is computed on the ranks — the
+/// standard tie-corrected definition. Returns `None` when the slices differ
+/// in length, have fewer than 2 elements, or either side is constant
+/// (correlation undefined).
+///
+/// ```
+/// use wwv_stats::spearman_rho;
+/// // Monotone relationship → ρ = 1 regardless of scale.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [10.0, 100.0, 1000.0, 10000.0];
+/// assert!((spearman_rho(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Converts values to 1-based average ranks (ties share the mean rank).
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("non-NaN values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; ranks are 1-based.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation; `None` when undefined (length mismatch, <2 points, or
+/// zero variance on either side).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert!((spearman_rho(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [9.0, 5.0, 1.0];
+        assert!((spearman_rho(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_still_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman_rho(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties_with_average_ranks() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_tied_is_undefined() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(spearman_rho(&x, &y), None);
+    }
+
+    #[test]
+    fn length_mismatch_and_short_input() {
+        assert_eq!(spearman_rho(&[1.0], &[1.0]), None);
+        assert_eq!(spearman_rho(&[1.0, 2.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example: ranks with one swap.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 3.0, 2.0, 4.0, 5.0];
+        // d = [0, -1, 1, 0, 0]; ρ = 1 − 6·2 / (5·24) = 0.9.
+        assert!((spearman_rho(&x, &y).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_corrected_value_in_range() {
+        let x = [1.0, 2.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 3.0, 3.0, 5.0];
+        let rho = spearman_rho(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&rho));
+        assert!(rho > 0.0, "roughly increasing data should correlate positively");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for statistical invariants.
+
+use proptest::prelude::*;
+use wwv_stats::quantile::quantile_sorted;
+use wwv_stats::rbo::{rbo_classic, rbo_weighted, WeightModel};
+use wwv_stats::spearman::{average_ranks, spearman_rho};
+use wwv_stats::{
+    bonferroni_threshold, median, quantile, silhouette_samples, two_proportion_test,
+    QuantileSummary, RankedList, SymmetricMatrix,
+};
+
+fn float_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+/// Distinct keys to build ranked lists from.
+fn key_list(max: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..200, 1..=max)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+        .prop_shuffle()
+}
+
+proptest! {
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(values in float_vec(1..50), qa in 0.0f64..=1.0, qb in 0.0f64..=1.0) {
+        let (qlo, qhi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let lo = quantile(&values, qlo).unwrap();
+        let hi = quantile(&values, qhi).unwrap();
+        prop_assert!(lo <= hi + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+    }
+
+    /// QuantileSummary is ordered and consistent with the scalar functions.
+    #[test]
+    fn summary_consistent(values in float_vec(1..50)) {
+        let s = QuantileSummary::of(&values).unwrap();
+        prop_assert!(s.q25 <= s.median && s.median <= s.q75);
+        prop_assert_eq!(s.median, median(&values).unwrap());
+    }
+
+    /// quantile_sorted agrees with quantile after sorting.
+    #[test]
+    fn sorted_agrees(values in float_vec(1..40), q in 0.0f64..=1.0) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(quantile(&values, q), quantile_sorted(&sorted, q));
+    }
+
+    /// Average ranks form a permutation-weight set: they sum to n(n+1)/2.
+    #[test]
+    fn ranks_sum_invariant(values in float_vec(1..40)) {
+        let ranks = average_ranks(&values);
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Spearman is bounded, symmetric, and exactly 1 against itself when the
+    /// values are not all tied.
+    #[test]
+    fn spearman_laws(x in float_vec(2..30), y in float_vec(2..30)) {
+        let n = x.len().min(y.len());
+        let x = &x[..n];
+        let y = &y[..n];
+        if let Some(rho) = spearman_rho(x, y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            let rho_rev = spearman_rho(y, x).unwrap();
+            prop_assert!((rho - rho_rev).abs() < 1e-9);
+        }
+        if let Some(self_rho) = spearman_rho(x, x) {
+            prop_assert!((self_rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Spearman is invariant under strictly monotone transforms.
+    #[test]
+    fn spearman_monotone_invariant(x in float_vec(2..30), y in float_vec(2..30)) {
+        let n = x.len().min(y.len());
+        let x = &x[..n];
+        let y = &y[..n];
+        if let Some(rho) = spearman_rho(x, y) {
+            let y2: Vec<f64> = y.iter().map(|v| v * 3.0 + 7.0).collect();
+            let rho2 = spearman_rho(x, &y2).unwrap();
+            prop_assert!((rho - rho2).abs() < 1e-9);
+        }
+    }
+
+    /// RBO is bounded, symmetric, and 1 for identical lists.
+    #[test]
+    fn rbo_laws(a in key_list(20), b in key_list(20), p in 0.1f64..0.99) {
+        let la = RankedList::new(a);
+        let lb = RankedList::new(b);
+        let depth = la.len().max(lb.len());
+        let r = rbo_classic(&la, &lb, p, depth).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+        let r_sym = rbo_classic(&lb, &la, p, depth).unwrap();
+        prop_assert!((r - r_sym).abs() < 1e-12);
+        let r_self = rbo_classic(&la, &la, p, la.len()).unwrap();
+        prop_assert!((r_self - 1.0).abs() < 1e-12);
+    }
+
+    /// Weighted RBO with uniform empirical weights equals mean agreement and
+    /// is bounded by the geometric variants' extremes.
+    #[test]
+    fn rbo_weighted_bounded(a in key_list(15), b in key_list(15)) {
+        let la = RankedList::new(a);
+        let lb = RankedList::new(b);
+        let depth = la.len().max(lb.len());
+        let uniform = WeightModel::Empirical { weights: vec![1.0; depth] };
+        let r = rbo_weighted(&la, &lb, &uniform, depth).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+    }
+
+    /// percent_intersection is symmetric, bounded, and 1 against itself.
+    #[test]
+    fn intersection_laws(a in key_list(20), b in key_list(20), depth in 1usize..25) {
+        let la = RankedList::new(a);
+        let lb = RankedList::new(b);
+        let pi = la.percent_intersection(&lb, depth);
+        prop_assert!((0.0..=1.0).contains(&pi));
+        prop_assert!((pi - lb.percent_intersection(&la, depth)).abs() < 1e-12);
+        prop_assert_eq!(la.percent_intersection(&la, depth), 1.0);
+    }
+
+    /// Two-proportion test p-values live in [0, 1] and the statistic's sign
+    /// tracks the direction of the difference.
+    #[test]
+    fn proportion_test_laws(ka in 0u64..500, na in 1u64..500, kb in 0u64..500, nb in 1u64..500) {
+        let ka = ka.min(na);
+        let kb = kb.min(nb);
+        if let Some(t) = two_proportion_test(ka, na, kb, nb) {
+            prop_assert!((0.0..=1.0).contains(&t.p_value));
+            if t.p_a > t.p_b {
+                prop_assert!(t.statistic > 0.0);
+            } else if t.p_a < t.p_b {
+                prop_assert!(t.statistic < 0.0);
+            }
+        }
+    }
+
+    /// Bonferroni thresholds shrink monotonically with the comparison count.
+    #[test]
+    fn bonferroni_monotone(alpha in 0.001f64..0.2, m in 1usize..1000) {
+        prop_assert!(bonferroni_threshold(alpha, m + 1) < bonferroni_threshold(alpha, m) + 1e-15);
+        prop_assert!(bonferroni_threshold(alpha, m) <= alpha);
+    }
+
+    /// Silhouette values are always within [-1, 1] for any labeling.
+    #[test]
+    fn silhouette_bounded(points in float_vec(4..20), seed in 0u64..1000) {
+        let n = points.len();
+        let d = SymmetricMatrix::build(n, |i, j| (points[i] - points[j]).abs());
+        // Deterministic pseudo-random two-cluster labeling.
+        let labels: Vec<usize> = (0..n).map(|i| ((seed >> (i % 60)) & 1) as usize).collect();
+        if labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1) {
+            let vals = silhouette_samples(&d, &labels).unwrap();
+            for v in vals {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+}

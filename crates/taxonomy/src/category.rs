@@ -1,0 +1,240 @@
+//! The 61 curated categories of Table 3 plus the two manually-verified sets.
+
+use crate::supercategory::SuperCategory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Declares the category enum together with its super-category mapping and
+/// display names, keeping the three in lock-step.
+macro_rules! categories {
+    ($( $variant:ident => ($super:ident, $name:literal) ),+ $(,)?) => {
+        /// A category in the final taxonomy (Table 3 plus the two
+        /// manually-verified sets).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Category {
+            $( $variant, )+
+        }
+
+        impl Category {
+            /// Every category, in declaration (Table 3) order.
+            pub const ALL: &'static [Category] = &[ $( Category::$variant, )+ ];
+
+            /// The super-category this category belongs to.
+            pub fn super_category(&self) -> SuperCategory {
+                match self {
+                    $( Category::$variant => SuperCategory::$super, )+
+                }
+            }
+
+            /// Human-readable name as printed in the paper.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( Category::$variant => $name, )+
+                }
+            }
+
+            /// Parses a category from its paper name.
+            pub fn from_name(name: &str) -> Option<Category> {
+                match name {
+                    $( $name => Some(Category::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+categories! {
+    // Adult Themes.
+    Pornography => (AdultThemes, "Pornography"),
+    AdultThemes => (AdultThemes, "Adult Themes"),
+    // Business & Economy.
+    Business => (BusinessEconomy, "Business"),
+    EconomyFinance => (BusinessEconomy, "Economy & Finance"),
+    // Education.
+    EducationalInstitutions => (Education, "Educational Institutions"),
+    Education => (Education, "Education"),
+    Science => (Education, "Science"),
+    // Entertainment.
+    NewsMedia => (Entertainment, "News & Media"),
+    AudioStreaming => (Entertainment, "Audio Streaming"),
+    Music => (Entertainment, "Music"),
+    Magazines => (Entertainment, "Magazines"),
+    CartoonsAnime => (Entertainment, "Cartoons & Anime"),
+    MoviesHomeVideo => (Entertainment, "Movies & Home Video"),
+    Arts => (Entertainment, "Arts"),
+    Entertainment => (Entertainment, "Entertainment"),
+    Gaming => (Entertainment, "Gaming"),
+    VideoStreaming => (Entertainment, "Video Streaming"),
+    Television => (Entertainment, "Television"),
+    ComicBooks => (Entertainment, "Comic Books"),
+    Paranormal => (Entertainment, "Paranormal"),
+    // Gambling.
+    Gambling => (Gambling, "Gambling"),
+    // Government & Politics.
+    GovernmentPolitics => (GovernmentPolitics, "Government & Politics"),
+    PoliticsAdvocacy => (GovernmentPolitics, "Politics, Advocacy, and Government-Related"),
+    // Health.
+    HealthFitness => (Health, "Health & Fitness"),
+    SexEducation => (Health, "Sex Education"),
+    // Internet Communication.
+    Forums => (InternetCommunication, "Forums"),
+    Webmail => (InternetCommunication, "Webmail"),
+    ChatMessaging => (InternetCommunication, "Chat & Messaging"),
+    // Job Search & Careers.
+    JobSearchCareers => (JobSearchCareers, "Job Search & Careers"),
+    // Miscellaneous.
+    Redirect => (Miscellaneous, "Redirect"),
+    // Questionable Content.
+    Drugs => (QuestionableContent, "Drugs"),
+    QuestionableContent => (QuestionableContent, "Questionable Content"),
+    Hacking => (QuestionableContent, "Hacking"),
+    // Real Estate.
+    RealEstate => (RealEstate, "Real Estate"),
+    // Religion.
+    Religion => (Religion, "Religion"),
+    // Shopping & Auctions.
+    Ecommerce => (ShoppingAuctions, "Ecommerce"),
+    AuctionsMarketplaces => (ShoppingAuctions, "Auctions & Marketplaces"),
+    Coupons => (ShoppingAuctions, "Coupons"),
+    // Society & Lifestyle.
+    Lifestyle => (SocietyLifestyle, "Lifestyle"),
+    ClothingFashion => (SocietyLifestyle, "Clothing and Fashion"),
+    FoodDrink => (SocietyLifestyle, "Food & Drink"),
+    HobbiesInterests => (SocietyLifestyle, "Hobbies & Interests"),
+    HomeGarden => (SocietyLifestyle, "Home & Garden"),
+    Pets => (SocietyLifestyle, "Pets"),
+    Parenting => (SocietyLifestyle, "Parenting"),
+    Photography => (SocietyLifestyle, "Photography"),
+    Astrology => (SocietyLifestyle, "Astrology"),
+    DatingRelationships => (SocietyLifestyle, "Dating & Relationships"),
+    ArtsCrafts => (SocietyLifestyle, "Arts & Crafts"),
+    Sexuality => (SocietyLifestyle, "Sexuality"),
+    Tobacco => (SocietyLifestyle, "Tobacco"),
+    BodyArt => (SocietyLifestyle, "Body Art"),
+    DigitalPostcards => (SocietyLifestyle, "Digital Postcards"),
+    // Sports.
+    Sports => (Sports, "Sports"),
+    // Technology.
+    Technology => (Technology, "Technology"),
+    // Travel.
+    Travel => (Travel, "Travel"),
+    // Vehicles.
+    Vehicles => (Vehicles, "Vehicles"),
+    // Violence.
+    Weapons => (Violence, "Weapons"),
+    Violence => (Violence, "Violence"),
+    // Weather.
+    Weather => (Weather, "Weather"),
+    // Unknown.
+    Unknown => (Unknown, "Unknown"),
+    // Manually-verified sets (not part of the 61 API categories).
+    SearchEngines => (SearchEngines, "Search Engines"),
+    SocialNetworks => (SocialNetworks, "Social Networks"),
+}
+
+impl Category {
+    /// Whether the category is one of the 61 Table 3 API categories (vs the
+    /// two manually-verified sets).
+    pub fn in_table3(&self) -> bool {
+        self.super_category().in_table3()
+    }
+
+    /// Zero-based dense index, stable across runs (declaration order).
+    pub fn index(&self) -> usize {
+        Category::ALL.iter().position(|c| c == self).expect("every category is in ALL")
+    }
+
+    /// Number of categories including the manually-verified sets.
+    pub fn count() -> usize {
+        Category::ALL.len()
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Category {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Category::from_name(s).ok_or_else(|| format!("unknown category name: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_61_categories() {
+        let count = Category::ALL.iter().filter(|c| c.in_table3()).count();
+        assert_eq!(count, 61);
+    }
+
+    #[test]
+    fn two_manual_categories() {
+        let count = Category::ALL.iter().filter(|c| !c.in_table3()).count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for c in Category::ALL {
+            assert_eq!(Category::from_name(c.name()), Some(*c));
+            assert_eq!(c.name().parse::<Category>().unwrap(), *c);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn entertainment_is_largest_family() {
+        let n = Category::ALL
+            .iter()
+            .filter(|c| c.super_category() == SuperCategory::Entertainment)
+            .count();
+        assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn lifestyle_has_15() {
+        let n = Category::ALL
+            .iter()
+            .filter(|c| c.super_category() == SuperCategory::SocietyLifestyle)
+            .count();
+        assert_eq!(n, 15);
+    }
+
+    #[test]
+    fn every_table3_supercategory_nonempty() {
+        for s in SuperCategory::ALL.iter().filter(|s| s.in_table3()) {
+            assert!(
+                Category::ALL.iter().any(|c| c.super_category() == *s && c.in_table3()),
+                "super-category {s} has no categories"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        assert!("Not A Real Category".parse::<Category>().is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulated categorization oracles.
+//!
+//! Stands in for Cloudflare's Domain Intelligence API (§3.2): given a domain,
+//! return a category. [`TrueCategorizer`] answers from ground truth (the
+//! world model knows every synthetic site's real category);
+//! [`NoisyCategorizer`] corrupts those answers at each raw category's latent
+//! accuracy, deterministically per (domain, seed) — re-querying the same
+//! domain always returns the same label, like a real categorization service.
+
+use crate::category::Category;
+use crate::raw::{self, RawCategory};
+use std::collections::HashMap;
+
+/// Anything that can label a domain with a category.
+pub trait Categorizer {
+    /// Returns the category label for `domain`, or `None` when unknown.
+    fn categorize(&self, domain: &str) -> Option<Category>;
+}
+
+/// Ground-truth oracle over an explicit map.
+#[derive(Debug, Clone, Default)]
+pub struct TrueCategorizer {
+    labels: HashMap<String, Category>,
+}
+
+impl TrueCategorizer {
+    /// Builds the oracle from `(domain, category)` pairs.
+    pub fn new<I: IntoIterator<Item = (String, Category)>>(pairs: I) -> Self {
+        TrueCategorizer { labels: pairs.into_iter().collect() }
+    }
+
+    /// Adds or replaces one label.
+    pub fn insert(&mut self, domain: String, category: Category) {
+        self.labels.insert(domain, category);
+    }
+
+    /// Number of labeled domains.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no domains are labeled.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+impl Categorizer for TrueCategorizer {
+    fn categorize(&self, domain: &str) -> Option<Category> {
+        self.labels.get(domain).copied()
+    }
+}
+
+/// SplitMix64 — the workspace's standard cheap deterministic mixer.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a string, for stable per-domain randomness.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A noisy oracle: correct with the raw category's latent accuracy, otherwise
+/// answering a deterministic wrong category.
+#[derive(Debug, Clone)]
+pub struct NoisyCategorizer<T: Categorizer> {
+    truth: T,
+    seed: u64,
+}
+
+impl<T: Categorizer> NoisyCategorizer<T> {
+    /// Wraps a ground-truth oracle.
+    pub fn new(truth: T, seed: u64) -> Self {
+        NoisyCategorizer { truth, seed }
+    }
+
+    /// The latent accuracy for a category: the accuracy of its primary raw
+    /// category (1.0 for categories without an API source, which the paper
+    /// verified manually).
+    pub fn latent_accuracy(category: Category) -> f64 {
+        raw::ALL
+            .iter()
+            .find(|r| matches!(r.disposition, crate::raw::Disposition::Primary(c) if c == category))
+            .map(|r| r.api_accuracy)
+            .unwrap_or(1.0)
+    }
+
+    /// Unit-interval uniform deterministic in (domain, seed, salt).
+    fn unit(&self, domain: &str, salt: u64) -> f64 {
+        let h = splitmix64(fnv1a(domain) ^ self.seed.wrapping_add(salt.wrapping_mul(0x9E37)));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: Categorizer> Categorizer for NoisyCategorizer<T> {
+    fn categorize(&self, domain: &str) -> Option<Category> {
+        let truth = self.truth.categorize(domain)?;
+        let accuracy = Self::latent_accuracy(truth);
+        if self.unit(domain, 1) < accuracy {
+            return Some(truth);
+        }
+        // Wrong answer: deterministic draw over the other categories,
+        // skewed toward the same super-category (realistic confusions).
+        let same_super: Vec<Category> = Category::ALL
+            .iter()
+            .copied()
+            .filter(|c| *c != truth && c.super_category() == truth.super_category())
+            .collect();
+        let u = self.unit(domain, 2);
+        if !same_super.is_empty() && u < 0.5 {
+            let idx = (self.unit(domain, 3) * same_super.len() as f64) as usize;
+            return Some(same_super[idx.min(same_super.len() - 1)]);
+        }
+        let others: Vec<Category> =
+            Category::ALL.iter().copied().filter(|c| *c != truth).collect();
+        let idx = (self.unit(domain, 4) * others.len() as f64) as usize;
+        Some(others[idx.min(others.len() - 1)])
+    }
+}
+
+/// Convenience: the latent accuracy of a *raw* category by name.
+pub fn raw_accuracy(name: &str) -> Option<f64> {
+    RawCategory::by_name(name).map(|r| r.api_accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> TrueCategorizer {
+        TrueCategorizer::new(
+            (0..1000).map(|i| {
+                let cat = Category::ALL[i % Category::ALL.len()];
+                (format!("site{i}.example.com"), cat)
+            }),
+        )
+    }
+
+    #[test]
+    fn true_categorizer_answers_from_map() {
+        let t = truth();
+        assert_eq!(t.categorize("site0.example.com"), Some(Category::ALL[0]));
+        assert_eq!(t.categorize("missing.example.com"), None);
+    }
+
+    #[test]
+    fn noisy_is_deterministic() {
+        let a = NoisyCategorizer::new(truth(), 42);
+        let b = NoisyCategorizer::new(truth(), 42);
+        for i in 0..100 {
+            let d = format!("site{i}.example.com");
+            assert_eq!(a.categorize(&d), b.categorize(&d));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = NoisyCategorizer::new(truth(), 1);
+        let b = NoisyCategorizer::new(truth(), 2);
+        let differs = (0..1000).any(|i| {
+            let d = format!("site{i}.example.com");
+            a.categorize(&d) != b.categorize(&d)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn empirical_accuracy_tracks_latent() {
+        // Label many Pornography sites; the API's accuracy for that category
+        // is 0.96, so the noisy oracle should be right ≈96% of the time.
+        let t = TrueCategorizer::new(
+            (0..2000).map(|i| (format!("adult{i}.example.com"), Category::Pornography)),
+        );
+        let noisy = NoisyCategorizer::new(t, 7);
+        let correct = (0..2000)
+            .filter(|i| {
+                noisy.categorize(&format!("adult{i}.example.com")) == Some(Category::Pornography)
+            })
+            .count();
+        let rate = correct as f64 / 2000.0;
+        assert!((rate - 0.96).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn unknown_domain_stays_unknown() {
+        let noisy = NoisyCategorizer::new(truth(), 3);
+        assert_eq!(noisy.categorize("never-seen.example.org"), None);
+    }
+
+    #[test]
+    fn manual_categories_have_perfect_latent_accuracy() {
+        assert_eq!(NoisyCategorizer::<TrueCategorizer>::latent_accuracy(Category::SearchEngines), 1.0);
+        assert_eq!(NoisyCategorizer::<TrueCategorizer>::latent_accuracy(Category::SocialNetworks), 1.0);
+    }
+
+    #[test]
+    fn raw_accuracy_lookup() {
+        assert_eq!(raw_accuracy("Pornography"), Some(0.96));
+        assert_eq!(raw_accuracy("Spam Sites"), Some(0.38));
+        assert_eq!(raw_accuracy("Nope"), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # wwv-taxonomy
+//!
+//! Website categorization substrate reproducing §3.2 and Appendix B of the
+//! paper.
+//!
+//! The paper categorizes websites with Cloudflare's Domain Intelligence API
+//! (114 raw categories under 26 super-categories), manually validates ten
+//! random sites per category, drops the 19 categories below 80% accuracy, and
+//! merges near-duplicates — ending at **61 categories under 22
+//! super-categories** (Table 3), plus two *manually verified* site sets
+//! (Search Engines and Social Networks) that were too inaccurate in the API
+//! but too important to drop.
+//!
+//! * [`supercategory`] / [`category`] — the final Table 3 taxonomy as enums.
+//! * [`raw`] — the pre-curation 114-category space and its mapping to the
+//!   curated taxonomy.
+//! * [`classifier`] — a deterministic noisy categorization oracle standing in
+//!   for the Domain Intelligence API.
+//! * [`curation`] — the Fig. 13 accuracy-validation pipeline.
+//! * [`profile`] — per-category behavioral priors consumed by `wwv-world`
+//!   (dwell time, platform affinity, locality tendency, seasonality).
+
+pub mod category;
+pub mod classifier;
+pub mod curation;
+pub mod profile;
+pub mod raw;
+pub mod supercategory;
+
+pub use category::Category;
+pub use classifier::{Categorizer, NoisyCategorizer, TrueCategorizer};
+pub use curation::{AccuracyLabel, CategoryAudit, CurationOutcome};
+pub use profile::{CategoryProfile, Locality};
+pub use raw::RawCategory;
+pub use supercategory::SuperCategory;

@@ -1,0 +1,273 @@
+//! Per-category behavioral priors.
+//!
+//! These priors are the knobs `wwv-world` uses to make the synthetic web
+//! reproduce the paper's category-level findings: dwell time separates
+//! page-loads-leaning from time-on-page-leaning categories (§4.4), platform
+//! affinity drives the desktop/mobile contrasts of Fig. 4, locality tendency
+//! drives the global-vs-national contrasts of Fig. 8, rank-anchored
+//! prevalence weights drive the composition-by-rank curves of Figs. 2–3, and
+//! the December multiplier drives the §4.5 seasonality findings.
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+
+/// How a category's sites distribute geographically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Locality {
+    /// Weight of globally-popular sites (similar rank everywhere).
+    pub global: f64,
+    /// Weight of regionally-popular sites (popular within a language or
+    /// geographic cluster of countries).
+    pub regional: f64,
+    /// Weight of nationally-endemic sites (popular in one country).
+    pub national: f64,
+}
+
+impl Locality {
+    /// Creates a locality mix; weights need not be normalized.
+    pub const fn new(global: f64, regional: f64, national: f64) -> Self {
+        Locality { global, regional, national }
+    }
+
+    /// Normalized probabilities `(global, regional, national)`.
+    pub fn probabilities(&self) -> (f64, f64, f64) {
+        let total = self.global + self.regional + self.national;
+        if total <= 0.0 {
+            return (0.0, 0.0, 1.0);
+        }
+        (self.global / total, self.regional / total, self.national / total)
+    }
+}
+
+/// Rank-anchored prevalence weights: relative propensity of a category to
+/// appear at ranks ≈10, ≈300, and ≈10 000. `wwv-world` interpolates
+/// quadratically in `log10(rank)` between the anchors, which lets categories
+/// be head-heavy (video streaming), tail-heavy (business), or mid-peaked
+/// (news), matching Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankAnchors {
+    /// Relative weight near rank 10.
+    pub head: f64,
+    /// Relative weight near rank 300.
+    pub mid: f64,
+    /// Relative weight near rank 10 000.
+    pub tail: f64,
+}
+
+impl RankAnchors {
+    /// Creates anchors.
+    pub const fn new(head: f64, mid: f64, tail: f64) -> Self {
+        RankAnchors { head, mid, tail }
+    }
+
+    /// Quadratic interpolation in `log10(rank)` through the three anchors
+    /// (at `log10 = 1, 2.5, 4`), clamped at the ends and floored at zero.
+    pub fn weight_at_rank(&self, rank: usize) -> f64 {
+        let x = (rank.max(1) as f64).log10().clamp(1.0, 4.0);
+        // Lagrange basis through x0 = 1, x1 = 2.5, x2 = 4.
+        let (x0, x1, x2) = (1.0, 2.5, 4.0);
+        let l0 = (x - x1) * (x - x2) / ((x0 - x1) * (x0 - x2));
+        let l1 = (x - x0) * (x - x2) / ((x1 - x0) * (x1 - x2));
+        let l2 = (x - x0) * (x - x1) / ((x2 - x0) * (x2 - x1));
+        (self.head * l0 + self.mid * l1 + self.tail * l2).max(0.0)
+    }
+}
+
+/// The full behavioral prior for one category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CategoryProfile {
+    /// The category this profile describes.
+    pub category: Category,
+    /// Mean foreground dwell in seconds per completed page load. High dwell
+    /// makes a category time-on-page-leaning (video ≈ 700 s), low dwell makes
+    /// it page-loads-leaning (search ≈ 20 s).
+    pub dwell_seconds: f64,
+    /// Platform affinity in `[-1, 1]`: positive = disproportionately mobile,
+    /// negative = disproportionately desktop (Fig. 4 direction).
+    pub mobile_affinity: f64,
+    /// Geographic locality mix (Fig. 8 direction).
+    pub locality: Locality,
+    /// Traffic multiplier applied in December (§4.5: e-commerce up,
+    /// education down).
+    pub december_multiplier: f64,
+    /// Prevalence-by-rank anchors on desktop (Windows).
+    pub windows_rank: RankAnchors,
+    /// Prevalence-by-rank anchors on mobile (Android).
+    pub android_rank: RankAnchors,
+}
+
+impl CategoryProfile {
+    /// Profile for a category.
+    pub fn of(category: Category) -> CategoryProfile {
+        profile_for(category)
+    }
+
+    /// Platform-specific rank anchors.
+    pub fn rank_anchors(&self, mobile: bool) -> RankAnchors {
+        if mobile {
+            self.android_rank
+        } else {
+            self.windows_rank
+        }
+    }
+
+    /// Mean page loads needed to accumulate one hour of dwell — a convenience
+    /// used in tests of metric leaning.
+    pub fn loads_per_hour_of_dwell(&self) -> f64 {
+        3600.0 / self.dwell_seconds.max(1.0)
+    }
+}
+
+/// Builds the profile table entry for `category`.
+fn profile_for(category: Category) -> CategoryProfile {
+    use Category as C;
+    // (dwell, affinity, locality, december, windows anchors, android anchors)
+    let (dwell, aff, loc, dec, win, and) = match category {
+        C::SearchEngines => (20.0, -0.05, Locality::new(0.5, 0.1, 0.4), 1.0, (18.0, 2.0, 0.3), (15.0, 2.0, 0.3)),
+        C::SocialNetworks => (250.0, 0.1, Locality::new(0.6, 0.1, 0.3), 1.0, (10.0, 3.0, 0.8), (10.0, 3.0, 0.8)),
+        C::VideoStreaming => (700.0, -0.2, Locality::new(0.4, 0.2, 0.4), 1.05, (12.0, 6.0, 1.5), (8.0, 4.0, 1.2)),
+        C::Pornography => (280.0, 0.5, Locality::new(0.7, 0.1, 0.2), 1.0, (6.0, 4.0, 2.5), (10.0, 6.0, 3.0)),
+        C::NewsMedia => (120.0, 0.15, Locality::new(0.1, 0.1, 0.8), 1.0, (10.0, 15.0, 6.5), (9.0, 14.0, 7.0)),
+        C::Ecommerce => (50.0, 0.1, Locality::new(0.3, 0.3, 0.4), 1.35, (6.0, 6.0, 5.0), (7.0, 6.0, 5.0)),
+        C::Business => (70.0, -0.45, Locality::new(0.3, 0.2, 0.5), 0.85, (3.0, 5.0, 8.5), (2.0, 3.5, 5.0)),
+        C::Technology => (90.0, -0.25, Locality::new(0.55, 0.15, 0.30), 1.0, (10.5, 11.0, 12.0), (6.0, 6.0, 7.0)),
+        C::Gaming => (250.0, -0.4, Locality::new(0.7, 0.1, 0.2), 1.1, (6.0, 5.0, 4.0), (3.0, 3.0, 2.5)),
+        C::EducationalInstitutions => (150.0, -0.5, Locality::new(0.02, 0.08, 0.9), 0.70, (1.0, 3.0, 5.0), (0.7, 2.0, 3.5)),
+        C::Education => (130.0, -0.15, Locality::new(0.25, 0.15, 0.6), 0.72, (1.5, 3.0, 3.5), (1.5, 3.0, 3.5)),
+        C::Science => (110.0, -0.2, Locality::new(0.4, 0.2, 0.4), 0.8, (0.4, 1.0, 1.5), (0.3, 0.8, 1.2)),
+        C::Webmail => (90.0, -0.45, Locality::new(0.5, 0.1, 0.4), 0.9, (3.0, 2.0, 1.0), (1.5, 1.0, 0.6)),
+        C::ChatMessaging => (300.0, -0.2, Locality::new(0.7, 0.1, 0.2), 1.0, (5.0, 1.5, 0.6), (6.0, 1.5, 0.6)),
+        C::EconomyFinance => (80.0, -0.35, Locality::new(0.1, 0.1, 0.8), 1.0, (2.5, 4.0, 5.0), (2.0, 3.0, 3.5)),
+        C::Gambling => (150.0, 0.5, Locality::new(0.15, 0.35, 0.5), 1.0, (1.0, 2.0, 2.0), (2.5, 3.5, 3.0)),
+        C::DatingRelationships => (180.0, 0.6, Locality::new(0.5, 0.2, 0.3), 1.0, (0.5, 1.0, 1.0), (1.5, 2.0, 1.8)),
+        C::Magazines => (100.0, 0.4, Locality::new(0.2, 0.3, 0.5), 1.0, (0.5, 1.5, 1.5), (1.2, 2.5, 2.2)),
+        C::GovernmentPolitics => (110.0, -0.2, Locality::new(0.02, 0.05, 0.93), 0.9, (1.5, 3.0, 3.0), (1.5, 3.0, 3.0)),
+        C::PoliticsAdvocacy => (100.0, -0.1, Locality::new(0.05, 0.1, 0.85), 0.95, (0.3, 1.0, 1.5), (0.3, 1.0, 1.5)),
+        C::Forums => (200.0, -0.05, Locality::new(0.3, 0.1, 0.6), 1.0, (1.5, 2.5, 3.0), (1.5, 2.5, 3.0)),
+        C::Television => (400.0, -0.1, Locality::new(0.0, 0.05, 0.95), 1.0, (1.0, 2.0, 1.5), (1.0, 2.0, 1.5)),
+        C::MoviesHomeVideo => (450.0, 0.0, Locality::new(0.3, 0.2, 0.5), 1.05, (1.5, 2.0, 1.5), (1.5, 2.0, 1.5)),
+        C::CartoonsAnime => (350.0, 0.1, Locality::new(0.3, 0.4, 0.3), 1.0, (1.0, 1.5, 1.2), (1.2, 1.8, 1.5)),
+        C::ComicBooks => (250.0, 0.2, Locality::new(0.25, 0.45, 0.3), 1.0, (0.2, 0.6, 0.8), (0.3, 0.8, 1.0)),
+        C::Sports => (120.0, 0.15, Locality::new(0.1, 0.3, 0.6), 1.0, (1.5, 3.0, 2.5), (2.0, 3.5, 3.0)),
+        C::JobSearchCareers => (100.0, -0.1, Locality::new(0.2, 0.2, 0.6), 0.9, (0.7, 1.5, 2.0), (0.7, 1.3, 1.8)),
+        C::AuctionsMarketplaces => (70.0, 0.05, Locality::new(0.1, 0.15, 0.75), 1.25, (2.0, 2.5, 2.0), (2.5, 2.5, 2.0)),
+        C::Coupons => (40.0, 0.1, Locality::new(0.15, 0.2, 0.65), 1.30, (0.1, 0.5, 0.9), (0.2, 0.6, 1.0)),
+        C::HealthFitness => (90.0, 0.2, Locality::new(0.15, 0.15, 0.7), 1.0, (0.8, 2.0, 2.5), (1.2, 2.5, 3.0)),
+        C::Travel => (90.0, 0.0, Locality::new(0.3, 0.3, 0.4), 0.95, (0.6, 1.5, 2.0), (0.7, 1.6, 2.0)),
+        C::Weather => (40.0, 0.2, Locality::new(0.1, 0.1, 0.8), 1.0, (0.8, 1.2, 0.8), (1.2, 1.5, 1.0)),
+        C::Lifestyle => (110.0, 0.35, Locality::new(0.2, 0.3, 0.5), 1.0, (0.5, 1.5, 2.0), (1.0, 2.5, 3.0)),
+        C::AudioStreaming => (400.0, 0.1, Locality::new(0.5, 0.2, 0.3), 1.0, (0.8, 1.2, 1.0), (0.8, 1.2, 1.0)),
+        C::Music => (180.0, 0.15, Locality::new(0.4, 0.3, 0.3), 1.0, (0.5, 1.2, 1.2), (0.7, 1.4, 1.4)),
+        C::RealEstate => (90.0, -0.05, Locality::new(0.05, 0.1, 0.85), 0.95, (0.3, 1.0, 1.5), (0.3, 1.0, 1.5)),
+        C::Vehicles => (90.0, -0.1, Locality::new(0.15, 0.25, 0.6), 1.0, (0.3, 1.0, 1.5), (0.3, 1.0, 1.4)),
+        C::Religion => (130.0, 0.05, Locality::new(0.15, 0.25, 0.6), 1.0, (0.2, 0.7, 1.0), (0.3, 0.9, 1.2)),
+        C::Unknown => (60.0, 0.0, Locality::new(0.2, 0.2, 0.6), 1.0, (1.0, 3.0, 6.0), (1.0, 3.0, 6.0)),
+        // Small categories share a conservative default.
+        _ => (80.0, 0.05, Locality::new(0.15, 0.25, 0.6), 1.0, (0.15, 0.5, 0.9), (0.2, 0.6, 1.0)),
+    };
+    CategoryProfile {
+        category,
+        dwell_seconds: dwell,
+        mobile_affinity: aff,
+        locality: loc,
+        december_multiplier: dec,
+        windows_rank: RankAnchors::new(win.0, win.1, win.2),
+        android_rank: RankAnchors::new(and.0, and.1, and.2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_has_a_profile() {
+        for c in Category::ALL {
+            let p = CategoryProfile::of(*c);
+            assert_eq!(p.category, *c);
+            assert!(p.dwell_seconds > 0.0);
+            assert!((-1.0..=1.0).contains(&p.mobile_affinity));
+            assert!(p.december_multiplier > 0.0);
+        }
+    }
+
+    #[test]
+    fn locality_probabilities_normalize() {
+        for c in Category::ALL {
+            let (g, r, n) = CategoryProfile::of(*c).locality.probabilities();
+            assert!((g + r + n - 1.0).abs() < 1e-12, "{c}: {g} {r} {n}");
+            assert!(g >= 0.0 && r >= 0.0 && n >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_locality_defaults_national() {
+        let l = Locality::new(0.0, 0.0, 0.0);
+        assert_eq!(l.probabilities(), (0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn rank_anchor_interpolation_hits_anchors() {
+        let a = RankAnchors::new(5.0, 10.0, 2.0);
+        assert!((a.weight_at_rank(10) - 5.0).abs() < 1e-9);
+        // Rank 10^2.5 ≈ 316.
+        assert!((a.weight_at_rank(316) - 10.0).abs() < 0.05);
+        assert!((a.weight_at_rank(10_000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_interpolation_clamps_outside_range() {
+        let a = RankAnchors::new(5.0, 10.0, 2.0);
+        assert_eq!(a.weight_at_rank(1), a.weight_at_rank(10));
+        assert_eq!(a.weight_at_rank(1_000_000), a.weight_at_rank(10_000));
+    }
+
+    #[test]
+    fn rank_interpolation_never_negative() {
+        // Strongly convex anchors could dip below zero mid-range; must floor.
+        let a = RankAnchors::new(10.0, 0.0, 10.0);
+        for rank in [10, 50, 100, 316, 1000, 5000, 10_000] {
+            assert!(a.weight_at_rank(rank) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_calibration_directions() {
+        // Fig. 4's most mobile vs most desktop categories.
+        assert!(CategoryProfile::of(Category::Pornography).mobile_affinity > 0.3);
+        assert!(CategoryProfile::of(Category::DatingRelationships).mobile_affinity > 0.3);
+        assert!(CategoryProfile::of(Category::EducationalInstitutions).mobile_affinity < -0.3);
+        assert!(CategoryProfile::of(Category::Webmail).mobile_affinity < -0.3);
+        assert!(CategoryProfile::of(Category::Gaming).mobile_affinity < -0.3);
+        // §4.4 leanings come from dwell.
+        assert!(CategoryProfile::of(Category::VideoStreaming).dwell_seconds > 400.0);
+        assert!(CategoryProfile::of(Category::SearchEngines).dwell_seconds < 40.0);
+        assert!(CategoryProfile::of(Category::Ecommerce).dwell_seconds < 60.0);
+        // §4.5 December effects.
+        assert!(CategoryProfile::of(Category::Ecommerce).december_multiplier > 1.2);
+        assert!(CategoryProfile::of(Category::Education).december_multiplier < 0.8);
+        // Fig. 8 locality directions.
+        let (g_tech, _, n_tech) = CategoryProfile::of(Category::Technology).locality.probabilities();
+        let (g_edu, _, n_edu) =
+            CategoryProfile::of(Category::EducationalInstitutions).locality.probabilities();
+        assert!(g_tech > n_tech);
+        assert!(n_edu > g_edu);
+    }
+
+    #[test]
+    fn business_is_tail_heavy_news_is_mid_peaked() {
+        let b = CategoryProfile::of(Category::Business).windows_rank;
+        assert!(b.tail > b.head, "business rises toward the tail (Fig. 3)");
+        let n = CategoryProfile::of(Category::NewsMedia).windows_rank;
+        assert!(n.mid > n.head && n.mid > n.tail, "news peaks mid-rank (Fig. 3)");
+        let v = CategoryProfile::of(Category::VideoStreaming).windows_rank;
+        assert!(v.head > v.tail, "video streaming is head-heavy (Fig. 3)");
+    }
+
+    #[test]
+    fn loads_per_hour_inversely_tracks_dwell() {
+        let search = CategoryProfile::of(Category::SearchEngines);
+        let video = CategoryProfile::of(Category::VideoStreaming);
+        assert!(search.loads_per_hour_of_dwell() > video.loads_per_hour_of_dwell());
+    }
+}

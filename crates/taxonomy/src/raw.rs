@@ -1,0 +1,263 @@
+//! The pre-curation category space of the Domain Intelligence API.
+//!
+//! The API the paper queried exposes 114 categories. After the paper's
+//! accuracy audit, 19 were dropped (folded into Unknown), several
+//! near-duplicates were merged, and 61 curated categories remained. This
+//! module models that raw space: every raw category carries its disposition
+//! (kept as a curated primary, merged into a curated category, or dropped)
+//! and the latent accuracy of the API for that category, which drives the
+//! simulated audit in [`crate::curation`].
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+
+/// What the curation pass did with a raw category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Kept as the primary source of a curated category.
+    Primary(Category),
+    /// Merged into a curated category (small or overlapping definition).
+    MergedInto(Category),
+    /// Dropped for accuracy below 80%; its sites fall into Unknown.
+    Dropped,
+}
+
+/// One raw API category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RawCategory {
+    /// API name of the category.
+    pub name: &'static str,
+    /// Curation outcome.
+    pub disposition: Disposition,
+    /// Latent probability that an API label of this category is correct.
+    /// Dropped categories are exactly those below the paper's 80% bar.
+    pub api_accuracy: f64,
+}
+
+impl RawCategory {
+    /// The curated category a raw label lands in, with dropped categories
+    /// mapping to [`Category::Unknown`].
+    pub fn curated(&self) -> Category {
+        match self.disposition {
+            Disposition::Primary(c) | Disposition::MergedInto(c) => c,
+            Disposition::Dropped => Category::Unknown,
+        }
+    }
+
+    /// Whether this raw category survived curation.
+    pub fn kept(&self) -> bool {
+        !matches!(self.disposition, Disposition::Dropped)
+    }
+
+    /// Looks up a raw category by API name.
+    pub fn by_name(name: &str) -> Option<&'static RawCategory> {
+        ALL.iter().find(|r| r.name == name)
+    }
+}
+
+macro_rules! raw {
+    (P $name:literal, $cat:ident, $acc:literal) => {
+        RawCategory { name: $name, disposition: Disposition::Primary(Category::$cat), api_accuracy: $acc }
+    };
+    (M $name:literal, $cat:ident, $acc:literal) => {
+        RawCategory { name: $name, disposition: Disposition::MergedInto(Category::$cat), api_accuracy: $acc }
+    };
+    (D $name:literal, $acc:literal) => {
+        RawCategory { name: $name, disposition: Disposition::Dropped, api_accuracy: $acc }
+    };
+}
+
+/// All 114 raw categories: 61 curated primaries, 34 merged near-duplicates,
+/// 19 dropped low-accuracy categories.
+pub static ALL: [RawCategory; 114] = [
+    // --- 61 primaries (one per curated Table 3 category). ---
+    raw!(P "Pornography", Pornography, 0.96),
+    raw!(P "Adult Themes", AdultThemes, 0.84),
+    raw!(P "Business", Business, 0.88),
+    raw!(P "Economy & Finance", EconomyFinance, 0.90),
+    raw!(P "Educational Institutions", EducationalInstitutions, 0.93),
+    raw!(P "Education", Education, 0.86),
+    raw!(P "Science", Science, 0.87),
+    raw!(P "News & Media", NewsMedia, 0.92),
+    raw!(P "Audio Streaming", AudioStreaming, 0.88),
+    raw!(P "Music", Music, 0.86),
+    raw!(P "Magazines", Magazines, 0.82),
+    raw!(P "Cartoons & Anime", CartoonsAnime, 0.90),
+    raw!(P "Movies & Home Video", MoviesHomeVideo, 0.88),
+    raw!(P "Arts", Arts, 0.83),
+    raw!(P "Entertainment", Entertainment, 0.81),
+    raw!(P "Gaming", Gaming, 0.93),
+    raw!(P "Video Streaming", VideoStreaming, 0.92),
+    raw!(P "Television", Television, 0.89),
+    raw!(P "Comic Books", ComicBooks, 0.85),
+    raw!(P "Paranormal", Paranormal, 0.82),
+    raw!(P "Gambling", Gambling, 0.94),
+    raw!(P "Government & Politics", GovernmentPolitics, 0.91),
+    raw!(P "Politics, Advocacy, and Government-Related", PoliticsAdvocacy, 0.84),
+    raw!(P "Health & Fitness", HealthFitness, 0.89),
+    raw!(P "Sex Education", SexEducation, 0.83),
+    raw!(P "Forums", Forums, 0.86),
+    raw!(P "Webmail", Webmail, 0.92),
+    raw!(P "Chat & Messaging", ChatMessaging, 0.88),
+    raw!(P "Job Search & Careers", JobSearchCareers, 0.91),
+    raw!(P "Redirect", Redirect, 0.85),
+    raw!(P "Drugs", Drugs, 0.84),
+    raw!(P "Questionable Content", QuestionableContent, 0.80),
+    raw!(P "Hacking", Hacking, 0.82),
+    raw!(P "Real Estate", RealEstate, 0.93),
+    raw!(P "Religion", Religion, 0.92),
+    raw!(P "Ecommerce", Ecommerce, 0.91),
+    raw!(P "Auctions & Marketplaces", AuctionsMarketplaces, 0.87),
+    raw!(P "Coupons", Coupons, 0.86),
+    raw!(P "Lifestyle", Lifestyle, 0.81),
+    raw!(P "Clothing and Fashion", ClothingFashion, 0.89),
+    raw!(P "Food & Drink", FoodDrink, 0.92),
+    raw!(P "Hobbies & Interests", HobbiesInterests, 0.82),
+    raw!(P "Home & Garden", HomeGarden, 0.88),
+    raw!(P "Pets", Pets, 0.93),
+    raw!(P "Parenting", Parenting, 0.87),
+    raw!(P "Photography", Photography, 0.90),
+    raw!(P "Astrology", Astrology, 0.91),
+    raw!(P "Dating & Relationships", DatingRelationships, 0.92),
+    raw!(P "Arts & Crafts", ArtsCrafts, 0.86),
+    raw!(P "Sexuality", Sexuality, 0.81),
+    raw!(P "Tobacco", Tobacco, 0.88),
+    raw!(P "Body Art", BodyArt, 0.90),
+    raw!(P "Digital Postcards", DigitalPostcards, 0.83),
+    raw!(P "Sports", Sports, 0.93),
+    raw!(P "Technology", Technology, 0.88),
+    raw!(P "Travel", Travel, 0.92),
+    raw!(P "Vehicles", Vehicles, 0.91),
+    raw!(P "Weapons", Weapons, 0.89),
+    raw!(P "Violence", Violence, 0.80),
+    raw!(P "Weather", Weather, 0.95),
+    raw!(P "Unknown", Unknown, 0.80),
+    // --- 34 merged near-duplicates. ---
+    raw!(M "Chat", ChatMessaging, 0.85),
+    raw!(M "Instant Messengers", ChatMessaging, 0.88),
+    raw!(M "Messaging", ChatMessaging, 0.84),
+    raw!(M "Auctions", AuctionsMarketplaces, 0.86),
+    raw!(M "Marketplaces", AuctionsMarketplaces, 0.85),
+    raw!(M "Online Shopping", Ecommerce, 0.90),
+    raw!(M "Streaming Media", VideoStreaming, 0.87),
+    raw!(M "Movies", MoviesHomeVideo, 0.88),
+    raw!(M "Home Video", MoviesHomeVideo, 0.82),
+    raw!(M "Anime", CartoonsAnime, 0.91),
+    raw!(M "Cartoons", CartoonsAnime, 0.86),
+    raw!(M "News", NewsMedia, 0.90),
+    raw!(M "Radio", AudioStreaming, 0.87),
+    raw!(M "Podcasts", AudioStreaming, 0.89),
+    raw!(M "Games", Gaming, 0.92),
+    raw!(M "Video Games", Gaming, 0.93),
+    raw!(M "Fashion", ClothingFashion, 0.88),
+    raw!(M "Recipes", FoodDrink, 0.91),
+    raw!(M "Restaurants", FoodDrink, 0.89),
+    raw!(M "Gardening", HomeGarden, 0.87),
+    raw!(M "Horoscope", Astrology, 0.90),
+    raw!(M "Dating", DatingRelationships, 0.91),
+    raw!(M "Universities", EducationalInstitutions, 0.94),
+    raw!(M "K-12 Schools", EducationalInstitutions, 0.90),
+    raw!(M "Online Courses", Education, 0.85),
+    raw!(M "Stock Trading", EconomyFinance, 0.90),
+    raw!(M "Banking", EconomyFinance, 0.93),
+    raw!(M "Cryptocurrency", EconomyFinance, 0.84),
+    raw!(M "Government Services", GovernmentPolitics, 0.90),
+    raw!(M "Advocacy", PoliticsAdvocacy, 0.82),
+    raw!(M "Fitness", HealthFitness, 0.88),
+    raw!(M "Medicine", HealthFitness, 0.86),
+    raw!(M "Lottery", Gambling, 0.91),
+    raw!(M "Sports Betting", Gambling, 0.92),
+    // --- 19 dropped low-accuracy categories (< 0.80). ---
+    raw!(D "Search Engines", 0.62),
+    raw!(D "Social Networks", 0.58),
+    raw!(D "Content Servers", 0.45),
+    raw!(D "CDNs", 0.50),
+    raw!(D "Parked Domains", 0.55),
+    raw!(D "Private IP Addresses", 0.30),
+    raw!(D "Login Screens", 0.40),
+    raw!(D "No Content", 0.35),
+    raw!(D "Nudity", 0.70),
+    raw!(D "Militancy", 0.52),
+    raw!(D "Hate Speech", 0.48),
+    raw!(D "Cult", 0.44),
+    raw!(D "Swimsuits", 0.60),
+    raw!(D "Translation", 0.65),
+    raw!(D "URL Shorteners", 0.72),
+    raw!(D "Web Hosting", 0.68),
+    raw!(D "File Sharing", 0.66),
+    raw!(D "P2P", 0.42),
+    raw!(D "Spam Sites", 0.38),
+];
+
+/// Number of raw categories the API exposes.
+pub const RAW_CATEGORY_COUNT: usize = 114;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_114_raw_categories() {
+        assert_eq!(ALL.len(), RAW_CATEGORY_COUNT);
+    }
+
+    #[test]
+    fn exactly_19_dropped() {
+        let dropped = ALL.iter().filter(|r| !r.kept()).count();
+        assert_eq!(dropped, 19);
+    }
+
+    #[test]
+    fn every_curated_category_has_exactly_one_primary() {
+        for c in Category::ALL.iter().filter(|c| c.in_table3()) {
+            let primaries = ALL
+                .iter()
+                .filter(|r| matches!(r.disposition, Disposition::Primary(p) if p == *c))
+                .count();
+            assert_eq!(primaries, 1, "category {c} has {primaries} primaries");
+        }
+    }
+
+    #[test]
+    fn dropped_exactly_below_bar() {
+        for r in &ALL {
+            if r.kept() {
+                assert!(r.api_accuracy >= 0.80, "{} kept but accuracy {}", r.name, r.api_accuracy);
+            } else {
+                assert!(r.api_accuracy < 0.80, "{} dropped but accuracy {}", r.name, r.api_accuracy);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_names_unique() {
+        let names: HashSet<&str> = ALL.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn dropped_curate_to_unknown() {
+        let r = RawCategory::by_name("Parked Domains").unwrap();
+        assert_eq!(r.curated(), Category::Unknown);
+    }
+
+    #[test]
+    fn merges_land_in_expected_category() {
+        assert_eq!(RawCategory::by_name("Instant Messengers").unwrap().curated(), Category::ChatMessaging);
+        assert_eq!(RawCategory::by_name("Banking").unwrap().curated(), Category::EconomyFinance);
+        assert_eq!(RawCategory::by_name("Anime").unwrap().curated(), Category::CartoonsAnime);
+    }
+
+    #[test]
+    fn search_and_social_are_dropped_from_api() {
+        // The paper manually verified these rather than trusting the API.
+        assert!(!RawCategory::by_name("Search Engines").unwrap().kept());
+        assert!(!RawCategory::by_name("Social Networks").unwrap().kept());
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(RawCategory::by_name("Nonexistent").is_none());
+    }
+}

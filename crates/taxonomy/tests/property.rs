@@ -1,0 +1,60 @@
+//! Property tests for the taxonomy substrate.
+
+use proptest::prelude::*;
+use wwv_taxonomy::curation::{audit_agreement, run_curation};
+use wwv_taxonomy::{Categorizer, Category, CategoryProfile, NoisyCategorizer, TrueCategorizer};
+
+fn arb_category() -> impl Strategy<Value = Category> {
+    (0..Category::ALL.len()).prop_map(|i| Category::ALL[i])
+}
+
+proptest! {
+    /// Name round-trips for every category.
+    #[test]
+    fn names_roundtrip(cat in arb_category()) {
+        prop_assert_eq!(Category::from_name(cat.name()), Some(cat));
+    }
+
+    /// Profiles are well-formed for every category.
+    #[test]
+    fn profiles_well_formed(cat in arb_category()) {
+        let p = CategoryProfile::of(cat);
+        prop_assert!(p.dwell_seconds > 0.0);
+        prop_assert!((-1.0..=1.0).contains(&p.mobile_affinity));
+        prop_assert!(p.december_multiplier > 0.0 && p.december_multiplier < 3.0);
+        let (g, r, n) = p.locality.probabilities();
+        prop_assert!((g + r + n - 1.0).abs() < 1e-9);
+        // Rank-anchor interpolation stays non-negative everywhere.
+        for rank in [1usize, 10, 50, 316, 1_000, 5_000, 10_000, 100_000] {
+            prop_assert!(p.windows_rank.weight_at_rank(rank) >= 0.0);
+            prop_assert!(p.android_rank.weight_at_rank(rank) >= 0.0);
+        }
+    }
+
+    /// The noisy categorizer is a total, deterministic function of
+    /// (domain, seed) over labeled domains.
+    #[test]
+    fn categorizer_deterministic(seed in any::<u64>(), idx in 0usize..500) {
+        let truth = TrueCategorizer::new((0..500).map(|i| {
+            (format!("d{i}.example.com"), Category::ALL[i % Category::ALL.len()])
+        }));
+        let noisy = NoisyCategorizer::new(truth, seed);
+        let domain = format!("d{idx}.example.com");
+        let a = noisy.categorize(&domain);
+        let b = noisy.categorize(&domain);
+        prop_assert!(a.is_some());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Curation reproduces the paper's dispositions for any seed.
+    #[test]
+    fn curation_outcome_stable(seed in any::<u64>()) {
+        let outcome = run_curation(seed);
+        prop_assert_eq!(outcome.dropped_count(), 19);
+        prop_assert_eq!(outcome.curated_count(), 61);
+        prop_assert_eq!(audit_agreement(&outcome), 1.0);
+        for audit in &outcome.audits {
+            prop_assert_eq!(audit.yes + audit.maybe + audit.no, 10);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Dataset construction.
+//!
+//! Builds the full [`ChromeDataset`] from a world model. Counts are sampled
+//! per (breakdown, domain) directly from the demand expectation:
+//!
+//! * completed loads ~ Poisson(volume · share);
+//! * uploaded foreground events ~ Poisson(volume · fg-per-load · 0.35% ·
+//!   share) — the privacy down-sampling shows up as extra Poisson noise in
+//!   time-on-page tails, exactly as in the real pipeline;
+//! * foreground milliseconds = events · site dwell;
+//! * unique clients ≈ loads / loads-per-client, thresholded per §3.1.
+//!
+//! This expectation-level sampling is distributionally identical to pushing
+//! hundreds of millions of per-client event batches through the collector
+//! (a thinned Poisson process aggregates to these exact marginals); the
+//! event path itself is exercised end-to-end by `wwv-telemetry`'s client +
+//! collector tests and the integration suite.
+
+use crate::dataset::{ChromeDataset, DomainTable, RankListData};
+use crate::privacy::{self, FOREGROUND_UPLOAD_PROBABILITY};
+use crate::sampling::poisson;
+use std::collections::HashMap;
+use wwv_world::{Breakdown, Metric, Month, Platform, World, COUNTRIES};
+
+/// Configurable dataset builder.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder<'w> {
+    world: &'w World,
+    /// Expected completed page loads per month in a usage-weight-1.0 country
+    /// on one platform.
+    pub base_volume: f64,
+    /// Foreground events per completed load.
+    pub fg_per_load: f64,
+    /// Mean completed loads per client per domain per month (converts load
+    /// counts into unique-client estimates).
+    pub loads_per_client: f64,
+    /// Unique-client inclusion threshold.
+    pub client_threshold: u64,
+    /// Maximum rank-list depth retained per breakdown.
+    pub max_depth: usize,
+    /// Months to build (defaults to all six).
+    pub months: Vec<Month>,
+}
+
+impl<'w> DatasetBuilder<'w> {
+    /// Builder with paper-scale defaults.
+    pub fn new(world: &'w World) -> Self {
+        DatasetBuilder {
+            world,
+            base_volume: 2.0e10,
+            fg_per_load: 1.2,
+            loads_per_client: 12.0,
+            client_threshold: privacy::DEFAULT_CLIENT_THRESHOLD,
+            max_depth: 12_000,
+            months: Month::ALL.to_vec(),
+        }
+    }
+
+    /// Restricts the build to specific months.
+    pub fn months(mut self, months: &[Month]) -> Self {
+        self.months = months.to_vec();
+        self
+    }
+
+    /// Overrides the maximum retained depth.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Scales volume (tests use smaller volumes for speed — noisier tails).
+    pub fn base_volume(mut self, v: f64) -> Self {
+        self.base_volume = v;
+        self
+    }
+
+    /// Overrides the unique-client threshold.
+    pub fn client_threshold(mut self, t: u64) -> Self {
+        self.client_threshold = t;
+        self
+    }
+
+    /// Builds the dataset.
+    pub fn build(&self) -> ChromeDataset {
+        let mut domains = DomainTable::new();
+        let mut lists: HashMap<Breakdown, RankListData> = HashMap::new();
+        let seed = self.world.config().seed;
+        for (ci, country) in COUNTRIES.iter().enumerate() {
+            let volume = self.base_volume * country.usage_weight;
+            for platform in Platform::ALL {
+                // Mobile installs see somewhat fewer browser loads overall.
+                let platform_volume =
+                    if platform.is_mobile() { volume * 0.8 } else { volume };
+                for &month in &self.months {
+                    let b_loads = Breakdown { country: ci, platform, metric: Metric::PageLoads, month };
+                    let demand = self.world.demand(b_loads);
+                    let mut loads_entries: Vec<(u32, u64)> = Vec::with_capacity(demand.len());
+                    let mut time_entries: Vec<(u32, u64)> = Vec::with_capacity(demand.len());
+                    for (site_id, share) in demand {
+                        let site = self.world.universe().site(site_id);
+                        let domain = site.domain_in(ci);
+                        if !privacy::is_public_domain(&domain) {
+                            continue;
+                        }
+                        let sample_idx = (site_id.0 as u64)
+                            .wrapping_mul(8191)
+                            .wrapping_add((ci as u64) << 4)
+                            .wrapping_add((month.index() as u64) << 1)
+                            .wrapping_add(platform.is_mobile() as u64);
+                        let loads =
+                            poisson(seed, "agg-loads", sample_idx, platform_volume * share);
+                        let unique = (loads as f64 / self.loads_per_client).round() as u64;
+                        if !privacy::passes_threshold(unique, self.client_threshold) {
+                            continue;
+                        }
+                        let domain_id = domains.intern(&domain, site_id);
+                        loads_entries.push((domain_id.0, loads));
+                        // Time metric: down-sampled foreground events.
+                        let fg_lambda = platform_volume
+                            * share
+                            * self.fg_per_load
+                            * FOREGROUND_UPLOAD_PROBABILITY;
+                        let fg_events = poisson(seed, "agg-fg", sample_idx, fg_lambda);
+                        let millis = fg_events.saturating_mul((site.dwell * 1000.0) as u64);
+                        if millis > 0 {
+                            time_entries.push((domain_id.0, millis));
+                        }
+                    }
+                    loads_entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    loads_entries.truncate(self.max_depth);
+                    time_entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    time_entries.truncate(self.max_depth);
+                    lists.insert(
+                        b_loads,
+                        RankListData {
+                            entries: loads_entries
+                                .into_iter()
+                                .map(|(d, c)| (crate::dataset::DomainId(d), c))
+                                .collect(),
+                        },
+                    );
+                    lists.insert(
+                        Breakdown { metric: Metric::TimeOnPage, ..b_loads },
+                        RankListData {
+                            entries: time_entries
+                                .into_iter()
+                                .map(|(d, c)| (crate::dataset::DomainId(d), c))
+                                .collect(),
+                        },
+                    );
+                }
+            }
+        }
+        ChromeDataset {
+            domains,
+            lists,
+            client_threshold: self.client_threshold,
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::{Country, WorldConfig};
+
+    fn small_dataset() -> (World, ChromeDataset) {
+        let world = World::new(WorldConfig::small());
+        let ds = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, ds)
+    }
+
+    #[test]
+    fn builds_lists_for_all_breakdowns() {
+        let (_, ds) = small_dataset();
+        assert_eq!(ds.lists.len(), 45 * 2 * 2);
+        for (b, list) in &ds.lists {
+            assert!(!list.is_empty(), "{b:?} empty");
+        }
+    }
+
+    #[test]
+    fn lists_sorted_descending() {
+        let (_, ds) = small_dataset();
+        for list in ds.lists.values() {
+            for pair in list.entries.windows(2) {
+                assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn google_tops_lists() {
+        let (_, ds) = small_dataset();
+        let us = Country::index_of("US").unwrap();
+        let b = Breakdown {
+            country: us,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        };
+        let list = ds.list(b).unwrap();
+        assert_eq!(ds.domains.name(list.at_rank(1).unwrap()), "google.com");
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let world = World::new(WorldConfig::small());
+        let a = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(1.0e8)
+            .client_threshold(500)
+            .build();
+        let b = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(1.0e8)
+            .client_threshold(500)
+            .build();
+        let key = a.lists.keys().next().unwrap();
+        assert_eq!(a.lists[key], b.lists[key]);
+    }
+
+    #[test]
+    fn threshold_limits_depth() {
+        let world = World::new(WorldConfig::small());
+        let strict = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(20_000)
+            .build();
+        let lax = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .build();
+        let b = *strict.lists.keys().next().unwrap();
+        assert!(strict.lists[&b].len() < lax.lists[&b].len());
+    }
+
+    #[test]
+    fn time_lists_differ_from_loads() {
+        let (_, ds) = small_dataset();
+        let us = Country::index_of("US").unwrap();
+        let loads = ds
+            .list(Breakdown {
+                country: us,
+                platform: Platform::Windows,
+                metric: Metric::PageLoads,
+                month: Month::February2022,
+            })
+            .unwrap();
+        let time = ds
+            .list(Breakdown {
+                country: us,
+                platform: Platform::Windows,
+                metric: Metric::TimeOnPage,
+                month: Month::February2022,
+            })
+            .unwrap();
+        let l: Vec<_> = loads.domains().take(20).collect();
+        let t: Vec<_> = time.domains().take(20).collect();
+        assert_ne!(l, t, "metrics must produce different orderings");
+    }
+
+    #[test]
+    fn domains_are_country_specific_for_cctld_sites() {
+        let (_, ds) = small_dataset();
+        assert!(ds.domains.get("amazon.co.uk").is_some());
+        assert!(ds.domains.get("amazon.de").is_some());
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulated client populations.
+//!
+//! Clients draw their page loads from the world model's demand distribution
+//! for their (country, platform, month), emit initiated/completed load
+//! events, apply the client-side 0.35% foreground down-sampling, and
+//! occasionally visit non-public domains (which the pipeline must drop).
+
+use crate::event::{ClientBatch, TelemetryEvent};
+use crate::privacy::FOREGROUND_UPLOAD_PROBABILITY;
+use crate::sampling::{bernoulli, poisson};
+use wwv_world::{Breakdown, SiteId, World};
+
+/// Generates client event batches for one breakdown's population.
+#[derive(Debug)]
+pub struct ClientSimulator<'w> {
+    world: &'w World,
+    /// Mean page loads per client per month.
+    pub mean_loads: f64,
+    /// Probability that a load targets a non-public domain (intranets etc.).
+    pub non_public_rate: f64,
+}
+
+impl<'w> ClientSimulator<'w> {
+    /// Creates a simulator with defaults (≈80 loads per client per month,
+    /// 1% intranet traffic).
+    pub fn new(world: &'w World) -> Self {
+        ClientSimulator { world, mean_loads: 80.0, non_public_rate: 0.01 }
+    }
+
+    /// Emits batches for `clients` clients of a breakdown (the `metric`
+    /// field of the breakdown is ignored; clients emit raw events and
+    /// metrics are an aggregation-side concept).
+    pub fn batches(&self, b: Breakdown, clients: u64) -> Vec<ClientBatch> {
+        // Cumulative demand for weighted sampling.
+        let demand = self.world.demand(b);
+        let mut cumulative: Vec<f64> = Vec::with_capacity(demand.len());
+        let mut acc = 0.0;
+        for (_, w) in &demand {
+            acc += *w;
+            cumulative.push(acc);
+        }
+        let seed = self.world.config().seed;
+        let mut out = Vec::with_capacity(clients as usize);
+        for c in 0..clients {
+            let client_id = seed.derive_indexed("client-id", c ^ (b.country as u64) << 32);
+            let stream = client_id ^ b.month.index() as u64;
+            let n_loads = poisson(seed, "client-loads", stream, self.mean_loads);
+            let mut events = Vec::with_capacity((n_loads as usize).min(4096) * 2);
+            for l in 0..n_loads {
+                let draw_idx = stream.wrapping_mul(1 + l).wrapping_add(l);
+                let site = if bernoulli(seed, "np", draw_idx, self.non_public_rate) {
+                    None
+                } else {
+                    Some(self.sample_site(&demand, &cumulative, draw_idx))
+                };
+                let domain = match site {
+                    Some(id) => self.world.domain_of(id, b.country),
+                    None => format!("host{}.corp", draw_idx % 50),
+                };
+                events.push(TelemetryEvent::PageLoadInitiated { domain: domain.clone() });
+                // A small fraction of loads never reach FCP.
+                if !bernoulli(seed, "abandon", draw_idx, 0.04) {
+                    events.push(TelemetryEvent::PageLoadCompleted { domain: domain.clone() });
+                    // Foreground events are client-side down-sampled.
+                    if bernoulli(seed, "fg", draw_idx, FOREGROUND_UPLOAD_PROBABILITY) {
+                        let dwell_ms = match site {
+                            Some(id) => {
+                                (self.world.universe().site(id).dwell * 1000.0).round() as u64
+                            }
+                            None => 30_000,
+                        };
+                        events.push(TelemetryEvent::ForegroundTime { domain, millis: dwell_ms });
+                    }
+                }
+            }
+            out.push(ClientBatch {
+                client_id,
+                country: b.country as u8,
+                platform: b.platform,
+                month: b.month,
+                events,
+            });
+        }
+        out
+    }
+
+    fn sample_site(&self, demand: &[(SiteId, f64)], cumulative: &[f64], idx: u64) -> SiteId {
+        let seed = self.world.config().seed;
+        let total = *cumulative.last().expect("non-empty demand");
+        let u = ((seed.derive_indexed("site-draw", idx) >> 11) as f64 / (1u64 << 53) as f64) * total;
+        let pos = cumulative.partition_point(|c| *c < u);
+        demand[pos.min(demand.len() - 1)].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::{Country, Metric, Month, Platform, WorldConfig};
+
+    fn small_world() -> World {
+        World::new(WorldConfig::small())
+    }
+
+    fn breakdown() -> Breakdown {
+        Breakdown {
+            country: Country::index_of("US").unwrap(),
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let a = sim.batches(breakdown(), 5);
+        let b = sim.batches(breakdown(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clients_emit_roughly_mean_loads() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let batches = sim.batches(breakdown(), 50);
+        let total_initiated: usize = batches
+            .iter()
+            .map(|b| {
+                b.events
+                    .iter()
+                    .filter(|e| matches!(e, TelemetryEvent::PageLoadInitiated { .. }))
+                    .count()
+            })
+            .sum();
+        let mean = total_initiated as f64 / 50.0;
+        assert!((mean - 80.0).abs() < 10.0, "mean loads {mean}");
+    }
+
+    #[test]
+    fn popular_sites_dominate_draws() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let batches = sim.batches(breakdown(), 60);
+        let google_loads = batches
+            .iter()
+            .flat_map(|b| &b.events)
+            .filter(|e| e.domain() == "google.com")
+            .count();
+        let total: usize = batches.iter().map(|b| b.events.len()).sum();
+        let share = google_loads as f64 / total as f64;
+        assert!(share > 0.10, "google share {share}");
+    }
+
+    #[test]
+    fn foreground_events_are_rare() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let batches = sim.batches(breakdown(), 100);
+        let fg: usize = batches
+            .iter()
+            .flat_map(|b| &b.events)
+            .filter(|e| matches!(e, TelemetryEvent::ForegroundTime { .. }))
+            .count();
+        let completed: usize = batches
+            .iter()
+            .flat_map(|b| &b.events)
+            .filter(|e| matches!(e, TelemetryEvent::PageLoadCompleted { .. }))
+            .count();
+        let rate = fg as f64 / completed as f64;
+        assert!(rate < 0.03, "foreground upload rate {rate} should be ~0.35%");
+    }
+
+    #[test]
+    fn some_non_public_traffic_present() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let batches = sim.batches(breakdown(), 100);
+        let np = batches
+            .iter()
+            .flat_map(|b| &b.events)
+            .filter(|e| e.domain().ends_with(".corp"))
+            .count();
+        assert!(np > 0, "intranet traffic should appear before filtering");
+    }
+
+    #[test]
+    fn batch_metadata_matches_breakdown() {
+        let world = small_world();
+        let sim = ClientSimulator::new(&world);
+        let b = breakdown();
+        for batch in sim.batches(b, 5) {
+            assert_eq!(batch.country as usize, b.country);
+            assert_eq!(batch.platform, b.platform);
+            assert_eq!(batch.month, b.month);
+        }
+    }
+}

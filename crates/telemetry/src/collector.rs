@@ -1,0 +1,414 @@
+//! Concurrent telemetry collector.
+//!
+//! Ingests wire frames over a `crossbeam` channel, decodes them on worker
+//! threads, and aggregates per-(country, platform, month, domain) counters.
+//! Unique-client counting is capped: once a domain has been seen by more
+//! clients than the privacy threshold, further ids are not stored (the exact
+//! count above the threshold never matters).
+
+use crate::event::TelemetryEvent;
+use crate::hll::HyperLogLog;
+use crate::privacy::is_public_domain;
+use crate::wire::decode_frame;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use wwv_world::{Month, Platform};
+
+/// Aggregated counters for one (breakdown, domain).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct DomainStats {
+    /// Initiated page loads.
+    pub initiated: u64,
+    /// Completed page loads.
+    pub completed: u64,
+    /// Uploaded (down-sampled) foreground events.
+    pub foreground_events: u64,
+    /// Total foreground milliseconds across uploaded events.
+    pub foreground_millis: u64,
+    /// Unique clients observed, capped at the collector's `client_cap`.
+    pub unique_clients: u64,
+}
+
+/// Aggregation key (domain is interned per map entry).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggKey {
+    /// Country index.
+    pub country: u8,
+    /// Platform.
+    pub platform: Platform,
+    /// Month.
+    pub month: Month,
+    /// Domain.
+    pub domain: String,
+}
+
+/// Final aggregate: counters per key.
+pub type Aggregate = HashMap<AggKey, DomainStats>;
+
+/// Collector statistics (ingest health).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CollectorStats {
+    /// Frames decoded successfully.
+    pub frames_ok: u64,
+    /// Frames rejected by the decoder.
+    pub frames_bad: u64,
+    /// Events dropped for non-public domains.
+    pub non_public_dropped: u64,
+    /// Events aggregated.
+    pub events: u64,
+}
+
+/// Strategy for counting unique clients per domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientCounting {
+    /// Exact hash sets, capped at the privacy threshold (simulation scale).
+    Exact,
+    /// HyperLogLog sketches at the given precision — constant memory per
+    /// domain, the production-scale strategy. Sketches merge exactly across
+    /// workers.
+    Sketch(u8),
+}
+
+/// Per-worker unique-client tracker.
+enum ClientTracker {
+    Exact(HashSet<u64>),
+    Sketch(HyperLogLog),
+}
+
+impl ClientTracker {
+    fn new(mode: ClientCounting) -> ClientTracker {
+        match mode {
+            ClientCounting::Exact => ClientTracker::Exact(HashSet::new()),
+            ClientCounting::Sketch(p) => ClientTracker::Sketch(
+                HyperLogLog::new(p).expect("validated precision"),
+            ),
+        }
+    }
+
+    fn insert(&mut self, client_id: u64, slack: u64) {
+        match self {
+            ClientTracker::Exact(set) => {
+                if (set.len() as u64) <= slack {
+                    set.insert(client_id);
+                }
+            }
+            ClientTracker::Sketch(hll) => hll.insert(client_id),
+        }
+    }
+
+    fn merge(&mut self, other: ClientTracker) {
+        match (self, other) {
+            (ClientTracker::Exact(a), ClientTracker::Exact(b)) => a.extend(b),
+            (ClientTracker::Sketch(a), ClientTracker::Sketch(b)) => {
+                a.merge(&b);
+            }
+            _ => unreachable!("collector uses one counting mode per run"),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            ClientTracker::Exact(set) => set.len() as u64,
+            ClientTracker::Sketch(hll) => hll.estimate().round() as u64,
+        }
+    }
+}
+
+/// Handle to a running collector.
+pub struct Collector {
+    sender: Option<Sender<Bytes>>,
+    workers: Vec<JoinHandle<(Aggregate, HashMap<(u8, Platform, Month, String), ClientTracker>)>>,
+    stats: Arc<Mutex<CollectorStats>>,
+    client_cap: u64,
+}
+
+impl Collector {
+    /// Starts `workers` aggregation threads with exact (capped) client
+    /// counting. `client_cap` bounds per-domain unique-client tracking (set
+    /// it to the privacy threshold).
+    pub fn start(workers: usize, client_cap: u64) -> Self {
+        Self::start_with(workers, client_cap, ClientCounting::Exact)
+    }
+
+    /// Starts a collector with HyperLogLog client counting (precision 12,
+    /// ≈1.6% error — ample for threshold decisions).
+    pub fn start_sketched(workers: usize, client_cap: u64) -> Self {
+        Self::start_with(workers, client_cap, ClientCounting::Sketch(12))
+    }
+
+    /// Starts a collector with an explicit counting strategy.
+    pub fn start_with(workers: usize, client_cap: u64, counting: ClientCounting) -> Self {
+        let (tx, rx) = unbounded::<Bytes>();
+        let stats = Arc::new(Mutex::new(CollectorStats::default()));
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let stats = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                let mut agg: Aggregate = HashMap::new();
+                let mut clients: HashMap<(u8, Platform, Month, String), ClientTracker> =
+                    HashMap::new();
+                let mut local = CollectorStats::default();
+                for mut frame in rx.iter() {
+                    match decode_frame(&mut frame) {
+                        Ok(batch) => {
+                            local.frames_ok += 1;
+                            let mut touched: HashSet<&str> = HashSet::new();
+                            for event in &batch.events {
+                                let domain = event.domain();
+                                if !is_public_domain(domain) {
+                                    local.non_public_dropped += 1;
+                                    continue;
+                                }
+                                local.events += 1;
+                                let key = AggKey {
+                                    country: batch.country,
+                                    platform: batch.platform,
+                                    month: batch.month,
+                                    domain: domain.to_owned(),
+                                };
+                                let entry = agg.entry(key).or_default();
+                                match event {
+                                    TelemetryEvent::PageLoadInitiated { .. } => entry.initiated += 1,
+                                    TelemetryEvent::PageLoadCompleted { .. } => entry.completed += 1,
+                                    TelemetryEvent::ForegroundTime { millis, .. } => {
+                                        entry.foreground_events += 1;
+                                        entry.foreground_millis += millis;
+                                    }
+                                }
+                                touched.insert(domain);
+                            }
+                            for domain in touched {
+                                let ckey = (
+                                    batch.country,
+                                    batch.platform,
+                                    batch.month,
+                                    domain.to_owned(),
+                                );
+                                clients
+                                    .entry(ckey)
+                                    .or_insert_with(|| ClientTracker::new(counting))
+                                    .insert(batch.client_id, CLIENT_CAP_SLACK);
+                            }
+                        }
+                        Err(_) => local.frames_bad += 1,
+                    }
+                }
+                let mut shared = stats.lock();
+                shared.frames_ok += local.frames_ok;
+                shared.frames_bad += local.frames_bad;
+                shared.non_public_dropped += local.non_public_dropped;
+                shared.events += local.events;
+                (agg, clients)
+            }));
+        }
+        Collector { sender: Some(tx), workers: handles, stats, client_cap }
+    }
+
+    /// Ingests one encoded frame.
+    pub fn ingest(&self, frame: Bytes) {
+        self.sender
+            .as_ref()
+            .expect("collector still running")
+            .send(frame)
+            .expect("workers alive while sender exists");
+    }
+
+    /// Closes ingestion, joins workers, and returns the merged aggregate and
+    /// ingest statistics. Unique-client counts are capped at `client_cap`.
+    pub fn finish(mut self) -> (Aggregate, CollectorStats) {
+        drop(self.sender.take());
+        let mut merged: Aggregate = HashMap::new();
+        let mut merged_clients: HashMap<(u8, Platform, Month, String), ClientTracker> =
+            HashMap::new();
+        for handle in self.workers.drain(..) {
+            let (agg, clients) = handle.join().expect("worker thread panicked");
+            for (key, value) in agg {
+                let entry = merged.entry(key).or_default();
+                entry.initiated += value.initiated;
+                entry.completed += value.completed;
+                entry.foreground_events += value.foreground_events;
+                entry.foreground_millis += value.foreground_millis;
+            }
+            for (key, tracker) in clients {
+                match merged_clients.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().merge(tracker);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(tracker);
+                    }
+                }
+            }
+        }
+        for (key, tracker) in merged_clients {
+            let agg_key = AggKey { country: key.0, platform: key.1, month: key.2, domain: key.3 };
+            if let Some(entry) = merged.get_mut(&agg_key) {
+                entry.unique_clients = tracker.count().min(self.client_cap);
+            }
+        }
+        let stats = self.stats.lock().clone();
+        (merged, stats)
+    }
+}
+
+/// Per-worker unique-client tracking slack: workers keep a few more ids than
+/// the cap so the post-merge count can still reach the cap even when clients
+/// are spread across workers.
+const CLIENT_CAP_SLACK: u64 = 1 << 14;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ClientBatch;
+    use crate::wire::encode_frame;
+
+    fn batch(client_id: u64, domain: &str, loads: usize) -> ClientBatch {
+        ClientBatch {
+            client_id,
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::February2022,
+            events: (0..loads)
+                .flat_map(|_| {
+                    vec![
+                        TelemetryEvent::PageLoadInitiated { domain: domain.into() },
+                        TelemetryEvent::PageLoadCompleted { domain: domain.into() },
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn key(domain: &str) -> AggKey {
+        AggKey {
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::February2022,
+            domain: domain.into(),
+        }
+    }
+
+    #[test]
+    fn aggregates_counts() {
+        let collector = Collector::start(4, 100);
+        for i in 0..10 {
+            collector.ingest(encode_frame(&batch(i, "example.com", 3)));
+        }
+        let (agg, stats) = collector.finish();
+        let entry = &agg[&key("example.com")];
+        assert_eq!(entry.initiated, 30);
+        assert_eq!(entry.completed, 30);
+        assert_eq!(entry.unique_clients, 10);
+        assert_eq!(stats.frames_ok, 10);
+        assert_eq!(stats.frames_bad, 0);
+    }
+
+    #[test]
+    fn unique_clients_deduplicated() {
+        let collector = Collector::start(2, 100);
+        // Same client uploads twice.
+        collector.ingest(encode_frame(&batch(7, "example.com", 1)));
+        collector.ingest(encode_frame(&batch(7, "example.com", 1)));
+        let (agg, _) = collector.finish();
+        assert_eq!(agg[&key("example.com")].unique_clients, 1);
+        assert_eq!(agg[&key("example.com")].completed, 2);
+    }
+
+    #[test]
+    fn unique_clients_capped() {
+        let collector = Collector::start(3, 5);
+        for i in 0..50 {
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+        }
+        let (agg, _) = collector.finish();
+        assert_eq!(agg[&key("example.com")].unique_clients, 5);
+    }
+
+    #[test]
+    fn non_public_domains_dropped() {
+        let collector = Collector::start(2, 100);
+        collector.ingest(encode_frame(&batch(1, "printer.local", 2)));
+        collector.ingest(encode_frame(&batch(2, "example.com", 1)));
+        let (agg, stats) = collector.finish();
+        assert!(!agg.contains_key(&key("printer.local")));
+        assert!(agg.contains_key(&key("example.com")));
+        assert_eq!(stats.non_public_dropped, 4);
+    }
+
+    #[test]
+    fn bad_frames_counted_not_fatal() {
+        let collector = Collector::start(2, 100);
+        collector.ingest(Bytes::from_static(&[3, 0, 0, 0, 1, 2, 3]));
+        collector.ingest(encode_frame(&batch(1, "example.com", 1)));
+        let (agg, stats) = collector.finish();
+        assert_eq!(stats.frames_bad, 1);
+        assert_eq!(stats.frames_ok, 1);
+        assert_eq!(agg[&key("example.com")].completed, 1);
+    }
+
+    #[test]
+    fn foreground_millis_accumulate() {
+        let collector = Collector::start(2, 100);
+        let b = ClientBatch {
+            client_id: 1,
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::February2022,
+            events: vec![
+                TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 1_000 },
+                TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 2_500 },
+            ],
+        };
+        collector.ingest(encode_frame(&b));
+        let (agg, _) = collector.finish();
+        let entry = &agg[&key("example.com")];
+        assert_eq!(entry.foreground_events, 2);
+        assert_eq!(entry.foreground_millis, 3_500);
+    }
+
+    #[test]
+    fn sketched_collector_counts_within_error() {
+        let collector = Collector::start_sketched(3, 100_000);
+        for i in 0..3_000u64 {
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+        }
+        let (agg, _) = collector.finish();
+        let count = agg[&key("example.com")].unique_clients as f64;
+        assert!((count - 3_000.0).abs() < 300.0, "sketched count {count}");
+    }
+
+    #[test]
+    fn sketched_and_exact_agree_on_threshold_side() {
+        for n in [50u64, 5_000] {
+            let exact = Collector::start(2, 100_000);
+            let sketched = Collector::start_sketched(2, 100_000);
+            for i in 0..n {
+                exact.ingest(encode_frame(&batch(i, "example.com", 1)));
+                sketched.ingest(encode_frame(&batch(i, "example.com", 1)));
+            }
+            let (ea, _) = exact.finish();
+            let (sa, _) = sketched.finish();
+            let e = ea[&key("example.com")].unique_clients;
+            let s = sa[&key("example.com")].unique_clients;
+            let threshold = 1_000;
+            assert_eq!(e >= threshold, s >= threshold, "n={n}: exact {e} vs sketched {s}");
+        }
+    }
+
+    #[test]
+    fn breakdown_keys_are_separate() {
+        let collector = Collector::start(2, 100);
+        let mut on_android = batch(1, "example.com", 1);
+        on_android.platform = Platform::Android;
+        collector.ingest(encode_frame(&batch(1, "example.com", 1)));
+        collector.ingest(encode_frame(&on_android));
+        let (agg, _) = collector.finish();
+        assert_eq!(agg.len(), 2);
+    }
+}

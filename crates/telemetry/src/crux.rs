@@ -1,0 +1,223 @@
+//! CrUX-style public export (§3.1, "Public Data Access").
+//!
+//! The paper's underlying telemetry is not public, but a coarser-grained
+//! version ships as the Chrome User Experience Report (CrUX): rank-order
+//! **magnitude buckets** (top-1K, top-5K, top-10K, …) of websites by
+//! completed page loads, per country and globally. This module produces that
+//! artifact from a [`ChromeDataset`], and implements the §6 methodology
+//! check the paper recommends: measuring how badly a globally aggregated
+//! list under-represents each country's nationally popular sites.
+
+use crate::dataset::{ChromeDataset, DomainId};
+use serde::Serialize;
+use std::collections::HashMap;
+use wwv_world::{Breakdown, Metric, Month, Platform, COUNTRIES};
+
+/// The default CrUX-like bucket ladder (upper rank bounds, ascending).
+pub const DEFAULT_BUCKETS: [usize; 4] = [1_000, 5_000, 10_000, 50_000];
+
+/// One country's (or the global) bucketed list.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketedList {
+    /// Bucket ladder used (upper bounds).
+    pub ladder: Vec<usize>,
+    /// Domain → smallest ladder bucket containing its rank.
+    pub buckets: HashMap<DomainId, usize>,
+}
+
+impl BucketedList {
+    /// The bucket of a domain, if ranked.
+    pub fn bucket(&self, d: DomainId) -> Option<usize> {
+        self.buckets.get(&d).copied()
+    }
+
+    /// Number of domains in exactly the given bucket.
+    pub fn count_in(&self, bucket: usize) -> usize {
+        self.buckets.values().filter(|b| **b == bucket).count()
+    }
+}
+
+/// Exports one country's bucketed list (completed page loads only, as CrUX).
+pub fn country_buckets(
+    dataset: &ChromeDataset,
+    country: usize,
+    platform: Platform,
+    month: Month,
+    ladder: &[usize],
+) -> Option<BucketedList> {
+    let b = Breakdown { country, platform, metric: Metric::PageLoads, month };
+    let list = dataset.list(b)?;
+    let mut buckets = HashMap::with_capacity(list.len());
+    for (i, d) in list.domains().enumerate() {
+        if let Some(bucket) = ladder.iter().find(|upper| i < **upper) {
+            buckets.insert(d, *bucket);
+        }
+    }
+    Some(BucketedList { ladder: ladder.to_vec(), buckets })
+}
+
+/// Exports the globally aggregated bucketed list: per-domain counts summed
+/// over all countries (count units are comparable across countries since
+/// volumes share a base), then bucketed by global rank.
+pub fn global_buckets(
+    dataset: &ChromeDataset,
+    platform: Platform,
+    month: Month,
+    ladder: &[usize],
+) -> BucketedList {
+    let mut totals: HashMap<DomainId, u64> = HashMap::new();
+    for country in 0..COUNTRIES.len() {
+        let b = Breakdown { country, platform, metric: Metric::PageLoads, month };
+        if let Some(list) = dataset.list(b) {
+            for (d, count) in &list.entries {
+                *totals.entry(*d).or_insert(0) += count;
+            }
+        }
+    }
+    let mut ranked: Vec<(DomainId, u64)> = totals.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut buckets = HashMap::with_capacity(ranked.len());
+    for (i, (d, _)) in ranked.iter().enumerate() {
+        if let Some(bucket) = ladder.iter().find(|upper| i < **upper) {
+            buckets.insert(*d, *bucket);
+        }
+    }
+    BucketedList { ladder: ladder.to_vec(), buckets }
+}
+
+/// §6's under-representation check for one country: of the sites in the
+/// country's smallest (head) bucket, the fraction missing from the global
+/// head bucket, and the fraction missing from the global list entirely.
+#[derive(Debug, Clone, Serialize)]
+pub struct GlobalCoverage {
+    /// ISO code.
+    pub country: String,
+    /// Sites in the country's head bucket.
+    pub head_sites: usize,
+    /// Fraction of those outside the global head bucket.
+    pub missing_from_global_head: f64,
+    /// Fraction of those absent from every global bucket.
+    pub missing_from_global_entirely: f64,
+}
+
+/// Computes [`GlobalCoverage`] for every country.
+pub fn global_coverage(
+    dataset: &ChromeDataset,
+    platform: Platform,
+    month: Month,
+    ladder: &[usize],
+) -> Vec<GlobalCoverage> {
+    let global = global_buckets(dataset, platform, month, ladder);
+    let head = ladder.first().copied().unwrap_or(1_000);
+    let mut out = Vec::new();
+    for (ci, country) in COUNTRIES.iter().enumerate() {
+        let Some(local) = country_buckets(dataset, ci, platform, month, ladder) else {
+            continue;
+        };
+        let head_sites: Vec<DomainId> = local
+            .buckets
+            .iter()
+            .filter(|(_, b)| **b == head)
+            .map(|(d, _)| *d)
+            .collect();
+        if head_sites.is_empty() {
+            continue;
+        }
+        let missing_head =
+            head_sites.iter().filter(|d| global.bucket(**d) != Some(head)).count();
+        let missing_all = head_sites.iter().filter(|d| global.bucket(**d).is_none()).count();
+        out.push(GlobalCoverage {
+            country: country.code.to_owned(),
+            head_sites: head_sites.len(),
+            missing_from_global_head: missing_head as f64 / head_sites.len() as f64,
+            missing_from_global_entirely: missing_all as f64 / head_sites.len() as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+    use wwv_world::{Country, World, WorldConfig};
+
+    fn fixture() -> (World, ChromeDataset) {
+        let world = World::new(WorldConfig::small());
+        let ds = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, ds)
+    }
+
+    const LADDER: [usize; 3] = [100, 1_000, 3_000];
+
+    #[test]
+    fn buckets_nest_by_rank() {
+        let (_, ds) = fixture();
+        let us = Country::index_of("US").unwrap();
+        let buckets =
+            country_buckets(&ds, us, Platform::Windows, Month::February2022, &LADDER).unwrap();
+        let b = Breakdown {
+            country: us,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        };
+        let list = ds.list(b).unwrap();
+        assert_eq!(buckets.bucket(list.at_rank(1).unwrap()), Some(100));
+        assert_eq!(buckets.bucket(list.at_rank(100).unwrap()), Some(100));
+        assert_eq!(buckets.bucket(list.at_rank(101).unwrap()), Some(1_000));
+        assert_eq!(buckets.count_in(100), 100);
+        assert_eq!(buckets.count_in(1_000), 900);
+    }
+
+    #[test]
+    fn global_head_contains_the_giants() {
+        let (_, ds) = fixture();
+        let global = global_buckets(&ds, Platform::Windows, Month::February2022, &LADDER);
+        let google = ds.domains.get("google.com").unwrap();
+        assert_eq!(global.bucket(google), Some(100));
+    }
+
+    #[test]
+    fn national_sites_underrepresented_globally() {
+        // §6: a globally aggregated list misses regionally important sites.
+        let (_, ds) = fixture();
+        let coverage = global_coverage(&ds, Platform::Windows, Month::February2022, &LADDER);
+        assert_eq!(coverage.len(), 45);
+        // Small countries lose a large share of their head sites globally.
+        let pa = coverage.iter().find(|c| c.country == "PA").unwrap();
+        let us = coverage.iter().find(|c| c.country == "US").unwrap();
+        assert!(
+            pa.missing_from_global_head > us.missing_from_global_head,
+            "PA {:.2} vs US {:.2}",
+            pa.missing_from_global_head,
+            us.missing_from_global_head
+        );
+        let median_missing = {
+            let mut v: Vec<f64> = coverage.iter().map(|c| c.missing_from_global_head).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        assert!(median_missing > 0.2, "median missing {median_missing}");
+    }
+
+    #[test]
+    fn unranked_domains_have_no_bucket() {
+        let (_, ds) = fixture();
+        let us = Country::index_of("US").unwrap();
+        let kr = Country::index_of("KR").unwrap();
+        let buckets =
+            country_buckets(&ds, us, Platform::Windows, Month::February2022, &LADDER).unwrap();
+        // A Korea-only domain is absent from the US bucket list.
+        let naver = ds.domains.get("naver.com").unwrap();
+        assert_eq!(buckets.bucket(naver), None);
+        let kr_buckets =
+            country_buckets(&ds, kr, Platform::Windows, Month::February2022, &LADDER).unwrap();
+        assert_eq!(kr_buckets.bucket(naver), Some(100));
+    }
+}

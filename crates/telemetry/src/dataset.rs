@@ -1,0 +1,188 @@
+//! The Chrome dataset artifact (§3.1).
+//!
+//! The paper's analyses consume exactly two things: monthly rank-order lists
+//! of domains per (country, platform, metric), and global traffic
+//! distribution curves. [`ChromeDataset`] is that artifact. Domains are
+//! interned in a [`DomainTable`]; each table entry also records the
+//! ground-truth [`SiteId`] behind the domain, which stands in for "what the
+//! site actually is" when building categorization oracles (the paper's
+//! equivalent: the website itself, inspected manually or via the API).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wwv_world::{Breakdown, Metric, Platform, SiteId, TrafficCurve};
+
+/// Interned domain identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub u32);
+
+/// Domain interner with ground-truth site links.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DomainTable {
+    names: Vec<String>,
+    sites: Vec<SiteId>,
+    #[serde(skip)]
+    index: HashMap<String, DomainId>,
+}
+
+impl DomainTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a domain, recording its ground-truth site.
+    pub fn intern(&mut self, domain: &str, site: SiteId) -> DomainId {
+        if let Some(id) = self.index.get(domain) {
+            return *id;
+        }
+        let id = DomainId(self.names.len() as u32);
+        self.names.push(domain.to_owned());
+        self.sites.push(site);
+        self.index.insert(domain.to_owned(), id);
+        id
+    }
+
+    /// The domain string for an id.
+    pub fn name(&self, id: DomainId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The ground-truth site behind a domain.
+    pub fn site(&self, id: DomainId) -> SiteId {
+        self.sites[id.0 as usize]
+    }
+
+    /// Looks up an interned domain.
+    pub fn get(&self, domain: &str) -> Option<DomainId> {
+        self.index.get(domain).copied()
+    }
+
+    /// Number of interned domains.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the lookup index (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), DomainId(i as u32)))
+            .collect();
+    }
+}
+
+/// One breakdown's rank list: domains best-first with their counts
+/// (completed page loads, or foreground milliseconds for the time metric).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankListData {
+    /// `(domain, count)` ordered by descending count.
+    pub entries: Vec<(DomainId, u64)>,
+}
+
+impl RankListData {
+    /// Number of ranked domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Domains best-first.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.entries.iter().map(|(d, _)| *d)
+    }
+
+    /// The domain at 1-based rank.
+    pub fn at_rank(&self, rank: usize) -> Option<DomainId> {
+        if rank == 0 {
+            return None;
+        }
+        self.entries.get(rank - 1).map(|(d, _)| *d)
+    }
+}
+
+/// The dataset: every rank list plus the calibrated global curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChromeDataset {
+    /// Domain interner.
+    pub domains: DomainTable,
+    /// Rank lists per breakdown.
+    pub lists: HashMap<Breakdown, RankListData>,
+    /// Unique-client threshold used when building.
+    pub client_threshold: u64,
+    /// Maximum list depth retained.
+    pub max_depth: usize,
+}
+
+impl ChromeDataset {
+    /// The rank list for a breakdown.
+    pub fn list(&self, b: Breakdown) -> Option<&RankListData> {
+        self.lists.get(&b)
+    }
+
+    /// The global traffic-distribution curve for a (platform, metric) pair.
+    /// As in the paper (§4.1.1), these come from globally aggregated
+    /// distribution data, not from the per-country rank lists.
+    pub fn curve(&self, platform: Platform, metric: Metric) -> TrafficCurve {
+        TrafficCurve::for_breakdown(platform, metric)
+    }
+
+    /// All breakdown keys present.
+    pub fn breakdowns(&self) -> impl Iterator<Item = Breakdown> + '_ {
+        self.lists.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedupes() {
+        let mut t = DomainTable::new();
+        let a = t.intern("example.com", SiteId(1));
+        let b = t.intern("example.com", SiteId(1));
+        let c = t.intern("other.com", SiteId(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "example.com");
+        assert_eq!(t.site(c), SiteId(2));
+        assert_eq!(t.get("other.com"), Some(c));
+        assert_eq!(t.get("missing.com"), None);
+    }
+
+    #[test]
+    fn rank_list_accessors() {
+        let list = RankListData { entries: vec![(DomainId(5), 100), (DomainId(2), 50)] };
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.at_rank(1), Some(DomainId(5)));
+        assert_eq!(list.at_rank(0), None);
+        assert_eq!(list.at_rank(3), None);
+        let all: Vec<DomainId> = list.domains().collect();
+        assert_eq!(all, vec![DomainId(5), DomainId(2)]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = DomainTable::new();
+        t.intern("a.com", SiteId(0));
+        t.intern("b.com", SiteId(1));
+        let mut clone = t.clone();
+        clone.index.clear();
+        assert_eq!(clone.get("a.com"), None);
+        clone.rebuild_index();
+        assert_eq!(clone.get("a.com"), t.get("a.com"));
+    }
+}

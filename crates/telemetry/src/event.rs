@@ -1,0 +1,69 @@
+//! Browsing events as emitted by clients.
+
+use serde::{Deserialize, Serialize};
+use wwv_world::{Month, Platform};
+
+/// One telemetry event for one domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A navigation started (First Contentful Paint not yet reached). The
+    /// paper excludes this metric from analysis as nearly identical to
+    /// completed loads, but Chrome collects it, so the pipeline carries it.
+    PageLoadInitiated {
+        /// Target domain.
+        domain: String,
+    },
+    /// A page load completed (First Contentful Paint).
+    PageLoadCompleted {
+        /// Target domain.
+        domain: String,
+    },
+    /// A page was backgrounded after `millis` of foreground time.
+    ForegroundTime {
+        /// Target domain.
+        domain: String,
+        /// Foreground duration in milliseconds.
+        millis: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The domain the event refers to.
+    pub fn domain(&self) -> &str {
+        match self {
+            TelemetryEvent::PageLoadInitiated { domain }
+            | TelemetryEvent::PageLoadCompleted { domain }
+            | TelemetryEvent::ForegroundTime { domain, .. } => domain,
+        }
+    }
+}
+
+/// A batch of events one client uploads in one request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientBatch {
+    /// Opaque per-install identifier (used only for unique-client counting).
+    pub client_id: u64,
+    /// Country index (into `wwv_world::COUNTRIES`).
+    pub country: u8,
+    /// Platform.
+    pub platform: Platform,
+    /// Month the events belong to.
+    pub month: Month,
+    /// The events.
+    pub events: Vec<TelemetryEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_accessor_covers_all_variants() {
+        let e1 = TelemetryEvent::PageLoadInitiated { domain: "a.com".into() };
+        let e2 = TelemetryEvent::PageLoadCompleted { domain: "b.com".into() };
+        let e3 = TelemetryEvent::ForegroundTime { domain: "c.com".into(), millis: 5 };
+        assert_eq!(e1.domain(), "a.com");
+        assert_eq!(e2.domain(), "b.com");
+        assert_eq!(e3.domain(), "c.com");
+    }
+}

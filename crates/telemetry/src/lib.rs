@@ -1,0 +1,45 @@
+//! # wwv-telemetry
+//!
+//! A Chrome-like telemetry pipeline: the substrate standing in for the
+//! browser-side collection infrastructure behind the paper's dataset (§3.1).
+//!
+//! The full client path is implemented and exercised end-to-end:
+//!
+//! * [`event`] — browsing events (initiated/completed page loads, foreground
+//!   time) as clients emit them;
+//! * [`wire`] — a length-prefixed binary frame codec for event-batch uploads;
+//! * [`client`] — simulated client populations emitting event batches drawn
+//!   from the world model's demand distributions;
+//! * [`collector`] — a concurrent aggregation service (worker threads over
+//!   `crossbeam` channels, sharded counters) that ingests frames;
+//! * [`privacy`] — the paper's three safeguards: unique-client thresholding,
+//!   0.35% down-sampling of foreground events, and non-public-domain
+//!   exclusion;
+//! * [`sampling`] — deterministic Poisson/normal samplers;
+//! * [`dataset`] — the [`dataset::ChromeDataset`] artifact the analyses
+//!   consume: monthly per-(country, platform, metric) rank lists plus the
+//!   global traffic-distribution curves;
+//! * [`builder`] — dataset construction. Event-level simulation is exact but
+//!   cannot reach hundreds of millions of users, so the builder samples each
+//!   domain's monthly aggregate count directly from its demand expectation
+//!   (Poisson), which is distributionally identical to aggregating the event
+//!   stream; the event path itself is validated against the expectation path
+//!   in tests.
+
+pub mod builder;
+pub mod crux;
+pub mod hll;
+pub mod client;
+pub mod collector;
+pub mod dataset;
+pub mod event;
+pub mod persist;
+pub mod privacy;
+pub mod sampling;
+pub mod wire;
+
+pub use builder::DatasetBuilder;
+pub use hll::HyperLogLog;
+pub use dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
+pub use event::{ClientBatch, TelemetryEvent};
+pub use wire::{decode_frame, encode_frame, WireError};

@@ -1,0 +1,77 @@
+//! Chrome's privacy safeguards (§3.1).
+//!
+//! Three mechanisms protect users in the shared dataset:
+//!
+//! 1. **Unique-client thresholding** — domains seen by fewer unique clients
+//!    than a threshold are excluded from every rank list.
+//! 2. **Foreground-event down-sampling** — each page-foreground event has
+//!    only ≈0.35% probability of being uploaded, so no client's browsing is
+//!    fully observable.
+//! 3. **Non-public-domain exclusion** — domains not reachable from the
+//!    public web (intranets, localhost, single-label hosts) never enter the
+//!    dataset.
+
+/// Probability that a single foreground event is uploaded (§3.1).
+pub const FOREGROUND_UPLOAD_PROBABILITY: f64 = 0.0035;
+
+/// Default unique-client threshold for a domain to be included.
+pub const DEFAULT_CLIENT_THRESHOLD: u64 = 2_000;
+
+/// Suffixes that mark a domain as non-public.
+const NON_PUBLIC_SUFFIXES: [&str; 5] = [".local", ".corp", ".internal", ".lan", ".intranet"];
+
+/// Whether a domain may appear in the dataset. Non-public domains —
+/// single-label hosts (`localhost`, bare machine names), RFC-6762-style
+/// `.local` names, and common intranet suffixes — are excluded.
+pub fn is_public_domain(domain: &str) -> bool {
+    if domain.is_empty() || !domain.contains('.') {
+        return false;
+    }
+    if NON_PUBLIC_SUFFIXES.iter().any(|s| domain.ends_with(s)) {
+        return false;
+    }
+    true
+}
+
+/// Whether a domain passes the unique-client threshold.
+pub fn passes_threshold(unique_clients: u64, threshold: u64) -> bool {
+    unique_clients >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_domains_pass() {
+        assert!(is_public_domain("example.com"));
+        assert!(is_public_domain("news.bbc.co.uk"));
+    }
+
+    #[test]
+    fn single_label_hosts_excluded() {
+        assert!(!is_public_domain("localhost"));
+        assert!(!is_public_domain("fileserver"));
+        assert!(!is_public_domain(""));
+    }
+
+    #[test]
+    fn intranet_suffixes_excluded() {
+        assert!(!is_public_domain("printer.local"));
+        assert!(!is_public_domain("wiki.corp"));
+        assert!(!is_public_domain("git.internal"));
+        assert!(!is_public_domain("nas.lan"));
+        assert!(!is_public_domain("portal.intranet"));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        assert!(passes_threshold(2_000, 2_000));
+        assert!(!passes_threshold(1_999, 2_000));
+    }
+
+    #[test]
+    fn downsample_rate_matches_paper() {
+        assert!((FOREGROUND_UPLOAD_PROBABILITY - 0.0035).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic samplers for the telemetry simulation.
+//!
+//! Aggregate monthly counts are Poisson around their demand expectation.
+//! Small means use Knuth's product method; large means use the normal
+//! approximation (λ + √λ·z), which is accurate and O(1).
+
+use wwv_world::WorldSeed;
+
+/// Uniform in `[0, 1)` from a sub-seed value.
+fn unit(seed: u64) -> f64 {
+    (seed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal via Box–Muller.
+fn gauss(seed: WorldSeed, purpose: &str, index: u64) -> f64 {
+    let u1 = unit(seed.derive_indexed(purpose, index.wrapping_mul(2))).max(1e-12);
+    let u2 = unit(seed.derive_indexed(purpose, index.wrapping_mul(2) + 1));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic Poisson draw with mean `lambda`, keyed by
+/// `(seed, purpose, index)`.
+pub fn poisson(seed: WorldSeed, purpose: &str, index: u64, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth: count uniforms until their product drops below e^-λ.
+        let limit = (-lambda).exp();
+        let mut product = 1.0;
+        let mut k = 0u64;
+        loop {
+            product *= unit(seed.derive_indexed(purpose, index.wrapping_mul(64).wrapping_add(k)));
+            if product < limit {
+                return k;
+            }
+            k += 1;
+            if k > 1000 {
+                return k; // unreachable for λ < 30; belt and braces
+            }
+        }
+    }
+    // Normal approximation.
+    let z = gauss(seed, purpose, index);
+    let value = lambda + lambda.sqrt() * z;
+    value.round().max(0.0) as u64
+}
+
+/// Deterministic Bernoulli draw with probability `p`.
+pub fn bernoulli(seed: WorldSeed, purpose: &str, index: u64, p: f64) -> bool {
+    unit(seed.derive_indexed(purpose, index)) < p
+}
+
+/// Deterministic Binomial(n, p) draw: exact for small `n`, Poisson/normal
+/// approximation for large `n`.
+pub fn binomial(seed: WorldSeed, purpose: &str, index: u64, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        let mut k = 0;
+        for i in 0..n {
+            if bernoulli(seed, purpose, index.wrapping_mul(128).wrapping_add(i), p) {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    let mean = n as f64 * p;
+    if mean < 30.0 {
+        return poisson(seed, purpose, index, mean).min(n);
+    }
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let value = mean + sd * gauss(seed, purpose, index);
+    (value.round().max(0.0) as u64).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: WorldSeed = WorldSeed(42);
+
+    #[test]
+    fn poisson_zero_lambda() {
+        assert_eq!(poisson(SEED, "t", 0, 0.0), 0);
+        assert_eq!(poisson(SEED, "t", 0, -1.0), 0);
+    }
+
+    #[test]
+    fn poisson_deterministic() {
+        assert_eq!(poisson(SEED, "t", 5, 3.3), poisson(SEED, "t", 5, 3.3));
+        // Different indices draw independently.
+        let all_same = (0..100).all(|i| poisson(SEED, "t", i, 3.3) == poisson(SEED, "t", 0, 3.3));
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn poisson_small_mean_statistics() {
+        let lambda = 4.0;
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|i| poisson(SEED, "small", i, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        let var: f64 = (0..n)
+            .map(|i| {
+                let d = poisson(SEED, "small", i, lambda) as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - lambda).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_statistics() {
+        let lambda = 10_000.0;
+        let n = 5_000u64;
+        let mean = (0..n).map(|i| poisson(SEED, "large", i, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let hits = (0..10_000).filter(|i| bernoulli(SEED, "b", *i, 0.35)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.35).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn binomial_bounds_and_mean() {
+        for (n, p) in [(10u64, 0.5), (1000, 0.01), (100_000, 0.3)] {
+            let draws: Vec<u64> = (0..2000).map(|i| binomial(SEED, "bin", i, n, p)).collect();
+            assert!(draws.iter().all(|d| *d <= n));
+            let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+            let expect = n as f64 * p;
+            let tol = (expect.sqrt() * 0.2).max(0.5);
+            assert!((mean - expect).abs() < tol, "n={n} p={p}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        assert_eq!(binomial(SEED, "e", 0, 50, 0.0), 0);
+        assert_eq!(binomial(SEED, "e", 0, 50, 1.0), 50);
+        assert_eq!(binomial(SEED, "e", 0, 0, 0.7), 0);
+    }
+}

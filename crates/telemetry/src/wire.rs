@@ -1,0 +1,291 @@
+//! Binary wire format for event-batch uploads.
+//!
+//! Frames are length-prefixed so a byte stream can carry back-to-back
+//! batches:
+//!
+//! ```text
+//! u32  payload length (LE, excluding this prefix)
+//! u64  client id (LE)
+//! u8   country index
+//! u8   platform (0 = Windows, 1 = Android)
+//! u8   month index (0 = 2021-09)
+//! u16  event count (LE)
+//! events:
+//!   u8   kind (0 = initiated, 1 = completed, 2 = foreground)
+//!   u8   domain length
+//!   ...  domain bytes (ASCII)
+//!   u64  value (LE; foreground millis, 0 otherwise)
+//! ```
+
+use crate::event::{ClientBatch, TelemetryEvent};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use wwv_world::{Month, Platform};
+
+/// Maximum domain length on the wire.
+pub const MAX_DOMAIN_LEN: usize = 253;
+/// Maximum payload size accepted by the decoder (DoS guard).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes for a complete frame; retry with more data.
+    Incomplete,
+    /// Payload length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Advertised length.
+        len: usize,
+    },
+    /// Unknown event kind tag.
+    BadEventKind {
+        /// The offending tag.
+        kind: u8,
+    },
+    /// Country index out of range.
+    BadCountry {
+        /// The offending index.
+        index: u8,
+    },
+    /// Platform tag out of range.
+    BadPlatform {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Month index out of range.
+    BadMonth {
+        /// The offending index.
+        index: u8,
+    },
+    /// Domain bytes are not valid ASCII/UTF-8.
+    BadDomain,
+    /// Frame declared more/fewer events than its payload holds.
+    Truncated,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Incomplete => write!(f, "incomplete frame"),
+            WireError::FrameTooLarge { len } => write!(f, "frame of {len} bytes exceeds limit"),
+            WireError::BadEventKind { kind } => write!(f, "unknown event kind {kind}"),
+            WireError::BadCountry { index } => write!(f, "country index {index} out of range"),
+            WireError::BadPlatform { tag } => write!(f, "platform tag {tag} out of range"),
+            WireError::BadMonth { index } => write!(f, "month index {index} out of range"),
+            WireError::BadDomain => write!(f, "domain bytes are not valid UTF-8"),
+            WireError::Truncated => write!(f, "frame payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn platform_tag(p: Platform) -> u8 {
+    match p {
+        Platform::Windows => 0,
+        Platform::Android => 1,
+    }
+}
+
+fn event_kind(e: &TelemetryEvent) -> (u8, u64) {
+    match e {
+        TelemetryEvent::PageLoadInitiated { .. } => (0, 0),
+        TelemetryEvent::PageLoadCompleted { .. } => (1, 0),
+        TelemetryEvent::ForegroundTime { millis, .. } => (2, *millis),
+    }
+}
+
+/// Encodes a batch as one frame.
+pub fn encode_frame(batch: &ClientBatch) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64 + batch.events.len() * 32);
+    payload.put_u64_le(batch.client_id);
+    payload.put_u8(batch.country);
+    payload.put_u8(platform_tag(batch.platform));
+    payload.put_u8(batch.month.index() as u8);
+    payload.put_u16_le(batch.events.len() as u16);
+    for event in &batch.events {
+        let (kind, value) = event_kind(event);
+        let domain = event.domain().as_bytes();
+        debug_assert!(domain.len() <= MAX_DOMAIN_LEN);
+        payload.put_u8(kind);
+        payload.put_u8(domain.len() as u8);
+        payload.put_slice(domain);
+        payload.put_u64_le(value);
+    }
+    let mut out = BytesMut::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out.freeze()
+}
+
+/// Decodes one frame from the front of `buf`, advancing it past the frame.
+/// Returns [`WireError::Incomplete`] (without consuming) when more bytes are
+/// needed.
+pub fn decode_frame(buf: &mut Bytes) -> Result<ClientBatch, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    if buf.len() < 4 + len {
+        return Err(WireError::Incomplete);
+    }
+    buf.advance(4);
+    let mut payload = buf.split_to(len);
+    decode_payload(&mut payload)
+}
+
+fn decode_payload(p: &mut Bytes) -> Result<ClientBatch, WireError> {
+    if p.remaining() < 8 + 1 + 1 + 1 + 2 {
+        return Err(WireError::Truncated);
+    }
+    let client_id = p.get_u64_le();
+    let country = p.get_u8();
+    if country as usize >= wwv_world::COUNTRIES.len() {
+        return Err(WireError::BadCountry { index: country });
+    }
+    let platform = match p.get_u8() {
+        0 => Platform::Windows,
+        1 => Platform::Android,
+        tag => return Err(WireError::BadPlatform { tag }),
+    };
+    let month_idx = p.get_u8();
+    let month = *Month::ALL
+        .get(month_idx as usize)
+        .ok_or(WireError::BadMonth { index: month_idx })?;
+    let count = p.get_u16_le() as usize;
+    let mut events = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        if p.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let kind = p.get_u8();
+        let dlen = p.get_u8() as usize;
+        if p.remaining() < dlen + 8 {
+            return Err(WireError::Truncated);
+        }
+        let domain_bytes = p.split_to(dlen);
+        let domain =
+            std::str::from_utf8(&domain_bytes).map_err(|_| WireError::BadDomain)?.to_owned();
+        let value = p.get_u64_le();
+        let event = match kind {
+            0 => TelemetryEvent::PageLoadInitiated { domain },
+            1 => TelemetryEvent::PageLoadCompleted { domain },
+            2 => TelemetryEvent::ForegroundTime { domain, millis: value },
+            other => return Err(WireError::BadEventKind { kind: other }),
+        };
+        events.push(event);
+    }
+    if p.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    Ok(ClientBatch { client_id, country, platform, month, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> ClientBatch {
+        ClientBatch {
+            client_id: 0xDEAD_BEEF,
+            country: 3,
+            platform: Platform::Android,
+            month: Month::December2021,
+            events: vec![
+                TelemetryEvent::PageLoadInitiated { domain: "example.com".into() },
+                TelemetryEvent::PageLoadCompleted { domain: "example.com".into() },
+                TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 8_500 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let batch = sample_batch();
+        let mut bytes = encode_frame(&batch);
+        let decoded = decode_frame(&mut bytes).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(bytes.is_empty(), "frame fully consumed");
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let a = sample_batch();
+        let mut b = sample_batch();
+        b.client_id = 7;
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&encode_frame(&a));
+        stream.extend_from_slice(&encode_frame(&b));
+        let mut stream = stream.freeze();
+        assert_eq!(decode_frame(&mut stream).unwrap(), a);
+        assert_eq!(decode_frame(&mut stream).unwrap(), b);
+        assert!(matches!(decode_frame(&mut stream), Err(WireError::Incomplete)));
+    }
+
+    #[test]
+    fn incomplete_prefix() {
+        let mut short = Bytes::from_static(&[1, 0]);
+        assert_eq!(decode_frame(&mut short), Err(WireError::Incomplete));
+        assert_eq!(short.len(), 2, "nothing consumed");
+    }
+
+    #[test]
+    fn incomplete_payload() {
+        let full = encode_frame(&sample_batch());
+        let mut cut = full.slice(0..full.len() - 3);
+        assert_eq!(decode_frame(&mut cut), Err(WireError::Incomplete));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        let mut bytes = bytes.freeze();
+        assert!(matches!(decode_frame(&mut bytes), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn bad_event_kind_rejected() {
+        let mut frame = BytesMut::from(&encode_frame(&sample_batch())[..]);
+        // First event kind byte sits at offset 4 (len) + 8 + 1 + 1 + 1 + 2.
+        frame[17] = 9;
+        let mut frame = frame.freeze();
+        assert_eq!(decode_frame(&mut frame), Err(WireError::BadEventKind { kind: 9 }));
+    }
+
+    #[test]
+    fn bad_country_rejected() {
+        let mut batch = sample_batch();
+        batch.country = 250;
+        let mut frame = encode_frame(&batch);
+        assert_eq!(decode_frame(&mut frame), Err(WireError::BadCountry { index: 250 }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let good = encode_frame(&sample_batch());
+        // Grow the declared length by 1 and append a junk byte.
+        let mut raw = BytesMut::from(&good[..]);
+        let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) + 1;
+        raw[0..4].copy_from_slice(&len.to_le_bytes());
+        raw.put_u8(0xFF);
+        let mut raw = raw.freeze();
+        assert_eq!(decode_frame(&mut raw), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let batch = ClientBatch {
+            client_id: 1,
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::September2021,
+            events: vec![],
+        };
+        let mut bytes = encode_frame(&batch);
+        assert_eq!(decode_frame(&mut bytes).unwrap(), batch);
+    }
+}

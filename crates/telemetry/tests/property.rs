@@ -1,0 +1,117 @@
+//! Property tests for the telemetry substrate: the wire codec never panics
+//! on arbitrary input and always round-trips valid batches; samplers stay in
+//! bounds; HyperLogLog estimates stay within theory.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wwv_telemetry::hll::HyperLogLog;
+use wwv_telemetry::sampling::{binomial, poisson};
+use wwv_telemetry::{decode_frame, encode_frame, ClientBatch, TelemetryEvent};
+use wwv_world::{Month, Platform, WorldSeed};
+
+fn arb_domain() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,12}\\.[a-z]{2,6}").unwrap()
+}
+
+fn arb_event() -> impl Strategy<Value = TelemetryEvent> {
+    prop_oneof![
+        arb_domain().prop_map(|d| TelemetryEvent::PageLoadInitiated { domain: d }),
+        arb_domain().prop_map(|d| TelemetryEvent::PageLoadCompleted { domain: d }),
+        (arb_domain(), 0u64..10_000_000)
+            .prop_map(|(d, ms)| TelemetryEvent::ForegroundTime { domain: d, millis: ms }),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = ClientBatch> {
+    (
+        any::<u64>(),
+        0u8..45,
+        prop_oneof![Just(Platform::Windows), Just(Platform::Android)],
+        0usize..6,
+        proptest::collection::vec(arb_event(), 0..50),
+    )
+        .prop_map(|(client_id, country, platform, month, events)| ClientBatch {
+            client_id,
+            country,
+            platform,
+            month: Month::ALL[month],
+            events,
+        })
+}
+
+proptest! {
+    /// Any valid batch round-trips exactly through the wire codec.
+    #[test]
+    fn wire_roundtrip(batch in arb_batch()) {
+        let mut bytes = encode_frame(&batch);
+        let decoded = decode_frame(&mut bytes).expect("encoded frames decode");
+        prop_assert_eq!(decoded, batch);
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Arbitrary byte soup never panics the decoder — it errors or decodes.
+    #[test]
+    fn wire_decoder_total(raw in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut bytes = Bytes::from(raw);
+        let _ = decode_frame(&mut bytes);
+    }
+
+    /// Truncating a valid frame anywhere yields Incomplete or an error,
+    /// never a panic or a bogus success past the truncation.
+    #[test]
+    fn wire_truncation_safe(batch in arb_batch(), cut_fraction in 0.0f64..1.0) {
+        let full = encode_frame(&batch);
+        let cut = ((full.len() as f64) * cut_fraction) as usize;
+        if cut < full.len() {
+            let mut bytes = full.slice(0..cut);
+            let _ = decode_frame(&mut bytes);
+        }
+    }
+
+    /// Concatenated frames decode in order.
+    #[test]
+    fn wire_stream(batches in proptest::collection::vec(arb_batch(), 1..5)) {
+        let mut stream = bytes::BytesMut::new();
+        for b in &batches {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+        let mut stream = stream.freeze();
+        for expected in &batches {
+            let decoded = decode_frame(&mut stream).expect("stream decodes in order");
+            prop_assert_eq!(&decoded, expected);
+        }
+        prop_assert!(stream.is_empty());
+    }
+
+    /// Poisson draws are deterministic and non-negative with finite mean.
+    #[test]
+    fn poisson_sane(seed in any::<u64>(), index in any::<u64>(), lambda in 0.0f64..1e6) {
+        let s = WorldSeed(seed);
+        let a = poisson(s, "p", index, lambda);
+        let b = poisson(s, "p", index, lambda);
+        prop_assert_eq!(a, b);
+        // Within 10σ of the mean (overwhelming probability bound).
+        let bound = lambda + 10.0 * lambda.sqrt() + 10.0;
+        prop_assert!((a as f64) < bound, "draw {a} for λ {lambda}");
+    }
+
+    /// Binomial draws never exceed n.
+    #[test]
+    fn binomial_bounded(seed in any::<u64>(), n in 0u64..100_000, p in 0.0f64..=1.0) {
+        let draw = binomial(WorldSeed(seed), "b", 1, n, p);
+        prop_assert!(draw <= n);
+    }
+
+    /// HLL estimates stay within 5 standard errors for arbitrary insertions.
+    #[test]
+    fn hll_bounded_error(items in proptest::collection::hash_set(any::<u64>(), 0..3000)) {
+        let mut hll = HyperLogLog::new(12).unwrap();
+        for item in &items {
+            hll.insert(*item);
+        }
+        let n = items.len() as f64;
+        let e = hll.estimate();
+        let tol = 5.0 * hll.relative_error() * n + 10.0;
+        prop_assert!((e - n).abs() <= tol, "estimate {e} for {n} items");
+    }
+}

@@ -1,0 +1,463 @@
+//! Registry of real-world anchor sites.
+//!
+//! The paper's site-level findings name specific websites: Google is the top
+//! site by page loads in 44/45 countries (Naver wins South Korea); users
+//! spend the most time on YouTube in 40/45 countries; WhatsApp, Roblox and
+//! Amazon appear in desktop top-6 lists; XNXX/XVideos/Pornhub and the AMP
+//! Project dominate Android top-10s; South Korea fields four forums, Nexon,
+//! Navere/Daum and namu.wiki; Vietnam censors adult content yet ranks
+//! sex333; Japan's only video-related top sites are Twitch and Nico; and so
+//! on (§4.1–§5.3). This module encodes those sites with per-country weights
+//! so the synthetic dataset reproduces each fact.
+//!
+//! Weight semantics: `base` is the site's demand weight in every country
+//! (relative to a per-country procedural-pool total of ≈1.0), and
+//! `per_country` entries *replace* the base for that country. A weight of
+//! 0.0 with country overrides models a site endemic to those countries.
+
+use crate::country::COUNTRIES;
+use wwv_taxonomy::Category;
+
+/// One anchor site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorSite {
+    /// Cross-country site key (the merged identity, e.g. `google`).
+    pub key: &'static str,
+    /// Ground-truth category.
+    pub category: Category,
+    /// Demand weight in countries without an override.
+    pub base: f64,
+    /// Mean foreground seconds per page load.
+    pub dwell: f64,
+    /// Demand multiplier on Android (captures native-app substitution:
+    /// below 1 when users prefer the app, above 1 for mobile-first sites).
+    pub android_mult: f64,
+    /// Whether a dedicated Android app exists (§4.1.2's 82% statistic).
+    pub has_android_app: bool,
+    /// Whether the site serves a distinct ccTLD per country (`amazon.de`,
+    /// `shopee.vn`, …) — §5.3.2's e-commerce pattern.
+    pub cctld: bool,
+    /// Adult content, suppressed in censoring countries unless the country
+    /// has an explicit override (the sex333-in-Vietnam case).
+    pub adult: bool,
+    /// TLD used when `cctld` is false.
+    pub tld: &'static str,
+    /// Per-country weight overrides `(ISO code, weight)`.
+    pub per_country: &'static [(&'static str, f64)],
+}
+
+impl AnchorSite {
+    /// The demand weight of this anchor in the country at `country_idx`,
+    /// before platform/metric/month adjustments.
+    pub fn weight_in(&self, country_idx: usize) -> f64 {
+        let country = &COUNTRIES[country_idx];
+        if let Some((_, w)) = self.per_country.iter().find(|(code, _)| *code == country.code) {
+            return *w;
+        }
+        let mut w = self.base;
+        if self.adult && country.censors_adult {
+            // Censorship with "varying efficacy" (§5.3.2): heavy suppression,
+            // not elimination.
+            w *= 0.05;
+        }
+        w
+    }
+
+    /// The domain this anchor serves in the country at `country_idx`.
+    pub fn domain_in(&self, country_idx: usize) -> String {
+        if self.cctld {
+            format!("{}.{}", self.key, COUNTRIES[country_idx].national_suffix)
+        } else {
+            format!("{}.{}", self.key, self.tld)
+        }
+    }
+}
+
+/// Shorthand constructor for the static table.
+const fn a(
+    key: &'static str,
+    category: Category,
+    base: f64,
+    dwell: f64,
+    android_mult: f64,
+    has_android_app: bool,
+    per_country: &'static [(&'static str, f64)],
+) -> AnchorSite {
+    AnchorSite {
+        key,
+        category,
+        base,
+        dwell,
+        android_mult,
+        has_android_app,
+        cctld: false,
+        adult: false,
+        tld: "com",
+        per_country,
+    }
+}
+
+/// Shorthand for national/endemic sites: like [`a`] with
+/// `has_android_app = true` (most of these brands ship an app).
+const fn n(
+    key: &'static str,
+    category: Category,
+    base: f64,
+    dwell: f64,
+    android_mult: f64,
+    per_country: &'static [(&'static str, f64)],
+) -> AnchorSite {
+    a(key, category, base, dwell, android_mult, true, per_country)
+}
+
+const fn adult(
+    key: &'static str,
+    base: f64,
+    dwell: f64,
+    android_mult: f64,
+    per_country: &'static [(&'static str, f64)],
+) -> AnchorSite {
+    AnchorSite {
+        key,
+        category: Category::Pornography,
+        base,
+        dwell,
+        android_mult,
+        has_android_app: false,
+        cctld: false,
+        adult: true,
+        tld: "com",
+        per_country,
+    }
+}
+
+const fn cc(
+    key: &'static str,
+    category: Category,
+    base: f64,
+    dwell: f64,
+    android_mult: f64,
+    per_country: &'static [(&'static str, f64)],
+) -> AnchorSite {
+    AnchorSite {
+        key,
+        category,
+        base,
+        dwell,
+        android_mult,
+        has_android_app: true,
+        cctld: true,
+        adult: false,
+        tld: "com",
+        per_country,
+    }
+}
+
+use Category as C;
+
+/// Countries where Google (not YouTube) leads time on page (§4.1.2 names the
+/// US; the other four are unnamed in the paper, chosen here as large
+/// English-speaking markets).
+const YT_SOFT: f64 = 0.080;
+
+/// The anchor registry.
+pub static ANCHORS: &[AnchorSite] = &[
+    // --- The global head. ---
+    a("google", C::SearchEngines, 0.37, 120.0, 0.90, true, &[("KR", 0.16), ("US", 0.43), ("GB", 0.42), ("CA", 0.42), ("AU", 0.42), ("DE", 0.42)]),
+    a("youtube", C::VideoStreaming, 0.15, 600.0, 0.35, true, &[("US", YT_SOFT), ("GB", YT_SOFT), ("CA", YT_SOFT), ("AU", YT_SOFT), ("DE", YT_SOFT), ("JP", 0.13), ("KR", 0.12)]),
+    a("facebook", C::SocialNetworks, 0.09, 300.0, 0.80, true, &[("PH", 0.17), ("VN", 0.13), ("ID", 0.12), ("MX", 0.11), ("JP", 0.02), ("KR", 0.015), ("RU", 0.01)]),
+    a("whatsapp", C::ChatMessaging, 0.045, 400.0, 0.15, true, &[("US", 0.02), ("JP", 0.002), ("KR", 0.002), ("VN", 0.004), ("RU", 0.004)]),
+    a("instagram", C::SocialNetworks, 0.030, 250.0, 0.50, true, &[("RU", 0.008)]),
+    a("twitter", C::SocialNetworks, 0.035, 250.0, 0.60, true, &[("JP", 0.08), ("RU", 0.01)]),
+    a("netflix", C::VideoStreaming, 0.030, 900.0, 0.20, true, &[("JP", 0.0), ("VN", 0.0), ("RU", 0.0), ("DZ", 0.0), ("KR", 0.02)]),
+    cc("amazon", C::Ecommerce, 0.0, 45.0, 0.55, &[("US", 0.050), ("GB", 0.045), ("DE", 0.050), ("FR", 0.040), ("IT", 0.042), ("ES", 0.038), ("CA", 0.042), ("JP", 0.045), ("IN", 0.036), ("AU", 0.040), ("MX", 0.022), ("BR", 0.012), ("NL", 0.022), ("BE", 0.024), ("TR", 0.010)]),
+    a("roblox", C::Gaming, 0.025, 500.0, 0.30, true, &[("JP", 0.004), ("KR", 0.003), ("VN", 0.006), ("TW", 0.006), ("HK", 0.006)]),
+    a("twitch", C::VideoStreaming, 0.022, 700.0, 0.40, true, &[("IN", 0.003), ("NG", 0.002), ("KE", 0.002), ("EG", 0.003), ("DZ", 0.002), ("MA", 0.002), ("TN", 0.002), ("VN", 0.004), ("ID", 0.004), ("TH", 0.004), ("BO", 0.003), ("DO", 0.002), ("GT", 0.003), ("PA", 0.002)]),
+    // --- Adult content: global on both platforms, stronger on mobile,
+    //     suppressed where censored (KR, TR, VN, RU). ---
+    adult("pornhub", 0.036, 280.0, 1.8, &[]),
+    adult("xnxx", 0.032, 280.0, 2.0, &[]),
+    adult("xvideos", 0.026, 280.0, 2.0, &[("RU", 0.030)]),
+    adult("sex333", 0.0, 280.0, 1.8, &[("VN", 0.020)]),
+    // --- Mobile plumbing: AMP serving other sites' pages (Android only). ---
+    a("ampproject", C::Redirect, 0.002, 30.0, 16.0, false, &[]),
+    // --- Work and school platforms (desktop-leaning, §4.2.1's 22/45). ---
+    a("office", C::Business, 0.020, 200.0, 0.20, true, &[("JP", 0.012), ("KR", 0.010)]),
+    a("sharepoint", C::Business, 0.015, 180.0, 0.10, false, &[]),
+    a("zoom", C::ChatMessaging, 0.012, 500.0, 0.25, true, &[]),
+    a("linkedin", C::JobSearchCareers, 0.010, 150.0, 0.45, true, &[]),
+    a("wikipedia", C::Education, 0.025, 150.0, 0.90, false, &[("KR", 0.006)]),
+    // --- Other global consumer sites. ---
+    a("tiktok", C::VideoStreaming, 0.020, 400.0, 0.70, true, &[("IN", 0.0)]),
+    a("reddit", C::Forums, 0.015, 300.0, 0.55, true, &[("US", 0.030), ("CA", 0.028), ("GB", 0.024), ("AU", 0.028), ("NZ", 0.024), ("JP", 0.003), ("KR", 0.002)]),
+    a("spotify", C::AudioStreaming, 0.012, 500.0, 0.30, true, &[]),
+    a("discord", C::ChatMessaging, 0.012, 400.0, 0.30, true, &[]),
+    a("pinterest", C::SocialNetworks, 0.012, 200.0, 1.40, true, &[]),
+    a("ebay", C::AuctionsMarketplaces, 0.004, 60.0, 0.60, true, &[("US", 0.018), ("GB", 0.018), ("DE", 0.020), ("IT", 0.012), ("AU", 0.014)]),
+    a("aliexpress", C::Ecommerce, 0.006, 55.0, 0.80, true, &[("RU", 0.036), ("ES", 0.036), ("PL", 0.036), ("BR", 0.014), ("CL", 0.014)]),
+    n("primevideo", C::VideoStreaming, 0.0, 800.0, 0.30, &[("US", 0.010), ("GB", 0.008), ("DE", 0.008), ("IN", 0.010), ("JP", 0.0), ("BR", 0.006), ("MX", 0.006)]),
+    n("hbomax", C::VideoStreaming, 0.0, 800.0, 0.30, &[("US", 0.008), ("ES", 0.006), ("MX", 0.007), ("AR", 0.006), ("CL", 0.006), ("CO", 0.006), ("PE", 0.005), ("BR", 0.006)]),
+    n("disneyplus", C::VideoStreaming, 0.0, 800.0, 0.30, &[("US", 0.007), ("GB", 0.006), ("CA", 0.006), ("AU", 0.006), ("NZ", 0.005), ("DE", 0.005), ("FR", 0.005)]),
+    // --- Technology head (stable 10–12% of ranks per Fig. 3). ---
+    a("microsoft", C::Technology, 0.016, 90.0, 0.25, false, &[]),
+    a("apple", C::Technology, 0.012, 100.0, 0.45, false, &[]),
+    a("github", C::Technology, 0.006, 200.0, 0.15, false, &[]),
+    a("adobe", C::Technology, 0.006, 120.0, 0.20, false, &[]),
+    a("stackoverflow", C::Technology, 0.005, 180.0, 0.20, false, &[]),
+    a("wordpress", C::Technology, 0.005, 110.0, 0.40, false, &[]),
+    a("samsung", C::Technology, 0.005, 90.0, 0.80, true, &[("KR", 0.012)]),
+    a("canva", C::Technology, 0.004, 200.0, 0.50, true, &[]),
+    a("cloudflare", C::Technology, 0.003, 60.0, 0.30, false, &[]),
+    a("speedtest", C::Technology, 0.003, 60.0, 0.70, true, &[]),
+    a("bing", C::SearchEngines, 0.012, 25.0, 0.25, false, &[]),
+    a("duckduckgo", C::SearchEngines, 0.006, 25.0, 0.40, true, &[]),
+    a("yahoo", C::NewsMedia, 0.010, 120.0, 0.50, true, &[("JP", 0.090), ("TW", 0.030), ("US", 0.018)]),
+    // --- Russia & Ukraine. ---
+    a("yandex", C::SearchEngines, 0.002, 60.0, 0.70, true, &[("RU", 0.130), ("UA", 0.020), ("TR", 0.012)]),
+    n("vk", C::SocialNetworks, 0.0, 350.0, 0.70, &[("RU", 0.080), ("UA", 0.018)]),
+    n("ok", C::SocialNetworks, 0.0, 300.0, 0.70, &[("RU", 0.030), ("UA", 0.008)]),
+    a("telegram", C::ChatMessaging, 0.008, 350.0, 0.40, true, &[("RU", 0.030), ("UA", 0.022)]),
+    n("mailru", C::Webmail, 0.0, 150.0, 0.50, &[("RU", 0.035)]),
+    n("kinopoisk", C::MoviesHomeVideo, 0.0, 400.0, 0.40, &[("RU", 0.016)]),
+    // --- South Korea: the paper's showcase endemic ecosystem. ---
+    n("naver", C::SearchEngines, 0.0, 180.0, 0.80, &[("KR", 0.270)]),
+    n("daum", C::SearchEngines, 0.0, 150.0, 0.70, &[("KR", 0.055)]),
+    n("kakao", C::ChatMessaging, 0.0, 300.0, 0.40, &[("KR", 0.040)]),
+    n("namu", C::Education, 0.0, 200.0, 1.10, &[("KR", 0.035)]),
+    n("dcinside", C::Forums, 0.0, 300.0, 0.90, &[("KR", 0.033)]),
+    n("arca", C::Forums, 0.0, 300.0, 0.90, &[("KR", 0.028)]),
+    n("fmkorea", C::Forums, 0.0, 300.0, 0.90, &[("KR", 0.027)]),
+    n("inven", C::Forums, 0.0, 250.0, 0.80, &[("KR", 0.024)]),
+    n("nexon", C::Gaming, 0.0, 400.0, 0.20, &[("KR", 0.026)]),
+    n("afreecatv", C::VideoStreaming, 0.0, 700.0, 0.50, &[("KR", 0.024)]),
+    n("wavve", C::VideoStreaming, 0.0, 700.0, 0.30, &[("KR", 0.014)]),
+    n("noonoo", C::VideoStreaming, 0.0, 700.0, 0.70, &[("KR", 0.012)]),
+    n("coupang", C::Ecommerce, 0.0, 50.0, 0.50, &[("KR", 0.040)]),
+    // --- Japan: national-heavy, video = Twitch and Nico only. ---
+    n("nicovideo", C::VideoStreaming, 0.0, 600.0, 0.60, &[("JP", 0.040)]),
+    n("rakuten", C::Ecommerce, 0.0, 55.0, 0.55, &[("JP", 0.045)]),
+    n("line", C::ChatMessaging, 0.0, 300.0, 0.30, &[("JP", 0.025), ("TH", 0.025), ("TW", 0.022)]),
+    n("fc2", C::Forums, 0.0, 250.0, 0.90, &[("JP", 0.018)]),
+    n("pixiv", C::Arts, 0.0, 300.0, 0.80, &[("JP", 0.016)]),
+    n("5ch", C::Forums, 0.0, 300.0, 0.90, &[("JP", 0.020)]),
+    n("dmm", C::Gaming, 0.0, 300.0, 0.40, &[("JP", 0.014)]),
+    // --- Vietnam. ---
+    n("zalo", C::ChatMessaging, 0.0, 350.0, 0.40, &[("VN", 0.045)]),
+    n("vnexpress", C::NewsMedia, 0.0, 150.0, 0.90, &[("VN", 0.035)]),
+    n("coccoc", C::SearchEngines, 0.0, 40.0, 0.30, &[("VN", 0.020)]),
+    // --- Southeast Asia e-commerce (per-country ccTLDs, §5.3.2). ---
+    cc("shopee", C::Ecommerce, 0.0, 50.0, 1.10, &[("VN", 0.044), ("TW", 0.042), ("ID", 0.042), ("TH", 0.042), ("PH", 0.042), ("BR", 0.012)]),
+    cc("lazada", C::Ecommerce, 0.0, 50.0, 1.00, &[("VN", 0.018), ("ID", 0.016), ("TH", 0.018), ("PH", 0.016)]),
+    n("tokopedia", C::Ecommerce, 0.0, 50.0, 0.90, &[("ID", 0.040)]),
+    n("detik", C::NewsMedia, 0.0, 130.0, 1.20, &[("ID", 0.025)]),
+    n("bilibili", C::VideoStreaming, 0.0, 600.0, 0.60, &[("TW", 0.016), ("HK", 0.016)]),
+    n("pixnet", C::Lifestyle, 0.0, 150.0, 1.00, &[("TW", 0.014)]),
+    n("ltn", C::NewsMedia, 0.0, 130.0, 1.10, &[("TW", 0.018)]),
+    n("hk01", C::NewsMedia, 0.0, 130.0, 1.10, &[("HK", 0.020)]),
+    n("pantip", C::Forums, 0.0, 280.0, 1.10, &[("TH", 0.022)]),
+    n("inquirer", C::NewsMedia, 0.0, 130.0, 1.10, &[("PH", 0.018)]),
+    // --- India. ---
+    n("cricbuzz", C::Sports, 0.0, 180.0, 1.30, &[("IN", 0.028)]),
+    n("hotstar", C::VideoStreaming, 0.0, 700.0, 0.50, &[("IN", 0.026)]),
+    n("flipkart", C::Ecommerce, 0.0, 50.0, 0.80, &[("IN", 0.038)]),
+    n("timesofindia", C::NewsMedia, 0.0, 130.0, 1.20, &[("IN", 0.020)]),
+    // --- Turkey. ---
+    n("trendyol", C::Ecommerce, 0.0, 50.0, 1.00, &[("TR", 0.044)]),
+    n("sahibinden", C::AuctionsMarketplaces, 0.0, 90.0, 0.90, &[("TR", 0.030)]),
+    n("hepsiburada", C::Ecommerce, 0.0, 50.0, 0.90, &[("TR", 0.024)]),
+    n("sozcu", C::NewsMedia, 0.0, 130.0, 1.10, &[("TR", 0.020)]),
+    // --- Europe nationals. ---
+    a("bbc", C::NewsMedia, 0.003, 140.0, 0.90, true, &[("GB", 0.040)]),
+    a("dailymail", C::NewsMedia, 0.001, 140.0, 1.10, false, &[("GB", 0.016)]),
+    n("leboncoin", C::AuctionsMarketplaces, 0.0, 90.0, 0.90, &[("FR", 0.035)]),
+    n("orange", C::Webmail, 0.0, 120.0, 0.60, &[("FR", 0.022)]),
+    n("lemonde", C::NewsMedia, 0.0, 140.0, 0.90, &[("FR", 0.016)]),
+    n("allegro", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("PL", 0.045)]),
+    n("onet", C::NewsMedia, 0.0, 130.0, 0.90, &[("PL", 0.028)]),
+    n("wp", C::NewsMedia, 0.0, 130.0, 0.90, &[("PL", 0.024)]),
+    n("marktplaats", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("NL", 0.035)]),
+    n("bol", C::Ecommerce, 0.0, 50.0, 0.70, &[("NL", 0.038), ("BE", 0.014)]),
+    n("nu", C::NewsMedia, 0.0, 130.0, 1.00, &[("NL", 0.026)]),
+    n("2dehands", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("BE", 0.028)]),
+    n("kuleuven", C::EducationalInstitutions, 0.0, 200.0, 0.30, &[("BE", 0.013)]),
+    n("hln", C::NewsMedia, 0.0, 130.0, 1.00, &[("BE", 0.024)]),
+    n("idealo", C::Ecommerce, 0.0, 60.0, 0.70, &[("DE", 0.034)]),
+    n("gmx", C::Webmail, 0.0, 150.0, 0.50, &[("DE", 0.024)]),
+    n("bild", C::NewsMedia, 0.0, 130.0, 1.00, &[("DE", 0.026)]),
+    n("subito", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("IT", 0.024)]),
+    n("repubblica", C::NewsMedia, 0.0, 140.0, 0.90, &[("IT", 0.022)]),
+    n("elpais", C::NewsMedia, 0.0, 140.0, 0.90, &[("ES", 0.020)]),
+    n("marca", C::Sports, 0.0, 150.0, 1.00, &[("ES", 0.022)]),
+    n("milanuncios", C::AuctionsMarketplaces, 0.0, 90.0, 0.90, &[("ES", 0.018)]),
+    // --- Americas nationals. ---
+    n("craigslist", C::AuctionsMarketplaces, 0.0, 90.0, 0.60, &[("US", 0.018)]),
+    n("espn", C::Sports, 0.0, 150.0, 0.80, &[("US", 0.016)]),
+    a("cnn", C::NewsMedia, 0.001, 140.0, 0.90, true, &[("US", 0.018)]),
+    n("kijiji", C::AuctionsMarketplaces, 0.0, 90.0, 0.70, &[("CA", 0.022)]),
+    n("cbc", C::NewsMedia, 0.0, 140.0, 0.90, &[("CA", 0.018)]),
+    cc("mercadolibre", C::Ecommerce, 0.0, 55.0, 0.80, &[("AR", 0.050), ("MX", 0.038), ("CL", 0.038), ("CO", 0.038), ("PE", 0.038), ("UY", 0.038), ("VE", 0.036), ("EC", 0.038), ("BO", 0.036), ("BR", 0.030)]),
+    n("globo", C::Television, 0.0, 300.0, 0.80, &[("BR", 0.040)]),
+    n("uol", C::NewsMedia, 0.0, 140.0, 0.90, &[("BR", 0.028)]),
+    n("americanas", C::Ecommerce, 0.0, 50.0, 0.80, &[("BR", 0.016)]),
+    n("infobae", C::NewsMedia, 0.0, 140.0, 1.00, &[("AR", 0.024), ("CO", 0.010)]),
+    n("clarin", C::NewsMedia, 0.0, 140.0, 0.90, &[("AR", 0.020)]),
+    n("yapo", C::AuctionsMarketplaces, 0.0, 90.0, 0.90, &[("CL", 0.024)]),
+    n("emol", C::NewsMedia, 0.0, 140.0, 0.90, &[("CL", 0.018)]),
+    n("eltiempo", C::NewsMedia, 0.0, 140.0, 0.90, &[("CO", 0.022)]),
+    n("elcomercio", C::NewsMedia, 0.0, 140.0, 0.90, &[("PE", 0.022), ("EC", 0.018)]),
+    n("unam", C::EducationalInstitutions, 0.0, 200.0, 0.40, &[("MX", 0.014)]),
+    n("uba", C::EducationalInstitutions, 0.0, 200.0, 0.40, &[("AR", 0.011)]),
+    n("udelar", C::EducationalInstitutions, 0.0, 200.0, 0.40, &[("UY", 0.012)]),
+    // --- Oceania nationals. ---
+    n("tvnz", C::Television, 0.0, 300.0, 0.70, &[("NZ", 0.024)]),
+    n("trademe", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("NZ", 0.032)]),
+    n("stuff", C::NewsMedia, 0.0, 140.0, 1.00, &[("NZ", 0.022)]),
+    n("gumtree", C::AuctionsMarketplaces, 0.0, 90.0, 0.80, &[("AU", 0.020), ("ZA", 0.018)]),
+    n("abc", C::NewsMedia, 0.0, 140.0, 0.90, &[("AU", 0.020)]),
+    n("realestate", C::RealEstate, 0.0, 110.0, 0.80, &[("AU", 0.014)]),
+    // --- Africa nationals. ---
+    n("ouedkniss", C::AuctionsMarketplaces, 0.0, 90.0, 1.10, &[("DZ", 0.030)]),
+    n("echoroukonline", C::NewsMedia, 0.0, 130.0, 1.20, &[("DZ", 0.018)]),
+    n("youm7", C::NewsMedia, 0.0, 130.0, 1.20, &[("EG", 0.026)]),
+    n("hespress", C::NewsMedia, 0.0, 130.0, 1.20, &[("MA", 0.028)]),
+    n("avito", C::AuctionsMarketplaces, 0.0, 90.0, 1.00, &[("MA", 0.020), ("RU", 0.028)]),
+    n("jumia", C::Ecommerce, 0.0, 50.0, 1.00, &[("NG", 0.038), ("KE", 0.038), ("EG", 0.036)]),
+    n("nairaland", C::Forums, 0.0, 250.0, 1.20, &[("NG", 0.026)]),
+    n("punchng", C::NewsMedia, 0.0, 130.0, 1.20, &[("NG", 0.018)]),
+    n("tuko", C::NewsMedia, 0.0, 130.0, 1.30, &[("KE", 0.024)]),
+    n("standardmedia", C::NewsMedia, 0.0, 130.0, 1.10, &[("KE", 0.016)]),
+    n("news24", C::NewsMedia, 0.0, 130.0, 1.00, &[("ZA", 0.026)]),
+    n("takealot", C::Ecommerce, 0.0, 50.0, 0.80, &[("ZA", 0.038)]),
+    n("mosaiquefm", C::NewsMedia, 0.0, 130.0, 1.20, &[("TN", 0.024)]),
+    n("tayara", C::AuctionsMarketplaces, 0.0, 90.0, 1.10, &[("TN", 0.020)]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::Country;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_unique() {
+        let keys: HashSet<&str> = ANCHORS.iter().map(|a| a.key).collect();
+        assert_eq!(keys.len(), ANCHORS.len());
+    }
+
+    #[test]
+    fn every_override_names_a_study_country() {
+        for anchor in ANCHORS {
+            for (code, w) in anchor.per_country {
+                assert!(Country::by_code(code).is_some(), "{} references {code}", anchor.key);
+                assert!(*w >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn google_dominates_by_loads_except_korea() {
+        let google = ANCHORS.iter().find(|a| a.key == "google").unwrap();
+        let naver = ANCHORS.iter().find(|a| a.key == "naver").unwrap();
+        let kr = Country::index_of("KR").unwrap();
+        assert!(naver.weight_in(kr) > google.weight_in(kr), "Naver must beat Google in KR");
+        for (idx, country) in COUNTRIES.iter().enumerate() {
+            if country.code == "KR" {
+                continue;
+            }
+            for other in ANCHORS.iter().filter(|a| a.key != "google") {
+                assert!(
+                    google.weight_in(idx) > other.weight_in(idx),
+                    "google must outweigh {} in {}",
+                    other.key,
+                    country.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn youtube_wins_time_in_most_countries() {
+        // time weight = loads weight × dwell.
+        let mut youtube_wins = 0;
+        let mut google_wins = 0;
+        for idx in 0..COUNTRIES.len() {
+            let best = ANCHORS
+                .iter()
+                .max_by(|a, b| {
+                    let ta = a.weight_in(idx) * a.dwell;
+                    let tb = b.weight_in(idx) * b.dwell;
+                    ta.partial_cmp(&tb).unwrap()
+                })
+                .unwrap();
+            match best.key {
+                "youtube" => youtube_wins += 1,
+                "google" => google_wins += 1,
+                other => panic!("unexpected time leader {other} in {}", COUNTRIES[idx].code),
+            }
+        }
+        assert_eq!(youtube_wins, 40, "paper: YouTube leads time in 40/45");
+        assert_eq!(google_wins, 5, "paper: Google leads time in the remaining 5");
+    }
+
+    #[test]
+    fn adult_sites_suppressed_in_censoring_countries() {
+        let pornhub = ANCHORS.iter().find(|a| a.key == "pornhub").unwrap();
+        let us = Country::index_of("US").unwrap();
+        let kr = Country::index_of("KR").unwrap();
+        assert!(pornhub.weight_in(kr) < pornhub.weight_in(us) * 0.1);
+    }
+
+    #[test]
+    fn sex333_survives_vietnamese_censorship() {
+        let sex333 = ANCHORS.iter().find(|a| a.key == "sex333").unwrap();
+        let vn = Country::index_of("VN").unwrap();
+        assert!(sex333.weight_in(vn) > 0.01, "explicit override bypasses suppression");
+        let us = Country::index_of("US").unwrap();
+        assert_eq!(sex333.weight_in(us), 0.0);
+    }
+
+    #[test]
+    fn cctld_sites_get_national_domains() {
+        let amazon = ANCHORS.iter().find(|a| a.key == "amazon").unwrap();
+        let gb = Country::index_of("GB").unwrap();
+        let br = Country::index_of("BR").unwrap();
+        assert_eq!(amazon.domain_in(gb), "amazon.co.uk");
+        assert_eq!(amazon.domain_in(br), "amazon.com.br");
+        let google = ANCHORS.iter().find(|a| a.key == "google").unwrap();
+        assert_eq!(google.domain_in(gb), "google.com");
+    }
+
+    #[test]
+    fn ampproject_is_android_heavy() {
+        let amp = ANCHORS.iter().find(|a| a.key == "ampproject").unwrap();
+        assert!(amp.android_mult > 5.0);
+    }
+
+    #[test]
+    fn korea_has_a_rich_endemic_ecosystem() {
+        let kr = Country::index_of("KR").unwrap();
+        let endemic: Vec<&AnchorSite> = ANCHORS
+            .iter()
+            .filter(|a| a.base == 0.0 && a.weight_in(kr) > 0.0)
+            .collect();
+        assert!(endemic.len() >= 10, "found {}", endemic.len());
+        let forums = endemic.iter().filter(|a| a.category == C::Forums).count();
+        assert_eq!(forums, 4, "the paper's four Korean forums");
+    }
+
+    #[test]
+    fn anchor_domains_parse_and_merge() {
+        use wwv_domains::{DomainName, PublicSuffixList, SiteKey};
+        let psl = PublicSuffixList::embedded();
+        for anchor in ANCHORS {
+            for idx in 0..COUNTRIES.len() {
+                if anchor.weight_in(idx) <= 0.0 {
+                    continue;
+                }
+                let d = DomainName::parse(&anchor.domain_in(idx)).unwrap();
+                let key = SiteKey::of(&d, &psl).unwrap();
+                assert_eq!(key.as_str(), anchor.key, "domain {} must merge to its key", d);
+            }
+        }
+    }
+}

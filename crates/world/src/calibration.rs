@@ -1,0 +1,177 @@
+//! World-model self-checks.
+//!
+//! The generator is calibrated against the paper's quantitative anchors;
+//! this module measures the *generated* world against those same targets so
+//! drift is caught at the source (rather than three crates downstream in a
+//! failing analysis). The `reproduce` harness and the world-model tests both
+//! consume these reports.
+
+use crate::country::COUNTRIES;
+use crate::demand::World;
+use crate::season::Month;
+use crate::types::{Breakdown, Metric, Platform};
+use serde::Serialize;
+use wwv_stats::powerlaw::fit_power_law;
+use wwv_stats::QuantileSummary;
+
+/// Calibration report for one platform/metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationReport {
+    /// Platform.
+    pub platform: Platform,
+    /// Metric.
+    pub metric: Metric,
+    /// Per-country top-1 demand share summary (paper: 12–33%, median 20%).
+    pub top1_share: QuantileSummary,
+    /// Per-country top-10 cumulative share summary.
+    pub top10_share: QuantileSummary,
+    /// Median fitted rank–share power-law exponent over countries.
+    pub median_zipf_exponent: f64,
+    /// Median R² of the power-law fit (how Zipf-like the tail is).
+    pub median_fit_r2: f64,
+}
+
+/// Measures the demand model against the §4.1.2 anchors for one breakdown
+/// family (reference month).
+pub fn calibrate(world: &World, platform: Platform, metric: Metric) -> CalibrationReport {
+    let mut top1 = Vec::new();
+    let mut top10 = Vec::new();
+    let mut exponents = Vec::new();
+    let mut fits = Vec::new();
+    for ci in 0..COUNTRIES.len() {
+        let b = Breakdown { country: ci, platform, metric, month: Month::reference() };
+        let ranked = world.ranked(b, 2_000);
+        if ranked.is_empty() {
+            continue;
+        }
+        top1.push(ranked[0].1);
+        top10.push(ranked.iter().take(10).map(|(_, s)| s).sum::<f64>());
+        // Fit the mid-range (ranks 20..) where the mixture tail is Zipf-like.
+        let tail: Vec<f64> = ranked.iter().skip(20).map(|(_, s)| *s).collect();
+        if let Some(fit) = fit_power_law(&tail) {
+            exponents.push(fit.exponent);
+            fits.push(fit.r_squared);
+        }
+    }
+    let zero = QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 };
+    CalibrationReport {
+        platform,
+        metric,
+        top1_share: QuantileSummary::of(&top1).unwrap_or(zero),
+        top10_share: QuantileSummary::of(&top10).unwrap_or(zero),
+        median_zipf_exponent: wwv_stats::median(&exponents).unwrap_or(0.0),
+        median_fit_r2: wwv_stats::median(&fits).unwrap_or(0.0),
+    }
+}
+
+/// Cross-platform sanity: how much lighter mobile browser demand is for
+/// desktop-leaning categories, measured directly from the demand model.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformMassReport {
+    /// Median across countries of (Android mass / Windows mass) for adult
+    /// content — should exceed 1 in relative share terms.
+    pub adult_mobile_ratio: f64,
+    /// Same ratio for business — should sit below 1.
+    pub business_mobile_ratio: f64,
+}
+
+/// Measures category demand mass ratios between platforms.
+pub fn platform_mass(world: &World) -> PlatformMassReport {
+    use wwv_taxonomy::Category;
+    let mut adult = Vec::new();
+    let mut business = Vec::new();
+    for ci in 0..COUNTRIES.len() {
+        if COUNTRIES[ci].censors_adult {
+            continue;
+        }
+        let mass = |platform: Platform, cat: Category| -> f64 {
+            let b = Breakdown { country: ci, platform, metric: Metric::PageLoads, month: Month::reference() };
+            world
+                .demand(b)
+                .iter()
+                .filter(|(id, _)| world.universe().site(*id).category == cat)
+                .map(|(_, s)| s)
+                .sum()
+        };
+        let aw = mass(Platform::Windows, Category::Pornography);
+        let aa = mass(Platform::Android, Category::Pornography);
+        if aw > 0.0 {
+            adult.push(aa / aw);
+        }
+        let bw = mass(Platform::Windows, Category::Business);
+        let ba = mass(Platform::Android, Category::Business);
+        if bw > 0.0 {
+            business.push(ba / bw);
+        }
+    }
+    PlatformMassReport {
+        adult_mobile_ratio: wwv_stats::median(&adult).unwrap_or(0.0),
+        business_mobile_ratio: wwv_stats::median(&business).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::new(WorldConfig::small()))
+    }
+
+    #[test]
+    fn top1_shares_in_paper_band() {
+        let report = calibrate(world(), Platform::Windows, Metric::PageLoads);
+        assert!(
+            report.top1_share.median > 0.12 && report.top1_share.median < 0.30,
+            "median top-1 share {:?}",
+            report.top1_share
+        );
+        assert!(report.top1_share.q25 > 0.08);
+        assert!(report.top1_share.q75 < 0.36);
+    }
+
+    #[test]
+    fn top10_captures_a_quarter_to_half() {
+        // §4.2.1: top ten sites typically account for a quarter to half of
+        // traffic.
+        let report = calibrate(world(), Platform::Windows, Metric::PageLoads);
+        assert!(
+            report.top10_share.median > 0.25 && report.top10_share.median < 0.60,
+            "median top-10 share {:?}",
+            report.top10_share
+        );
+    }
+
+    #[test]
+    fn tail_is_power_law_like() {
+        let report = calibrate(world(), Platform::Windows, Metric::PageLoads);
+        assert!(
+            report.median_zipf_exponent > 0.4 && report.median_zipf_exponent < 2.0,
+            "exponent {}",
+            report.median_zipf_exponent
+        );
+        assert!(report.median_fit_r2 > 0.8, "R² {}", report.median_fit_r2);
+    }
+
+    #[test]
+    fn time_metric_more_concentrated() {
+        let loads = calibrate(world(), Platform::Windows, Metric::PageLoads);
+        let time = calibrate(world(), Platform::Windows, Metric::TimeOnPage);
+        assert!(
+            time.top10_share.median > loads.top10_share.median,
+            "time {:?} vs loads {:?}",
+            time.top10_share,
+            loads.top10_share
+        );
+    }
+
+    #[test]
+    fn platform_mass_directions() {
+        let report = platform_mass(world());
+        assert!(report.adult_mobile_ratio > 1.0, "adult ratio {}", report.adult_mobile_ratio);
+        assert!(report.business_mobile_ratio < 1.0, "business ratio {}", report.business_mobile_ratio);
+    }
+}

@@ -1,0 +1,304 @@
+//! The 45 study countries (Appendix A) and their latent structure.
+//!
+//! Each country carries the attributes that drive the paper's geographic
+//! findings: continent, language(s) (shared-language pools produce the
+//! Hispanic-Americas and Anglosphere clusters), a geographic cluster
+//! (producing the North-Africa and Taiwan/Hong-Kong clusters), mixture
+//! weights over the global / language / regional / national site pools
+//! (Japan and South Korea lean national, making them the outliers of
+//! Fig. 10), an adult-content-censorship flag (South Korea, Turkey, Vietnam,
+//! Russia — §5.3.2), and a relative web-usage weight (global aggregates are
+//! usage-weighted, §4.1.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Continent, as the paper groups countries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Africa (7 countries).
+    Africa,
+    /// Asia (10 countries).
+    Asia,
+    /// Europe (10 countries).
+    Europe,
+    /// North America (7 countries).
+    NorthAmerica,
+    /// Oceania (2 countries).
+    Oceania,
+    /// South America (9 countries).
+    SouthAmerica,
+}
+
+/// Primary web language of a country. Shared languages create shared site
+/// pools and hence browsing similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Language {
+    English,
+    Spanish,
+    Portuguese,
+    French,
+    Dutch,
+    German,
+    Italian,
+    Polish,
+    Ukrainian,
+    Russian,
+    Arabic,
+    Turkish,
+    Japanese,
+    Korean,
+    Vietnamese,
+    ChineseTraditional,
+    Indonesian,
+    Thai,
+    Filipino,
+    Hindi,
+}
+
+/// Geographic proximity cluster used for the regional site pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum GeoCluster {
+    NorthAfrica,
+    SubSaharanAfrica,
+    EastAsia,
+    SoutheastAsia,
+    SouthAsia,
+    MiddleEast,
+    WesternEurope,
+    EasternEurope,
+    NorthAmerica,
+    CentralAmerica,
+    SouthAmerica,
+    Oceania,
+}
+
+/// Mixture weights over the four site pools a country draws demand from.
+/// They need not sum to 1; demand generation normalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolMix {
+    /// Weight on the global pool.
+    pub global: f64,
+    /// Weight on the shared-language pool(s).
+    pub language: f64,
+    /// Weight on the geographic-cluster pool.
+    pub regional: f64,
+    /// Weight on the country's own national pool.
+    pub national: f64,
+}
+
+/// One study country.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Country {
+    /// ISO 3166-1 alpha-2 code.
+    pub code: &'static str,
+    /// English name.
+    pub name: &'static str,
+    /// Continent.
+    pub region: Region,
+    /// Languages, primary first (at most two matter for pooling).
+    pub languages: &'static [Language],
+    /// Geographic cluster.
+    pub geo: GeoCluster,
+    /// Pool mixture.
+    pub mix: PoolMix,
+    /// Relative web-usage weight (drives globally-aggregated statistics).
+    pub usage_weight: f64,
+    /// Whether the country effectively censors adult content (§5.3.2:
+    /// South Korea, Turkey, Vietnam, Russia).
+    pub censors_adult: bool,
+    /// Registrable-domain suffix national sites use (e.g. `com.br`).
+    pub national_suffix: &'static str,
+}
+
+impl Country {
+    /// Index of a country by ISO code.
+    pub fn index_of(code: &str) -> Option<usize> {
+        COUNTRIES.iter().position(|c| c.code == code)
+    }
+
+    /// Country by ISO code.
+    pub fn by_code(code: &str) -> Option<&'static Country> {
+        COUNTRIES.iter().find(|c| c.code == code)
+    }
+}
+
+/// Shorthand constructor used by the static table.
+const fn c(
+    code: &'static str,
+    name: &'static str,
+    region: Region,
+    languages: &'static [Language],
+    geo: GeoCluster,
+    mix: PoolMix,
+    usage_weight: f64,
+    censors_adult: bool,
+    national_suffix: &'static str,
+) -> Country {
+    Country { code, name, region, languages, geo, mix, usage_weight, censors_adult, national_suffix }
+}
+
+const STD: PoolMix = PoolMix { global: 0.40, language: 0.15, regional: 0.08, national: 0.37 };
+/// Tight language cluster (North Africa, Hispanic Americas): more weight on
+/// shared-language sites.
+const LANG_HEAVY: PoolMix = PoolMix { global: 0.38, language: 0.22, regional: 0.10, national: 0.30 };
+/// Outliers (Japan, South Korea): national platforms dominate.
+const NATIONAL_HEAVY: PoolMix = PoolMix { global: 0.28, language: 0.04, regional: 0.04, national: 0.64 };
+
+use GeoCluster as G;
+use Language as L;
+use Region as R;
+
+/// The 45 study countries, grouped by continent as in Appendix A.
+pub static COUNTRIES: [Country; 45] = [
+    // --- Africa (7). ---
+    c("DZ", "Algeria", R::Africa, &[L::Arabic, L::French], G::NorthAfrica, LANG_HEAVY, 1.0, false, "dz"),
+    c("EG", "Egypt", R::Africa, &[L::Arabic], G::NorthAfrica, LANG_HEAVY, 2.0, false, "com.eg"),
+    c("KE", "Kenya", R::Africa, &[L::English], G::SubSaharanAfrica, STD, 0.8, false, "co.ke"),
+    c("MA", "Morocco", R::Africa, &[L::Arabic, L::French], G::NorthAfrica, LANG_HEAVY, 1.0, false, "ma"),
+    c("NG", "Nigeria", R::Africa, &[L::English], G::SubSaharanAfrica, STD, 1.5, false, "com.ng"),
+    c("TN", "Tunisia", R::Africa, &[L::Arabic, L::French], G::NorthAfrica, LANG_HEAVY, 0.6, false, "com.tn"),
+    c("ZA", "South Africa", R::Africa, &[L::English], G::SubSaharanAfrica, STD, 1.5, false, "co.za"),
+    // --- Asia (10). ---
+    c("JP", "Japan", R::Asia, &[L::Japanese], G::EastAsia, NATIONAL_HEAVY, 5.0, false, "co.jp"),
+    c("IN", "India", R::Asia, &[L::Hindi, L::English], G::SouthAsia, STD, 8.0, false, "co.in"),
+    c("KR", "South Korea", R::Asia, &[L::Korean], G::EastAsia, NATIONAL_HEAVY, 3.0, true, "co.kr"),
+    c("TR", "Turkey", R::Asia, &[L::Turkish], G::MiddleEast, STD, 3.5, true, "com.tr"),
+    c("VN", "Vietnam", R::Asia, &[L::Vietnamese], G::SoutheastAsia, STD, 3.0, true, "com.vn"),
+    c("TW", "Taiwan", R::Asia, &[L::ChineseTraditional], G::EastAsia, LANG_HEAVY, 1.8, false, "com.tw"),
+    c("ID", "Indonesia", R::Asia, &[L::Indonesian], G::SoutheastAsia, STD, 4.0, false, "co.id"),
+    c("TH", "Thailand", R::Asia, &[L::Thai], G::SoutheastAsia, STD, 2.0, false, "co.th"),
+    c("PH", "Philippines", R::Asia, &[L::Filipino, L::English], G::SoutheastAsia, STD, 2.5, false, "com.ph"),
+    c("HK", "Hong Kong", R::Asia, &[L::ChineseTraditional], G::EastAsia, LANG_HEAVY, 1.0, false, "com.hk"),
+    // --- Europe (10). ---
+    c("GB", "United Kingdom", R::Europe, &[L::English], G::WesternEurope, STD, 4.0, false, "co.uk"),
+    c("FR", "France", R::Europe, &[L::French], G::WesternEurope, LANG_HEAVY, 4.0, false, "fr"),
+    c("RU", "Russia", R::Europe, &[L::Russian], G::EasternEurope, PoolMix { global: 0.33, language: 0.12, regional: 0.08, national: 0.47 }, 5.0, true, "ru"),
+    c("DE", "Germany", R::Europe, &[L::German], G::WesternEurope, STD, 4.0, false, "de"),
+    c("IT", "Italy", R::Europe, &[L::Italian], G::WesternEurope, STD, 3.5, false, "it"),
+    c("ES", "Spain", R::Europe, &[L::Spanish], G::WesternEurope, STD, 3.0, false, "es"),
+    c("NL", "Netherlands", R::Europe, &[L::Dutch], G::WesternEurope, LANG_HEAVY, 1.8, false, "nl"),
+    c("PL", "Poland", R::Europe, &[L::Polish], G::EasternEurope, STD, 2.5, false, "pl"),
+    c("UA", "Ukraine", R::Europe, &[L::Ukrainian, L::Russian], G::EasternEurope, STD, 2.0, false, "com.ua"),
+    c("BE", "Belgium", R::Europe, &[L::French, L::Dutch], G::WesternEurope, LANG_HEAVY, 1.2, false, "be"),
+    // --- North America (7). ---
+    c("CA", "Canada", R::NorthAmerica, &[L::English, L::French], G::NorthAmerica, STD, 2.5, false, "ca"),
+    c("CR", "Costa Rica", R::NorthAmerica, &[L::Spanish], G::CentralAmerica, LANG_HEAVY, 0.5, false, "co.cr"),
+    c("DO", "Dominican Republic", R::NorthAmerica, &[L::Spanish], G::CentralAmerica, LANG_HEAVY, 0.6, false, "com.do"),
+    c("GT", "Guatemala", R::NorthAmerica, &[L::Spanish], G::CentralAmerica, LANG_HEAVY, 0.7, false, "com.gt"),
+    c("MX", "Mexico", R::NorthAmerica, &[L::Spanish], G::CentralAmerica, LANG_HEAVY, 4.0, false, "com.mx"),
+    c("PA", "Panama", R::NorthAmerica, &[L::Spanish], G::CentralAmerica, LANG_HEAVY, 0.4, false, "com.pa"),
+    c("US", "United States", R::NorthAmerica, &[L::English], G::NorthAmerica, STD, 10.0, false, "us"),
+    // --- Oceania (2). ---
+    c("AU", "Australia", R::Oceania, &[L::English], G::Oceania, STD, 1.8, false, "com.au"),
+    c("NZ", "New Zealand", R::Oceania, &[L::English], G::Oceania, STD, 0.6, false, "co.nz"),
+    // --- South America (9). ---
+    c("AR", "Argentina", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 2.5, false, "com.ar"),
+    c("BO", "Bolivia", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 0.5, false, "com.bo"),
+    c("BR", "Brazil", R::SouthAmerica, &[L::Portuguese], G::SouthAmerica, PoolMix { global: 0.40, language: 0.08, regional: 0.10, national: 0.42 }, 6.0, false, "com.br"),
+    c("CL", "Chile", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 1.2, false, "cl"),
+    c("CO", "Colombia", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 2.0, false, "com.co"),
+    c("EC", "Ecuador", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 0.8, false, "com.ec"),
+    c("PE", "Peru", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 1.2, false, "com.pe"),
+    c("UY", "Uruguay", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 0.4, false, "com.uy"),
+    c("VE", "Venezuela", R::SouthAmerica, &[L::Spanish], G::SouthAmerica, LANG_HEAVY, 0.8, false, "com.ve"),
+];
+
+/// Number of study countries.
+pub const COUNTRY_COUNT: usize = 45;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn forty_five_countries() {
+        assert_eq!(COUNTRIES.len(), COUNTRY_COUNT);
+    }
+
+    #[test]
+    fn continental_composition_matches_appendix_a() {
+        let count = |r: Region| COUNTRIES.iter().filter(|c| c.region == r).count();
+        assert_eq!(count(Region::Africa), 7);
+        assert_eq!(count(Region::Asia), 10);
+        assert_eq!(count(Region::Europe), 10);
+        assert_eq!(count(Region::NorthAmerica), 7);
+        assert_eq!(count(Region::Oceania), 2);
+        assert_eq!(count(Region::SouthAmerica), 9);
+    }
+
+    #[test]
+    fn codes_unique() {
+        let codes: HashSet<&str> = COUNTRIES.iter().map(|c| c.code).collect();
+        assert_eq!(codes.len(), 45);
+    }
+
+    #[test]
+    fn censorship_flags_match_paper() {
+        for code in ["KR", "TR", "VN", "RU"] {
+            assert!(Country::by_code(code).unwrap().censors_adult, "{code}");
+        }
+        let censoring = COUNTRIES.iter().filter(|c| c.censors_adult).count();
+        assert_eq!(censoring, 4);
+    }
+
+    #[test]
+    fn outliers_are_national_heavy() {
+        let jp = Country::by_code("JP").unwrap();
+        let kr = Country::by_code("KR").unwrap();
+        for outlier in [jp, kr] {
+            for other in COUNTRIES.iter().filter(|c| c.code != "JP" && c.code != "KR") {
+                assert!(
+                    outlier.mix.national > other.mix.national,
+                    "{} should be more national than {}",
+                    outlier.code,
+                    other.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hispanic_americas_share_language() {
+        let hispanic = COUNTRIES
+            .iter()
+            .filter(|c| c.languages.first() == Some(&Language::Spanish))
+            .count();
+        // ES + MX/GT/CR/PA/DO + AR/BO/CL/CO/EC/PE/UY/VE.
+        assert_eq!(hispanic, 14);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(Country::by_code("US").unwrap().name, "United States");
+        assert_eq!(Country::index_of("DZ"), Some(0));
+        assert!(Country::by_code("XX").is_none());
+    }
+
+    #[test]
+    fn suffixes_parse_under_embedded_psl() {
+        use wwv_domains::{DomainName, PublicSuffixList};
+        let psl = PublicSuffixList::embedded();
+        for country in &COUNTRIES {
+            let name = format!("example.{}", country.national_suffix);
+            let d = DomainName::parse(&name).unwrap();
+            let m = psl.public_suffix(&d);
+            assert_eq!(
+                m.suffix, country.national_suffix,
+                "suffix {} for {} must be a known public suffix",
+                country.national_suffix, country.code
+            );
+        }
+    }
+
+    #[test]
+    fn usage_weights_positive_and_us_largest() {
+        for c in &COUNTRIES {
+            assert!(c.usage_weight > 0.0);
+        }
+        let max = COUNTRIES.iter().map(|c| c.usage_weight).fold(0.0, f64::max);
+        assert_eq!(Country::by_code("US").unwrap().usage_weight, max);
+    }
+}

@@ -1,0 +1,241 @@
+//! Global traffic-concentration curves (Fig. 1).
+//!
+//! The paper's Fig. 1 curves come directly from Chrome's global traffic
+//! distribution data. We reconstruct them by monotone-cubic interpolation of
+//! every quantitative anchor §4.1.2 states, in (log10 rank → cumulative
+//! share) space. The per-rank share at rank *r* is the cumulative difference
+//! `C(r) − C(r−1)`; monotonicity of the interpolant guarantees shares are
+//! positive, and the log-rank parameterization makes them decreasing.
+//!
+//! These curves serve two roles, as in the paper: the Fig. 1 artifact itself,
+//! and the weights used to model traffic volume in §4.2.2 and beyond
+//! (traffic-weighted category counts, weighted RBO).
+
+use crate::types::{Metric, Platform};
+use serde::{Deserialize, Serialize};
+use wwv_stats::MonotoneCubic;
+
+/// A calibrated cumulative traffic-share curve over ranks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficCurve {
+    interp: MonotoneCubic,
+    /// Calibration anchors `(rank, cumulative share)` used to build the curve.
+    anchors: Vec<(u64, f64)>,
+}
+
+impl TrafficCurve {
+    /// Builds a curve through `(rank, cumulative share)` anchors. Ranks must
+    /// be strictly increasing starting at 1; shares non-decreasing in
+    /// `(0, 1]`. Returns `None` on malformed anchors.
+    pub fn from_anchors(anchors: &[(u64, f64)]) -> Option<Self> {
+        if anchors.is_empty() || anchors[0].0 != 1 {
+            return None;
+        }
+        for w in anchors.windows(2) {
+            if w[1].0 <= w[0].0 || w[1].1 < w[0].1 {
+                return None;
+            }
+        }
+        if anchors.iter().any(|(_, s)| !(0.0..=1.0).contains(s)) {
+            return None;
+        }
+        // Interpolate in log10(rank); prepend a virtual zero at rank 0.5 so
+        // share(1) = C(1) exactly.
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(anchors.len() + 1);
+        pts.push(((0.5f64).log10(), 0.0));
+        pts.extend(anchors.iter().map(|(r, s)| ((*r as f64).log10(), *s)));
+        let interp = MonotoneCubic::new(&pts)?;
+        Some(TrafficCurve { interp, anchors: anchors.to_vec() })
+    }
+
+    /// The calibration anchors.
+    pub fn anchors(&self) -> &[(u64, f64)] {
+        &self.anchors
+    }
+
+    /// Cumulative share of traffic captured by the top `rank` sites.
+    pub fn cumulative(&self, rank: u64) -> f64 {
+        if rank == 0 {
+            return 0.0;
+        }
+        let max_rank = self.anchors.last().expect("non-empty anchors").0;
+        self.interp.eval((rank.min(max_rank) as f64).log10())
+    }
+
+    /// Share of traffic captured by the site at 1-based `rank`.
+    pub fn share(&self, rank: u64) -> f64 {
+        (self.cumulative(rank) - self.cumulative(rank.saturating_sub(1))).max(0.0)
+    }
+
+    /// Materializes per-rank shares for ranks `1..=depth`.
+    pub fn shares(&self, depth: usize) -> Vec<f64> {
+        (1..=depth as u64).map(|r| self.share(r)).collect()
+    }
+
+    /// The paper's Windows page-loads curve (§4.1.2: top-1 17%, top-6 25%,
+    /// top-100 just under 40%, top-10K ≈ 70%, top-1M > 95%).
+    pub fn windows_page_loads() -> Self {
+        Self::from_anchors(&[
+            (1, 0.17),
+            (6, 0.25),
+            (100, 0.395),
+            (10_000, 0.70),
+            (1_000_000, 0.955),
+        ])
+        .expect("static anchors are well-formed")
+    }
+
+    /// The paper's Windows time-on-page curve (top-1 24%, top-7 = half of
+    /// user time, top-100 > 60%, top-10K > 85%).
+    pub fn windows_time_on_page() -> Self {
+        Self::from_anchors(&[
+            (1, 0.24),
+            (7, 0.50),
+            (100, 0.62),
+            (10_000, 0.86),
+            (1_000_000, 0.97),
+        ])
+        .expect("static anchors are well-formed")
+    }
+
+    /// The paper's Android page-loads curve (ten sites = 25% of traffic;
+    /// less concentrated than desktop overall).
+    pub fn android_page_loads() -> Self {
+        Self::from_anchors(&[
+            (1, 0.10),
+            (10, 0.25),
+            (100, 0.36),
+            (10_000, 0.65),
+            (1_000_000, 0.94),
+        ])
+        .expect("static anchors are well-formed")
+    }
+
+    /// The paper's Android time-on-page curve (25% of time on 8 sites; top
+    /// 10K just under 80%). §4.1.2's "top 10 sites cover over 40% of user
+    /// time" is mutually inconsistent with the top-8 figure under any
+    /// decreasing share sequence, so the top-8 and top-10K anchors are kept
+    /// and the top-10 value lands where monotonicity allows (~28%); see
+    /// EXPERIMENTS.md.
+    pub fn android_time_on_page() -> Self {
+        Self::from_anchors(&[
+            (1, 0.08),
+            (8, 0.25),
+            (100, 0.45),
+            (10_000, 0.79),
+            (1_000_000, 0.95),
+        ])
+        .expect("static anchors are well-formed")
+    }
+
+    /// The calibrated curve for a (platform, metric) pair.
+    pub fn for_breakdown(platform: Platform, metric: Metric) -> Self {
+        match (platform, metric) {
+            (Platform::Windows, Metric::PageLoads) => Self::windows_page_loads(),
+            (Platform::Windows, Metric::TimeOnPage) => Self::windows_time_on_page(),
+            (Platform::Android, Metric::PageLoads) => Self::android_page_loads(),
+            (Platform::Android, Metric::TimeOnPage) => Self::android_time_on_page(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_paper_anchors_exactly() {
+        let c = TrafficCurve::windows_page_loads();
+        assert!((c.cumulative(1) - 0.17).abs() < 1e-9);
+        assert!((c.cumulative(6) - 0.25).abs() < 1e-9);
+        assert!((c.cumulative(100) - 0.395).abs() < 1e-9);
+        assert!((c.cumulative(10_000) - 0.70).abs() < 1e-9);
+        assert!((c.cumulative(1_000_000) - 0.955).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_positive_and_decreasing() {
+        for curve in [
+            TrafficCurve::windows_page_loads(),
+            TrafficCurve::windows_time_on_page(),
+            TrafficCurve::android_page_loads(),
+            TrafficCurve::android_time_on_page(),
+        ] {
+            let shares = curve.shares(10_000);
+            assert!(shares.iter().all(|s| *s >= 0.0));
+            let mut violations = 0usize;
+            for w in shares.windows(2) {
+                if w[1] > w[0] + 1e-12 {
+                    violations += 1;
+                }
+            }
+            // The interpolant is monotone in cumulative share; per-rank
+            // shares decrease everywhere except possibly at knot joins.
+            assert!(violations <= 5, "{violations} increasing-share violations");
+        }
+    }
+
+    #[test]
+    fn time_more_concentrated_than_loads_on_windows() {
+        let loads = TrafficCurve::windows_page_loads();
+        let time = TrafficCurve::windows_time_on_page();
+        for rank in [1, 10, 100, 10_000] {
+            assert!(time.cumulative(rank) > loads.cumulative(rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn android_less_concentrated_than_windows() {
+        let win = TrafficCurve::windows_page_loads();
+        let and = TrafficCurve::android_page_loads();
+        for rank in [1, 6, 100, 10_000] {
+            assert!(and.cumulative(rank) < win.cumulative(rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let c = TrafficCurve::windows_time_on_page();
+        let mut prev = 0.0;
+        for rank in (1..=1_000_000u64).step_by(9973) {
+            let v = c.cumulative(rank);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cumulative_saturates_beyond_last_anchor() {
+        let c = TrafficCurve::windows_page_loads();
+        assert_eq!(c.cumulative(2_000_000), c.cumulative(1_000_000));
+        assert_eq!(c.cumulative(0), 0.0);
+    }
+
+    #[test]
+    fn share_sums_match_cumulative() {
+        let c = TrafficCurve::windows_page_loads();
+        let total: f64 = c.shares(10_000).iter().sum();
+        assert!((total - c.cumulative(10_000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_anchors_rejected() {
+        assert!(TrafficCurve::from_anchors(&[]).is_none());
+        assert!(TrafficCurve::from_anchors(&[(2, 0.5)]).is_none(), "must start at rank 1");
+        assert!(TrafficCurve::from_anchors(&[(1, 0.5), (1, 0.6)]).is_none());
+        assert!(TrafficCurve::from_anchors(&[(1, 0.5), (10, 0.4)]).is_none());
+        assert!(TrafficCurve::from_anchors(&[(1, 1.5)]).is_none());
+    }
+
+    #[test]
+    fn headline_facts_hold() {
+        // "a single website accounts for 17% of all Windows page loads" and
+        // "25% ... served by only six sites".
+        let c = TrafficCurve::windows_page_loads();
+        assert!((c.share(1) - 0.17).abs() < 1e-9);
+        assert!((c.cumulative(6) - 0.25).abs() < 1e-9);
+        // "half of user time is spent on just 7 sites".
+        let t = TrafficCurve::windows_time_on_page();
+        assert!((t.cumulative(7) - 0.50).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! # wwv-world
+//!
+//! A calibrated generative model of the browsing world: the stand-in for the
+//! real population of Chrome users whose aggregate telemetry the paper
+//! analyzes.
+//!
+//! The model generates, deterministically from a seed:
+//!
+//! * the 45 study countries (Appendix A) with their languages, regions, and
+//!   latent affinity clusters ([`country`]);
+//! * a universe of websites — a registry of real-world *anchor* sites whose
+//!   per-country behavior is encoded from the paper's qualitative findings
+//!   ([`anchors`]), plus procedurally generated global / regional / national
+//!   long-tail sites ([`site`]);
+//! * per-(country, platform, metric, month) demand distributions over those
+//!   sites ([`demand`]), shaped by the category priors of `wwv-taxonomy`;
+//! * global traffic-concentration curves calibrated to every Fig. 1 anchor
+//!   the paper states ([`curve`]);
+//! * seasonal structure — the December e-commerce/education shift and
+//!   month-to-month churn ([`season`]).
+//!
+//! `wwv-telemetry` consumes the demand model to simulate the telemetry
+//! pipeline; `wwv-core` then analyzes the result exactly as the paper does.
+
+pub mod anchors;
+pub mod calibration;
+pub mod config;
+pub mod country;
+pub mod curve;
+pub mod demand;
+pub mod season;
+pub mod site;
+pub mod types;
+
+pub use calibration::{calibrate, CalibrationReport};
+pub use config::{WorldConfig, WorldSeed};
+pub use country::{Country, Language, Region, COUNTRIES};
+pub use curve::TrafficCurve;
+pub use demand::World;
+pub use season::Month;
+pub use site::{Site, SiteId, SiteUniverse};
+pub use types::{Breakdown, Metric, Platform};

@@ -1,0 +1,148 @@
+//! The study window and seasonal structure (§3.1, §4.5).
+//!
+//! Chrome shared data for September 2021 through February 2022, aggregated
+//! monthly. December is the anomalous month: e-commerce traffic rises,
+//! education traffic falls, and rank lists churn more than in any other
+//! adjacent-month pair.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wwv_taxonomy::{Category, CategoryProfile};
+
+/// A month of the study window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Month {
+    /// September 2021.
+    September2021,
+    /// October 2021.
+    October2021,
+    /// November 2021.
+    November2021,
+    /// December 2021 — the anomalous holiday month.
+    December2021,
+    /// January 2022.
+    January2022,
+    /// February 2022 — the paper's reference month.
+    February2022,
+}
+
+impl Month {
+    /// All six study months in chronological order.
+    pub const ALL: [Month; 6] = [
+        Month::September2021,
+        Month::October2021,
+        Month::November2021,
+        Month::December2021,
+        Month::January2022,
+        Month::February2022,
+    ];
+
+    /// Zero-based chronological index (September = 0).
+    pub fn index(&self) -> usize {
+        Month::ALL.iter().position(|m| m == self).expect("every month is in ALL")
+    }
+
+    /// The next month, if still within the window.
+    pub fn next(&self) -> Option<Month> {
+        Month::ALL.get(self.index() + 1).copied()
+    }
+
+    /// Whether this is December 2021.
+    pub fn is_december(&self) -> bool {
+        matches!(self, Month::December2021)
+    }
+
+    /// The paper's reference month for all non-temporal analyses.
+    pub fn reference() -> Month {
+        Month::February2022
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Month::September2021 => "2021-09",
+            Month::October2021 => "2021-10",
+            Month::November2021 => "2021-11",
+            Month::December2021 => "2021-12",
+            Month::January2022 => "2022-01",
+            Month::February2022 => "2022-02",
+        })
+    }
+}
+
+/// The seasonal traffic multiplier for a category in a month.
+///
+/// December applies each category's [`CategoryProfile::december_multiplier`];
+/// November gets a quarter-strength preview of the December effect (holiday
+/// shopping begins in late November); other months are neutral.
+pub fn seasonal_multiplier(category: Category, month: Month) -> f64 {
+    let dec = CategoryProfile::of(category).december_multiplier;
+    match month {
+        Month::December2021 => dec,
+        Month::November2021 => 1.0 + (dec - 1.0) * 0.25,
+        _ => 1.0,
+    }
+}
+
+/// Per-month idiosyncratic churn scale: the standard deviation of the
+/// log-normal noise applied to each site's demand in that month. December
+/// churns hardest (§4.5: December is the least similar to its neighbors).
+pub fn churn_sigma(month: Month) -> f64 {
+    if month.is_december() {
+        0.22
+    } else {
+        0.12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_months_in_order() {
+        assert_eq!(Month::ALL.len(), 6);
+        for (i, m) in Month::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        assert_eq!(Month::September2021.next(), Some(Month::October2021));
+        assert_eq!(Month::February2022.next(), None);
+    }
+
+    #[test]
+    fn reference_month_is_february() {
+        assert_eq!(Month::reference(), Month::February2022);
+    }
+
+    #[test]
+    fn december_moves_commerce_up_education_down() {
+        let ecom = seasonal_multiplier(Category::Ecommerce, Month::December2021);
+        let edu = seasonal_multiplier(Category::Education, Month::December2021);
+        assert!(ecom > 1.2);
+        assert!(edu < 0.8);
+    }
+
+    #[test]
+    fn non_holiday_months_neutral() {
+        for m in [Month::September2021, Month::October2021, Month::January2022, Month::February2022] {
+            assert_eq!(seasonal_multiplier(Category::Ecommerce, m), 1.0);
+        }
+    }
+
+    #[test]
+    fn november_previews_december() {
+        let nov = seasonal_multiplier(Category::Ecommerce, Month::November2021);
+        let dec = seasonal_multiplier(Category::Ecommerce, Month::December2021);
+        assert!(nov > 1.0 && nov < dec);
+    }
+
+    #[test]
+    fn december_churns_hardest() {
+        for m in Month::ALL {
+            if !m.is_december() {
+                assert!(churn_sigma(m) < churn_sigma(Month::December2021));
+            }
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The synthetic website universe.
+//!
+//! Sites come from five pools: the anchor registry, a global pool, one pool
+//! per shared language, one per geographic cluster, and one national pool per
+//! country. Pool membership is the ground truth behind the paper's
+//! global/regional/national popularity structure (§5.1–§5.2): a country's
+//! demand mixes its pools with the weights in [`crate::country::PoolMix`],
+//! so sites in shared pools rank similarly across the countries sharing
+//! them, while national-pool sites are endemic.
+
+use crate::anchors::{AnchorSite, ANCHORS};
+use crate::config::{WorldConfig, WorldSeed};
+use crate::country::{Country, GeoCluster, Language, COUNTRIES};
+use serde::{Deserialize, Serialize};
+use wwv_stats::powerlaw::zipf_mandelbrot_shares;
+use wwv_taxonomy::{Category, CategoryProfile};
+
+/// Dense site identifier (index into [`SiteUniverse::sites`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// Which pool a site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pool {
+    /// Index into [`ANCHORS`].
+    Anchor(usize),
+    /// Available in every country.
+    Global,
+    /// Shared by countries speaking the language.
+    Language(Language),
+    /// Shared by the geographic cluster.
+    Regional(GeoCluster),
+    /// Endemic to one country (index into [`COUNTRIES`]).
+    National(usize),
+}
+
+/// One synthetic or anchor website.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Identifier (equal to the index in the universe).
+    pub id: SiteId,
+    /// Cross-country site key.
+    pub key: String,
+    /// Ground-truth category.
+    pub category: Category,
+    /// Pool membership.
+    pub pool: Pool,
+    /// 1-based popularity rank within the pool (0 for anchors).
+    pub pool_rank: u32,
+    /// Normalized within-pool popularity share (0 for anchors, which carry
+    /// absolute weights in the registry).
+    pub pool_share: f64,
+    /// Mean foreground seconds per page load.
+    pub dwell: f64,
+    /// Demand multiplier on Android.
+    pub android_mult: f64,
+    /// Whether a dedicated Android app exists.
+    pub has_android_app: bool,
+    /// Adult content (suppressed where censored).
+    pub adult: bool,
+    /// Serves one ccTLD per country.
+    pub cctld: bool,
+    /// TLD (or full suffix) used when `cctld` is false.
+    pub tld: String,
+}
+
+impl Site {
+    /// The domain this site serves in the country at `country_idx`.
+    pub fn domain_in(&self, country_idx: usize) -> String {
+        if self.cctld {
+            format!("{}.{}", self.key, COUNTRIES[country_idx].national_suffix)
+        } else {
+            format!("{}.{}", self.key, self.tld)
+        }
+    }
+
+    /// The anchor entry, for anchor sites.
+    pub fn anchor(&self) -> Option<&'static AnchorSite> {
+        match self.pool {
+            Pool::Anchor(i) => Some(&ANCHORS[i]),
+            _ => None,
+        }
+    }
+}
+
+/// The full universe plus per-country candidate lists.
+#[derive(Debug, Clone)]
+pub struct SiteUniverse {
+    /// All sites; `sites[id.0 as usize].id == id`.
+    pub sites: Vec<Site>,
+    /// For each country, the site indices with nonzero demand there.
+    candidates: Vec<Vec<u32>>,
+}
+
+/// Uniform in `[0, 1)` from a sub-seed.
+pub(crate) fn unit(seed: u64) -> f64 {
+    (seed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal via Box–Muller on two derived uniforms.
+pub(crate) fn gauss(seed: WorldSeed, purpose: &str, index: u64) -> f64 {
+    let u1 = unit(seed.derive_indexed(purpose, index.wrapping_mul(2))).max(1e-12);
+    let u2 = unit(seed.derive_indexed(purpose, index.wrapping_mul(2) + 1));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Boosted shares of each country's strongest national sites — the
+/// "3–4 nationally popular sites in every top 10" of Fig. 9.
+const NATIONAL_HEAD_BOOST: [f64; 6] = [0.120, 0.100, 0.090, 0.055, 0.038, 0.026];
+
+/// Categories rotated across countries' boosted national head sites:
+/// portals/news/banks/classifieds/government/TV — the categories §5.3.2
+/// finds to be top-10 in exactly one country.
+const NATIONAL_HEAD_CATEGORIES: [Category; 6] = [
+    Category::NewsMedia,
+    Category::SearchEngines, // second national portal (21 countries in the paper)
+    Category::EconomyFinance,
+    Category::AuctionsMarketplaces,
+    Category::GovernmentPolitics,
+    Category::Television,
+];
+
+impl SiteUniverse {
+    /// Generates the universe for `config`, deterministically.
+    pub fn generate(config: &WorldConfig) -> Self {
+        let mut sites: Vec<Site> = Vec::new();
+        // 1. Anchors.
+        for (i, anchor) in ANCHORS.iter().enumerate() {
+            sites.push(Site {
+                id: SiteId(sites.len() as u32),
+                key: anchor.key.to_owned(),
+                category: anchor.category,
+                pool: Pool::Anchor(i),
+                pool_rank: 0,
+                pool_share: 0.0,
+                dwell: anchor.dwell,
+                android_mult: anchor.android_mult,
+                has_android_app: anchor.has_android_app,
+                adult: anchor.adult,
+                cctld: anchor.cctld,
+                tld: anchor.tld.to_owned(),
+            });
+        }
+        // 2. Global pool.
+        generate_pool(&mut sites, config, Pool::Global, "g", config.global_pool);
+        // 3. Language pools (only languages that appear in the country table).
+        for lang in languages_in_use() {
+            generate_pool(
+                &mut sites,
+                config,
+                Pool::Language(lang),
+                &format!("l{}", lang_code(lang)),
+                config.language_pool,
+            );
+        }
+        // 4. Regional pools.
+        for geo in clusters_in_use() {
+            generate_pool(
+                &mut sites,
+                config,
+                Pool::Regional(geo),
+                &format!("r{}", geo_code(geo)),
+                config.regional_pool,
+            );
+        }
+        // 5. National pools.
+        for (ci, country) in COUNTRIES.iter().enumerate() {
+            generate_national_pool(&mut sites, config, ci, country);
+        }
+        // Candidate lists.
+        let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); COUNTRIES.len()];
+        for site in &sites {
+            for (ci, country) in COUNTRIES.iter().enumerate() {
+                if site_available_in(site, ci, country) {
+                    candidates[ci].push(site.id.0);
+                }
+            }
+        }
+        SiteUniverse { sites, candidates }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site for an id.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Site indices with nonzero demand in the country.
+    pub fn candidates(&self, country_idx: usize) -> &[u32] {
+        &self.candidates[country_idx]
+    }
+
+    /// Looks a site up by key (linear scan; test convenience).
+    pub fn by_key(&self, key: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.key == key)
+    }
+}
+
+/// Whether a site can receive any demand in a country.
+fn site_available_in(site: &Site, country_idx: usize, country: &Country) -> bool {
+    match site.pool {
+        Pool::Anchor(i) => ANCHORS[i].weight_in(country_idx) > 0.0,
+        Pool::Global => true,
+        Pool::Language(lang) => country.languages.contains(&lang),
+        Pool::Regional(geo) => country.geo == geo,
+        Pool::National(ci) => ci == country_idx,
+    }
+}
+
+/// All languages spoken by at least one study country, deduplicated in
+/// first-appearance order.
+pub fn languages_in_use() -> Vec<Language> {
+    let mut out: Vec<Language> = Vec::new();
+    for c in &COUNTRIES {
+        for l in c.languages {
+            if !out.contains(l) {
+                out.push(*l);
+            }
+        }
+    }
+    out
+}
+
+/// All geographic clusters with at least one member.
+pub fn clusters_in_use() -> Vec<GeoCluster> {
+    let mut out: Vec<GeoCluster> = Vec::new();
+    for c in &COUNTRIES {
+        if !out.contains(&c.geo) {
+            out.push(c.geo);
+        }
+    }
+    out
+}
+
+/// Short code for key prefixes.
+fn lang_code(l: Language) -> &'static str {
+    use Language as L;
+    match l {
+        L::English => "en",
+        L::Spanish => "es",
+        L::Portuguese => "pt",
+        L::French => "fr",
+        L::Dutch => "nl",
+        L::German => "de",
+        L::Italian => "it",
+        L::Polish => "pl",
+        L::Ukrainian => "uk",
+        L::Russian => "ru",
+        L::Arabic => "ar",
+        L::Turkish => "tr",
+        L::Japanese => "ja",
+        L::Korean => "ko",
+        L::Vietnamese => "vi",
+        L::ChineseTraditional => "zh",
+        L::Indonesian => "id",
+        L::Thai => "th",
+        L::Filipino => "fil",
+        L::Hindi => "hi",
+    }
+}
+
+/// Short code for key prefixes.
+fn geo_code(g: GeoCluster) -> &'static str {
+    use GeoCluster as G;
+    match g {
+        G::NorthAfrica => "naf",
+        G::SubSaharanAfrica => "ssa",
+        G::EastAsia => "eas",
+        G::SoutheastAsia => "sea",
+        G::SouthAsia => "sas",
+        G::MiddleEast => "mde",
+        G::WesternEurope => "weu",
+        G::EasternEurope => "eeu",
+        G::NorthAmerica => "nam",
+        G::CentralAmerica => "cam",
+        G::SouthAmerica => "sam",
+        G::Oceania => "oce",
+    }
+}
+
+/// Samples a category for a synthetic site at an effective global rank tier,
+/// weighting by the category's rank-anchored prevalence and its locality
+/// tendency for this pool kind.
+fn sample_category(config: &WorldConfig, pool: Pool, effective_rank: usize, index: u64) -> Category {
+    let mut weights = Vec::with_capacity(Category::ALL.len());
+    let mut total = 0.0;
+    for cat in Category::ALL {
+        let profile = CategoryProfile::of(*cat);
+        let rank_w = profile.windows_rank.weight_at_rank(effective_rank);
+        let (g, r, n) = profile.locality.probabilities();
+        let loc_w = match pool {
+            Pool::Global | Pool::Anchor(_) => g,
+            Pool::Language(_) | Pool::Regional(_) => r,
+            Pool::National(_) => n,
+        };
+        let w = rank_w * loc_w;
+        total += w;
+        weights.push(w);
+    }
+    if total <= 0.0 {
+        return Category::Unknown;
+    }
+    let u = unit(config.seed.derive_indexed("category", index)) * total;
+    let mut acc = 0.0;
+    for (cat, w) in Category::ALL.iter().zip(&weights) {
+        acc += w;
+        if u < acc {
+            return *cat;
+        }
+    }
+    Category::Unknown
+}
+
+/// Common attribute sampling for a synthetic site.
+fn synth_site(
+    config: &WorldConfig,
+    id: u32,
+    key: String,
+    pool: Pool,
+    pool_rank: u32,
+    pool_share: f64,
+    category: Category,
+    tld: String,
+) -> Site {
+    let seed = config.seed;
+    let profile = CategoryProfile::of(category);
+    let idx = id as u64;
+    // Per-site dwell varies widely within a category, but the multiplier is
+    // clamped so no synthetic site out-dwells the heaviest real category by
+    // an order of magnitude (unclamped log-normal tails otherwise mint freak
+    // "time on page" leaders no real dataset shows).
+    let dwell = profile.dwell_seconds
+        * (gauss(seed, "dwell", idx) * config.dwell_noise_sigma).exp().clamp(0.25, 4.0);
+    // App likelihood falls with pool rank: popular brands ship apps.
+    let app_prob = match pool_rank {
+        0..=50 => 0.8,
+        51..=500 => 0.55,
+        _ => 0.30,
+    };
+    let has_android_app = unit(seed.derive_indexed("app", idx)) < app_prob;
+    let mut android_mult = (config.platform_effect * profile.mobile_affinity * 0.5).exp()
+        * (gauss(seed, "android", idx) * 0.30).exp();
+    if has_android_app {
+        // Native app substitutes for mobile-browser traffic.
+        android_mult *= 0.55;
+    }
+    let adult = matches!(category, Category::Pornography | Category::AdultThemes);
+    // Multi-country commerce brands serve per-country ccTLDs (§5.3.2).
+    let cctld = matches!(pool, Pool::Global | Pool::Language(_))
+        && matches!(category, Category::Ecommerce | Category::AuctionsMarketplaces)
+        && unit(seed.derive_indexed("cctld", idx)) < 0.6;
+    Site {
+        id: SiteId(id),
+        key,
+        category,
+        pool,
+        pool_rank,
+        pool_share,
+        dwell,
+        android_mult,
+        has_android_app,
+        adult,
+        cctld,
+        tld,
+    }
+}
+
+/// Generic TLD mix for non-national synthetic sites.
+fn generic_tld(config: &WorldConfig, index: u64) -> &'static str {
+    let u = unit(config.seed.derive_indexed("tld", index));
+    if u < 0.62 {
+        "com"
+    } else if u < 0.76 {
+        "net"
+    } else if u < 0.88 {
+        "org"
+    } else if u < 0.95 {
+        "io"
+    } else {
+        "tv"
+    }
+}
+
+/// Maps a within-pool rank onto an *effective* country-list rank in
+/// 1..=10 000, used to pick category priors at the right tier. The mapping
+/// stretches each pool across the whole rank range regardless of configured
+/// pool size (so reduced test configs keep the same composition-by-rank
+/// shapes), offset by where the pool's head typically lands in a country
+/// list (global-pool leaders sit near the top; regional-pool leaders start
+/// deeper).
+pub fn effective_rank(pool: Pool, pool_rank: u32, count: usize) -> usize {
+    let head_offset = match pool {
+        Pool::Anchor(_) => 1.0,
+        Pool::Global => 20.0,
+        Pool::Language(_) => 120.0,
+        Pool::Regional(_) => 300.0,
+        Pool::National(_) => 8.0,
+    };
+    let span = 10_000.0 - head_offset;
+    let frac = pool_rank as f64 / count.max(1) as f64;
+    (head_offset + span * frac).round().max(1.0) as usize
+}
+
+fn generate_pool(
+    sites: &mut Vec<Site>,
+    config: &WorldConfig,
+    pool: Pool,
+    prefix: &str,
+    count: usize,
+) {
+    let shares = zipf_mandelbrot_shares(count, config.zipf_exponent, config.zipf_shift);
+    for (i, share) in shares.iter().enumerate() {
+        let id = sites.len() as u32;
+        let pool_rank = (i + 1) as u32;
+        let tier = effective_rank(pool, pool_rank, count);
+        let category = sample_category(config, pool, tier, id as u64);
+        let key = format!("{prefix}{:05}", pool_rank);
+        let tld = generic_tld(config, id as u64).to_owned();
+        sites.push(synth_site(config, id, key, pool, pool_rank, *share, category, tld));
+    }
+}
+
+fn generate_national_pool(
+    sites: &mut Vec<Site>,
+    config: &WorldConfig,
+    country_idx: usize,
+    country: &Country,
+) {
+    let count = config.national_pool;
+    let boost_total: f64 = NATIONAL_HEAD_BOOST.iter().sum();
+    let tail = zipf_mandelbrot_shares(count - NATIONAL_HEAD_BOOST.len(), config.zipf_exponent, config.zipf_shift);
+    let pool = Pool::National(country_idx);
+    // Deterministic per-country rotation of the boosted-head categories, so
+    // different countries lead with different national institutions.
+    let rotation = (config.seed.derive_indexed("nathead", country_idx as u64) % 6) as usize;
+    for i in 0..count {
+        let id = sites.len() as u32;
+        let pool_rank = (i + 1) as u32;
+        let key = format!("n{}{:05}", country.code.to_ascii_lowercase(), pool_rank);
+        let (share, category) = if i < NATIONAL_HEAD_BOOST.len() {
+            let cat = NATIONAL_HEAD_CATEGORIES[(i + rotation) % 6];
+            (NATIONAL_HEAD_BOOST[i], cat)
+        } else {
+            let tier = effective_rank(pool, pool_rank, count);
+            let cat = sample_category(config, pool, tier, id as u64);
+            (tail[i - NATIONAL_HEAD_BOOST.len()] * (1.0 - boost_total), cat)
+        };
+        let tld = country.national_suffix.to_owned();
+        let mut site = synth_site(config, id, key, pool, pool_rank, share, category, tld);
+        // National sites never serve foreign ccTLDs.
+        site.cctld = false;
+        // Boosted heads are calibrated institutions (the country's top
+        // portal/news/bank/TV); rein their dwell noise in so the calibration
+        // survives (a 4× log-normal tail on a TV head would otherwise beat
+        // YouTube for national time on page, which no country shows).
+        if (i as usize) < NATIONAL_HEAD_BOOST.len() {
+            let profile = CategoryProfile::of(category);
+            site.dwell = profile.dwell_seconds
+                * (gauss(config.seed, "dwell", id as u64) * config.dwell_noise_sigma)
+                    .exp()
+                    .clamp(0.6, 1.5);
+        }
+        sites.push(site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> SiteUniverse {
+        SiteUniverse::generate(&WorldConfig::small())
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = SiteUniverse::generate(&WorldConfig::small());
+        let b = SiteUniverse::generate(&WorldConfig::small());
+        assert_eq!(a.sites, b.sites);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let u = universe();
+        for (i, s) in u.sites.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn keys_unique() {
+        let u = universe();
+        let mut keys: Vec<&str> = u.sites.iter().map(|s| s.key.as_str()).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn anchors_come_first() {
+        let u = universe();
+        assert_eq!(u.sites[0].key, "google");
+        assert!(matches!(u.sites[ANCHORS.len() - 1].pool, Pool::Anchor(_)));
+        assert!(!matches!(u.sites[ANCHORS.len()].pool, Pool::Anchor(_)));
+    }
+
+    #[test]
+    fn every_country_has_enough_candidates() {
+        let u = universe();
+        let config = WorldConfig::small();
+        for ci in 0..COUNTRIES.len() {
+            let c = u.candidates(ci).len();
+            assert!(
+                c > config.national_pool + config.global_pool,
+                "{}: only {c} candidates",
+                COUNTRIES[ci].code
+            );
+        }
+    }
+
+    #[test]
+    fn national_sites_only_at_home() {
+        let u = universe();
+        let site = u.sites.iter().find(|s| matches!(s.pool, Pool::National(0))).unwrap();
+        assert!(u.candidates(0).contains(&site.id.0));
+        for ci in 1..COUNTRIES.len() {
+            assert!(!u.candidates(ci).contains(&site.id.0));
+        }
+    }
+
+    #[test]
+    fn language_pool_shared_by_speakers() {
+        let u = universe();
+        let site = u
+            .sites
+            .iter()
+            .find(|s| matches!(s.pool, Pool::Language(Language::Spanish)))
+            .unwrap();
+        let es = Country::index_of("ES").unwrap();
+        let mx = Country::index_of("MX").unwrap();
+        let jp = Country::index_of("JP").unwrap();
+        assert!(u.candidates(es).contains(&site.id.0));
+        assert!(u.candidates(mx).contains(&site.id.0));
+        assert!(!u.candidates(jp).contains(&site.id.0));
+    }
+
+    #[test]
+    fn pool_shares_normalized() {
+        let u = universe();
+        let total: f64 = u
+            .sites
+            .iter()
+            .filter(|s| s.pool == Pool::Global)
+            .map(|s| s.pool_share)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // National pool shares sum to 1 too (boost + scaled tail).
+        let nat: f64 = u
+            .sites
+            .iter()
+            .filter(|s| s.pool == Pool::National(3))
+            .map(|s| s.pool_share)
+            .sum();
+        assert!((nat - 1.0).abs() < 1e-9, "got {nat}");
+    }
+
+    #[test]
+    fn national_domains_use_national_suffix() {
+        let u = universe();
+        let br = Country::index_of("BR").unwrap();
+        let site = u.sites.iter().find(|s| matches!(s.pool, Pool::National(i) if i == br)).unwrap();
+        assert!(site.domain_in(br).ends_with(".com.br"));
+    }
+
+    #[test]
+    fn synthetic_domains_parse() {
+        use wwv_domains::{DomainName, PublicSuffixList, SiteKey};
+        let psl = PublicSuffixList::embedded();
+        let u = universe();
+        for site in u.sites.iter().step_by(37) {
+            for ci in (0..COUNTRIES.len()).step_by(11) {
+                let d = DomainName::parse(&site.domain_in(ci)).unwrap();
+                let key = SiteKey::of(&d, &psl).unwrap();
+                assert_eq!(key.as_str(), site.key);
+            }
+        }
+    }
+
+    #[test]
+    fn dwell_positive_and_varied() {
+        let u = universe();
+        let dwells: Vec<f64> = u.sites.iter().take(500).map(|s| s.dwell).collect();
+        assert!(dwells.iter().all(|d| *d > 0.0));
+        let distinct = dwells.iter().filter(|d| (**d - dwells[0]).abs() > 1e-9).count();
+        assert!(distinct > 100, "dwell noise should vary sites");
+    }
+
+    #[test]
+    fn adult_flag_tracks_category() {
+        let u = universe();
+        for s in &u.sites {
+            if s.category == Category::Pornography {
+                assert!(s.adult);
+            }
+        }
+    }
+
+    #[test]
+    fn boosted_national_heads_have_curated_categories() {
+        let u = universe();
+        for ci in [0usize, 7, 20] {
+            let heads: Vec<&Site> = u
+                .sites
+                .iter()
+                .filter(|s| matches!(s.pool, Pool::National(c) if c == ci) && s.pool_rank <= 6)
+                .collect();
+            assert_eq!(heads.len(), 6);
+            for h in heads {
+                assert!(NATIONAL_HEAD_CATEGORIES.contains(&h.category));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared dimension types: platform, popularity metric, breakdown key.
+
+use crate::season::Month;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Browser platform. The paper restricts analysis to the two largest
+/// platforms (§3.1): Windows (desktop) and Android (mobile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    /// Desktop (Windows).
+    Windows,
+    /// Mobile (Android).
+    Android,
+}
+
+impl Platform {
+    /// Both platforms, desktop first.
+    pub const ALL: [Platform; 2] = [Platform::Windows, Platform::Android];
+
+    /// Whether this is the mobile platform.
+    pub fn is_mobile(&self) -> bool {
+        matches!(self, Platform::Android)
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Platform::Windows => "Windows",
+            Platform::Android => "Android",
+        })
+    }
+}
+
+/// Popularity metric. The paper analyzes completed page loads and time on
+/// page (initiated page loads are excluded as nearly identical to completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Metric {
+    /// Number of completed page loads (First Contentful Paint).
+    PageLoads,
+    /// Total foreground time on page.
+    TimeOnPage,
+}
+
+impl Metric {
+    /// Both metrics, page loads first.
+    pub const ALL: [Metric; 2] = [Metric::PageLoads, Metric::TimeOnPage];
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Metric::PageLoads => "Page Loads",
+            Metric::TimeOnPage => "Time on Page",
+        })
+    }
+}
+
+/// One (country, platform, metric, month) breakdown — the key of every rank
+/// list in the Chrome dataset. Countries are referenced by index into
+/// [`crate::country::COUNTRIES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Index into [`crate::country::COUNTRIES`].
+    pub country: usize,
+    /// Platform.
+    pub platform: Platform,
+    /// Popularity metric.
+    pub metric: Metric,
+    /// Month.
+    pub month: Month,
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            crate::country::COUNTRIES[self.country].code,
+            self.platform,
+            self.metric,
+            self.month
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_flags() {
+        assert!(Platform::Android.is_mobile());
+        assert!(!Platform::Windows.is_mobile());
+        assert_eq!(Platform::ALL.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_terms() {
+        assert_eq!(Platform::Windows.to_string(), "Windows");
+        assert_eq!(Metric::TimeOnPage.to_string(), "Time on Page");
+    }
+
+    #[test]
+    fn breakdown_display_is_informative() {
+        let b = Breakdown {
+            country: 0,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        };
+        let s = b.to_string();
+        assert!(s.contains("Windows") && s.contains("Page Loads"));
+    }
+}

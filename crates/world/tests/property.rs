@@ -1,0 +1,79 @@
+//! Property tests for the world model: demand laws under arbitrary seeds
+//! and breakdowns, and traffic-curve laws under arbitrary anchors.
+
+use proptest::prelude::*;
+use wwv_world::{Breakdown, Metric, Month, Platform, TrafficCurve, World, WorldConfig};
+
+/// A tiny world config (fast enough for many proptest cases).
+fn tiny(seed: u64) -> WorldConfig {
+    WorldConfig {
+        global_pool: 80,
+        language_pool: 40,
+        regional_pool: 25,
+        national_pool: 150,
+        ..WorldConfig::small()
+    }
+    .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Demand is a probability distribution for every breakdown and seed.
+    #[test]
+    fn demand_is_a_distribution(
+        seed in 0u64..1_000,
+        country in 0usize..45,
+        mobile in any::<bool>(),
+        time in any::<bool>(),
+        month_idx in 0usize..6,
+    ) {
+        let world = World::new(tiny(seed));
+        let b = Breakdown {
+            country,
+            platform: if mobile { Platform::Android } else { Platform::Windows },
+            metric: if time { Metric::TimeOnPage } else { Metric::PageLoads },
+            month: Month::ALL[month_idx],
+        };
+        let demand = world.demand(b);
+        prop_assert!(!demand.is_empty());
+        let total: f64 = demand.iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        for (_, w) in &demand {
+            prop_assert!(*w > 0.0 && *w <= 1.0);
+        }
+    }
+}
+
+proptest! {
+    /// Any valid anchor set yields a monotone curve with decreasing-ish
+    /// shares and exact anchor hits.
+    #[test]
+    fn curve_laws(
+        c1 in 0.05f64..0.3,
+        gap2 in 0.01f64..0.2,
+        gap3 in 0.01f64..0.2,
+        gap4 in 0.01f64..0.2,
+    ) {
+        let anchors = [
+            (1u64, c1),
+            (10, (c1 + gap2).min(0.9)),
+            (1_000, (c1 + gap2 + gap3).min(0.95)),
+            (100_000, (c1 + gap2 + gap3 + gap4).min(0.99)),
+        ];
+        let curve = TrafficCurve::from_anchors(&anchors).expect("valid anchors");
+        for (rank, cum) in anchors {
+            prop_assert!((curve.cumulative(rank) - cum).abs() < 1e-9);
+        }
+        let mut prev = 0.0;
+        for rank in [1u64, 2, 5, 10, 50, 100, 1_000, 10_000, 100_000] {
+            let v = curve.cumulative(rank);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        // Shares are non-negative and sum to the cumulative.
+        let shares = curve.shares(500);
+        prop_assert!(shares.iter().all(|s| *s >= 0.0));
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - curve.cumulative(500)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Country similarity and clustering (§5.3.1 / Figs. 10–11, 21).
+//!
+//! Computes the traffic-weighted RBO similarity matrix over 45 countries,
+//! clusters it with affinity propagation, and prints the clusters with
+//! silhouette validation — the pipeline behind the paper's Fig. 11.
+//!
+//! Run with: `cargo run --release --example country_similarity`
+
+use wwv::core::clustering::cluster_countries;
+use wwv::core::similarity::similarity_matrix;
+use wwv::core::AnalysisContext;
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::small());
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    println!("computing 45×45 traffic-weighted RBO matrix (Windows, page loads) …");
+    let sim = similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads);
+
+    // A few pairings the paper calls out.
+    for (a, b) in [("DZ", "MA"), ("MX", "AR"), ("FR", "BE"), ("AU", "CA"), ("KR", "JP"), ("KR", "US")] {
+        println!("  RBO({a}, {b}) = {:.3}", sim.between(a, b).unwrap());
+    }
+
+    println!("\nclustering with affinity propagation …");
+    let clustering = cluster_countries(&sim).expect("clustering converges");
+    println!(
+        "{} clusters, average silhouette {:.3} (paper: 11 clusters, SC 0.11)",
+        clustering.clusters.len(),
+        clustering.average_silhouette
+    );
+    for cluster in &clustering.clusters {
+        println!(
+            "  [{}] exemplar {:<3} SC {:+.2}  members: {}",
+            cluster.index,
+            cluster.exemplar,
+            cluster.silhouette,
+            cluster.members.join(" ")
+        );
+    }
+
+    // Outlier check: KR and JP should be the least typical countries.
+    let mut typicality: Vec<(String, f64)> = sim
+        .labels
+        .iter()
+        .map(|c| (c.clone(), sim.mean_similarity(c).unwrap()))
+        .collect();
+    typicality.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("\nleast typical browsing profiles (mean similarity to others):");
+    for (code, s) in typicality.iter().take(5) {
+        println!("  {code}: {s:.3}");
+    }
+}

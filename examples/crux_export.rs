@@ -1,0 +1,70 @@
+//! CrUX-style public export and the §6 geo-coverage check.
+//!
+//! Produces the public-data analogue of the paper's dataset (rank magnitude
+//! buckets per country and globally) and measures how much of each country's
+//! head the globally aggregated list misses — the bias §6 warns about.
+//!
+//! Run with: `cargo run --release --example crux_export`
+
+use wwv::core::representative::section6_comparison;
+use wwv::core::AnalysisContext;
+use wwv::telemetry::crux::{country_buckets, global_buckets, global_coverage};
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::small());
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ladder = [100usize, 1_000, 3_000];
+
+    // Per-country buckets for a couple of countries.
+    for code in ["US", "KR"] {
+        let ci = Country::index_of(code).unwrap();
+        let buckets =
+            country_buckets(&dataset, ci, Platform::Windows, Month::February2022, &ladder)
+                .expect("bucketed list");
+        println!(
+            "{code}: bucket sizes {:?}",
+            ladder.iter().map(|b| buckets.count_in(*b)).collect::<Vec<_>>()
+        );
+    }
+
+    // Global bucket list.
+    let global = global_buckets(&dataset, Platform::Windows, Month::February2022, &ladder);
+    println!(
+        "global: bucket sizes {:?}",
+        ladder.iter().map(|b| global.count_in(*b)).collect::<Vec<_>>()
+    );
+
+    // §6 check: how much of each country's head the global list misses.
+    let mut coverage = global_coverage(&dataset, Platform::Windows, Month::February2022, &ladder);
+    coverage.sort_by(|a, b| b.missing_from_global_head.partial_cmp(&a.missing_from_global_head).unwrap());
+    println!("\ncountries whose head sites the GLOBAL head bucket misses most:");
+    for c in coverage.iter().take(8) {
+        println!(
+            "  {}: {:.0}% of its top-{} outside the global head bucket",
+            c.country,
+            c.missing_from_global_head * 100.0,
+            c.head_sites
+        );
+    }
+
+    // Representative-set comparison (§6 recommendation).
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+    let cmp = section6_comparison(&ctx, Platform::Windows, Metric::PageLoads);
+    println!("\nrepresentative-set comparison (size-matched):");
+    for report in [&cmp.global_only, &cmp.global_plus_national] {
+        println!(
+            "  {:<44} median coverage {:.0}%, worst {} at {:.0}%",
+            report.set_name,
+            report.summary.median * 100.0,
+            report.worst.0,
+            report.worst.1 * 100.0
+        );
+    }
+}

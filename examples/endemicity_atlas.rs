@@ -1,0 +1,76 @@
+//! Endemicity atlas (§5.1–§5.2 / Figs. 6–9, Tables 1–2).
+//!
+//! Builds website popularity curves, scores endemicity, classifies sites as
+//! globally vs nationally popular, and prints the category contrast between
+//! the two classes.
+//!
+//! Run with: `cargo run --release --example endemicity_atlas`
+
+use wwv::core::endemicity::{popularity_curves, CurveShape};
+use wwv::core::global_national::{classify_global_national, class_composition, global_share_by_bucket, RANK_BUCKETS};
+use wwv::core::AnalysisContext;
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::small());
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    println!("building popularity curves (sites in any country's top 200) …");
+    let curves = popularity_curves(&ctx, Platform::Windows, Metric::PageLoads, 200);
+    println!("scored {} site keys", curves.len());
+
+    // Example curves, as in Fig. 6.
+    println!("\nexample curves (endemicity E ∈ [0, 180], smaller = more global):");
+    for key in ["google", "facebook", "netflix", "hbomax", "naver", "allegro"] {
+        if let Some(c) = curves.iter().find(|c| c.key == key) {
+            println!(
+                "  {key:<10} E = {:>6.1}  present in {:>2}/45 countries  shape: {:?}",
+                c.endemicity(),
+                c.present_in(),
+                c.shape()
+            );
+        }
+    }
+
+    // Shape census (Table 1).
+    println!("\nshape census:");
+    for shape in CurveShape::ALL {
+        let n = curves.iter().filter(|c| c.shape() == shape).count();
+        println!("  {shape:?}: {n}");
+    }
+
+    // Global vs national split (Table 2, Figs. 7–9).
+    let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
+    println!(
+        "\nglobally popular: {:.1}% of {} scored sites (paper: ≈2%)",
+        split.global_fraction * 100.0,
+        split.scored
+    );
+    let comp = class_composition(&ctx, &split);
+    let mut top_global: Vec<(&String, &f64)> = comp.global.iter().collect();
+    top_global.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    println!("top categories among GLOBALLY popular sites:");
+    for (cat, pct) in top_global.iter().take(6) {
+        println!("  {cat}: {pct:.1}%");
+    }
+    let mut top_national: Vec<(&String, &f64)> = comp.national.iter().collect();
+    top_national.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    println!("top categories among NATIONALLY popular sites:");
+    for (cat, pct) in top_national.iter().take(6) {
+        println!("  {cat}: {pct:.1}%");
+    }
+
+    // Fig. 9: global share by rank bucket.
+    let fig9 = global_share_by_bucket(&ctx, &split, &RANK_BUCKETS);
+    println!("\nglobally-popular share by rank bucket (median across countries):");
+    for ((lo, hi), pct) in fig9.buckets.iter().zip(&fig9.global_pct) {
+        println!("  ranks {lo:>4}–{hi:<4}: {pct:5.1}% global");
+    }
+}

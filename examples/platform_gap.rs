@@ -1,0 +1,61 @@
+//! Desktop vs mobile browsing (§4.3 / Figs. 4 and 15) and metric
+//! disagreement (§4.4 / Fig. 5).
+//!
+//! Run with: `cargo run --release --example platform_gap`
+
+use wwv::core::metric_diff::{metric_agreement, metric_leaning};
+use wwv::core::platform_diff::platform_differences;
+use wwv::core::AnalysisContext;
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::small());
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    println!("Fig. 4 — categories with significant desktop/mobile differences");
+    println!("(score > 0 = mobile-leaning, < 0 = desktop-leaning)\n");
+    let rows = platform_differences(&ctx, Metric::PageLoads);
+    for r in &rows {
+        let bar_len = (r.score.abs() * 24.0).round() as usize;
+        let bar = if r.score >= 0.0 {
+            format!("{:>24}|{}", "", "█".repeat(bar_len))
+        } else {
+            format!("{:>width$}|", "█".repeat(bar_len), width = 24)
+        };
+        println!("  {bar} {:+.2}  {} ({} countries significant)", r.score, r.category, r.significant_countries);
+    }
+
+    println!("\n§4.4 — page loads vs time on page agreement:");
+    for platform in [Platform::Windows, Platform::Android] {
+        let a = metric_agreement(&ctx, platform);
+        println!(
+            "  {platform}: intersection median {:.0}% (IQR {:.0}–{:.0}%), Spearman ρ median {:.2}",
+            a.intersection.median * 100.0,
+            a.intersection.q25 * 100.0,
+            a.intersection.q75 * 100.0,
+            a.spearman.median
+        );
+    }
+
+    println!("\nFig. 5 — most loads-leaning vs time-leaning categories (Windows):");
+    let leaning = metric_leaning(&ctx, Platform::Windows);
+    let mut loads: Vec<_> = leaning.loads_leaning.iter().collect();
+    loads.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    println!("  page-loads-leaning quintile:");
+    for (cat, pct) in loads.iter().take(5) {
+        println!("    {cat}: {pct:.1}%");
+    }
+    let mut time: Vec<_> = leaning.time_leaning.iter().collect();
+    time.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    println!("  time-on-page-leaning quintile:");
+    for (cat, pct) in time.iter().take(5) {
+        println!("    {cat}: {pct:.1}%");
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: generate a world, build the Chrome-style dataset, and ask the
+//! paper's first questions — who tops the web, and how concentrated is it?
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wwv::core::concentration::{concentration_curve, headline_stats};
+use wwv::core::AnalysisContext;
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    // A reduced world keeps the example fast; `WorldConfig::default()` is the
+    // paper-scale configuration.
+    println!("generating world …");
+    let world = World::new(WorldConfig::small());
+    println!("building telemetry dataset …");
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    // Top sites for a few countries (February 2022, Windows, page loads).
+    for code in ["US", "KR", "BR", "DZ"] {
+        let ci = Country::index_of(code).expect("study country");
+        let b = ctx.breakdown(ci, Platform::Windows, Metric::PageLoads);
+        let list = ctx.key_list(b);
+        let top: Vec<&str> = list.iter().take(8).map(String::as_str).collect();
+        println!("{code} top sites by page loads: {top:?}");
+    }
+
+    // Fig. 1-style concentration curve.
+    let curve = concentration_curve(Platform::Windows, Metric::PageLoads);
+    println!("\nWindows page-load concentration (global distribution data):");
+    for (rank, cum) in curve.ranks.iter().zip(&curve.cumulative) {
+        if [1, 6, 100, 10_000, 1_000_000].contains(&(*rank as usize)) {
+            println!("  top {rank:>8} sites → {:5.1}% of page loads", cum * 100.0);
+        }
+    }
+
+    // §4.1.2 headline stats from the dataset.
+    let stats = headline_stats(&ctx);
+    println!("\nheadline stats:");
+    println!("  Google #1 by loads in {}/45 countries", stats.google_top_loads_countries);
+    if let Some((country, key)) = &stats.non_google_leader {
+        println!("  the exception: {key} leads in {country}");
+    }
+    println!("  YouTube #1 by time in {}/45 countries", stats.youtube_top_time_countries);
+    println!(
+        "  per-country top-site share of loads: median {:.0}%, IQR {:.0}–{:.0}%",
+        stats.country_top1_share.median * 100.0,
+        stats.country_top1_share.q25 * 100.0,
+        stats.country_top1_share.q75 * 100.0,
+    );
+}

@@ -1,0 +1,68 @@
+//! Temporal stability of the web (§4.5) — adjacent-month similarity, drift
+//! from September, and the December anomaly.
+//!
+//! Run with: `cargo run --release --example temporal_watch`
+
+use wwv::core::temporal::{
+    adjacent_month_stability, category_share_by_month, december_anomaly, from_september_stability,
+};
+use wwv::core::AnalysisContext;
+use wwv::taxonomy::Category;
+use wwv::telemetry::DatasetBuilder;
+use wwv::world::{Metric, Month, Platform, World, WorldConfig};
+
+fn main() {
+    let world = World::new(WorldConfig::small());
+    // All six study months.
+    let dataset = DatasetBuilder::new(&world)
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    println!("adjacent-month stability (Windows page loads, top 100):");
+    for p in adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100) {
+        println!(
+            "  {} → {}: intersection {:.0}% (IQR {:.0}–{:.0}%), ρ {:.2}",
+            p.from,
+            p.to,
+            p.intersection.median * 100.0,
+            p.intersection.q25 * 100.0,
+            p.intersection.q75 * 100.0,
+            p.spearman.median
+        );
+    }
+
+    println!("\ndrift from September (top 100):");
+    for p in from_september_stability(&ctx, Platform::Windows, Metric::PageLoads, 100) {
+        println!("  2021-09 → {}: intersection {:.0}%", p.to, p.intersection.median * 100.0);
+    }
+
+    let anomaly = december_anomaly(&ctx, Platform::Windows, Metric::TimeOnPage, 1_000);
+    println!("\nDecember anomaly (top-1000, Windows time on page):");
+    println!(
+        "  Nov→Dec intersection {:.0}% vs Jan→Feb {:.0}%",
+        anomaly.nov_dec_intersection * 100.0,
+        anomaly.jan_feb_intersection * 100.0
+    );
+    println!(
+        "  education share: Nov {:.1}% → Dec {:.1}%  (paper: 8.4% → 6.8%)",
+        anomaly.education_nov_dec.0, anomaly.education_nov_dec.1
+    );
+    println!(
+        "  e-commerce share: Nov {:.1}% → Dec {:.1}%  (paper: 5.0% → 6.1%)",
+        anomaly.ecommerce_nov_dec.0, anomaly.ecommerce_nov_dec.1
+    );
+
+    println!("\ncategory share across all months (top-1000 sites):");
+    for cat in [Category::Ecommerce, Category::Education, Category::NewsMedia] {
+        let series = category_share_by_month(&ctx, cat, Platform::Windows, Metric::PageLoads, 1_000);
+        let cells: Vec<String> = Month::ALL
+            .iter()
+            .zip(&series.shares)
+            .map(|(m, s)| format!("{m}: {s:.1}%"))
+            .collect();
+        println!("  {:<22} {}", series.category, cells.join("  "));
+    }
+}

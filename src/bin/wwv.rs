@@ -1,0 +1,156 @@
+//! `wwv` — command-line explorer for the synthetic world-wide-web dataset.
+//!
+//! ```text
+//! wwv top       --country KR [--platform android] [--metric time] [--n 10]
+//! wwv category  <domain>            # categorize a domain (API + truth)
+//! wwv curve     <site-key>          # popularity curve + endemicity
+//! wwv similar   --country FR [--n 5]
+//! wwv save      <path.bin>          # snapshot the dataset (binary format)
+//! ```
+//!
+//! All subcommands build the reduced-scale world on the fly (deterministic,
+//! a few seconds).
+
+use wwv::core::endemicity::popularity_curves;
+use wwv::core::similarity::similarity_matrix;
+use wwv::core::AnalysisContext;
+use wwv::telemetry::{persist, DatasetBuilder};
+use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig, COUNTRIES};
+
+struct Args {
+    positional: Vec<String>,
+    country: String,
+    platform: Platform,
+    metric: Metric,
+    n: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        country: "US".to_owned(),
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        n: 10,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--country" => args.country = iter.next().unwrap_or_default().to_uppercase(),
+            "--platform" => {
+                args.platform = match iter.next().as_deref() {
+                    Some("android") | Some("mobile") => Platform::Android,
+                    _ => Platform::Windows,
+                }
+            }
+            "--metric" => {
+                args.metric = match iter.next().as_deref() {
+                    Some("time") => Metric::TimeOnPage,
+                    _ => Metric::PageLoads,
+                }
+            }
+            "--n" => args.n = iter.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            other => args.positional.push(other.to_owned()),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: wwv <top|category|curve|similar|save> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(command) = args.positional.first().cloned() else { usage() };
+
+    eprintln!("[wwv] building world + dataset …");
+    let world = World::new(WorldConfig::small());
+    let dataset = DatasetBuilder::new(&world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build();
+    let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
+
+    match command.as_str() {
+        "top" => {
+            let Some(ci) = Country::index_of(&args.country) else {
+                eprintln!("unknown country code {:?}", args.country);
+                std::process::exit(2);
+            };
+            let b = ctx.breakdown(ci, args.platform, args.metric);
+            let Some(list) = dataset.list(b) else {
+                eprintln!("no list for {b}");
+                std::process::exit(1);
+            };
+            println!("top {} sites in {} ({} / {}):", args.n, COUNTRIES[ci].name, args.platform, args.metric);
+            let total: u64 = list.entries.iter().map(|(_, c)| c).sum();
+            for (rank, (d, count)) in list.entries.iter().take(args.n).enumerate() {
+                println!(
+                    "  {:>3}. {:<28} {:>6.2}%  [{}]",
+                    rank + 1,
+                    dataset.domains.name(*d),
+                    100.0 * *count as f64 / total as f64,
+                    ctx.category_of(*d)
+                );
+            }
+        }
+        "category" => {
+            let Some(domain) = args.positional.get(1) else { usage() };
+            match dataset.domains.get(domain) {
+                Some(id) => {
+                    println!("domain:       {domain}");
+                    println!("site key:     {}", ctx.key_of(id));
+                    println!("API category: {}", ctx.category_of(id));
+                    println!("true category:{}", ctx.true_category_of(id));
+                }
+                None => println!("{domain}: not in the dataset (below privacy threshold everywhere?)"),
+            }
+        }
+        "curve" => {
+            let Some(key) = args.positional.get(1) else { usage() };
+            let curves = popularity_curves(&ctx, args.platform, args.metric, 200);
+            match curves.iter().find(|c| &c.key == key) {
+                Some(curve) => {
+                    println!("site:        {key}");
+                    println!("best rank:   {}", curve.best_rank());
+                    println!("present in:  {}/45 countries", curve.present_in());
+                    println!("endemicity:  {:.1} / 180 (ratio {:.2})", curve.endemicity(), curve.endemicity_ratio());
+                    println!("shape:       {:?}", curve.shape());
+                    let ranks: Vec<String> = curve.ranks.iter().take(12).map(|r| r.to_string()).collect();
+                    println!("best ranks:  {}", ranks.join(", "));
+                }
+                None => println!("{key}: not in any country's top 200"),
+            }
+        }
+        "similar" => {
+            let sim = similarity_matrix(&ctx, args.platform, args.metric);
+            let code = args.country.as_str();
+            if !sim.labels.iter().any(|l| l == code) {
+                eprintln!("unknown country code {code:?}");
+                std::process::exit(2);
+            }
+            let mut pairs: Vec<(String, f64)> = sim
+                .labels
+                .iter()
+                .filter(|l| l.as_str() != code)
+                .map(|l| (l.clone(), sim.between(code, l).unwrap()))
+                .collect();
+            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            println!("countries most similar to {code} ({} / {}):", args.platform, args.metric);
+            for (other, s) in pairs.iter().take(args.n) {
+                println!("  {other}: {s:.3}");
+            }
+        }
+        "save" => {
+            let Some(path) = args.positional.get(1) else { usage() };
+            let bytes = persist::to_binary(&dataset);
+            std::fs::write(path, &bytes).expect("write dataset snapshot");
+            println!("wrote {} bytes to {path}", bytes.len());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,21 @@
+//! # wwv — A World Wide View of Browsing the World Wide Web
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! the IMC 2022 measurement study by Ruth et al. See the repository README
+//! for an architecture overview and DESIGN.md for the experiment index.
+//!
+//! ```
+//! use wwv::prelude::*;
+//! ```
+
+pub use wwv_core as core;
+pub use wwv_domains as domains;
+pub use wwv_stats as stats;
+pub use wwv_taxonomy as taxonomy;
+pub use wwv_telemetry as telemetry;
+pub use wwv_world as world;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use wwv_domains::{DomainName, PublicSuffixList, RegistrableDomain, SiteKey};
+}

@@ -1,0 +1,34 @@
+//! Shared fixture for the integration suite: one small world + dataset.
+
+use std::sync::OnceLock;
+use wwv::telemetry::{ChromeDataset, DatasetBuilder};
+use wwv::world::{Month, World, WorldConfig};
+
+/// Small world + February-only dataset, built once per test binary.
+pub fn fixture() -> &'static (World, ChromeDataset) {
+    static FIXTURE: OnceLock<(World, ChromeDataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::new(WorldConfig::small());
+        let dataset = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, dataset)
+    })
+}
+
+/// Small world + all-months dataset, built once per test binary.
+pub fn fixture_all_months() -> &'static (World, ChromeDataset) {
+    static FIXTURE: OnceLock<(World, ChromeDataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::new(WorldConfig::small());
+        let dataset = DatasetBuilder::new(&world)
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build();
+        (world, dataset)
+    })
+}

@@ -1,0 +1,116 @@
+//! Integration tests asserting the paper's headline findings hold across
+//! the whole pipeline: world model → telemetry dataset → analyses.
+
+mod common;
+
+use wwv::core::composition::composition;
+use wwv::core::concentration::headline_stats;
+use wwv::core::global_national::{classify_global_national, endemic_fraction};
+use wwv::core::metric_diff::metric_agreement;
+use wwv::core::platform_diff::platform_differences;
+use wwv::core::similarity::similarity_matrix;
+use wwv::core::top10::top10_coverage;
+use wwv::core::AnalysisContext;
+use wwv::taxonomy::Category;
+use wwv::world::{Metric, Platform};
+
+fn ctx() -> AnalysisContext<'static> {
+    let (world, dataset) = common::fixture();
+    AnalysisContext::with_depth(world, dataset, 2_000)
+}
+
+#[test]
+fn google_rules_loads_naver_rules_korea() {
+    // §4.1.2: Google #1 by page loads in 44/45 countries; Naver in KR.
+    let stats = headline_stats(&ctx());
+    assert_eq!(stats.google_top_loads_countries, 44);
+    let (country, key) = stats.non_google_leader.expect("one non-google country");
+    assert_eq!(country, "South Korea");
+    assert_eq!(key, "naver");
+}
+
+#[test]
+fn youtube_rules_time() {
+    // §4.1.2: users spend the most time on YouTube in 40/45 countries.
+    let stats = headline_stats(&ctx());
+    assert!(
+        (38..=42).contains(&stats.youtube_top_time_countries),
+        "youtube tops time in {} countries",
+        stats.youtube_top_time_countries
+    );
+}
+
+#[test]
+fn search_loads_vs_video_time() {
+    // §4.2.2: search engines take the plurality of page loads; video
+    // streaming the plurality of desktop time.
+    let ctx = ctx();
+    let loads = composition(&ctx, Platform::Windows, Metric::PageLoads);
+    let time = composition(&ctx, Platform::Windows, Metric::TimeOnPage);
+    let search_loads = loads.traffic_10k(Category::SearchEngines);
+    let video_time = time.traffic_10k(Category::VideoStreaming);
+    assert!(search_loads > 15.0, "search loads {search_loads}%");
+    assert!(video_time > 15.0, "video time {video_time}%");
+    assert!(search_loads > loads.traffic_10k(Category::VideoStreaming));
+    assert!(video_time > time.traffic_10k(Category::SearchEngines));
+}
+
+#[test]
+fn platform_contrast_directions() {
+    // §4.3: entertainment/lifestyle mobile; work/school desktop.
+    let rows = platform_differences(&ctx(), Metric::PageLoads);
+    let score = |c: Category| rows.iter().find(|r| r.category == c.name()).map(|r| r.score);
+    assert!(score(Category::Pornography).unwrap_or(0.0) > 0.0);
+    assert!(score(Category::Business).unwrap_or(0.0) < 0.0);
+    assert!(score(Category::EducationalInstitutions).unwrap_or(0.0) < 0.0);
+}
+
+#[test]
+fn metrics_agree_only_moderately() {
+    // §4.4: top-N lists by the two metrics overlap but far from fully.
+    // N must sit below the surviving-site population so truncation binds.
+    let (world, dataset) = common::fixture();
+    let ctx = AnalysisContext::with_depth(world, dataset, 1_200);
+    let agreement = metric_agreement(&ctx, Platform::Windows);
+    assert!(agreement.intersection.median > 0.3);
+    assert!(agreement.intersection.median < 0.99);
+    assert!(agreement.spearman.median > 0.2);
+}
+
+#[test]
+fn every_country_covers_core_use_cases() {
+    // §4.2.1: search + video in every top 10; social in almost every.
+    let coverage = top10_coverage(&ctx(), Platform::Windows, Metric::PageLoads);
+    assert_eq!(coverage.countries, 45);
+    assert_eq!(coverage.search, 45);
+    assert!(coverage.video >= 43, "video {}", coverage.video);
+    assert!(coverage.social >= 40, "social {}", coverage.social);
+    assert!(coverage.adult >= 35, "adult {}", coverage.adult);
+}
+
+#[test]
+fn most_head_sites_are_endemic() {
+    // §5.1: over half the sites in some country's head appear in no other
+    // country's list.
+    let f = endemic_fraction(&ctx(), Platform::Windows, Metric::PageLoads, 200);
+    assert!((0.35..0.85).contains(&f), "endemic fraction {f}");
+}
+
+#[test]
+fn global_sites_are_rare() {
+    // Table 2: ~2% global vs ~98% national.
+    let (split, _) = classify_global_national(&ctx(), Platform::Windows, Metric::PageLoads, 200);
+    assert!(split.global_fraction < 0.12, "global {}", split.global_fraction);
+    assert!(split.global_fraction > 0.001);
+}
+
+#[test]
+fn geography_and_language_shape_similarity() {
+    // §5.3.1: shared language/geography → similar browsing; KR/JP outliers.
+    let sim = similarity_matrix(&ctx(), Platform::Windows, Metric::PageLoads);
+    assert!(sim.between("DZ", "TN").unwrap() > sim.between("DZ", "KR").unwrap());
+    assert!(sim.between("AR", "CL").unwrap() > sim.between("AR", "TH").unwrap());
+    let kr = sim.mean_similarity("KR").unwrap();
+    let gb = sim.mean_similarity("GB").unwrap();
+    assert!(kr < gb, "KR {kr} vs GB {gb}");
+}

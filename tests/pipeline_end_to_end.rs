@@ -1,0 +1,104 @@
+//! End-to-end telemetry pipeline test: simulated clients → wire frames →
+//! concurrent collector → aggregation, validated against the demand model
+//! and the expectation-level dataset builder.
+
+mod common;
+
+use wwv::telemetry::client::ClientSimulator;
+use wwv::telemetry::collector::Collector;
+use wwv::telemetry::wire::encode_frame;
+use wwv::world::{Breakdown, Country, Metric, Month, Platform};
+
+fn breakdown() -> Breakdown {
+    Breakdown {
+        country: Country::index_of("US").unwrap(),
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    }
+}
+
+#[test]
+fn event_path_reproduces_demand_ordering() {
+    let (world, _) = common::fixture();
+    let sim = ClientSimulator::new(world);
+    let b = breakdown();
+    let collector = Collector::start(4, 10_000);
+    for batch in sim.batches(b, 300) {
+        collector.ingest(encode_frame(&batch));
+    }
+    let (aggregate, stats) = collector.finish();
+    assert!(stats.frames_bad == 0);
+    assert!(stats.frames_ok == 300);
+
+    // Rank domains by completed loads from the event stream.
+    let mut observed: Vec<(String, u64)> = aggregate
+        .into_iter()
+        .map(|(k, v)| (k.domain, v.completed))
+        .collect();
+    observed.sort_by(|a, b| b.1.cmp(&a.1));
+
+    // The demand model's top sites must dominate the event stream's head.
+    let expected: Vec<String> =
+        world.ranked(b, 5).into_iter().map(|(s, _)| world.domain_of(s, b.country)).collect();
+    let observed_head: Vec<&str> = observed.iter().take(8).map(|(d, _)| d.as_str()).collect();
+    assert_eq!(observed.first().map(|(d, _)| d.as_str()), Some("google.com"));
+    let hits = expected.iter().filter(|e| observed_head.contains(&e.as_str())).count();
+    assert!(hits >= 4, "expected head {expected:?} vs observed {observed_head:?}");
+}
+
+#[test]
+fn event_path_and_expectation_path_agree_on_the_head() {
+    // The dataset builder samples aggregate counts directly; the event path
+    // simulates clients. Their top-of-list agreement validates the
+    // expectation-level shortcut.
+    let (world, dataset) = common::fixture();
+    let b = breakdown();
+    let sim = ClientSimulator::new(world);
+    let collector = Collector::start(4, 10_000);
+    for batch in sim.batches(b, 400) {
+        collector.ingest(encode_frame(&batch));
+    }
+    let (aggregate, _) = collector.finish();
+    let mut observed: Vec<(String, u64)> =
+        aggregate.into_iter().map(|(k, v)| (k.domain, v.completed)).collect();
+    observed.sort_by(|a, b| b.1.cmp(&a.1));
+    let event_head: Vec<&str> = observed.iter().take(10).map(|(d, _)| d.as_str()).collect();
+
+    let list = dataset.list(b).expect("list exists");
+    let builder_head: Vec<&str> =
+        list.domains().take(10).map(|d| dataset.domains.name(d)).collect();
+
+    let overlap = event_head.iter().filter(|d| builder_head.contains(d)).count();
+    assert!(
+        overlap >= 6,
+        "event head {event_head:?} vs builder head {builder_head:?} overlap {overlap}"
+    );
+}
+
+#[test]
+fn non_public_domains_never_reach_the_dataset() {
+    let (_, dataset) = common::fixture();
+    for i in 0..dataset.domains.len() as u32 {
+        let name = dataset.domains.name(wwv::telemetry::DomainId(i));
+        assert!(
+            wwv::telemetry::privacy::is_public_domain(name),
+            "non-public domain {name} in dataset"
+        );
+    }
+}
+
+#[test]
+fn foreground_downsampling_visible_in_event_stream() {
+    let (world, _) = common::fixture();
+    let sim = ClientSimulator::new(world);
+    let collector = Collector::start(2, 10_000);
+    for batch in sim.batches(breakdown(), 200) {
+        collector.ingest(encode_frame(&batch));
+    }
+    let (aggregate, _) = collector.finish();
+    let fg: u64 = aggregate.values().map(|v| v.foreground_events).sum();
+    let completed: u64 = aggregate.values().map(|v| v.completed).sum();
+    let rate = fg as f64 / completed as f64;
+    assert!(rate < 0.02, "foreground upload rate {rate} should be ≈0.35%");
+}

@@ -1,0 +1,38 @@
+//! Integration tests for §4.5 across the full pipeline: six monthly
+//! datasets, month-pair stability, and the December anomaly.
+
+mod common;
+
+use wwv::core::temporal::{adjacent_month_stability, december_anomaly};
+use wwv::core::AnalysisContext;
+use wwv::world::{Metric, Month, Platform};
+
+#[test]
+fn all_six_months_materialize() {
+    let (_, dataset) = common::fixture_all_months();
+    for month in Month::ALL {
+        let present = dataset.breakdowns().filter(|b| b.month == month).count();
+        assert_eq!(present, 45 * 2 * 2, "{month}");
+    }
+}
+
+#[test]
+fn months_are_stable_but_not_identical() {
+    let (world, dataset) = common::fixture_all_months();
+    let ctx = AnalysisContext::with_depth(world, dataset, 2_000);
+    let pairs = adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
+    for p in &pairs {
+        assert!(p.intersection.median > 0.6, "{} → {}: {:?}", p.from, p.to, p.intersection);
+        assert!(p.intersection.median < 1.0, "months must churn: {} → {}", p.from, p.to);
+    }
+}
+
+#[test]
+fn december_shifts_commerce_and_education() {
+    let (world, dataset) = common::fixture_all_months();
+    let ctx = AnalysisContext::with_depth(world, dataset, 2_000);
+    let anomaly = december_anomaly(&ctx, Platform::Windows, Metric::TimeOnPage, 1_000);
+    assert!(anomaly.ecommerce_nov_dec.1 > anomaly.ecommerce_nov_dec.0);
+    assert!(anomaly.education_nov_dec.1 < anomaly.education_nov_dec.0);
+    assert!(anomaly.nov_dec_intersection < anomaly.jan_feb_intersection);
+}
