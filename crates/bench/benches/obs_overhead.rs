@@ -1,0 +1,65 @@
+//! Instrumentation overhead: the same collector ingest workload with the
+//! `wwv-obs` layer enabled vs disabled. The acceptance bar for the
+//! observability layer is <5% wall-time overhead on this path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_telemetry::client::ClientSimulator;
+use wwv_telemetry::collector::Collector;
+use wwv_telemetry::wire::encode_frame;
+use wwv_world::{Breakdown, Metric, Month, Platform};
+
+fn bench(c: &mut Criterion) {
+    let (world, _) = bench_fixture();
+    let b0 = Breakdown {
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    };
+    let sim = ClientSimulator::new(world);
+    let frames: Vec<_> = sim.batches(b0, 200).iter().map(encode_frame).collect();
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let mut group = c.benchmark_group("obs_overhead/collector_ingest");
+    group.throughput(Throughput::Bytes(bytes));
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(label, |b| {
+            wwv_obs::set_enabled(enabled);
+            b.iter(|| {
+                let collector = Collector::start(4, 10_000);
+                for frame in &frames {
+                    collector.ingest(frame.clone());
+                }
+                black_box(collector.finish())
+            });
+            wwv_obs::set_enabled(true);
+        });
+    }
+    group.finish();
+
+    // Span + counter micro-costs, for the <5% budget accounting.
+    let mut group = c.benchmark_group("obs_overhead/primitives");
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(format!("span_{label}"), |b| {
+            wwv_obs::set_enabled(enabled);
+            b.iter(|| black_box(wwv_obs::span!("bench-span")));
+            wwv_obs::set_enabled(true);
+        });
+    }
+    let counter = wwv_obs::global().counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = wwv_obs::global().histogram("bench.histogram");
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(4_097);
+            hist.record(black_box(v))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

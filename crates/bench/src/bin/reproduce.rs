@@ -2,16 +2,21 @@
 //! and prints paper-stated vs measured values.
 //!
 //! Usage:
-//!   reproduce [--scale small|full] [--json PATH] [--figures DIR] [only-ids…]
+//!   reproduce [--scale small|full] [--json PATH] [--figures DIR]
+//!             [--metrics-out PATH] [only-ids…]
 //!
 //! `--scale small` (default) runs on a reduced world in ~a minute;
 //! `--scale full` uses the paper-scale configuration (top-10K lists for all
 //! 45 countries across six months) and takes considerably longer.
+//! `--metrics-out PATH` writes the full `wwv-obs` observability report —
+//! per-stage span durations, counters, histogram summaries — as JSON.
+//! Progress goes through the `wwv-obs` logger (`WWV_LOG=debug|info|warn`).
 //! Optional trailing arguments filter the *printed* rows to experiment-id
 //! prefixes (e.g. `F1 S4.5`); the JSON report always contains everything.
 
 use wwv_bench::{run_experiments, Scale};
 use wwv_core::{AnalysisContext, ExperimentReport, ReportRow};
+use wwv_obs::{error, info};
 use wwv_telemetry::DatasetBuilder;
 use wwv_world::World;
 
@@ -20,6 +25,7 @@ fn main() {
     let mut scale = Scale::small();
     let mut json_path: Option<String> = None;
     let mut figures_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -30,7 +36,7 @@ fn main() {
                     Some("full") => Scale::full(),
                     Some("small") | None => Scale::small(),
                     Some(other) => {
-                        eprintln!("unknown scale {other:?}; use small|full");
+                        error!(target: "reproduce", "unknown scale {other:?}; use small|full");
                         std::process::exit(2);
                     }
                 };
@@ -43,30 +49,52 @@ fn main() {
                 i += 1;
                 figures_dir = args.get(i).cloned();
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+            }
             other => filters.push(other.to_owned()),
         }
         i += 1;
     }
 
-    eprintln!("[reproduce] scale = {}", scale.name);
-    eprintln!("[reproduce] generating world …");
-    let world = World::new(scale.config.clone());
-    eprintln!("[reproduce] universe: {} sites", world.universe().len());
-    eprintln!("[reproduce] building dataset (6 months × 45 countries × 2 platforms × 2 metrics) …");
-    let dataset = DatasetBuilder::new(&world)
-        .base_volume(scale.base_volume)
-        .client_threshold(scale.client_threshold)
-        .max_depth(scale.max_depth)
-        .build();
-    eprintln!(
-        "[reproduce] dataset: {} lists, {} distinct domains",
-        dataset.lists.len(),
-        dataset.domains.len()
+    let run_span = wwv_obs::span!("reproduce");
+    info!(target: "reproduce", "starting"; scale = scale.name);
+
+    let world = {
+        let _span = wwv_obs::span!("world-gen");
+        World::new(scale.config.clone())
+    };
+    info!(target: "reproduce", "world generated"; sites = world.universe().len());
+
+    let dataset = {
+        let _span = wwv_obs::span!("collection");
+        DatasetBuilder::new(&world)
+            .base_volume(scale.base_volume)
+            .client_threshold(scale.client_threshold)
+            .max_depth(scale.max_depth)
+            .build()
+    };
+    info!(
+        target: "reproduce",
+        "dataset built";
+        lists = dataset.lists.len(),
+        domains = dataset.domains.len()
     );
-    let ctx = AnalysisContext::with_depth(&world, &dataset, scale.analysis_depth);
 
     let mut report = ExperimentReport::new();
-    run_experiments(&mut report, &ctx, &world, &dataset, &scale);
+    let ctx = {
+        let _span = wwv_obs::span!("experiments");
+        let ctx = AnalysisContext::with_depth(&world, &dataset, scale.analysis_depth);
+        run_experiments(&mut report, &ctx, &world, &dataset, &scale);
+        ctx
+    };
+    info!(
+        target: "reproduce",
+        "experiments complete";
+        passed = report.passed(),
+        total = report.rows.len()
+    );
 
     let mut printed = ExperimentReport::new();
     for row in report
@@ -79,6 +107,7 @@ fn main() {
     println!("{}", printed.render());
 
     if let Some(dir) = figures_dir {
+        let _span = wwv_obs::span!("figures");
         std::fs::create_dir_all(&dir).expect("create figures dir");
         let thresholds: Vec<usize> = if scale.analysis_depth >= 10_000 {
             vec![10, 30, 50, 100, 300, 1_000, 3_000, 10_000]
@@ -95,12 +124,23 @@ fn main() {
             let path = format!("{dir}/{}.tsv", fig.name);
             std::fs::write(&path, fig.to_tsv()).expect("write figure tsv");
         }
-        eprintln!("[reproduce] wrote {} figure tables to {dir}", figures.len());
+        info!(target: "reproduce", "wrote figure tables"; count = figures.len(), dir = dir);
     }
 
     if let Some(path) = json_path {
+        let _span = wwv_obs::span!("report");
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).expect("write json report");
-        eprintln!("[reproduce] wrote {path}");
+        info!(target: "reproduce", "wrote experiment report"; path = path);
+    }
+
+    // Close the root span so the captured report includes its duration.
+    drop(run_span);
+
+    let obs_report = wwv_obs::Report::capture();
+    eprintln!("\n{}", obs_report.render_spans());
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, obs_report.to_json()).expect("write metrics report");
+        info!(target: "reproduce", "wrote metrics report"; path = path);
     }
 }

@@ -126,6 +126,7 @@ pub fn run_experiments(
     dataset: &ChromeDataset,
     scale: &Scale,
 ) {
+    let span = wwv_obs::span!("f01-concentration");
     // ---- F1 / §4.1: traffic concentration. -------------------------------
     let wl = TrafficCurve::windows_page_loads();
     let wt = TrafficCurve::windows_time_on_page();
@@ -184,6 +185,8 @@ pub fn run_experiments(
         0.27,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("f02-composition");
     // ---- F2: composition of top sites. ------------------------------------
     let comp_wl = composition(ctx, Platform::Windows, Metric::PageLoads);
     let comp_wt = composition(ctx, Platform::Windows, Metric::TimeOnPage);
@@ -217,6 +220,8 @@ pub fn run_experiments(
             && comp_at.traffic_10k(Category::Pornography) > comp_wt.traffic_10k(Category::Pornography),
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("f03-prevalence");
     // ---- F3/F14: category prevalence by rank. ------------------------------
     let t: Vec<usize> = if scale.analysis_depth >= 10_000 {
         vec![10, 30, 50, 100, 300, 1_000, 3_000, 10_000]
@@ -277,6 +282,8 @@ pub fn run_experiments(
     }
     report.push(ReportRow::check("F14", "per-metric prevalence split computed", "series exists", "series exists", f14_ok));
 
+    drop(span);
+    let span = wwv_obs::span!("f04-platform-diff");
     // ---- F4/F15: platform differences. -------------------------------------
     let fig4 = platform_differences(ctx, Metric::PageLoads);
     let score_of = |rows: &[wwv_core::platform_diff::PlatformDiff], c: Category| {
@@ -321,6 +328,8 @@ pub fn run_experiments(
             && score_of(&fig15, Category::VideoStreaming).map(|s| s < 0.0).unwrap_or(false),
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("f05-metric-diff");
     // ---- §4.4 / F5 / F16: metric disagreement. -----------------------------
     // Agreement is computed at a depth where truncation binds (see
     // `Scale::agreement_depth`); a depth at or beyond the survivor population
@@ -376,6 +385,8 @@ pub fn run_experiments(
         0.95,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("s4.5-temporal");
     // ---- §4.5: temporal stability. -----------------------------------------
     let adj100 = adjacent_month_stability(ctx, Platform::Windows, Metric::PageLoads, 100);
     let min_adj = adj100.iter().map(|p| p.intersection.median).fold(f64::INFINITY, f64::min);
@@ -405,6 +416,8 @@ pub fn run_experiments(
         anomaly.ecommerce_nov_dec.1 > anomaly.ecommerce_nov_dec.0,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("s4.2.1-top10");
     // ---- §4.2.1: top-10 composition. ---------------------------------------
     let cov = top10_coverage(ctx, Platform::Windows, Metric::PageLoads);
     report.push(ReportRow::exact("S4.2.a", "countries with a search engine in top 10", 45usize, cov.search));
@@ -414,6 +427,8 @@ pub fn run_experiments(
     report.push(ReportRow::banded("S4.2.e", "countries with e-commerce in top 10", "32", cov.ecommerce as f64, 20.0, 45.0));
     report.push(ReportRow::banded("S4.2.f", "countries with chat/messaging in top 10", "30", cov.chat as f64, 15.0, 45.0));
 
+    drop(span);
+    let span = wwv_obs::span!("f06-f09-endemicity");
     // ---- F6/T1 + F7 + T2 + F8 + F9: endemicity & global/national. ---------
     let curves = popularity_curves(ctx, Platform::Windows, Metric::PageLoads, scale.head_depth);
     let find = |key: &str| curves.iter().find(|c| c.key == key);
@@ -517,6 +532,8 @@ pub fn run_experiments(
         0.80,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("f10-similarity");
     // ---- F10 + F18–20: similarity heatmaps. --------------------------------
     let sim_wl = similarity_matrix(ctx, Platform::Windows, Metric::PageLoads);
     let naf = sim_wl.between("DZ", "MA").unwrap_or(0.0);
@@ -554,6 +571,8 @@ pub fn run_experiments(
         ));
     }
 
+    drop(span);
+    let span = wwv_obs::span!("f11-clusters");
     // ---- F11 + F21: clusters. ----------------------------------------------
     if let Some(clusters) = cluster_countries(&sim_wl) {
         report.push(ReportRow::banded(
@@ -591,6 +610,8 @@ pub fn run_experiments(
         ));
     }
 
+    drop(span);
+    let span = wwv_obs::span!("f12-buckets");
     // ---- F12: intersection by bucket. --------------------------------------
     let buckets: Vec<usize> =
         FIG12_BUCKETS.iter().copied().filter(|b| *b <= scale.analysis_depth).collect();
@@ -605,6 +626,8 @@ pub fn run_experiments(
         head_mean > tail_mean,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("f13-taxonomy");
     // ---- F13/T3: taxonomy curation. ----------------------------------------
     let curation = run_curation(world.config().seed.derive("curation"));
     report.push(ReportRow::exact("F13.a", "raw categories audited", 114usize, curation.audits.len()));
@@ -619,6 +642,8 @@ pub fn run_experiments(
         1.0,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("s5.3.2-endemic-top10");
     // ---- §5.3.2: endemic top-10 sites. --------------------------------------
     let endemic10 = endemic_top10_keys(ctx, Platform::Windows, Metric::PageLoads);
     let kr_endemic = endemic10.get("KR").map(Vec::len).unwrap_or(0);
@@ -666,6 +691,8 @@ pub fn run_experiments(
         ));
     }
 
+    drop(span);
+    let span = wwv_obs::span!("ablations");
     // ---- Ablations (DESIGN.md §5). -------------------------------------------
     let rbo_ab = wwv_core::ablation::rbo_ablation(ctx, Platform::Windows, Metric::PageLoads);
     report.push(ReportRow::check(
@@ -698,6 +725,8 @@ pub fn run_experiments(
         end_ab.google_area_percentile < 10.0,
     ));
 
+    drop(span);
+    let span = wwv_obs::span!("dataset-sanity");
     // ---- Dataset sanity. ----------------------------------------------------
     report.push(ReportRow::exact(
         "D.a",
@@ -705,4 +734,5 @@ pub fn run_experiments(
         1_080usize,
         dataset.lists.len(),
     ));
+    drop(span);
 }

@@ -38,6 +38,7 @@ pub fn classic_similarity_matrix(
     metric: Metric,
     p: f64,
 ) -> SimilarityMatrix {
+    let _span = wwv_obs::span!("core.ablation");
     let lists: Vec<_> = ctx
         .countries()
         .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))
@@ -60,6 +61,7 @@ pub fn classic_similarity_matrix(
 
 /// Runs the RBO-weighting ablation.
 pub fn rbo_ablation(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> RboAblation {
+    let _span = wwv_obs::span!("core.ablation");
     let weighted = similarity_matrix(ctx, platform, metric);
     let classic = classic_similarity_matrix(ctx, platform, metric, 0.98);
     let w = weighted.matrix.off_diagonal();
@@ -110,6 +112,7 @@ pub fn endemicity_ablation(
     metric: Metric,
     head: usize,
 ) -> EndemicityAblation {
+    let _span = wwv_obs::span!("core.ablation");
     let curves = popularity_curves(ctx, platform, metric, head);
     let area: Vec<f64> = curves.iter().map(|c| c.endemicity()).collect();
     // Naive baseline: population variance of raw ranks.
@@ -136,6 +139,7 @@ pub fn endemicity_ablation(
 /// Extrapolated vs finite-depth geometric RBO on the same pair — the
 /// estimator difference the workspace's finite variant absorbs.
 pub fn rbo_estimator_gap(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> f64 {
+    let _span = wwv_obs::span!("core.ablation");
     let a = ctx.key_list(ctx.breakdown(0, platform, metric));
     let b = ctx.key_list(ctx.breakdown(1, platform, metric));
     let depth = ctx.depth.min(a.len().max(b.len())).max(1);

@@ -39,6 +39,7 @@ pub fn bucket_intersections(
     metric: Metric,
     buckets: &[usize],
 ) -> Vec<BucketIntersections> {
+    let _span = wwv_obs::span!("core.buckets");
     let lists: Vec<_> = ctx
         .countries()
         .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))

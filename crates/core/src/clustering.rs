@@ -35,6 +35,7 @@ pub struct CountryClustering {
 
 /// Clusters countries from a similarity matrix.
 pub fn cluster_countries(sim: &SimilarityMatrix) -> Option<CountryClustering> {
+    let _span = wwv_obs::span!("core.clustering");
     let clustering = AffinityPropagation::new(AffinityParams::default()).fit(&sim.matrix)?;
     let distance = sim.matrix.map(|v| 1.0 - v);
     let groups: Vec<ClusterSilhouette> = if clustering.k() >= 2 {

@@ -44,6 +44,7 @@ impl CompositionBreakdown {
 
 /// Computes Fig. 2 for one (platform, metric).
 pub fn composition(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> CompositionBreakdown {
+    let _span = wwv_obs::span!("core.composition");
     let weights = ctx.traffic_weights(platform, metric);
     let n_cats = Category::ALL.len();
     // Accumulators: average over countries of per-country percentages.

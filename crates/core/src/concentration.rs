@@ -21,6 +21,7 @@ pub struct ConcentrationCurve {
 
 /// Produces a Fig. 1 series from the global distribution data.
 pub fn concentration_curve(platform: Platform, metric: Metric) -> ConcentrationCurve {
+    let _span = wwv_obs::span!("core.concentration");
     let curve = TrafficCurve::for_breakdown(platform, metric);
     let mut ranks = Vec::new();
     let mut rank = 1u64;
@@ -79,6 +80,7 @@ pub fn sites_for_share(curve: &TrafficCurve, target: f64) -> u64 {
 
 /// Computes the headline statistics from the dataset.
 pub fn headline_stats(ctx: &AnalysisContext<'_>) -> HeadlineStats {
+    let _span = wwv_obs::span!("core.concentration");
     let win_loads = TrafficCurve::windows_page_loads();
     let win_time = TrafficCurve::windows_time_on_page();
     let and_loads = TrafficCurve::android_page_loads();

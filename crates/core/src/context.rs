@@ -44,6 +44,7 @@ impl<'a> AnalysisContext<'a> {
 
     /// Builds a context with an explicit depth.
     pub fn with_depth(world: &'a World, dataset: &'a ChromeDataset, depth: usize) -> Self {
+        let _span = wwv_obs::span!("core.context");
         // Ground truth for the categorization oracle: every interned domain's
         // real category, from the world model.
         let truth = TrueCategorizer::new((0..dataset.domains.len() as u32).map(|i| {

@@ -155,6 +155,7 @@ pub fn popularity_curves(
     metric: Metric,
     head_depth: usize,
 ) -> Vec<PopularityCurve> {
+    let _span = wwv_obs::span!("core.endemicity");
     let n = COUNTRIES.len();
     // Per-country key → rank maps.
     let mut rank_maps: Vec<HashMap<String, usize>> = Vec::with_capacity(n);

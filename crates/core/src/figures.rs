@@ -318,6 +318,7 @@ pub fn fig_temporal(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metri
 
 /// Every exportable figure at once.
 pub fn all_figures(ctx: &AnalysisContext<'_>, head: usize, thresholds: &[usize], bucket: usize) -> Vec<FigureData> {
+    let _span = wwv_obs::span!("core.figures");
     let mut out = vec![fig01(ctx)];
     for (p, m) in [
         (Platform::Windows, Metric::PageLoads),

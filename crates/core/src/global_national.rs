@@ -44,6 +44,7 @@ pub fn classify_global_national(
     metric: Metric,
     head_depth: usize,
 ) -> (GlobalNationalSplit, Vec<PopularityCurve>) {
+    let _span = wwv_obs::span!("core.global_national");
     let curves = popularity_curves(ctx, platform, metric, head_depth);
     // Globally popular = low-outlier *normalized* endemicity (E/E_max). The
     // normalization keeps deep-but-everywhere sites comparable with head
@@ -90,6 +91,7 @@ pub fn class_composition(
     ctx: &AnalysisContext<'_>,
     split: &GlobalNationalSplit,
 ) -> ClassComposition {
+    let _span = wwv_obs::span!("core.global_national");
     // Map keys back to a representative domain for categorization: scan all
     // reference-month lists once, keeping each key's best-ranked domain.
     let mut rep: HashMap<String, wwv_telemetry::DomainId> = HashMap::new();
@@ -144,6 +146,7 @@ pub fn global_share_by_bucket(
     split: &GlobalNationalSplit,
     buckets: &[(usize, usize)],
 ) -> GlobalShareByBucket {
+    let _span = wwv_obs::span!("core.global_national");
     let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); buckets.len()];
     for ci in ctx.countries() {
         let list = ctx.key_list(ctx.breakdown(ci, split.platform, split.metric));

@@ -23,6 +23,7 @@ pub struct MetricAgreement {
 
 /// Computes §4.4's intersection/ρ statistics for one platform.
 pub fn metric_agreement(ctx: &AnalysisContext<'_>, platform: Platform) -> MetricAgreement {
+    let _span = wwv_obs::span!("core.metric_diff");
     let mut intersections = Vec::new();
     let mut rhos = Vec::new();
     for ci in ctx.countries() {
@@ -62,6 +63,7 @@ pub struct MetricLeaning {
 
 /// Computes Fig. 5 (desktop) / Fig. 16 (mobile).
 pub fn metric_leaning(ctx: &AnalysisContext<'_>, platform: Platform) -> MetricLeaning {
+    let _span = wwv_obs::span!("core.metric_diff");
     let weights_loads = ctx.traffic_weights(platform, Metric::PageLoads);
     let weights_time = ctx.traffic_weights(platform, Metric::TimeOnPage);
     let n_cats = wwv_taxonomy::Category::ALL.len();
@@ -200,6 +202,7 @@ pub fn category_metric_agreement(
     platform: Platform,
     category: wwv_taxonomy::Category,
 ) -> MetricAgreement {
+    let _span = wwv_obs::span!("core.metric_diff");
     let mut intersections = Vec::new();
     let mut rhos = Vec::new();
     for ci in ctx.countries() {

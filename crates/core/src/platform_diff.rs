@@ -32,6 +32,7 @@ pub struct PlatformDiff {
 
 /// Computes Fig. 4 (page loads) or Fig. 15 (time on page).
 pub fn platform_differences(ctx: &AnalysisContext<'_>, metric: Metric) -> Vec<PlatformDiff> {
+    let _span = wwv_obs::span!("core.platform_diff");
     let n_cats = Category::ALL.len();
     let weights_w = ctx.traffic_weights(Platform::Windows, metric);
     let weights_a = ctx.traffic_weights(Platform::Android, metric);

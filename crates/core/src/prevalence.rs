@@ -36,6 +36,7 @@ pub fn prevalence_by_rank(
     metric: Metric,
     thresholds: &[usize],
 ) -> PrevalenceSeries {
+    let _span = wwv_obs::span!("core.prevalence");
     // Per-country cumulative category counts along the list.
     let mut per_threshold: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
     for ci in ctx.countries() {

@@ -56,6 +56,7 @@ pub fn global_plus_national_set(
     n_global: usize,
     n_per_country: usize,
 ) -> RepresentativeSet {
+    let _span = wwv_obs::span!("core.representative");
     let mut keys: HashSet<String> =
         global_ranking(ctx, platform, metric).into_iter().take(n_global).collect();
     for ci in ctx.countries() {
@@ -141,6 +142,7 @@ pub fn section6_comparison(
     platform: Platform,
     metric: Metric,
 ) -> Section6Comparison {
+    let _span = wwv_obs::span!("core.representative");
     let scale = ctx.depth.max(10) / 10; // 1K at full scale, 200 at small
     let mixed = global_plus_national_set(ctx, platform, metric, scale, scale);
     let global_only = global_set(ctx, platform, metric, mixed.keys.len());

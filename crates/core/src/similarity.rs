@@ -42,6 +42,7 @@ impl SimilarityMatrix {
 
 /// Computes the weighted-RBO similarity matrix for one (platform, metric).
 pub fn similarity_matrix(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> SimilarityMatrix {
+    let _span = wwv_obs::span!("core.similarity");
     let weights = WeightModel::Empirical { weights: ctx.traffic_weights(platform, metric) };
     let lists: Vec<_> = ctx
         .countries()

@@ -37,6 +37,7 @@ pub fn month_pair_stability(
     to: Month,
     bucket: usize,
 ) -> MonthPairStability {
+    let _span = wwv_obs::span!("core.temporal");
     let mut intersections = Vec::new();
     let mut rhos = Vec::new();
     for ci in ctx.countries() {
@@ -104,6 +105,7 @@ pub fn category_share_by_month(
     metric: Metric,
     bucket: usize,
 ) -> CategoryShareByMonth {
+    let _span = wwv_obs::span!("core.temporal");
     let mut shares = Vec::with_capacity(Month::ALL.len());
     for month in Month::ALL {
         let mut per_country = Vec::new();
@@ -146,6 +148,7 @@ pub fn december_anomaly(
     metric: Metric,
     bucket: usize,
 ) -> DecemberAnomaly {
+    let _span = wwv_obs::span!("core.temporal");
     let nov_dec = month_pair_stability(ctx, platform, metric, Month::November2021, Month::December2021, bucket);
     let jan_feb = month_pair_stability(ctx, platform, metric, Month::January2022, Month::February2022, bucket);
     let edu = category_share_by_month(ctx, Category::Education, platform, metric, bucket);

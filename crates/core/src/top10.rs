@@ -47,6 +47,7 @@ pub struct Top10Coverage {
 
 /// Computes §4.2.1 coverage for one (platform, metric).
 pub fn top10_coverage(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> Top10Coverage {
+    let _span = wwv_obs::span!("core.top10");
     let mut coverage = Top10Coverage {
         platform,
         metric,
@@ -162,6 +163,7 @@ pub fn top10_supercategory_countries(
     platform: Platform,
     metric: Metric,
 ) -> HashMap<SuperCategory, usize> {
+    let _span = wwv_obs::span!("core.top10");
     let mut out: HashMap<SuperCategory, usize> = HashMap::new();
     for ci in ctx.countries() {
         let list = ctx.domain_list(ctx.breakdown(ci, platform, metric));

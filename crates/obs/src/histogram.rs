@@ -1,0 +1,243 @@
+//! Log-bucketed histograms.
+//!
+//! Values land in power-of-two buckets (bucket *i* ≥ 1 covers
+//! `[2^(i-1), 2^i)`), so 65 fixed buckets span the whole `u64` range —
+//! enough for nanosecond latencies and byte counts alike at constant
+//! memory. Recording is a handful of relaxed atomic operations; merging two
+//! histograms is exact (bucket counts, sum, min, and max all add/compare
+//! component-wise).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per `u64` bit position.
+pub const BUCKET_COUNT: usize = 65;
+
+/// Index of the bucket holding `value`. Monotone non-decreasing in `value`.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (exclusive, saturated) of bucket `i`.
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Representative value for bucket `i` (≈ geometric midpoint).
+fn bucket_midpoint(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        1.5 * 2f64.powi(i as i32 - 1)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    counts: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shareable handle to a log-bucketed histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Histogram {
+    /// Creates a standalone histogram (registry-independent; tests, merges).
+    pub fn unregistered() -> Histogram {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        let c = &self.0;
+        c.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds every observation of `other` into `self`. Exact: the result is
+    /// indistinguishable from having recorded the concatenated stream.
+    pub fn merge_from(&self, other: &Histogram) {
+        let (a, b) = (&self.0, &other.0);
+        for i in 0..BUCKET_COUNT {
+            a.counts[i].fetch_add(b.counts[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        a.count.fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum.fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.min.fetch_min(b.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max.fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        let sum = c.sum.load(Ordering::Relaxed);
+        let counts: Vec<u64> =
+            c.counts.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (c.min.load(Ordering::Relaxed), c.max.load(Ordering::Relaxed))
+        };
+        let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+        let quantile = |q: f64| estimate_quantile(&counts, count, min, max, q);
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            mean,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| (bucket_bound(i), *n))
+                .collect(),
+        }
+    }
+}
+
+/// Quantile estimate from bucket counts: a bounded weighted sample of bucket
+/// midpoints fed through `wwv_stats::quantile`, clamped to the observed
+/// `[min, max]` envelope.
+fn estimate_quantile(counts: &[u64], count: u64, min: u64, max: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    // Cap the expanded sample so snapshots stay O(1) regardless of count.
+    const SAMPLE_CAP: u64 = 2_048;
+    let target = count.min(SAMPLE_CAP);
+    let mut sample: Vec<f64> = Vec::with_capacity(target as usize + BUCKET_COUNT);
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let reps = ((n as u128 * target as u128).div_ceil(count as u128)).max(1) as u64;
+        let mid = bucket_midpoint(i);
+        sample.extend(std::iter::repeat_n(mid, reps as usize));
+    }
+    // Buckets are visited in ascending order, so `sample` is already sorted.
+    let est = wwv_stats::quantile::quantile_sorted(&sample, q).unwrap_or(0.0);
+    est.clamp(min as f64, max as f64)
+}
+
+/// Serializable summary of a histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Non-empty buckets as `(upper_bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_at_powers() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let h = Histogram::unregistered();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p99, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn summary_statistics_track_inputs() {
+        let h = Histogram::unregistered();
+        for v in [10u64, 20, 30, 40, 1_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1_100);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 1_000);
+        assert!((s.mean - 220.0).abs() < 1e-9);
+        assert!(s.p50 >= 10.0 && s.p50 <= 1_000.0);
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let h = Histogram::unregistered();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
+        assert!(s.p99 <= s.max as f64);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let a = Histogram::unregistered();
+        let b = Histogram::unregistered();
+        let both = Histogram::unregistered();
+        for v in [1u64, 5, 9, 1_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 65_536] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+}

@@ -1,0 +1,96 @@
+//! # wwv-obs
+//!
+//! Zero-dependency observability for the `wwv` pipeline: the operational
+//! visibility layer the paper's production telemetry service implies but a
+//! reproduction usually lacks (ingest health, stage latency, drop
+//! accounting).
+//!
+//! Four pieces, all built on `std` atomics (no tracing/log/prometheus):
+//!
+//! * [`registry`] — a global [`Registry`] of named, atomically updated
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s;
+//! * [`span`] — RAII [`Span`] timers recording wall-time per named pipeline
+//!   stage, with parent/child nesting via a thread-local stack;
+//! * [`logger`] — a leveled structured logger (`WWV_LOG=debug|info|warn`
+//!   env filter, `target=` routing, stderr sink) behind the [`debug!`],
+//!   [`info!`], [`warn!`], and [`error!`] macros;
+//! * [`report`] — [`Report`], a serde-serializable snapshot of the registry
+//!   (per-stage span durations as a tree, counter values, histogram
+//!   quantiles via `wwv_stats::quantile`).
+//!
+//! The whole layer can be switched off ([`set_enabled`], or `WWV_OBS=0` in
+//! the environment): spans stop reading the clock, histograms stop
+//! recording, and log lines are suppressed, so the instrumented hot paths
+//! run at effectively uninstrumented speed.
+//!
+//! ```
+//! let reg = wwv_obs::global();
+//! reg.counter("demo.frames").inc();
+//! {
+//!     let _outer = wwv_obs::Span::enter("demo-stage");
+//!     let _inner = wwv_obs::Span::enter("substage");
+//! } // both record on drop, "substage" nested under "demo-stage"
+//! let report = wwv_obs::Report::capture();
+//! assert!(report.counters["demo.frames"] >= 1);
+//! ```
+
+pub mod histogram;
+pub mod logger;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use logger::{set_level, Level};
+pub use registry::{global, Counter, Gauge, Registry};
+pub use report::{Report, SpanNode};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the observability layer is active. Defaults to on; `WWV_OBS=0`
+/// (or `off`/`false`) in the environment disables it at first use.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("WWV_OBS").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Programmatically enables or disables the layer (used by the overhead
+/// bench and tests; overrides the `WWV_OBS` environment variable).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Serializes unit tests that flip the global enabled flag.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn toggling_enabled_round_trips() {
+        let _guard = super::test_lock();
+        super::set_enabled(true);
+        assert!(super::enabled());
+        super::set_enabled(false);
+        assert!(!super::enabled());
+        super::set_enabled(true);
+        assert!(super::enabled());
+    }
+}

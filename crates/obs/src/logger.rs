@@ -1,0 +1,220 @@
+//! Leveled structured logging to stderr.
+//!
+//! Log lines carry an ISO-8601 UTC timestamp, the level, a `target`
+//! (defaulting to the calling module path), the message, and optional
+//! trailing `key=value` fields:
+//!
+//! ```text
+//! 2026-08-07T12:00:01.042Z  INFO reproduce: dataset built lists=1080 domains=48213
+//! ```
+//!
+//! The minimum level comes from `WWV_LOG` (`debug`, `info`, `warn`,
+//! `error`, or `off`; default `info`) and can be overridden with
+//! [`set_level`]. Disabling the whole layer ([`crate::set_enabled`]) also
+//! silences the logger.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Verbose diagnostics.
+    Debug = 0,
+    /// Routine progress.
+    Info = 1,
+    /// Degraded but proceeding.
+    Warn = 2,
+    /// Something failed.
+    Error = 3,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// 0 = uninitialized; otherwise `level as u8 + 1`; 5 = off.
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(0);
+const OFF: u8 = 5;
+
+fn min_level_raw() -> u8 {
+    match MIN_LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let parsed = match std::env::var("WWV_LOG").as_deref() {
+                Ok("debug") => Level::Debug as u8 + 1,
+                Ok("info") => Level::Info as u8 + 1,
+                Ok("warn") => Level::Warn as u8 + 1,
+                Ok("error") => Level::Error as u8 + 1,
+                Ok("off") | Ok("none") => OFF,
+                _ => Level::Info as u8 + 1,
+            };
+            MIN_LEVEL.store(parsed, Ordering::Relaxed);
+            parsed
+        }
+        v => v,
+    }
+}
+
+/// Overrides the `WWV_LOG` minimum level; `None` silences all logging.
+pub fn set_level(level: Option<Level>) {
+    MIN_LEVEL.store(level.map_or(OFF, |l| l as u8 + 1), Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn log_enabled(level: Level) -> bool {
+    crate::enabled() && (level as u8 + 1) >= min_level_raw() && min_level_raw() != OFF
+}
+
+/// Emits one record. Prefer the [`crate::debug!`]/[`crate::info!`]/
+/// [`crate::warn!`]/[`crate::error!`] macros, which check [`log_enabled`]
+/// before formatting.
+pub fn write_log(level: Level, target: &str, message: &fmt::Arguments<'_>) {
+    let line = format!(
+        "{} {:5} {}: {}\n",
+        format_timestamp(SystemTime::now()),
+        level.label(),
+        target,
+        message
+    );
+    // Single write keeps concurrent workers' lines from interleaving.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// `SystemTime` → `YYYY-MM-DDTHH:MM:SS.mmmZ` without any date dependency
+/// (civil-from-days, Hinnant's algorithm).
+pub fn format_timestamp(t: SystemTime) -> String {
+    let d = t.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = d.as_secs();
+    let millis = d.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let (y, m, day) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3_600,
+        (tod % 3_600) / 60,
+        tod % 60
+    )
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Internal dispatch shared by the level macros.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __log_event {
+    ($lvl:expr, $target:expr, $fmt:expr $(, $arg:expr)* $(; $($k:ident = $v:expr),+ $(,)?)?) => {{
+        if $crate::logger::log_enabled($lvl) {
+            #[allow(unused_mut)]
+            let mut msg = format!($fmt $(, $arg)*);
+            $($(
+                msg.push_str(&format!(" {}={}", stringify!($k), $v));
+            )+)?
+            $crate::logger::write_log($lvl, $target, &format_args!("{}", msg));
+        }
+    }};
+}
+
+/// Logs at DEBUG: `debug!("msg {}", x)`, `debug!(target: "t", "msg"; k = v)`.
+#[macro_export]
+macro_rules! debug {
+    (target: $t:expr, $($rest:tt)*) => { $crate::__log_event!($crate::Level::Debug, $t, $($rest)*) };
+    ($($rest:tt)*) => { $crate::__log_event!($crate::Level::Debug, module_path!(), $($rest)*) };
+}
+
+/// Logs at INFO: `info!("msg {}", x)`, `info!(target: "t", "msg"; k = v)`.
+#[macro_export]
+macro_rules! info {
+    (target: $t:expr, $($rest:tt)*) => { $crate::__log_event!($crate::Level::Info, $t, $($rest)*) };
+    ($($rest:tt)*) => { $crate::__log_event!($crate::Level::Info, module_path!(), $($rest)*) };
+}
+
+/// Logs at WARN: `warn!("msg {}", x)`, `warn!(target: "t", "msg"; k = v)`.
+#[macro_export]
+macro_rules! warn {
+    (target: $t:expr, $($rest:tt)*) => { $crate::__log_event!($crate::Level::Warn, $t, $($rest)*) };
+    ($($rest:tt)*) => { $crate::__log_event!($crate::Level::Warn, module_path!(), $($rest)*) };
+}
+
+/// Logs at ERROR: `error!("msg {}", x)`, `error!(target: "t", "msg"; k = v)`.
+#[macro_export]
+macro_rules! error {
+    (target: $t:expr, $($rest:tt)*) => { $crate::__log_event!($crate::Level::Error, $t, $($rest)*) };
+    ($($rest:tt)*) => { $crate::__log_event!($crate::Level::Error, module_path!(), $($rest)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn level_filter_respects_threshold() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        set_level(Some(Level::Warn));
+        assert!(!log_enabled(Level::Debug));
+        assert!(!log_enabled(Level::Info));
+        assert!(log_enabled(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        set_level(None);
+        assert!(!log_enabled(Level::Error));
+        set_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn timestamps_render_known_instants() {
+        let t = UNIX_EPOCH + std::time::Duration::from_millis(0);
+        assert_eq!(format_timestamp(t), "1970-01-01T00:00:00.000Z");
+        // 2022-02-01T00:00:00Z = 1643673600.
+        let t = UNIX_EPOCH + std::time::Duration::from_secs(1_643_673_600);
+        assert_eq!(format_timestamp(t), "2022-02-01T00:00:00.000Z");
+        // Leap-year day: 2020-02-29T12:34:56.789Z = 1582979696.789.
+        let t = UNIX_EPOCH + std::time::Duration::from_millis(1_582_979_696_789);
+        assert_eq!(format_timestamp(t), "2020-02-29T12:34:56.789Z");
+    }
+
+    #[test]
+    fn macros_compile_in_every_form() {
+        let _guard = crate::test_lock();
+        set_level(None); // silence output; still exercises the macro paths
+        crate::debug!("plain {}", 1);
+        crate::info!(target: "test", "with target");
+        crate::warn!("fields"; a = 1, b = "two");
+        crate::error!(target: "test", "both {}", 3; ok = true);
+        set_level(Some(Level::Info));
+    }
+}

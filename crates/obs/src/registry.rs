@@ -1,0 +1,246 @@
+//! The metric registry.
+//!
+//! A [`Registry`] owns named counters, gauges, histograms, and span
+//! statistics. Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc`-clones over atomics: fetch them once (registry lookup takes a
+//! mutex) and update them lock-free on the hot path. The process-wide
+//! instance lives behind [`global`]; tests can build private registries.
+
+use crate::histogram::{Histogram, HistogramCore};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (e.g. queue depth).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated wall-time for one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed spans under this path.
+    pub count: u64,
+    /// Total wall-time, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A named-metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; the pipeline uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        match map.get(name) {
+            Some(c) => Counter(Arc::clone(c)),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_owned(), Arc::clone(&c));
+                Counter(c)
+            }
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry lock");
+        match map.get(name) {
+            Some(g) => Gauge(Arc::clone(g)),
+            None => {
+                let g = Arc::new(AtomicI64::new(0));
+                map.insert(name.to_owned(), Arc::clone(&g));
+                Gauge(g)
+            }
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("registry lock");
+        match map.get(name) {
+            Some(h) => Histogram(Arc::clone(h)),
+            None => {
+                let h = Arc::new(HistogramCore::new());
+                map.insert(name.to_owned(), Arc::clone(&h));
+                Histogram(h)
+            }
+        }
+    }
+
+    /// Folds one completed span into the per-path statistics. `path` is the
+    /// `/`-separated nesting path (see [`crate::Span`]).
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut map = self.spans.lock().expect("registry lock");
+        let stat = map.entry(path.to_owned()).or_insert(SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(ns);
+        stat.min_ns = stat.min_ns.min(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+
+    /// Point-in-time copies of every metric family (report assembly).
+    pub(crate) fn dump(
+        &self,
+    ) -> (
+        BTreeMap<String, u64>,
+        BTreeMap<String, i64>,
+        BTreeMap<String, Histogram>,
+        BTreeMap<String, SpanStat>,
+    ) {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v))))
+            .collect();
+        let spans = self.spans.lock().expect("registry lock").clone();
+        (counters, gauges, histograms, spans)
+    }
+
+    /// Zeroes every metric and forgets every name (benches between runs).
+    pub fn reset(&self) {
+        self.counters.lock().expect("registry lock").clear();
+        self.gauges.lock().expect("registry lock").clear();
+        self.histograms.lock().expect("registry lock").clear();
+        self.spans.lock().expect("registry lock").clear();
+    }
+}
+
+/// The process-wide registry every instrumented crate reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_adjust() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn span_stats_accumulate() {
+        let reg = Registry::new();
+        reg.record_span("a/b", Duration::from_nanos(100));
+        reg.record_span("a/b", Duration::from_nanos(300));
+        let (_, _, _, spans) = reg.dump();
+        let stat = &spans["a/b"];
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, 400);
+        assert_eq!(stat.min_ns, 100);
+        assert_eq!(stat.max_ns, 300);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.histogram("h").record(1);
+        reg.record_span("s", Duration::from_nanos(1));
+        reg.reset();
+        let (c, g, h, s) = reg.dump();
+        assert!(c.is_empty() && g.is_empty() && h.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn distinct_names_are_independent() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("b").add(2);
+        let (counters, ..) = reg.dump();
+        assert_eq!(counters["a"], 1);
+        assert_eq!(counters["b"], 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Registry snapshots.
+//!
+//! [`Report`] freezes a [`crate::Registry`] into plain serde-serializable
+//! data: counter and gauge values, histogram summaries (quantiles estimated
+//! through `wwv_stats::quantile`), and the span statistics re-assembled
+//! into the stage tree implied by their `/`-separated paths. The
+//! `reproduce` harness writes this as JSON (`--metrics-out`) and renders
+//! [`Report::render_spans`] as its closing timing table.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{Registry, SpanStat};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One stage in the span tree.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanNode {
+    /// Leaf stage name.
+    pub name: String,
+    /// Full `/`-separated path from the root.
+    pub path: String,
+    /// Completed spans at this exact path (0 for synthesized parents).
+    pub count: u64,
+    /// Total wall-time, milliseconds.
+    pub total_ms: f64,
+    /// Mean wall-time per span, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest span, milliseconds.
+    pub min_ms: f64,
+    /// Slowest span, milliseconds.
+    pub max_ms: f64,
+    /// Nested stages.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn empty(name: &str, path: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            path: path.to_owned(),
+            count: 0,
+            total_ms: 0.0,
+            mean_ms: 0.0,
+            min_ms: 0.0,
+            max_ms: 0.0,
+            children: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self, stat: &SpanStat) {
+        self.count = stat.count;
+        self.total_ms = stat.total_ns as f64 / 1e6;
+        self.mean_ms = if stat.count == 0 {
+            0.0
+        } else {
+            self.total_ms / stat.count as f64
+        };
+        self.min_ms = if stat.count == 0 { 0.0 } else { stat.min_ns as f64 / 1e6 };
+        self.max_ms = stat.max_ns as f64 / 1e6;
+    }
+
+    /// Finds a descendant (or self) by full path.
+    pub fn find(&self, path: &str) -> Option<&SpanNode> {
+        if self.path == path {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(path))
+    }
+}
+
+/// A serializable snapshot of one registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct Report {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-stage wall-time tree (roots are top-level spans).
+    pub spans: Vec<SpanNode>,
+}
+
+impl Report {
+    /// Snapshots the process-global registry.
+    pub fn capture() -> Report {
+        Report::from_registry(crate::global())
+    }
+
+    /// Snapshots a specific registry.
+    pub fn from_registry(reg: &Registry) -> Report {
+        let (counters, gauges, histograms, spans) = reg.dump();
+        Report {
+            counters,
+            gauges,
+            histograms: histograms
+                .into_iter()
+                .map(|(k, h)| (k, h.snapshot()))
+                .collect(),
+            spans: build_tree(&spans),
+        }
+    }
+
+    /// Finds a span node anywhere in the tree by full path.
+    pub fn span(&self, path: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|n| n.find(path))
+    }
+
+    /// Pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Renders the span tree as an aligned per-stage timing table.
+    pub fn render_spans(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>12} {:>10} {:>10} {:>10}",
+            "stage", "count", "total(ms)", "mean(ms)", "min(ms)", "max(ms)"
+        );
+        fn walk(nodes: &[SpanNode], depth: usize, out: &mut String) {
+            for n in nodes {
+                let label = format!("{}{}", "  ".repeat(depth), n.name);
+                let _ = writeln!(
+                    out,
+                    "{label:<44} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>10.2}",
+                    n.count, n.total_ms, n.mean_ms, n.min_ms, n.max_ms
+                );
+                walk(&n.children, depth + 1, out);
+            }
+        }
+        walk(&self.spans, 0, &mut out);
+        out
+    }
+}
+
+/// Reassembles `path → stat` into a forest, synthesizing any intermediate
+/// nodes that never completed a span of their own.
+fn build_tree(spans: &BTreeMap<String, SpanStat>) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, stat) in spans {
+        let mut cursor: &mut Vec<SpanNode> = &mut roots;
+        let mut prefix = String::new();
+        let segments: Vec<&str> = path.split('/').collect();
+        for (i, seg) in segments.iter().enumerate() {
+            if prefix.is_empty() {
+                prefix.push_str(seg);
+            } else {
+                prefix.push('/');
+                prefix.push_str(seg);
+            }
+            let pos = match cursor.iter().position(|n| n.name == *seg) {
+                Some(p) => p,
+                None => {
+                    cursor.push(SpanNode::empty(seg, &prefix));
+                    cursor.len() - 1
+                }
+            };
+            if i == segments.len() - 1 {
+                cursor[pos].fill(stat);
+            }
+            cursor = &mut cursor[pos].children;
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry_with_spans() -> Registry {
+        let reg = Registry::new();
+        reg.record_span("run", Duration::from_millis(10));
+        reg.record_span("run/world", Duration::from_millis(4));
+        reg.record_span("run/experiments/f01", Duration::from_millis(2));
+        reg.record_span("run/experiments/f01", Duration::from_millis(4));
+        reg
+    }
+
+    #[test]
+    fn tree_reflects_paths() {
+        let report = Report::from_registry(&registry_with_spans());
+        assert_eq!(report.spans.len(), 1);
+        let run = &report.spans[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children.len(), 2);
+        let f01 = report.span("run/experiments/f01").expect("nested node");
+        assert_eq!(f01.count, 2);
+        assert!((f01.total_ms - 6.0).abs() < 1e-6);
+        assert!((f01.mean_ms - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_intermediates_are_synthesized() {
+        let report = Report::from_registry(&registry_with_spans());
+        let exp = report.span("run/experiments").expect("synthesized parent");
+        assert_eq!(exp.count, 0);
+        assert_eq!(exp.children.len(), 1);
+    }
+
+    #[test]
+    fn counters_and_histograms_serialize() {
+        let reg = Registry::new();
+        reg.counter("a.b").add(3);
+        reg.gauge("depth").set(-2);
+        reg.histogram("lat").record(100);
+        let report = Report::from_registry(&reg);
+        assert_eq!(report.counters["a.b"], 3);
+        assert_eq!(report.gauges["depth"], -2);
+        assert_eq!(report.histograms["lat"].count, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"a.b\": 3"), "{json}");
+    }
+
+    #[test]
+    fn render_spans_is_indented_and_complete() {
+        let report = Report::from_registry(&registry_with_spans());
+        let table = report.render_spans();
+        assert!(table.contains("run"), "{table}");
+        assert!(table.contains("  world"), "{table}");
+        assert!(table.contains("    f01"), "{table}");
+        assert!(table.lines().count() >= 5);
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_value(){
+        let report = Report::from_registry(&registry_with_spans());
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert!(v["spans"][0]["children"].is_array());
+    }
+}

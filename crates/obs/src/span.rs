@@ -1,0 +1,152 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall-time of one named pipeline stage. Spans
+//! created while another span is live on the same thread nest under it: the
+//! recorded key is the `/`-joined path of enclosing span names, so the
+//! registry accumulates a tree of per-stage durations (rendered by
+//! [`crate::Report`]).
+//!
+//! When the layer is disabled ([`crate::set_enabled`]) `Span::enter` is a
+//! no-op: no clock read, no allocation, no registry traffic.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full paths of the spans currently live on this thread.
+    static ACTIVE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard timing one pipeline stage; records into the global registry on
+/// drop.
+#[derive(Debug)]
+#[must_use = "a span records when dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    /// `(full path, start instant)`; `None` when the layer is disabled.
+    inner: Option<(String, Instant)>,
+}
+
+impl Span {
+    /// Starts timing `name`, nested under the innermost live span of this
+    /// thread (if any). `name` must not contain `/` (reserved as the path
+    /// separator); offending characters are replaced with `-`.
+    pub fn enter(name: &str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        let clean;
+        let name = if name.contains('/') {
+            clean = name.replace('/', "-");
+            clean.as_str()
+        } else {
+            name
+        };
+        let path = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_owned(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span { inner: Some((path, Instant::now())) }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.inner.take() else { return };
+        let elapsed = start.elapsed();
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Out-of-order drops (spans stored across scopes) only affect
+            // nesting of *later* spans, never correctness of this record.
+            if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                stack.remove(pos);
+            }
+        });
+        crate::global().record_span(&path, elapsed);
+    }
+}
+
+/// Creates a [`Span`] guard: `let _span = wwv_obs::span!("stage");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_paths_with_prefix(prefix: &str) -> Vec<String> {
+        let report = crate::Report::capture();
+        fn walk(nodes: &[crate::SpanNode], out: &mut Vec<String>) {
+            for n in nodes {
+                out.push(n.path.clone());
+                walk(&n.children, out);
+            }
+        }
+        let mut all = Vec::new();
+        walk(&report.spans, &mut all);
+        all.retain(|p| p.starts_with(prefix));
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _a = Span::enter("span-test-outer");
+            let _b = Span::enter("inner");
+        }
+        let paths = span_paths_with_prefix("span-test-outer");
+        assert!(paths.contains(&"span-test-outer".to_owned()), "{paths:?}");
+        assert!(paths.contains(&"span-test-outer/inner".to_owned()), "{paths:?}");
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _a = Span::enter("span-test-siblings");
+            {
+                let _b = Span::enter("first");
+            }
+            {
+                let _c = Span::enter("second");
+            }
+        }
+        let paths = span_paths_with_prefix("span-test-siblings");
+        assert!(paths.contains(&"span-test-siblings/first".to_owned()), "{paths:?}");
+        assert!(paths.contains(&"span-test-siblings/second".to_owned()), "{paths:?}");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _a = Span::enter("span-test-disabled");
+        }
+        crate::set_enabled(true);
+        assert!(span_paths_with_prefix("span-test-disabled").is_empty());
+    }
+
+    #[test]
+    fn slash_in_name_is_sanitized() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _a = Span::enter("span-test-slash/part");
+        }
+        let paths = span_paths_with_prefix("span-test-slash");
+        assert_eq!(paths, vec!["span-test-slash-part".to_owned()]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the log-bucketed histogram invariants the
+//! registry's reports depend on: monotone bucketing, quantiles bounded by
+//! the observed envelope, and exact merges.
+
+use proptest::prelude::*;
+use wwv_obs::histogram::{bucket_bound, bucket_index, BUCKET_COUNT};
+use wwv_obs::Histogram;
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::unregistered();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Bucket assignment is monotone non-decreasing in the value, and every
+    /// value lands strictly below its bucket's (saturated) upper bound.
+    #[test]
+    fn bucketing_monotone_and_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        prop_assert!(bucket_index(hi) < BUCKET_COUNT);
+        let bound = bucket_bound(bucket_index(lo));
+        prop_assert!(lo <= bound, "value {lo} above bucket bound {bound}");
+    }
+
+    /// A recorded stream round-trips: count/sum/min/max match the inputs
+    /// exactly, and bucket counts sum to the stream length.
+    #[test]
+    fn snapshot_round_trips_totals(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        // Cap values so the sum stays in range (the histogram saturates by
+        // wrapping only past u64::MAX, which real latencies never reach).
+        let values: Vec<u64> = values.into_iter().map(|v| v >> 8).collect();
+        let s = record_all(&values).snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        let bucket_total: u64 = s.buckets.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, s.count);
+    }
+
+    /// Quantile estimates are ordered in q and bounded by min/max.
+    #[test]
+    fn quantiles_bounded_by_envelope(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let s = record_all(&values).snapshot();
+        prop_assert!(s.p50 <= s.p90 + 1e-9 && s.p90 <= s.p99 + 1e-9);
+        prop_assert!(s.p50 >= s.min as f64 && s.p99 <= s.max as f64);
+    }
+
+    /// Merging two histograms equals recording the concatenated stream.
+    #[test]
+    fn merge_equals_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..150),
+        ys in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let xs: Vec<u64> = xs.into_iter().map(|v| v >> 8).collect();
+        let ys: Vec<u64> = ys.into_iter().map(|v| v >> 8).collect();
+        let a = record_all(&xs);
+        let b = record_all(&ys);
+        a.merge_from(&b);
+        let concat: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        let both = record_all(&concat);
+        prop_assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    /// Merging with an empty histogram is the identity.
+    #[test]
+    fn merge_with_empty_is_identity(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let values: Vec<u64> = values.into_iter().map(|v| v >> 8).collect();
+        let a = record_all(&values);
+        a.merge_from(&Histogram::unregistered());
+        prop_assert_eq!(a.snapshot(), record_all(&values).snapshot());
+    }
+}

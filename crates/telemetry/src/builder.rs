@@ -82,6 +82,11 @@ impl<'w> DatasetBuilder<'w> {
 
     /// Builds the dataset.
     pub fn build(&self) -> ChromeDataset {
+        let _span = wwv_obs::span!("dataset.build");
+        let obs = wwv_obs::global();
+        let non_public_skipped = obs.counter("builder.non_public_skipped");
+        let threshold_dropped = obs.counter("builder.threshold_dropped");
+        let domains_kept = obs.counter("builder.domains_kept");
         let mut domains = DomainTable::new();
         let mut lists: HashMap<Breakdown, RankListData> = HashMap::new();
         let seed = self.world.config().seed;
@@ -100,6 +105,7 @@ impl<'w> DatasetBuilder<'w> {
                         let site = self.world.universe().site(site_id);
                         let domain = site.domain_in(ci);
                         if !privacy::is_public_domain(&domain) {
+                            non_public_skipped.inc();
                             continue;
                         }
                         let sample_idx = (site_id.0 as u64)
@@ -111,8 +117,10 @@ impl<'w> DatasetBuilder<'w> {
                             poisson(seed, "agg-loads", sample_idx, platform_volume * share);
                         let unique = (loads as f64 / self.loads_per_client).round() as u64;
                         if !privacy::passes_threshold(unique, self.client_threshold) {
+                            threshold_dropped.inc();
                             continue;
                         }
+                        domains_kept.inc();
                         let domain_id = domains.intern(&domain, site_id);
                         loads_entries.push((domain_id.0, loads));
                         // Time metric: down-sampled foreground events.

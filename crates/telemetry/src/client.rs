@@ -31,6 +31,7 @@ impl<'w> ClientSimulator<'w> {
     /// field of the breakdown is ignored; clients emit raw events and
     /// metrics are an aggregation-side concept).
     pub fn batches(&self, b: Breakdown, clients: u64) -> Vec<ClientBatch> {
+        let _span = wwv_obs::span!("client.batches");
         // Cumulative demand for weighted sampling.
         let demand = self.world.demand(b);
         let mut cumulative: Vec<f64> = Vec::with_capacity(demand.len());
@@ -81,6 +82,9 @@ impl<'w> ClientSimulator<'w> {
                 events,
             });
         }
+        wwv_obs::global()
+            .counter("client.events_emitted")
+            .add(out.iter().map(|b| b.events.len() as u64).sum());
         out
     }
 

@@ -5,6 +5,14 @@
 //! Unique-client counting is capped: once a domain has been seen by more
 //! clients than the privacy threshold, further ids are not stored (the exact
 //! count above the threshold never matters).
+//!
+//! Ingest health is fully accounted: decode failures increment `frames_bad`,
+//! and every dropped event is attributed to a [`DropReason`] — non-public
+//! domain, below the unique-client threshold (when [`CollectorOptions::
+//! privacy_threshold`] is set), or server-side foreground down-sampling
+//! (when [`CollectorOptions::fg_keep_probability`] is set). Counters, the
+//! sampled channel depth, per-worker frame totals, and a decode-latency
+//! histogram are mirrored into the global `wwv-obs` registry.
 
 use crate::event::TelemetryEvent;
 use crate::hll::HyperLogLog;
@@ -15,8 +23,10 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 use wwv_world::{Month, Platform};
 
 /// Aggregated counters for one (breakdown, domain).
@@ -32,6 +42,12 @@ pub struct DomainStats {
     pub foreground_millis: u64,
     /// Unique clients observed, capped at the collector's `client_cap`.
     pub unique_clients: u64,
+}
+
+impl DomainStats {
+    fn event_total(&self) -> u64 {
+        self.initiated + self.completed + self.foreground_events
+    }
 }
 
 /// Aggregation key (domain is interned per map entry).
@@ -50,6 +66,49 @@ pub struct AggKey {
 /// Final aggregate: counters per key.
 pub type Aggregate = HashMap<AggKey, DomainStats>;
 
+/// Why an event was excluded from the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The domain is not publicly reachable (§3.1 exclusion).
+    NonPublicDomain,
+    /// The domain fell below the unique-client threshold at finish.
+    ThresholdCapped,
+    /// A foreground event lost the server-side down-sampling draw.
+    DownSampled,
+}
+
+/// Events dropped, broken down by [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct DropBreakdown {
+    /// Events on non-public domains.
+    pub non_public: u64,
+    /// Events on domains dropped by the unique-client threshold.
+    pub threshold_capped: u64,
+    /// Foreground events removed by server-side down-sampling.
+    pub down_sampled: u64,
+}
+
+impl DropBreakdown {
+    /// Total dropped events across all reasons.
+    pub fn total(&self) -> u64 {
+        self.non_public + self.threshold_capped + self.down_sampled
+    }
+
+    fn count(&mut self, reason: DropReason, n: u64) {
+        match reason {
+            DropReason::NonPublicDomain => self.non_public += n,
+            DropReason::ThresholdCapped => self.threshold_capped += n,
+            DropReason::DownSampled => self.down_sampled += n,
+        }
+    }
+
+    fn merge(&mut self, other: &DropBreakdown) {
+        self.non_public += other.non_public;
+        self.threshold_capped += other.threshold_capped;
+        self.down_sampled += other.down_sampled;
+    }
+}
+
 /// Collector statistics (ingest health).
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct CollectorStats {
@@ -57,10 +116,10 @@ pub struct CollectorStats {
     pub frames_ok: u64,
     /// Frames rejected by the decoder.
     pub frames_bad: u64,
-    /// Events dropped for non-public domains.
-    pub non_public_dropped: u64,
     /// Events aggregated.
     pub events: u64,
+    /// Events dropped, by reason.
+    pub dropped: DropBreakdown,
 }
 
 /// Strategy for counting unique clients per domain.
@@ -72,6 +131,33 @@ pub enum ClientCounting {
     /// domain, the production-scale strategy. Sketches merge exactly across
     /// workers.
     Sketch(u8),
+}
+
+/// Tunable collector behavior beyond worker count and client cap.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorOptions {
+    /// Unique-client counting strategy.
+    pub counting: ClientCounting,
+    /// When set, domains whose unique-client count stays below this
+    /// threshold are removed from the aggregate at [`Collector::finish`],
+    /// with their events accounted as [`DropReason::ThresholdCapped`].
+    pub privacy_threshold: Option<u64>,
+    /// When set, each foreground event is kept with this probability
+    /// (deterministically, from the client id and event sequence) and
+    /// otherwise dropped as [`DropReason::DownSampled`] — the server-side
+    /// variant of the §3.1 0.35% down-sampling for clients that upload raw
+    /// foreground streams.
+    pub fg_keep_probability: Option<f64>,
+}
+
+impl Default for CollectorOptions {
+    fn default() -> Self {
+        CollectorOptions {
+            counting: ClientCounting::Exact,
+            privacy_threshold: None,
+            fg_keep_probability: None,
+        }
+    }
 }
 
 /// Per-worker unique-client tracker.
@@ -119,12 +205,30 @@ impl ClientTracker {
     }
 }
 
+/// SplitMix64 — the deterministic per-event hash behind server-side
+/// foreground down-sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic keep/drop decision for one foreground event.
+fn keep_foreground(client_id: u64, seq: u64, keep_probability: f64) -> bool {
+    let u = splitmix64(client_id ^ seq.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11;
+    (u as f64 / (1u64 << 53) as f64) < keep_probability
+}
+
 /// Handle to a running collector.
 pub struct Collector {
     sender: Option<Sender<Bytes>>,
     workers: Vec<JoinHandle<(Aggregate, HashMap<(u8, Platform, Month, String), ClientTracker>)>>,
     stats: Arc<Mutex<CollectorStats>>,
     client_cap: u64,
+    privacy_threshold: Option<u64>,
+    ingested: AtomicU64,
+    depth_gauge: wwv_obs::Gauge,
 }
 
 impl Collector {
@@ -132,7 +236,7 @@ impl Collector {
     /// counting. `client_cap` bounds per-domain unique-client tracking (set
     /// it to the privacy threshold).
     pub fn start(workers: usize, client_cap: u64) -> Self {
-        Self::start_with(workers, client_cap, ClientCounting::Exact)
+        Self::start_opts(workers, client_cap, CollectorOptions::default())
     }
 
     /// Starts a collector with HyperLogLog client counting (precision 12,
@@ -143,27 +247,57 @@ impl Collector {
 
     /// Starts a collector with an explicit counting strategy.
     pub fn start_with(workers: usize, client_cap: u64, counting: ClientCounting) -> Self {
+        Self::start_opts(
+            workers,
+            client_cap,
+            CollectorOptions { counting, ..CollectorOptions::default() },
+        )
+    }
+
+    /// Starts a collector with full [`CollectorOptions`].
+    pub fn start_opts(workers: usize, client_cap: u64, opts: CollectorOptions) -> Self {
         let (tx, rx) = unbounded::<Bytes>();
         let stats = Arc::new(Mutex::new(CollectorStats::default()));
         let mut handles = Vec::with_capacity(workers.max(1));
-        for _ in 0..workers.max(1) {
+        for worker_idx in 0..workers.max(1) {
             let rx = rx.clone();
             let stats = Arc::clone(&stats);
+            let counting = opts.counting;
+            let fg_keep = opts.fg_keep_probability;
             handles.push(std::thread::spawn(move || {
+                let obs = wwv_obs::global();
+                let decode_ns = obs.histogram("collector.decode_ns");
                 let mut agg: Aggregate = HashMap::new();
                 let mut clients: HashMap<(u8, Platform, Month, String), ClientTracker> =
                     HashMap::new();
                 let mut local = CollectorStats::default();
+                let mut local_frames = 0u64;
                 for mut frame in rx.iter() {
-                    match decode_frame(&mut frame) {
+                    local_frames += 1;
+                    let obs_on = wwv_obs::enabled();
+                    let t0 = if obs_on { Some(Instant::now()) } else { None };
+                    let decoded = decode_frame(&mut frame);
+                    if let Some(t0) = t0 {
+                        decode_ns
+                            .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    }
+                    match decoded {
                         Ok(batch) => {
                             local.frames_ok += 1;
                             let mut touched: HashSet<&str> = HashSet::new();
-                            for event in &batch.events {
+                            for (seq, event) in batch.events.iter().enumerate() {
                                 let domain = event.domain();
                                 if !is_public_domain(domain) {
-                                    local.non_public_dropped += 1;
+                                    local.dropped.count(DropReason::NonPublicDomain, 1);
                                     continue;
+                                }
+                                if let TelemetryEvent::ForegroundTime { .. } = event {
+                                    if let Some(p) = fg_keep {
+                                        if !keep_foreground(batch.client_id, seq as u64, p) {
+                                            local.dropped.count(DropReason::DownSampled, 1);
+                                            continue;
+                                        }
+                                    }
                                 }
                                 local.events += 1;
                                 let key = AggKey {
@@ -199,29 +333,49 @@ impl Collector {
                         Err(_) => local.frames_bad += 1,
                     }
                 }
+                // Mirror this worker's totals into the registry once, at
+                // drain time — zero per-event registry traffic.
+                obs.counter(&format!("collector.worker.{worker_idx}.frames"))
+                    .add(local_frames);
+                obs.counter("collector.frames_ok").add(local.frames_ok);
+                obs.counter("collector.frames_bad").add(local.frames_bad);
+                obs.counter("collector.dropped.non_public").add(local.dropped.non_public);
+                obs.counter("collector.dropped.down_sampled").add(local.dropped.down_sampled);
                 let mut shared = stats.lock();
                 shared.frames_ok += local.frames_ok;
                 shared.frames_bad += local.frames_bad;
-                shared.non_public_dropped += local.non_public_dropped;
                 shared.events += local.events;
+                shared.dropped.merge(&local.dropped);
                 (agg, clients)
             }));
         }
-        Collector { sender: Some(tx), workers: handles, stats, client_cap }
+        Collector {
+            sender: Some(tx),
+            workers: handles,
+            stats,
+            client_cap,
+            privacy_threshold: opts.privacy_threshold,
+            ingested: AtomicU64::new(0),
+            depth_gauge: wwv_obs::global().gauge("collector.channel_depth"),
+        }
     }
 
     /// Ingests one encoded frame.
     pub fn ingest(&self, frame: Bytes) {
-        self.sender
-            .as_ref()
-            .expect("collector still running")
-            .send(frame)
-            .expect("workers alive while sender exists");
+        let sender = self.sender.as_ref().expect("collector still running");
+        sender.send(frame).expect("workers alive while sender exists");
+        // Sample the channel depth every 64 frames: cheap backlog telemetry.
+        if self.ingested.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+            self.depth_gauge.set(sender.len() as i64);
+        }
     }
 
     /// Closes ingestion, joins workers, and returns the merged aggregate and
-    /// ingest statistics. Unique-client counts are capped at `client_cap`.
+    /// ingest statistics. Unique-client counts are capped at `client_cap`;
+    /// when a privacy threshold was configured, below-threshold domains are
+    /// dropped here and accounted as [`DropReason::ThresholdCapped`].
     pub fn finish(mut self) -> (Aggregate, CollectorStats) {
+        let _span = wwv_obs::span!("collector.finish");
         drop(self.sender.take());
         let mut merged: Aggregate = HashMap::new();
         let mut merged_clients: HashMap<(u8, Platform, Month, String), ClientTracker> =
@@ -252,7 +406,26 @@ impl Collector {
                 entry.unique_clients = tracker.count().min(self.client_cap);
             }
         }
-        let stats = self.stats.lock().clone();
+        let mut stats = self.stats.lock().clone();
+        if let Some(threshold) = self.privacy_threshold {
+            let mut capped_events = 0u64;
+            merged.retain(|_, entry| {
+                if entry.unique_clients >= threshold {
+                    true
+                } else {
+                    capped_events += entry.event_total();
+                    false
+                }
+            });
+            stats.dropped.count(DropReason::ThresholdCapped, capped_events);
+            stats.events = stats.events.saturating_sub(capped_events);
+            wwv_obs::global()
+                .counter("collector.dropped.threshold_capped")
+                .add(capped_events);
+        }
+        // Flushed here rather than per-worker so the registry counter agrees
+        // with `CollectorStats::events` after threshold capping.
+        wwv_obs::global().counter("collector.events").add(stats.events);
         (merged, stats)
     }
 }
@@ -338,7 +511,8 @@ mod tests {
         let (agg, stats) = collector.finish();
         assert!(!agg.contains_key(&key("printer.local")));
         assert!(agg.contains_key(&key("example.com")));
-        assert_eq!(stats.non_public_dropped, 4);
+        assert_eq!(stats.dropped.non_public, 4);
+        assert_eq!(stats.dropped.total(), 4);
     }
 
     #[test]
@@ -410,5 +584,55 @@ mod tests {
         collector.ingest(encode_frame(&on_android));
         let (agg, _) = collector.finish();
         assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn threshold_enforcement_drops_sparse_domains() {
+        let opts = CollectorOptions { privacy_threshold: Some(3), ..CollectorOptions::default() };
+        let collector = Collector::start_opts(2, 100, opts);
+        // 5 clients on example.com, a single client on rare.net.
+        for i in 0..5 {
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+        }
+        collector.ingest(encode_frame(&batch(9, "rare.net", 2)));
+        let (agg, stats) = collector.finish();
+        assert!(agg.contains_key(&key("example.com")));
+        assert!(!agg.contains_key(&key("rare.net")));
+        // rare.net's 2 loads → 2 initiated + 2 completed events dropped.
+        assert_eq!(stats.dropped.threshold_capped, 4);
+        assert_eq!(stats.events, 10);
+    }
+
+    #[test]
+    fn server_side_downsampling_thins_foreground() {
+        let opts =
+            CollectorOptions { fg_keep_probability: Some(0.25), ..CollectorOptions::default() };
+        let collector = Collector::start_opts(2, 100_000, opts);
+        let n = 4_000u64;
+        for i in 0..n {
+            let b = ClientBatch {
+                client_id: i,
+                country: 0,
+                platform: Platform::Windows,
+                month: Month::February2022,
+                events: vec![TelemetryEvent::ForegroundTime {
+                    domain: "example.com".into(),
+                    millis: 100,
+                }],
+            };
+            collector.ingest(encode_frame(&b));
+        }
+        let (agg, stats) = collector.finish();
+        let kept = agg[&key("example.com")].foreground_events;
+        assert_eq!(kept + stats.dropped.down_sampled, n);
+        let rate = kept as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.04, "keep rate {rate}");
+    }
+
+    #[test]
+    fn downsampling_is_deterministic() {
+        assert_eq!(keep_foreground(42, 7, 0.5), keep_foreground(42, 7, 0.5));
+        assert!(keep_foreground(42, 7, 1.0));
+        assert!(!keep_foreground(42, 7, 0.0));
     }
 }

@@ -24,13 +24,19 @@ const NON_PUBLIC_SUFFIXES: [&str; 5] = [".local", ".corp", ".internal", ".lan", 
 /// single-label hosts (`localhost`, bare machine names), RFC-6762-style
 /// `.local` names, and common intranet suffixes — are excluded.
 pub fn is_public_domain(domain: &str) -> bool {
-    if domain.is_empty() || !domain.contains('.') {
-        return false;
+    let public = !domain.is_empty()
+        && domain.contains('.')
+        && !NON_PUBLIC_SUFFIXES.iter().any(|s| domain.ends_with(s));
+    if !public {
+        rejection_counter().inc();
     }
-    if NON_PUBLIC_SUFFIXES.iter().any(|s| domain.ends_with(s)) {
-        return false;
-    }
-    true
+    public
+}
+
+/// Cached registry handle for the rejection counter.
+fn rejection_counter() -> &'static wwv_obs::Counter {
+    static REJECTIONS: std::sync::OnceLock<wwv_obs::Counter> = std::sync::OnceLock::new();
+    REJECTIONS.get_or_init(|| wwv_obs::global().counter("privacy.non_public_rejections"))
 }
 
 /// Whether a domain passes the unique-client threshold.

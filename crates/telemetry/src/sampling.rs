@@ -4,7 +4,18 @@
 //! Small means use Knuth's product method; large means use the normal
 //! approximation (λ + √λ·z), which is accurate and O(1).
 
+use std::sync::OnceLock;
 use wwv_world::WorldSeed;
+use wwv_obs::Counter;
+
+/// Cached registry handles — one relaxed atomic add per draw, no lookups.
+fn draw_counter(cell: &'static OnceLock<Counter>, name: &str) -> &'static Counter {
+    cell.get_or_init(|| wwv_obs::global().counter(name))
+}
+
+static POISSON_DRAWS: OnceLock<Counter> = OnceLock::new();
+static BERNOULLI_DRAWS: OnceLock<Counter> = OnceLock::new();
+static BINOMIAL_DRAWS: OnceLock<Counter> = OnceLock::new();
 
 /// Uniform in `[0, 1)` from a sub-seed value.
 fn unit(seed: u64) -> f64 {
@@ -21,6 +32,7 @@ fn gauss(seed: WorldSeed, purpose: &str, index: u64) -> f64 {
 /// Deterministic Poisson draw with mean `lambda`, keyed by
 /// `(seed, purpose, index)`.
 pub fn poisson(seed: WorldSeed, purpose: &str, index: u64, lambda: f64) -> u64 {
+    draw_counter(&POISSON_DRAWS, "sampling.poisson_draws").inc();
     if lambda <= 0.0 {
         return 0;
     }
@@ -48,12 +60,14 @@ pub fn poisson(seed: WorldSeed, purpose: &str, index: u64, lambda: f64) -> u64 {
 
 /// Deterministic Bernoulli draw with probability `p`.
 pub fn bernoulli(seed: WorldSeed, purpose: &str, index: u64, p: f64) -> bool {
+    draw_counter(&BERNOULLI_DRAWS, "sampling.bernoulli_draws").inc();
     unit(seed.derive_indexed(purpose, index)) < p
 }
 
 /// Deterministic Binomial(n, p) draw: exact for small `n`, Poisson/normal
 /// approximation for large `n`.
 pub fn binomial(seed: WorldSeed, purpose: &str, index: u64, n: u64, p: f64) -> u64 {
+    draw_counter(&BINOMIAL_DRAWS, "sampling.binomial_draws").inc();
     if n == 0 || p <= 0.0 {
         return 0;
     }

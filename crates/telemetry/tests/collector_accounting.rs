@@ -1,0 +1,157 @@
+//! Exact failure accounting through the collector.
+//!
+//! Feeds hand-crafted corrupt wire frames and privacy-violating batches
+//! through a running [`Collector`] and asserts that every frame and every
+//! dropped event lands in exactly one `CollectorStats` bucket.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use wwv_telemetry::collector::{AggKey, Collector, CollectorOptions, CollectorStats};
+use wwv_telemetry::wire::MAX_FRAME_LEN;
+use wwv_telemetry::{encode_frame, ClientBatch, TelemetryEvent};
+use wwv_world::{Month, Platform};
+
+fn batch(client_id: u64, events: Vec<TelemetryEvent>) -> ClientBatch {
+    ClientBatch {
+        client_id,
+        country: 0,
+        platform: Platform::Windows,
+        month: Month::February2022,
+        events,
+    }
+}
+
+fn loads(domain: &str, n: usize) -> Vec<TelemetryEvent> {
+    (0..n)
+        .flat_map(|_| {
+            vec![
+                TelemetryEvent::PageLoadInitiated { domain: domain.into() },
+                TelemetryEvent::PageLoadCompleted { domain: domain.into() },
+            ]
+        })
+        .collect()
+}
+
+fn key(domain: &str) -> AggKey {
+    AggKey {
+        country: 0,
+        platform: Platform::Windows,
+        month: Month::February2022,
+        domain: domain.into(),
+    }
+}
+
+/// Corrupts one byte of an encoded frame at `offset` (past the length
+/// prefix).
+fn corrupt_at(frame: &Bytes, offset: usize, value: u8) -> Bytes {
+    let mut raw = BytesMut::from(&frame[..]);
+    raw[offset] = value;
+    raw.freeze()
+}
+
+#[test]
+fn every_corrupt_frame_is_counted_bad() {
+    let good = encode_frame(&batch(1, loads("example.com", 1)));
+    // Payload layout after the 4-byte length prefix:
+    //   8 client id, 1 country, 1 platform, 1 month, 2 event count, then
+    //   per-event: 1 kind, 1 domain len, domain bytes, 8 value.
+    let corrupt: Vec<(&str, Bytes)> = vec![
+        ("truncated payload", good.slice(0..good.len() - 3)),
+        ("declared length too short", {
+            // Shrink the declared length so trailing bytes remain.
+            let mut raw = BytesMut::from(&good[..]);
+            let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) - 2;
+            raw[0..4].copy_from_slice(&len.to_le_bytes());
+            raw.freeze()
+        }),
+        ("oversized frame", {
+            let mut raw = BytesMut::new();
+            raw.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+            raw.freeze()
+        }),
+        ("bad country", corrupt_at(&good, 4 + 8, 250)),
+        ("bad platform", corrupt_at(&good, 4 + 9, 7)),
+        ("bad month", corrupt_at(&good, 4 + 10, 99)),
+        ("bad event kind", corrupt_at(&good, 4 + 13, 9)),
+        ("bare length prefix", Bytes::from_static(&[3, 0, 0, 0, 1, 2, 3])),
+    ];
+    let n_corrupt = corrupt.len() as u64;
+    let collector = Collector::start(2, 100);
+    for (_, frame) in &corrupt {
+        collector.ingest(frame.clone());
+    }
+    collector.ingest(good.clone());
+    let (agg, stats) = collector.finish();
+    assert_eq!(stats.frames_bad, n_corrupt, "each corrupt frame counted once");
+    assert_eq!(stats.frames_ok, 1);
+    assert_eq!(stats.events, 2);
+    assert_eq!(stats.dropped.total(), 0);
+    assert_eq!(agg[&key("example.com")].completed, 1);
+}
+
+#[test]
+fn non_public_events_attributed_exactly() {
+    let collector = Collector::start(2, 100);
+    // 3 loads on an intranet host (6 events), 1 foreground on localhost-style
+    // single label (1 event), 2 loads on a public domain (4 events).
+    collector.ingest(encode_frame(&batch(1, loads("wiki.corp", 3))));
+    collector.ingest(encode_frame(&batch(
+        2,
+        vec![TelemetryEvent::ForegroundTime { domain: "fileserver".into(), millis: 100 }],
+    )));
+    collector.ingest(encode_frame(&batch(3, loads("example.com", 2))));
+    let (agg, stats) = collector.finish();
+    assert_eq!(stats.frames_ok, 3);
+    assert_eq!(stats.frames_bad, 0);
+    assert_eq!(stats.dropped.non_public, 7);
+    assert_eq!(stats.dropped.threshold_capped, 0);
+    assert_eq!(stats.dropped.down_sampled, 0);
+    assert_eq!(stats.events, 4);
+    assert_eq!(agg.len(), 1);
+    assert!(agg.contains_key(&key("example.com")));
+}
+
+#[test]
+fn threshold_and_downsampling_reasons_are_distinct() {
+    let opts = CollectorOptions {
+        privacy_threshold: Some(4),
+        fg_keep_probability: Some(0.5),
+        ..CollectorOptions::default()
+    };
+    let collector = Collector::start_opts(2, 1_000, opts);
+    // 6 clients on example.com (passes threshold), 2 on rare.net (capped).
+    for i in 0..6 {
+        collector.ingest(encode_frame(&batch(i, loads("example.com", 1))));
+    }
+    for i in 100..102 {
+        collector.ingest(encode_frame(&batch(i, loads("rare.net", 1))));
+    }
+    // Foreground events subject to the 50% server-side down-sampling.
+    let n_fg = 400u64;
+    for i in 1_000..1_000 + n_fg {
+        collector.ingest(encode_frame(&batch(
+            i,
+            vec![TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 10 }],
+        )));
+    }
+    let (agg, stats) = collector.finish();
+    assert!(!agg.contains_key(&key("rare.net")));
+    // rare.net: 2 loads → 4 events, all threshold-capped.
+    assert_eq!(stats.dropped.threshold_capped, 4);
+    let kept_fg = agg[&key("example.com")].foreground_events;
+    assert_eq!(kept_fg + stats.dropped.down_sampled, n_fg);
+    assert!(
+        stats.dropped.down_sampled > 100 && stats.dropped.down_sampled < 300,
+        "≈50% of {n_fg} foreground events down-sampled, got {}",
+        stats.dropped.down_sampled
+    );
+    assert_eq!(stats.dropped.non_public, 0);
+    // Conservation: every decoded event is either aggregated or attributed.
+    assert_eq!(stats.events + stats.dropped.total(), 12 + 4 + n_fg);
+    assert_eq!(stats.dropped.total(), 4 + stats.dropped.down_sampled);
+}
+
+#[test]
+fn stats_default_is_all_zero() {
+    let s = CollectorStats::default();
+    assert_eq!(s.frames_ok + s.frames_bad + s.events + s.dropped.total(), 0);
+}

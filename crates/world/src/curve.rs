@@ -28,6 +28,7 @@ impl TrafficCurve {
     /// be strictly increasing starting at 1; shares non-decreasing in
     /// `(0, 1]`. Returns `None` on malformed anchors.
     pub fn from_anchors(anchors: &[(u64, f64)]) -> Option<Self> {
+        wwv_obs::global().counter("world.traffic_curves_built").inc();
         if anchors.is_empty() || anchors[0].0 != 1 {
             return None;
         }

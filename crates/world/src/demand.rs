@@ -25,6 +25,7 @@ pub struct World {
 impl World {
     /// Generates a world for `config`.
     pub fn new(config: WorldConfig) -> Self {
+        let _span = wwv_obs::span!("world.generate");
         let universe = SiteUniverse::generate(&config);
         World { config, universe }
     }

@@ -123,6 +123,7 @@ const NATIONAL_HEAD_CATEGORIES: [Category; 6] = [
 impl SiteUniverse {
     /// Generates the universe for `config`, deterministically.
     pub fn generate(config: &WorldConfig) -> Self {
+        let _span = wwv_obs::span!("world.sites");
         let mut sites: Vec<Site> = Vec::new();
         // 1. Anchors.
         for (i, anchor) in ANCHORS.iter().enumerate() {
@@ -176,6 +177,7 @@ impl SiteUniverse {
                 }
             }
         }
+        wwv_obs::global().counter("world.sites_generated").add(sites.len() as u64);
         SiteUniverse { sites, candidates }
     }
 

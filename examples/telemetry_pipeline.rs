@@ -36,7 +36,7 @@ fn main() {
     println!("  {} bytes on the wire", wire_bytes);
     println!(
         "  frames ok {} / bad {}, events {}, non-public dropped {}",
-        stats.frames_ok, stats.frames_bad, stats.events, stats.non_public_dropped
+        stats.frames_ok, stats.frames_bad, stats.events, stats.dropped.non_public
     );
 
     // Top domains by completed loads.

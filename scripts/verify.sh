@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full verification gate: build, tests, and lint-clean under -D warnings.
+# Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

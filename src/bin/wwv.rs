@@ -12,6 +12,7 @@
 //! a few seconds).
 
 use wwv::core::endemicity::popularity_curves;
+use wwv::obs::{error, info};
 use wwv::core::similarity::similarity_matrix;
 use wwv::core::AnalysisContext;
 use wwv::telemetry::{persist, DatasetBuilder};
@@ -65,7 +66,7 @@ fn main() {
     let args = parse_args();
     let Some(command) = args.positional.first().cloned() else { usage() };
 
-    eprintln!("[wwv] building world + dataset …");
+    info!(target: "wwv", "building world + dataset");
     let world = World::new(WorldConfig::small());
     let dataset = DatasetBuilder::new(&world)
         .months(&[Month::February2022])
@@ -78,12 +79,12 @@ fn main() {
     match command.as_str() {
         "top" => {
             let Some(ci) = Country::index_of(&args.country) else {
-                eprintln!("unknown country code {:?}", args.country);
+                error!(target: "wwv", "unknown country code {:?}", args.country);
                 std::process::exit(2);
             };
             let b = ctx.breakdown(ci, args.platform, args.metric);
             let Some(list) = dataset.list(b) else {
-                eprintln!("no list for {b}");
+                error!(target: "wwv", "no list for {b}");
                 std::process::exit(1);
             };
             println!("top {} sites in {} ({} / {}):", args.n, COUNTRIES[ci].name, args.platform, args.metric);
@@ -130,7 +131,7 @@ fn main() {
             let sim = similarity_matrix(&ctx, args.platform, args.metric);
             let code = args.country.as_str();
             if !sim.labels.iter().any(|l| l == code) {
-                eprintln!("unknown country code {code:?}");
+                error!(target: "wwv", "unknown country code {code:?}");
                 std::process::exit(2);
             }
             let mut pairs: Vec<(String, f64)> = sim
