@@ -1,0 +1,84 @@
+//! Serving-layer throughput: the query engine and worker pool under a
+//! Zipf-distributed query mix, plus per-kind single-query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use wwv_bench::bench_fixture;
+use wwv_serve::loadgen::{self, LoadgenConfig};
+use wwv_serve::query::{ListKey, Query};
+use wwv_serve::server::{Server, ServerConfig};
+use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_world::{Metric, Month, Platform};
+
+fn us_key() -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (_, dataset) = bench_fixture();
+    let store = Arc::new(ShardedStore::build(dataset, 16));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", Arc::clone(&store));
+    let catalog = Arc::new(catalog);
+
+    // Steady-state single-query latency straight through the engine.
+    let server = Server::start(Arc::clone(&catalog), ServerConfig::default());
+    let engine = Arc::clone(server.engine());
+    let mut group = c.benchmark_group("serve/engine");
+    for (label, query) in [
+        ("ping", Query::Ping),
+        ("top_k_100", Query::TopK { key: us_key(), k: 100 }),
+        ("site_rank", Query::SiteRank { key: us_key(), domain: "google.com".into() }),
+        (
+            "rbo_cached",
+            Query::Rbo {
+                a: us_key(),
+                b: ListKey { country: 1, ..us_key() },
+                depth: 100,
+                p_permille: 900,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| black_box(engine.execute(&query))));
+    }
+    group.finish();
+    server.shutdown();
+
+    // End-to-end worker-pool throughput (codec + queue + workers) under the
+    // default Zipf mix, at a few concurrency levels.
+    let mut group = c.benchmark_group("serve/throughput");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        const REQUESTS: usize = 200;
+        group.throughput(Throughput::Elements((threads * REQUESTS) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let server = Server::start(Arc::clone(&catalog), ServerConfig::default());
+                    let handle = server.handle();
+                    let config = LoadgenConfig {
+                        threads,
+                        requests_per_thread: REQUESTS,
+                        ..LoadgenConfig::default()
+                    };
+                    let report = loadgen::run(&handle, &store, &config);
+                    server.shutdown();
+                    black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -128,10 +128,12 @@ impl Histogram {
 
 /// Quantile estimate from bucket counts: a bounded weighted sample of bucket
 /// midpoints fed through `wwv_stats::quantile`, clamped to the observed
-/// `[min, max]` envelope.
-fn estimate_quantile(counts: &[u64], count: u64, min: u64, max: u64, q: f64) -> f64 {
+/// `[min, max]` envelope. `None` when the histogram is empty — an empty
+/// histogram has no quantiles, and reporting 0.0 would fabricate a
+/// measurement.
+fn estimate_quantile(counts: &[u64], count: u64, min: u64, max: u64, q: f64) -> Option<f64> {
     if count == 0 {
-        return 0.0;
+        return None;
     }
     // Cap the expanded sample so snapshots stay O(1) regardless of count.
     const SAMPLE_CAP: u64 = 2_048;
@@ -146,8 +148,8 @@ fn estimate_quantile(counts: &[u64], count: u64, min: u64, max: u64, q: f64) -> 
         sample.extend(std::iter::repeat_n(mid, reps as usize));
     }
     // Buckets are visited in ascending order, so `sample` is already sorted.
-    let est = wwv_stats::quantile::quantile_sorted(&sample, q).unwrap_or(0.0);
-    est.clamp(min as f64, max as f64)
+    let est = wwv_stats::quantile::quantile_sorted(&sample, q)?;
+    Some(est.clamp(min as f64, max as f64))
 }
 
 /// Serializable summary of a histogram.
@@ -163,12 +165,12 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Median estimate.
-    pub p50: f64,
-    /// 90th-percentile estimate.
-    pub p90: f64,
-    /// 99th-percentile estimate.
-    pub p99: f64,
+    /// Median estimate (`None` when no values were recorded).
+    pub p50: Option<f64>,
+    /// 90th-percentile estimate (`None` when no values were recorded).
+    pub p90: Option<f64>,
+    /// 99th-percentile estimate (`None` when no values were recorded).
+    pub p99: Option<f64>,
     /// Non-empty buckets as `(upper_bound, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -188,14 +190,26 @@ mod tests {
     }
 
     #[test]
-    fn empty_snapshot_is_zeroed() {
+    fn empty_snapshot_has_no_quantiles() {
         let h = Histogram::unregistered();
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 0);
-        assert_eq!(s.p99, 0.0);
+        // No recorded values means no quantiles — not a fabricated 0.0.
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p90, None);
+        assert_eq!(s.p99, None);
         assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_value_snapshot_has_quantiles() {
+        let h = Histogram::unregistered();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.p50, Some(42.0));
+        assert_eq!(s.p99, Some(42.0));
     }
 
     #[test]
@@ -210,7 +224,8 @@ mod tests {
         assert_eq!(s.min, 10);
         assert_eq!(s.max, 1_000);
         assert!((s.mean - 220.0).abs() < 1e-9);
-        assert!(s.p50 >= 10.0 && s.p50 <= 1_000.0);
+        let p50 = s.p50.expect("non-empty histogram has a median");
+        assert!((10.0..=1_000.0).contains(&p50));
     }
 
     #[test]
@@ -220,8 +235,9 @@ mod tests {
             h.record(v);
         }
         let s = h.snapshot();
-        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
-        assert!(s.p99 <= s.max as f64);
+        let (p50, p90, p99) = (s.p50.unwrap(), s.p90.unwrap(), s.p99.unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{s:?}");
+        assert!(p99 <= s.max as f64);
     }
 
     #[test]

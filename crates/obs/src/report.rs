@@ -88,7 +88,9 @@ impl Report {
         Report::from_registry(crate::global())
     }
 
-    /// Snapshots a specific registry.
+    /// Snapshots a specific registry. Histograms that never recorded a
+    /// value are skipped: they have no quantiles, and a row of zeros would
+    /// read as a measurement.
     pub fn from_registry(reg: &Registry) -> Report {
         let (counters, gauges, histograms, spans) = reg.dump();
         Report {
@@ -97,6 +99,7 @@ impl Report {
             histograms: histograms
                 .into_iter()
                 .map(|(k, h)| (k, h.snapshot()))
+                .filter(|(_, s)| s.count > 0)
                 .collect(),
             spans: build_tree(&spans),
         }
@@ -214,6 +217,19 @@ mod tests {
         assert_eq!(report.histograms["lat"].count, 1);
         let json = report.to_json();
         assert!(json.contains("\"a.b\": 3"), "{json}");
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let reg = Registry::new();
+        reg.histogram("touched").record(7);
+        reg.histogram("untouched"); // registered, never recorded
+        let report = Report::from_registry(&reg);
+        assert!(report.histograms.contains_key("touched"));
+        assert!(
+            !report.histograms.contains_key("untouched"),
+            "empty histogram must not produce a degenerate zero row"
+        );
     }
 
     #[test]

@@ -46,8 +46,11 @@ proptest! {
     #[test]
     fn quantiles_bounded_by_envelope(values in proptest::collection::vec(any::<u64>(), 1..200)) {
         let s = record_all(&values).snapshot();
-        prop_assert!(s.p50 <= s.p90 + 1e-9 && s.p90 <= s.p99 + 1e-9);
-        prop_assert!(s.p50 >= s.min as f64 && s.p99 <= s.max as f64);
+        let p50 = s.p50.expect("non-empty");
+        let p90 = s.p90.expect("non-empty");
+        let p99 = s.p99.expect("non-empty");
+        prop_assert!(p50 <= p90 + 1e-9 && p90 <= p99 + 1e-9);
+        prop_assert!(p50 >= s.min as f64 && p99 <= s.max as f64);
     }
 
     /// Merging two histograms equals recording the concatenated stream.

@@ -1,0 +1,267 @@
+//! Hand-rolled bounded LRU result cache.
+//!
+//! The expensive analysis queries (pairwise RBO, cross-country profiles,
+//! concentration shares) are pure functions of an immutable snapshot, so
+//! their results are cached under the canonicalized query key. The cache is
+//! a classic HashMap + intrusive doubly-linked list over a slab of slots:
+//! O(1) get/insert/evict, no allocation churn after warm-up, and an exact
+//! capacity bound. Hit/miss/eviction totals are kept locally (exposed via
+//! [`LruCache::stats`]) and mirrored into `wwv-obs` counters by the engine.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Point-in-time cache totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded least-recently-used map.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Running hit/miss/eviction totals.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slots[i].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a key, evicting the least-recently-used entry
+    /// when over capacity. Returns whether an eviction happened.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(i) = self.map.get(&key).copied() {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Keys from most- to least-recently used (tests, diagnostics).
+    pub fn keys_by_recency(&self) -> Vec<&K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(&self.slots[i].key);
+            i = self.slots[i].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(3, 30), "capacity 2 forces an eviction");
+        assert_eq!(c.get(&1), None, "1 was LRU");
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10));
+        c.insert(3, 30); // evicts 2, not the freshly touched 1
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        assert!(!c.insert(1, 11));
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(&10));
+        c.insert(2, 20);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recency_order_is_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in [1, 2, 3] {
+            c.insert(k, k);
+        }
+        c.get(&1);
+        let order: Vec<u32> = c.keys_by_recency().into_iter().copied().collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut c: LruCache<u32, u32> = LruCache::new(7);
+        for k in 0..1_000u32 {
+            c.insert(k, k);
+            assert!(c.len() <= 7);
+        }
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.stats().evictions, 1_000 - 7);
+        // Slab never grows past capacity: slots are recycled through the
+        // free list.
+        assert!(c.slots.len() <= 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(&10));
+        c.insert(2, 20);
+        assert_eq!(c.len(), 1);
+    }
+}

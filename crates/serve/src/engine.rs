@@ -1,0 +1,419 @@
+//! The query engine: catalog + cache + execution.
+//!
+//! [`QueryEngine::execute`] is the single entry point workers call. It
+//! canonicalizes the query, consults the LRU cache for the expensive
+//! analysis queries, and otherwise answers point lookups straight from the
+//! lock-free [`crate::store::ShardedStore`]. Analysis queries call into
+//! `wwv-stats` (RBO) and `wwv-core`/`wwv-world` (concentration model), the
+//! same machinery the offline experiment suite uses, so served numbers match
+//! the reproduction's figures exactly.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::query::{
+    ConcentrationInfo, ErrorCode, ListKey, ProfileInfo, Query, RankInfo, Response, SiteEntry,
+};
+use crate::store::{Catalog, ShardedStore, StoredList};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use wwv_stats::ranking::RankedList;
+use wwv_stats::rbo::rbo_classic;
+use wwv_telemetry::crux::DEFAULT_BUCKETS;
+use wwv_world::{Breakdown, Metric, Month, Platform, TrafficCurve, COUNTRIES};
+
+/// Executes queries against a frozen catalog.
+pub struct QueryEngine {
+    catalog: Arc<Catalog>,
+    cache: Mutex<LruCache<Query, Response>>,
+}
+
+impl QueryEngine {
+    /// Creates an engine over a catalog with the given result-cache bound.
+    pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> QueryEngine {
+        QueryEngine { catalog, cache: Mutex::new(LruCache::new(cache_capacity)) }
+    }
+
+    /// The served catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Running cache totals.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Executes one query, going through the result cache when applicable.
+    pub fn execute(&self, query: &Query) -> Response {
+        let _span = wwv_obs::span!("serve.execute");
+        let reg = wwv_obs::global();
+        let q = query.canonicalize();
+        reg.counter(&format!("serve.query.{}", q.kind())).inc();
+        if q.cacheable() {
+            if let Some(hit) = self.cache.lock().get(&q).cloned() {
+                reg.counter("serve.cache.hit").inc();
+                return hit;
+            }
+            reg.counter("serve.cache.miss").inc();
+            let resp = self.compute(&q);
+            // Only memoize successes; errors should retry on next ask.
+            if resp.is_ok() && self.cache.lock().insert(q, resp.clone()) {
+                reg.counter("serve.cache.eviction").inc();
+            }
+            return resp;
+        }
+        self.compute(&q)
+    }
+
+    fn resolve<'a>(
+        &'a self,
+        snapshot: &str,
+    ) -> Result<&'a Arc<ShardedStore>, Response> {
+        self.catalog.get(snapshot).ok_or_else(|| {
+            Response::Error(ErrorCode::UnknownSnapshot, format!("no snapshot {snapshot:?}"))
+        })
+    }
+
+    fn list<'a>(
+        &self,
+        store: &'a ShardedStore,
+        key: &ListKey,
+    ) -> Result<&'a Arc<StoredList>, Response> {
+        if key.country as usize >= COUNTRIES.len() {
+            return Err(Response::Error(
+                ErrorCode::BadRequest,
+                format!("country index {} out of range", key.country),
+            ));
+        }
+        let b = key.breakdown();
+        store
+            .list(&b)
+            .ok_or_else(|| Response::Error(ErrorCode::UnknownList, format!("no list for {b}")))
+    }
+
+    fn compute(&self, q: &Query) -> Response {
+        match q {
+            Query::Ping => Response::Pong,
+            Query::TopK { key, k } => self.top_k(key, *k),
+            Query::SiteRank { key, domain } => self.site_rank(key, domain),
+            Query::RankBucket { key, domain } => self.rank_bucket(key, domain),
+            Query::SiteProfile { snapshot, platform, metric, month, domain } => {
+                self.site_profile(snapshot, *platform, *metric, *month, domain)
+            }
+            Query::Rbo { a, b, depth, p_permille } => self.rbo(a, b, *depth, *p_permille),
+            Query::Concentration { key, depths } => self.concentration(key, depths),
+        }
+    }
+
+    fn top_k(&self, key: &ListKey, k: u32) -> Response {
+        let store = match self.resolve(&key.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let list = match self.list(store, key) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let entries = list
+            .top_k(k as usize)
+            .iter()
+            .enumerate()
+            .map(|(i, (d, c))| SiteEntry {
+                rank: i as u32 + 1,
+                domain: store.domain_name(*d).to_owned(),
+                count: *c,
+                share: list.share(*c),
+            })
+            .collect();
+        Response::TopK(entries)
+    }
+
+    fn site_rank(&self, key: &ListKey, domain: &str) -> Response {
+        let store = match self.resolve(&key.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let list = match self.list(store, key) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let info = store.domain_id(domain).and_then(|d| list.rank(d)).map(|(rank, count)| {
+            RankInfo { rank, count, share: list.share(count) }
+        });
+        Response::SiteRank(info)
+    }
+
+    fn rank_bucket(&self, key: &ListKey, domain: &str) -> Response {
+        let store = match self.resolve(&key.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let list = match self.list(store, key) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let bucket = store.domain_id(domain).and_then(|d| list.rank(d)).and_then(|(rank, _)| {
+            // CrUX ladder semantics: smallest magnitude bucket containing
+            // the 0-based position (crux::country_buckets uses `i < upper`).
+            DEFAULT_BUCKETS
+                .iter()
+                .find(|upper| (rank as usize - 1) < **upper)
+                .map(|upper| *upper as u32)
+        });
+        Response::RankBucket(bucket)
+    }
+
+    fn site_profile(
+        &self,
+        snapshot: &str,
+        platform: Platform,
+        metric: Metric,
+        month: Month,
+        domain: &str,
+    ) -> Response {
+        let store = match self.resolve(snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let mut ranks = Vec::new();
+        let mut best: Option<(u32, usize)> = None;
+        if let Some(d) = store.domain_id(domain) {
+            for (ci, country) in COUNTRIES.iter().enumerate() {
+                let b = Breakdown { country: ci, platform, metric, month };
+                let Some(list) = store.list(&b) else { continue };
+                let Some((rank, _)) = list.rank(d) else { continue };
+                ranks.push((country.code.to_owned(), rank));
+                if best.is_none_or(|(r, _)| rank < r) {
+                    best = Some((rank, ci));
+                }
+            }
+        }
+        Response::SiteProfile(ProfileInfo {
+            domain: domain.to_owned(),
+            present_in: ranks.len() as u32,
+            best_rank: best.map(|(r, _)| r),
+            best_country: best.map(|(_, ci)| COUNTRIES[ci].code.to_owned()),
+            ranks,
+        })
+    }
+
+    fn rbo(&self, a: &ListKey, b: &ListKey, depth: u32, p_permille: u16) -> Response {
+        let store_a = match self.resolve(&a.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let store_b = match self.resolve(&b.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let list_a = match self.list(store_a, a) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let list_b = match self.list(store_b, b) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let p = p_permille as f64 / 1_000.0;
+        let depth = depth as usize;
+        // Domain ids are interner-local, so they are only comparable within
+        // one snapshot; across snapshots compare by name.
+        let score = if a.snapshot == b.snapshot {
+            let ra = RankedList::new(list_a.entries.iter().map(|(d, _)| *d));
+            let rb = RankedList::new(list_b.entries.iter().map(|(d, _)| *d));
+            rbo_classic(&ra, &rb, p, depth)
+        } else {
+            let ra = RankedList::new(
+                list_a.entries.iter().map(|(d, _)| store_a.domain_name(*d).to_owned()),
+            );
+            let rb = RankedList::new(
+                list_b.entries.iter().map(|(d, _)| store_b.domain_name(*d).to_owned()),
+            );
+            rbo_classic(&ra, &rb, p, depth)
+        };
+        match score {
+            Some(s) => Response::Rbo(s),
+            None => Response::Error(ErrorCode::Internal, "rbo weights degenerate".to_owned()),
+        }
+    }
+
+    fn concentration(&self, key: &ListKey, depths: &[u32]) -> Response {
+        let store = match self.resolve(&key.snapshot) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let list = match self.list(store, key) {
+            Ok(l) => l,
+            Err(e) => return e,
+        };
+        let curve = TrafficCurve::for_breakdown(key.platform, key.metric);
+        let mut observed = Vec::with_capacity(depths.len());
+        let mut model = Vec::with_capacity(depths.len());
+        let mut cum = 0u64;
+        let mut at = 0usize;
+        for &d in depths {
+            let d = d as usize;
+            while at < d.min(list.len()) {
+                cum += list.entries[at].1;
+                at += 1;
+            }
+            observed.push(list.share(cum));
+            model.push(curve.cumulative(d as u64));
+        }
+        Response::Concentration(ConcentrationInfo {
+            depths: depths.to_vec(),
+            observed,
+            model,
+            sites_for_quarter: wwv_core::concentration::sites_for_share(&curve, 0.25),
+            sites_for_half: wwv_core::concentration::sites_for_share(&curve, 0.50),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_dataset;
+
+    fn engine() -> QueryEngine {
+        let catalog = Catalog::new().with_dataset("full", tiny_dataset());
+        QueryEngine::new(Arc::new(catalog), 64)
+    }
+
+    fn us_key() -> ListKey {
+        ListKey {
+            snapshot: String::new(),
+            country: 0,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        }
+    }
+
+    #[test]
+    fn top_k_matches_dataset_order() {
+        let eng = engine();
+        let ds = tiny_dataset();
+        let Response::TopK(entries) = eng.execute(&Query::TopK { key: us_key(), k: 5 }) else {
+            panic!("expected TopK")
+        };
+        assert_eq!(entries.len(), 5);
+        let list = ds.lists.get(&us_key().breakdown()).unwrap();
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.rank, i as u32 + 1);
+            assert_eq!(e.domain, ds.domains.name(list.entries[i].0));
+            assert_eq!(e.count, list.entries[i].1);
+            assert!(e.share > 0.0 && e.share <= 1.0);
+        }
+        // Shares are best-first, so monotone non-increasing.
+        assert!(entries.windows(2).all(|w| w[0].share >= w[1].share));
+    }
+
+    #[test]
+    fn site_rank_agrees_with_top_k() {
+        let eng = engine();
+        let Response::TopK(entries) = eng.execute(&Query::TopK { key: us_key(), k: 3 }) else {
+            panic!("expected TopK")
+        };
+        let top = &entries[0];
+        let Response::SiteRank(Some(info)) =
+            eng.execute(&Query::SiteRank { key: us_key(), domain: top.domain.clone() })
+        else {
+            panic!("top domain must be ranked")
+        };
+        assert_eq!(info.rank, 1);
+        assert_eq!(info.count, top.count);
+        // Unknown domains are a valid None, not an error.
+        let resp =
+            eng.execute(&Query::SiteRank { key: us_key(), domain: "no.such.domain".into() });
+        assert_eq!(resp, Response::SiteRank(None));
+    }
+
+    #[test]
+    fn rank_bucket_follows_crux_ladder() {
+        let eng = engine();
+        let Response::TopK(entries) = eng.execute(&Query::TopK { key: us_key(), k: 1 }) else {
+            panic!("expected TopK")
+        };
+        let resp = eng
+            .execute(&Query::RankBucket { key: us_key(), domain: entries[0].domain.clone() });
+        assert_eq!(resp, Response::RankBucket(Some(DEFAULT_BUCKETS[0] as u32)));
+    }
+
+    #[test]
+    fn site_profile_finds_global_sites_everywhere() {
+        let eng = engine();
+        let Response::TopK(entries) = eng.execute(&Query::TopK { key: us_key(), k: 1 }) else {
+            panic!("expected TopK")
+        };
+        let q = Query::SiteProfile {
+            snapshot: String::new(),
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+            domain: entries[0].domain.clone(),
+        };
+        let Response::SiteProfile(profile) = eng.execute(&q) else { panic!("expected profile") };
+        assert!(profile.present_in as usize > COUNTRIES.len() / 2, "{profile:?}");
+        assert_eq!(profile.best_rank, Some(1));
+        assert!(profile.best_country.is_some());
+        assert_eq!(profile.ranks.len() as u32, profile.present_in);
+    }
+
+    #[test]
+    fn rbo_self_is_one_and_cache_hits() {
+        let eng = engine();
+        let q = Query::Rbo { a: us_key(), b: us_key(), depth: 50, p_permille: 900 };
+        let Response::Rbo(score) = eng.execute(&q) else { panic!("expected Rbo") };
+        assert!((score - 1.0).abs() < 1e-9);
+        assert_eq!(eng.cache_stats().hits, 0);
+        let Response::Rbo(again) = eng.execute(&q) else { panic!("expected Rbo") };
+        assert_eq!(again, score);
+        assert_eq!(eng.cache_stats().hits, 1);
+        // The symmetric pair canonicalizes onto the same entry.
+        let mut other = us_key();
+        other.country = 1;
+        let fwd = Query::Rbo { a: us_key(), b: other.clone(), depth: 50, p_permille: 900 };
+        let rev = Query::Rbo { a: other, b: us_key(), depth: 50, p_permille: 900 };
+        let Response::Rbo(f) = eng.execute(&fwd) else { panic!() };
+        let Response::Rbo(r) = eng.execute(&rev) else { panic!() };
+        assert_eq!(f, r);
+        assert_eq!(eng.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn concentration_is_monotone_and_bounded() {
+        let eng = engine();
+        let q = Query::Concentration { key: us_key(), depths: vec![1, 10, 100] };
+        let Response::Concentration(info) = eng.execute(&q) else { panic!("expected conc") };
+        assert_eq!(info.depths, vec![1, 10, 100]);
+        assert!(info.observed.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(info.model.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(info.observed.iter().chain(&info.model).all(|s| (0.0..=1.0).contains(s)));
+        assert!(info.sites_for_quarter <= info.sites_for_half);
+    }
+
+    #[test]
+    fn unknown_snapshot_and_list_are_typed_errors() {
+        let eng = engine();
+        let mut key = us_key();
+        key.snapshot = "missing".into();
+        let Response::Error(code, _) = eng.execute(&Query::TopK { key, k: 5 }) else {
+            panic!("expected error")
+        };
+        assert_eq!(code, ErrorCode::UnknownSnapshot);
+        let mut key = us_key();
+        key.month = Month::September2021; // dataset only has February2022
+        let Response::Error(code, _) = eng.execute(&Query::TopK { key, k: 5 }) else {
+            panic!("expected error")
+        };
+        assert_eq!(code, ErrorCode::UnknownList);
+    }
+
+    #[test]
+    fn labelled_snapshot_resolves() {
+        let eng = engine();
+        let mut key = us_key();
+        key.snapshot = "full".into();
+        assert!(eng.execute(&Query::TopK { key, k: 3 }).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! # wwv-serve
+//!
+//! The serving half of the reproduction: a concurrent query engine over
+//! frozen [`ChromeDataset`](wwv_telemetry::ChromeDataset) snapshots — the
+//! artifact a production ranking service (CrUX-style) exports to consumers.
+//!
+//! Five pieces:
+//!
+//! * [`store`] — [`ShardedStore`]: per-breakdown rank lists with O(1)
+//!   rank-reverse indexes, hashed across N shards, immutable after build
+//!   (lock-free concurrent reads); [`Catalog`] layers labelled snapshots;
+//! * [`query`]/[`engine`] — the query API: top-K slices, site-rank and
+//!   CrUX-style rank-bucket lookups, cross-country site profiles, and
+//!   cached analysis queries (pairwise RBO via `wwv-stats`, concentration
+//!   shares via `wwv-core`/`wwv-world`);
+//! * [`cache`] — a hand-rolled bounded [`LruCache`] memoizing analysis
+//!   results under canonicalized queries, hit/miss/eviction counted;
+//! * [`protocol`]/[`server`]/[`transport`] — a length-prefixed binary
+//!   request/response protocol (in the `wwv-telemetry::wire` frame style)
+//!   served by a bounded worker pool over crossbeam channels, with
+//!   per-request deadlines, explicit overload rejection, graceful drain on
+//!   shutdown, and both in-process and `std::net` TCP transports;
+//! * [`loadgen`] — a deterministic Zipf-replay load generator reporting
+//!   qps, latency quantiles, and cache hit rate as JSON.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wwv_serve::prelude::*;
+//!
+//! let dataset = wwv_serve::testutil::tiny_dataset();
+//! let catalog = Arc::new(Catalog::new().with_dataset("full", dataset));
+//! let server = Server::start(catalog, ServerConfig::default());
+//! let handle = server.handle();
+//! let key = ListKey {
+//!     snapshot: String::new(),
+//!     country: 0,
+//!     platform: wwv_world::Platform::Windows,
+//!     metric: wwv_world::Metric::PageLoads,
+//!     month: wwv_world::Month::February2022,
+//! };
+//! let top = handle.call(Query::TopK { key, k: 3 }).unwrap();
+//! assert!(matches!(top, Response::TopK(ref entries) if entries.len() == 3));
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod query;
+pub mod server;
+pub mod store;
+pub mod testutil;
+pub mod transport;
+
+pub use cache::{CacheStats, LruCache};
+pub use engine::QueryEngine;
+pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
+pub use protocol::{decode_request, decode_response, encode_request, encode_response, ProtoError};
+pub use query::{ErrorCode, ListKey, Query, Response};
+pub use server::{ServeError, ServeHandle, Server, ServerConfig};
+pub use store::{Catalog, ShardedStore, StoredList};
+pub use transport::{InProcTransport, TcpClient, TcpServer, Transport, TransportError};
+
+/// Glob-import surface for examples and the umbrella binary.
+pub mod prelude {
+    pub use crate::cache::CacheStats;
+    pub use crate::loadgen::{LoadReport, LoadgenConfig};
+    pub use crate::query::{ErrorCode, ListKey, Query, Response};
+    pub use crate::server::{ServeHandle, Server, ServerConfig};
+    pub use crate::store::{Catalog, ShardedStore};
+    pub use crate::transport::{InProcTransport, TcpClient, TcpServer, Transport};
+}

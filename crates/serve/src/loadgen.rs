@@ -1,0 +1,384 @@
+//! Zipf-replay load generator.
+//!
+//! Real rank-list consumers don't query uniformly: interest concentrates on
+//! the head of the popularity distribution, exactly the shape the paper's
+//! Fig. 1 curves describe. The generator therefore samples target domains
+//! by **rank** from a Zipf(`s`) distribution over each list (an inverse-CDF
+//! draw over precomputed weights) and mixes query kinds by configurable
+//! weight — point lookups dominating, analysis queries as a heavy-tailed
+//! minority, mirroring a CrUX-style serving workload.
+//!
+//! Each client thread owns a deterministic SplitMix64 stream (seed + thread
+//! id), so a run is exactly reproducible. Latencies land both in the
+//! `serve.loadgen.latency_us` obs histogram and in exact per-run vectors,
+//! from which the [`LoadReport`] computes p50/p95/p99 for
+//! `--metrics-out`-style JSON trajectory tracking.
+
+use crate::cache::CacheStats;
+use crate::query::{ListKey, Query};
+use crate::server::ServeHandle;
+use crate::store::ShardedStore;
+use crate::transport::{InProcTransport, Transport};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use wwv_world::Breakdown;
+
+/// Relative weights of each query kind in the generated mix.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    /// Top-K slices (the hot path).
+    pub top_k: u32,
+    /// Single-site rank lookups.
+    pub site_rank: u32,
+    /// CrUX-style bucket lookups.
+    pub rank_bucket: u32,
+    /// Cross-country profiles (cached analysis).
+    pub site_profile: u32,
+    /// Pairwise RBO (cached analysis).
+    pub rbo: u32,
+    /// Concentration shares (cached analysis).
+    pub concentration: u32,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix {
+            top_k: 40,
+            site_rank: 25,
+            rank_bucket: 15,
+            site_profile: 8,
+            rbo: 7,
+            concentration: 5,
+        }
+    }
+}
+
+impl QueryMix {
+    fn total(&self) -> u32 {
+        self.top_k
+            + self.site_rank
+            + self.rank_bucket
+            + self.site_profile
+            + self.rbo
+            + self.concentration
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Requests issued per thread.
+    pub requests_per_thread: usize,
+    /// Zipf exponent for rank sampling (1.0 ≈ classic web popularity).
+    pub zipf_exponent: f64,
+    /// RNG seed (thread `t` uses `seed + t`).
+    pub seed: u64,
+    /// Query-kind mix.
+    pub mix: QueryMix,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            threads: 4,
+            requests_per_thread: 250,
+            zipf_exponent: 1.0,
+            seed: 0xC0FFEE,
+            mix: QueryMix::default(),
+        }
+    }
+}
+
+/// JSON-serializable run summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Client threads used.
+    pub threads: usize,
+    /// Requests issued in total.
+    pub issued: u64,
+    /// Non-error responses.
+    pub ok: u64,
+    /// Typed error responses (deadline, overload, unknown list, …).
+    pub errors: u64,
+    /// Transport-level failures (should be zero in-process).
+    pub transport_errors: u64,
+    /// Wall time of the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Overall throughput, queries per second.
+    pub qps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Slowest observed request, microseconds.
+    pub max_us: u64,
+    /// Result-cache totals at the end of the run.
+    pub cache: CacheStats,
+    /// Cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+impl LoadReport {
+    /// Pretty JSON for metrics files.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// SplitMix64 — deterministic per-thread random stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Inverse-CDF Zipf sampler over ranks `1..=n`.
+struct ZipfRanks {
+    cdf: Vec<f64>,
+}
+
+impl ZipfRanks {
+    fn new(n: usize, s: f64) -> ZipfRanks {
+        let mut cdf = Vec::with_capacity(n.max(1));
+        let mut acc = 0.0;
+        for r in 1..=n.max(1) {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty cdf");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfRanks { cdf }
+    }
+
+    /// A 1-based rank.
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|c| *c < u) + 1
+    }
+}
+
+struct WorkerTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    transport_errors: u64,
+}
+
+fn list_key(b: &Breakdown) -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: b.country as u8,
+        platform: b.platform,
+        metric: b.metric,
+        month: b.month,
+    }
+}
+
+fn generate_query(
+    rng: &mut Rng,
+    mix: &QueryMix,
+    breakdowns: &[Breakdown],
+    store: &ShardedStore,
+    zipf: &ZipfRanks,
+) -> Query {
+    let b = breakdowns[rng.below(breakdowns.len())];
+    let key = list_key(&b);
+    let domain_at = |rng: &mut Rng| {
+        let list = store.list(&b).expect("breakdown came from the store");
+        let rank = zipf.sample(rng).min(list.len().max(1));
+        store.domain_name(list.entries[rank - 1].0).to_owned()
+    };
+    let mut pick = rng.below(mix.total().max(1) as usize) as u32;
+    if pick < mix.top_k {
+        return Query::TopK { key, k: 10 + rng.below(90) as u32 };
+    }
+    pick -= mix.top_k;
+    if pick < mix.site_rank {
+        let domain = domain_at(rng);
+        return Query::SiteRank { key, domain };
+    }
+    pick -= mix.site_rank;
+    if pick < mix.rank_bucket {
+        let domain = domain_at(rng);
+        return Query::RankBucket { key, domain };
+    }
+    pick -= mix.rank_bucket;
+    if pick < mix.site_profile {
+        let domain = domain_at(rng);
+        return Query::SiteProfile {
+            snapshot: String::new(),
+            platform: b.platform,
+            metric: b.metric,
+            month: b.month,
+            domain,
+        };
+    }
+    pick -= mix.site_profile;
+    if pick < mix.rbo {
+        let other = breakdowns[rng.below(breakdowns.len())];
+        return Query::Rbo { a: key, b: list_key(&other), depth: 100, p_permille: 900 };
+    }
+    Query::Concentration { key, depths: vec![1, 10, 100] }
+}
+
+/// Replays a Zipf query mix through the in-process transport and summarizes.
+pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConfig) -> LoadReport {
+    let _span = wwv_obs::span!("serve.loadgen");
+    let breakdowns: Arc<Vec<Breakdown>> = Arc::new(store.breakdowns().collect());
+    assert!(!breakdowns.is_empty(), "store has no lists to query");
+    let zipf = Arc::new(ZipfRanks::new(store.max_depth.clamp(1, 10_000), config.zipf_exponent));
+    let latency_hist = wwv_obs::global().histogram("serve.loadgen.latency_us");
+
+    let start = Instant::now();
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads.max(1))
+            .map(|t| {
+                let mut transport = InProcTransport::new(handle.clone());
+                let breakdowns = Arc::clone(&breakdowns);
+                let zipf = Arc::clone(&zipf);
+                let store = Arc::clone(store);
+                let mix = config.mix;
+                let requests = config.requests_per_thread;
+                let mut rng = Rng(config.seed.wrapping_add(t as u64));
+                let latency_hist = latency_hist.clone();
+                scope.spawn(move || {
+                    let mut tally = WorkerTally {
+                        latencies_us: Vec::with_capacity(requests),
+                        ok: 0,
+                        errors: 0,
+                        transport_errors: 0,
+                    };
+                    for _ in 0..requests {
+                        let query =
+                            generate_query(&mut rng, &mix, &breakdowns, &store, &zipf);
+                        let begin = Instant::now();
+                        match transport.call(&query) {
+                            Ok(response) => {
+                                let us = begin.elapsed().as_micros() as u64;
+                                tally.latencies_us.push(us);
+                                latency_hist.record(us);
+                                if response.is_ok() {
+                                    tally.ok += 1;
+                                } else {
+                                    tally.errors += 1;
+                                }
+                            }
+                            Err(_) => tally.transport_errors += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut errors, mut transport_errors) = (0u64, 0u64, 0u64);
+    for t in tallies {
+        latencies.extend(t.latencies_us);
+        ok += t.ok;
+        errors += t.errors;
+        transport_errors += t.transport_errors;
+    }
+    latencies.sort_unstable();
+    let sorted: Vec<f64> = latencies.iter().map(|l| *l as f64).collect();
+    let q = |p: f64| wwv_stats::quantile::quantile_sorted(&sorted, p).unwrap_or(0.0);
+    let issued = (config.threads.max(1) * config.requests_per_thread) as u64;
+    let cache = handle.cache_stats();
+    LoadReport {
+        threads: config.threads.max(1),
+        issued,
+        ok,
+        errors,
+        transport_errors,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: if elapsed.as_secs_f64() > 0.0 {
+            (ok + errors) as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: q(0.50),
+        p95_us: q(0.95),
+        p99_us: q(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        cache,
+        cache_hit_rate: cache.hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_the_head() {
+        let zipf = ZipfRanks::new(1_000, 1.0);
+        let mut rng = Rng(42);
+        let mut head = 0usize;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            let r = zipf.sample(&mut rng);
+            assert!((1..=1_000).contains(&r));
+            if r <= 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.0) over 1000 ranks puts ~39% of mass on the top 10.
+        assert!(head > DRAWS / 4, "only {head}/{DRAWS} draws in the top 10");
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng(7);
+        let mut b = Rng(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = Rng(9).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn mix_generates_every_kind_eventually() {
+        let store = Arc::new(crate::store::ShardedStore::build(
+            crate::testutil::tiny_dataset(),
+            4,
+        ));
+        let breakdowns: Vec<Breakdown> = store.breakdowns().collect();
+        let zipf = ZipfRanks::new(100, 1.0);
+        let mut rng = Rng(1);
+        let mix = QueryMix::default();
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            kinds.insert(generate_query(&mut rng, &mix, &breakdowns, &store, &zipf).kind());
+        }
+        for expected in
+            ["top_k", "site_rank", "rank_bucket", "site_profile", "rbo", "concentration"]
+        {
+            assert!(kinds.contains(expected), "mix never produced {expected}");
+        }
+    }
+}

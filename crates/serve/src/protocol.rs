@@ -1,0 +1,665 @@
+//! Length-prefixed binary request/response protocol.
+//!
+//! Follows the `wwv-telemetry::wire` frame style so a byte stream can carry
+//! back-to-back frames:
+//!
+//! ```text
+//! request frame            response frame
+//! u32  payload len (LE)    u32  payload len (LE)
+//! u64  request id          u64  request id
+//! u8   opcode              u8   status (0 = ok, else ErrorCode)
+//! ...  op body             ...  ok: u8 kind tag + body
+//!                          ...  err: u16 msg len + msg bytes
+//! ```
+//!
+//! Strings travel as `u8 len + bytes` (labels and domains fit in 255);
+//! floats as IEEE-754 little-endian bits. Every decode path bounds-checks
+//! before reading: a corrupt or truncated frame yields a typed
+//! [`ProtoError`], never a panic — the serve layer treats the network as
+//! hostile, exactly like the telemetry ingest path.
+
+use crate::query::{
+    ConcentrationInfo, ErrorCode, ListKey, ProfileInfo, Query, RankInfo, Response, SiteEntry,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use wwv_world::{Metric, Month, Platform};
+
+/// Maximum payload size accepted by either decoder (DoS guard).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Not enough bytes for a complete frame; retry with more data.
+    Incomplete,
+    /// Payload length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Advertised length.
+        len: usize,
+    },
+    /// Payload is structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Incomplete => write!(f, "incomplete frame"),
+            ProtoError::FrameTooLarge { len } => write!(f, "frame of {len} bytes exceeds limit"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---- primitive helpers -------------------------------------------------
+
+fn put_str8(out: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u8::MAX as usize);
+    out.put_u8(bytes.len() as u8);
+    out.put_slice(bytes);
+}
+
+fn get_str8(p: &mut Bytes) -> Result<String, ProtoError> {
+    if p.remaining() < 1 {
+        return Err(ProtoError::Malformed("truncated string length"));
+    }
+    let len = p.get_u8() as usize;
+    if p.remaining() < len {
+        return Err(ProtoError::Malformed("truncated string"));
+    }
+    let raw = p.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::Malformed("string not UTF-8"))
+}
+
+fn need(p: &Bytes, n: usize, what: &'static str) -> Result<(), ProtoError> {
+    if p.remaining() < n {
+        Err(ProtoError::Malformed(what))
+    } else {
+        Ok(())
+    }
+}
+
+fn platform_tag(p: Platform) -> u8 {
+    match p {
+        Platform::Windows => 0,
+        Platform::Android => 1,
+    }
+}
+
+fn platform_from(tag: u8) -> Result<Platform, ProtoError> {
+    match tag {
+        0 => Ok(Platform::Windows),
+        1 => Ok(Platform::Android),
+        _ => Err(ProtoError::Malformed("bad platform tag")),
+    }
+}
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::PageLoads => 0,
+        Metric::TimeOnPage => 1,
+    }
+}
+
+fn metric_from(tag: u8) -> Result<Metric, ProtoError> {
+    match tag {
+        0 => Ok(Metric::PageLoads),
+        1 => Ok(Metric::TimeOnPage),
+        _ => Err(ProtoError::Malformed("bad metric tag")),
+    }
+}
+
+fn month_from(idx: u8) -> Result<Month, ProtoError> {
+    Month::ALL.get(idx as usize).copied().ok_or(ProtoError::Malformed("bad month index"))
+}
+
+fn put_list_key(out: &mut BytesMut, key: &ListKey) {
+    put_str8(out, &key.snapshot);
+    out.put_u8(key.country);
+    out.put_u8(platform_tag(key.platform));
+    out.put_u8(metric_tag(key.metric));
+    out.put_u8(key.month.index() as u8);
+}
+
+fn get_list_key(p: &mut Bytes) -> Result<ListKey, ProtoError> {
+    let snapshot = get_str8(p)?;
+    need(p, 4, "truncated list key")?;
+    let country = p.get_u8();
+    let platform = platform_from(p.get_u8())?;
+    let metric = metric_from(p.get_u8())?;
+    let month = month_from(p.get_u8())?;
+    Ok(ListKey { snapshot, country, platform, metric, month })
+}
+
+fn frame(payload: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out.freeze()
+}
+
+/// Splits one length-prefixed payload off the front of `buf`, advancing it.
+fn split_payload(buf: &mut Bytes) -> Result<Bytes, ProtoError> {
+    if buf.len() < 4 {
+        return Err(ProtoError::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge { len });
+    }
+    if buf.len() < 4 + len {
+        return Err(ProtoError::Incomplete);
+    }
+    buf.advance(4);
+    Ok(buf.split_to(len))
+}
+
+// ---- requests ----------------------------------------------------------
+
+const OP_PING: u8 = 0;
+const OP_TOP_K: u8 = 1;
+const OP_SITE_RANK: u8 = 2;
+const OP_RANK_BUCKET: u8 = 3;
+const OP_SITE_PROFILE: u8 = 4;
+const OP_RBO: u8 = 5;
+const OP_CONCENTRATION: u8 = 6;
+
+/// Encodes a request frame.
+pub fn encode_request(id: u64, query: &Query) -> Bytes {
+    let mut p = BytesMut::with_capacity(64);
+    p.put_u64_le(id);
+    match query {
+        Query::Ping => p.put_u8(OP_PING),
+        Query::TopK { key, k } => {
+            p.put_u8(OP_TOP_K);
+            put_list_key(&mut p, key);
+            p.put_u32_le(*k);
+        }
+        Query::SiteRank { key, domain } => {
+            p.put_u8(OP_SITE_RANK);
+            put_list_key(&mut p, key);
+            put_str8(&mut p, domain);
+        }
+        Query::RankBucket { key, domain } => {
+            p.put_u8(OP_RANK_BUCKET);
+            put_list_key(&mut p, key);
+            put_str8(&mut p, domain);
+        }
+        Query::SiteProfile { snapshot, platform, metric, month, domain } => {
+            p.put_u8(OP_SITE_PROFILE);
+            put_str8(&mut p, snapshot);
+            p.put_u8(platform_tag(*platform));
+            p.put_u8(metric_tag(*metric));
+            p.put_u8(month.index() as u8);
+            put_str8(&mut p, domain);
+        }
+        Query::Rbo { a, b, depth, p_permille } => {
+            p.put_u8(OP_RBO);
+            put_list_key(&mut p, a);
+            put_list_key(&mut p, b);
+            p.put_u32_le(*depth);
+            p.put_u16_le(*p_permille);
+        }
+        Query::Concentration { key, depths } => {
+            p.put_u8(OP_CONCENTRATION);
+            put_list_key(&mut p, key);
+            debug_assert!(depths.len() <= u8::MAX as usize);
+            p.put_u8(depths.len() as u8);
+            for d in depths {
+                p.put_u32_le(*d);
+            }
+        }
+    }
+    frame(p)
+}
+
+/// Decodes one request frame from the front of `buf`, advancing past it.
+pub fn decode_request(buf: &mut Bytes) -> Result<(u64, Query), ProtoError> {
+    let mut p = split_payload(buf)?;
+    need(&p, 9, "truncated request header")?;
+    let id = p.get_u64_le();
+    let op = p.get_u8();
+    let query = match op {
+        OP_PING => Query::Ping,
+        OP_TOP_K => {
+            let key = get_list_key(&mut p)?;
+            need(&p, 4, "truncated k")?;
+            Query::TopK { key, k: p.get_u32_le() }
+        }
+        OP_SITE_RANK => {
+            let key = get_list_key(&mut p)?;
+            Query::SiteRank { key, domain: get_str8(&mut p)? }
+        }
+        OP_RANK_BUCKET => {
+            let key = get_list_key(&mut p)?;
+            Query::RankBucket { key, domain: get_str8(&mut p)? }
+        }
+        OP_SITE_PROFILE => {
+            let snapshot = get_str8(&mut p)?;
+            need(&p, 3, "truncated profile key")?;
+            let platform = platform_from(p.get_u8())?;
+            let metric = metric_from(p.get_u8())?;
+            let month = month_from(p.get_u8())?;
+            Query::SiteProfile { snapshot, platform, metric, month, domain: get_str8(&mut p)? }
+        }
+        OP_RBO => {
+            let a = get_list_key(&mut p)?;
+            let b = get_list_key(&mut p)?;
+            need(&p, 6, "truncated rbo params")?;
+            let depth = p.get_u32_le();
+            let p_permille = p.get_u16_le();
+            Query::Rbo { a, b, depth, p_permille }
+        }
+        OP_CONCENTRATION => {
+            let key = get_list_key(&mut p)?;
+            need(&p, 1, "truncated depth count")?;
+            let n = p.get_u8() as usize;
+            need(&p, n * 4, "truncated depths")?;
+            let depths = (0..n).map(|_| p.get_u32_le()).collect();
+            Query::Concentration { key, depths }
+        }
+        _ => return Err(ProtoError::Malformed("unknown opcode")),
+    };
+    if p.has_remaining() {
+        return Err(ProtoError::Malformed("trailing request bytes"));
+    }
+    Ok((id, query))
+}
+
+// ---- responses ---------------------------------------------------------
+
+const KIND_PONG: u8 = 0;
+const KIND_TOP_K: u8 = 1;
+const KIND_SITE_RANK: u8 = 2;
+const KIND_RANK_BUCKET: u8 = 3;
+const KIND_SITE_PROFILE: u8 = 4;
+const KIND_RBO: u8 = 5;
+const KIND_CONCENTRATION: u8 = 6;
+
+/// Encodes a response frame.
+pub fn encode_response(id: u64, response: &Response) -> Bytes {
+    let mut p = BytesMut::with_capacity(64);
+    p.put_u64_le(id);
+    match response {
+        Response::Error(code, msg) => {
+            p.put_u8(*code as u8);
+            let bytes = msg.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            p.put_u16_le(len as u16);
+            p.put_slice(&bytes[..len]);
+        }
+        ok => {
+            p.put_u8(0);
+            match ok {
+                Response::Pong => p.put_u8(KIND_PONG),
+                Response::TopK(entries) => {
+                    p.put_u8(KIND_TOP_K);
+                    p.put_u32_le(entries.len() as u32);
+                    for e in entries {
+                        p.put_u32_le(e.rank);
+                        put_str8(&mut p, &e.domain);
+                        p.put_u64_le(e.count);
+                        p.put_f64_le(e.share);
+                    }
+                }
+                Response::SiteRank(info) => {
+                    p.put_u8(KIND_SITE_RANK);
+                    match info {
+                        Some(i) => {
+                            p.put_u8(1);
+                            p.put_u32_le(i.rank);
+                            p.put_u64_le(i.count);
+                            p.put_f64_le(i.share);
+                        }
+                        None => p.put_u8(0),
+                    }
+                }
+                Response::RankBucket(bucket) => {
+                    p.put_u8(KIND_RANK_BUCKET);
+                    match bucket {
+                        Some(b) => {
+                            p.put_u8(1);
+                            p.put_u32_le(*b);
+                        }
+                        None => p.put_u8(0),
+                    }
+                }
+                Response::SiteProfile(profile) => {
+                    p.put_u8(KIND_SITE_PROFILE);
+                    put_str8(&mut p, &profile.domain);
+                    p.put_u32_le(profile.present_in);
+                    match (profile.best_rank, &profile.best_country) {
+                        (Some(rank), Some(code)) => {
+                            p.put_u8(1);
+                            p.put_u32_le(rank);
+                            put_str8(&mut p, code);
+                        }
+                        _ => p.put_u8(0),
+                    }
+                    p.put_u16_le(profile.ranks.len() as u16);
+                    for (code, rank) in &profile.ranks {
+                        put_str8(&mut p, code);
+                        p.put_u32_le(*rank);
+                    }
+                }
+                Response::Rbo(score) => {
+                    p.put_u8(KIND_RBO);
+                    p.put_f64_le(*score);
+                }
+                Response::Concentration(info) => {
+                    p.put_u8(KIND_CONCENTRATION);
+                    p.put_u8(info.depths.len() as u8);
+                    for d in &info.depths {
+                        p.put_u32_le(*d);
+                    }
+                    for s in info.observed.iter().chain(&info.model) {
+                        p.put_f64_le(*s);
+                    }
+                    p.put_u64_le(info.sites_for_quarter);
+                    p.put_u64_le(info.sites_for_half);
+                }
+                Response::Error(..) => unreachable!("handled above"),
+            }
+        }
+    }
+    frame(p)
+}
+
+/// Decodes one response frame from the front of `buf`, advancing past it.
+pub fn decode_response(buf: &mut Bytes) -> Result<(u64, Response), ProtoError> {
+    let mut p = split_payload(buf)?;
+    need(&p, 9, "truncated response header")?;
+    let id = p.get_u64_le();
+    let status = p.get_u8();
+    if status != 0 {
+        let code =
+            ErrorCode::from_u8(status).ok_or(ProtoError::Malformed("unknown error code"))?;
+        need(&p, 2, "truncated error message length")?;
+        let len = p.get_u16_le() as usize;
+        need(&p, len, "truncated error message")?;
+        let raw = p.split_to(len);
+        let msg = String::from_utf8(raw.to_vec())
+            .map_err(|_| ProtoError::Malformed("error message not UTF-8"))?;
+        if p.has_remaining() {
+            return Err(ProtoError::Malformed("trailing response bytes"));
+        }
+        return Ok((id, Response::Error(code, msg)));
+    }
+    need(&p, 1, "truncated response kind")?;
+    let kind = p.get_u8();
+    let response = match kind {
+        KIND_PONG => Response::Pong,
+        KIND_TOP_K => {
+            need(&p, 4, "truncated entry count")?;
+            let n = p.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                need(&p, 4, "truncated entry rank")?;
+                let rank = p.get_u32_le();
+                let domain = get_str8(&mut p)?;
+                need(&p, 16, "truncated entry counts")?;
+                let count = p.get_u64_le();
+                let share = p.get_f64_le();
+                entries.push(SiteEntry { rank, domain, count, share });
+            }
+            Response::TopK(entries)
+        }
+        KIND_SITE_RANK => {
+            need(&p, 1, "truncated option tag")?;
+            match p.get_u8() {
+                0 => Response::SiteRank(None),
+                1 => {
+                    need(&p, 20, "truncated rank info")?;
+                    let rank = p.get_u32_le();
+                    let count = p.get_u64_le();
+                    let share = p.get_f64_le();
+                    Response::SiteRank(Some(RankInfo { rank, count, share }))
+                }
+                _ => return Err(ProtoError::Malformed("bad option tag")),
+            }
+        }
+        KIND_RANK_BUCKET => {
+            need(&p, 1, "truncated option tag")?;
+            match p.get_u8() {
+                0 => Response::RankBucket(None),
+                1 => {
+                    need(&p, 4, "truncated bucket")?;
+                    Response::RankBucket(Some(p.get_u32_le()))
+                }
+                _ => return Err(ProtoError::Malformed("bad option tag")),
+            }
+        }
+        KIND_SITE_PROFILE => {
+            let domain = get_str8(&mut p)?;
+            need(&p, 5, "truncated profile header")?;
+            let present_in = p.get_u32_le();
+            let (best_rank, best_country) = match p.get_u8() {
+                0 => (None, None),
+                1 => {
+                    need(&p, 4, "truncated best rank")?;
+                    let rank = p.get_u32_le();
+                    let code = get_str8(&mut p)?;
+                    (Some(rank), Some(code))
+                }
+                _ => return Err(ProtoError::Malformed("bad option tag")),
+            };
+            need(&p, 2, "truncated rank count")?;
+            let n = p.get_u16_le() as usize;
+            let mut ranks = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                let code = get_str8(&mut p)?;
+                need(&p, 4, "truncated rank")?;
+                ranks.push((code, p.get_u32_le()));
+            }
+            Response::SiteProfile(ProfileInfo {
+                domain,
+                present_in,
+                best_rank,
+                best_country,
+                ranks,
+            })
+        }
+        KIND_RBO => {
+            need(&p, 8, "truncated rbo score")?;
+            Response::Rbo(p.get_f64_le())
+        }
+        KIND_CONCENTRATION => {
+            need(&p, 1, "truncated depth count")?;
+            let n = p.get_u8() as usize;
+            need(&p, n * 4 + n * 16 + 16, "truncated concentration body")?;
+            let depths = (0..n).map(|_| p.get_u32_le()).collect();
+            let observed = (0..n).map(|_| p.get_f64_le()).collect();
+            let model = (0..n).map(|_| p.get_f64_le()).collect();
+            let sites_for_quarter = p.get_u64_le();
+            let sites_for_half = p.get_u64_le();
+            Response::Concentration(ConcentrationInfo {
+                depths,
+                observed,
+                model,
+                sites_for_quarter,
+                sites_for_half,
+            })
+        }
+        _ => return Err(ProtoError::Malformed("unknown response kind")),
+    };
+    if p.has_remaining() {
+        return Err(ProtoError::Malformed("trailing response bytes"));
+    }
+    Ok((id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ListKey {
+        ListKey {
+            snapshot: "full".into(),
+            country: 7,
+            platform: Platform::Android,
+            metric: Metric::TimeOnPage,
+            month: Month::December2021,
+        }
+    }
+
+    fn sample_queries() -> Vec<Query> {
+        vec![
+            Query::Ping,
+            Query::TopK { key: key(), k: 25 },
+            Query::SiteRank { key: key(), domain: "example.com".into() },
+            Query::RankBucket { key: key(), domain: "example.com".into() },
+            Query::SiteProfile {
+                snapshot: String::new(),
+                platform: Platform::Windows,
+                metric: Metric::PageLoads,
+                month: Month::February2022,
+                domain: "naver.com".into(),
+            },
+            Query::Rbo {
+                a: key(),
+                b: ListKey { country: 9, ..key() },
+                depth: 500,
+                p_permille: 900,
+            },
+            Query::Concentration { key: key(), depths: vec![1, 10, 100, 1_000] },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::TopK(vec![
+                SiteEntry { rank: 1, domain: "google.com".into(), count: 99, share: 0.17 },
+                SiteEntry { rank: 2, domain: "youtube.com".into(), count: 55, share: 0.09 },
+            ]),
+            Response::TopK(Vec::new()),
+            Response::SiteRank(Some(RankInfo { rank: 4, count: 42, share: 0.01 })),
+            Response::SiteRank(None),
+            Response::RankBucket(Some(1_000)),
+            Response::RankBucket(None),
+            Response::SiteProfile(ProfileInfo {
+                domain: "naver.com".into(),
+                present_in: 2,
+                best_rank: Some(1),
+                best_country: Some("KR".into()),
+                ranks: vec![("KR".into(), 1), ("JP".into(), 180)],
+            }),
+            Response::SiteProfile(ProfileInfo {
+                domain: "ghost.example".into(),
+                present_in: 0,
+                best_rank: None,
+                best_country: None,
+                ranks: Vec::new(),
+            }),
+            Response::Rbo(0.875),
+            Response::Concentration(ConcentrationInfo {
+                depths: vec![1, 100],
+                observed: vec![0.2, 0.6],
+                model: vec![0.17, 0.58],
+                sites_for_quarter: 5,
+                sites_for_half: 370,
+            }),
+            Response::Error(ErrorCode::UnknownList, "no list for KR/...".into()),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for (i, q) in sample_queries().into_iter().enumerate() {
+            let mut bytes = encode_request(i as u64, &q);
+            let (id, back) = decode_request(&mut bytes).expect("decodes");
+            assert_eq!(id, i as u64);
+            assert_eq!(back, q);
+            assert!(bytes.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for (i, r) in sample_responses().into_iter().enumerate() {
+            let mut bytes = encode_response(i as u64, &r);
+            let (id, back) = decode_response(&mut bytes).expect("decodes");
+            assert_eq!(id, i as u64);
+            assert_eq!(back, r);
+            assert!(bytes.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_stream() {
+        let mut stream = BytesMut::new();
+        for (i, q) in sample_queries().into_iter().enumerate() {
+            stream.extend_from_slice(&encode_request(i as u64, &q));
+        }
+        let mut stream = stream.freeze();
+        for i in 0..sample_queries().len() {
+            let (id, _) = decode_request(&mut stream).expect("frame in stream");
+            assert_eq!(id, i as u64);
+        }
+        assert_eq!(decode_request(&mut stream), Err(ProtoError::Incomplete));
+    }
+
+    #[test]
+    fn truncation_never_panics_and_errors() {
+        let full = encode_request(9, &sample_queries()[5]);
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            assert!(decode_request(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
+        }
+        let full = encode_response(9, &sample_responses()[7]);
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            assert!(decode_response(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_yield_typed_errors() {
+        // Unknown opcode.
+        let mut raw = BytesMut::from(&encode_request(1, &Query::Ping)[..]);
+        raw[12] = 0xEE; // opcode sits after len(4) + id(8)
+        assert!(matches!(
+            decode_request(&mut raw.freeze()),
+            Err(ProtoError::Malformed("unknown opcode"))
+        ));
+        // Oversized frame.
+        let mut huge = BytesMut::new();
+        huge.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        assert!(matches!(
+            decode_request(&mut huge.freeze()),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        // Trailing garbage inside the declared payload.
+        let good = encode_request(1, &Query::Ping);
+        let mut raw = BytesMut::from(&good[..]);
+        let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) + 1;
+        raw[0..4].copy_from_slice(&len.to_le_bytes());
+        raw.put_u8(0xFF);
+        assert!(matches!(
+            decode_request(&mut raw.freeze()),
+            Err(ProtoError::Malformed("trailing request bytes"))
+        ));
+        // Unknown error status on a response.
+        let mut raw = BytesMut::from(&encode_response(1, &sample_responses()[11])[..]);
+        raw[12] = 0xEE; // status byte
+        assert!(matches!(
+            decode_response(&mut raw.freeze()),
+            Err(ProtoError::Malformed("unknown error code"))
+        ));
+    }
+
+    #[test]
+    fn bad_enum_tags_rejected() {
+        let mut raw = BytesMut::from(&encode_request(2, &Query::TopK { key: key(), k: 5 })[..]);
+        // Platform tag sits after len(4) + id(8) + op(1) + label len(1) + label(4) + country(1).
+        raw[19] = 9;
+        assert!(matches!(
+            decode_request(&mut raw.freeze()),
+            Err(ProtoError::Malformed("bad platform tag"))
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! Query and response types.
+//!
+//! A [`Query`] addresses one labelled snapshot in the catalog (empty label =
+//! default) and is either a cheap point lookup answered straight from the
+//! sharded store (top-K, site rank, rank bucket) or an expensive analysis
+//! query (cross-country profile, pairwise RBO, concentration shares) whose
+//! result is memoized in the LRU cache under the **canonicalized** query.
+//! Canonicalization clamps free parameters into their served ranges and
+//! normalizes symmetric queries (RBO's list pair is ordered), so equivalent
+//! requests share one cache entry. RBO's persistence parameter travels as
+//! an integer permille so queries stay `Eq + Hash`.
+
+use serde::{Deserialize, Serialize};
+use wwv_world::{Breakdown, Metric, Month, Platform};
+
+/// Deepest top-K slice the service returns.
+pub const MAX_TOP_K: u32 = 1_000;
+/// Deepest RBO evaluation depth.
+pub const MAX_RBO_DEPTH: u32 = 5_000;
+/// Most depths per concentration query.
+pub const MAX_CONCENTRATION_DEPTHS: usize = 16;
+
+/// Addresses one rank list in one snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ListKey {
+    /// Snapshot label; empty selects the catalog default.
+    pub snapshot: String,
+    /// Country index into `wwv_world::COUNTRIES`.
+    pub country: u8,
+    /// Platform.
+    pub platform: Platform,
+    /// Popularity metric.
+    pub metric: Metric,
+    /// Month.
+    pub month: Month,
+}
+
+impl ListKey {
+    /// The breakdown key this addresses.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            country: self.country as usize,
+            platform: self.platform,
+            metric: self.metric,
+            month: self.month,
+        }
+    }
+
+    /// Total order used to normalize symmetric query pairs.
+    fn sort_key(&self) -> (String, u8, u8, u8, u8) {
+        (
+            self.snapshot.clone(),
+            self.country,
+            self.platform as u8,
+            self.metric as u8,
+            self.month.index() as u8,
+        )
+    }
+}
+
+/// One request against the service.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Query {
+    /// Liveness check.
+    Ping,
+    /// Best-first `(rank, domain, count, share)` prefix of a list.
+    TopK {
+        /// List addressed.
+        key: ListKey,
+        /// Slice depth (clamped to [`MAX_TOP_K`]).
+        k: u32,
+    },
+    /// A single domain's rank within a list.
+    SiteRank {
+        /// List addressed.
+        key: ListKey,
+        /// Domain name.
+        domain: String,
+    },
+    /// CrUX-style rank-magnitude bucket of a domain within a list.
+    RankBucket {
+        /// List addressed.
+        key: ListKey,
+        /// Domain name.
+        domain: String,
+    },
+    /// Cross-country rank profile of a domain (endemicity-style).
+    SiteProfile {
+        /// Snapshot label.
+        snapshot: String,
+        /// Platform.
+        platform: Platform,
+        /// Metric.
+        metric: Metric,
+        /// Month.
+        month: Month,
+        /// Domain name.
+        domain: String,
+    },
+    /// Pairwise rank-biased overlap between two lists.
+    Rbo {
+        /// First list.
+        a: ListKey,
+        /// Second list.
+        b: ListKey,
+        /// Evaluation depth (clamped to [`MAX_RBO_DEPTH`]).
+        depth: u32,
+        /// Geometric persistence parameter in permille (1–999).
+        p_permille: u16,
+    },
+    /// Observed and model cumulative traffic shares at the given depths.
+    Concentration {
+        /// List addressed.
+        key: ListKey,
+        /// Rank depths to evaluate.
+        depths: Vec<u32>,
+    },
+}
+
+impl Query {
+    /// Whether results are memoized in the LRU cache.
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            Query::SiteProfile { .. } | Query::Rbo { .. } | Query::Concentration { .. }
+        )
+    }
+
+    /// Short label for metrics and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Ping => "ping",
+            Query::TopK { .. } => "top_k",
+            Query::SiteRank { .. } => "site_rank",
+            Query::RankBucket { .. } => "rank_bucket",
+            Query::SiteProfile { .. } => "site_profile",
+            Query::Rbo { .. } => "rbo",
+            Query::Concentration { .. } => "concentration",
+        }
+    }
+
+    /// The canonical form equivalent requests collapse to (cache keying).
+    pub fn canonicalize(&self) -> Query {
+        match self.clone() {
+            Query::TopK { key, k } => Query::TopK { key, k: k.clamp(1, MAX_TOP_K) },
+            Query::SiteRank { key, domain } => {
+                Query::SiteRank { key, domain: domain.to_ascii_lowercase() }
+            }
+            Query::RankBucket { key, domain } => {
+                Query::RankBucket { key, domain: domain.to_ascii_lowercase() }
+            }
+            Query::SiteProfile { snapshot, platform, metric, month, domain } => {
+                Query::SiteProfile {
+                    snapshot,
+                    platform,
+                    metric,
+                    month,
+                    domain: domain.to_ascii_lowercase(),
+                }
+            }
+            Query::Rbo { a, b, depth, p_permille } => {
+                let (a, b) = if a.sort_key() <= b.sort_key() { (a, b) } else { (b, a) };
+                Query::Rbo {
+                    a,
+                    b,
+                    depth: depth.clamp(1, MAX_RBO_DEPTH),
+                    p_permille: p_permille.clamp(1, 999),
+                }
+            }
+            Query::Concentration { key, depths } => {
+                let mut depths: Vec<u32> = depths.into_iter().map(|d| d.max(1)).collect();
+                depths.sort_unstable();
+                depths.dedup();
+                depths.truncate(MAX_CONCENTRATION_DEPTHS);
+                Query::Concentration { key, depths }
+            }
+            q @ Query::Ping => q,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No snapshot under the requested label.
+    UnknownSnapshot = 1,
+    /// The snapshot has no list for the requested breakdown.
+    UnknownList = 2,
+    /// The request itself is invalid.
+    BadRequest = 3,
+    /// The request sat in the queue past its deadline.
+    DeadlineExceeded = 4,
+    /// The bounded request queue was full.
+    Overloaded = 5,
+    /// The server is shutting down.
+    ShuttingDown = 6,
+    /// Unexpected execution failure.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire tag.
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::UnknownSnapshot,
+            2 => ErrorCode::UnknownList,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One entry of a top-K slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteEntry {
+    /// 1-based rank.
+    pub rank: u32,
+    /// Domain name.
+    pub domain: String,
+    /// Metric count.
+    pub count: u64,
+    /// Share of the list's total traffic.
+    pub share: f64,
+}
+
+/// A domain's position within one list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankInfo {
+    /// 1-based rank.
+    pub rank: u32,
+    /// Metric count.
+    pub count: u64,
+    /// Share of the list's total traffic.
+    pub share: f64,
+}
+
+/// Cross-country rank profile of one domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileInfo {
+    /// The (canonicalized) domain profiled.
+    pub domain: String,
+    /// Countries where the domain is ranked.
+    pub present_in: u32,
+    /// Best rank anywhere, if ranked at all.
+    pub best_rank: Option<u32>,
+    /// Country code holding the best rank.
+    pub best_country: Option<String>,
+    /// `(country code, rank)` for every country where the domain is ranked.
+    pub ranks: Vec<(String, u32)>,
+}
+
+/// Observed vs model cumulative shares at chosen depths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcentrationInfo {
+    /// Depths evaluated (canonical order).
+    pub depths: Vec<u32>,
+    /// Cumulative share of the top `d` entries in the stored list.
+    pub observed: Vec<f64>,
+    /// Model share from the global traffic curve at the same depths.
+    pub model: Vec<f64>,
+    /// Model sites needed for 25% of traffic.
+    pub sites_for_quarter: u64,
+    /// Model sites needed for 50% of traffic.
+    pub sites_for_half: u64,
+}
+
+/// One reply. Every accepted request produces exactly one `Response`;
+/// failures travel as [`Response::Error`] rather than dropped frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// Top-K slice.
+    TopK(Vec<SiteEntry>),
+    /// Site rank (`None`: domain not ranked in that list).
+    SiteRank(Option<RankInfo>),
+    /// Rank bucket upper bound (`None`: outside the ladder or unranked).
+    RankBucket(Option<u32>),
+    /// Cross-country profile.
+    SiteProfile(ProfileInfo),
+    /// Rank-biased overlap in `[0, 1]`.
+    Rbo(f64),
+    /// Concentration shares.
+    Concentration(ConcentrationInfo),
+    /// Typed failure.
+    Error(ErrorCode, String),
+}
+
+impl Response {
+    /// Whether this is a non-error reply.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error(..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(country: u8) -> ListKey {
+        ListKey {
+            snapshot: String::new(),
+            country,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        }
+    }
+
+    #[test]
+    fn canonicalize_clamps_top_k() {
+        let q = Query::TopK { key: key(0), k: 0 }.canonicalize();
+        assert_eq!(q, Query::TopK { key: key(0), k: 1 });
+        let q = Query::TopK { key: key(0), k: u32::MAX }.canonicalize();
+        assert_eq!(q, Query::TopK { key: key(0), k: MAX_TOP_K });
+    }
+
+    #[test]
+    fn canonicalize_orders_rbo_pair() {
+        let fwd = Query::Rbo { a: key(3), b: key(1), depth: 50, p_permille: 900 };
+        let rev = Query::Rbo { a: key(1), b: key(3), depth: 50, p_permille: 900 };
+        assert_eq!(fwd.canonicalize(), rev.canonicalize());
+    }
+
+    #[test]
+    fn canonicalize_normalizes_domain_case() {
+        let q = Query::SiteRank { key: key(0), domain: "Google.COM".into() }.canonicalize();
+        assert_eq!(q, Query::SiteRank { key: key(0), domain: "google.com".into() });
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups_depths() {
+        let q = Query::Concentration { key: key(0), depths: vec![100, 10, 100, 0] };
+        let Query::Concentration { depths, .. } = q.canonicalize() else { unreachable!() };
+        assert_eq!(depths, vec![1, 10, 100]);
+    }
+
+    #[test]
+    fn cacheable_split_matches_cost() {
+        assert!(!Query::Ping.cacheable());
+        assert!(!Query::TopK { key: key(0), k: 5 }.cacheable());
+        assert!(Query::Rbo { a: key(0), b: key(1), depth: 10, p_permille: 900 }.cacheable());
+        assert!(Query::Concentration { key: key(0), depths: vec![10] }.cacheable());
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::UnknownSnapshot,
+            ErrorCode::UnknownList,
+            ErrorCode::BadRequest,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(200), None);
+    }
+}

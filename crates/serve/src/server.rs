@@ -1,0 +1,320 @@
+//! Worker-pool server over crossbeam channels.
+//!
+//! Requests flow through a **bounded** queue: [`ServeHandle::submit`]
+//! `try_send`s a job and fails fast with [`ServeError::Overloaded`] when the
+//! queue is full — backpressure is explicit, never silent. Every job that
+//! enters the queue produces exactly one reply on its private response
+//! channel: workers answer expired deadlines with a typed
+//! `DeadlineExceeded` error instead of dropping them, and graceful shutdown
+//! enqueues one poison pill per worker *behind* all pending work, so the
+//! queue drains fully before the pool exits.
+
+use crate::cache::CacheStats;
+use crate::engine::QueryEngine;
+use crate::query::{ErrorCode, Query, Response};
+use crate::store::Catalog;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded request-queue depth (backpressure point).
+    pub queue_depth: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 256,
+            cache_capacity: 1_024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Submission failures (before a request is accepted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full; retry later.
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The worker pool went away mid-request.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Disconnected => write!(f, "worker pool disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+enum Job {
+    Request { query: Query, deadline: Option<Instant>, reply: Sender<Response> },
+    Shutdown,
+}
+
+/// A cloneable client handle to the in-process queue.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: Sender<Job>,
+    engine: Arc<QueryEngine>,
+    shutting_down: Arc<AtomicBool>,
+    default_deadline: Option<Duration>,
+}
+
+impl ServeHandle {
+    /// Enqueues a request without blocking; returns the reply channel.
+    pub fn submit(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Receiver<Response>, ServeError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let deadline =
+            deadline.or(self.default_deadline).map(|d| Instant::now() + d);
+        let job = Job::Request { query, deadline, reply: reply_tx };
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                wwv_obs::global().gauge("serve.queue.depth").add(1);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                wwv_obs::global().counter("serve.rejected.overload").inc();
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits for the reply (the common client call).
+    pub fn call(&self, query: Query) -> Result<Response, ServeError> {
+        let rx = self.submit(query, None)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// [`ServeHandle::call`] with an explicit per-request deadline.
+    pub fn call_with_deadline(
+        &self,
+        query: Query,
+        deadline: Duration,
+    ) -> Result<Response, ServeError> {
+        let rx = self.submit(query, Some(deadline))?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Running result-cache totals.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The engine behind this handle (stats, direct execution in benches).
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+}
+
+/// The worker pool. Create with [`Server::start`], stop with
+/// [`Server::shutdown`].
+pub struct Server {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<u64>>,
+    engine: Arc<QueryEngine>,
+    shutting_down: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Spawns the worker pool over a frozen catalog.
+    pub fn start(catalog: Arc<Catalog>, config: ServerConfig) -> Server {
+        let engine = Arc::new(QueryEngine::new(catalog, config.cache_capacity));
+        let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("wwv-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &engine))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        wwv_obs::info!(target: "serve", "serving with {} workers, queue depth {}",
+            config.workers.max(1), config.queue_depth.max(1));
+        Server {
+            tx,
+            workers,
+            engine,
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            config,
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            tx: self.tx.clone(),
+            engine: Arc::clone(&self.engine),
+            shutting_down: Arc::clone(&self.shutting_down),
+            default_deadline: self.config.default_deadline,
+        }
+    }
+
+    /// The engine (cache stats, catalog access).
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+
+    /// Graceful shutdown: refuse new work, drain the queue, join workers.
+    /// Returns the total number of requests processed.
+    pub fn shutdown(self) -> u64 {
+        let _span = wwv_obs::span!("serve.shutdown");
+        self.shutting_down.store(true, Ordering::Release);
+        // One pill per worker, enqueued behind all pending requests. A
+        // blocking send is safe: workers are still draining the queue.
+        for _ in &self.workers {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        let mut processed = 0;
+        for w in self.workers {
+            processed += w.join().unwrap_or(0);
+        }
+        wwv_obs::info!(target: "serve", "drained worker pool after {processed} requests");
+        processed
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine) -> u64 {
+    let reg = wwv_obs::global();
+    let latency = reg.histogram("serve.request_us");
+    let mut processed = 0u64;
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Shutdown => break,
+            Job::Request { query, deadline, reply } => {
+                reg.gauge("serve.queue.depth").add(-1);
+                let start = Instant::now();
+                let response = match deadline {
+                    Some(d) if start >= d => {
+                        reg.counter("serve.deadline_exceeded").inc();
+                        Response::Error(
+                            ErrorCode::DeadlineExceeded,
+                            "deadline expired in queue".to_owned(),
+                        )
+                    }
+                    _ => engine.execute(&query),
+                };
+                latency.record(start.elapsed().as_micros() as u64);
+                processed += 1;
+                // The client may have given up; a closed reply channel is
+                // its problem, not ours.
+                let _ = reply.send(response);
+            }
+        }
+    }
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{ListKey, Query};
+    use crate::testutil::tiny_dataset;
+    use wwv_world::{Metric, Month, Platform};
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(Catalog::new().with_dataset("full", tiny_dataset()))
+    }
+
+    fn us_key() -> ListKey {
+        ListKey {
+            snapshot: String::new(),
+            country: 0,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        }
+    }
+
+    #[test]
+    fn ping_round_trips_through_pool() {
+        let server = Server::start(catalog(), ServerConfig::default());
+        let handle = server.handle();
+        assert_eq!(handle.call(Query::Ping), Ok(Response::Pong));
+        assert!(server.shutdown() >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_not_a_drop() {
+        let server = Server::start(catalog(), ServerConfig::default());
+        let handle = server.handle();
+        let resp = handle
+            .call_with_deadline(Query::TopK { key: us_key(), k: 5 }, Duration::ZERO)
+            .expect("a reply always arrives");
+        assert!(
+            matches!(resp, Response::Error(ErrorCode::DeadlineExceeded, _))
+                || matches!(resp, Response::TopK(_)),
+            "zero deadline must either expire or race a fast worker: {resp:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_rejects_at_submission() {
+        // Deterministic overload: a depth-1 queue with no consumer behind it.
+        let (tx, _rx) = bounded::<Job>(1);
+        let server = Server::start(catalog(), ServerConfig::default());
+        let handle = ServeHandle {
+            tx,
+            engine: Arc::clone(server.engine()),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            default_deadline: None,
+        };
+        assert!(handle.submit(Query::Ping, None).is_ok(), "queue has room");
+        assert_eq!(
+            handle.submit(Query::Ping, None).map(|_| ()),
+            Err(ServeError::Overloaded),
+            "second submit must hit the bounded queue"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work_then_refuses() {
+        let server = Server::start(
+            catalog(),
+            ServerConfig { workers: 2, queue_depth: 64, ..ServerConfig::default() },
+        );
+        let handle = server.handle();
+        let pending: Vec<_> = (0..20)
+            .map(|_| handle.submit(Query::TopK { key: us_key(), k: 10 }, None).unwrap())
+            .collect();
+        let processed = server.shutdown();
+        assert!(processed >= 20, "all pending requests drained, got {processed}");
+        for rx in pending {
+            let resp = rx.recv().expect("drained request still answered");
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        assert_eq!(handle.call(Query::Ping), Err(ServeError::ShuttingDown));
+    }
+}

@@ -1,0 +1,300 @@
+//! Sharded immutable rank-list store.
+//!
+//! A [`ShardedStore`] freezes one [`ChromeDataset`] snapshot into a
+//! read-optimized form: every (country, platform, metric, month) rank list
+//! becomes a [`StoredList`] carrying its total count and an O(1) reverse
+//! index `DomainId → rank`, and the lists are distributed across N
+//! [`Shard`]s by a hash of the breakdown key. Everything is immutable after
+//! [`ShardedStore::build`], so concurrent readers need no locks at all —
+//! lists are handed out as `Arc`s and shards are plain vectors.
+//!
+//! Sharding buys two things at serving scale: each shard's map stays small
+//! (better cache locality on the hot lookup path), and a future mutable
+//! variant (snapshot hot-swap) can take per-shard locks instead of a global
+//! one. [`Catalog`] layers multiple labelled snapshots on top, so one server
+//! can expose e.g. both a full-depth and a privacy-thresholded dataset.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wwv_telemetry::dataset::{ChromeDataset, DomainId, DomainTable};
+use wwv_world::Breakdown;
+
+/// Default number of shards (power of two; see [`ShardedStore::build`]).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One frozen rank list plus its lookup index.
+#[derive(Debug)]
+pub struct StoredList {
+    /// The breakdown this list belongs to.
+    pub breakdown: Breakdown,
+    /// `(domain, count)` best-first, exactly as in the dataset.
+    pub entries: Vec<(DomainId, u64)>,
+    /// Sum of all counts (denominator for traffic shares).
+    pub total: u64,
+    /// Domain → 0-based rank.
+    rank_of: HashMap<DomainId, u32>,
+}
+
+impl StoredList {
+    fn new(breakdown: Breakdown, entries: Vec<(DomainId, u64)>) -> StoredList {
+        let total = entries.iter().map(|(_, c)| c).sum();
+        let rank_of =
+            entries.iter().enumerate().map(|(i, (d, _))| (*d, i as u32)).collect();
+        StoredList { breakdown, entries, total, rank_of }
+    }
+
+    /// Number of ranked domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The best-first prefix of at most `k` entries.
+    pub fn top_k(&self, k: usize) -> &[(DomainId, u64)] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// 1-based rank and count of a domain, if ranked here.
+    pub fn rank(&self, d: DomainId) -> Option<(u32, u64)> {
+        let i = *self.rank_of.get(&d)?;
+        Some((i + 1, self.entries[i as usize].1))
+    }
+
+    /// Traffic share of a count within this list (0 when the list is empty).
+    pub fn share(&self, count: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            count as f64 / self.total as f64
+        }
+    }
+}
+
+/// One partition of the store.
+#[derive(Debug, Default)]
+struct Shard {
+    lists: HashMap<Breakdown, Arc<StoredList>>,
+}
+
+/// SplitMix64 finalizer — cheap, well-mixed shard selection.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn pack_breakdown(b: &Breakdown) -> u64 {
+    let platform = b.platform as u64;
+    let metric = b.metric as u64;
+    (b.country as u64) | (platform << 8) | (metric << 9) | ((b.month.index() as u64) << 10)
+}
+
+/// An immutable, sharded view of one dataset snapshot.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    domains: DomainTable,
+    /// Unique-client threshold the snapshot was built with.
+    pub client_threshold: u64,
+    /// Maximum list depth retained in the snapshot.
+    pub max_depth: usize,
+}
+
+impl ShardedStore {
+    /// Freezes a dataset into `shard_count` partitions (rounded up to a
+    /// power of two, minimum 1).
+    pub fn build(dataset: &ChromeDataset, shard_count: usize) -> ShardedStore {
+        let _span = wwv_obs::span!("serve.store.build");
+        let n = shard_count.max(1).next_power_of_two();
+        let mut shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        for (b, list) in &dataset.lists {
+            let stored = Arc::new(StoredList::new(*b, list.entries.clone()));
+            let shard = (mix64(pack_breakdown(b)) as usize) & (n - 1);
+            shards[shard].lists.insert(*b, stored);
+        }
+        wwv_obs::global().counter("serve.store.lists").add(dataset.lists.len() as u64);
+        ShardedStore {
+            shards,
+            domains: dataset.domains.clone(),
+            client_threshold: dataset.client_threshold,
+            max_depth: dataset.max_depth,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a breakdown hashes to.
+    pub fn shard_of(&self, b: &Breakdown) -> usize {
+        (mix64(pack_breakdown(b)) as usize) & (self.shards.len() - 1)
+    }
+
+    /// The stored list for a breakdown.
+    pub fn list(&self, b: &Breakdown) -> Option<&Arc<StoredList>> {
+        self.shards[self.shard_of(b)].lists.get(b)
+    }
+
+    /// Total number of lists across all shards.
+    pub fn list_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lists.len()).sum()
+    }
+
+    /// Looks up an interned domain by name.
+    pub fn domain_id(&self, name: &str) -> Option<DomainId> {
+        self.domains.get(name)
+    }
+
+    /// The name behind a domain id.
+    pub fn domain_name(&self, id: DomainId) -> &str {
+        self.domains.name(id)
+    }
+
+    /// Number of interned domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// All breakdown keys, in shard order.
+    pub fn breakdowns(&self) -> impl Iterator<Item = Breakdown> + '_ {
+        self.shards.iter().flat_map(|s| s.lists.keys().copied())
+    }
+}
+
+/// A set of labelled snapshots served together. Built once before the
+/// server starts and shared immutably (`Arc<Catalog>`) thereafter.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    snapshots: Vec<(String, Arc<ShardedStore>)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds a labelled snapshot (replaces any existing label).
+    pub fn insert(&mut self, label: &str, store: Arc<ShardedStore>) {
+        if let Some(slot) = self.snapshots.iter_mut().find(|(l, _)| l == label) {
+            slot.1 = store;
+        } else {
+            self.snapshots.push((label.to_owned(), store));
+        }
+    }
+
+    /// Convenience: builds and inserts in one step.
+    pub fn with_dataset(mut self, label: &str, dataset: &ChromeDataset) -> Catalog {
+        self.insert(label, Arc::new(ShardedStore::build(dataset, DEFAULT_SHARDS)));
+        self
+    }
+
+    /// Resolves a label; the empty string means the default (first) snapshot.
+    pub fn get(&self, label: &str) -> Option<&Arc<ShardedStore>> {
+        if label.is_empty() {
+            return self.default_store();
+        }
+        self.snapshots.iter().find(|(l, _)| l == label).map(|(_, s)| s)
+    }
+
+    /// The default (first-inserted) snapshot.
+    pub fn default_store(&self) -> Option<&Arc<ShardedStore>> {
+        self.snapshots.first().map(|(_, s)| s)
+    }
+
+    /// Labels in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.snapshots.iter().map(|(l, _)| l.as_str())
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_dataset;
+    use wwv_world::{Metric, Month, Platform};
+
+    #[test]
+    fn store_preserves_every_list() {
+        let ds = tiny_dataset();
+        let store = ShardedStore::build(ds, 8);
+        assert_eq!(store.list_count(), ds.lists.len());
+        for (b, list) in &ds.lists {
+            let stored = store.list(b).expect("list present");
+            assert_eq!(stored.entries, list.entries);
+            assert_eq!(stored.total, list.entries.iter().map(|(_, c)| c).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn rank_index_matches_positions() {
+        let ds = tiny_dataset();
+        let store = ShardedStore::build(ds, 4);
+        let b = *ds.lists.keys().next().unwrap();
+        let stored = store.list(&b).unwrap();
+        for (i, (d, c)) in stored.entries.iter().enumerate() {
+            assert_eq!(stored.rank(*d), Some((i as u32 + 1, *c)));
+        }
+        assert_eq!(stored.rank(DomainId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let ds = tiny_dataset();
+        assert_eq!(ShardedStore::build(ds, 0).shard_count(), 1);
+        assert_eq!(ShardedStore::build(ds, 3).shard_count(), 4);
+        assert_eq!(ShardedStore::build(ds, 16).shard_count(), 16);
+    }
+
+    #[test]
+    fn lists_spread_across_shards() {
+        let ds = tiny_dataset();
+        let store = ShardedStore::build(ds, 8);
+        let used: std::collections::HashSet<usize> =
+            store.breakdowns().map(|b| store.shard_of(&b)).collect();
+        assert!(used.len() > 1, "all lists landed in one shard");
+    }
+
+    #[test]
+    fn catalog_labels_and_default() {
+        let ds = tiny_dataset();
+        let catalog = Catalog::new().with_dataset("full", ds).with_dataset("alt", ds);
+        assert_eq!(catalog.len(), 2);
+        assert!(catalog.get("full").is_some());
+        assert!(catalog.get("alt").is_some());
+        assert!(catalog.get("missing").is_none());
+        // Empty label resolves to the default (first) snapshot.
+        let default = catalog.get("").unwrap();
+        assert!(Arc::ptr_eq(default, catalog.get("full").unwrap()));
+    }
+
+    #[test]
+    fn top_k_clamps_to_length() {
+        let ds = tiny_dataset();
+        let store = ShardedStore::build(ds, 2);
+        let b = Breakdown {
+            country: 0,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        };
+        let stored = store.list(&b).expect("US list");
+        assert_eq!(stored.top_k(usize::MAX).len(), stored.len());
+        assert_eq!(stored.top_k(3).len(), 3.min(stored.len()));
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared fixtures: one tiny dataset per process for unit, integration, and
+//! bench code (building a dataset costs seconds; serving it costs microseconds).
+
+use std::sync::OnceLock;
+use wwv_telemetry::{ChromeDataset, DatasetBuilder};
+use wwv_world::{Month, World, WorldConfig};
+
+static FIXTURE: OnceLock<ChromeDataset> = OnceLock::new();
+
+/// A reduced-scale February-only dataset, built once per process.
+pub fn tiny_dataset() -> &'static ChromeDataset {
+    FIXTURE.get_or_init(|| {
+        let config = WorldConfig {
+            global_pool: 120,
+            language_pool: 60,
+            regional_pool: 40,
+            national_pool: 300,
+            ..WorldConfig::small()
+        };
+        let world = World::new(config);
+        DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(5.0e7)
+            .client_threshold(200)
+            .max_depth(500)
+            .build()
+    })
+}

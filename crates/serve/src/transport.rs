@@ -1,0 +1,387 @@
+//! Transports: how encoded frames reach the worker pool.
+//!
+//! [`Transport`] is the client-side trait — one framed request in, one
+//! framed response out. [`InProcTransport`] runs the full codec path
+//! in-process (encode → decode → pool → encode → decode), so tests and the
+//! load generator exercise exactly the bytes a remote client would send.
+//! [`TcpServer`]/[`TcpClient`] carry the same frames over
+//! `std::net::TcpListener` with a reader thread per connection; connection
+//! threads honor the shared shutdown flag via read timeouts.
+
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, ProtoError, MAX_FRAME_LEN,
+};
+use crate::query::{ErrorCode, Query, Response};
+use crate::server::{ServeError, ServeHandle};
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Client-side transport errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The codec rejected a frame.
+    Proto(ProtoError),
+    /// The in-process queue refused the request.
+    Serve(ServeError),
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server answered a different request id.
+    IdMismatch {
+        /// Id we sent.
+        sent: u64,
+        /// Id that came back.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Proto(e) => write!(f, "protocol error: {e}"),
+            TransportError::Serve(e) => write!(f, "serve error: {e}"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<ProtoError> for TransportError {
+    fn from(e: ProtoError) -> Self {
+        TransportError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// One framed request in, one framed response out.
+pub trait Transport {
+    /// Issues a query and waits for its reply.
+    fn call(&mut self, query: &Query) -> Result<Response, TransportError>;
+}
+
+/// Turns one request frame into one response frame against a handle.
+/// Shared by every transport backend; queue-level failures become typed
+/// error *responses* so no accepted frame ever goes unanswered.
+pub fn dispatch_frame(handle: &ServeHandle, buf: &mut Bytes) -> Result<Bytes, ProtoError> {
+    let (id, query) = decode_request(buf)?;
+    let response = match handle.call(query) {
+        Ok(r) => r,
+        Err(ServeError::Overloaded) => {
+            Response::Error(ErrorCode::Overloaded, "request queue full".to_owned())
+        }
+        Err(ServeError::ShuttingDown) | Err(ServeError::Disconnected) => {
+            Response::Error(ErrorCode::ShuttingDown, "server shutting down".to_owned())
+        }
+    };
+    Ok(encode_response(id, &response))
+}
+
+/// The in-process transport: full codec fidelity, zero sockets.
+pub struct InProcTransport {
+    handle: ServeHandle,
+    next_id: u64,
+}
+
+impl InProcTransport {
+    /// Wraps a server handle.
+    pub fn new(handle: ServeHandle) -> InProcTransport {
+        InProcTransport { handle, next_id: 0 }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        self.next_id += 1;
+        let sent = self.next_id;
+        let mut frame = encode_request(sent, query);
+        let mut reply = dispatch_frame(&self.handle, &mut frame)?;
+        let (got, response) = decode_response(&mut reply)?;
+        if got != sent {
+            return Err(TransportError::IdMismatch { sent, got });
+        }
+        Ok(response)
+    }
+}
+
+/// Poll interval for the non-blocking accept loop and connection reads.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// A TCP front-end over a [`ServeHandle`].
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds and starts accepting. `addr` like `"127.0.0.1:0"`.
+    pub fn bind(addr: &str, handle: ServeHandle) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("wwv-serve-accept".to_owned())
+            .spawn(move || {
+                wwv_obs::info!(target: "serve", "listening on {local_addr}");
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            wwv_obs::global().counter("serve.tcp.connections").inc();
+                            wwv_obs::debug!(target: "serve", "accepted {peer}");
+                            let conn_handle = handle.clone();
+                            let conn_shutdown = Arc::clone(&accept_shutdown);
+                            let t = std::thread::Builder::new()
+                                .name("wwv-serve-conn".to_owned())
+                                .spawn(move || connection_loop(stream, conn_handle, conn_shutdown))
+                                .expect("spawn connection thread");
+                            accept_conns.lock().push(t);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, unblocks connection threads, and joins everything.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in std::mem::take(&mut *self.connections.lock()) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, handle: ServeHandle, shutdown: Arc<AtomicBool>) {
+    // Read timeouts keep the thread responsive to the shutdown flag.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut stream = stream;
+    let mut acc = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while !shutdown.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                acc.extend_from_slice(&chunk[..n]);
+                if !drain_frames(&mut acc, &handle, &mut stream) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Processes every complete frame in `acc`. Returns `false` when the
+/// connection should close (protocol violation or write failure).
+fn drain_frames(acc: &mut BytesMut, handle: &ServeHandle, stream: &mut TcpStream) -> bool {
+    loop {
+        if acc.len() < 4 {
+            return true;
+        }
+        let len = u32::from_le_bytes([acc[0], acc[1], acc[2], acc[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            wwv_obs::global().counter("serve.tcp.bad_frames").inc();
+            let err =
+                Response::Error(ErrorCode::BadRequest, "frame exceeds size limit".to_owned());
+            let _ = stream.write_all(&encode_response(0, &err));
+            return false;
+        }
+        if acc.len() < 4 + len {
+            return true;
+        }
+        let mut frame = acc.split_to(4 + len).freeze();
+        match dispatch_frame(handle, &mut frame) {
+            Ok(reply) => {
+                if stream.write_all(&reply).is_err() {
+                    return false;
+                }
+            }
+            Err(e) => {
+                // Can't recover the request id from a malformed frame.
+                wwv_obs::global().counter("serve.tcp.bad_frames").inc();
+                let err = Response::Error(ErrorCode::BadRequest, e.to_string());
+                let _ = stream.write_all(&encode_response(0, &err));
+                return false;
+            }
+        }
+    }
+}
+
+/// A blocking TCP client speaking the framed protocol.
+pub struct TcpClient {
+    stream: TcpStream,
+    acc: BytesMut,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to a serving address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream, acc: BytesMut::new(), next_id: 0 })
+    }
+
+    fn read_response(&mut self) -> Result<(u64, Response), TransportError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let mut view = Bytes::copy_from_slice(&self.acc);
+            match decode_response(&mut view) {
+                Ok((id, response)) => {
+                    let consumed = self.acc.len() - view.len();
+                    let _ = self.acc.split_to(consumed);
+                    return Ok((id, response));
+                }
+                Err(ProtoError::Incomplete) => {}
+                Err(e) => return Err(e.into()),
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                )));
+            }
+            self.acc.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+impl Transport for TcpClient {
+    fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        self.next_id += 1;
+        let sent = self.next_id;
+        self.stream.write_all(&encode_request(sent, query))?;
+        let (got, response) = self.read_response()?;
+        if got != sent {
+            return Err(TransportError::IdMismatch { sent, got });
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ListKey;
+    use crate::server::{Server, ServerConfig};
+    use crate::store::Catalog;
+    use crate::testutil::tiny_dataset;
+    use wwv_world::{Metric, Month, Platform};
+
+    fn server() -> Server {
+        let catalog = Arc::new(Catalog::new().with_dataset("full", tiny_dataset()));
+        Server::start(catalog, ServerConfig::default())
+    }
+
+    fn us_key() -> ListKey {
+        ListKey {
+            snapshot: String::new(),
+            country: 0,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        }
+    }
+
+    #[test]
+    fn inproc_transport_round_trips_codec() {
+        let server = server();
+        let mut t = InProcTransport::new(server.handle());
+        assert_eq!(t.call(&Query::Ping).unwrap(), Response::Pong);
+        let Response::TopK(entries) = t.call(&Query::TopK { key: us_key(), k: 3 }).unwrap()
+        else {
+            panic!("expected TopK")
+        };
+        assert_eq!(entries.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_and_clean_shutdown() {
+        let server = server();
+        let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
+        let mut client = TcpClient::connect(tcp.local_addr()).expect("connect");
+        assert_eq!(client.call(&Query::Ping).unwrap(), Response::Pong);
+        let Response::TopK(entries) =
+            client.call(&Query::TopK { key: us_key(), k: 5 }).unwrap()
+        else {
+            panic!("expected TopK")
+        };
+        assert_eq!(entries.len(), 5);
+        // Pipelined sequential calls on one connection.
+        for _ in 0..10 {
+            assert!(client.call(&Query::SiteRank {
+                key: us_key(),
+                domain: entries[0].domain.clone()
+            })
+            .unwrap()
+            .is_ok());
+        }
+        drop(client);
+        tcp.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_rejects_garbage_with_error_response() {
+        let server = server();
+        let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
+        let mut raw = TcpStream::connect(tcp.local_addr()).expect("connect");
+        // A syntactically valid frame with an unknown opcode.
+        let mut payload = BytesMut::new();
+        payload.extend_from_slice(&9u32.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&[0xEE]);
+        raw.write_all(&payload).unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).expect("server closes after error reply");
+        let (_, response) = decode_response(&mut Bytes::from(buf)).expect("error frame");
+        assert!(matches!(response, Response::Error(ErrorCode::BadRequest, _)));
+        tcp.shutdown();
+        server.shutdown();
+    }
+}

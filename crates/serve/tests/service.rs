@@ -1,0 +1,182 @@
+//! End-to-end service test: a multi-threaded client mix driven through the
+//! in-process transport (full codec round-trip per request), asserting
+//! correct results, cache effectiveness, zero dropped responses under the
+//! bounded queue, and a clean graceful shutdown.
+
+use std::sync::Arc;
+use wwv_serve::loadgen::{LoadgenConfig, QueryMix};
+use wwv_serve::query::{ErrorCode, ListKey, Query, Response};
+use wwv_serve::server::{ServeError, Server, ServerConfig};
+use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_serve::testutil::tiny_dataset;
+use wwv_serve::transport::{InProcTransport, Transport};
+use wwv_world::{Metric, Month, Platform};
+
+fn us_key() -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    }
+}
+
+#[test]
+fn concurrent_clients_get_correct_answers_and_cache_hits() {
+    let dataset = tiny_dataset();
+    let store = Arc::new(ShardedStore::build(dataset, 8));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", Arc::clone(&store));
+    let server = Server::start(
+        Arc::new(catalog),
+        ServerConfig { workers: 4, queue_depth: 128, ..ServerConfig::default() },
+    );
+    let handle = server.handle();
+
+    // Ground truth straight from the dataset.
+    let truth = dataset.lists.get(&us_key().breakdown()).expect("US list");
+    let top_domain = dataset.domains.name(truth.entries[0].0).to_owned();
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 50;
+    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let mut transport = InProcTransport::new(handle.clone());
+                let top_domain = top_domain.clone();
+                let truth_top: Vec<(String, u64)> = truth
+                    .entries
+                    .iter()
+                    .take(5)
+                    .map(|(d, n)| (dataset.domains.name(*d).to_owned(), *n))
+                    .collect();
+                scope.spawn(move || {
+                    let (mut ok, mut errors, mut dropped) = (0u64, 0u64, 0u64);
+                    for i in 0..PER_CLIENT {
+                        let query = match (c + i) % 4 {
+                            0 => Query::TopK { key: us_key(), k: 5 },
+                            1 => Query::SiteRank { key: us_key(), domain: top_domain.clone() },
+                            2 => Query::Rbo {
+                                a: us_key(),
+                                b: ListKey { country: 1, ..us_key() },
+                                depth: 50,
+                                p_permille: 900,
+                            },
+                            _ => Query::Concentration { key: us_key(), depths: vec![1, 10, 100] },
+                        };
+                        match transport.call(&query) {
+                            Ok(response) => {
+                                match &response {
+                                    Response::TopK(entries) => {
+                                        assert_eq!(entries.len(), 5);
+                                        for (e, (name, count)) in entries.iter().zip(&truth_top) {
+                                            assert_eq!(&e.domain, name);
+                                            assert_eq!(e.count, *count);
+                                        }
+                                    }
+                                    Response::SiteRank(Some(info)) => {
+                                        assert_eq!(info.rank, 1);
+                                        assert_eq!(info.count, truth_top[0].1);
+                                    }
+                                    Response::Rbo(score) => {
+                                        assert!((0.0..=1.0).contains(score), "rbo {score}");
+                                    }
+                                    Response::Concentration(info) => {
+                                        assert!(info
+                                            .observed
+                                            .windows(2)
+                                            .all(|w| w[0] <= w[1] + 1e-12));
+                                    }
+                                    other => panic!("unexpected response: {other:?}"),
+                                }
+                                if response.is_ok() {
+                                    ok += 1;
+                                } else {
+                                    errors += 1;
+                                }
+                            }
+                            Err(_) => dropped += 1,
+                        }
+                    }
+                    (ok, errors, dropped)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let total_ok: u64 = results.iter().map(|(ok, _, _)| ok).sum();
+    let total_errors: u64 = results.iter().map(|(_, e, _)| e).sum();
+    let total_dropped: u64 = results.iter().map(|(_, _, d)| d).sum();
+    assert_eq!(total_dropped, 0, "no request may go unanswered");
+    assert_eq!(total_errors, 0, "all queries address known lists");
+    assert_eq!(total_ok, (CLIENTS * PER_CLIENT) as u64);
+
+    // The RBO and concentration queries repeat across clients, so the
+    // result cache must have been hit.
+    let stats = handle.cache_stats();
+    assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
+
+    // Graceful shutdown drains and accounts for every processed request.
+    let processed = server.shutdown();
+    assert!(processed >= (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(handle.call(Query::Ping), Err(ServeError::ShuttingDown));
+}
+
+#[test]
+fn loadgen_reports_consistent_totals() {
+    let dataset = tiny_dataset();
+    let store = Arc::new(ShardedStore::build(dataset, 8));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", Arc::clone(&store));
+    let server = Server::start(
+        Arc::new(catalog),
+        ServerConfig { workers: 2, queue_depth: 64, ..ServerConfig::default() },
+    );
+    let handle = server.handle();
+
+    let config = LoadgenConfig {
+        threads: 3,
+        requests_per_thread: 60,
+        mix: QueryMix::default(),
+        ..LoadgenConfig::default()
+    };
+    let report = wwv_serve::loadgen::run(&handle, &store, &config);
+    assert_eq!(report.issued, 180);
+    assert_eq!(report.ok + report.errors + report.transport_errors, report.issued);
+    assert_eq!(report.transport_errors, 0, "in-process transport never fails");
+    assert!(report.qps > 0.0);
+    assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+    assert!(report.cache.hits + report.cache.misses > 0, "analysis queries in the mix");
+
+    // The summary is valid JSON with the headline fields present.
+    let json = report.to_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    for field in ["qps", "p50_us", "p95_us", "p99_us", "cache_hit_rate"] {
+        assert!(parsed.get(field).is_some(), "missing {field} in {json}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_and_error_paths_surface_as_typed_responses() {
+    let catalog = Arc::new(Catalog::new().with_dataset("full", tiny_dataset()));
+    let server = Server::start(catalog, ServerConfig::default());
+    let handle = server.handle();
+    let mut transport = InProcTransport::new(handle.clone());
+
+    // Unknown snapshot travels the full codec path as a typed error.
+    let mut key = us_key();
+    key.snapshot = "missing".into();
+    let resp = transport.call(&Query::TopK { key, k: 5 }).expect("transported");
+    assert!(matches!(resp, Response::Error(ErrorCode::UnknownSnapshot, _)), "{resp:?}");
+
+    // Unknown month: the dataset was built for February 2022 only.
+    let mut key = us_key();
+    key.month = Month::September2021;
+    let resp = transport.call(&Query::SiteRank { key, domain: "x.example".into() }).unwrap();
+    assert!(matches!(resp, Response::Error(ErrorCode::UnknownList, _)), "{resp:?}");
+
+    server.shutdown();
+}

@@ -187,7 +187,9 @@ pub fn from_binary(mut buf: Bytes) -> Result<ChromeDataset, PersistError> {
         return Err(PersistError::Malformed("truncated list count"));
     }
     let n_lists = buf.get_u32_le() as usize;
-    let mut lists = std::collections::HashMap::with_capacity(n_lists);
+    // The count is attacker-controlled; cap the pre-allocation so a corrupt
+    // header cannot demand gigabytes before the per-list checks reject it.
+    let mut lists = std::collections::HashMap::with_capacity(n_lists.min(1_024));
     for _ in 0..n_lists {
         if buf.remaining() < 8 {
             return Err(PersistError::Malformed("truncated list header"));

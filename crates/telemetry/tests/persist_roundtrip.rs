@@ -1,0 +1,180 @@
+//! Property tests for the binary dataset persistence format: arbitrary
+//! datasets round-trip exactly, and hostile inputs — truncations, byte
+//! flips, oversized counts — yield typed errors, never panics or OOMs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use wwv_telemetry::dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
+use wwv_telemetry::persist::{from_binary, to_binary};
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId};
+
+/// `(country, windows?, page_loads?, month_index, entries)` — one rank list.
+type ListSpec = (u8, bool, bool, usize, Vec<(u32, u64)>);
+
+fn build_dataset(
+    names: &[String],
+    list_specs: Vec<ListSpec>,
+    client_threshold: u64,
+    max_depth: usize,
+) -> ChromeDataset {
+    let mut domains = DomainTable::new();
+    for (i, n) in names.iter().enumerate() {
+        // Index suffix keeps names unique, so interned ids are stable
+        // across a round-trip.
+        domains.intern(&format!("{n}{i}.example"), SiteId(i as u32));
+    }
+    let mut lists = std::collections::HashMap::new();
+    for (country, plat, met, month_idx, entries) in list_specs {
+        let b = Breakdown {
+            country: country as usize,
+            platform: if plat { Platform::Windows } else { Platform::Android },
+            metric: if met { Metric::PageLoads } else { Metric::TimeOnPage },
+            month: Month::ALL[month_idx % Month::ALL.len()],
+        };
+        let entries = entries.into_iter().map(|(d, c)| (DomainId(d), c)).collect();
+        lists.insert(b, RankListData { entries });
+    }
+    ChromeDataset { domains, lists, client_threshold, max_depth }
+}
+
+fn arb_dataset() -> impl Strategy<Value = ChromeDataset> {
+    (
+        prop::collection::vec("[a-z]{1,10}", 1..24),
+        prop::collection::vec(
+            (
+                0u8..45,
+                any::<bool>(),
+                any::<bool>(),
+                0usize..6,
+                prop::collection::vec((any::<u32>(), any::<u64>()), 0..32),
+            ),
+            0..8,
+        ),
+        any::<u64>(),
+        0usize..50_000,
+    )
+        .prop_map(|(names, specs, threshold, depth)| {
+            build_dataset(&names, specs, threshold, depth)
+        })
+}
+
+/// A small deterministic dataset for the exhaustive byte-level tests.
+fn sample_dataset() -> ChromeDataset {
+    build_dataset(
+        &["google".into(), "youtube".into(), "naver".into()],
+        vec![
+            (0, true, true, 5, vec![(0, 900), (1, 400), (2, 50)]),
+            (11, false, true, 5, vec![(2, 700), (0, 650)]),
+            (11, false, false, 4, vec![(1, 10)]),
+        ],
+        200,
+        500,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_roundtrip_is_exact(ds in arb_dataset()) {
+        let back = from_binary(to_binary(&ds)).expect("valid encoding decodes");
+        prop_assert_eq!(back.client_threshold, ds.client_threshold);
+        prop_assert_eq!(back.max_depth, ds.max_depth);
+        prop_assert_eq!(back.domains.len(), ds.domains.len());
+        for i in 0..ds.domains.len() as u32 {
+            prop_assert_eq!(back.domains.name(DomainId(i)), ds.domains.name(DomainId(i)));
+        }
+        prop_assert_eq!(&back.lists, &ds.lists);
+    }
+
+    #[test]
+    fn truncated_prefixes_error_not_panic(ds in arb_dataset(), frac in 0.0f64..1.0) {
+        let bin = to_binary(&ds);
+        let cut = ((bin.len() as f64) * frac) as usize;
+        prop_assume!(cut < bin.len());
+        prop_assert!(from_binary(bin.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn byte_flips_never_panic(pos in 0usize..10_000, val in any::<u8>()) {
+        let bin = to_binary(&sample_dataset());
+        let pos = pos % bin.len();
+        let mut corrupt = BytesMut::from(&bin[..]);
+        corrupt[pos] = val;
+        // Ok (the flip hit payload data) and Err (it hit structure) are both
+        // fine; panicking or aborting is not.
+        let _ = from_binary(corrupt.freeze());
+    }
+}
+
+#[test]
+fn every_prefix_of_a_valid_encoding_errors() {
+    let bin = to_binary(&sample_dataset());
+    for cut in 0..bin.len() {
+        assert!(from_binary(bin.slice(0..cut)).is_err(), "prefix of {cut} bytes accepted");
+    }
+}
+
+#[test]
+fn oversized_list_count_is_rejected_without_huge_allocation() {
+    // Header claiming u32::MAX lists with no bytes behind it: the decoder
+    // must fail on the first missing list header, not pre-allocate for 4
+    // billion entries.
+    let mut raw = BytesMut::new();
+    raw.put_slice(b"WWVD");
+    raw.put_u16_le(1); // version
+    raw.put_u64_le(0); // client_threshold
+    raw.put_u32_le(0); // max_depth
+    raw.put_u32_le(0); // domain count
+    raw.put_u32_le(u32::MAX); // list count
+    assert!(from_binary(raw.freeze()).is_err());
+}
+
+#[test]
+fn oversized_entry_count_is_rejected() {
+    let mut raw = BytesMut::new();
+    raw.put_slice(b"WWVD");
+    raw.put_u16_le(1);
+    raw.put_u64_le(0);
+    raw.put_u32_le(0);
+    raw.put_u32_le(0); // domain count
+    raw.put_u32_le(1); // one list
+    raw.put_u8(0); // country
+    raw.put_u8(0); // platform
+    raw.put_u8(0); // metric
+    raw.put_u8(0); // month
+    raw.put_u32_le(u32::MAX); // entries claimed, none present
+    assert!(from_binary(raw.freeze()).is_err());
+}
+
+#[test]
+fn non_utf8_domain_is_a_typed_error() {
+    let mut raw = BytesMut::new();
+    raw.put_slice(b"WWVD");
+    raw.put_u16_le(1);
+    raw.put_u64_le(0);
+    raw.put_u32_le(0);
+    raw.put_u32_le(1); // one domain
+    raw.put_u8(2); // name length
+    raw.put_slice(&[0xFF, 0xFE]); // invalid UTF-8
+    raw.put_u32_le(0); // site id
+    raw.put_u32_le(0); // list count
+    let err = from_binary(raw.freeze()).expect_err("invalid UTF-8 must fail");
+    assert!(err.to_string().contains("UTF-8"), "{err}");
+}
+
+#[test]
+fn wrong_version_is_a_version_error() {
+    let mut raw = BytesMut::new();
+    raw.put_slice(b"WWVD");
+    raw.put_u16_le(9);
+    raw.put_slice(&[0u8; 16]);
+    let err = from_binary(raw.freeze()).expect_err("unknown version must fail");
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn trailing_magic_only_is_rejected() {
+    assert!(from_binary(Bytes::from_static(b"WWVD")).is_err());
+    assert!(from_binary(Bytes::new()).is_err());
+}

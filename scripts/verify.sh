@@ -14,4 +14,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "verify: OK"

@@ -6,15 +6,22 @@
 //! wwv curve     <site-key>          # popularity curve + endemicity
 //! wwv similar   --country FR [--n 5]
 //! wwv save      <path.bin>          # snapshot the dataset (binary format)
+//! wwv serve     [--listen ADDR]     # TCP rank-list query service
+//! wwv serve     --loadgen [--threads N] [--requests N] [--metrics-out P]
 //! ```
 //!
 //! All subcommands build the reduced-scale world on the fly (deterministic,
 //! a few seconds).
 
+use std::sync::Arc;
 use wwv::core::endemicity::popularity_curves;
 use wwv::obs::{error, info};
 use wwv::core::similarity::similarity_matrix;
 use wwv::core::AnalysisContext;
+use wwv::serve::loadgen::{self, LoadgenConfig};
+use wwv::serve::server::{Server, ServerConfig};
+use wwv::serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
+use wwv::serve::transport::TcpServer;
 use wwv::telemetry::{persist, DatasetBuilder};
 use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig, COUNTRIES};
 
@@ -24,6 +31,11 @@ struct Args {
     platform: Platform,
     metric: Metric,
     n: usize,
+    listen: String,
+    loadgen: bool,
+    threads: usize,
+    requests: usize,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +45,11 @@ fn parse_args() -> Args {
         platform: Platform::Windows,
         metric: Metric::PageLoads,
         n: 10,
+        listen: "127.0.0.1:7311".to_owned(),
+        loadgen: false,
+        threads: 4,
+        requests: 250,
+        metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -51,6 +68,13 @@ fn parse_args() -> Args {
                 }
             }
             "--n" => args.n = iter.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            "--listen" => args.listen = iter.next().unwrap_or(args.listen),
+            "--loadgen" => args.loadgen = true,
+            "--threads" => args.threads = iter.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--requests" => {
+                args.requests = iter.next().and_then(|v| v.parse().ok()).unwrap_or(250)
+            }
+            "--metrics-out" => args.metrics_out = iter.next(),
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -58,8 +82,44 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|serve> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("       wwv serve [--listen ADDR] | wwv serve --loadgen [--threads N] [--requests N] [--metrics-out PATH]");
     std::process::exit(2)
+}
+
+/// `wwv serve`: expose the freshly built dataset over TCP, or replay a
+/// Zipf query mix against it in-process and print a JSON summary.
+fn serve(dataset: &wwv::telemetry::ChromeDataset, args: &Args) {
+    let store = Arc::new(ShardedStore::build(dataset, DEFAULT_SHARDS));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", Arc::clone(&store));
+    let server = Server::start(Arc::new(catalog), ServerConfig::default());
+    let handle = server.handle();
+
+    if args.loadgen {
+        let config = LoadgenConfig {
+            threads: args.threads.max(1),
+            requests_per_thread: args.requests.max(1),
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(&handle, &store, &config);
+        let json = report.to_json();
+        if let Some(path) = &args.metrics_out {
+            std::fs::write(path, &json).expect("write metrics file");
+            info!(target: "serve", "wrote loadgen summary to {path}");
+        }
+        println!("{json}");
+        server.shutdown();
+        return;
+    }
+
+    let tcp = TcpServer::bind(&args.listen, handle).expect("bind serve address");
+    println!("wwv serve: listening on {} ({} lists, {} domains)",
+        tcp.local_addr(), store.list_count(), store.domain_count());
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::park();
+    }
 }
 
 fn main() {
@@ -146,6 +206,7 @@ fn main() {
                 println!("  {other}: {s:.3}");
             }
         }
+        "serve" => serve(&dataset, &args),
         "save" => {
             let Some(path) = args.positional.get(1) else { usage() };
             let bytes = persist::to_binary(&dataset);
