@@ -1,9 +1,12 @@
-//! Substrate benches: world generation, demand computation, dataset build,
-//! wire codec, and collector ingest throughput.
+//! Substrate benches: world generation, demand computation, dataset build
+//! (serial vs parallel), similarity matrix (serial vs parallel), wire
+//! codec, and collector ingest throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use wwv_bench::bench_fixture;
+use wwv_core::similarity::similarity_matrix;
+use wwv_core::AnalysisContext;
 use wwv_telemetry::client::ClientSimulator;
 use wwv_telemetry::collector::Collector;
 use wwv_telemetry::wire::{decode_frame, encode_frame};
@@ -42,6 +45,40 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+    group.finish();
+
+    // Parallel vs serial: identical outputs (enforced by the determinism
+    // test), so the delta is pure scheduling. `1` is the inline reference
+    // schedule; `n` is available parallelism.
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("pipeline/parallel");
+    group.sample_size(10);
+    for threads in [1, n_threads] {
+        group.bench_function(format!("build_feb_dataset_{threads}_threads"), |b| {
+            b.iter(|| {
+                black_box(
+                    DatasetBuilder::new(world)
+                        .months(&[Month::February2022])
+                        .base_volume(2.0e8)
+                        .client_threshold(500)
+                        .max_depth(3_000)
+                        .threads(threads)
+                        .build(),
+                )
+            })
+        });
+    }
+    let (world_s, dataset_s) = bench_fixture();
+    let ctx = AnalysisContext::with_depth(world_s, dataset_s, 2_000);
+    for threads in [1, n_threads] {
+        // similarity_matrix runs on the process-global pool; pin its width
+        // for the measurement, then restore the default.
+        wwv_par::set_threads(threads);
+        group.bench_function(format!("similarity_matrix_{threads}_threads"), |b| {
+            b.iter(|| black_box(similarity_matrix(&ctx, Platform::Windows, Metric::PageLoads)))
+        });
+        wwv_par::set_threads(0);
+    }
     group.finish();
 
     // Wire codec throughput.

@@ -2,12 +2,15 @@
 //! and prints paper-stated vs measured values.
 //!
 //! Usage:
-//!   reproduce [--scale small|full] [--json PATH] [--figures DIR]
-//!             [--metrics-out PATH] [only-ids…]
+//!   reproduce [--scale small|full] [--threads N] [--json PATH]
+//!             [--figures DIR] [--metrics-out PATH] [only-ids…]
 //!
 //! `--scale small` (default) runs on a reduced world in ~a minute;
 //! `--scale full` uses the paper-scale configuration (top-10K lists for all
 //! 45 countries across six months) and takes considerably longer.
+//! `--threads N` sets the `wwv-par` worker count for the dataset build and
+//! the experiment battery (default: available parallelism; `1` forces the
+//! fully serial reference schedule — output is identical either way).
 //! `--metrics-out PATH` writes the full `wwv-obs` observability report —
 //! per-stage span durations, counters, histogram summaries — as JSON.
 //! Progress goes through the `wwv-obs` logger (`WWV_LOG=debug|info|warn`).
@@ -41,6 +44,16 @@ fn main() {
                     }
                 };
             }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => wwv_par::set_threads(n),
+                    _ => {
+                        error!(target: "reproduce", "--threads expects a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => {
                 i += 1;
                 json_path = args.get(i).cloned();
@@ -59,7 +72,7 @@ fn main() {
     }
 
     let run_span = wwv_obs::span!("reproduce");
-    info!(target: "reproduce", "starting"; scale = scale.name);
+    info!(target: "reproduce", "starting"; scale = scale.name, threads = wwv_par::threads());
 
     let world = {
         let _span = wwv_obs::span!("world-gen");

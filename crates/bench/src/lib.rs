@@ -4,6 +4,12 @@
 //! experiment harness: scale presets (small vs paper-scale) and the
 //! experiment battery that checks every table and figure of the paper
 //! against its stated values.
+//!
+//! The battery is organized as independent **experiment families** (one per
+//! figure/table group). Families share no mutable state — they read the
+//! same context/world/dataset — so they are evaluated on the `wwv-par`
+//! pool and their rows concatenated in a fixed family order, producing the
+//! same report at any worker count.
 
 use std::collections::HashMap;
 use wwv_core::buckets::{bucket_intersections, FIG12_BUCKETS};
@@ -117,8 +123,40 @@ impl Scale {
     }
 }
 
+/// Shared read-only inputs of one experiment family.
+struct FamilyCtx<'a> {
+    ctx: &'a AnalysisContext<'a>,
+    world: &'a World,
+    dataset: &'a ChromeDataset,
+    scale: &'a Scale,
+}
+
+type FamilyFn = for<'a> fn(&FamilyCtx<'a>) -> Vec<ReportRow>;
+
+/// The experiment families in report order. Each is independent of the
+/// others (F10's similarity matrix feeds F11's clustering, so they share a
+/// family).
+const FAMILIES: &[(&str, FamilyFn)] = &[
+    ("f01-concentration", family_concentration),
+    ("f02-composition", family_composition),
+    ("f03-prevalence", family_prevalence),
+    ("f04-platform-diff", family_platform_diff),
+    ("f05-metric-diff", family_metric_diff),
+    ("s4.5-temporal", family_temporal),
+    ("s4.2.1-top10", family_top10_composition),
+    ("f06-f09-endemicity", family_endemicity),
+    ("f10-f11-similarity", family_similarity_clusters),
+    ("f12-buckets", family_buckets),
+    ("f13-taxonomy", family_taxonomy),
+    ("s5.3.2-endemic-top10", family_endemic_top10),
+    ("ablations", family_ablations),
+    ("dataset-sanity", family_dataset_sanity),
+];
+
 /// Runs the full experiment battery, appending one row per paper-stated
 /// quantity. This is the single source of truth for EXPERIMENTS.md.
+/// Families run concurrently on the `wwv-par` pool; rows are appended in
+/// the fixed family order, so the report is identical at any worker count.
 pub fn run_experiments(
     report: &mut ExperimentReport,
     ctx: &AnalysisContext<'_>,
@@ -126,26 +164,41 @@ pub fn run_experiments(
     dataset: &ChromeDataset,
     scale: &Scale,
 ) {
-    let span = wwv_obs::span!("f01-concentration");
-    // ---- F1 / §4.1: traffic concentration. -------------------------------
+    let _span = wwv_obs::span!("experiments");
+    let family_ctx = FamilyCtx { ctx, world, dataset, scale };
+    let rows = wwv_par::par_map("experiments.families", FAMILIES, |_, &(label, family)| {
+        let _span = wwv_obs::span!(label);
+        family(&family_ctx)
+    });
+    for family_rows in rows {
+        for row in family_rows {
+            report.push(row);
+        }
+    }
+}
+
+// ---- F1 / §4.1: traffic concentration. -------------------------------
+fn family_concentration(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let wl = TrafficCurve::windows_page_loads();
     let wt = TrafficCurve::windows_time_on_page();
     let al = TrafficCurve::android_page_loads();
     let at = TrafficCurve::android_time_on_page();
-    report.push(ReportRow::banded("F1.a", "Windows loads: top-1 share", "17%", wl.share(1), 0.165, 0.175));
-    report.push(ReportRow::exact("F1.b", "Windows loads: sites for 25%", 6, sites_for_share(&wl, 0.25)));
-    report.push(ReportRow::banded("F1.c", "Windows loads: top-100 share", "just under 40%", wl.cumulative(100), 0.37, 0.40));
-    report.push(ReportRow::banded("F1.d", "Windows loads: top-10K share", "~70%", wl.cumulative(10_000), 0.67, 0.73));
-    report.push(ReportRow::banded("F1.e", "Windows loads: top-1M share", ">95%", wl.cumulative(1_000_000), 0.95, 1.0));
-    report.push(ReportRow::banded("F1.f", "Windows time: top-1 share", "24%", wt.share(1), 0.23, 0.25));
-    report.push(ReportRow::exact("F1.g", "Windows time: sites for 50%", 7, sites_for_share(&wt, 0.50)));
-    report.push(ReportRow::banded("F1.h", "Windows time: top-100 share", ">60%", wt.cumulative(100), 0.60, 0.70));
-    report.push(ReportRow::banded("F1.i", "Windows time: top-10K share", ">85%", wt.cumulative(10_000), 0.85, 0.90));
-    report.push(ReportRow::exact("F1.j", "Android loads: sites for 25%", 10, sites_for_share(&al, 0.25)));
-    report.push(ReportRow::banded("F1.k", "Android time: top-8 share", "25%", at.cumulative(8), 0.24, 0.26));
-    report.push(ReportRow::banded("F1.l", "Android time: top-10K share", "just under 80%", at.cumulative(10_000), 0.76, 0.80));
+    rows.push(ReportRow::banded("F1.a", "Windows loads: top-1 share", "17%", wl.share(1), 0.165, 0.175));
+    rows.push(ReportRow::exact("F1.b", "Windows loads: sites for 25%", 6, sites_for_share(&wl, 0.25)));
+    rows.push(ReportRow::banded("F1.c", "Windows loads: top-100 share", "just under 40%", wl.cumulative(100), 0.37, 0.40));
+    rows.push(ReportRow::banded("F1.d", "Windows loads: top-10K share", "~70%", wl.cumulative(10_000), 0.67, 0.73));
+    rows.push(ReportRow::banded("F1.e", "Windows loads: top-1M share", ">95%", wl.cumulative(1_000_000), 0.95, 1.0));
+    rows.push(ReportRow::banded("F1.f", "Windows time: top-1 share", "24%", wt.share(1), 0.23, 0.25));
+    rows.push(ReportRow::exact("F1.g", "Windows time: sites for 50%", 7, sites_for_share(&wt, 0.50)));
+    rows.push(ReportRow::banded("F1.h", "Windows time: top-100 share", ">60%", wt.cumulative(100), 0.60, 0.70));
+    rows.push(ReportRow::banded("F1.i", "Windows time: top-10K share", ">85%", wt.cumulative(10_000), 0.85, 0.90));
+    rows.push(ReportRow::exact("F1.j", "Android loads: sites for 25%", 10, sites_for_share(&al, 0.25)));
+    rows.push(ReportRow::banded("F1.k", "Android time: top-8 share", "25%", at.cumulative(8), 0.24, 0.26));
+    rows.push(ReportRow::banded("F1.l", "Android time: top-10K share", "just under 80%", at.cumulative(10_000), 0.76, 0.80));
     let series = concentration_curve(Platform::Windows, Metric::PageLoads);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F1.m",
         "Fig.1 series monotone over 6 decades",
         "monotone",
@@ -155,8 +208,8 @@ pub fn run_experiments(
 
     // §4.1.2 from the observed dataset.
     let heads = headline_stats(ctx);
-    report.push(ReportRow::exact("S4.1.a", "countries where Google tops loads", 44usize, heads.google_top_loads_countries));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::exact("S4.1.a", "countries where Google tops loads", 44usize, heads.google_top_loads_countries));
+    rows.push(ReportRow::check(
         "S4.1.b",
         "the non-Google leader",
         "Naver in South Korea",
@@ -168,7 +221,7 @@ pub fn run_experiments(
         heads.non_google_leader.as_ref().map(|(c, k)| (c.as_str(), k.as_str()))
             == Some(("South Korea", "naver")),
     ));
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S4.1.c",
         "countries where YouTube tops time",
         "40 / 45",
@@ -176,7 +229,7 @@ pub fn run_experiments(
         37.0,
         43.0,
     ));
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S4.1.d",
         "median per-country top-1 loads share",
         "20% (range 12–33%)",
@@ -184,18 +237,21 @@ pub fn run_experiments(
         0.13,
         0.27,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f02-composition");
-    // ---- F2: composition of top sites. ------------------------------------
+// ---- F2: composition of top sites. ------------------------------------
+fn family_composition(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let comp_wl = composition(ctx, Platform::Windows, Metric::PageLoads);
     let comp_wt = composition(ctx, Platform::Windows, Metric::TimeOnPage);
     let comp_at = composition(ctx, Platform::Android, Metric::TimeOnPage);
     // At reduced scale the traffic-weight denominator only reaches the
     // curve's cumulative share at the shallower list depth (C(2K) ≈ 0.59 vs
     // C(10K) ≈ 0.70), inflating every share by ~20%; the band scales with it.
-    let f2a_hi = if scale.analysis_depth >= 10_000 { 28.0 } else { 33.0 };
-    report.push(ReportRow::banded(
+    let f2a_hi = if f.scale.analysis_depth >= 10_000 { 28.0 } else { 33.0 };
+    rows.push(ReportRow::banded(
         "F2.a",
         "search-engine share of top-10K desktop loads",
         "20–25%",
@@ -203,7 +259,7 @@ pub fn run_experiments(
         14.0,
         f2a_hi,
     ));
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "F2.b",
         "video-streaming share of top-10K desktop time",
         "33%",
@@ -211,7 +267,7 @@ pub fn run_experiments(
         18.0,
         45.0,
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F2.c",
         "mobile time: adult above its desktop share",
         "adult ≈18% on mobile",
@@ -219,18 +275,21 @@ pub fn run_experiments(
         comp_at.traffic_10k(Category::Pornography) > 8.0
             && comp_at.traffic_10k(Category::Pornography) > comp_wt.traffic_10k(Category::Pornography),
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f03-prevalence");
-    // ---- F3/F14: category prevalence by rank. ------------------------------
-    let t: Vec<usize> = if scale.analysis_depth >= 10_000 {
+// ---- F3/F14: category prevalence by rank. ------------------------------
+fn family_prevalence(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
+    let t: Vec<usize> = if f.scale.analysis_depth >= 10_000 {
         vec![10, 30, 50, 100, 300, 1_000, 3_000, 10_000]
     } else {
         vec![10, 30, 50, 100, 300, 1_000, 2_000]
     };
     let last = t.len() - 1;
     let biz = prevalence_by_rank(ctx, Category::Business, Platform::Windows, Metric::PageLoads, &t);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F3.a",
         "Business rises from head to tail (desktop)",
         "3% of top-30 → 8% of top-10K",
@@ -239,7 +298,7 @@ pub fn run_experiments(
     ));
     let news = prevalence_by_rank(ctx, Category::NewsMedia, Platform::Windows, Metric::PageLoads, &t);
     let news_mid = news.summary[3].median.max(news.summary[4].median);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F3.b",
         "News & Media peaks mid-rank (desktop)",
         ">15% near top-50, <7% at 10K",
@@ -250,7 +309,7 @@ pub fn run_experiments(
         news_mid > news.summary[last].median,
     ));
     let video = prevalence_by_rank(ctx, Category::VideoStreaming, Platform::Windows, Metric::TimeOnPage, &t);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F3.c",
         "Video streaming head-heavy by time",
         ">40% of top-10, <10% of top-10K",
@@ -264,7 +323,7 @@ pub fn run_experiments(
     // threshold.
     let tech_spread = tech.summary[2..].iter().map(|s| s.median).fold(f64::NEG_INFINITY, f64::max)
         - tech.summary[2..].iter().map(|s| s.median).fold(f64::INFINITY, f64::min);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F3.d",
         "Technology stable across rank (desktop)",
         "10–12% throughout",
@@ -280,16 +339,19 @@ pub fn run_experiments(
             break;
         }
     }
-    report.push(ReportRow::check("F14", "per-metric prevalence split computed", "series exists", "series exists", f14_ok));
+    rows.push(ReportRow::check("F14", "per-metric prevalence split computed", "series exists", "series exists", f14_ok));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f04-platform-diff");
-    // ---- F4/F15: platform differences. -------------------------------------
+// ---- F4/F15: platform differences. -------------------------------------
+fn family_platform_diff(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let fig4 = platform_differences(ctx, Metric::PageLoads);
     let score_of = |rows: &[wwv_core::platform_diff::PlatformDiff], c: Category| {
         rows.iter().find(|r| r.category == c.name()).map(|r| r.score)
     };
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F4.a",
         "Pornography / Dating mobile-leaning",
         "top of Fig. 4",
@@ -300,7 +362,7 @@ pub fn run_experiments(
         ),
         score_of(&fig4, Category::Pornography).map(|s| s > 0.0).unwrap_or(false),
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F4.b",
         "Educational institutions / Business desktop-leaning",
         "bottom of Fig. 4",
@@ -313,7 +375,7 @@ pub fn run_experiments(
             && score_of(&fig4, Category::Business).map(|s| s < 0.0).unwrap_or(false),
     ));
     let fig15 = platform_differences(ctx, Metric::TimeOnPage);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F15",
         "time-on-page platform contrasts (Fig. 15)",
         "adult mobile; video-streaming time desktop",
@@ -327,23 +389,26 @@ pub fn run_experiments(
         score_of(&fig15, Category::Pornography).map(|s| s > 0.0).unwrap_or(false)
             && score_of(&fig15, Category::VideoStreaming).map(|s| s < 0.0).unwrap_or(false),
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f05-metric-diff");
-    // ---- §4.4 / F5 / F16: metric disagreement. -----------------------------
+// ---- §4.4 / F5 / F16: metric disagreement. -----------------------------
+fn family_metric_diff(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     // Agreement is computed at a depth where truncation binds (see
     // `Scale::agreement_depth`); a depth at or beyond the survivor population
     // trivially inflates intersection toward 1.
-    let ctx_agree = AnalysisContext::with_depth(world, dataset, scale.agreement_depth);
+    let ctx_agree = AnalysisContext::with_depth(f.world, f.dataset, f.scale.agreement_depth);
     let agree_w = metric_agreement(&ctx_agree, Platform::Windows);
     let agree_a = metric_agreement(&ctx_agree, Platform::Android);
-    report.push(ReportRow::banded("S4.4.a", "desktop loads∩time top-10K intersection", "65%", agree_w.intersection.median, 0.40, 0.85));
-    report.push(ReportRow::banded("S4.4.b", "mobile loads∩time top-10K intersection", "74%", agree_a.intersection.median, 0.40, 0.90));
-    report.push(ReportRow::banded("S4.4.c", "desktop Spearman within intersection", "0.65", agree_w.spearman.median, 0.35, 0.90));
-    report.push(ReportRow::banded("S4.4.d", "mobile Spearman within intersection", "0.69", agree_a.spearman.median, 0.35, 0.92));
+    rows.push(ReportRow::banded("S4.4.a", "desktop loads∩time top-10K intersection", "65%", agree_w.intersection.median, 0.40, 0.85));
+    rows.push(ReportRow::banded("S4.4.b", "mobile loads∩time top-10K intersection", "74%", agree_a.intersection.median, 0.40, 0.90));
+    rows.push(ReportRow::banded("S4.4.c", "desktop Spearman within intersection", "0.65", agree_w.spearman.median, 0.35, 0.90));
+    rows.push(ReportRow::banded("S4.4.d", "mobile Spearman within intersection", "0.69", agree_a.spearman.median, 0.35, 0.92));
     let lean_w = metric_leaning(ctx, Platform::Windows);
     let get = |m: &HashMap<String, f64>, c: Category| m.get(c.name()).copied().unwrap_or(0.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F5.a",
         "E-commerce over-represented among loads-leaning",
         "Fig. 5 left",
@@ -354,7 +419,7 @@ pub fn run_experiments(
         ),
         get(&lean_w.loads_leaning, Category::Ecommerce) > get(&lean_w.time_leaning, Category::Ecommerce),
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F5.b",
         "Video streaming over-represented among time-leaning",
         "Fig. 5 right",
@@ -366,7 +431,7 @@ pub fn run_experiments(
         get(&lean_w.time_leaning, Category::VideoStreaming) > get(&lean_w.loads_leaning, Category::VideoStreaming),
     ));
     let lean_a = metric_leaning(ctx, Platform::Android);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F16",
         "mobile leanings computed (Fig. 16)",
         "series exists",
@@ -376,7 +441,7 @@ pub fn run_experiments(
 
     // §4.4 within-category robustness (paper: 57–72% intersection desktop).
     let biz_agree = category_metric_agreement(&ctx_agree, Platform::Windows, Category::Business);
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S4.4.e",
         "within-Business loads∩time intersection",
         "57–72% (desktop categories)",
@@ -384,64 +449,74 @@ pub fn run_experiments(
         0.30,
         0.95,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("s4.5-temporal");
-    // ---- §4.5: temporal stability. -----------------------------------------
+// ---- §4.5: temporal stability. -----------------------------------------
+fn family_temporal(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let adj100 = adjacent_month_stability(ctx, Platform::Windows, Metric::PageLoads, 100);
     let min_adj = adj100.iter().map(|p| p.intersection.median).fold(f64::INFINITY, f64::min);
-    report.push(ReportRow::banded("S4.5.a", "adjacent-month top-100 intersection (min pair)", "82–90%", min_adj, 0.55, 1.0));
+    rows.push(ReportRow::banded("S4.5.a", "adjacent-month top-100 intersection (min pair)", "82–90%", min_adj, 0.55, 1.0));
     let min_rho = adj100.iter().map(|p| p.spearman.median).fold(f64::INFINITY, f64::min);
-    report.push(ReportRow::banded("S4.5.b", "adjacent-month top-100 Spearman (min pair)", "0.89–0.97", min_rho, 0.60, 1.0));
-    let anomaly = december_anomaly(ctx, Platform::Windows, Metric::TimeOnPage, scale.top_bucket);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::banded("S4.5.b", "adjacent-month top-100 Spearman (min pair)", "0.89–0.97", min_rho, 0.60, 1.0));
+    let anomaly = december_anomaly(ctx, Platform::Windows, Metric::TimeOnPage, f.scale.top_bucket);
+    rows.push(ReportRow::check(
         "S4.5.c",
         "December least similar to neighbors",
         "Nov→Dec below Jan→Feb",
         &format!("{:.2} vs {:.2}", anomaly.nov_dec_intersection, anomaly.jan_feb_intersection),
         anomaly.nov_dec_intersection < anomaly.jan_feb_intersection,
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "S4.5.d",
         "December: education down",
         "8.4% → 6.8%",
         &format!("{:.1}% → {:.1}%", anomaly.education_nov_dec.0, anomaly.education_nov_dec.1),
         anomaly.education_nov_dec.1 < anomaly.education_nov_dec.0,
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "S4.5.e",
         "December: e-commerce up",
         "5.0% → 6.1%",
         &format!("{:.1}% → {:.1}%", anomaly.ecommerce_nov_dec.0, anomaly.ecommerce_nov_dec.1),
         anomaly.ecommerce_nov_dec.1 > anomaly.ecommerce_nov_dec.0,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("s4.2.1-top10");
-    // ---- §4.2.1: top-10 composition. ---------------------------------------
+// ---- §4.2.1: top-10 composition. ---------------------------------------
+fn family_top10_composition(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let cov = top10_coverage(ctx, Platform::Windows, Metric::PageLoads);
-    report.push(ReportRow::exact("S4.2.a", "countries with a search engine in top 10", 45usize, cov.search));
-    report.push(ReportRow::banded("S4.2.b", "countries with a video platform in top 10", "45", cov.video as f64, 42.0, 45.0));
-    report.push(ReportRow::banded("S4.2.c", "countries with a social network in top 10", "44", cov.social as f64, 38.0, 45.0));
-    report.push(ReportRow::banded("S4.2.d", "countries with adult content in top 10", "43", cov.adult as f64, 33.0, 45.0));
-    report.push(ReportRow::banded("S4.2.e", "countries with e-commerce in top 10", "32", cov.ecommerce as f64, 20.0, 45.0));
-    report.push(ReportRow::banded("S4.2.f", "countries with chat/messaging in top 10", "30", cov.chat as f64, 15.0, 45.0));
+    rows.push(ReportRow::exact("S4.2.a", "countries with a search engine in top 10", 45usize, cov.search));
+    rows.push(ReportRow::banded("S4.2.b", "countries with a video platform in top 10", "45", cov.video as f64, 42.0, 45.0));
+    rows.push(ReportRow::banded("S4.2.c", "countries with a social network in top 10", "44", cov.social as f64, 38.0, 45.0));
+    rows.push(ReportRow::banded("S4.2.d", "countries with adult content in top 10", "43", cov.adult as f64, 33.0, 45.0));
+    rows.push(ReportRow::banded("S4.2.e", "countries with e-commerce in top 10", "32", cov.ecommerce as f64, 20.0, 45.0));
+    rows.push(ReportRow::banded("S4.2.f", "countries with chat/messaging in top 10", "30", cov.chat as f64, 15.0, 45.0));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f06-f09-endemicity");
-    // ---- F6/T1 + F7 + T2 + F8 + F9: endemicity & global/national. ---------
+// ---- F6/T1 + F7 + T2 + F8 + F9: endemicity & global/national. ---------
+fn family_endemicity(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let scale = f.scale;
+    let mut rows = Vec::new();
     let curves = popularity_curves(ctx, Platform::Windows, Metric::PageLoads, scale.head_depth);
     let find = |key: &str| curves.iter().find(|c| c.key == key);
     let google_e = find("google").map(|c| c.endemicity()).unwrap_or(999.0);
     let naver_e = find("naver").map(|c| c.endemicity()).unwrap_or(0.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F6.a",
         "google curve flat & low endemicity",
         "Fig. 6 flat example",
         &format!("E = {google_e:.1}, shape {:?}", find("google").map(|c| c.shape())),
         google_e < 40.0 && find("google").map(|c| c.shape() == CurveShape::Flat).unwrap_or(false),
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F6.b",
         "naver endemic to one country",
         "Fig. 6 endemic example",
@@ -450,7 +525,7 @@ pub fn run_experiments(
     ));
     let shape_census: Vec<usize> =
         CurveShape::ALL.iter().map(|s| curves.iter().filter(|c| c.shape() == *s).count()).collect();
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "T1",
         "curve shapes observed (Table 1)",
         "6 shapes",
@@ -458,7 +533,7 @@ pub fn run_experiments(
         shape_census.iter().filter(|n| **n > 0).count() >= 5,
     ));
     let scores_bounded = curves.iter().all(|c| (0.0..=180.1).contains(&c.endemicity()));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F7.a",
         "endemicity scores within [0, 180]",
         "score range 0–180",
@@ -466,7 +541,7 @@ pub fn run_experiments(
         scores_bounded,
     ));
     let (split, _) = classify_global_national(ctx, Platform::Windows, Metric::PageLoads, scale.head_depth);
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "T2",
         "globally popular fraction of scored sites",
         "≈2% (national ≈98%)",
@@ -479,14 +554,14 @@ pub fn run_experiments(
     let tech_n = comp.national.get("Technology").copied().unwrap_or(0.0);
     let edu_g = comp.global.get("Educational Institutions").copied().unwrap_or(0.0);
     let edu_n = comp.national.get("Educational Institutions").copied().unwrap_or(0.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F8.a",
         "technology leans global",
         "Fig. 8 global side",
         &format!("global {tech_g:.1}% vs national {tech_n:.1}%"),
         tech_g > tech_n,
     ));
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F8.b",
         "educational institutions lean national",
         "Fig. 8 national side",
@@ -494,7 +569,7 @@ pub fn run_experiments(
         edu_n >= edu_g,
     ));
     let fig9 = global_share_by_bucket(ctx, &split, &RANK_BUCKETS);
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "F9.a",
         "globally-popular sites in the top 10 (of 10)",
         "6–7 of 10",
@@ -505,7 +580,7 @@ pub fn run_experiments(
     // At reduced scale ranks 101–200 sit proportionally deeper into the
     // shared pools, lowering the national share a few points.
     let f9b_lo = 48.0;
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "F9.b",
         "nationally-popular share at ranks 101–200",
         "65–73%",
@@ -515,7 +590,7 @@ pub fn run_experiments(
     ));
     let (split_t, _) = classify_global_national(ctx, Platform::Windows, Metric::TimeOnPage, scale.head_depth);
     let fig17 = global_share_by_bucket(ctx, &split_t, &RANK_BUCKETS);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F17",
         "time-on-page global share also falls with rank",
         "Fig. 17 matches Fig. 9",
@@ -523,7 +598,7 @@ pub fn run_experiments(
         fig17.global_pct[0] >= fig17.global_pct[4],
     ));
     let endemic = endemic_fraction(ctx, Platform::Windows, Metric::PageLoads, scale.head_depth);
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S5.1",
         "head sites absent from every other country's 10K",
         "53.9%",
@@ -531,14 +606,18 @@ pub fn run_experiments(
         0.30,
         0.80,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f10-similarity");
-    // ---- F10 + F18–20: similarity heatmaps. --------------------------------
+// ---- F10 + F18–20 + F11 + F21: similarity heatmaps & clusters. ---------
+// One family: F11's clustering consumes F10's similarity matrix.
+fn family_similarity_clusters(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let sim_wl = similarity_matrix(ctx, Platform::Windows, Metric::PageLoads);
     let naf = sim_wl.between("DZ", "MA").unwrap_or(0.0);
     let cross = sim_wl.between("DZ", "JP").unwrap_or(1.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F10.a",
         "North-Africa pair outshines cross-region pair",
         "DZ–MA ≫ DZ–JP",
@@ -547,7 +626,7 @@ pub fn run_experiments(
     ));
     let kr_mean = sim_wl.mean_similarity("KR").unwrap_or(1.0);
     let us_mean = sim_wl.mean_similarity("US").unwrap_or(0.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F10.b",
         "South Korea is the loads outlier",
         "KR visibly dissimilar",
@@ -562,7 +641,7 @@ pub fn run_experiments(
         let m = similarity_matrix(ctx, platform, metric);
         let jp = m.mean_similarity("JP").unwrap_or(1.0);
         let fr = m.mean_similarity("FR").unwrap_or(0.0);
-        report.push(ReportRow::check(
+        rows.push(ReportRow::check(
             id,
             &format!("{platform}/{metric} heatmap computed; JP atypical"),
             "JP below typical",
@@ -571,11 +650,9 @@ pub fn run_experiments(
         ));
     }
 
-    drop(span);
-    let span = wwv_obs::span!("f11-clusters");
-    // ---- F11 + F21: clusters. ----------------------------------------------
+    // ---- F11 + F21: clusters. ------------------------------------------
     if let Some(clusters) = cluster_countries(&sim_wl) {
-        report.push(ReportRow::banded(
+        rows.push(ReportRow::banded(
             "F11.a",
             "number of country clusters",
             "11",
@@ -583,7 +660,7 @@ pub fn run_experiments(
             4.0,
             20.0,
         ));
-        report.push(ReportRow::banded(
+        rows.push(ReportRow::banded(
             "F21",
             "average silhouette coefficient",
             "0.11 (weak but present)",
@@ -594,7 +671,7 @@ pub fn run_experiments(
         let cluster_of = |code: &str| {
             clusters.clusters.iter().position(|c| c.members.iter().any(|m| m == code))
         };
-        report.push(ReportRow::check(
+        rows.push(ReportRow::check(
             "F11.b",
             "Hispanic Americas share a cluster",
             "Central/South America cluster",
@@ -609,31 +686,36 @@ pub fn run_experiments(
                 || cluster_of("CO") == cluster_of("AR"),
         ));
     }
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f12-buckets");
-    // ---- F12: intersection by bucket. --------------------------------------
+// ---- F12: intersection by bucket. --------------------------------------
+fn family_buckets(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let buckets: Vec<usize> =
-        FIG12_BUCKETS.iter().copied().filter(|b| *b <= scale.analysis_depth).collect();
+        FIG12_BUCKETS.iter().copied().filter(|b| *b <= f.scale.analysis_depth).collect();
     let fig12 = bucket_intersections(ctx, Platform::Windows, Metric::PageLoads, &buckets);
     let head_mean = fig12.first().map(|b| b.mean()).unwrap_or(0.0);
     let tail_mean = fig12.last().map(|b| b.mean()).unwrap_or(1.0);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "F12",
         "head buckets more cross-country similar than tail",
         "top-10 > deepest bucket mean",
         &format!("{head_mean:.2} vs {tail_mean:.2}"),
         head_mean > tail_mean,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("f13-taxonomy");
-    // ---- F13/T3: taxonomy curation. ----------------------------------------
-    let curation = run_curation(world.config().seed.derive("curation"));
-    report.push(ReportRow::exact("F13.a", "raw categories audited", 114usize, curation.audits.len()));
-    report.push(ReportRow::exact("F13.b", "categories dropped", 19usize, curation.dropped_count()));
-    report.push(ReportRow::exact("T3.a", "curated categories", 61usize, curation.curated_count()));
-    report.push(ReportRow::banded(
+// ---- F13/T3: taxonomy curation. ----------------------------------------
+fn family_taxonomy(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let mut rows = Vec::new();
+    let curation = run_curation(f.world.config().seed.derive("curation"));
+    rows.push(ReportRow::exact("F13.a", "raw categories audited", 114usize, curation.audits.len()));
+    rows.push(ReportRow::exact("F13.b", "categories dropped", 19usize, curation.dropped_count()));
+    rows.push(ReportRow::exact("T3.a", "curated categories", 61usize, curation.curated_count()));
+    rows.push(ReportRow::banded(
         "T3.b",
         "audit agreement with dispositions",
         "exact",
@@ -641,13 +723,16 @@ pub fn run_experiments(
         1.0,
         1.0,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("s5.3.2-endemic-top10");
-    // ---- §5.3.2: endemic top-10 sites. --------------------------------------
+// ---- §5.3.2: endemic top-10 sites. --------------------------------------
+fn family_endemic_top10(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let endemic10 = endemic_top10_keys(ctx, Platform::Windows, Metric::PageLoads);
     let kr_endemic = endemic10.get("KR").map(Vec::len).unwrap_or(0);
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S5.3.a",
         "KR endemic top-10 sites",
         "forums + portals (≥4)",
@@ -655,7 +740,7 @@ pub fn run_experiments(
         3.0,
         10.0,
     ));
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "S5.3.b",
         "countries with ≥1 endemic top-10 site",
         "most",
@@ -667,7 +752,7 @@ pub fn run_experiments(
     // §5.3.2: e-commerce serves one ccTLD per market; google serves one
     // domain everywhere.
     let pattern = cctld_pattern(ctx, Platform::Windows, Metric::PageLoads, 50, 5);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "S5.3.c",
         "multi-country e-commerce uses per-country eTLDs",
         "amazon/shopee shape",
@@ -681,7 +766,7 @@ pub fn run_experiments(
     ));
     // §4.1.2: desktop-only top-10 sites mostly have native Android apps.
     if let Some(fraction) = android_app_fraction(ctx, Metric::PageLoads) {
-        report.push(ReportRow::banded(
+        rows.push(ReportRow::banded(
             "S4.1.e",
             "Windows-top10-not-Android sites with an app",
             "82% (93 of 114)",
@@ -690,12 +775,15 @@ pub fn run_experiments(
             1.0,
         ));
     }
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("ablations");
-    // ---- Ablations (DESIGN.md §5). -------------------------------------------
+// ---- Ablations (DESIGN.md §5). -------------------------------------------
+fn family_ablations(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    let ctx = f.ctx;
+    let mut rows = Vec::new();
     let rbo_ab = wwv_core::ablation::rbo_ablation(ctx, Platform::Windows, Metric::PageLoads);
-    report.push(ReportRow::check(
+    rows.push(ReportRow::check(
         "A.1",
         "traffic-weighted vs classic RBO: structure stable",
         "same outlier, correlated",
@@ -705,7 +793,7 @@ pub fn run_experiments(
         ),
         rbo_ab.pairwise_spearman > 0.5 && rbo_ab.weighted_outlier == rbo_ab.classic_outlier,
     ));
-    report.push(ReportRow::banded(
+    rows.push(ReportRow::banded(
         "A.2",
         "weighting changes pairwise similarities (MAD)",
         "non-trivial difference",
@@ -713,8 +801,8 @@ pub fn run_experiments(
         0.01,
         1.0,
     ));
-    let end_ab = wwv_core::ablation::endemicity_ablation(ctx, Platform::Windows, Metric::PageLoads, scale.head_depth);
-    report.push(ReportRow::check(
+    let end_ab = wwv_core::ablation::endemicity_ablation(ctx, Platform::Windows, Metric::PageLoads, f.scale.head_depth);
+    rows.push(ReportRow::check(
         "A.3",
         "area endemicity score places google at the global end",
         "bottom percentile",
@@ -724,15 +812,15 @@ pub fn run_experiments(
         ),
         end_ab.google_area_percentile < 10.0,
     ));
+    rows
+}
 
-    drop(span);
-    let span = wwv_obs::span!("dataset-sanity");
-    // ---- Dataset sanity. ----------------------------------------------------
-    report.push(ReportRow::exact(
+// ---- Dataset sanity. ----------------------------------------------------
+fn family_dataset_sanity(f: &FamilyCtx<'_>) -> Vec<ReportRow> {
+    vec![ReportRow::exact(
         "D.a",
         "rank lists built (45 × 2 × 2 × 6)",
         1_080usize,
-        dataset.lists.len(),
-    ));
-    drop(span);
+        f.dataset.lists.len(),
+    )]
 }

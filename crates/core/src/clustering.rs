@@ -61,7 +61,7 @@ pub fn cluster_countries(sim: &SimilarityMatrix) -> Option<CountryClustering> {
             }
         })
         .collect();
-    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
     Some(CountryClustering { clusters, average_silhouette: average, converged: clustering.converged })
 }
 

@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn percentages_sum_to_100() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let comp = composition(&ctx, Platform::Windows, Metric::PageLoads);
         for map in [&comp.sites_top100, &comp.sites_top10k, &comp.traffic_top100, &comp.traffic_top10k] {
             let total: f64 = map.values().sum();
@@ -134,7 +134,7 @@ mod tests {
         // Fig. 2 / §4.2.2: search engines capture 20–25% of page loads but
         // are a tiny fraction of the 10K site population.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let comp = composition(&ctx, Platform::Windows, Metric::PageLoads);
         let search_traffic = comp.traffic_10k(Category::SearchEngines);
         let search_sites = comp.sites_10k(Category::SearchEngines);
@@ -148,7 +148,7 @@ mod tests {
         // §4.2.2: users spend the plurality of desktop time on video
         // streaming (33% of top-10K time in the paper).
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let comp = composition(&ctx, Platform::Windows, Metric::TimeOnPage);
         let video = comp.traffic_10k(Category::VideoStreaming);
         assert!(video > 15.0, "video time share {video}%");
@@ -160,7 +160,7 @@ mod tests {
     fn adult_prominent_in_mobile_time() {
         // §4.2.2: the plurality of mobile browser time goes to adult content.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let comp = composition(&ctx, Platform::Android, Metric::TimeOnPage);
         let adult = comp.traffic_10k(Category::Pornography);
         let desktop = composition(&ctx, Platform::Windows, Metric::TimeOnPage);

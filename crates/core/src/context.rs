@@ -12,9 +12,13 @@
 //! * **traffic weights** per rank from the Fig. 1 distribution curves.
 //!
 //! Key derivation and categorization are memoized per interned domain.
+//! The memo tables sit behind mutexes so one context can serve concurrent
+//! analyses (the experiment families and similarity pairs run on the
+//! `wwv-par` pool); both derivations are pure functions of the domain id,
+//! so concurrent misses converge on the same value.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use wwv_domains::{DomainName, PublicSuffixList, SiteKey};
 use wwv_stats::RankedList;
 use wwv_taxonomy::{Categorizer, Category, NoisyCategorizer, TrueCategorizer};
@@ -32,8 +36,8 @@ pub struct AnalysisContext<'a> {
     pub depth: usize,
     psl: PublicSuffixList,
     categorizer: NoisyCategorizer<TrueCategorizer>,
-    keys: RefCell<HashMap<DomainId, String>>,
-    categories: RefCell<HashMap<DomainId, Category>>,
+    keys: Mutex<HashMap<DomainId, String>>,
+    categories: Mutex<HashMap<DomainId, Category>>,
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -59,8 +63,8 @@ impl<'a> AnalysisContext<'a> {
             depth,
             psl: PublicSuffixList::embedded(),
             categorizer,
-            keys: RefCell::new(HashMap::new()),
-            categories: RefCell::new(HashMap::new()),
+            keys: Mutex::new(HashMap::new()),
+            categories: Mutex::new(HashMap::new()),
         }
     }
 
@@ -90,7 +94,7 @@ impl<'a> AnalysisContext<'a> {
     /// The merged site key of a domain (memoized). Domains that are
     /// themselves public suffixes fall back to their full name.
     pub fn key_of(&self, id: DomainId) -> String {
-        if let Some(k) = self.keys.borrow().get(&id) {
+        if let Some(k) = self.keys.lock().unwrap_or_else(|p| p.into_inner()).get(&id) {
             return k.clone();
         }
         let name = self.dataset.domains.name(id);
@@ -99,7 +103,7 @@ impl<'a> AnalysisContext<'a> {
             .and_then(|d| SiteKey::of(&d, &self.psl).ok())
             .map(|k| k.as_str().to_owned())
             .unwrap_or_else(|| name.to_owned());
-        self.keys.borrow_mut().insert(id, key.clone());
+        self.keys.lock().unwrap_or_else(|p| p.into_inner()).insert(id, key.clone());
         key
     }
 
@@ -119,7 +123,7 @@ impl<'a> AnalysisContext<'a> {
     /// verified sets answer from ground truth, everything else from the
     /// noisy categorization API (memoized).
     pub fn category_of(&self, id: DomainId) -> Category {
-        if let Some(c) = self.categories.borrow().get(&id) {
+        if let Some(c) = self.categories.lock().unwrap_or_else(|p| p.into_inner()).get(&id) {
             return *c;
         }
         let truth = self.world.universe().site(self.dataset.domains.site(id)).category;
@@ -129,7 +133,7 @@ impl<'a> AnalysisContext<'a> {
         } else {
             self.categorizer.categorize(self.dataset.domains.name(id)).unwrap_or(Category::Unknown)
         };
-        self.categories.borrow_mut().insert(id, category);
+        self.categories.lock().unwrap_or_else(|p| p.into_inner()).insert(id, category);
         category
     }
 
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn key_merging_collapses_cctlds() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let uk = ds.domains.get("amazon.co.uk").expect("amazon.co.uk in dataset");
         let de = ds.domains.get("amazon.de").expect("amazon.de in dataset");
         assert_eq!(ctx.key_of(uk), "amazon");
@@ -174,7 +178,7 @@ mod tests {
     #[test]
     fn key_list_preserves_best_rank() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let b = ctx.breakdown(Country::index_of("US").unwrap(), Platform::Windows, Metric::PageLoads);
         let keys = ctx.key_list(b);
         assert_eq!(keys.at_rank(1).map(String::as_str), Some("google"));
@@ -184,7 +188,7 @@ mod tests {
     #[test]
     fn manual_categories_always_correct() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let google = ds.domains.get("google.com").unwrap();
         assert_eq!(ctx.category_of(google), Category::SearchEngines);
         assert_eq!(ctx.true_category_of(google), Category::SearchEngines);
@@ -193,7 +197,7 @@ mod tests {
     #[test]
     fn api_categories_mostly_correct() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let b = ctx.breakdown(Country::index_of("FR").unwrap(), Platform::Windows, Metric::PageLoads);
         let list = ctx.domain_list(b);
         let agree = list
@@ -208,7 +212,7 @@ mod tests {
     #[test]
     fn traffic_weights_decreasing() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let w = ctx.traffic_weights(Platform::Windows, Metric::PageLoads);
         assert_eq!(w.len(), 2_000);
         assert!(w[0] > w[100]);
@@ -217,7 +221,7 @@ mod tests {
     #[test]
     fn memoization_is_stable() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let id = ds.domains.get("google.com").unwrap();
         assert_eq!(ctx.key_of(id), ctx.key_of(id));
         assert_eq!(ctx.category_of(id), ctx.category_of(id));

@@ -218,7 +218,7 @@ mod tests {
             (1..=45).map(|i| i * 37).collect::<Vec<_>>(),
             vec![1, 10, 100, 1_000, 10_000]
                 .into_iter()
-                .chain(std::iter::repeat(ABSENT_RANK).take(40))
+                .chain(std::iter::repeat_n(ABSENT_RANK, 40))
                 .collect::<Vec<_>>(),
         ] {
             let c = curve(ranks);
@@ -231,7 +231,7 @@ mod tests {
     fn plateau_then_cliff_detected() {
         // Popular (ranks 3–30) in 12 countries, absent elsewhere.
         let ranks: Vec<usize> =
-            (0..12).map(|i| 3 + i * 2).chain(std::iter::repeat(ABSENT_RANK).take(33)).collect();
+            (0..12).map(|i| 3 + i * 2).chain(std::iter::repeat_n(ABSENT_RANK, 33)).collect();
         let c = curve(ranks);
         assert_eq!(c.shape(), CurveShape::PlateauThenCliff);
     }
@@ -258,7 +258,7 @@ mod tests {
         let ranks: Vec<usize> = (0..10)
             .map(|i| 5 + i)
             .chain((0..15).map(|i| 1_000 + i * 10))
-            .chain(std::iter::repeat(ABSENT_RANK).take(20))
+            .chain(std::iter::repeat_n(ABSENT_RANK, 20))
             .collect();
         let c = curve(ranks);
         assert_eq!(c.shape(), CurveShape::MultiInflection);

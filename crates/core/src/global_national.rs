@@ -215,7 +215,7 @@ mod tests {
     fn most_sites_are_national() {
         // Table 2: ≈98% national, ≈2% global.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
         assert!(split.scored > 500);
         assert!(split.global_fraction < 0.15, "global fraction {}", split.global_fraction);
@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn google_is_global_national_sites_are_national() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
         assert_eq!(split.classes.get("google"), Some(&PopularityClass::Global));
         assert_eq!(split.classes.get("youtube"), Some(&PopularityClass::Global));
@@ -239,7 +239,7 @@ mod tests {
         // Fig. 9: globally popular sites dominate the top 10 but national
         // sites take over by ranks 101–200.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
         let fig9 = global_share_by_bucket(&ctx, &split, &RANK_BUCKETS);
         let top10 = fig9.global_pct[0];
@@ -252,7 +252,7 @@ mod tests {
     #[test]
     fn composition_differs_between_classes() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let (split, _) = classify_global_national(&ctx, Platform::Windows, Metric::PageLoads, 200);
         let comp = class_composition(&ctx, &split);
         assert!(!comp.global.is_empty() && !comp.national.is_empty());
@@ -268,7 +268,7 @@ mod tests {
         // §5.1: 53.9% of sites in some country's top-1K appear in no other
         // country's top-10K.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let f = endemic_fraction(&ctx, Platform::Windows, Metric::PageLoads, 200);
         assert!(f > 0.35, "endemic fraction {f}");
         assert!(f < 0.85, "endemic fraction {f}");

@@ -169,7 +169,7 @@ mod tests {
     fn leaning_directions_match_paper() {
         // Fig. 5: E-commerce loads-leaning; Video Streaming time-leaning.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let l = metric_leaning(&ctx, Platform::Windows);
         let ecom_loads = l.loads_leaning.get(Category::Ecommerce.name()).copied().unwrap_or(0.0);
         let ecom_time = l.time_leaning.get(Category::Ecommerce.name()).copied().unwrap_or(0.0);
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn leaning_percentages_bounded() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let l = metric_leaning(&ctx, Platform::Android);
         for map in [&l.loads_leaning, &l.time_leaning, &l.other] {
             for (k, v) in map {

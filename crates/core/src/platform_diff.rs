@@ -136,14 +136,14 @@ mod tests {
         crate::testutil::small()
     }
 
-    fn diff_of<'a>(rows: &'a [PlatformDiff], cat: Category) -> Option<&'a PlatformDiff> {
+    fn diff_of(rows: &[PlatformDiff], cat: Category) -> Option<&PlatformDiff> {
         rows.iter().find(|r| r.category == cat.name())
     }
 
     #[test]
     fn scores_bounded() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let rows = platform_differences(&ctx, Metric::PageLoads);
         assert!(!rows.is_empty());
         for r in &rows {
@@ -157,7 +157,7 @@ mod tests {
         // Fig. 4: Pornography/Dating mobile-leaning; Educational
         // Institutions / Webmail / Gaming / Business desktop-leaning.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let rows = platform_differences(&ctx, Metric::PageLoads);
         if let Some(p) = diff_of(&rows, Category::Pornography) {
             assert!(p.score > 0.0, "porn score {}", p.score);
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn sorted_most_mobile_first() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let rows = platform_differences(&ctx, Metric::PageLoads);
         for pair in rows.windows(2) {
             assert!(pair[0].score >= pair[1].score);

@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn summaries_are_percentages() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let s = prevalence_by_rank(&ctx, Category::NewsMedia, Platform::Windows, Metric::PageLoads, &T);
         assert_eq!(s.summary.len(), T.len());
         for q in &s.summary {
@@ -122,7 +122,7 @@ mod tests {
         // Fig. 3: Business is disproportionately represented in the long
         // tail on desktop.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let s = prevalence_by_rank(&ctx, Category::Business, Platform::Windows, Metric::PageLoads, &T);
         let head = s.summary[1].median; // top-30
         let tail = s.summary[5].median; // top-2000
@@ -134,7 +134,7 @@ mod tests {
         // Fig. 3: Video Streaming is a larger share of top sites than of the
         // tail when ranking by time.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let s = prevalence_by_rank(&ctx, Category::VideoStreaming, Platform::Windows, Metric::TimeOnPage, &T);
         let head = s.summary[0].median; // top-10
         let tail = s.summary[5].median;
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn news_peaks_mid_rank() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let s = prevalence_by_rank(&ctx, Category::NewsMedia, Platform::Windows, Metric::PageLoads, &T);
         let head = s.summary[0].median;
         let mid = s.summary[2].median.max(s.summary[3].median); // top 100–300

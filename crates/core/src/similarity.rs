@@ -41,21 +41,27 @@ impl SimilarityMatrix {
 }
 
 /// Computes the weighted-RBO similarity matrix for one (platform, metric).
+/// The 45 key lists and the 990 lower-triangle pairs are evaluated on the
+/// `wwv-par` pool; every pair is a pure function of its two lists, so the
+/// matrix is identical at any worker count.
 pub fn similarity_matrix(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> SimilarityMatrix {
     let _span = wwv_obs::span!("core.similarity");
     let weights = WeightModel::Empirical { weights: ctx.traffic_weights(platform, metric) };
-    let lists: Vec<_> = ctx
-        .countries()
-        .map(|ci| ctx.key_list(ctx.breakdown(ci, platform, metric)))
-        .collect();
+    let countries: Vec<usize> = ctx.countries().collect();
+    let lists = wwv_par::par_map("core.similarity.lists", &countries, |_, &ci| {
+        ctx.key_list(ctx.breakdown(ci, platform, metric))
+    });
     let n = lists.len();
-    let matrix = SymmetricMatrix::build(n, |i, j| {
-        if i == j {
-            return 1.0;
-        }
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (0..i).map(move |j| (i, j))).collect();
+    let values = wwv_par::par_map("core.similarity.pairs", &pairs, |_, &(i, j)| {
         let depth = ctx.depth.min(lists[i].len().max(lists[j].len()));
         rbo_weighted(&lists[i], &lists[j], &weights, depth.max(1)).unwrap_or(0.0)
     });
+    let mut matrix = SymmetricMatrix::new(n, 1.0);
+    for (&(i, j), v) in pairs.iter().zip(values) {
+        matrix.set(i, j, v);
+    }
     SimilarityMatrix {
         platform,
         metric,

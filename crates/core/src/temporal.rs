@@ -177,7 +177,7 @@ mod tests {
     fn adjacent_months_strongly_correlated() {
         // §4.5: ~80–95% intersection, ρ ≳ 0.85 between adjacent months.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 1_000);
         let pairs = adjacent_month_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
         assert_eq!(pairs.len(), 5);
         for p in &pairs {
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn december_is_least_stable() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 1_000);
         let a = december_anomaly(&ctx, Platform::Windows, Metric::PageLoads, 1_000);
         assert!(
             a.nov_dec_intersection < a.jan_feb_intersection,
@@ -203,7 +203,7 @@ mod tests {
     fn december_category_shift() {
         // §4.5: education down, e-commerce up in December.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 1_000);
         let a = december_anomaly(&ctx, Platform::Windows, Metric::TimeOnPage, 1_000);
         assert!(
             a.ecommerce_nov_dec.1 > a.ecommerce_nov_dec.0,
@@ -222,7 +222,7 @@ mod tests {
     #[test]
     fn september_drift_grows_with_distance() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 1_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 1_000);
         let drift = from_september_stability(&ctx, Platform::Windows, Metric::PageLoads, 100);
         assert_eq!(drift.len(), 5);
         // Sep→Oct at least as similar as Sep→Feb.

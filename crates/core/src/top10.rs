@@ -190,7 +190,7 @@ mod tests {
         // §4.2.1: all 45 countries rank a search engine and a video
         // platform in their top ten.
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let c = top10_coverage(&ctx, Platform::Windows, Metric::PageLoads);
         assert_eq!(c.countries, 45);
         assert_eq!(c.search, 45, "search coverage");
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn social_and_adult_near_universal() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let c = top10_coverage(&ctx, Platform::Windows, Metric::PageLoads);
         assert!(c.social >= 38, "social coverage {}", c.social);
         assert!((30..=45).contains(&c.adult), "adult coverage {}", c.adult);
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn endemic_top10_exists_for_korea() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let endemic = endemic_top10_keys(&ctx, Platform::Windows, Metric::PageLoads);
         let kr = endemic.get("KR").expect("KR has endemic top-10 sites");
         assert!(kr.len() >= 3, "KR endemic sites {kr:?}");
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn tally_counts_are_plausible() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let tally = top10_category_tally(&ctx, Platform::Windows, Metric::PageLoads);
         let total: usize = tally.values().sum();
         assert_eq!(total, 450, "45 countries × 10 sites");
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn supercategory_summary_covers_all_countries() {
         let (world, ds) = fixtures();
-        let ctx = AnalysisContext::with_depth(&world, &ds, 2_000);
+        let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         let sup = top10_supercategory_countries(&ctx, Platform::Windows, Metric::PageLoads);
         assert_eq!(sup.get(&SuperCategory::SearchEngines), Some(&45));
     }
@@ -277,7 +277,7 @@ pub fn cctld_pattern(
             continue;
         }
         let n_domains = domains_of.get(&key).map(HashSet::len).unwrap_or(0);
-        if n_domains >= countries.len().max(2) / 2 + 1 && n_domains > 1 {
+        if n_domains > countries.len().max(2) / 2 && n_domains > 1 {
             per_country_domains.push(key);
         } else {
             single_domain.push(key);

@@ -139,6 +139,7 @@ impl Registry {
     }
 
     /// Point-in-time copies of every metric family (report assembly).
+    #[allow(clippy::type_complexity)]
     pub(crate) fn dump(
         &self,
     ) -> (

@@ -1,0 +1,352 @@
+//! # wwv-par
+//!
+//! A small deterministic scoped work-stealing pool for the `wwv` pipeline,
+//! built on the workspace's existing `crossbeam` dependency (an MPMC channel
+//! serves as the global task injector) and `std::thread::scope`.
+//!
+//! **Determinism contract.** [`Pool::par_map`] evaluates `f(i, &items[i])`
+//! exactly once per index and returns the results **in index order**,
+//! regardless of how the scheduler interleaves tasks across workers. As long
+//! as `f` itself is a pure function of `(i, items[i])` — which holds
+//! everywhere in this codebase because every random draw is keyed by a
+//! deterministic `(seed, label, sample_idx)` SplitMix64 derivation, never by
+//! a shared mutable RNG — the parallel result is **bit-identical** to the
+//! sequential one. `wwv-telemetry`'s `parallel_determinism` integration test
+//! enforces this end-to-end on the full dataset builder.
+//!
+//! **Scheduling.** Task indices start in a global injector channel; each
+//! worker batch-refills a local run queue from it, pops locally while work
+//! remains, and steals the back half of a sibling's queue when both run dry.
+//! Workers never block: when no task is observed anywhere they exit, and
+//! `std::thread::scope` joins them. A task lives in exactly one place at a
+//! time (injector, one local queue, or executing), so no index is ever lost
+//! or run twice.
+//!
+//! **Panics.** A panicking task does not poison the pool: the first payload
+//! is captured, remaining queued work is abandoned (the abort flag stops
+//! task pickup), every worker exits, and the panic is re-raised on the
+//! calling thread after the scope joins — no deadlock, no lost worker.
+//!
+//! **Observability.** Each `par_map` runs under a `wwv-obs` span named by
+//! its `label`, counts per-worker completed tasks
+//! (`par.worker{i}.tasks`), and tracks the pending-task queue depth in the
+//! `par.queue.depth` gauge.
+//!
+//! ```
+//! let pool = wwv_par::Pool::new(4);
+//! let squares = pool.par_map("demo.squares", &[1u64, 2, 3, 4], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use crossbeam::channel::{self, Receiver};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override; 0 means "ask the OS".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`Pool::global`]
+/// (the `--threads` flag of `reproduce` and `wwv`). `0` restores the
+/// "available parallelism" default.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default worker count: the [`set_threads`] override if
+/// set, otherwise `std::thread::available_parallelism()`.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A scoped work-stealing pool of a fixed width. Creating one is free —
+/// threads are spawned per call and joined before the call returns, so the
+/// pool can safely borrow stack data.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+/// How many tasks a worker pulls from the injector per refill: large enough
+/// to amortize channel overhead, small enough that the tail of the run still
+/// load-balances across workers.
+fn refill_batch(n_tasks: usize, workers: usize) -> usize {
+    (n_tasks / (workers * 4)).clamp(1, 64)
+}
+
+impl Pool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool { workers: threads.max(1) }
+    }
+
+    /// A pool at the process-wide default width (see [`set_threads`]).
+    pub fn global() -> Pool {
+        Pool::new(threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` in parallel, preserving index order in the
+    /// output. `f(i, &items[i])` runs exactly once per index. With one
+    /// worker (or ≤ 1 item) the map runs inline on the calling thread —
+    /// no threads, no channels — which doubles as the reference schedule
+    /// for determinism tests.
+    pub fn par_map<T, R, F>(&self, label: &str, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let _span = wwv_obs::span!(label);
+        let n = items.len();
+        if self.workers == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.workers.min(n);
+        let batch = refill_batch(n, workers);
+
+        let (tx, injector) = channel::unbounded();
+        for i in 0..n {
+            // An unbounded send only fails if the receiver is gone; it is
+            // alive right here on the stack.
+            let _ = tx.send(i);
+        }
+        drop(tx);
+        let depth_gauge = wwv_obs::global().gauge("par.queue.depth");
+        depth_gauge.set(n as i64);
+
+        let abort = AtomicBool::new(false);
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let locals: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+
+        let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let injector = &injector;
+                    let locals = &locals;
+                    let abort = &abort;
+                    let first_panic = &first_panic;
+                    let depth_gauge = &depth_gauge;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let completed =
+                            wwv_obs::global().counter(&format!("par.worker{w}.tasks"));
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        while !abort.load(Ordering::Relaxed) {
+                            let Some(i) = next_task(w, locals, injector, batch) else {
+                                break;
+                            };
+                            depth_gauge.add(-1);
+                            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                                Ok(r) => {
+                                    out.push((i, r));
+                                    completed.inc();
+                                }
+                                Err(payload) => {
+                                    let mut slot =
+                                        first_panic.lock().unwrap_or_else(|p| p.into_inner());
+                                    slot.get_or_insert(payload);
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_worker.push(h.join().unwrap_or_default());
+            }
+        });
+        depth_gauge.set(0);
+
+        let panicked = first_panic.into_inner().unwrap_or_else(|p| p.into_inner());
+        if let Some(payload) = panicked {
+            resume_unwind(payload);
+        }
+
+        // Deterministic reassembly: results land in their index slot no
+        // matter which worker produced them or in what order.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "task {i} executed twice");
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|r| r.expect("every task ran exactly once")).collect()
+    }
+
+    /// Runs `f(i, &items[i])` for every index in parallel, for side effects
+    /// (e.g. filling caller-owned per-index state through interior
+    /// mutability or atomics). Same scheduling and panic semantics as
+    /// [`Pool::par_map`].
+    pub fn par_for_each_indexed<T, F>(&self, label: &str, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        let _ = self.par_map(label, items, |i, t| f(i, t));
+    }
+}
+
+/// Finds worker `w`'s next task: its local queue first, then a batch refill
+/// from the injector channel, then the back half of the longest sibling
+/// queue. Returns `None` only when every queue is observed empty — any task
+/// not seen here is owned by a live sibling (in its local queue or already
+/// executing), which will run it before exiting, so no index is dropped.
+fn next_task(
+    w: usize,
+    locals: &[Mutex<VecDeque<usize>>],
+    injector: &Receiver<usize>,
+    batch: usize,
+) -> Option<usize> {
+    if let Some(i) = locals[w].lock().unwrap_or_else(|p| p.into_inner()).pop_front() {
+        return Some(i);
+    }
+    // Refill from the injector: take one to run now, queue the rest locally.
+    if let Ok(first) = injector.try_recv() {
+        let mut local = locals[w].lock().unwrap_or_else(|p| p.into_inner());
+        for _ in 1..batch {
+            match injector.try_recv() {
+                Ok(i) => local.push_back(i),
+                Err(_) => break,
+            }
+        }
+        return Some(first);
+    }
+    // Steal: take the back half of the fullest sibling queue.
+    let victim = (0..locals.len()).filter(|&v| v != w).max_by_key(|&v| {
+        locals[v].lock().map(|q| q.len()).unwrap_or(0)
+    })?;
+    let mut stolen = {
+        let mut q = locals[victim].lock().unwrap_or_else(|p| p.into_inner());
+        let keep = q.len() / 2;
+        q.split_off(keep)
+    };
+    let first = stolen.pop_front()?;
+    if !stolen.is_empty() {
+        locals[w].lock().unwrap_or_else(|p| p.into_inner()).extend(stolen);
+    }
+    Some(first)
+}
+
+/// [`Pool::par_map`] on the process-wide default pool.
+pub fn par_map<T, R, F>(label: &str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    Pool::global().par_map(label, items, f)
+}
+
+/// [`Pool::par_for_each_indexed`] on the process-wide default pool.
+pub fn par_for_each_indexed<T, F>(label: &str, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    Pool::global().par_for_each_indexed(label, items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = Pool::new(4).par_map("par-test.empty", &[] as &[u64], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn order_is_preserved_across_widths() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 300] {
+            let got = Pool::new(threads).par_map("par-test.order", &items, |_, x| x * 3 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = Pool::new(4).par_map("par-test.idx", &items, |i, x| (i, *x));
+        for (i, (idx, x)) in got.iter().enumerate() {
+            assert_eq!((i, i), (*idx, *x));
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_preserve_order() {
+        // Unequal task costs force refills and steals mid-run.
+        let items: Vec<u64> = (0..400).collect();
+        let work = |i: usize, x: &u64| {
+            let mut acc = *x;
+            for _ in 0..(x % 13) * 200 {
+                acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(1));
+            }
+            (i as u64, acc)
+        };
+        let want: Vec<(u64, u64)> = items.iter().enumerate().map(|(i, x)| work(i, x)).collect();
+        for threads in [2, 3, 5, 8] {
+            let got = Pool::new(threads).par_map("par-test.uneven", &items, work);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        Pool::new(6).par_for_each_indexed("par-test.foreach", &hits, |_, h| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        let out = Pool::new(0).par_map("par-test.clamp", &[1, 2, 3], |_, x| *x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_propagates_without_deadlock() {
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map("par-test.panic", &items, |_, x| {
+                if *x == 17 {
+                    panic!("task 17 exploded");
+                }
+                *x
+            })
+        });
+        let payload = result.expect_err("panic must cross the pool boundary");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task 17 exploded");
+        // The pool must remain usable after a panicked run.
+        let ok = Pool::new(4).par_map("par-test.after-panic", &items, |_, x| x + 1);
+        assert_eq!(ok.len(), items.len());
+    }
+
+    #[test]
+    fn global_threads_round_trips() {
+        // Don't disturb other tests: restore the auto default.
+        set_threads(7);
+        assert_eq!(threads(), 7);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the deterministic pool: for arbitrary inputs, sizes,
+//! and worker counts, `par_map` must equal the sequential map exactly, and
+//! a panicking task must propagate instead of deadlocking the pool.
+
+use proptest::prelude::*;
+use wwv_par::Pool;
+
+/// A deterministic, index-sensitive task function: mixes the index into the
+/// value so any dropped, duplicated, or reordered task changes the output.
+fn mix(i: usize, x: u64) -> u64 {
+    let mut v = x ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    v ^= v >> 30;
+    v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v ^ (v >> 27)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_equals_sequential_map(
+        items in proptest::collection::vec(any::<u64>(), 0..300),
+        threads in 1usize..9,
+    ) {
+        let sequential: Vec<u64> =
+            items.iter().enumerate().map(|(i, x)| mix(i, *x)).collect();
+        let parallel =
+            Pool::new(threads).par_map("par-prop.map", &items, |i, x| mix(i, *x));
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn par_map_is_schedule_independent(
+        items in proptest::collection::vec(any::<u64>(), 0..200),
+        threads_a in 2usize..9,
+        threads_b in 2usize..9,
+    ) {
+        let a = Pool::new(threads_a).par_map("par-prop.sched-a", &items, |i, x| mix(i, *x));
+        let b = Pool::new(threads_b).par_map("par-prop.sched-b", &items, |i, x| mix(i, *x));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavier_tasks_still_preserve_order(
+        len in 0usize..120,
+        threads in 1usize..9,
+    ) {
+        // Unequal task costs force real stealing between workers.
+        let items: Vec<u64> = (0..len as u64).collect();
+        let got = Pool::new(threads).par_map("par-prop.uneven", &items, |i, x| {
+            let spins = (x % 7) * 400;
+            let mut acc = *x;
+            for _ in 0..spins {
+                acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(1));
+            }
+            (i as u64, acc)
+        });
+        let want: Vec<(u64, u64)> = items.iter().enumerate().map(|(i, x)| {
+            let spins = (x % 7) * 400;
+            let mut acc = *x;
+            for _ in 0..spins {
+                acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(1));
+            }
+            (i as u64, acc)
+        }).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn panicking_index_always_propagates(
+        len in 1usize..150,
+        victim_seed in any::<u64>(),
+        threads in 2usize..7,
+    ) {
+        let victim = (victim_seed % len as u64) as usize;
+        let items: Vec<u64> = (0..len as u64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(threads).par_map("par-prop.panic", &items, |i, x| {
+                if i == victim {
+                    panic!("boom");
+                }
+                mix(i, *x)
+            })
+        });
+        // The call must return (no deadlock) and must return the panic.
+        prop_assert!(result.is_err());
+    }
+}

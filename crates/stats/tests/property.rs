@@ -155,7 +155,7 @@ proptest! {
         let d = SymmetricMatrix::build(n, |i, j| (points[i] - points[j]).abs());
         // Deterministic pseudo-random two-cluster labeling.
         let labels: Vec<usize> = (0..n).map(|i| ((seed >> (i % 60)) & 1) as usize).collect();
-        if labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1) {
+        if labels.contains(&0) && labels.contains(&1) {
             let vals = silhouette_samples(&d, &labels).unwrap();
             for v in vals {
                 prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));

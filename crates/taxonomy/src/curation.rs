@@ -110,9 +110,9 @@ pub fn audit_category(cat: &RawCategory, seed: u64) -> CategoryAudit {
     let maybe = plausible - yes;
     let no = 10 - plausible;
     let mut labels = Vec::with_capacity(10);
-    labels.extend(std::iter::repeat(AccuracyLabel::Yes).take(yes));
-    labels.extend(std::iter::repeat(AccuracyLabel::Maybe).take(maybe));
-    labels.extend(std::iter::repeat(AccuracyLabel::No).take(no));
+    labels.extend(std::iter::repeat_n(AccuracyLabel::Yes, yes));
+    labels.extend(std::iter::repeat_n(AccuracyLabel::Maybe, maybe));
+    labels.extend(std::iter::repeat_n(AccuracyLabel::No, no));
     // Deterministic shuffle so the label order looks like audit order.
     for i in (1..labels.len()).rev() {
         let j = (splitmix64(h ^ i as u64) % (i as u64 + 1)) as usize;

@@ -15,12 +15,35 @@
 //! (a thinned Poisson process aggregates to these exact marginals); the
 //! event path itself is exercised end-to-end by `wwv-telemetry`'s client +
 //! collector tests and the integration suite.
+//!
+//! ## Parallel execution
+//!
+//! The build runs in three phases over the `countries × platforms × months`
+//! breakdown grid and is **bit-identical at any worker count** (see the
+//! `parallel_determinism` integration test):
+//!
+//! 1. **Sample** (parallel): every breakdown's Poisson draws are keyed by a
+//!    deterministic `(seed, label, sample_idx)` derivation, so each
+//!    breakdown can be sampled independently in any schedule.
+//! 2. **Intern** (serial): domain ids are assigned by replaying the kept
+//!    sites in the canonical country → platform → month order, reproducing
+//!    the exact id assignment of a sequential build.
+//! 3. **Rank** (parallel): each list is independently reduced to its top
+//!    `max_depth` via partial selection — domain ids are unique within a
+//!    list, so the comparator is a strict total order and the unstable
+//!    select/sort pair is deterministic.
+//!
+//! Per-(site, country) domain strings and per-event dwell milliseconds are
+//! precomputed once in a [`SiteCache`] instead of being reformatted for
+//! every one of the 540 breakdowns.
 
-use crate::dataset::{ChromeDataset, DomainTable, RankListData};
+use crate::dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
 use crate::privacy::{self, FOREGROUND_UPLOAD_PROBABILITY};
 use crate::sampling::poisson;
 use std::collections::HashMap;
-use wwv_world::{Breakdown, Metric, Month, Platform, World, COUNTRIES};
+use std::sync::Mutex;
+use wwv_par::Pool;
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId, SiteUniverse, World, COUNTRIES};
 
 /// Configurable dataset builder.
 #[derive(Debug, Clone)]
@@ -40,6 +63,105 @@ pub struct DatasetBuilder<'w> {
     pub max_depth: usize,
     /// Months to build (defaults to all six).
     pub months: Vec<Month>,
+    /// Worker threads for the parallel phases (0 = process-wide default,
+    /// see [`wwv_par::set_threads`]).
+    pub threads: usize,
+}
+
+/// Foreground milliseconds contributed by one uploaded event: the site's
+/// mean dwell seconds converted to milliseconds. Non-finite or non-positive
+/// dwell clamps to 0 rather than flowing through the `f64 → u64` cast.
+pub(crate) fn dwell_event_millis(dwell_seconds: f64) -> u64 {
+    let ms = dwell_seconds * 1000.0;
+    if ms.is_finite() && ms > 0.0 {
+        ms as u64
+    } else {
+        0
+    }
+}
+
+/// A site's served domain, cached once per build instead of formatted per
+/// breakdown, together with its public-web admissibility.
+enum CachedDomain {
+    /// Non-ccTLD sites serve one domain everywhere.
+    Fixed(String, bool),
+    /// ccTLD sites serve one domain per country.
+    PerCountry(Vec<(String, bool)>),
+}
+
+/// Per-site precomputation shared by every breakdown: domain strings,
+/// publicness, and per-event dwell milliseconds.
+struct SiteCache {
+    domains: Vec<CachedDomain>,
+    dwell_ms: Vec<u64>,
+}
+
+impl SiteCache {
+    fn build(universe: &SiteUniverse) -> SiteCache {
+        let _span = wwv_obs::span!("dataset.site_cache");
+        let domains = universe
+            .sites
+            .iter()
+            .map(|site| {
+                if site.cctld {
+                    CachedDomain::PerCountry(
+                        (0..COUNTRIES.len())
+                            .map(|ci| {
+                                let d = site.domain_in(ci);
+                                let public = privacy::is_public_domain(&d);
+                                (d, public)
+                            })
+                            .collect(),
+                    )
+                } else {
+                    let d = site.domain_in(0);
+                    let public = privacy::is_public_domain(&d);
+                    CachedDomain::Fixed(d, public)
+                }
+            })
+            .collect();
+        let dwell_ms =
+            universe.sites.iter().map(|site| dwell_event_millis(site.dwell)).collect();
+        SiteCache { domains, dwell_ms }
+    }
+
+    /// The domain the site serves in a country, and whether it is public.
+    fn domain(&self, site: SiteId, country_idx: usize) -> (&str, bool) {
+        match &self.domains[site.0 as usize] {
+            CachedDomain::Fixed(d, public) => (d, *public),
+            CachedDomain::PerCountry(per) => {
+                let (d, public) = &per[country_idx];
+                (d, *public)
+            }
+        }
+    }
+}
+
+/// One (country, platform, month) cell of the breakdown grid, in canonical
+/// build order.
+struct BreakdownJob {
+    country: usize,
+    platform: Platform,
+    month: Month,
+    platform_volume: f64,
+}
+
+/// Sorts best-first (count descending, domain id ascending) and keeps the
+/// top `k`: partial selection first, so only the retained prefix pays the
+/// full sort. Domain ids are unique within a list, so the comparator is a
+/// strict total order and the unstable select/sort is deterministic (and
+/// equal to the stable sort it replaces).
+fn top_k_desc(entries: &mut Vec<(u32, u64)>, k: usize) {
+    if k == 0 {
+        entries.clear();
+        return;
+    }
+    let cmp = |a: &(u32, u64), b: &(u32, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+    if entries.len() > k {
+        entries.select_nth_unstable_by(k - 1, cmp);
+        entries.truncate(k);
+    }
+    entries.sort_unstable_by(cmp);
 }
 
 impl<'w> DatasetBuilder<'w> {
@@ -53,6 +175,7 @@ impl<'w> DatasetBuilder<'w> {
             client_threshold: privacy::DEFAULT_CLIENT_THRESHOLD,
             max_depth: 12_000,
             months: Month::ALL.to_vec(),
+            threads: 0,
         }
     }
 
@@ -80,16 +203,16 @@ impl<'w> DatasetBuilder<'w> {
         self
     }
 
-    /// Builds the dataset.
-    pub fn build(&self) -> ChromeDataset {
-        let _span = wwv_obs::span!("dataset.build");
-        let obs = wwv_obs::global();
-        let non_public_skipped = obs.counter("builder.non_public_skipped");
-        let threshold_dropped = obs.counter("builder.threshold_dropped");
-        let domains_kept = obs.counter("builder.domains_kept");
-        let mut domains = DomainTable::new();
-        let mut lists: HashMap<Breakdown, RankListData> = HashMap::new();
-        let seed = self.world.config().seed;
+    /// Overrides the worker-thread count (0 = process-wide default). Any
+    /// count produces bit-identical output.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The breakdown grid in canonical (country → platform → month) order.
+    fn jobs(&self) -> Vec<BreakdownJob> {
+        let mut jobs = Vec::with_capacity(COUNTRIES.len() * Platform::ALL.len() * self.months.len());
         for (ci, country) in COUNTRIES.iter().enumerate() {
             let volume = self.base_volume * country.usage_weight;
             for platform in Platform::ALL {
@@ -97,68 +220,134 @@ impl<'w> DatasetBuilder<'w> {
                 let platform_volume =
                     if platform.is_mobile() { volume * 0.8 } else { volume };
                 for &month in &self.months {
-                    let b_loads = Breakdown { country: ci, platform, metric: Metric::PageLoads, month };
-                    let demand = self.world.demand(b_loads);
-                    let mut loads_entries: Vec<(u32, u64)> = Vec::with_capacity(demand.len());
-                    let mut time_entries: Vec<(u32, u64)> = Vec::with_capacity(demand.len());
-                    for (site_id, share) in demand {
-                        let site = self.world.universe().site(site_id);
-                        let domain = site.domain_in(ci);
-                        if !privacy::is_public_domain(&domain) {
-                            non_public_skipped.inc();
-                            continue;
-                        }
-                        let sample_idx = (site_id.0 as u64)
-                            .wrapping_mul(8191)
-                            .wrapping_add((ci as u64) << 4)
-                            .wrapping_add((month.index() as u64) << 1)
-                            .wrapping_add(platform.is_mobile() as u64);
-                        let loads =
-                            poisson(seed, "agg-loads", sample_idx, platform_volume * share);
-                        let unique = (loads as f64 / self.loads_per_client).round() as u64;
-                        if !privacy::passes_threshold(unique, self.client_threshold) {
-                            threshold_dropped.inc();
-                            continue;
-                        }
-                        domains_kept.inc();
-                        let domain_id = domains.intern(&domain, site_id);
-                        loads_entries.push((domain_id.0, loads));
-                        // Time metric: down-sampled foreground events.
-                        let fg_lambda = platform_volume
-                            * share
-                            * self.fg_per_load
-                            * FOREGROUND_UPLOAD_PROBABILITY;
-                        let fg_events = poisson(seed, "agg-fg", sample_idx, fg_lambda);
-                        let millis = fg_events.saturating_mul((site.dwell * 1000.0) as u64);
-                        if millis > 0 {
-                            time_entries.push((domain_id.0, millis));
-                        }
-                    }
-                    loads_entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                    loads_entries.truncate(self.max_depth);
-                    time_entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                    time_entries.truncate(self.max_depth);
-                    lists.insert(
-                        b_loads,
-                        RankListData {
-                            entries: loads_entries
-                                .into_iter()
-                                .map(|(d, c)| (crate::dataset::DomainId(d), c))
-                                .collect(),
-                        },
-                    );
-                    lists.insert(
-                        Breakdown { metric: Metric::TimeOnPage, ..b_loads },
-                        RankListData {
-                            entries: time_entries
-                                .into_iter()
-                                .map(|(d, c)| (crate::dataset::DomainId(d), c))
-                                .collect(),
-                        },
-                    );
+                    jobs.push(BreakdownJob { country: ci, platform, month, platform_volume });
                 }
             }
         }
+        jobs
+    }
+
+    /// Phase 1: samples one breakdown, returning the kept sites in candidate
+    /// order as `(site, loads, foreground events)`. Every draw is keyed by
+    /// `(seed, label, sample_idx)`, so breakdowns are independent.
+    fn sample_breakdown(
+        &self,
+        job: &BreakdownJob,
+        cache: &SiteCache,
+        counters: &BuildCounters,
+    ) -> Vec<(SiteId, u64, u64)> {
+        let seed = self.world.config().seed;
+        let demand = self.world.demand(Breakdown {
+            country: job.country,
+            platform: job.platform,
+            metric: Metric::PageLoads,
+            month: job.month,
+        });
+        let mut kept = Vec::with_capacity(demand.len());
+        for (site_id, share) in demand {
+            let (_, public) = cache.domain(site_id, job.country);
+            if !public {
+                counters.non_public_skipped.inc();
+                continue;
+            }
+            let sample_idx = (site_id.0 as u64)
+                .wrapping_mul(8191)
+                .wrapping_add((job.country as u64) << 4)
+                .wrapping_add((job.month.index() as u64) << 1)
+                .wrapping_add(job.platform.is_mobile() as u64);
+            let loads = poisson(seed, "agg-loads", sample_idx, job.platform_volume * share);
+            let unique = (loads as f64 / self.loads_per_client).round() as u64;
+            if !privacy::passes_threshold(unique, self.client_threshold) {
+                counters.threshold_dropped.inc();
+                continue;
+            }
+            counters.domains_kept.inc();
+            // Time metric: down-sampled foreground events.
+            let fg_lambda = job.platform_volume
+                * share
+                * self.fg_per_load
+                * FOREGROUND_UPLOAD_PROBABILITY;
+            let fg_events = poisson(seed, "agg-fg", sample_idx, fg_lambda);
+            kept.push((site_id, loads, fg_events));
+        }
+        kept
+    }
+
+    /// Builds the dataset. Output is identical for every thread count.
+    pub fn build(&self) -> ChromeDataset {
+        let _span = wwv_obs::span!("dataset.build");
+        let obs = wwv_obs::global();
+        let counters = BuildCounters {
+            non_public_skipped: obs.counter("builder.non_public_skipped"),
+            threshold_dropped: obs.counter("builder.threshold_dropped"),
+            domains_kept: obs.counter("builder.domains_kept"),
+        };
+        let pool =
+            if self.threads == 0 { Pool::global() } else { Pool::new(self.threads) };
+        let cache = SiteCache::build(self.world.universe());
+        let jobs = self.jobs();
+
+        // Phase 1 (parallel): per-breakdown Poisson sampling.
+        let sampled: Vec<Vec<(SiteId, u64, u64)>> = pool
+            .par_map("dataset.sample", &jobs, |_, job| {
+                self.sample_breakdown(job, &cache, &counters)
+            });
+
+        // Phase 2 (serial): canonical-order domain interning. Replaying the
+        // kept sites in job order assigns exactly the ids a sequential build
+        // would, including the cross-breakdown first-appearance order that
+        // the ranking tie-break below depends on.
+        let intern_span = wwv_obs::span!("dataset.intern");
+        let mut domains = DomainTable::new();
+        // One (domain id, count) list per breakdown; the mutex makes each
+        // list independently mutable from phase-3 workers.
+        type RawList = Mutex<Vec<(u32, u64)>>;
+        let mut raw: Vec<(Breakdown, RawList)> = Vec::with_capacity(jobs.len() * 2);
+        for (job, kept) in jobs.iter().zip(&sampled) {
+            let b_loads = Breakdown {
+                country: job.country,
+                platform: job.platform,
+                metric: Metric::PageLoads,
+                month: job.month,
+            };
+            let mut loads_entries: Vec<(u32, u64)> = Vec::with_capacity(kept.len());
+            let mut time_entries: Vec<(u32, u64)> = Vec::with_capacity(kept.len());
+            for &(site_id, loads, fg_events) in kept {
+                let (domain, _) = cache.domain(site_id, job.country);
+                let domain_id = domains.intern(domain, site_id);
+                loads_entries.push((domain_id.0, loads));
+                let millis = fg_events.saturating_mul(cache.dwell_ms[site_id.0 as usize]);
+                if millis > 0 {
+                    time_entries.push((domain_id.0, millis));
+                }
+            }
+            raw.push((b_loads, Mutex::new(loads_entries)));
+            raw.push((
+                Breakdown { metric: Metric::TimeOnPage, ..b_loads },
+                Mutex::new(time_entries),
+            ));
+        }
+        drop(intern_span);
+
+        // Phase 3 (parallel): top-K selection per list. The per-list locks
+        // are uncontended — each index is visited exactly once.
+        pool.par_for_each_indexed("dataset.topk", &raw, |_, (_, entries)| {
+            let mut entries = entries.lock().unwrap_or_else(|p| p.into_inner());
+            top_k_desc(&mut entries, self.max_depth);
+        });
+
+        let lists: HashMap<Breakdown, RankListData> = raw
+            .into_iter()
+            .map(|(b, entries)| {
+                let entries = entries.into_inner().unwrap_or_else(|p| p.into_inner());
+                (
+                    b,
+                    RankListData {
+                        entries: entries.into_iter().map(|(d, c)| (DomainId(d), c)).collect(),
+                    },
+                )
+            })
+            .collect();
         ChromeDataset {
             domains,
             lists,
@@ -168,10 +357,18 @@ impl<'w> DatasetBuilder<'w> {
     }
 }
 
+/// Counter handles shared by every sampling worker (atomics; increment
+/// order does not affect totals).
+struct BuildCounters {
+    non_public_skipped: wwv_obs::Counter,
+    threshold_dropped: wwv_obs::Counter,
+    domains_kept: wwv_obs::Counter,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wwv_world::{Country, WorldConfig};
+    use wwv_world::{Country, World, WorldConfig};
 
     fn small_dataset() -> (World, ChromeDataset) {
         let world = World::new(WorldConfig::small());
@@ -281,5 +478,32 @@ mod tests {
         let (_, ds) = small_dataset();
         assert!(ds.domains.get("amazon.co.uk").is_some());
         assert!(ds.domains.get("amazon.de").is_some());
+    }
+
+    #[test]
+    fn dwell_guard_clamps_bad_values() {
+        assert_eq!(dwell_event_millis(2.5), 2_500);
+        assert_eq!(dwell_event_millis(0.0004), 0); // sub-millisecond truncates
+        assert_eq!(dwell_event_millis(0.0), 0);
+        assert_eq!(dwell_event_millis(-3.0), 0);
+        assert_eq!(dwell_event_millis(f64::NAN), 0);
+        assert_eq!(dwell_event_millis(f64::INFINITY), 0);
+        assert_eq!(dwell_event_millis(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn top_k_matches_full_stable_sort() {
+        let cmp = |a: &(u32, u64), b: &(u32, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        // Duplicated counts exercise the domain-id tie-break.
+        let base: Vec<(u32, u64)> =
+            (0..500u32).map(|i| (i, ((i as u64).wrapping_mul(2654435761)) % 40)).collect();
+        for k in [0, 1, 7, 499, 500, 800] {
+            let mut want = base.clone();
+            want.sort_by(cmp);
+            want.truncate(k);
+            let mut got = base.clone();
+            top_k_desc(&mut got, k);
+            assert_eq!(got, want, "k = {k}");
+        }
     }
 }

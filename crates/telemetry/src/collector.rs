@@ -223,6 +223,7 @@ fn keep_foreground(client_id: u64, seq: u64, keep_probability: f64) -> bool {
 /// Handle to a running collector.
 pub struct Collector {
     sender: Option<Sender<Bytes>>,
+    #[allow(clippy::type_complexity)]
     workers: Vec<JoinHandle<(Aggregate, HashMap<(u8, Platform, Month, String), ClientTracker>)>>,
     stats: Arc<Mutex<CollectorStats>>,
     client_cap: u64,
@@ -365,7 +366,7 @@ impl Collector {
         let sender = self.sender.as_ref().expect("collector still running");
         sender.send(frame).expect("workers alive while sender exists");
         // Sample the channel depth every 64 frames: cheap backlog telemetry.
-        if self.ingested.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+        if self.ingested.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
             self.depth_gauge.set(sender.len() as i64);
         }
     }

@@ -17,7 +17,7 @@ use wwv_world::{Breakdown, Metric, Platform, SiteId, TrafficCurve};
 pub struct DomainId(pub u32);
 
 /// Domain interner with ground-truth site links.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DomainTable {
     names: Vec<String>,
     sites: Vec<SiteId>,
@@ -113,7 +113,7 @@ impl RankListData {
 }
 
 /// The dataset: every rank list plus the calibrated global curves.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChromeDataset {
     /// Domain interner.
     pub domains: DomainTable,

@@ -376,6 +376,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // idx is a country index, not a position
     fn youtube_wins_time_in_most_countries() {
         // time weight = loads weight × dwell.
         let mut youtube_wins = 0;

@@ -34,21 +34,30 @@ pub struct CalibrationReport {
 /// Measures the demand model against the §4.1.2 anchors for one breakdown
 /// family (reference month).
 pub fn calibrate(world: &World, platform: Platform, metric: Metric) -> CalibrationReport {
+    let countries: Vec<usize> = (0..COUNTRIES.len()).collect();
+    // Each country's ranking + fit is independent; evaluate on the pool and
+    // fold in country order so the summaries see the same sequences as a
+    // serial pass.
+    let per_country = wwv_par::par_map("world.calibrate", &countries, |_, &ci| {
+        let b = Breakdown { country: ci, platform, metric, month: Month::reference() };
+        let ranked = world.ranked(b, 2_000);
+        if ranked.is_empty() {
+            return None;
+        }
+        let top1 = ranked[0].1;
+        let top10 = ranked.iter().take(10).map(|(_, s)| s).sum::<f64>();
+        // Fit the mid-range (ranks 20..) where the mixture tail is Zipf-like.
+        let tail: Vec<f64> = ranked.iter().skip(20).map(|(_, s)| *s).collect();
+        Some((top1, top10, fit_power_law(&tail)))
+    });
     let mut top1 = Vec::new();
     let mut top10 = Vec::new();
     let mut exponents = Vec::new();
     let mut fits = Vec::new();
-    for ci in 0..COUNTRIES.len() {
-        let b = Breakdown { country: ci, platform, metric, month: Month::reference() };
-        let ranked = world.ranked(b, 2_000);
-        if ranked.is_empty() {
-            continue;
-        }
-        top1.push(ranked[0].1);
-        top10.push(ranked.iter().take(10).map(|(_, s)| s).sum::<f64>());
-        // Fit the mid-range (ranks 20..) where the mixture tail is Zipf-like.
-        let tail: Vec<f64> = ranked.iter().skip(20).map(|(_, s)| *s).collect();
-        if let Some(fit) = fit_power_law(&tail) {
+    for (t1, t10, fit) in per_country.into_iter().flatten() {
+        top1.push(t1);
+        top10.push(t10);
+        if let Some(fit) = fit {
             exponents.push(fit.exponent);
             fits.push(fit.r_squared);
         }
@@ -78,11 +87,10 @@ pub struct PlatformMassReport {
 /// Measures category demand mass ratios between platforms.
 pub fn platform_mass(world: &World) -> PlatformMassReport {
     use wwv_taxonomy::Category;
-    let mut adult = Vec::new();
-    let mut business = Vec::new();
-    for ci in 0..COUNTRIES.len() {
+    let countries: Vec<usize> = (0..COUNTRIES.len()).collect();
+    let ratios = wwv_par::par_map("world.platform_mass", &countries, |_, &ci| {
         if COUNTRIES[ci].censors_adult {
-            continue;
+            return (None, None);
         }
         let mass = |platform: Platform, cat: Category| -> f64 {
             let b = Breakdown { country: ci, platform, metric: Metric::PageLoads, month: Month::reference() };
@@ -95,15 +103,15 @@ pub fn platform_mass(world: &World) -> PlatformMassReport {
         };
         let aw = mass(Platform::Windows, Category::Pornography);
         let aa = mass(Platform::Android, Category::Pornography);
-        if aw > 0.0 {
-            adult.push(aa / aw);
-        }
         let bw = mass(Platform::Windows, Category::Business);
         let ba = mass(Platform::Android, Category::Business);
-        if bw > 0.0 {
-            business.push(ba / bw);
-        }
-    }
+        (
+            (aw > 0.0).then(|| aa / aw),
+            (bw > 0.0).then(|| ba / bw),
+        )
+    });
+    let adult: Vec<f64> = ratios.iter().filter_map(|(a, _)| *a).collect();
+    let business: Vec<f64> = ratios.iter().filter_map(|(_, b)| *b).collect();
     PlatformMassReport {
         adult_mobile_ratio: wwv_stats::median(&adult).unwrap_or(0.0),
         business_mobile_ratio: wwv_stats::median(&business).unwrap_or(0.0),

@@ -125,6 +125,7 @@ impl Country {
 }
 
 /// Shorthand constructor used by the static table.
+#[allow(clippy::too_many_arguments)]
 const fn c(
     code: &'static str,
     name: &'static str,

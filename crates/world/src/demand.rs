@@ -209,6 +209,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // ci is a country index, not a position
     fn youtube_leads_time_in_most_countries() {
         let w = world();
         let mut youtube = 0;
@@ -232,6 +233,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // ci is a country index, not a position
     fn top_site_share_in_paper_band() {
         // §4.1.2: per-country top site captures 12–33% of page loads.
         let w = world();

@@ -323,6 +323,7 @@ fn sample_category(config: &WorldConfig, pool: Pool, effective_rank: usize, inde
 }
 
 /// Common attribute sampling for a synthetic site.
+#[allow(clippy::too_many_arguments)]
 fn synth_site(
     config: &WorldConfig,
     id: u32,
@@ -464,7 +465,7 @@ fn generate_national_pool(
         // portal/news/bank/TV); rein their dwell noise in so the calibration
         // survives (a 4× log-normal tail on a TV head would otherwise beat
         // YouTube for national time on page, which no country shows).
-        if (i as usize) < NATIONAL_HEAD_BOOST.len() {
+        if i < NATIONAL_HEAD_BOOST.len() {
             let profile = CategoryProfile::of(category);
             site.dwell = profile.dwell_seconds
                 * (gauss(config.seed, "dwell", id as u64) * config.dwell_noise_sigma)
@@ -517,6 +518,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // ci is a country index, not a position
     fn every_country_has_enough_candidates() {
         let u = universe();
         let config = WorldConfig::small();

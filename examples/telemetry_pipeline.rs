@@ -44,7 +44,7 @@ fn main() {
         .iter()
         .map(|(k, v)| (k.domain.as_str(), v.completed, v.unique_clients))
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     println!("\ntop domains from the aggregated event stream:");
     println!("  {:<24} {:>10} {:>8}", "domain", "loads", "clients");
     for (domain, loads, clients) in rows.iter().take(12) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Wall-clock comparison of the serial (1 worker) vs parallel (N workers)
+# pipeline — world generation + dataset build + the full experiment battery,
+# via the `reproduce` harness. The two runs produce identical output (see
+# crates/telemetry/tests/parallel_determinism.rs), so the delta is pure
+# scheduling.
+#
+# Usage: scripts/bench_pipeline.sh [small|full]
+# Emits BENCH_pipeline.json in the repo root (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+CORES="$(nproc 2>/dev/null || echo 1)"
+
+echo "==> cargo build --release -p wwv-bench --bin reproduce"
+cargo build --release -p wwv-bench --bin reproduce
+
+BIN=target/release/reproduce
+
+run_timed() {
+    start=$(date +%s%N)
+    "$BIN" --scale "$SCALE" --threads "$1" >/dev/null 2>&1
+    end=$(date +%s%N)
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
+}
+
+echo "==> timing reproduce --scale $SCALE --threads 1"
+SERIAL=$(run_timed 1)
+echo "    ${SERIAL}s"
+echo "==> timing reproduce --scale $SCALE --threads $CORES"
+PARALLEL=$(run_timed "$CORES")
+echo "    ${PARALLEL}s"
+
+SPEEDUP=$(awk -v s="$SERIAL" -v p="$PARALLEL" 'BEGIN { printf "%.2f", (p > 0 ? s / p : 0) }')
+
+cat > "$OUT" <<EOF
+{
+  "bench": "pipeline",
+  "scale": "$SCALE",
+  "cores": $CORES,
+  "serial_seconds": $SERIAL,
+  "parallel_seconds": $PARALLEL,
+  "speedup": $SPEEDUP
+}
+EOF
+echo "==> wrote $OUT (speedup ${SPEEDUP}x on $CORES cores)"

@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Run the parallel-vs-serial determinism gate explicitly (it is part of the
+# suite above, but a byte-identical dataset at every worker count is a hard
+# release criterion, so surface it by name).
+echo "==> cargo test -q -p wwv-telemetry --test parallel_determinism"
+cargo test -q -p wwv-telemetry --test parallel_determinism
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -11,7 +11,10 @@
 //! ```
 //!
 //! All subcommands build the reduced-scale world on the fly (deterministic,
-//! a few seconds).
+//! a few seconds). `--threads N` sets the `wwv-par` worker count used for
+//! the dataset build and analyses (default: available parallelism; output
+//! is identical at any count). For `serve --loadgen` the same flag also
+//! sizes the load-generator thread pool.
 
 use std::sync::Arc;
 use wwv::core::endemicity::popularity_curves;
@@ -47,7 +50,7 @@ fn parse_args() -> Args {
         n: 10,
         listen: "127.0.0.1:7311".to_owned(),
         loadgen: false,
-        threads: 4,
+        threads: 0, // 0 = unset: wwv-par default; loadgen falls back to 4
         requests: 250,
         metrics_out: None,
     };
@@ -70,7 +73,7 @@ fn parse_args() -> Args {
             "--n" => args.n = iter.next().and_then(|v| v.parse().ok()).unwrap_or(10),
             "--listen" => args.listen = iter.next().unwrap_or(args.listen),
             "--loadgen" => args.loadgen = true,
-            "--threads" => args.threads = iter.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--threads" => args.threads = iter.next().and_then(|v| v.parse().ok()).unwrap_or(0),
             "--requests" => {
                 args.requests = iter.next().and_then(|v| v.parse().ok()).unwrap_or(250)
             }
@@ -98,7 +101,7 @@ fn serve(dataset: &wwv::telemetry::ChromeDataset, args: &Args) {
 
     if args.loadgen {
         let config = LoadgenConfig {
-            threads: args.threads.max(1),
+            threads: if args.threads == 0 { 4 } else { args.threads },
             requests_per_thread: args.requests.max(1),
             ..LoadgenConfig::default()
         };
@@ -125,8 +128,11 @@ fn serve(dataset: &wwv::telemetry::ChromeDataset, args: &Args) {
 fn main() {
     let args = parse_args();
     let Some(command) = args.positional.first().cloned() else { usage() };
+    if args.threads > 0 {
+        wwv::par::set_threads(args.threads);
+    }
 
-    info!(target: "wwv", "building world + dataset");
+    info!(target: "wwv", "building world + dataset"; threads = wwv::par::threads());
     let world = World::new(WorldConfig::small());
     let dataset = DatasetBuilder::new(&world)
         .months(&[Month::February2022])

@@ -11,6 +11,7 @@
 pub use wwv_core as core;
 pub use wwv_domains as domains;
 pub use wwv_obs as obs;
+pub use wwv_par as par;
 pub use wwv_serve as serve;
 pub use wwv_stats as stats;
 pub use wwv_taxonomy as taxonomy;

@@ -5,6 +5,7 @@ use wwv::telemetry::{ChromeDataset, DatasetBuilder};
 use wwv::world::{Month, World, WorldConfig};
 
 /// Small world + February-only dataset, built once per test binary.
+#[allow(dead_code)] // not every test binary uses the shared fixture
 pub fn fixture() -> &'static (World, ChromeDataset) {
     static FIXTURE: OnceLock<(World, ChromeDataset)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
@@ -20,6 +21,7 @@ pub fn fixture() -> &'static (World, ChromeDataset) {
 }
 
 /// Small world + all-months dataset, built once per test binary.
+#[allow(dead_code)] // not every test binary uses the shared fixture
 pub fn fixture_all_months() -> &'static (World, ChromeDataset) {
     static FIXTURE: OnceLock<(World, ChromeDataset)> = OnceLock::new();
     FIXTURE.get_or_init(|| {

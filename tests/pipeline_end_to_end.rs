@@ -36,7 +36,7 @@ fn event_path_reproduces_demand_ordering() {
         .into_iter()
         .map(|(k, v)| (k.domain, v.completed))
         .collect();
-    observed.sort_by(|a, b| b.1.cmp(&a.1));
+    observed.sort_by_key(|o| std::cmp::Reverse(o.1));
 
     // The demand model's top sites must dominate the event stream's head.
     let expected: Vec<String> =
@@ -62,7 +62,7 @@ fn event_path_and_expectation_path_agree_on_the_head() {
     let (aggregate, _) = collector.finish();
     let mut observed: Vec<(String, u64)> =
         aggregate.into_iter().map(|(k, v)| (k.domain, v.completed)).collect();
-    observed.sort_by(|a, b| b.1.cmp(&a.1));
+    observed.sort_by_key(|o| std::cmp::Reverse(o.1));
     let event_head: Vec<&str> = observed.iter().take(10).map(|(d, _)| d.as_str()).collect();
 
     let list = dataset.list(b).expect("list exists");
