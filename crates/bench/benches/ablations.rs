@@ -88,7 +88,7 @@ fn bench(c: &mut Criterion) {
         metric: Metric::PageLoads,
         month: Month::February2022,
     };
-    let frames: Vec<_> = sim.batches(b0, 50).iter().map(encode_frame).collect();
+    let frames: Vec<_> = sim.batches(b0, 50).iter().map(|b| encode_frame(b).unwrap()).collect();
     let mut group = c.benchmark_group("ablation/collector_workers");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         month: Month::February2022,
     };
     let sim = ClientSimulator::new(world);
-    let frames: Vec<_> = sim.batches(b0, 200).iter().map(encode_frame).collect();
+    let frames: Vec<_> = sim.batches(b0, 200).iter().map(|b| encode_frame(b).unwrap()).collect();
     let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
 
     let mut group = c.benchmark_group("obs_overhead/collector_ingest");

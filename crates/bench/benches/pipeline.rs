@@ -84,14 +84,14 @@ fn bench(c: &mut Criterion) {
     // Wire codec throughput.
     let sim = ClientSimulator::new(world);
     let batches = sim.batches(b0, 50);
-    let frames: Vec<_> = batches.iter().map(encode_frame).collect();
+    let frames: Vec<_> = batches.iter().map(|b| encode_frame(b).unwrap()).collect();
     let bytes: usize = frames.iter().map(|f| f.len()).sum();
     let mut group = c.benchmark_group("pipeline/wire");
     group.throughput(Throughput::Bytes(bytes as u64));
     group.bench_function("encode_50_batches", |b| {
         b.iter(|| {
             for batch in &batches {
-                black_box(encode_frame(batch));
+                black_box(encode_frame(batch).unwrap());
             }
         })
     });

@@ -1,0 +1,53 @@
+//! # wwv-fault
+//!
+//! Seed-deterministic fault injection for the telemetry and serving
+//! pipelines. Real Chrome-scale collection survives lossy client uploads,
+//! corrupt frames, stalled sockets, and overloaded aggregators; this crate
+//! supplies the controlled failure conditions under which the reproduction
+//! proves the same guarantees (see DESIGN.md § 10 "Fault model").
+//!
+//! Two pieces:
+//!
+//! * [`plan`] — a [`FaultPlan`]: a seeded (SplitMix64) set of
+//!   [`FaultRule`]s, each firing a [`FaultKind`] at a named injection point
+//!   with a configured rate. Decisions depend only on `(seed, point,
+//!   arrival index)`, so a serial replay of the same traffic reproduces the
+//!   exact same fault sequence. Byte-level mutations (bit flips,
+//!   truncation) are themselves derived from the plan seed.
+//! * [`retry`] — [`RetryPolicy`]: capped exponential backoff with
+//!   deterministic jitter for transient upload/connect failures, returning
+//!   a typed [`RetryExhausted`] instead of looping forever.
+//!
+//! Everything is `Sync`; a plan is shared across worker threads behind an
+//! `Arc`. A plan with no rules ([`FaultPlan::none`]) is free: every
+//! decision is a single relaxed atomic increment and a slice scan over an
+//! empty rule set.
+
+pub mod plan;
+pub mod retry;
+
+pub use plan::{points, FaultKind, FaultPlan, FaultRule, FrameFate};
+pub use retry::{RetryExhausted, RetryPolicy};
+
+/// SplitMix64 — the shared deterministic mixing function.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a 64-bit hash to a unit-interval float.
+pub(crate) fn unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// FNV-1a over a short label (injection-point names).
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

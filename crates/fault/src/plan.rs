@@ -1,0 +1,386 @@
+//! Fault plans: which faults fire where, decided deterministically.
+
+use crate::{fnv1a, splitmix64, unit};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Canonical injection-point names threaded through the pipeline. A point
+/// is just a label; the plan accepts any `&'static str`, these are the ones
+/// the workspace wires up.
+pub mod points {
+    /// Client-side connection establishment before an upload attempt.
+    /// `Drop` here models a transient connect failure (retryable).
+    pub const CLIENT_CONNECT: &str = "client.connect";
+    /// An encoded telemetry frame leaving the client.
+    pub const CLIENT_UPLOAD: &str = "client.upload";
+    /// A frame entering the collector's ingest channel.
+    pub const COLLECTOR_INGEST: &str = "collector.ingest";
+    /// A serve request frame between client codec and dispatch.
+    pub const SERVE_REQUEST: &str = "serve.request";
+    /// A serve response frame between dispatch and client codec.
+    pub const SERVE_RESPONSE: &str = "serve.response";
+    /// Query execution inside a serve worker (`Delay` models slow queries).
+    pub const SERVE_WORKER: &str = "serve.worker";
+
+    /// Every canonical point, for sweeps.
+    pub const ALL: &[&str] = &[
+        CLIENT_CONNECT,
+        CLIENT_UPLOAD,
+        COLLECTOR_INGEST,
+        SERVE_REQUEST,
+        SERVE_RESPONSE,
+        SERVE_WORKER,
+    ];
+}
+
+/// What a firing fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one deterministic bit of the frame (corrupt-in-flight).
+    BitFlip,
+    /// Cut the frame to a deterministic shorter prefix (at least one byte
+    /// is always removed, so a framed payload can never still parse whole).
+    Truncate,
+    /// Deliver the frame twice (retransmission without dedup).
+    Duplicate,
+    /// Hold the frame and deliver it after its successor (reordering).
+    Reorder,
+    /// Stall delivery for the given milliseconds.
+    Delay(u64),
+    /// Lose the frame / fail the connection attempt.
+    Drop,
+}
+
+impl FaultKind {
+    /// Stable snake_case name (metric labels, JSON reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit_flip",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Drop => "drop",
+        }
+    }
+}
+
+/// One fault at one point, firing at `rate` (0.0 — never, 1.0 — always).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// Injection point (see [`points`]).
+    pub point: &'static str,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Per-arrival firing probability.
+    pub rate: f64,
+}
+
+/// What the caller should do with a frame after faults were considered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Deliver these bytes (possibly mutated in place).
+    Deliver(Vec<u8>),
+    /// Deliver these bytes twice.
+    DeliverTwice(Vec<u8>),
+    /// Buffer the frame and deliver it after the next one.
+    HoldForReorder(Vec<u8>),
+    /// Sleep for the duration, then deliver.
+    Delayed(Vec<u8>, Duration),
+    /// The frame is lost.
+    Dropped,
+}
+
+/// A seeded, shareable fault schedule. Decisions are a pure function of
+/// `(seed, point, arrival index, rule index)`: replaying the same traffic
+/// serially reproduces the identical fault sequence.
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Per-rule fired counters (indexes parallel `rules`).
+    fired: Vec<AtomicU64>,
+    /// Arrival counters, one per distinct point named by the rules.
+    point_names: Vec<&'static str>,
+    point_seq: Vec<AtomicU64>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan with a seed; add rules with [`FaultPlan::with`].
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            fired: Vec::new(),
+            point_names: Vec::new(),
+            point_seq: Vec::new(),
+        }
+    }
+
+    /// A plan that never fires (the production default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with(mut self, rule: FaultRule) -> FaultPlan {
+        if !self.point_names.contains(&rule.point) {
+            self.point_names.push(rule.point);
+            self.point_seq.push(AtomicU64::new(0));
+        }
+        self.rules.push(rule);
+        self.fired.push(AtomicU64::new(0));
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether any rule exists.
+    pub fn is_active(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    /// Decides whether a fault fires for the next arrival at `point`.
+    /// Returns the kind and a salt for byte-level mutation. At most one
+    /// rule fires per arrival (first match in rule order).
+    pub fn decide(&self, point: &str) -> Option<(FaultKind, u64)> {
+        let pi = self.point_names.iter().position(|p| *p == point)?;
+        let seq = self.point_seq[pi].fetch_add(1, Ordering::Relaxed);
+        let base = self.seed ^ fnv1a(point);
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if rule.point != point {
+                continue;
+            }
+            let draw = unit(base ^ ((ri as u64) << 48) ^ seq.wrapping_mul(0x9E37_79B9));
+            if draw < rule.rate {
+                self.fired[ri].fetch_add(1, Ordering::Relaxed);
+                wwv_obs::global()
+                    .counter(&format!("fault.injected.{point}.{}", rule.kind.name()))
+                    .inc();
+                let salt = splitmix64(base ^ seq ^ 0x5EED_FA17);
+                return Some((rule.kind, salt));
+            }
+        }
+        None
+    }
+
+    /// Applies frame-level faults at `point` to an outgoing frame.
+    pub fn apply_to_frame(&self, point: &str, mut frame: Vec<u8>) -> FrameFate {
+        match self.decide(point) {
+            None => FrameFate::Deliver(frame),
+            Some((kind, salt)) => match kind {
+                FaultKind::BitFlip => {
+                    corrupt_bytes(&mut frame, salt);
+                    FrameFate::Deliver(frame)
+                }
+                FaultKind::Truncate => {
+                    truncate_bytes(&mut frame, salt);
+                    FrameFate::Deliver(frame)
+                }
+                FaultKind::Duplicate => FrameFate::DeliverTwice(frame),
+                FaultKind::Reorder => FrameFate::HoldForReorder(frame),
+                FaultKind::Delay(ms) => FrameFate::Delayed(frame, Duration::from_millis(ms)),
+                FaultKind::Drop => FrameFate::Dropped,
+            },
+        }
+    }
+
+    /// How often each rule fired so far: `(point, kind name, count)`.
+    pub fn fired(&self) -> Vec<(&'static str, &'static str, u64)> {
+        self.rules
+            .iter()
+            .zip(&self.fired)
+            .map(|(r, c)| (r.point, r.kind.name(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total faults fired at `point`.
+    pub fn fired_at(&self, point: &str) -> u64 {
+        self.rules
+            .iter()
+            .zip(&self.fired)
+            .filter(|(r, _)| r.point == point)
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total faults fired anywhere.
+    pub fn fired_total(&self) -> u64 {
+        self.fired.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Flips one salt-determined bit. Empty input is left alone.
+pub fn corrupt_bytes(data: &mut [u8], salt: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let pos = (salt % data.len() as u64) as usize;
+    let bit = ((salt >> 32) % 8) as u8;
+    data[pos] ^= 1 << bit;
+}
+
+/// Truncates to a salt-determined strictly shorter prefix (always removes
+/// at least one byte; empty input stays empty).
+pub fn truncate_bytes(data: &mut Vec<u8>, salt: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let keep = (salt % data.len() as u64) as usize;
+    data.truncate(keep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64) -> FaultPlan {
+        FaultPlan::new(42).with(FaultRule {
+            point: points::CLIENT_UPLOAD,
+            kind: FaultKind::BitFlip,
+            rate,
+        })
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_plans() {
+        let a = plan(0.5);
+        let b = plan(0.5);
+        for _ in 0..200 {
+            assert_eq!(
+                a.decide(points::CLIENT_UPLOAD).map(|d| d.1),
+                b.decide(points::CLIENT_UPLOAD).map(|d| d.1)
+            );
+        }
+        assert_eq!(a.fired_total(), b.fired_total());
+        assert!(a.fired_total() > 0, "rate 0.5 over 200 arrivals must fire");
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let never = plan(0.0);
+        let always = plan(1.0);
+        for _ in 0..50 {
+            assert!(never.decide(points::CLIENT_UPLOAD).is_none());
+            assert!(always.decide(points::CLIENT_UPLOAD).is_some());
+        }
+        assert_eq!(never.fired_total(), 0);
+        assert_eq!(always.fired_total(), 50);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert!(p.decide(points::CLIENT_UPLOAD).is_none());
+        assert!(matches!(
+            p.apply_to_frame(points::CLIENT_UPLOAD, vec![1, 2, 3]),
+            FrameFate::Deliver(v) if v == vec![1, 2, 3]
+        ));
+    }
+
+    #[test]
+    fn unknown_point_never_fires() {
+        let p = plan(1.0);
+        assert!(p.decide("no.such.point").is_none());
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let original = vec![0u8; 64];
+        for salt in 0..100u64 {
+            let mut data = original.clone();
+            corrupt_bytes(&mut data, splitmix64(salt));
+            let flipped: u32 = data
+                .iter()
+                .zip(&original)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn truncate_always_removes_at_least_one_byte() {
+        for salt in 0..100u64 {
+            let mut data = vec![7u8; 32];
+            truncate_bytes(&mut data, splitmix64(salt));
+            assert!(data.len() < 32, "salt {salt}");
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        truncate_bytes(&mut empty, 9);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fired_accounting_matches_decisions() {
+        let p = FaultPlan::new(7)
+            .with(FaultRule { point: points::CLIENT_UPLOAD, kind: FaultKind::Drop, rate: 0.3 })
+            .with(FaultRule { point: points::SERVE_WORKER, kind: FaultKind::Delay(1), rate: 0.9 });
+        let mut upload_fired = 0u64;
+        for _ in 0..300 {
+            if p.decide(points::CLIENT_UPLOAD).is_some() {
+                upload_fired += 1;
+            }
+            p.decide(points::SERVE_WORKER);
+        }
+        assert_eq!(p.fired_at(points::CLIENT_UPLOAD), upload_fired);
+        assert_eq!(
+            p.fired_total(),
+            p.fired().iter().map(|(_, _, c)| c).sum::<u64>()
+        );
+        let worker = p.fired_at(points::SERVE_WORKER) as f64 / 300.0;
+        assert!((worker - 0.9).abs() < 0.08, "delay rate {worker}");
+    }
+
+    #[test]
+    fn frame_fates_cover_all_kinds() {
+        let frame = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        for kind in [
+            FaultKind::BitFlip,
+            FaultKind::Truncate,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Delay(3),
+            FaultKind::Drop,
+        ] {
+            let p = FaultPlan::new(1).with(FaultRule {
+                point: points::CLIENT_UPLOAD,
+                kind,
+                rate: 1.0,
+            });
+            let fate = p.apply_to_frame(points::CLIENT_UPLOAD, frame.clone());
+            match kind {
+                FaultKind::BitFlip => {
+                    let FrameFate::Deliver(v) = fate else { panic!("{kind:?}: {fate:?}") };
+                    assert_eq!(v.len(), frame.len());
+                    assert_ne!(v, frame);
+                }
+                FaultKind::Truncate => {
+                    let FrameFate::Deliver(v) = fate else { panic!("{kind:?}: {fate:?}") };
+                    assert!(v.len() < frame.len());
+                }
+                FaultKind::Duplicate => assert!(matches!(fate, FrameFate::DeliverTwice(_))),
+                FaultKind::Reorder => assert!(matches!(fate, FrameFate::HoldForReorder(_))),
+                FaultKind::Delay(ms) => {
+                    let FrameFate::Delayed(v, d) = fate else { panic!("{kind:?}: {fate:?}") };
+                    assert_eq!(v, frame);
+                    assert_eq!(d, Duration::from_millis(ms));
+                }
+                FaultKind::Drop => assert_eq!(fate, FrameFate::Dropped),
+            }
+        }
+    }
+}

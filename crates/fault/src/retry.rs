@@ -1,0 +1,167 @@
+//! Capped exponential backoff with deterministic jitter.
+
+use crate::unit;
+use std::fmt;
+use std::time::Duration;
+
+/// Retry policy for transient failures (connect drops, overload shedding).
+///
+/// Attempt `n` (1-based) sleeps `base_delay · 2^(n-1)` scaled by a jitter
+/// factor in `[0.5, 1.5)` derived from `(seed, n)`, capped at `max_delay`.
+/// Deterministic: the same seed yields the same backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff unit for the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// All attempts failed; carries the final error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryExhausted<E> {
+    /// Attempts made (equals the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The last failure.
+    pub last: E,
+}
+
+impl<E: fmt::Display> fmt::Display for RetryExhausted<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gave up after {} attempts: {}", self.attempts, self.last)
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RetryExhausted<E> {}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff sleep before retry attempt `attempt` (2-based: the first
+    /// attempt never sleeps).
+    pub fn delay_before(&self, attempt: u32, seed: u64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(20);
+        let raw = self.base_delay.saturating_mul(1u32 << exp.min(20));
+        let jitter = 0.5 + unit(seed ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let jittered = Duration::from_secs_f64(raw.as_secs_f64() * jitter);
+        jittered.min(self.max_delay)
+    }
+
+    /// Runs `op` until it succeeds or attempts run out, sleeping the backoff
+    /// schedule in between. Returns the value and the number of attempts
+    /// used, or a typed [`RetryExhausted`]. Retry counts are mirrored to the
+    /// `retry.attempts` / `retry.exhausted` obs counters.
+    pub fn run<T, E>(
+        &self,
+        seed: u64,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<(T, u32), RetryExhausted<E>> {
+        let attempts = self.max_attempts.max(1);
+        let mut last: Option<E> = None;
+        for attempt in 1..=attempts {
+            let backoff = self.delay_before(attempt, seed);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            match op(attempt) {
+                Ok(v) => {
+                    if attempt > 1 {
+                        wwv_obs::global().counter("retry.attempts").add(attempt as u64 - 1);
+                    }
+                    return Ok((v, attempt));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        wwv_obs::global().counter("retry.attempts").add(attempts as u64 - 1);
+        wwv_obs::global().counter("retry.exhausted").inc();
+        Err(RetryExhausted { attempts, last: last.expect("at least one attempt ran") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_uses_one_attempt() {
+        let policy = RetryPolicy::default();
+        let (v, attempts) = policy.run(1, |_| Ok::<_, ()>(7)).unwrap();
+        assert_eq!((v, attempts), (7, 1));
+    }
+
+    #[test]
+    fn transient_failure_recovers() {
+        let policy = RetryPolicy::default();
+        let (v, attempts) = policy
+            .run(2, |attempt| if attempt < 3 { Err("flaky") } else { Ok(attempt) })
+            .unwrap();
+        assert_eq!((v, attempts), (3, 3));
+    }
+
+    #[test]
+    fn permanent_failure_is_typed_after_max_attempts() {
+        let policy = RetryPolicy { max_attempts: 4, ..RetryPolicy::default() };
+        let err = policy.run(3, |_| Err::<(), _>("down")).unwrap_err();
+        assert_eq!(err.attempts, 4);
+        assert_eq!(err.last, "down");
+        assert!(err.to_string().contains("4 attempts"));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(20),
+        };
+        assert_eq!(policy.delay_before(1, 9), Duration::ZERO);
+        let mut last = Duration::ZERO;
+        for attempt in 2..=10 {
+            let d = policy.delay_before(attempt, 9);
+            assert!(d <= policy.max_delay, "attempt {attempt} exceeds cap: {d:?}");
+            // Jitter is ±50%, exponent doubles: monotone up to the cap when
+            // comparing attempt n against n-2.
+            if attempt >= 4 && last < policy.max_delay {
+                assert!(d >= policy.delay_before(attempt - 2, 9) / 2);
+            }
+            last = d;
+        }
+        assert_eq!(last, policy.max_delay, "schedule must reach the cap");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        for attempt in 2..8 {
+            assert_eq!(policy.delay_before(attempt, 5), policy.delay_before(attempt, 5));
+        }
+        let differs = (2..8).any(|a| policy.delay_before(a, 5) != policy.delay_before(a, 6));
+        assert!(differs, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn no_retries_policy_fails_immediately() {
+        let policy = RetryPolicy::no_retries();
+        let err = policy.run(0, |_| Err::<(), _>("nope")).unwrap_err();
+        assert_eq!(err.attempts, 1);
+    }
+}

@@ -60,7 +60,9 @@ pub use protocol::{decode_request, decode_response, encode_request, encode_respo
 pub use query::{ErrorCode, ListKey, Query, Response};
 pub use server::{ServeError, ServeHandle, Server, ServerConfig};
 pub use store::{Catalog, ShardedStore, StoredList};
-pub use transport::{InProcTransport, TcpClient, TcpServer, Transport, TransportError};
+pub use transport::{
+    FaultyInProcTransport, InProcTransport, TcpClient, TcpServer, Transport, TransportError,
+};
 
 /// Glob-import surface for examples and the umbrella binary.
 pub mod prelude {

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use wwv_fault::{points, FaultKind, FaultPlan};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -30,6 +31,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
+    /// Fault-injection plan for chaos runs; `None` in production. Workers
+    /// consult the `serve.worker` point and honor injected `Delay`s, which
+    /// exercises the post-evaluation deadline check.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +44,7 @@ impl Default for ServerConfig {
             queue_depth: 256,
             cache_capacity: 1_024,
             default_deadline: None,
+            faults: None,
         }
     }
 }
@@ -153,9 +159,10 @@ impl Server {
             .map(|i| {
                 let rx = rx.clone();
                 let engine = Arc::clone(&engine);
+                let faults = config.faults.clone();
                 std::thread::Builder::new()
                     .name(format!("wwv-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &engine))
+                    .spawn(move || worker_loop(&rx, &engine, faults.as_deref()))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -204,7 +211,7 @@ impl Server {
     }
 }
 
-fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine) -> u64 {
+fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine, faults: Option<&FaultPlan>) -> u64 {
     let reg = wwv_obs::global();
     let latency = reg.histogram("serve.request_us");
     let mut processed = 0u64;
@@ -222,7 +229,32 @@ fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine) -> u64 {
                             "deadline expired in queue".to_owned(),
                         )
                     }
-                    _ => engine.execute(&query),
+                    _ => {
+                        // Injected worker stall (chaos runs only): models a
+                        // slow engine evaluation.
+                        if let Some(plan) = faults {
+                            if let Some((FaultKind::Delay(ms), _)) =
+                                plan.decide(points::SERVE_WORKER)
+                            {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                        }
+                        let resp = engine.execute(&query);
+                        // Re-check after evaluation: a request that blew its
+                        // deadline *while executing* must be answered with
+                        // the typed error, not a stale success the client
+                        // already gave up on.
+                        match deadline {
+                            Some(d) if Instant::now() >= d => {
+                                reg.counter("serve.deadline_exceeded").inc();
+                                Response::Error(
+                                    ErrorCode::DeadlineExceeded,
+                                    "deadline expired during evaluation".to_owned(),
+                                )
+                            }
+                            _ => resp,
+                        }
+                    }
                 };
                 latency.record(start.elapsed().as_micros() as u64);
                 processed += 1;
@@ -275,6 +307,33 @@ mod tests {
             matches!(resp, Response::Error(ErrorCode::DeadlineExceeded, _))
                 || matches!(resp, Response::TopK(_)),
             "zero deadline must either expire or race a fast worker: {resp:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_blown_during_evaluation_is_reported() {
+        // Regression: deadlines used to be checked only while queued, so a
+        // request that expired *during* engine evaluation was answered with
+        // a stale success. An injected worker stall (rate 1.0, 40ms) against
+        // a 5ms deadline forces exactly that interleaving.
+        use wwv_fault::FaultRule;
+        let plan = Arc::new(FaultPlan::new(77).with(FaultRule {
+            point: points::SERVE_WORKER,
+            kind: FaultKind::Delay(40),
+            rate: 1.0,
+        }));
+        let server = Server::start(
+            catalog(),
+            ServerConfig { workers: 1, faults: Some(plan), ..ServerConfig::default() },
+        );
+        let handle = server.handle();
+        let resp = handle
+            .call_with_deadline(Query::TopK { key: us_key(), k: 5 }, Duration::from_millis(5))
+            .expect("a reply always arrives");
+        assert!(
+            matches!(resp, Response::Error(ErrorCode::DeadlineExceeded, _)),
+            "a 40ms stall against a 5ms deadline must be reported: {resp:?}"
         );
         server.shutdown();
     }

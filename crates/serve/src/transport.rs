@@ -117,6 +117,73 @@ impl Transport for InProcTransport {
     }
 }
 
+/// An in-process transport whose frames pass through a
+/// [`wwv_fault::FaultPlan`]: request frames at the `serve.request` point,
+/// response frames at `serve.response`. Chaos runs use it to prove that a
+/// mangled frame surfaces as a *typed* [`TransportError`] — never a panic,
+/// hang, or silently wrong response.
+pub struct FaultyInProcTransport {
+    handle: ServeHandle,
+    plan: Arc<wwv_fault::FaultPlan>,
+    next_id: u64,
+}
+
+impl FaultyInProcTransport {
+    /// Wraps a server handle with a fault plan.
+    pub fn new(handle: ServeHandle, plan: Arc<wwv_fault::FaultPlan>) -> FaultyInProcTransport {
+        FaultyInProcTransport { handle, plan, next_id: 0 }
+    }
+
+    fn injected_drop() -> TransportError {
+        TransportError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected connection drop",
+        ))
+    }
+}
+
+impl Transport for FaultyInProcTransport {
+    fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        use wwv_fault::{points, FrameFate};
+        self.next_id += 1;
+        let sent = self.next_id;
+        let frame = encode_request(sent, query);
+        let reply = match self.plan.apply_to_frame(points::SERVE_REQUEST, frame.to_vec()) {
+            FrameFate::Deliver(bytes) | FrameFate::HoldForReorder(bytes) => {
+                // A single-call transport has no successor to swap a held
+                // frame with; reorder degenerates to plain delivery.
+                dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
+            }
+            FrameFate::DeliverTwice(bytes) => {
+                // The duplicate is dispatched too (the server must cope);
+                // the caller sees the final reply.
+                let _ = dispatch_frame(&self.handle, &mut Bytes::from(bytes.clone()))?;
+                dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
+            }
+            FrameFate::Delayed(bytes, delay) => {
+                std::thread::sleep(delay);
+                dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
+            }
+            FrameFate::Dropped => return Err(Self::injected_drop()),
+        };
+        let reply_bytes = reply.to_vec();
+        let mut reply = match self.plan.apply_to_frame(points::SERVE_RESPONSE, reply_bytes) {
+            FrameFate::Deliver(bytes) | FrameFate::HoldForReorder(bytes) => Bytes::from(bytes),
+            FrameFate::DeliverTwice(bytes) => Bytes::from(bytes),
+            FrameFate::Delayed(bytes, delay) => {
+                std::thread::sleep(delay);
+                Bytes::from(bytes)
+            }
+            FrameFate::Dropped => return Err(Self::injected_drop()),
+        };
+        let (got, response) = decode_response(&mut reply)?;
+        if got != sent {
+            return Err(TransportError::IdMismatch { sent, got });
+        }
+        Ok(response)
+    }
+}
+
 /// Poll interval for the non-blocking accept loop and connection reads.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
@@ -189,9 +256,23 @@ impl TcpServer {
 }
 
 fn connection_loop(stream: TcpStream, handle: ServeHandle, shutdown: Arc<AtomicBool>) {
-    // Read timeouts keep the thread responsive to the shutdown flag.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut stream = stream;
+    if let Err(e) = serve_connection(stream, &handle, &shutdown) {
+        wwv_obs::global().counter("serve.tcp.conn_errors").inc();
+        wwv_obs::debug!(target: "serve", "connection closed on error: {e}");
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handle: &ServeHandle,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // Read timeouts keep the thread responsive to the shutdown flag. This
+    // setup must not fail silently: a connection that cannot poll would sit
+    // in a blocking read forever and hang `TcpServer::shutdown` on join.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // `acc` lives across read calls: a frame that trickles in over many
+    // timed-out reads is resumed, never abandoned.
     let mut acc = BytesMut::new();
     let mut chunk = [0u8; 16 * 1024];
     while !shutdown.load(Ordering::Acquire) {
@@ -199,7 +280,7 @@ fn connection_loop(stream: TcpStream, handle: ServeHandle, shutdown: Arc<AtomicB
             Ok(0) => break,
             Ok(n) => {
                 acc.extend_from_slice(&chunk[..n]);
-                if !drain_frames(&mut acc, &handle, &mut stream) {
+                if !drain_frames(&mut acc, handle, &mut stream) {
                     break;
                 }
             }
@@ -209,9 +290,15 @@ fn connection_loop(stream: TcpStream, handle: ServeHandle, shutdown: Arc<AtomicB
             {
                 continue;
             }
-            Err(_) => break,
+            Err(e) => return Err(e),
         }
     }
+    if !acc.is_empty() {
+        // The peer went away (or we shut down) mid-frame; make the loss
+        // visible instead of dropping the partial bytes on the floor.
+        wwv_obs::global().counter("serve.tcp.partial_frames_abandoned").inc();
+    }
+    Ok(())
 }
 
 /// Processes every complete frame in `acc`. Returns `false` when the
@@ -361,6 +448,60 @@ mod tests {
             .unwrap()
             .is_ok());
         }
+        drop(client);
+        tcp.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn faulty_transport_yields_typed_errors_never_panics() {
+        use wwv_fault::{points, FaultKind, FaultPlan, FaultRule};
+        let server = server();
+        // Truncation always removes bytes the length prefix still promises,
+        // so every fired fault must surface as a typed protocol error.
+        let plan = Arc::new(FaultPlan::new(9).with(FaultRule {
+            point: points::SERVE_REQUEST,
+            kind: FaultKind::Truncate,
+            rate: 0.5,
+        }));
+        let mut t = FaultyInProcTransport::new(server.handle(), Arc::clone(&plan));
+        let (mut ok, mut typed) = (0, 0);
+        for _ in 0..40 {
+            match t.call(&Query::Ping) {
+                Ok(Response::Pong) => ok += 1,
+                Ok(r) => panic!("unexpected response: {r:?}"),
+                Err(TransportError::Proto(_)) => typed += 1,
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert!(ok > 0, "seeded rate 0.5 must let some calls through");
+        assert!(typed > 0, "seeded rate 0.5 must mangle some frames");
+        assert_eq!(typed as u64, plan.fired_at(points::SERVE_REQUEST));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_writer_frame_survives_read_timeouts() {
+        // Regression: a request frame trickling in byte-chunks slower than
+        // POLL_INTERVAL crosses many timed-out reads; the accumulator must
+        // resume the partial frame each time, not abandon it.
+        let server = server();
+        let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
+        let mut raw = TcpStream::connect(tcp.local_addr()).expect("connect");
+        raw.set_nodelay(true).unwrap();
+        let frame = encode_request(42, &Query::TopK { key: us_key(), k: 4 });
+        let step = (frame.len() / 5).max(1);
+        for piece in frame.chunks(step) {
+            raw.write_all(piece).unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(POLL_INTERVAL * 2);
+        }
+        // Reuse the client-side response reader on the raw stream.
+        let mut client = TcpClient { stream: raw, acc: BytesMut::new(), next_id: 0 };
+        let (id, response) = client.read_response().expect("trickled frame answered");
+        assert_eq!(id, 42);
+        let Response::TopK(entries) = response else { panic!("expected TopK: {response:?}") };
+        assert_eq!(entries.len(), 4);
         drop(client);
         tcp.shutdown();
         server.shutdown();

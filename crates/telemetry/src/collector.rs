@@ -114,8 +114,11 @@ impl DropBreakdown {
 pub struct CollectorStats {
     /// Frames decoded successfully.
     pub frames_ok: u64,
-    /// Frames rejected by the decoder.
+    /// Frames rejected by the decoder (quarantined poison frames; see the
+    /// `collector.quarantine.*` obs counters for the per-error breakdown).
     pub frames_bad: u64,
+    /// Duplicate frames skipped by [`CollectorOptions::dedupe_frames`].
+    pub frames_duplicate: u64,
     /// Events aggregated.
     pub events: u64,
     /// Events dropped, by reason.
@@ -148,6 +151,10 @@ pub struct CollectorOptions {
     /// variant of the §3.1 0.35% down-sampling for clients that upload raw
     /// foreground streams.
     pub fg_keep_probability: Option<f64>,
+    /// When set, byte-identical frames seen more than once are skipped and
+    /// counted as [`CollectorStats::frames_duplicate`] — the defense against
+    /// at-least-once upload transports that retransmit whole frames.
+    pub dedupe_frames: bool,
 }
 
 impl Default for CollectorOptions {
@@ -156,8 +163,21 @@ impl Default for CollectorOptions {
             counting: ClientCounting::Exact,
             privacy_threshold: None,
             fg_keep_probability: None,
+            dedupe_frames: false,
         }
     }
+}
+
+/// FNV-1a over a whole frame — the dedupe fingerprint. A 64-bit hash over
+/// the simulation's frame volumes makes accidental collisions (a *distinct*
+/// frame skipped as a duplicate) vanishingly unlikely.
+fn frame_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Per-worker unique-client tracker.
@@ -259,12 +279,17 @@ impl Collector {
     pub fn start_opts(workers: usize, client_cap: u64, opts: CollectorOptions) -> Self {
         let (tx, rx) = unbounded::<Bytes>();
         let stats = Arc::new(Mutex::new(CollectorStats::default()));
+        // Frame-fingerprint set shared across workers: duplicates of one
+        // frame may land on different worker threads.
+        let dedupe: Option<Arc<Mutex<HashSet<u64>>>> =
+            if opts.dedupe_frames { Some(Arc::new(Mutex::new(HashSet::new()))) } else { None };
         let mut handles = Vec::with_capacity(workers.max(1));
         for worker_idx in 0..workers.max(1) {
             let rx = rx.clone();
             let stats = Arc::clone(&stats);
             let counting = opts.counting;
             let fg_keep = opts.fg_keep_probability;
+            let dedupe = dedupe.clone();
             handles.push(std::thread::spawn(move || {
                 let obs = wwv_obs::global();
                 let decode_ns = obs.histogram("collector.decode_ns");
@@ -275,6 +300,14 @@ impl Collector {
                 let mut local_frames = 0u64;
                 for mut frame in rx.iter() {
                     local_frames += 1;
+                    let frame_len = frame.len() as u64;
+                    if let Some(seen) = &dedupe {
+                        if !seen.lock().insert(frame_fingerprint(&frame)) {
+                            local.frames_duplicate += 1;
+                            obs.counter("collector.frames_duplicate").inc();
+                            continue;
+                        }
+                    }
                     let obs_on = wwv_obs::enabled();
                     let t0 = if obs_on { Some(Instant::now()) } else { None };
                     let decoded = decode_frame(&mut frame);
@@ -331,7 +364,15 @@ impl Collector {
                                     .insert(batch.client_id, CLIENT_CAP_SLACK);
                             }
                         }
-                        Err(_) => local.frames_bad += 1,
+                        Err(e) => {
+                            // Poison frame: quarantined with its decode error
+                            // classified, never silently discarded.
+                            local.frames_bad += 1;
+                            obs.counter("collector.quarantine.frames").inc();
+                            obs.counter("collector.quarantine.bytes").add(frame_len);
+                            obs.counter(&format!("collector.quarantine.{}", e.kind_name()))
+                                .inc();
+                        }
                     }
                 }
                 // Mirror this worker's totals into the registry once, at
@@ -345,6 +386,7 @@ impl Collector {
                 let mut shared = stats.lock();
                 shared.frames_ok += local.frames_ok;
                 shared.frames_bad += local.frames_bad;
+                shared.frames_duplicate += local.frames_duplicate;
                 shared.events += local.events;
                 shared.dropped.merge(&local.dropped);
                 (agg, clients)
@@ -472,7 +514,7 @@ mod tests {
     fn aggregates_counts() {
         let collector = Collector::start(4, 100);
         for i in 0..10 {
-            collector.ingest(encode_frame(&batch(i, "example.com", 3)));
+            collector.ingest(encode_frame(&batch(i, "example.com", 3)).unwrap());
         }
         let (agg, stats) = collector.finish();
         let entry = &agg[&key("example.com")];
@@ -487,8 +529,8 @@ mod tests {
     fn unique_clients_deduplicated() {
         let collector = Collector::start(2, 100);
         // Same client uploads twice.
-        collector.ingest(encode_frame(&batch(7, "example.com", 1)));
-        collector.ingest(encode_frame(&batch(7, "example.com", 1)));
+        collector.ingest(encode_frame(&batch(7, "example.com", 1)).unwrap());
+        collector.ingest(encode_frame(&batch(7, "example.com", 1)).unwrap());
         let (agg, _) = collector.finish();
         assert_eq!(agg[&key("example.com")].unique_clients, 1);
         assert_eq!(agg[&key("example.com")].completed, 2);
@@ -498,7 +540,7 @@ mod tests {
     fn unique_clients_capped() {
         let collector = Collector::start(3, 5);
         for i in 0..50 {
-            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)).unwrap());
         }
         let (agg, _) = collector.finish();
         assert_eq!(agg[&key("example.com")].unique_clients, 5);
@@ -507,8 +549,8 @@ mod tests {
     #[test]
     fn non_public_domains_dropped() {
         let collector = Collector::start(2, 100);
-        collector.ingest(encode_frame(&batch(1, "printer.local", 2)));
-        collector.ingest(encode_frame(&batch(2, "example.com", 1)));
+        collector.ingest(encode_frame(&batch(1, "printer.local", 2)).unwrap());
+        collector.ingest(encode_frame(&batch(2, "example.com", 1)).unwrap());
         let (agg, stats) = collector.finish();
         assert!(!agg.contains_key(&key("printer.local")));
         assert!(agg.contains_key(&key("example.com")));
@@ -520,7 +562,7 @@ mod tests {
     fn bad_frames_counted_not_fatal() {
         let collector = Collector::start(2, 100);
         collector.ingest(Bytes::from_static(&[3, 0, 0, 0, 1, 2, 3]));
-        collector.ingest(encode_frame(&batch(1, "example.com", 1)));
+        collector.ingest(encode_frame(&batch(1, "example.com", 1)).unwrap());
         let (agg, stats) = collector.finish();
         assert_eq!(stats.frames_bad, 1);
         assert_eq!(stats.frames_ok, 1);
@@ -540,7 +582,7 @@ mod tests {
                 TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 2_500 },
             ],
         };
-        collector.ingest(encode_frame(&b));
+        collector.ingest(encode_frame(&b).unwrap());
         let (agg, _) = collector.finish();
         let entry = &agg[&key("example.com")];
         assert_eq!(entry.foreground_events, 2);
@@ -551,7 +593,7 @@ mod tests {
     fn sketched_collector_counts_within_error() {
         let collector = Collector::start_sketched(3, 100_000);
         for i in 0..3_000u64 {
-            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)).unwrap());
         }
         let (agg, _) = collector.finish();
         let count = agg[&key("example.com")].unique_clients as f64;
@@ -564,8 +606,8 @@ mod tests {
             let exact = Collector::start(2, 100_000);
             let sketched = Collector::start_sketched(2, 100_000);
             for i in 0..n {
-                exact.ingest(encode_frame(&batch(i, "example.com", 1)));
-                sketched.ingest(encode_frame(&batch(i, "example.com", 1)));
+                exact.ingest(encode_frame(&batch(i, "example.com", 1)).unwrap());
+                sketched.ingest(encode_frame(&batch(i, "example.com", 1)).unwrap());
             }
             let (ea, _) = exact.finish();
             let (sa, _) = sketched.finish();
@@ -581,8 +623,8 @@ mod tests {
         let collector = Collector::start(2, 100);
         let mut on_android = batch(1, "example.com", 1);
         on_android.platform = Platform::Android;
-        collector.ingest(encode_frame(&batch(1, "example.com", 1)));
-        collector.ingest(encode_frame(&on_android));
+        collector.ingest(encode_frame(&batch(1, "example.com", 1)).unwrap());
+        collector.ingest(encode_frame(&on_android).unwrap());
         let (agg, _) = collector.finish();
         assert_eq!(agg.len(), 2);
     }
@@ -593,9 +635,9 @@ mod tests {
         let collector = Collector::start_opts(2, 100, opts);
         // 5 clients on example.com, a single client on rare.net.
         for i in 0..5 {
-            collector.ingest(encode_frame(&batch(i, "example.com", 1)));
+            collector.ingest(encode_frame(&batch(i, "example.com", 1)).unwrap());
         }
-        collector.ingest(encode_frame(&batch(9, "rare.net", 2)));
+        collector.ingest(encode_frame(&batch(9, "rare.net", 2)).unwrap());
         let (agg, stats) = collector.finish();
         assert!(agg.contains_key(&key("example.com")));
         assert!(!agg.contains_key(&key("rare.net")));
@@ -621,7 +663,7 @@ mod tests {
                     millis: 100,
                 }],
             };
-            collector.ingest(encode_frame(&b));
+            collector.ingest(encode_frame(&b).unwrap());
         }
         let (agg, stats) = collector.finish();
         let kept = agg[&key("example.com")].foreground_events;
@@ -635,5 +677,64 @@ mod tests {
         assert_eq!(keep_foreground(42, 7, 0.5), keep_foreground(42, 7, 0.5));
         assert!(keep_foreground(42, 7, 1.0));
         assert!(!keep_foreground(42, 7, 0.0));
+    }
+
+    #[test]
+    fn duplicate_frames_deduped_when_enabled() {
+        // Baseline: each frame ingested once.
+        let clean = Collector::start(2, 100);
+        for i in 0..8 {
+            clean.ingest(encode_frame(&batch(i, "example.com", 2)).unwrap());
+        }
+        let (clean_agg, _) = clean.finish();
+
+        let opts = CollectorOptions { dedupe_frames: true, ..CollectorOptions::default() };
+        let collector = Collector::start_opts(2, 100, opts);
+        for i in 0..8 {
+            let frame = encode_frame(&batch(i, "example.com", 2)).unwrap();
+            collector.ingest(frame.clone());
+            collector.ingest(frame); // duplicated in flight
+        }
+        let (agg, stats) = collector.finish();
+        assert_eq!(stats.frames_ok, 8);
+        assert_eq!(stats.frames_duplicate, 8);
+        assert_eq!(agg, clean_agg, "dedupe must make duplication invisible");
+    }
+
+    #[test]
+    fn duplicates_double_count_without_dedupe() {
+        // The failure mode dedupe_frames defends against.
+        let collector = Collector::start(2, 100);
+        let frame = encode_frame(&batch(1, "example.com", 1)).unwrap();
+        collector.ingest(frame.clone());
+        collector.ingest(frame);
+        let (agg, stats) = collector.finish();
+        assert_eq!(stats.frames_duplicate, 0);
+        assert_eq!(agg[&key("example.com")].completed, 2);
+    }
+
+    #[test]
+    fn quarantine_classifies_poison_frames() {
+        let obs = wwv_obs::global();
+        let before_frames = obs.counter("collector.quarantine.frames").get();
+        let before_bytes = obs.counter("collector.quarantine.bytes").get();
+        let before_inc = obs.counter("collector.quarantine.incomplete").get();
+
+        let collector = Collector::start(1, 100);
+        let good = encode_frame(&batch(1, "example.com", 1)).unwrap();
+        // Truncated frame: body shorter than the length prefix promises.
+        let mut cut = good.to_vec();
+        cut.truncate(good.len() - 3);
+        let cut_len = cut.len() as u64;
+        collector.ingest(Bytes::from(cut));
+        collector.ingest(good);
+        let (_, stats) = collector.finish();
+        assert_eq!(stats.frames_ok, 1);
+        assert_eq!(stats.frames_bad, 1);
+        // Lower bounds, not exact deltas: other tests in this binary may
+        // quarantine frames concurrently on the shared global registry.
+        assert!(obs.counter("collector.quarantine.frames").get() > before_frames);
+        assert!(obs.counter("collector.quarantine.bytes").get() >= before_bytes + cut_len);
+        assert!(obs.counter("collector.quarantine.incomplete").get() > before_inc);
     }
 }

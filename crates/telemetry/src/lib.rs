@@ -11,7 +11,10 @@
 //! * [`client`] — simulated client populations emitting event batches drawn
 //!   from the world model's demand distributions;
 //! * [`collector`] — a concurrent aggregation service (worker threads over
-//!   `crossbeam` channels, sharded counters) that ingests frames;
+//!   `crossbeam` channels, sharded counters) that ingests frames, with
+//!   poison-frame quarantine and optional duplicate-frame suppression;
+//! * [`upload`] — the fault-tolerant client upload path: batch splitting,
+//!   capped-backoff connect retries, and `wwv-fault` injection points;
 //! * [`privacy`] — the paper's three safeguards: unique-client thresholding,
 //!   0.35% down-sampling of foreground events, and non-public-domain
 //!   exclusion;
@@ -36,10 +39,12 @@ pub mod event;
 pub mod persist;
 pub mod privacy;
 pub mod sampling;
+pub mod upload;
 pub mod wire;
 
 pub use builder::DatasetBuilder;
 pub use hll::HyperLogLog;
 pub use dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
 pub use event::{ClientBatch, TelemetryEvent};
-pub use wire::{decode_frame, encode_frame, WireError};
+pub use upload::{UploadError, UploadStats, Uploader};
+pub use wire::{decode_frame, encode_frame, encode_frames, WireError};

@@ -1,0 +1,306 @@
+//! Client-side upload path with fault tolerance.
+//!
+//! [`Uploader`] is the piece between a simulated client and the collector:
+//! it splits batches into wire frames ([`crate::wire::encode_frames`]),
+//! survives transient connect failures with capped exponential backoff +
+//! jitter ([`wwv_fault::RetryPolicy`]), and is the place where a
+//! [`FaultPlan`] injects transport mess — corruption, truncation,
+//! duplication, reordering, delays, and dropped connections — at the
+//! `client.connect` / `client.upload` points.
+//!
+//! Nothing is lost silently: every frame ends up delivered (possibly
+//! mutated), or accounted in [`UploadStats::frames_abandoned`] behind a
+//! typed [`UploadError`].
+
+use crate::collector::Collector;
+use crate::event::ClientBatch;
+use crate::wire::{self, WireError};
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+use wwv_fault::{points, FaultPlan, FrameFate, RetryPolicy};
+
+/// Why an upload failed (typed; the caller decides whether to drop or
+/// escalate — the stats always record the outcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadError {
+    /// The batch cannot be framed at all (oversized domain).
+    Encode(WireError),
+    /// Connect kept failing past the retry budget.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for UploadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UploadError::Encode(e) => write!(f, "cannot encode batch: {e}"),
+            UploadError::RetriesExhausted { attempts } => {
+                write!(f, "upload abandoned after {attempts} connect attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+/// Delivery accounting for one uploader.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UploadStats {
+    /// Frames handed to the collector (duplicates included).
+    pub frames_sent: u64,
+    /// Frames lost to exhausted connect retries (each reported via a typed
+    /// [`UploadError::RetriesExhausted`], never silently).
+    pub frames_abandoned: u64,
+    /// Frames lost in flight to an injected `Drop` fault. Mirrored to the
+    /// `upload.frames_lost` obs counter so accounting can be reconciled
+    /// against the fault plan's fired counters.
+    pub frames_lost: u64,
+    /// Connect retries that eventually succeeded.
+    pub retries: u64,
+    /// Extra copies sent by injected duplication.
+    pub duplicates_sent: u64,
+    /// Frame pairs swapped by injected reordering.
+    pub reordered: u64,
+    /// Frames stalled by injected delay.
+    pub delayed: u64,
+}
+
+/// Fault-aware bridge from client batches to a [`Collector`].
+pub struct Uploader<'c> {
+    collector: &'c Collector,
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+    /// A frame held back by an injected reorder; it ships after the next one.
+    held: Option<Bytes>,
+    stats: UploadStats,
+    seq: u64,
+}
+
+impl<'c> Uploader<'c> {
+    /// A fault-free uploader (the production path).
+    pub fn new(collector: &'c Collector) -> Uploader<'c> {
+        Uploader::with_faults(collector, Arc::new(FaultPlan::none()), RetryPolicy::default())
+    }
+
+    /// An uploader whose traffic passes through `plan` with `retry`
+    /// governing transient connect failures.
+    pub fn with_faults(
+        collector: &'c Collector,
+        plan: Arc<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> Uploader<'c> {
+        Uploader { collector, plan, retry, held: None, stats: UploadStats::default(), seq: 0 }
+    }
+
+    /// Uploads one batch, splitting it into as many frames as the wire
+    /// limits require. Returns the first typed failure, if any (already
+    /// accounted in the stats by then).
+    pub fn upload(&mut self, batch: &ClientBatch) -> Result<(), UploadError> {
+        let frames = wire::encode_frames(batch).map_err(UploadError::Encode)?;
+        for frame in frames {
+            self.upload_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any reorder-held frame and returns the delivery accounting.
+    pub fn finish(mut self) -> UploadStats {
+        if let Some(frame) = self.held.take() {
+            self.deliver(frame);
+        }
+        self.stats
+    }
+
+    /// Accounting so far (the borrow-free snapshot).
+    pub fn stats(&self) -> UploadStats {
+        self.stats
+    }
+
+    fn upload_frame(&mut self, frame: Bytes) -> Result<(), UploadError> {
+        self.seq += 1;
+        // Connection establishment: an injected Drop is a transient connect
+        // failure the retry policy absorbs; anything else proceeds.
+        let connect_seed = self.plan.seed() ^ self.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let connect = self.retry.run(connect_seed, |_attempt| {
+            match self.plan.decide(points::CLIENT_CONNECT) {
+                Some((wwv_fault::FaultKind::Drop, _)) => Err("connection dropped"),
+                _ => Ok(()),
+            }
+        });
+        match connect {
+            Ok(((), attempts)) => self.stats.retries += attempts as u64 - 1,
+            Err(exhausted) => {
+                self.stats.frames_abandoned += 1;
+                wwv_obs::global().counter("upload.abandoned").inc();
+                return Err(UploadError::RetriesExhausted { attempts: exhausted.attempts });
+            }
+        }
+        // In-flight faults on the encoded bytes.
+        match self.plan.apply_to_frame(points::CLIENT_UPLOAD, frame.to_vec()) {
+            FrameFate::Deliver(bytes) => {
+                self.deliver(Bytes::from(bytes));
+                self.flush_held();
+            }
+            FrameFate::DeliverTwice(bytes) => {
+                let bytes = Bytes::from(bytes);
+                self.deliver(bytes.clone());
+                self.deliver(bytes);
+                self.stats.duplicates_sent += 1;
+                self.flush_held();
+            }
+            FrameFate::HoldForReorder(bytes) => {
+                // Hold this frame: it ships behind its successor (or at
+                // `finish`). Two consecutive reorders release the older one.
+                if let Some(prev) = self.held.replace(Bytes::from(bytes)) {
+                    self.deliver(prev);
+                }
+                self.stats.reordered += 1;
+            }
+            FrameFate::Delayed(bytes, delay) => {
+                std::thread::sleep(delay);
+                self.stats.delayed += 1;
+                self.deliver(Bytes::from(bytes));
+                self.flush_held();
+            }
+            FrameFate::Dropped => {
+                // Lost in flight — fire-and-forget from the client's view,
+                // but fully accounted for reconciliation.
+                self.stats.frames_lost += 1;
+                wwv_obs::global().counter("upload.frames_lost").inc();
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, frame: Bytes) {
+        self.collector.ingest(frame);
+        self.stats.frames_sent += 1;
+    }
+
+    /// Ships a reorder-held predecessor now that its successor went out.
+    fn flush_held(&mut self) {
+        if let Some(held) = self.held.take() {
+            self.deliver(held);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+    use wwv_fault::{FaultKind, FaultRule};
+    use wwv_world::{Month, Platform};
+
+    fn batch(client_id: u64, loads: usize) -> ClientBatch {
+        ClientBatch {
+            client_id,
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::February2022,
+            events: (0..loads)
+                .flat_map(|_| {
+                    vec![
+                        TelemetryEvent::PageLoadInitiated { domain: "example.com".into() },
+                        TelemetryEvent::PageLoadCompleted { domain: "example.com".into() },
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn clean_aggregate(n: u64) -> (crate::collector::Aggregate, crate::collector::CollectorStats) {
+        let collector = Collector::start(2, 1_000);
+        let mut up = Uploader::new(&collector);
+        for i in 0..n {
+            up.upload(&batch(i, 2)).unwrap();
+        }
+        let stats = up.finish();
+        assert_eq!(stats.frames_sent, n);
+        collector.finish()
+    }
+
+    #[test]
+    fn fault_free_uploader_is_transparent() {
+        let (agg, stats) = clean_aggregate(10);
+        assert_eq!(stats.frames_ok, 10);
+        assert_eq!(stats.frames_bad, 0);
+        assert_eq!(agg.values().map(|v| v.completed).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn transient_connect_drops_recover_to_identical_aggregate() {
+        let (clean_agg, clean_stats) = clean_aggregate(20);
+        let plan = Arc::new(FaultPlan::new(11).with(FaultRule {
+            point: points::CLIENT_CONNECT,
+            kind: FaultKind::Drop,
+            rate: 0.4,
+        }));
+        let collector = Collector::start(2, 1_000);
+        let retry = RetryPolicy { max_attempts: 12, ..RetryPolicy::default() };
+        let mut up = Uploader::with_faults(&collector, Arc::clone(&plan), retry);
+        for i in 0..20 {
+            up.upload(&batch(i, 2)).unwrap();
+        }
+        let ustats = up.finish();
+        assert!(ustats.retries > 0, "rate 0.4 over 20 frames must retry");
+        assert_eq!(ustats.frames_abandoned, 0, "seeded run must not exhaust 12 attempts");
+        let (agg, stats) = collector.finish();
+        assert_eq!(agg, clean_agg, "retried uploads must reproduce the aggregate exactly");
+        assert_eq!(stats, clean_stats);
+    }
+
+    #[test]
+    fn permanent_connect_failure_is_typed_and_accounted() {
+        let plan = Arc::new(FaultPlan::new(3).with(FaultRule {
+            point: points::CLIENT_CONNECT,
+            kind: FaultKind::Drop,
+            rate: 1.0,
+        }));
+        let collector = Collector::start(1, 100);
+        let retry = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let mut up = Uploader::with_faults(&collector, plan, retry);
+        let err = up.upload(&batch(1, 1)).unwrap_err();
+        assert_eq!(err, UploadError::RetriesExhausted { attempts: 3 });
+        let stats = up.finish();
+        assert_eq!(stats.frames_sent, 0);
+        assert_eq!(stats.frames_abandoned, 1);
+        let (_, cstats) = collector.finish();
+        assert_eq!(cstats.frames_ok, 0);
+    }
+
+    #[test]
+    fn reordering_preserves_the_aggregate() {
+        let (clean_agg, _) = clean_aggregate(30);
+        let plan = Arc::new(FaultPlan::new(5).with(FaultRule {
+            point: points::CLIENT_UPLOAD,
+            kind: FaultKind::Reorder,
+            rate: 0.5,
+        }));
+        let collector = Collector::start(2, 1_000);
+        let mut up = Uploader::with_faults(&collector, plan, RetryPolicy::default());
+        for i in 0..30 {
+            up.upload(&batch(i, 2)).unwrap();
+        }
+        let ustats = up.finish();
+        assert!(ustats.reordered > 0);
+        assert_eq!(ustats.frames_sent, 30, "reordering must not lose frames");
+        let (agg, _) = collector.finish();
+        assert_eq!(agg, clean_agg, "aggregation is order-independent");
+    }
+
+    #[test]
+    fn oversized_batches_split_transparently() {
+        let collector = Collector::start(2, 1_000_000);
+        let mut up = Uploader::new(&collector);
+        up.upload(&batch(9, 40_000)).unwrap(); // 80k events: > u16::MAX
+        let ustats = up.finish();
+        assert!(ustats.frames_sent >= 2, "oversized batch must split");
+        let (agg, stats) = collector.finish();
+        assert_eq!(stats.frames_bad, 0);
+        assert_eq!(agg.values().map(|v| v.completed).sum::<u64>(), 40_000);
+    }
+}

@@ -26,6 +26,11 @@ use wwv_world::{Month, Platform};
 pub const MAX_DOMAIN_LEN: usize = 253;
 /// Maximum payload size accepted by the decoder (DoS guard).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Maximum events one frame can carry (the count field is a `u16`).
+pub const MAX_EVENTS_PER_FRAME: usize = u16::MAX as usize;
+/// Fixed bytes before the event array: client id + country + platform +
+/// month + event count.
+const HEADER_LEN: usize = 8 + 1 + 1 + 1 + 2;
 
 /// Decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +66,35 @@ pub enum WireError {
     BadDomain,
     /// Frame declared more/fewer events than its payload holds.
     Truncated,
+    /// The batch cannot be represented in one frame: too many events for
+    /// the `u16` count, a domain longer than [`MAX_DOMAIN_LEN`], or a
+    /// payload over [`MAX_FRAME_LEN`]. Encode-side only — the old encoder
+    /// silently wrapped the count and emitted a corrupt frame instead.
+    TooLarge {
+        /// Which limit was hit (`"events"`, `"domain"`, or `"frame"`).
+        what: &'static str,
+        /// Offending size.
+        len: usize,
+        /// The limit.
+        max: usize,
+    },
+}
+
+impl WireError {
+    /// Stable snake_case name for metric labels and quarantine counters.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WireError::Incomplete => "incomplete",
+            WireError::FrameTooLarge { .. } => "frame_too_large",
+            WireError::BadEventKind { .. } => "bad_event_kind",
+            WireError::BadCountry { .. } => "bad_country",
+            WireError::BadPlatform { .. } => "bad_platform",
+            WireError::BadMonth { .. } => "bad_month",
+            WireError::BadDomain => "bad_domain",
+            WireError::Truncated => "truncated",
+            WireError::TooLarge { .. } => "too_large",
+        }
+    }
 }
 
 impl fmt::Display for WireError {
@@ -74,6 +108,9 @@ impl fmt::Display for WireError {
             WireError::BadMonth { index } => write!(f, "month index {index} out of range"),
             WireError::BadDomain => write!(f, "domain bytes are not valid UTF-8"),
             WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::TooLarge { what, len, max } => {
+                write!(f, "batch does not fit one frame: {what} size {len} exceeds {max}")
+            }
         }
     }
 }
@@ -95,9 +132,31 @@ fn event_kind(e: &TelemetryEvent) -> (u8, u64) {
     }
 }
 
-/// Encodes a batch as one frame.
-pub fn encode_frame(batch: &ClientBatch) -> Bytes {
-    let mut payload = BytesMut::with_capacity(64 + batch.events.len() * 32);
+/// Bytes one event occupies on the wire.
+fn event_wire_len(event: &TelemetryEvent) -> usize {
+    1 + 1 + event.domain().len() + 8
+}
+
+/// Encodes a batch as one frame. Limits are enforced, not wrapped: a batch
+/// with more than [`MAX_EVENTS_PER_FRAME`] events, a domain longer than
+/// [`MAX_DOMAIN_LEN`], or a payload over [`MAX_FRAME_LEN`] returns
+/// [`WireError::TooLarge`] instead of a corrupt-but-decodable frame (the
+/// count and length fields used to be cast with `as u16`/`as u8`). Batches
+/// too big for one frame can be split losslessly with [`encode_frames`].
+pub fn encode_frame(batch: &ClientBatch) -> Result<Bytes, WireError> {
+    if batch.events.len() > MAX_EVENTS_PER_FRAME {
+        return Err(WireError::TooLarge {
+            what: "events",
+            len: batch.events.len(),
+            max: MAX_EVENTS_PER_FRAME,
+        });
+    }
+    let payload_len =
+        HEADER_LEN + batch.events.iter().map(event_wire_len).sum::<usize>();
+    if payload_len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge { what: "frame", len: payload_len, max: MAX_FRAME_LEN });
+    }
+    let mut payload = BytesMut::with_capacity(payload_len);
     payload.put_u64_le(batch.client_id);
     payload.put_u8(batch.country);
     payload.put_u8(platform_tag(batch.platform));
@@ -106,7 +165,13 @@ pub fn encode_frame(batch: &ClientBatch) -> Bytes {
     for event in &batch.events {
         let (kind, value) = event_kind(event);
         let domain = event.domain().as_bytes();
-        debug_assert!(domain.len() <= MAX_DOMAIN_LEN);
+        if domain.len() > MAX_DOMAIN_LEN {
+            return Err(WireError::TooLarge {
+                what: "domain",
+                len: domain.len(),
+                max: MAX_DOMAIN_LEN,
+            });
+        }
         payload.put_u8(kind);
         payload.put_u8(domain.len() as u8);
         payload.put_slice(domain);
@@ -115,7 +180,55 @@ pub fn encode_frame(batch: &ClientBatch) -> Bytes {
     let mut out = BytesMut::with_capacity(4 + payload.len());
     out.put_u32_le(payload.len() as u32);
     out.extend_from_slice(&payload);
-    out.freeze()
+    Ok(out.freeze())
+}
+
+/// Encodes a batch as one or more frames, splitting on the event-count and
+/// payload-size limits. Decoding the frames in order yields sub-batches
+/// with identical metadata whose concatenated events equal the input —
+/// aggregation-safe (the collector is order- and grouping-independent).
+/// Still fails typed on a domain that can never fit ([`MAX_DOMAIN_LEN`]).
+pub fn encode_frames(batch: &ClientBatch) -> Result<Vec<Bytes>, WireError> {
+    // Common case: everything fits in one frame.
+    let total_payload =
+        HEADER_LEN + batch.events.iter().map(event_wire_len).sum::<usize>();
+    if batch.events.len() <= MAX_EVENTS_PER_FRAME && total_payload <= MAX_FRAME_LEN {
+        return Ok(vec![encode_frame(batch)?]);
+    }
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start < batch.events.len() {
+        let mut payload = HEADER_LEN;
+        let mut end = start;
+        while end < batch.events.len() && end - start < MAX_EVENTS_PER_FRAME {
+            let ev_len = event_wire_len(&batch.events[end]);
+            if payload + ev_len > MAX_FRAME_LEN {
+                break;
+            }
+            payload += ev_len;
+            end += 1;
+        }
+        if end == start {
+            // A single event that cannot fit: only possible via an
+            // oversized domain; surface the typed error.
+            let len = batch.events[start].domain().len();
+            return Err(WireError::TooLarge { what: "domain", len, max: MAX_DOMAIN_LEN });
+        }
+        let chunk = ClientBatch {
+            client_id: batch.client_id,
+            country: batch.country,
+            platform: batch.platform,
+            month: batch.month,
+            events: batch.events[start..end].to_vec(),
+        };
+        frames.push(encode_frame(&chunk)?);
+        start = end;
+    }
+    if frames.is_empty() {
+        // Zero-event batch still produces its (empty) frame.
+        frames.push(encode_frame(batch)?);
+    }
+    Ok(frames)
 }
 
 /// Decodes one frame from the front of `buf`, advancing it past the frame.
@@ -163,6 +276,9 @@ fn decode_payload(p: &mut Bytes) -> Result<ClientBatch, WireError> {
         }
         let kind = p.get_u8();
         let dlen = p.get_u8() as usize;
+        if dlen > MAX_DOMAIN_LEN {
+            return Err(WireError::BadDomain);
+        }
         if p.remaining() < dlen + 8 {
             return Err(WireError::Truncated);
         }
@@ -205,7 +321,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let batch = sample_batch();
-        let mut bytes = encode_frame(&batch);
+        let mut bytes = encode_frame(&batch).unwrap();
         let decoded = decode_frame(&mut bytes).unwrap();
         assert_eq!(decoded, batch);
         assert!(bytes.is_empty(), "frame fully consumed");
@@ -217,8 +333,8 @@ mod tests {
         let mut b = sample_batch();
         b.client_id = 7;
         let mut stream = BytesMut::new();
-        stream.extend_from_slice(&encode_frame(&a));
-        stream.extend_from_slice(&encode_frame(&b));
+        stream.extend_from_slice(&encode_frame(&a).unwrap());
+        stream.extend_from_slice(&encode_frame(&b).unwrap());
         let mut stream = stream.freeze();
         assert_eq!(decode_frame(&mut stream).unwrap(), a);
         assert_eq!(decode_frame(&mut stream).unwrap(), b);
@@ -234,7 +350,7 @@ mod tests {
 
     #[test]
     fn incomplete_payload() {
-        let full = encode_frame(&sample_batch());
+        let full = encode_frame(&sample_batch()).unwrap();
         let mut cut = full.slice(0..full.len() - 3);
         assert_eq!(decode_frame(&mut cut), Err(WireError::Incomplete));
     }
@@ -249,7 +365,7 @@ mod tests {
 
     #[test]
     fn bad_event_kind_rejected() {
-        let mut frame = BytesMut::from(&encode_frame(&sample_batch())[..]);
+        let mut frame = BytesMut::from(&encode_frame(&sample_batch()).unwrap()[..]);
         // First event kind byte sits at offset 4 (len) + 8 + 1 + 1 + 1 + 2.
         frame[17] = 9;
         let mut frame = frame.freeze();
@@ -260,13 +376,13 @@ mod tests {
     fn bad_country_rejected() {
         let mut batch = sample_batch();
         batch.country = 250;
-        let mut frame = encode_frame(&batch);
+        let mut frame = encode_frame(&batch).unwrap();
         assert_eq!(decode_frame(&mut frame), Err(WireError::BadCountry { index: 250 }));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
-        let good = encode_frame(&sample_batch());
+        let good = encode_frame(&sample_batch()).unwrap();
         // Grow the declared length by 1 and append a junk byte.
         let mut raw = BytesMut::from(&good[..]);
         let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) + 1;
@@ -274,6 +390,113 @@ mod tests {
         raw.put_u8(0xFF);
         let mut raw = raw.freeze();
         assert_eq!(decode_frame(&mut raw), Err(WireError::Truncated));
+    }
+
+    /// Regression: a >255-byte domain used to encode its length as
+    /// `len as u8` (wrapping), producing a corrupt-but-decodable frame.
+    #[test]
+    fn oversized_domain_is_a_typed_encode_error() {
+        let mut batch = sample_batch();
+        batch.events = vec![TelemetryEvent::PageLoadInitiated { domain: "x".repeat(300) }];
+        assert_eq!(
+            encode_frame(&batch),
+            Err(WireError::TooLarge { what: "domain", len: 300, max: MAX_DOMAIN_LEN })
+        );
+        // Splitting can't help an un-encodable event either.
+        assert!(matches!(
+            encode_frames(&batch),
+            Err(WireError::TooLarge { what: "domain", .. })
+        ));
+    }
+
+    /// Regression: a >65535-event batch used to encode its count as
+    /// `len as u16` (wrapping), silently orphaning the excess events.
+    #[test]
+    fn oversized_event_count_is_a_typed_encode_error() {
+        let mut batch = sample_batch();
+        batch.events = (0..MAX_EVENTS_PER_FRAME + 1)
+            .map(|_| TelemetryEvent::PageLoadInitiated { domain: "a.com".into() })
+            .collect();
+        assert!(matches!(
+            encode_frame(&batch),
+            Err(WireError::TooLarge { what: "events", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_encode_error() {
+        // 4,000 events with 253-byte domains: ~1.05 MB payload > MAX_FRAME_LEN.
+        let mut batch = sample_batch();
+        batch.events = (0..4_000)
+            .map(|_| TelemetryEvent::PageLoadInitiated { domain: "d".repeat(MAX_DOMAIN_LEN) })
+            .collect();
+        assert!(matches!(
+            encode_frame(&batch),
+            Err(WireError::TooLarge { what: "frame", .. })
+        ));
+    }
+
+    /// `encode_frames` splits a too-big batch into decodable frames whose
+    /// concatenated events reproduce the input exactly.
+    #[test]
+    fn split_batches_roundtrip_losslessly() {
+        let mut batch = sample_batch();
+        batch.events = (0..70_000u64)
+            .map(|i| TelemetryEvent::ForegroundTime { domain: "site.com".into(), millis: i })
+            .collect();
+        let frames = encode_frames(&batch).unwrap();
+        assert!(frames.len() >= 2, "70k events must split, got {} frames", frames.len());
+        let mut events = Vec::new();
+        for frame in frames {
+            let mut frame = frame;
+            let sub = decode_frame(&mut frame).expect("split frame decodes");
+            assert_eq!(sub.client_id, batch.client_id);
+            assert_eq!(sub.country, batch.country);
+            assert_eq!(sub.platform, batch.platform);
+            assert_eq!(sub.month, batch.month);
+            assert!(sub.events.len() <= MAX_EVENTS_PER_FRAME);
+            events.extend(sub.events);
+        }
+        assert_eq!(events, batch.events);
+    }
+
+    /// The payload-size limit also forces splits (before the u16 count does).
+    #[test]
+    fn split_respects_frame_len_limit() {
+        let mut batch = sample_batch();
+        batch.events = (0..8_000)
+            .map(|_| TelemetryEvent::PageLoadInitiated { domain: "d".repeat(MAX_DOMAIN_LEN) })
+            .collect();
+        let frames = encode_frames(&batch).unwrap();
+        assert!(frames.len() >= 2);
+        let mut total = 0usize;
+        for frame in frames {
+            assert!(frame.len() <= 4 + MAX_FRAME_LEN);
+            let mut frame = frame;
+            total += decode_frame(&mut frame).unwrap().events.len();
+        }
+        assert_eq!(total, 8_000);
+    }
+
+    /// Decode mirrors the encode-side domain limit: a length byte above
+    /// `MAX_DOMAIN_LEN` (254–255) can only come from a corrupt frame.
+    #[test]
+    fn decode_rejects_overlong_domain_length() {
+        let mut payload = BytesMut::new();
+        payload.put_u64_le(1); // client id
+        payload.put_u8(0); // country
+        payload.put_u8(0); // platform
+        payload.put_u8(0); // month
+        payload.put_u16_le(1); // one event
+        payload.put_u8(0); // kind
+        payload.put_u8(255); // domain length beyond MAX_DOMAIN_LEN
+        payload.extend_from_slice(&[b'a'; 255]);
+        payload.put_u64_le(0);
+        let mut out = BytesMut::new();
+        out.put_u32_le(payload.len() as u32);
+        out.extend_from_slice(&payload);
+        let mut frame = out.freeze();
+        assert_eq!(decode_frame(&mut frame), Err(WireError::BadDomain));
     }
 
     #[test]
@@ -285,7 +508,7 @@ mod tests {
             month: Month::September2021,
             events: vec![],
         };
-        let mut bytes = encode_frame(&batch);
+        let mut bytes = encode_frame(&batch).unwrap();
         assert_eq!(decode_frame(&mut bytes).unwrap(), batch);
     }
 }

@@ -50,7 +50,7 @@ fn corrupt_at(frame: &Bytes, offset: usize, value: u8) -> Bytes {
 
 #[test]
 fn every_corrupt_frame_is_counted_bad() {
-    let good = encode_frame(&batch(1, loads("example.com", 1)));
+    let good = encode_frame(&batch(1, loads("example.com", 1))).unwrap();
     // Payload layout after the 4-byte length prefix:
     //   8 client id, 1 country, 1 platform, 1 month, 2 event count, then
     //   per-event: 1 kind, 1 domain len, domain bytes, 8 value.
@@ -93,12 +93,15 @@ fn non_public_events_attributed_exactly() {
     let collector = Collector::start(2, 100);
     // 3 loads on an intranet host (6 events), 1 foreground on localhost-style
     // single label (1 event), 2 loads on a public domain (4 events).
-    collector.ingest(encode_frame(&batch(1, loads("wiki.corp", 3))));
-    collector.ingest(encode_frame(&batch(
-        2,
-        vec![TelemetryEvent::ForegroundTime { domain: "fileserver".into(), millis: 100 }],
-    )));
-    collector.ingest(encode_frame(&batch(3, loads("example.com", 2))));
+    collector.ingest(encode_frame(&batch(1, loads("wiki.corp", 3))).unwrap());
+    collector.ingest(
+        encode_frame(&batch(
+            2,
+            vec![TelemetryEvent::ForegroundTime { domain: "fileserver".into(), millis: 100 }],
+        ))
+        .unwrap(),
+    );
+    collector.ingest(encode_frame(&batch(3, loads("example.com", 2))).unwrap());
     let (agg, stats) = collector.finish();
     assert_eq!(stats.frames_ok, 3);
     assert_eq!(stats.frames_bad, 0);
@@ -120,18 +123,21 @@ fn threshold_and_downsampling_reasons_are_distinct() {
     let collector = Collector::start_opts(2, 1_000, opts);
     // 6 clients on example.com (passes threshold), 2 on rare.net (capped).
     for i in 0..6 {
-        collector.ingest(encode_frame(&batch(i, loads("example.com", 1))));
+        collector.ingest(encode_frame(&batch(i, loads("example.com", 1))).unwrap());
     }
     for i in 100..102 {
-        collector.ingest(encode_frame(&batch(i, loads("rare.net", 1))));
+        collector.ingest(encode_frame(&batch(i, loads("rare.net", 1))).unwrap());
     }
     // Foreground events subject to the 50% server-side down-sampling.
     let n_fg = 400u64;
     for i in 1_000..1_000 + n_fg {
-        collector.ingest(encode_frame(&batch(
-            i,
-            vec![TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 10 }],
-        )));
+        collector.ingest(
+            encode_frame(&batch(
+                i,
+                vec![TelemetryEvent::ForegroundTime { domain: "example.com".into(), millis: 10 }],
+            ))
+            .unwrap(),
+        );
     }
     let (agg, stats) = collector.finish();
     assert!(!agg.contains_key(&key("rare.net")));

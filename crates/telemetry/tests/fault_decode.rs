@@ -1,0 +1,211 @@
+//! Fault-plan-driven decode robustness: frames mutated by a
+//! [`wwv_fault::FaultPlan`] must decode to `Ok` or a typed [`WireError`] —
+//! never a panic — and the collector's accounting must stay exact under
+//! corruption.
+//!
+//! The proptest blocks document the properties; the plain `#[test]`
+//! deterministic sweeps carry the executable coverage (they run the same
+//! properties over seeded grids, so they exercise identical code paths in
+//! environments where proptest generation is unavailable).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+use wwv_fault::plan::{corrupt_bytes, truncate_bytes};
+use wwv_fault::{points, FaultKind, FaultPlan, FaultRule, FrameFate};
+use wwv_telemetry::collector::Collector;
+use wwv_telemetry::upload::Uploader;
+use wwv_telemetry::{decode_frame, encode_frame, ClientBatch, TelemetryEvent, WireError};
+use wwv_world::{Month, Platform};
+
+fn batch(client_id: u64, domain: &str, loads: usize) -> ClientBatch {
+    ClientBatch {
+        client_id,
+        country: (client_id % 45) as u8,
+        platform: Platform::Windows,
+        month: Month::February2022,
+        events: (0..loads)
+            .flat_map(|_| {
+                vec![
+                    TelemetryEvent::PageLoadInitiated { domain: domain.into() },
+                    TelemetryEvent::PageLoadCompleted { domain: domain.into() },
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Decode a mutated frame; the only contract is "no panic, and errors are
+/// typed". Returns whether it decoded.
+fn decode_is_total(frame: Vec<u8>) -> bool {
+    let mut bytes = Bytes::from(frame);
+    match decode_frame(&mut bytes) {
+        Ok(_) => true,
+        Err(
+            WireError::Incomplete
+            | WireError::FrameTooLarge { .. }
+            | WireError::BadEventKind { .. }
+            | WireError::BadCountry { .. }
+            | WireError::BadPlatform { .. }
+            | WireError::BadMonth { .. }
+            | WireError::BadDomain
+            | WireError::Truncated
+            | WireError::TooLarge { .. },
+        ) => false,
+    }
+}
+
+proptest! {
+    /// Any single-bit flip anywhere in a valid frame decodes or fails with
+    /// a typed error.
+    #[test]
+    fn bitflip_decode_is_total(client in any::<u64>(), salt in any::<u64>()) {
+        let mut frame = encode_frame(&batch(client, "example.com", 4)).unwrap().to_vec();
+        corrupt_bytes(&mut frame, salt);
+        decode_is_total(frame);
+    }
+
+    /// Any truncation of a valid frame decodes or fails with a typed error.
+    #[test]
+    fn truncate_decode_is_total(client in any::<u64>(), salt in any::<u64>()) {
+        let mut frame = encode_frame(&batch(client, "example.com", 4)).unwrap().to_vec();
+        truncate_bytes(&mut frame, salt);
+        decode_is_total(frame);
+    }
+}
+
+/// Deterministic sweep: every bit position of a real frame flipped one at a
+/// time — the exhaustive version of `bitflip_decode_is_total`.
+#[test]
+fn every_single_bit_flip_decodes_or_errors() {
+    let frame = encode_frame(&batch(99, "example.com", 3)).unwrap().to_vec();
+    for byte in 0..frame.len() {
+        for bit in 0..8 {
+            let mut mutated = frame.clone();
+            mutated[byte] ^= 1 << bit;
+            decode_is_total(mutated);
+        }
+    }
+}
+
+/// Deterministic sweep: every truncation length of a real frame.
+#[test]
+fn every_truncation_decodes_or_errors() {
+    let frame = encode_frame(&batch(7, "wikipedia.org", 5)).unwrap().to_vec();
+    for len in 0..frame.len() {
+        let mut cut = frame.clone();
+        cut.truncate(len);
+        assert!(
+            !decode_is_total(cut),
+            "a frame cut to {len} of {} bytes cannot decode fully",
+            frame.len()
+        );
+    }
+}
+
+/// Frames mutated through the actual plan machinery (the exact path the
+/// uploader uses) stay total over a seeded grid.
+#[test]
+fn plan_mutated_frames_decode_or_error() {
+    for seed in 0..20u64 {
+        for kind in [FaultKind::BitFlip, FaultKind::Truncate] {
+            let plan = FaultPlan::new(seed).with(FaultRule {
+                point: points::CLIENT_UPLOAD,
+                kind,
+                rate: 1.0,
+            });
+            for i in 0..10u64 {
+                let frame = encode_frame(&batch(i, "example.com", 4)).unwrap();
+                match plan.apply_to_frame(points::CLIENT_UPLOAD, frame.to_vec()) {
+                    FrameFate::Deliver(bytes) => {
+                        decode_is_total(bytes);
+                    }
+                    fate => panic!("corruption faults deliver in place, got {fate:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Under injected truncation the collector's ledger stays exact: every
+/// truncated frame is quarantined (truncation always removes bytes the
+/// length prefix promises), every clean frame aggregates, and the drop
+/// breakdown never counts events from quarantined frames.
+#[test]
+fn truncation_accounting_is_exact() {
+    for seed in [1u64, 17, 4242] {
+        let plan = Arc::new(FaultPlan::new(seed).with(FaultRule {
+            point: points::CLIENT_UPLOAD,
+            kind: FaultKind::Truncate,
+            rate: 0.4,
+        }));
+        let collector = Collector::start(2, 10_000);
+        let mut up = Uploader::with_faults(
+            &collector,
+            Arc::clone(&plan),
+            wwv_fault::RetryPolicy::default(),
+        );
+        let frames = 40u64;
+        for i in 0..frames {
+            // Mix public and non-public domains so the drop breakdown has
+            // something to account for.
+            let domain = if i % 4 == 0 { "printer.local" } else { "example.com" };
+            up.upload(&batch(i, domain, 2)).unwrap();
+        }
+        let ustats = up.finish();
+        let (_, cstats) = collector.finish();
+        let injected = plan.fired_at(points::CLIENT_UPLOAD);
+        assert!(injected > 0, "seed {seed} fired nothing");
+        assert_eq!(ustats.frames_sent, frames);
+        assert_eq!(
+            cstats.frames_bad, injected,
+            "seed {seed}: every truncation quarantined, nothing else"
+        );
+        assert_eq!(cstats.frames_ok, frames - injected);
+        // Drop breakdown only ever counts events from frames that decoded:
+        // 4 non-public events per surviving printer.local frame.
+        let fired = plan_replay(seed);
+        let expected_non_public =
+            (0..frames).filter(|i| i % 4 == 0 && !fired[*i as usize]).count() as u64 * 4;
+        assert_eq!(cstats.dropped.non_public, expected_non_public, "seed {seed}");
+        assert_eq!(cstats.dropped.total(), expected_non_public, "seed {seed}");
+    }
+}
+
+/// Replays the per-frame fire/no-fire sequence of the truncation plan used
+/// in `truncation_accounting_is_exact` (same seed, same rule).
+fn plan_replay(seed: u64) -> Vec<bool> {
+    let plan = FaultPlan::new(seed).with(FaultRule {
+        point: points::CLIENT_UPLOAD,
+        kind: FaultKind::Truncate,
+        rate: 0.4,
+    });
+    (0..40)
+        .map(|_| plan.decide(points::CLIENT_UPLOAD).is_some())
+        .collect()
+}
+
+/// The ledger identity under pure corruption: sent == ok + bad, and the
+/// typed side of the house stays silent.
+#[test]
+fn corruption_never_surfaces_as_upload_errors() {
+    let plan = Arc::new(FaultPlan::new(5).with(FaultRule {
+        point: points::CLIENT_UPLOAD,
+        kind: FaultKind::BitFlip,
+        rate: 0.5,
+    }));
+    let collector = Collector::start(2, 10_000);
+    let mut up =
+        Uploader::with_faults(&collector, Arc::clone(&plan), wwv_fault::RetryPolicy::default());
+    for i in 0..30 {
+        up.upload(&batch(i, "example.com", 3)).expect("corruption is the collector's problem");
+    }
+    let ustats = up.finish();
+    let (_, cstats) = collector.finish();
+    assert_eq!(ustats.frames_sent, 30);
+    assert_eq!(
+        cstats.frames_ok + cstats.frames_bad,
+        30,
+        "every delivered frame lands in exactly one ledger column"
+    );
+}

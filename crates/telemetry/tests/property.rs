@@ -43,7 +43,7 @@ proptest! {
     /// Any valid batch round-trips exactly through the wire codec.
     #[test]
     fn wire_roundtrip(batch in arb_batch()) {
-        let mut bytes = encode_frame(&batch);
+        let mut bytes = encode_frame(&batch).unwrap();
         let decoded = decode_frame(&mut bytes).expect("encoded frames decode");
         prop_assert_eq!(decoded, batch);
         prop_assert!(bytes.is_empty());
@@ -60,7 +60,7 @@ proptest! {
     /// never a panic or a bogus success past the truncation.
     #[test]
     fn wire_truncation_safe(batch in arb_batch(), cut_fraction in 0.0f64..1.0) {
-        let full = encode_frame(&batch);
+        let full = encode_frame(&batch).unwrap();
         let cut = ((full.len() as f64) * cut_fraction) as usize;
         if cut < full.len() {
             let mut bytes = full.slice(0..cut);
@@ -73,7 +73,7 @@ proptest! {
     fn wire_stream(batches in proptest::collection::vec(arb_batch(), 1..5)) {
         let mut stream = bytes::BytesMut::new();
         for b in &batches {
-            stream.extend_from_slice(&encode_frame(b));
+            stream.extend_from_slice(&encode_frame(b).unwrap());
         }
         let mut stream = stream.freeze();
         for expected in &batches {

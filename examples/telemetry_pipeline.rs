@@ -28,7 +28,7 @@ fn main() {
     let collector = Collector::start(4, 1_000);
     let mut wire_bytes = 0usize;
     for batch in &batches {
-        let frame = encode_frame(batch);
+        let frame = encode_frame(batch).expect("simulated batches fit one frame");
         wire_bytes += frame.len();
         collector.ingest(frame);
     }

@@ -17,6 +17,14 @@ cargo test -q
 echo "==> cargo test -q -p wwv-telemetry --test parallel_determinism"
 cargo test -q -p wwv-telemetry --test parallel_determinism
 
+# Fault-matrix smoke at a fixed seed: every injection cell must recover or
+# fail typed — zero hangs, zero panics, zero silent data loss.
+echo "==> cargo test -q --test fault_matrix"
+cargo test -q --test fault_matrix
+
+echo "==> wwv chaos --seed 42 --metrics-out CHAOS_matrix.json"
+cargo run --release -q --bin wwv -- chaos --seed 42 --metrics-out CHAOS_matrix.json > /dev/null
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

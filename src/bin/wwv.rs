@@ -8,6 +8,7 @@
 //! wwv save      <path.bin>          # snapshot the dataset (binary format)
 //! wwv serve     [--listen ADDR]     # TCP rank-list query service
 //! wwv serve     --loadgen [--threads N] [--requests N] [--metrics-out P]
+//! wwv chaos     [--seed N] [--metrics-out P]   # fault-injection matrix
 //! ```
 //!
 //! All subcommands build the reduced-scale world on the fly (deterministic,
@@ -39,6 +40,7 @@ struct Args {
     threads: usize,
     requests: usize,
     metrics_out: Option<String>,
+    seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +55,7 @@ fn parse_args() -> Args {
         threads: 0, // 0 = unset: wwv-par default; loadgen falls back to 4
         requests: 250,
         metrics_out: None,
+        seed: 42,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -78,6 +81,7 @@ fn parse_args() -> Args {
                 args.requests = iter.next().and_then(|v| v.parse().ok()).unwrap_or(250)
             }
             "--metrics-out" => args.metrics_out = iter.next(),
+            "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(42),
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -85,8 +89,9 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save|serve> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|serve|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
     eprintln!("       wwv serve [--listen ADDR] | wwv serve --loadgen [--threads N] [--requests N] [--metrics-out PATH]");
+    eprintln!("       wwv chaos [--seed N] [--metrics-out PATH]");
     std::process::exit(2)
 }
 
@@ -213,6 +218,20 @@ fn main() {
             }
         }
         "serve" => serve(&dataset, &args),
+        "chaos" => {
+            let cfg = wwv::chaos::ChaosConfig { seed: args.seed, ..Default::default() };
+            let report = wwv::chaos::run_matrix(&dataset, &cfg);
+            let json = report.to_json();
+            if let Some(path) = &args.metrics_out {
+                std::fs::write(path, &json).expect("write chaos report");
+                info!(target: "chaos", "wrote chaos matrix report to {path}");
+            }
+            print!("{json}");
+            if report.failed() > 0 {
+                error!(target: "chaos", "{} matrix cells failed", report.failed());
+                std::process::exit(1);
+            }
+        }
         "save" => {
             let Some(path) = args.positional.get(1) else { usage() };
             let bytes = persist::to_binary(&dataset);

@@ -1,0 +1,661 @@
+//! The chaos matrix: a deterministic sweep over the fault grid.
+//!
+//! [`run_matrix`] drives the telemetry ingest path and the serve path
+//! through every [`wwv_fault::FaultKind`] at its designated injection
+//! point and classifies each cell's outcome:
+//!
+//! * [`CellOutcome::Recovered`] — the pipeline absorbed the faults and
+//!   produced a **byte-identical** result to the fault-free run (or exact
+//!   loss accounting where identity is impossible by construction);
+//! * [`CellOutcome::TypedError`] — the faults surfaced as *typed* errors
+//!   (`UploadError`, `TransportError`, `DeadlineExceeded`, `Overloaded`),
+//!   which is the designed behavior for unrecoverable injections;
+//! * [`CellOutcome::Failed`] — an invariant broke: data silently lost,
+//!   wrong answer, or unexpected error shape. The matrix exists so this
+//!   never ships.
+//!
+//! Everything is seeded: the same `--seed` reproduces the same injections,
+//! byte for byte. The `wwv chaos` subcommand prints the report as JSON and
+//! exits nonzero when any cell fails.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wwv_fault::{points, FaultKind, FaultPlan, FaultRule, RetryPolicy};
+use wwv_serve::query::{ErrorCode, Query, Response};
+use wwv_serve::server::{ServeError, Server, ServerConfig};
+use wwv_serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
+use wwv_serve::transport::{FaultyInProcTransport, Transport, TransportError};
+use wwv_telemetry::collector::{Aggregate, Collector, CollectorOptions, CollectorStats};
+use wwv_telemetry::event::{ClientBatch, TelemetryEvent};
+use wwv_telemetry::upload::{UploadError, Uploader};
+use wwv_telemetry::ChromeDataset;
+use wwv_world::{Month, Platform};
+
+/// Chaos-run tuning (kept small enough for a CI smoke).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; every cell derives its plan seed from it.
+    pub seed: u64,
+    /// Frames uploaded per telemetry cell.
+    pub frames: usize,
+    /// Requests issued per serve cell.
+    pub requests: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 42, frames: 30, requests: 40 }
+    }
+}
+
+/// How one cell of the matrix ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Faults absorbed; result identical to the fault-free run (or losses
+    /// accounted exactly).
+    Recovered,
+    /// Faults surfaced as typed errors, as designed.
+    TypedError,
+    /// An invariant broke; the message says which.
+    Failed(String),
+}
+
+impl CellOutcome {
+    fn name(&self) -> &'static str {
+        match self {
+            CellOutcome::Recovered => "recovered",
+            CellOutcome::TypedError => "typed_error",
+            CellOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One (injection point, fault kind) cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell label, e.g. `upload_truncate`.
+    pub name: &'static str,
+    /// Injection point the fault plan targeted.
+    pub point: &'static str,
+    /// Fault kind injected.
+    pub fault: &'static str,
+    /// Injection rate used.
+    pub rate: f64,
+    /// Faults actually fired (from the plan's counters).
+    pub injected: u64,
+    /// Verdict.
+    pub outcome: CellOutcome,
+    /// Human-readable accounting line.
+    pub detail: String,
+}
+
+/// The full matrix result.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Every cell, in execution order.
+    pub cells: Vec<CellResult>,
+}
+
+impl ChaosReport {
+    /// Number of failed cells (the process exit criterion).
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Failed(_)))
+            .count()
+    }
+
+    /// Hand-rolled JSON (stable field order, no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\n  \"seed\": {},\n  \"cells\": {},\n  \"failed\": {},\n  \"results\": [\n",
+            self.seed,
+            self.cells.len(),
+            self.failed()
+        ));
+        for (i, c) in self.cells.iter().enumerate() {
+            let failure = match &c.outcome {
+                CellOutcome::Failed(msg) => format!(", \"failure\": \"{}\"", escape(msg)),
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"point\": \"{}\", \"fault\": \"{}\", \
+                 \"rate\": {}, \"injected\": {}, \"outcome\": \"{}\", \
+                 \"detail\": \"{}\"{}}}{}\n",
+                c.name,
+                c.point,
+                c.fault,
+                c.rate,
+                c.injected,
+                c.outcome.name(),
+                escape(&c.detail),
+                failure,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic synthetic batch stream shared by every telemetry cell.
+fn batch(i: u64) -> ClientBatch {
+    let domains = ["example.com", "wikipedia.org", "google.com"];
+    let domain = domains[(i % 3) as usize];
+    ClientBatch {
+        client_id: i,
+        country: (i % 5) as u8,
+        platform: if i.is_multiple_of(2) { Platform::Windows } else { Platform::Android },
+        month: Month::February2022,
+        events: (0..3)
+            .flat_map(|_| {
+                vec![
+                    TelemetryEvent::PageLoadInitiated { domain: domain.into() },
+                    TelemetryEvent::PageLoadCompleted { domain: domain.into() },
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// The fault-free reference run every recovery cell is compared against.
+fn clean_run(frames: usize) -> (Aggregate, CollectorStats) {
+    let collector = Collector::start(2, 10_000);
+    let mut up = Uploader::new(&collector);
+    for i in 0..frames as u64 {
+        up.upload(&batch(i)).expect("clean upload");
+    }
+    up.finish();
+    collector.finish()
+}
+
+/// Output of one faulty telemetry run.
+struct FaultyRun {
+    ustats: wwv_telemetry::upload::UploadStats,
+    agg: Aggregate,
+    cstats: CollectorStats,
+    results: Vec<Result<(), UploadError>>,
+}
+
+/// Runs one telemetry cell: `frames` uploads through `plan`, collected with
+/// `opts`.
+fn faulty_run(
+    frames: usize,
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+    opts: CollectorOptions,
+) -> FaultyRun {
+    let collector = Collector::start_opts(2, 10_000, opts);
+    let mut up = Uploader::with_faults(&collector, plan, retry);
+    let mut results = Vec::with_capacity(frames);
+    for i in 0..frames as u64 {
+        results.push(up.upload(&batch(i)));
+    }
+    let ustats = up.finish();
+    let (agg, cstats) = collector.finish();
+    FaultyRun { ustats, agg, cstats, results }
+}
+
+/// frames_sent must equal frames_ok + frames_bad + frames_duplicate: every
+/// frame that reached the collector is accounted, nothing vanishes.
+fn accounting_identity(
+    sent: u64,
+    cstats: &CollectorStats,
+) -> Result<(), String> {
+    let accounted = cstats.frames_ok + cstats.frames_bad + cstats.frames_duplicate;
+    if sent == accounted {
+        Ok(())
+    } else {
+        Err(format!(
+            "accounting broken: sent {} != ok {} + bad {} + dup {}",
+            sent, cstats.frames_ok, cstats.frames_bad, cstats.frames_duplicate
+        ))
+    }
+}
+
+fn recovery_cell(
+    name: &'static str,
+    point: &'static str,
+    kind: FaultKind,
+    rate: f64,
+    cfg: &ChaosConfig,
+    salt: u64,
+    clean: &(Aggregate, CollectorStats),
+) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ salt).with(FaultRule { point, kind, rate }));
+    let retry = RetryPolicy { max_attempts: 16, ..RetryPolicy::default() };
+    let FaultyRun { ustats, agg, cstats, results } =
+        faulty_run(cfg.frames, Arc::clone(&plan), retry, CollectorOptions::default());
+    let injected = plan.fired_total();
+    let detail = format!(
+        "sent {} / retries {} / delayed {} / reordered {}",
+        ustats.frames_sent, ustats.retries, ustats.delayed, ustats.reordered
+    );
+    let outcome = if let Some(e) = results.iter().find_map(|r| r.as_ref().err()) {
+        CellOutcome::Failed(format!("unexpected typed error: {e}"))
+    } else if agg != clean.0 || cstats.frames_ok != clean.1.frames_ok {
+        CellOutcome::Failed("aggregate diverged from the fault-free run".to_owned())
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult { name, point, fault: kind.name(), rate, injected, outcome, detail }
+}
+
+fn connect_exhaustion_cell(cfg: &ChaosConfig) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0x0EAD).with(FaultRule {
+        point: points::CLIENT_CONNECT,
+        kind: FaultKind::Drop,
+        rate: 1.0,
+    }));
+    let retry = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+    let FaultyRun { ustats, cstats, results, .. } =
+        faulty_run(cfg.frames, Arc::clone(&plan), retry, CollectorOptions::default());
+    let typed = results
+        .iter()
+        .filter(|r| matches!(r, Err(UploadError::RetriesExhausted { .. })))
+        .count();
+    let outcome = if typed != cfg.frames {
+        CellOutcome::Failed(format!(
+            "expected {} typed exhaustion errors, saw {typed}",
+            cfg.frames
+        ))
+    } else if ustats.frames_sent != 0 || cstats.frames_ok != 0 {
+        CellOutcome::Failed("frames leaked past a permanently dead connection".to_owned())
+    } else if ustats.frames_abandoned != cfg.frames as u64 {
+        CellOutcome::Failed(format!(
+            "abandoned {} != uploads {}",
+            ustats.frames_abandoned, cfg.frames
+        ))
+    } else {
+        CellOutcome::TypedError
+    };
+    CellResult {
+        name: "connect_drop_exhausted",
+        point: points::CLIENT_CONNECT,
+        fault: FaultKind::Drop.name(),
+        rate: 1.0,
+        injected: plan.fired_total(),
+        outcome,
+        detail: format!("{typed} typed errors, {} abandoned", ustats.frames_abandoned),
+    }
+}
+
+fn duplicate_dedupe_cell(cfg: &ChaosConfig, clean: &(Aggregate, CollectorStats)) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0xD0B1E).with(FaultRule {
+        point: points::CLIENT_UPLOAD,
+        kind: FaultKind::Duplicate,
+        rate: 0.5,
+    }));
+    let opts = CollectorOptions { dedupe_frames: true, ..CollectorOptions::default() };
+    let FaultyRun { ustats, agg, cstats, .. } =
+        faulty_run(cfg.frames, Arc::clone(&plan), RetryPolicy::default(), opts);
+    let outcome = if agg != clean.0 {
+        CellOutcome::Failed("dedupe failed to cancel duplication".to_owned())
+    } else if cstats.frames_duplicate != ustats.duplicates_sent {
+        CellOutcome::Failed(format!(
+            "collector deduped {} but uploader sent {} duplicates",
+            cstats.frames_duplicate, ustats.duplicates_sent
+        ))
+    } else if let Err(e) = accounting_identity(ustats.frames_sent, &cstats) {
+        CellOutcome::Failed(e)
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult {
+        name: "upload_duplicate_deduped",
+        point: points::CLIENT_UPLOAD,
+        fault: FaultKind::Duplicate.name(),
+        rate: 0.5,
+        injected: plan.fired_total(),
+        outcome,
+        detail: format!(
+            "{} duplicates injected, {} suppressed",
+            ustats.duplicates_sent, cstats.frames_duplicate
+        ),
+    }
+}
+
+fn corruption_cell(
+    name: &'static str,
+    kind: FaultKind,
+    exact_bad: bool,
+    cfg: &ChaosConfig,
+    salt: u64,
+) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ salt).with(FaultRule {
+        point: points::CLIENT_UPLOAD,
+        kind,
+        rate: 0.3,
+    }));
+    let FaultyRun { ustats, cstats, results, .. } = faulty_run(
+        cfg.frames,
+        Arc::clone(&plan),
+        RetryPolicy::default(),
+        CollectorOptions::default(),
+    );
+    let injected = plan.fired_total();
+    let outcome = if results.iter().any(|r| r.is_err()) {
+        CellOutcome::Failed("corruption must not surface as an upload error".to_owned())
+    } else if let Err(e) = accounting_identity(ustats.frames_sent, &cstats) {
+        CellOutcome::Failed(e)
+    } else if exact_bad && cstats.frames_bad != injected {
+        // Truncation always removes bytes the length prefix promises, so
+        // every injection must be quarantined — no more, no fewer.
+        CellOutcome::Failed(format!(
+            "quarantined {} frames but injected {injected} truncations",
+            cstats.frames_bad
+        ))
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult {
+        name,
+        point: points::CLIENT_UPLOAD,
+        fault: kind.name(),
+        rate: 0.3,
+        injected,
+        outcome,
+        detail: format!(
+            "{} ok / {} quarantined of {} sent",
+            cstats.frames_ok, cstats.frames_bad, ustats.frames_sent
+        ),
+    }
+}
+
+fn drop_accounting_cell(cfg: &ChaosConfig) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0xD509).with(FaultRule {
+        point: points::CLIENT_UPLOAD,
+        kind: FaultKind::Drop,
+        rate: 0.3,
+    }));
+    let FaultyRun { ustats, cstats, results, .. } = faulty_run(
+        cfg.frames,
+        Arc::clone(&plan),
+        RetryPolicy::default(),
+        CollectorOptions::default(),
+    );
+    let injected = plan.fired_total();
+    let outcome = if results.iter().any(|r| r.is_err()) {
+        CellOutcome::Failed("in-flight drops are accounted, not typed".to_owned())
+    } else if ustats.frames_lost != injected {
+        CellOutcome::Failed(format!(
+            "lost {} frames but injected {injected} drops",
+            ustats.frames_lost
+        ))
+    } else if ustats.frames_sent + ustats.frames_lost != cfg.frames as u64 {
+        CellOutcome::Failed("sent + lost must cover every upload".to_owned())
+    } else if let Err(e) = accounting_identity(ustats.frames_sent, &cstats) {
+        CellOutcome::Failed(e)
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult {
+        name: "upload_drop_accounted",
+        point: points::CLIENT_UPLOAD,
+        fault: FaultKind::Drop.name(),
+        rate: 0.3,
+        injected,
+        outcome,
+        detail: format!("{} delivered, {} lost in flight", ustats.frames_sent, ustats.frames_lost),
+    }
+}
+
+fn serve_request_cell(
+    name: &'static str,
+    kind: FaultKind,
+    typed_exact: bool,
+    cfg: &ChaosConfig,
+    salt: u64,
+    catalog: &Arc<Catalog>,
+) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ salt).with(FaultRule {
+        point: points::SERVE_REQUEST,
+        kind,
+        rate: 0.4,
+    }));
+    let server = Server::start(Arc::clone(catalog), ServerConfig::default());
+    let mut t = FaultyInProcTransport::new(server.handle(), Arc::clone(&plan));
+    let (mut ok, mut typed) = (0u64, 0u64);
+    let mut failure = None;
+    for _ in 0..cfg.requests {
+        match t.call(&Query::Ping) {
+            Ok(Response::Pong) => ok += 1,
+            Ok(r) => {
+                failure = Some(format!("wrong response shape: {r:?}"));
+                break;
+            }
+            Err(TransportError::Proto(_)) | Err(TransportError::Io(_)) => typed += 1,
+            Err(e) => {
+                failure = Some(format!("unexpected error kind: {e}"));
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    let injected = plan.fired_at(points::SERVE_REQUEST);
+    let outcome = if let Some(msg) = failure {
+        CellOutcome::Failed(msg)
+    } else if typed_exact && typed != injected {
+        CellOutcome::Failed(format!("{typed} typed errors for {injected} injections"))
+    } else if ok + typed != cfg.requests as u64 {
+        CellOutcome::Failed("every request must resolve".to_owned())
+    } else {
+        CellOutcome::TypedError
+    };
+    CellResult {
+        name,
+        point: points::SERVE_REQUEST,
+        fault: kind.name(),
+        rate: 0.4,
+        injected,
+        outcome,
+        detail: format!("{ok} ok, {typed} typed errors"),
+    }
+}
+
+fn serve_response_bitflip_cell(cfg: &ChaosConfig, catalog: &Arc<Catalog>) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0xB17).with(FaultRule {
+        point: points::SERVE_RESPONSE,
+        kind: FaultKind::BitFlip,
+        rate: 0.4,
+    }));
+    let server = Server::start(Arc::clone(catalog), ServerConfig::default());
+    let mut t = FaultyInProcTransport::new(server.handle(), Arc::clone(&plan));
+    let (mut ok, mut typed) = (0u64, 0u64);
+    let mut failure = None;
+    for _ in 0..cfg.requests {
+        // A flipped bit may land in padding and still decode; the invariant
+        // is "typed error or decodable response", never a panic or hang.
+        match t.call(&Query::Ping) {
+            Ok(_) => ok += 1,
+            Err(TransportError::Proto(_))
+            | Err(TransportError::Io(_))
+            | Err(TransportError::IdMismatch { .. }) => typed += 1,
+            Err(e) => {
+                failure = Some(format!("unexpected error kind: {e}"));
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    let outcome = if let Some(msg) = failure {
+        CellOutcome::Failed(msg)
+    } else if ok + typed != cfg.requests as u64 {
+        CellOutcome::Failed("every request must resolve".to_owned())
+    } else {
+        CellOutcome::TypedError
+    };
+    CellResult {
+        name: "response_bitflip",
+        point: points::SERVE_RESPONSE,
+        fault: FaultKind::BitFlip.name(),
+        rate: 0.4,
+        injected: plan.fired_at(points::SERVE_RESPONSE),
+        outcome,
+        detail: format!("{ok} decodable, {typed} typed errors"),
+    }
+}
+
+fn worker_deadline_cell(cfg: &ChaosConfig, catalog: &Arc<Catalog>) -> CellResult {
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0xDEAD).with(FaultRule {
+        point: points::SERVE_WORKER,
+        kind: FaultKind::Delay(25),
+        rate: 1.0,
+    }));
+    let server = Server::start(
+        Arc::clone(catalog),
+        ServerConfig { workers: 1, faults: Some(Arc::clone(&plan)), ..ServerConfig::default() },
+    );
+    let handle = server.handle();
+    let requests = cfg.requests.min(8);
+    let mut deadline_errors = 0u64;
+    let mut failure = None;
+    for _ in 0..requests {
+        match handle.call_with_deadline(Query::Ping, Duration::from_millis(5)) {
+            Ok(Response::Error(ErrorCode::DeadlineExceeded, _)) => deadline_errors += 1,
+            Ok(r) => {
+                failure = Some(format!(
+                    "25ms stall against a 5ms deadline must be reported, got {r:?}"
+                ));
+                break;
+            }
+            Err(e) => {
+                failure = Some(format!("submission failed: {e}"));
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    let outcome = match failure {
+        Some(msg) => CellOutcome::Failed(msg),
+        None => CellOutcome::TypedError,
+    };
+    CellResult {
+        name: "worker_delay_deadline",
+        point: points::SERVE_WORKER,
+        fault: FaultKind::Delay(25).name(),
+        rate: 1.0,
+        injected: plan.fired_at(points::SERVE_WORKER),
+        outcome,
+        detail: format!("{deadline_errors}/{requests} answered DeadlineExceeded"),
+    }
+}
+
+fn overload_shed_cell(cfg: &ChaosConfig, catalog: &Arc<Catalog>) -> CellResult {
+    // One slow worker behind a depth-2 queue: the flood must be shed with
+    // `Overloaded` at submission, and every accepted request must still be
+    // answered — the server degrades, it never stalls.
+    let plan = Arc::new(FaultPlan::new(cfg.seed ^ 0x0AD).with(FaultRule {
+        point: points::SERVE_WORKER,
+        kind: FaultKind::Delay(10),
+        rate: 1.0,
+    }));
+    let server = Server::start(
+        Arc::clone(catalog),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            faults: Some(Arc::clone(&plan)),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let (mut accepted, mut shed) = (Vec::new(), 0u64);
+    let mut failure = None;
+    for _ in 0..cfg.requests {
+        match handle.submit(Query::Ping, None) {
+            Ok(rx) => accepted.push(rx),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(e) => {
+                failure = Some(format!("unexpected submission error: {e}"));
+                break;
+            }
+        }
+    }
+    let accepted_count = accepted.len() as u64;
+    for rx in accepted {
+        if rx.recv_timeout(Duration::from_secs(5)).is_err() {
+            failure = Some("an accepted request went unanswered".to_owned());
+            break;
+        }
+    }
+    server.shutdown();
+    let outcome = if let Some(msg) = failure {
+        CellOutcome::Failed(msg)
+    } else if shed == 0 {
+        CellOutcome::Failed("a depth-2 queue behind a stalled worker must shed".to_owned())
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult {
+        name: "overload_shed",
+        point: points::SERVE_WORKER,
+        fault: FaultKind::Delay(10).name(),
+        rate: 1.0,
+        injected: plan.fired_at(points::SERVE_WORKER),
+        outcome,
+        detail: format!("{accepted_count} accepted, {shed} shed with Overloaded"),
+    }
+}
+
+/// Runs the full fault matrix against a built dataset and returns the
+/// per-cell report. Deterministic in `cfg.seed`.
+pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
+    let _span = wwv_obs::span!("chaos.matrix");
+    let clean = clean_run(cfg.frames);
+    // Telemetry ingest cells.
+    let mut cells = vec![
+        recovery_cell(
+            "connect_drop_recovered",
+            points::CLIENT_CONNECT,
+            FaultKind::Drop,
+            0.4,
+            cfg,
+            0xC0,
+            &clean,
+        ),
+        connect_exhaustion_cell(cfg),
+        recovery_cell("upload_delay", points::CLIENT_UPLOAD, FaultKind::Delay(1), 0.3, cfg, 0xDE1A, &clean),
+        recovery_cell("upload_reorder", points::CLIENT_UPLOAD, FaultKind::Reorder, 0.5, cfg, 0x4E0, &clean),
+        duplicate_dedupe_cell(cfg, &clean),
+        corruption_cell("upload_bitflip", FaultKind::BitFlip, false, cfg, 0xF11),
+        corruption_cell("upload_truncate", FaultKind::Truncate, true, cfg, 0x74C),
+        drop_accounting_cell(cfg),
+    ];
+
+    // Serve cells share one catalog over the built dataset.
+    let store = Arc::new(ShardedStore::build(dataset, DEFAULT_SHARDS));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", store);
+    let catalog = Arc::new(catalog);
+    cells.push(serve_request_cell(
+        "request_truncate",
+        FaultKind::Truncate,
+        true,
+        cfg,
+        0x7C4,
+        &catalog,
+    ));
+    cells.push(serve_request_cell("request_drop", FaultKind::Drop, true, cfg, 0xD40, &catalog));
+    cells.push(serve_response_bitflip_cell(cfg, &catalog));
+    cells.push(worker_deadline_cell(cfg, &catalog));
+    cells.push(overload_shed_cell(cfg, &catalog));
+
+    ChaosReport { seed: cfg.seed, cells }
+}

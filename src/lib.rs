@@ -10,6 +10,7 @@
 
 pub use wwv_core as core;
 pub use wwv_domains as domains;
+pub use wwv_fault as fault;
 pub use wwv_obs as obs;
 pub use wwv_par as par;
 pub use wwv_serve as serve;
@@ -17,6 +18,8 @@ pub use wwv_stats as stats;
 pub use wwv_taxonomy as taxonomy;
 pub use wwv_telemetry as telemetry;
 pub use wwv_world as world;
+
+pub mod chaos;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {

@@ -25,7 +25,7 @@ fn event_path_reproduces_demand_ordering() {
     let b = breakdown();
     let collector = Collector::start(4, 10_000);
     for batch in sim.batches(b, 300) {
-        collector.ingest(encode_frame(&batch));
+        collector.ingest(encode_frame(&batch).unwrap());
     }
     let (aggregate, stats) = collector.finish();
     assert!(stats.frames_bad == 0);
@@ -57,7 +57,7 @@ fn event_path_and_expectation_path_agree_on_the_head() {
     let sim = ClientSimulator::new(world);
     let collector = Collector::start(4, 10_000);
     for batch in sim.batches(b, 400) {
-        collector.ingest(encode_frame(&batch));
+        collector.ingest(encode_frame(&batch).unwrap());
     }
     let (aggregate, _) = collector.finish();
     let mut observed: Vec<(String, u64)> =
@@ -94,7 +94,7 @@ fn foreground_downsampling_visible_in_event_stream() {
     let sim = ClientSimulator::new(world);
     let collector = Collector::start(2, 10_000);
     for batch in sim.batches(breakdown(), 200) {
-        collector.ingest(encode_frame(&batch));
+        collector.ingest(encode_frame(&batch).unwrap());
     }
     let (aggregate, _) = collector.finish();
     let fg: u64 = aggregate.values().map(|v| v.foreground_events).sum();
