@@ -1,0 +1,56 @@
+//! Snapshot-format shootout: columnar `wwv-snap` encoding vs the legacy
+//! row-oriented binary format, on the shared bench fixture. Measures encode
+//! and full-decode latency for both, plus the single-list lazy seek that
+//! only the snapshot format supports; sizes are reported once via
+//! `println!` so a bench run doubles as a size regression check.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wwv_bench::bench_fixture;
+use wwv_telemetry::persist;
+
+fn bench(c: &mut Criterion) {
+    let (_, dataset) = bench_fixture();
+    let legacy = persist::to_binary(dataset);
+    let snap = persist::write_snapshot(dataset);
+    println!(
+        "snap_format: legacy {} bytes, snap {} bytes ({:.1}% of legacy)",
+        legacy.len(),
+        snap.len(),
+        100.0 * snap.len() as f64 / legacy.len() as f64
+    );
+
+    let mut group = c.benchmark_group("snap_format/encode");
+    group.throughput(Throughput::Bytes(legacy.len() as u64));
+    group.bench_function("legacy", |b| b.iter(|| black_box(persist::to_binary(dataset))));
+    group.throughput(Throughput::Bytes(snap.len() as u64));
+    group.bench_function("snap", |b| b.iter(|| black_box(persist::write_snapshot(dataset))));
+    group.finish();
+
+    let mut group = c.benchmark_group("snap_format/decode");
+    group.throughput(Throughput::Bytes(legacy.len() as u64));
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(persist::read_legacy(legacy.clone()).unwrap()))
+    });
+    group.throughput(Throughput::Bytes(snap.len() as u64));
+    group.bench_function("snap", |b| {
+        b.iter(|| black_box(persist::read_snapshot(snap.clone()).unwrap()))
+    });
+    group.finish();
+
+    // The catalog-indexed seek: open + decode exactly one rank list without
+    // touching the other chunks. The legacy format has no equivalent — its
+    // only read path is the full decode above.
+    let breakdown = dataset.breakdowns().next().expect("fixture has lists");
+    let mut group = c.benchmark_group("snap_format/seek");
+    group.bench_function("single_list", |b| {
+        b.iter(|| {
+            let reader = persist::SnapshotReader::open(snap.clone()).unwrap();
+            black_box(reader.list(&breakdown).unwrap().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -171,6 +171,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         evicted
     }
 
+    /// Drops every live entry (snapshot hot-swap: results computed against
+    /// the previous catalog epoch are dead weight). Returns how many
+    /// entries were evicted; capacity and running stats are preserved.
+    pub fn clear(&mut self) -> usize {
+        let evicted = self.map.len();
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        evicted
+    }
+
     /// Keys from most- to least-recently used (tests, diagnostics).
     pub fn keys_by_recency(&self) -> Vec<&K> {
         let mut out = Vec::with_capacity(self.map.len());
@@ -254,6 +267,21 @@ mod tests {
         // Slab never grows past capacity: slots are recycled through the
         // free list.
         assert!(c.slots.len() <= 7);
+    }
+
+    #[test]
+    fn clear_empties_and_reports_count() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for k in 0..3u32 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.clear(), 3);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        // Still usable after a clear.
+        c.insert(9, 90);
+        assert_eq!(c.get(&9), Some(&90));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

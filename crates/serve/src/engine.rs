@@ -1,12 +1,20 @@
-//! The query engine: catalog + cache + execution.
+//! The query engine: hot-swappable catalog + epoch-tagged cache + execution.
 //!
-//! [`QueryEngine::execute`] is the single entry point workers call. It
-//! canonicalizes the query, consults the LRU cache for the expensive
-//! analysis queries, and otherwise answers point lookups straight from the
-//! lock-free [`crate::store::ShardedStore`]. Analysis queries call into
-//! `wwv-stats` (RBO) and `wwv-core`/`wwv-world` (concentration model), the
-//! same machinery the offline experiment suite uses, so served numbers match
-//! the reproduction's figures exactly.
+//! [`QueryEngine::execute`] is the single entry point workers call. It pins
+//! the **current catalog epoch** once, canonicalizes the query, consults the
+//! LRU cache for the expensive analysis queries, and otherwise answers point
+//! lookups straight from the lock-free [`crate::store::ShardedStore`].
+//! Analysis queries call into `wwv-stats` (RBO) and `wwv-core`/`wwv-world`
+//! (concentration model), the same machinery the offline experiment suite
+//! uses, so served numbers match the reproduction's figures exactly.
+//!
+//! **Hot swap.** [`QueryEngine::swap_snapshot`] atomically replaces the
+//! catalog with a new one stamped `epoch + 1` and purges the result cache.
+//! In-flight queries finish against the `Arc` they pinned — no request is
+//! drained or answered from a half-swapped state — while new queries see the
+//! new epoch. Cache keys carry the epoch, so even a straggling pre-swap
+//! computation that inserts its result *after* the swap leaves an
+//! unreachable dead entry, never a wrong answer.
 
 use crate::cache::{CacheStats, LruCache};
 use crate::query::{
@@ -20,21 +28,56 @@ use wwv_stats::rbo::rbo_classic;
 use wwv_telemetry::crux::DEFAULT_BUCKETS;
 use wwv_world::{Breakdown, Metric, Month, Platform, TrafficCurve, COUNTRIES};
 
-/// Executes queries against a frozen catalog.
+/// Executes queries against the live catalog; supports zero-downtime swaps.
 pub struct QueryEngine {
-    catalog: Arc<Catalog>,
-    cache: Mutex<LruCache<Query, Response>>,
+    catalog: Mutex<Arc<Catalog>>,
+    cache: Mutex<LruCache<(u64, Query), Response>>,
 }
 
 impl QueryEngine {
     /// Creates an engine over a catalog with the given result-cache bound.
     pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> QueryEngine {
-        QueryEngine { catalog, cache: Mutex::new(LruCache::new(cache_capacity)) }
+        QueryEngine {
+            catalog: Mutex::new(catalog),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+        }
     }
 
-    /// The served catalog.
-    pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+    /// The currently served catalog. The returned `Arc` stays valid (and
+    /// keeps serving its own epoch) even if a swap happens after the call.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.lock())
+    }
+
+    /// The current swap epoch.
+    pub fn epoch(&self) -> u64 {
+        self.catalog.lock().epoch()
+    }
+
+    /// Atomically replaces the served catalog (zero-downtime hot swap).
+    ///
+    /// The new catalog is stamped with the next epoch and installed;
+    /// in-flight queries keep the `Arc` they already pinned and finish
+    /// against the old epoch, while every subsequent [`QueryEngine::execute`]
+    /// sees the new one. The result cache is purged (counted under
+    /// `serve.cache.swap_evicted`). Returns the new epoch.
+    pub fn swap_snapshot(&self, mut catalog: Catalog) -> u64 {
+        let _span = wwv_obs::span!("serve.swap");
+        let reg = wwv_obs::global();
+        let next = {
+            let mut slot = self.catalog.lock();
+            let next = slot.epoch() + 1;
+            catalog.set_epoch(next);
+            *slot = Arc::new(catalog);
+            next
+        };
+        let evicted = self.cache.lock().clear();
+        reg.counter("serve.cache.swap_evicted").add(evicted as u64);
+        reg.counter("serve.swap.total").inc();
+        reg.gauge("serve.swap.epoch").set(next as i64);
+        wwv_obs::info!(target: "serve", "hot-swapped catalog to epoch {next}";
+            evicted = evicted);
+        next
     }
 
     /// Running cache totals.
@@ -46,29 +89,35 @@ impl QueryEngine {
     pub fn execute(&self, query: &Query) -> Response {
         let _span = wwv_obs::span!("serve.execute");
         let reg = wwv_obs::global();
+        // Pin one catalog for the whole query: every lookup below resolves
+        // against this epoch, so a concurrent swap can never produce a
+        // response mixing two snapshots.
+        let catalog = self.catalog();
+        let epoch = catalog.epoch();
         let q = query.canonicalize();
         reg.counter(&format!("serve.query.{}", q.kind())).inc();
         if q.cacheable() {
-            if let Some(hit) = self.cache.lock().get(&q).cloned() {
+            if let Some(hit) = self.cache.lock().get(&(epoch, q.clone())).cloned() {
                 reg.counter("serve.cache.hit").inc();
                 return hit;
             }
             reg.counter("serve.cache.miss").inc();
-            let resp = self.compute(&q);
+            let resp = self.compute(&catalog, &q);
             // Only memoize successes; errors should retry on next ask.
-            if resp.is_ok() && self.cache.lock().insert(q, resp.clone()) {
+            if resp.is_ok() && self.cache.lock().insert((epoch, q), resp.clone()) {
                 reg.counter("serve.cache.eviction").inc();
             }
             return resp;
         }
-        self.compute(&q)
+        self.compute(&catalog, &q)
     }
 
     fn resolve<'a>(
-        &'a self,
+        &self,
+        catalog: &'a Catalog,
         snapshot: &str,
     ) -> Result<&'a Arc<ShardedStore>, Response> {
-        self.catalog.get(snapshot).ok_or_else(|| {
+        catalog.get(snapshot).ok_or_else(|| {
             Response::Error(ErrorCode::UnknownSnapshot, format!("no snapshot {snapshot:?}"))
         })
     }
@@ -90,22 +139,24 @@ impl QueryEngine {
             .ok_or_else(|| Response::Error(ErrorCode::UnknownList, format!("no list for {b}")))
     }
 
-    fn compute(&self, q: &Query) -> Response {
+    fn compute(&self, catalog: &Catalog, q: &Query) -> Response {
         match q {
             Query::Ping => Response::Pong,
-            Query::TopK { key, k } => self.top_k(key, *k),
-            Query::SiteRank { key, domain } => self.site_rank(key, domain),
-            Query::RankBucket { key, domain } => self.rank_bucket(key, domain),
+            Query::TopK { key, k } => self.top_k(catalog, key, *k),
+            Query::SiteRank { key, domain } => self.site_rank(catalog, key, domain),
+            Query::RankBucket { key, domain } => self.rank_bucket(catalog, key, domain),
             Query::SiteProfile { snapshot, platform, metric, month, domain } => {
-                self.site_profile(snapshot, *platform, *metric, *month, domain)
+                self.site_profile(catalog, snapshot, *platform, *metric, *month, domain)
             }
-            Query::Rbo { a, b, depth, p_permille } => self.rbo(a, b, *depth, *p_permille),
-            Query::Concentration { key, depths } => self.concentration(key, depths),
+            Query::Rbo { a, b, depth, p_permille } => {
+                self.rbo(catalog, a, b, *depth, *p_permille)
+            }
+            Query::Concentration { key, depths } => self.concentration(catalog, key, depths),
         }
     }
 
-    fn top_k(&self, key: &ListKey, k: u32) -> Response {
-        let store = match self.resolve(&key.snapshot) {
+    fn top_k(&self, catalog: &Catalog, key: &ListKey, k: u32) -> Response {
+        let store = match self.resolve(catalog, &key.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -127,8 +178,8 @@ impl QueryEngine {
         Response::TopK(entries)
     }
 
-    fn site_rank(&self, key: &ListKey, domain: &str) -> Response {
-        let store = match self.resolve(&key.snapshot) {
+    fn site_rank(&self, catalog: &Catalog, key: &ListKey, domain: &str) -> Response {
+        let store = match self.resolve(catalog, &key.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -142,8 +193,8 @@ impl QueryEngine {
         Response::SiteRank(info)
     }
 
-    fn rank_bucket(&self, key: &ListKey, domain: &str) -> Response {
-        let store = match self.resolve(&key.snapshot) {
+    fn rank_bucket(&self, catalog: &Catalog, key: &ListKey, domain: &str) -> Response {
+        let store = match self.resolve(catalog, &key.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -164,13 +215,14 @@ impl QueryEngine {
 
     fn site_profile(
         &self,
+        catalog: &Catalog,
         snapshot: &str,
         platform: Platform,
         metric: Metric,
         month: Month,
         domain: &str,
     ) -> Response {
-        let store = match self.resolve(snapshot) {
+        let store = match self.resolve(catalog, snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -196,12 +248,19 @@ impl QueryEngine {
         })
     }
 
-    fn rbo(&self, a: &ListKey, b: &ListKey, depth: u32, p_permille: u16) -> Response {
-        let store_a = match self.resolve(&a.snapshot) {
+    fn rbo(
+        &self,
+        catalog: &Catalog,
+        a: &ListKey,
+        b: &ListKey,
+        depth: u32,
+        p_permille: u16,
+    ) -> Response {
+        let store_a = match self.resolve(catalog, &a.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let store_b = match self.resolve(&b.snapshot) {
+        let store_b = match self.resolve(catalog, &b.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -236,8 +295,8 @@ impl QueryEngine {
         }
     }
 
-    fn concentration(&self, key: &ListKey, depths: &[u32]) -> Response {
-        let store = match self.resolve(&key.snapshot) {
+    fn concentration(&self, catalog: &Catalog, key: &ListKey, depths: &[u32]) -> Response {
+        let store = match self.resolve(catalog, &key.snapshot) {
             Ok(s) => s,
             Err(e) => return e,
         };
@@ -415,5 +474,51 @@ mod tests {
         let mut key = us_key();
         key.snapshot = "full".into();
         assert!(eng.execute(&Query::TopK { key, k: 3 }).is_ok());
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_serves_new_catalog() {
+        let eng = engine();
+        assert_eq!(eng.epoch(), 0);
+        let old = eng.catalog();
+        let next = eng.swap_snapshot(Catalog::new().with_dataset("full", tiny_dataset()));
+        assert_eq!(next, 1);
+        assert_eq!(eng.epoch(), 1);
+        // The pinned pre-swap Arc still serves its own (old) epoch.
+        assert_eq!(old.epoch(), 0);
+        assert!(!Arc::ptr_eq(&old, &eng.catalog()));
+        // Queries keep working after the swap.
+        assert!(eng.execute(&Query::TopK { key: us_key(), k: 3 }).is_ok());
+        assert_eq!(eng.swap_snapshot(Catalog::new().with_dataset("full", tiny_dataset())), 2);
+    }
+
+    /// Regression: cache keys must carry the epoch. Before epoch tagging, a
+    /// cacheable query warmed against catalog A would keep returning A's
+    /// answer after a swap to catalog B — a stale, wrong response.
+    #[test]
+    fn swap_invalidates_cached_analysis_results() {
+        let eng = engine();
+        let q = Query::Concentration { key: us_key(), depths: vec![1, 5] };
+        let Response::Concentration(before) = eng.execute(&q) else { panic!("expected conc") };
+        // Warm the cache and prove it's hot.
+        let hits0 = eng.cache_stats().hits;
+        assert!(eng.execute(&q).is_ok());
+        assert_eq!(eng.cache_stats().hits, hits0 + 1);
+
+        // Swap to a catalog whose default list has visibly different counts.
+        let mut ds = tiny_dataset().clone();
+        for list in ds.lists.values_mut() {
+            for entry in &mut list.entries {
+                entry.1 *= 3;
+            }
+        }
+        eng.swap_snapshot(Catalog::new().with_dataset("full", &ds));
+
+        // The same query must now be recomputed against the new catalog:
+        // shares are scale-invariant but the recompute must be a cache miss.
+        let misses_before = eng.cache_stats().misses;
+        let Response::Concentration(after) = eng.execute(&q) else { panic!("expected conc") };
+        assert_eq!(eng.cache_stats().misses, misses_before + 1, "stale cache served");
+        assert_eq!(before.depths, after.depths);
     }
 }

@@ -8,13 +8,19 @@
 //!
 //! * [`store`] — [`ShardedStore`]: per-breakdown rank lists with O(1)
 //!   rank-reverse indexes, hashed across N shards, immutable after build
-//!   (lock-free concurrent reads); [`Catalog`] layers labelled snapshots;
+//!   (lock-free concurrent reads); [`Catalog`] layers labelled snapshots
+//!   and carries the **swap epoch** it became live in;
 //! * [`query`]/[`engine`] — the query API: top-K slices, site-rank and
 //!   CrUX-style rank-bucket lookups, cross-country site profiles, and
 //!   cached analysis queries (pairwise RBO via `wwv-stats`, concentration
-//!   shares via `wwv-core`/`wwv-world`);
+//!   shares via `wwv-core`/`wwv-world`). The engine supports zero-downtime
+//!   catalog hot-swaps ([`QueryEngine::swap_snapshot`]): in-flight queries
+//!   pin the catalog `Arc` they started on and finish against that epoch,
+//!   new queries see the new one, and no request is ever drained;
 //! * [`cache`] — a hand-rolled bounded [`LruCache`] memoizing analysis
-//!   results under canonicalized queries, hit/miss/eviction counted;
+//!   results under `(epoch, canonicalized query)` keys — the epoch tag plus
+//!   a purge on swap make stale post-swap answers impossible — with
+//!   hit/miss/eviction counted;
 //! * [`protocol`]/[`server`]/[`transport`] — a length-prefixed binary
 //!   request/response protocol (in the `wwv-telemetry::wire` frame style)
 //!   served by a bounded worker pool over crossbeam channels, with

@@ -138,6 +138,12 @@ impl ServeHandle {
     pub fn engine(&self) -> &Arc<QueryEngine> {
         &self.engine
     }
+
+    /// Hot-swaps the served catalog without draining in-flight requests;
+    /// returns the new epoch. See [`QueryEngine::swap_snapshot`].
+    pub fn swap_snapshot(&self, catalog: Catalog) -> u64 {
+        self.engine.swap_snapshot(catalog)
+    }
 }
 
 /// The worker pool. Create with [`Server::start`], stop with
@@ -151,7 +157,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the worker pool over a frozen catalog.
+    /// Spawns the worker pool over an initial catalog (it can be replaced
+    /// later with [`Server::swap_snapshot`] without restarting the pool).
     pub fn start(catalog: Arc<Catalog>, config: ServerConfig) -> Server {
         let engine = Arc::new(QueryEngine::new(catalog, config.cache_capacity));
         let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
@@ -190,6 +197,12 @@ impl Server {
     /// The engine (cache stats, catalog access).
     pub fn engine(&self) -> &Arc<QueryEngine> {
         &self.engine
+    }
+
+    /// Hot-swaps the served catalog without stopping the worker pool;
+    /// returns the new epoch. See [`QueryEngine::swap_snapshot`].
+    pub fn swap_snapshot(&self, catalog: Catalog) -> u64 {
+        self.engine.swap_snapshot(catalog)
     }
 
     /// Graceful shutdown: refuse new work, drain the queue, join workers.

@@ -166,17 +166,32 @@ impl ShardedStore {
     }
 }
 
-/// A set of labelled snapshots served together. Built once before the
-/// server starts and shared immutably (`Arc<Catalog>`) thereafter.
+/// A set of labelled snapshots served together, tagged with the **epoch**
+/// it became live in. Shared immutably (`Arc<Catalog>`) once installed;
+/// replacing a catalog under live traffic goes through
+/// [`QueryEngine::swap_snapshot`](crate::engine::QueryEngine::swap_snapshot),
+/// which bumps the epoch so result-cache keys from the previous catalog can
+/// never satisfy queries against the new one.
 #[derive(Debug, Default)]
 pub struct Catalog {
     snapshots: Vec<(String, Arc<ShardedStore>)>,
+    epoch: u64,
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog (epoch 0).
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The swap generation this catalog serves under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the epoch (done by the engine during a hot-swap).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Adds a labelled snapshot (replaces any existing label).

@@ -1,0 +1,210 @@
+//! Hot-swap under fire: concurrent InProc clients hammer a server while the
+//! main thread swaps the catalog 100 times between two distinguishable
+//! datasets. Every response must be consistent with exactly ONE dataset —
+//! never a mix of two epochs, never a stale cached answer from a previous
+//! epoch presented as current after the dust settles.
+//!
+//! The two datasets are built so that every answer carries a fingerprint:
+//!
+//! * every count is `≡ tag (mod 1000)`, so one foreign count in a TopK
+//!   slice exposes a cross-epoch blend;
+//! * the rank order is reversed between tags, so the probe domain sits at
+//!   rank 1 (tag 0) or rank 10 (tag 1) in **every** country — a SiteProfile
+//!   mixing epochs would show both ranks at once;
+//! * the depth-1 concentration share differs between tags, pinning the
+//!   (cacheable) analysis path to a single epoch as well.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wwv_serve::query::{ListKey, Query, Response};
+use wwv_serve::store::Catalog;
+use wwv_serve::transport::{InProcTransport, Transport};
+use wwv_serve::{Server, ServerConfig};
+use wwv_telemetry::dataset::{ChromeDataset, DomainTable, RankListData};
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId};
+
+const N_DOMAINS: usize = 10;
+const N_COUNTRIES: usize = 4;
+const SWAPS: u64 = 100;
+
+/// Domain name at slot `i` (identical interning order in both datasets).
+fn dom(i: usize) -> String {
+    format!("d{i:02}.example")
+}
+
+/// A dataset whose every answer is fingerprinted by `tag` (0 or 1): counts
+/// are `≡ tag (mod 1000)` and the rank order flips between tags.
+fn tagged_dataset(tag: u64) -> ChromeDataset {
+    assert!(tag < 2);
+    let mut domains = DomainTable::new();
+    let ids: Vec<_> =
+        (0..N_DOMAINS).map(|i| domains.intern(&dom(i), SiteId(i as u32))).collect();
+    let mut lists = std::collections::HashMap::new();
+    for country in 0..N_COUNTRIES {
+        let entries: Vec<_> = (0..N_DOMAINS)
+            .map(|rank| {
+                let slot = if tag == 0 { rank } else { N_DOMAINS - 1 - rank };
+                (ids[slot], (N_DOMAINS - rank) as u64 * 1000 + tag)
+            })
+            .collect();
+        let b = Breakdown {
+            country,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::February2022,
+        };
+        lists.insert(b, RankListData { entries });
+    }
+    ChromeDataset { domains, lists, client_threshold: 200, max_depth: N_DOMAINS }
+}
+
+fn key() -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    }
+}
+
+/// Expected depth-1 concentration share for a tag.
+fn top1_share(tag: u64) -> f64 {
+    let total: u64 = (1..=N_DOMAINS as u64).map(|n| n * 1000 + tag).sum();
+    (N_DOMAINS as u64 * 1000 + tag) as f64 / total as f64
+}
+
+/// Which tag a TopK response belongs to — panics on a cross-epoch blend.
+fn tag_of_topk(entries: &[wwv_serve::query::SiteEntry]) -> u64 {
+    assert_eq!(entries.len(), N_DOMAINS);
+    let tag = entries[0].count % 1000;
+    assert!(tag < 2, "count fingerprint out of range: {}", entries[0].count);
+    for (rank, e) in entries.iter().enumerate() {
+        assert_eq!(e.count % 1000, tag, "counts from two epochs in one response");
+        assert_eq!(e.count / 1000, (N_DOMAINS - rank) as u64);
+        let slot = if tag == 0 { rank } else { N_DOMAINS - 1 - rank };
+        assert_eq!(e.domain, dom(slot), "rank order from a different epoch than counts");
+    }
+    tag
+}
+
+#[test]
+fn responses_stay_single_epoch_across_100_swaps() {
+    let server = Arc::new(Server::start(
+        Arc::new(Catalog::new().with_dataset("full", &tagged_dataset(0))),
+        ServerConfig { workers: 2, queue_depth: 64, ..ServerConfig::default() },
+    ));
+    let stop = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for client in 0..3 {
+            let handle = server.handle();
+            let stop = &stop;
+            let checked = &checked;
+            scope.spawn(move || {
+                let mut transport = InProcTransport::new(handle);
+                let mut i = client; // desynchronize the query mix per client
+                while !stop.load(Ordering::Acquire) {
+                    match i % 3 {
+                        0 => {
+                            let q = Query::TopK { key: key(), k: N_DOMAINS as u32 };
+                            let Response::TopK(entries) = transport.call(&q).unwrap() else {
+                                panic!("expected TopK")
+                            };
+                            tag_of_topk(&entries);
+                        }
+                        1 => {
+                            // SiteProfile spans all country lists: a swap
+                            // landing mid-profile must not leak through.
+                            let q = Query::SiteProfile {
+                                snapshot: String::new(),
+                                platform: Platform::Windows,
+                                metric: Metric::PageLoads,
+                                month: Month::February2022,
+                                domain: dom(0),
+                            };
+                            let Response::SiteProfile(p) = transport.call(&q).unwrap() else {
+                                panic!("expected SiteProfile")
+                            };
+                            assert_eq!(p.present_in as usize, N_COUNTRIES);
+                            let first = p.ranks[0].1;
+                            assert!(
+                                first == 1 || first == N_DOMAINS as u32,
+                                "impossible rank {first}"
+                            );
+                            for (_, rank) in &p.ranks {
+                                assert_eq!(
+                                    *rank, first,
+                                    "profile mixes two epochs: {:?}",
+                                    p.ranks
+                                );
+                            }
+                        }
+                        _ => {
+                            // Cacheable analysis query: exercises the
+                            // epoch-tagged cache under concurrent swaps.
+                            let q = Query::Concentration { key: key(), depths: vec![1] };
+                            let Response::Concentration(info) = transport.call(&q).unwrap()
+                            else {
+                                panic!("expected Concentration")
+                            };
+                            let got = info.observed[0];
+                            let ok = (got - top1_share(0)).abs() < 1e-12
+                                || (got - top1_share(1)).abs() < 1e-12;
+                            assert!(ok, "share {got} matches neither epoch's dataset");
+                        }
+                    }
+                    i += 1;
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        for swap in 1..=SWAPS {
+            let tag = swap % 2;
+            let epoch = server
+                .swap_snapshot(Catalog::new().with_dataset("full", &tagged_dataset(tag)));
+            assert_eq!(epoch, swap, "epochs are strictly sequential");
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    assert!(
+        checked.load(Ordering::Relaxed) >= 50,
+        "clients barely ran: {} responses validated",
+        checked.load(Ordering::Relaxed)
+    );
+    assert_eq!(server.engine().epoch(), SWAPS);
+
+    // After the last swap (tag = SWAPS % 2 = 0) every query — including the
+    // cacheable ones warmed under earlier epochs — must answer from the
+    // final catalog. A stale cache entry would surface right here.
+    let handle = server.handle();
+    let mut transport = InProcTransport::new(handle);
+    let final_tag = SWAPS % 2;
+    let Response::TopK(entries) =
+        transport.call(&Query::TopK { key: key(), k: N_DOMAINS as u32 }).unwrap()
+    else {
+        panic!("expected TopK")
+    };
+    assert_eq!(tag_of_topk(&entries), final_tag);
+    let Response::Concentration(info) =
+        transport.call(&Query::Concentration { key: key(), depths: vec![1] }).unwrap()
+    else {
+        panic!("expected Concentration")
+    };
+    assert!(
+        (info.observed[0] - top1_share(final_tag)).abs() < 1e-12,
+        "stale cached concentration from a pre-swap epoch: {}",
+        info.observed[0]
+    );
+
+    match Arc::try_unwrap(server) {
+        Ok(server) => {
+            server.shutdown();
+        }
+        Err(_) => panic!("all client handles should be dropped"),
+    }
+}

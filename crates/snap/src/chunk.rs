@@ -1,0 +1,374 @@
+//! The chunked container: framed, checksummed chunks plus a seekable
+//! trailing catalog.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ header   │ "WWVS" (4) │ format version u16 LE                    │
+//! ├──────────┼───────────────────────────────────────────────────────┤
+//! │ chunk[i] │ kind u16 │ key_len u16 │ key │ payload_len u32 │      │
+//! │          │ payload │ fnv1a64(frame minus checksum) u64           │
+//! ├──────────┼───────────────────────────────────────────────────────┤
+//! │ catalog  │ count u32 │ count × { kind u16 │ key_len u16 │ key │  │
+//! │          │ offset u64 │ frame_len u32 } │ fnv1a64(catalog) u64   │
+//! ├──────────┼───────────────────────────────────────────────────────┤
+//! │ footer   │ catalog_offset u64 │ catalog_len u32 │                │
+//! │ (24 B)   │ fnv1a64(offset‖len) u64 │ "SNAP" (4)                  │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Integrity is total: the header is checked by equality, every chunk byte
+//! by its frame checksum, the catalog by its own checksum, the footer by its
+//! checksum plus the tail magic — and the catalog must *tile* the chunk
+//! region exactly (no gaps, no overlaps), so there is no byte in a valid
+//! file whose corruption can go undetected. Readers locate the catalog from
+//! the footer and can verify + decode a single chunk without touching the
+//! rest of the file.
+
+use crate::{fnv1a64, SnapError};
+use bytes::Bytes;
+
+/// Leading magic (`WWVS`).
+pub const MAGIC: &[u8; 4] = b"WWVS";
+/// Trailing magic (`SNAP`) — distinguishes truncation from corruption.
+pub const TAIL_MAGIC: &[u8; 4] = b"SNAP";
+/// Container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 6;
+const FOOTER_LEN: usize = 24;
+/// Frame overhead besides the key: kind + key_len + payload_len + checksum.
+const FRAME_OVERHEAD: usize = 2 + 2 + 4 + 8;
+
+/// One catalog row: where a chunk lives and what it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Application-defined chunk kind tag.
+    pub kind: u16,
+    /// Application-defined chunk key (e.g. a packed breakdown).
+    pub key: Vec<u8>,
+    /// Byte offset of the chunk frame within the file.
+    pub offset: u64,
+    /// Total frame length, checksum included.
+    pub frame_len: u32,
+}
+
+/// Builds a snapshot file chunk by chunk. Output is byte-deterministic:
+/// identical chunks in identical order produce identical files.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+    entries: Vec<ChunkEntry>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot (writes the header).
+    pub fn new() -> SnapshotWriter {
+        let mut buf = Vec::with_capacity(64 * 1024);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        SnapshotWriter { buf, entries: Vec::new() }
+    }
+
+    /// Appends one framed, checksummed chunk. `key` identifies the chunk
+    /// within its `kind` (at most `u16::MAX` bytes; typical keys are 4).
+    pub fn add_chunk(&mut self, kind: u16, key: &[u8], payload: &[u8]) {
+        assert!(key.len() <= u16::MAX as usize, "chunk key too long");
+        assert!(payload.len() <= u32::MAX as usize, "chunk payload too long");
+        let offset = self.buf.len() as u64;
+        let frame_start = self.buf.len();
+        self.buf.extend_from_slice(&kind.to_le_bytes());
+        self.buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        let checksum = fnv1a64(&self.buf[frame_start..]);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.entries.push(ChunkEntry {
+            kind,
+            key: key.to_vec(),
+            offset,
+            frame_len: (self.buf.len() - frame_start) as u32,
+        });
+    }
+
+    /// Writes the catalog and footer and returns the finished file.
+    pub fn finish(mut self) -> Bytes {
+        let catalog_offset = self.buf.len() as u64;
+        let catalog_start = self.buf.len();
+        self.buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            self.buf.extend_from_slice(&e.kind.to_le_bytes());
+            self.buf.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
+            self.buf.extend_from_slice(&e.key);
+            self.buf.extend_from_slice(&e.offset.to_le_bytes());
+            self.buf.extend_from_slice(&e.frame_len.to_le_bytes());
+        }
+        let catalog_checksum = fnv1a64(&self.buf[catalog_start..]);
+        self.buf.extend_from_slice(&catalog_checksum.to_le_bytes());
+        let catalog_len = (self.buf.len() - catalog_start) as u32;
+
+        let mut footer = [0u8; 12];
+        footer[..8].copy_from_slice(&catalog_offset.to_le_bytes());
+        footer[8..].copy_from_slice(&catalog_len.to_le_bytes());
+        self.buf.extend_from_slice(&footer);
+        self.buf.extend_from_slice(&fnv1a64(&footer).to_le_bytes());
+        self.buf.extend_from_slice(TAIL_MAGIC);
+        Bytes::from(self.buf)
+    }
+}
+
+fn read_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// A parsed snapshot file: header/footer/catalog verified eagerly, chunk
+/// payloads verified lazily on access (so a single-list read costs one
+/// checksum pass over one chunk, not the whole file).
+#[derive(Debug)]
+pub struct SnapshotFile {
+    bytes: Bytes,
+    entries: Vec<ChunkEntry>,
+}
+
+impl SnapshotFile {
+    /// Parses and validates the container structure.
+    pub fn parse(bytes: Bytes) -> Result<SnapshotFile, SnapError> {
+        if bytes.len() < 4 {
+            return Err(SnapError::Truncated("header"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(SnapError::Magic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapError::Truncated("header"));
+        }
+        let version = read_u16(&bytes[4..6]);
+        if version != FORMAT_VERSION {
+            return Err(SnapError::Version(version));
+        }
+        // Smallest valid file: header + empty catalog (4 + 8) + footer.
+        if bytes.len() < HEADER_LEN + 12 + FOOTER_LEN {
+            return Err(SnapError::Truncated("footer"));
+        }
+        let footer_start = bytes.len() - FOOTER_LEN;
+        if &bytes[bytes.len() - 4..] != TAIL_MAGIC {
+            return Err(SnapError::TailMagic);
+        }
+        let footer = &bytes[footer_start..footer_start + 12];
+        let stored = read_u64(&bytes[footer_start + 12..footer_start + 20]);
+        if fnv1a64(footer) != stored {
+            return Err(SnapError::FooterChecksum);
+        }
+        let catalog_offset = read_u64(&footer[..8]) as usize;
+        let catalog_len = read_u32(&footer[8..12]) as usize;
+        if catalog_len < 12
+            || catalog_offset < HEADER_LEN
+            || catalog_offset.checked_add(catalog_len) != Some(footer_start)
+        {
+            return Err(SnapError::Malformed("catalog bounds"));
+        }
+        let catalog = &bytes[catalog_offset..footer_start];
+        let (body, stored) = catalog.split_at(catalog_len - 8);
+        if fnv1a64(body) != read_u64(stored) {
+            return Err(SnapError::CatalogChecksum);
+        }
+        // Parse the (now trusted) catalog entries.
+        let mut cur = body;
+        if cur.len() < 4 {
+            return Err(SnapError::Malformed("catalog count"));
+        }
+        let count = read_u32(cur) as usize;
+        cur = &cur[4..];
+        let mut entries = Vec::with_capacity(count.min(4_096));
+        for _ in 0..count {
+            if cur.len() < 4 {
+                return Err(SnapError::Malformed("catalog entry header"));
+            }
+            let kind = read_u16(cur);
+            let key_len = read_u16(&cur[2..]) as usize;
+            cur = &cur[4..];
+            if cur.len() < key_len + 12 {
+                return Err(SnapError::Malformed("catalog entry body"));
+            }
+            let key = cur[..key_len].to_vec();
+            let offset = read_u64(&cur[key_len..]);
+            let frame_len = read_u32(&cur[key_len + 8..]);
+            cur = &cur[key_len + 12..];
+            entries.push(ChunkEntry { kind, key, offset, frame_len });
+        }
+        if !cur.is_empty() {
+            return Err(SnapError::Malformed("catalog trailing bytes"));
+        }
+        // The chunks must tile [header, catalog) exactly: every byte of the
+        // file is then covered by some checksum or equality check.
+        let mut at = HEADER_LEN as u64;
+        for e in &entries {
+            if e.offset != at || (e.frame_len as usize) < FRAME_OVERHEAD {
+                return Err(SnapError::Malformed("chunks do not tile the file"));
+            }
+            at = at
+                .checked_add(e.frame_len as u64)
+                .ok_or(SnapError::Malformed("chunk length overflow"))?;
+        }
+        if at != catalog_offset as u64 {
+            return Err(SnapError::Malformed("chunks do not tile the file"));
+        }
+        Ok(SnapshotFile { bytes, entries })
+    }
+
+    /// The catalog rows, in file order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// The raw file bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Verifies and returns one chunk's payload by catalog index.
+    pub fn payload(&self, index: usize) -> Result<Bytes, SnapError> {
+        let e = self.entries.get(index).ok_or(SnapError::MissingChunk("index out of range"))?;
+        let start = e.offset as usize;
+        let frame = &self.bytes[start..start + e.frame_len as usize];
+        let (body, stored) = frame.split_at(frame.len() - 8);
+        if fnv1a64(body) != read_u64(stored) {
+            wwv_obs::global().counter("snap.chunk.checksum_fail").inc();
+            return Err(SnapError::ChunkChecksum { kind: e.kind, index });
+        }
+        // The frame restates kind/key/len; they must agree with the catalog.
+        let kind = read_u16(body);
+        let key_len = read_u16(&body[2..]) as usize;
+        if kind != e.kind
+            || key_len != e.key.len()
+            || body.len() < 4 + key_len + 4
+            || body[4..4 + key_len] != e.key[..]
+        {
+            return Err(SnapError::Malformed("chunk frame disagrees with catalog"));
+        }
+        let payload_len = read_u32(&body[4 + key_len..]) as usize;
+        let payload_start = start + 4 + key_len + 4;
+        if payload_len != body.len() - (4 + key_len + 4) {
+            return Err(SnapError::Malformed("chunk payload length"));
+        }
+        Ok(self.bytes.slice(payload_start..payload_start + payload_len))
+    }
+
+    /// Seeks to the first chunk matching `(kind, key)` and returns its
+    /// verified payload, or `None` if the catalog has no such chunk.
+    pub fn find(&self, kind: u16, key: &[u8]) -> Result<Option<Bytes>, SnapError> {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.kind == kind && e.key == key {
+                return self.payload(i).map(Some);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Verifies every chunk checksum (full-file integrity pass).
+    pub fn verify_all(&self) -> Result<(), SnapError> {
+        for i in 0..self.entries.len() {
+            self.payload(i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bytes {
+        let mut w = SnapshotWriter::new();
+        w.add_chunk(1, b"", b"meta payload");
+        w.add_chunk(2, b"\x00\x01", b"first list");
+        w.add_chunk(2, b"\x00\x02", &[0xAB; 300]);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_and_seek() {
+        let bytes = sample();
+        let file = SnapshotFile::parse(bytes).unwrap();
+        assert_eq!(file.entries().len(), 3);
+        assert_eq!(&file.find(1, b"").unwrap().unwrap()[..], b"meta payload");
+        assert_eq!(&file.find(2, b"\x00\x01").unwrap().unwrap()[..], b"first list");
+        assert_eq!(file.find(2, b"\x00\x03").unwrap(), None);
+        file.verify_all().unwrap();
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let file = SnapshotFile::parse(SnapshotWriter::new().finish()).unwrap();
+        assert!(file.entries().is_empty());
+        file.verify_all().unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        assert_eq!(
+            SnapshotFile::parse(Bytes::from_static(b"NOPExxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+                .unwrap_err(),
+            SnapError::Magic
+        );
+        let mut bytes = sample().to_vec();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            SnapshotFile::parse(Bytes::from(bytes)).unwrap_err(),
+            SnapError::Version(_)
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let bytes = sample();
+        for len in 0..bytes.len() {
+            let cut = bytes.slice(..len);
+            assert!(
+                SnapshotFile::parse(cut).is_err(),
+                "truncation to {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0xFF;
+            let result = SnapshotFile::parse(Bytes::from(flipped))
+                .and_then(|f| f.verify_all());
+            assert!(result.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn chunk_checksum_error_names_the_chunk() {
+        let bytes = sample();
+        let file = SnapshotFile::parse(bytes.clone()).unwrap();
+        // Corrupt one byte inside the second chunk's payload.
+        let e = &file.entries()[1];
+        let mut corrupt = bytes.to_vec();
+        corrupt[e.offset as usize + FRAME_OVERHEAD] ^= 0x01;
+        let file = SnapshotFile::parse(Bytes::from(corrupt)).unwrap();
+        assert!(file.payload(0).is_ok());
+        assert_eq!(
+            file.payload(1).unwrap_err(),
+            SnapError::ChunkChecksum { kind: 2, index: 1 }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! # wwv-snap
+//!
+//! The checksummed, chunked, columnar snapshot **container** format behind
+//! the dataset archives (`persist::write_snapshot`) and the serving layer's
+//! hot-swappable snapshots.
+//!
+//! The paper's entire analysis surface is monthly rank-list snapshots per
+//! (country, platform, metric); operating them continuously means snapshots
+//! must load fast, detect corruption byte-for-byte, and support seeking to a
+//! single list without decoding the whole file. This crate provides the
+//! content-agnostic half of that:
+//!
+//! * [`chunk`] — the container: a `WWVS` magic + format-version header,
+//!   each chunk framed with its kind, key, length, and an FNV-1a checksum,
+//!   a trailing catalog index (itself checksummed) mapping `(kind, key)` to
+//!   byte ranges, and a checksummed footer locating the catalog. Readers
+//!   seek straight to one chunk; writers emit deterministic bytes.
+//! * [`varint`] — the column codecs: LEB128 varints, zigzag signed deltas
+//!   (rank-list count columns are near-sorted, so deltas are tiny), and
+//!   length-prefixed string tables.
+//!
+//! What goes *inside* the chunks (domain tables, rank-list columns) is
+//! defined by `wwv-telemetry::persist`, which layers the dataset schema on
+//! top of this container. The split keeps the container reusable and the
+//! dependency graph acyclic.
+//!
+//! Every integrity failure is a typed [`SnapError`]; a corrupt byte can
+//! never yield a successfully-decoded-but-different payload because chunk
+//! checksums are verified **before** any payload parsing.
+
+pub mod chunk;
+pub mod varint;
+
+pub use chunk::{ChunkEntry, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC, TAIL_MAGIC};
+
+use std::fmt;
+
+/// Why a snapshot failed to load. Every variant is a hard error: the file
+/// must be regenerated or restored, never partially trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// Leading magic bytes are not `WWVS`.
+    Magic,
+    /// Trailing magic bytes are not `SNAP` (truncated or overwritten tail).
+    TailMagic,
+    /// Unsupported format version.
+    Version(u16),
+    /// The file ended before a structure was complete.
+    Truncated(&'static str),
+    /// A structural invariant failed while parsing.
+    Malformed(&'static str),
+    /// A chunk's stored checksum does not match its bytes.
+    ChunkChecksum {
+        /// Chunk kind tag.
+        kind: u16,
+        /// Index of the chunk in catalog order.
+        index: usize,
+    },
+    /// The catalog index's checksum does not match its bytes.
+    CatalogChecksum,
+    /// The footer's checksum does not match its bytes.
+    FooterChecksum,
+    /// A `(kind, key)` requested from the catalog is absent.
+    MissingChunk(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Magic => write!(f, "not a wwv snapshot (bad magic)"),
+            SnapError::TailMagic => write!(f, "snapshot tail magic missing (truncated?)"),
+            SnapError::Version(v) => write!(f, "unsupported snapshot format version {v}"),
+            SnapError::Truncated(what) => write!(f, "snapshot truncated: {what}"),
+            SnapError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapError::ChunkChecksum { kind, index } => {
+                write!(f, "checksum mismatch in chunk {index} (kind {kind})")
+            }
+            SnapError::CatalogChecksum => write!(f, "checksum mismatch in snapshot catalog"),
+            SnapError::FooterChecksum => write!(f, "checksum mismatch in snapshot footer"),
+            SnapError::MissingChunk(what) => write!(f, "snapshot missing chunk: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit over a byte slice — the frame checksum. Not
+/// cryptographic; it guards against bit rot and truncation, not attackers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Column codecs: LEB128 varints, zigzag signed values, delta columns, and
+//! length-prefixed string tables.
+//!
+//! Rank-list columns compress well because they are *structured*: counts are
+//! (near-)sorted descending, so consecutive deltas are small; domain ids and
+//! site ids are dense small integers. Encoding each column contiguously
+//! (columnar, not row-interleaved) keeps the varint decoder's branch
+//! predictor warm and makes per-column evolution possible without breaking
+//! the frame layout.
+//!
+//! All decoders take `&mut &[u8]` cursors and return typed [`SnapError`]s on
+//! truncation or overlong encodings — callers never see a panic.
+
+use crate::SnapError;
+
+/// Appends an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, advancing the cursor.
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, SnapError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some((&byte, rest)) = buf.split_first() else {
+            return Err(SnapError::Truncated("varint"));
+        };
+        *buf = rest;
+        // 10 bytes max for u64; the last byte may only carry the top bit.
+        if shift == 63 && byte > 1 {
+            return Err(SnapError::Malformed("varint overflows u64"));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(SnapError::Malformed("varint too long"));
+        }
+    }
+}
+
+/// Zigzag-maps a signed value into an unsigned one (small magnitudes stay
+/// small in varint form).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a `u64` column as first-value + zigzag wrapping deltas. Sorted or
+/// near-sorted columns (rank-list counts) collapse to 1–2 bytes per value;
+/// arbitrary columns still round-trip exactly via wrapping arithmetic.
+pub fn put_u64_delta_column(out: &mut Vec<u8>, values: &[u64]) {
+    put_uvarint(out, values.len() as u64);
+    let mut prev = 0u64;
+    for &v in values {
+        put_uvarint(out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+}
+
+/// Decodes a [`put_u64_delta_column`] column. `max_len` caps the
+/// pre-allocation so a corrupt length cannot demand gigabytes.
+pub fn get_u64_delta_column(buf: &mut &[u8], max_len: usize) -> Result<Vec<u64>, SnapError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut values = Vec::with_capacity(n.min(max_len));
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let delta = unzigzag(get_uvarint(buf)?);
+        let v = prev.wrapping_add(delta as u64);
+        values.push(v);
+        prev = v;
+    }
+    Ok(values)
+}
+
+/// Encodes a `u32` column as plain varints (dense small ids).
+pub fn put_u32_column(out: &mut Vec<u8>, values: &[u32]) {
+    put_uvarint(out, values.len() as u64);
+    for &v in values {
+        put_uvarint(out, v as u64);
+    }
+}
+
+/// Decodes a [`put_u32_column`] column.
+pub fn get_u32_column(buf: &mut &[u8], max_len: usize) -> Result<Vec<u32>, SnapError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut values = Vec::with_capacity(n.min(max_len));
+    for _ in 0..n {
+        let v = get_uvarint(buf)?;
+        if v > u32::MAX as u64 {
+            return Err(SnapError::Malformed("u32 column value overflows"));
+        }
+        values.push(v as u32);
+    }
+    Ok(values)
+}
+
+/// Appends one length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads one length-prefixed UTF-8 string.
+pub fn get_str<'a>(buf: &mut &'a [u8]) -> Result<&'a str, SnapError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.len() < len {
+        return Err(SnapError::Truncated("string bytes"));
+    }
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    std::str::from_utf8(bytes).map_err(|_| SnapError::Malformed("string not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_uvarint(&mut out, v);
+            let mut cur = out.as_slice();
+            assert_eq!(get_uvarint(&mut cur).unwrap(), v);
+            assert!(cur.is_empty());
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut cur: &[u8] = &[0x80];
+        assert_eq!(get_uvarint(&mut cur), Err(SnapError::Truncated("varint")));
+        // 10 continuation bytes with a large final byte overflow u64.
+        let mut cur: &[u8] = &[0xFF; 10];
+        assert!(get_uvarint(&mut cur).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert!(zigzag(-3) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn delta_column_roundtrips_sorted_and_arbitrary() {
+        for values in [
+            vec![1_000_000u64, 999_999, 500_000, 500_000, 3, 0],
+            vec![u64::MAX, 0, u64::MAX / 2, 42],
+            vec![],
+        ] {
+            let mut out = Vec::new();
+            put_u64_delta_column(&mut out, &values);
+            let mut cur = out.as_slice();
+            assert_eq!(get_u64_delta_column(&mut cur, 1 << 20).unwrap(), values);
+            assert!(cur.is_empty());
+        }
+    }
+
+    #[test]
+    fn sorted_deltas_are_compact() {
+        // A descending count column: deltas of ~100 cost 2 bytes each vs 8
+        // for raw u64s.
+        let values: Vec<u64> = (0..100u64).map(|i| 1_000_000 - i * 100).collect();
+        let mut out = Vec::new();
+        put_u64_delta_column(&mut out, &values);
+        assert!(out.len() < values.len() * 4, "got {} bytes", out.len());
+    }
+
+    #[test]
+    fn u32_column_roundtrips_and_rejects_overflow() {
+        let values = vec![0u32, 5, u32::MAX];
+        let mut out = Vec::new();
+        put_u32_column(&mut out, &values);
+        let mut cur = out.as_slice();
+        assert_eq!(get_u32_column(&mut cur, 16).unwrap(), values);
+
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 1);
+        put_uvarint(&mut bad, u32::MAX as u64 + 1);
+        let mut cur = bad.as_slice();
+        assert!(get_u32_column(&mut cur, 16).is_err());
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_bad_utf8() {
+        let mut out = Vec::new();
+        put_str(&mut out, "naver.com");
+        put_str(&mut out, "");
+        let mut cur = out.as_slice();
+        assert_eq!(get_str(&mut cur).unwrap(), "naver.com");
+        assert_eq!(get_str(&mut cur).unwrap(), "");
+
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 2);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        let mut cur = bad.as_slice();
+        assert_eq!(get_str(&mut cur), Err(SnapError::Malformed("string not UTF-8")));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the snapshot container: arbitrary chunk sets
+//! round-trip exactly through write → parse → payload, and random
+//! corruption always surfaces as a typed error.
+//!
+//! (The bodies also run as plain `#[test]`s below with fixed seeds so the
+//! suite has executable coverage even where proptest is stubbed out.)
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wwv_snap::{SnapError, SnapshotFile, SnapshotWriter};
+
+fn write(chunks: &[(u16, Vec<u8>, Vec<u8>)]) -> Bytes {
+    let mut w = SnapshotWriter::new();
+    for (kind, key, payload) in chunks {
+        w.add_chunk(*kind, key, payload);
+    }
+    w.finish()
+}
+
+fn assert_roundtrip(chunks: &[(u16, Vec<u8>, Vec<u8>)]) {
+    let bytes = write(chunks);
+    // Deterministic encode.
+    assert_eq!(bytes, write(chunks));
+    let file = SnapshotFile::parse(bytes).expect("well-formed snapshot parses");
+    assert_eq!(file.entries().len(), chunks.len());
+    for (i, (kind, key, payload)) in chunks.iter().enumerate() {
+        assert_eq!(file.entries()[i].kind, *kind);
+        assert_eq!(file.entries()[i].key, *key);
+        assert_eq!(&file.payload(i).expect("chunk verifies")[..], &payload[..]);
+    }
+    file.verify_all().expect("full verify passes");
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_chunks_roundtrip(
+        chunks in prop::collection::vec(
+            (any::<u16>(), prop::collection::vec(any::<u8>(), 0..16),
+             prop::collection::vec(any::<u8>(), 0..256)),
+            0..12,
+        )
+    ) {
+        assert_roundtrip(&chunks);
+    }
+
+    #[test]
+    fn random_single_byte_flip_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        pos_seed in any::<u64>(),
+    ) {
+        let bytes = write(&[(7, b"key".to_vec(), payload)]);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 0xFF;
+        let outcome = SnapshotFile::parse(Bytes::from(corrupt)).and_then(|f| f.verify_all());
+        prop_assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn random_truncation_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = write(&[(3, vec![], payload)]);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(SnapshotFile::parse(bytes.slice(..cut)).is_err());
+    }
+}
+
+#[test]
+fn fixed_chunk_sets_roundtrip() {
+    assert_roundtrip(&[]);
+    assert_roundtrip(&[(0, vec![], vec![])]);
+    assert_roundtrip(&[
+        (1, vec![], b"meta".to_vec()),
+        (2, vec![0, 1, 2, 3], vec![0xFF; 1000]),
+        (2, vec![0, 1, 2, 4], (0..255u8).collect()),
+        (u16::MAX, vec![9; 15], vec![]),
+    ]);
+}
+
+#[test]
+fn duplicate_keys_resolve_to_first_match() {
+    let bytes = write(&[
+        (5, b"k".to_vec(), b"first".to_vec()),
+        (5, b"k".to_vec(), b"second".to_vec()),
+    ]);
+    let file = SnapshotFile::parse(bytes).unwrap();
+    assert_eq!(&file.find(5, b"k").unwrap().unwrap()[..], b"first");
+}
+
+#[test]
+fn garbage_inputs_yield_typed_errors() {
+    for garbage in [
+        Bytes::new(),
+        Bytes::from_static(b"WW"),
+        Bytes::from_static(b"WWVSxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+        Bytes::from(vec![0u8; 4096]),
+    ] {
+        match SnapshotFile::parse(garbage) {
+            Err(
+                SnapError::Magic
+                | SnapError::TailMagic
+                | SnapError::Version(_)
+                | SnapError::Truncated(_)
+                | SnapError::Malformed(_)
+                | SnapError::FooterChecksum
+                | SnapError::CatalogChecksum,
+            ) => {}
+            other => panic!("expected a typed structural error, got {other:?}"),
+        }
+    }
+}

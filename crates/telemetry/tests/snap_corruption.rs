@@ -1,0 +1,210 @@
+//! Corruption battery for the columnar snapshot format.
+//!
+//! The format's invariant is stronger than "don't panic": every byte of a
+//! snapshot is covered by a magic, a version check, or an FNV checksum, so
+//! **any** single corrupted byte and **any** truncation must surface as a
+//! typed [`wwv_telemetry::persist::PersistError`] — never as a silently
+//! wrong dataset. The exhaustive sweeps below hold that line cell by cell:
+//! every bit of every byte on a micro snapshot, strided byte smashes and
+//! dense truncations on a larger one, and proptest-driven random damage on
+//! arbitrary datasets.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use wwv_telemetry::dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
+use wwv_telemetry::persist::{read_auto, read_snapshot, write_snapshot};
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId};
+
+/// `(country, windows?, page_loads?, month_index, entries)` — one rank list
+/// (same spec shape as `persist_roundtrip.rs`).
+type ListSpec = (u8, bool, bool, usize, Vec<(u32, u64)>);
+
+fn build_dataset(
+    names: &[String],
+    list_specs: Vec<ListSpec>,
+    client_threshold: u64,
+    max_depth: usize,
+) -> ChromeDataset {
+    let mut domains = DomainTable::new();
+    for (i, n) in names.iter().enumerate() {
+        domains.intern(&format!("{n}{i}.example"), SiteId(i as u32));
+    }
+    let mut lists = std::collections::HashMap::new();
+    for (country, plat, met, month_idx, entries) in list_specs {
+        let b = Breakdown {
+            country: country as usize,
+            platform: if plat { Platform::Windows } else { Platform::Android },
+            metric: if met { Metric::PageLoads } else { Metric::TimeOnPage },
+            month: Month::ALL[month_idx % Month::ALL.len()],
+        };
+        let entries = entries.into_iter().map(|(d, c)| (DomainId(d), c)).collect();
+        lists.insert(b, RankListData { entries });
+    }
+    ChromeDataset { domains, lists, client_threshold, max_depth }
+}
+
+/// A micro dataset whose snapshot stays small enough (~1 KB) for the
+/// exhaustive per-bit sweep.
+fn micro_dataset() -> ChromeDataset {
+    build_dataset(
+        &["google".into(), "youtube".into(), "naver".into(), "wiki".into()],
+        vec![
+            (0, true, true, 5, vec![(0, 900), (1, 400), (2, 50)]),
+            (11, false, true, 5, vec![(2, 700), (0, 650), (3, 3)]),
+            (11, true, false, 4, vec![(1, 10)]),
+            (7, false, false, 0, vec![]),
+        ],
+        200,
+        500,
+    )
+}
+
+/// A larger dataset (dozens of lists, hundreds of entries) for the strided
+/// sweep: big enough that every structural region — domain table, many list
+/// chunks, catalog, footer — spans real data.
+fn larger_dataset() -> ChromeDataset {
+    let names: Vec<String> = (0..120).map(|i| format!("site{i:03}")).collect();
+    let mut specs = Vec::new();
+    for country in 0..30u8 {
+        let entries: Vec<(u32, u64)> = (0..80u32)
+            .map(|rank| {
+                let d = (rank * 7 + country as u32 * 13) % 120;
+                (d, 1_000_000u64 / (rank as u64 + 1) + country as u64)
+            })
+            .collect();
+        specs.push((country, country % 2 == 0, country % 3 != 0, 5, entries));
+    }
+    build_dataset(&names, specs, 200, 500)
+}
+
+#[test]
+fn every_bit_flip_on_micro_snapshot_is_a_typed_error() {
+    let ds = micro_dataset();
+    let snap = write_snapshot(&ds);
+    assert!(snap.len() < 4_096, "micro snapshot grew: {} bytes", snap.len());
+    for pos in 0..snap.len() {
+        for bit in 0..8 {
+            let mut corrupt = BytesMut::from(&snap[..]);
+            corrupt[pos] ^= 1 << bit;
+            let err = read_snapshot(corrupt.freeze()).expect_err(&format!(
+                "flip of bit {bit} at byte {pos}/{} decoded silently",
+                snap.len()
+            ));
+            // The error is typed and printable, not a panic or a bare abort.
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_micro_snapshot_is_a_typed_error() {
+    let snap = write_snapshot(&micro_dataset());
+    for cut in 0..snap.len() {
+        assert!(
+            read_snapshot(snap.slice(0..cut)).is_err(),
+            "prefix of {cut}/{} bytes accepted",
+            snap.len()
+        );
+        // read_auto must reject the same prefixes — the sniffer cannot be a
+        // hole in the armor.
+        assert!(read_auto(snap.slice(0..cut)).is_err());
+    }
+}
+
+#[test]
+fn strided_flips_and_truncations_on_larger_snapshot_error() {
+    let ds = larger_dataset();
+    let snap = write_snapshot(&ds);
+    assert!(snap.len() > 10_000, "larger snapshot too small: {} bytes", snap.len());
+    // Smash every 7th byte (coprime stride covers all structural regions
+    // across the sweep) with a bit pattern that always changes the byte.
+    for pos in (0..snap.len()).step_by(7) {
+        let mut corrupt = BytesMut::from(&snap[..]);
+        corrupt[pos] ^= 0xA5;
+        assert!(
+            read_snapshot(corrupt.freeze()).is_err(),
+            "flip at byte {pos}/{} decoded silently",
+            snap.len()
+        );
+    }
+    // Dense truncation sweep: 200 evenly spaced cut points plus the edges.
+    let step = (snap.len() / 200).max(1);
+    for cut in (0..snap.len()).step_by(step).chain([0, 1, snap.len() - 1]) {
+        assert!(read_snapshot(snap.slice(0..cut)).is_err(), "prefix of {cut} bytes accepted");
+    }
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    // The footer anchors to the end of the buffer, so trailing bytes shift
+    // it onto garbage: extension attacks cannot smuggle data past the tail.
+    let snap = write_snapshot(&micro_dataset());
+    for extra in [&b"\x00"[..], &b"junk"[..], &[0xFF; 24][..]] {
+        let mut extended = BytesMut::from(&snap[..]);
+        extended.extend_from_slice(extra);
+        assert!(read_snapshot(extended.freeze()).is_err());
+    }
+}
+
+#[test]
+fn garbage_and_empty_inputs_are_typed_errors() {
+    assert!(read_snapshot(Bytes::new()).is_err());
+    assert!(read_snapshot(Bytes::from_static(b"WWVS")).is_err());
+    assert!(read_snapshot(Bytes::from_static(&[0u8; 64])).is_err());
+    assert!(read_auto(Bytes::from_static(b"????????")).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_roundtrip_is_exact(
+        names in prop::collection::vec("[a-z]{1,10}", 1..24),
+        specs in prop::collection::vec(
+            (
+                0u8..45,
+                any::<bool>(),
+                any::<bool>(),
+                0usize..6,
+                prop::collection::vec((any::<u32>(), any::<u64>()), 0..32),
+            ),
+            0..8,
+        ),
+        threshold in any::<u64>(),
+        depth in 0usize..50_000,
+    ) {
+        let ds = build_dataset(&names, specs, threshold, depth);
+        let back = read_snapshot(write_snapshot(&ds)).expect("valid snapshot decodes");
+        prop_assert_eq!(back.client_threshold, ds.client_threshold);
+        prop_assert_eq!(back.max_depth, ds.max_depth);
+        prop_assert_eq!(back.domains.len(), ds.domains.len());
+        for i in 0..ds.domains.len() as u32 {
+            prop_assert_eq!(back.domains.name(DomainId(i)), ds.domains.name(DomainId(i)));
+            prop_assert_eq!(back.domains.site(DomainId(i)), ds.domains.site(DomainId(i)));
+        }
+        prop_assert_eq!(&back.lists, &ds.lists);
+    }
+
+    #[test]
+    fn random_byte_damage_is_detected(
+        pos in 0usize..100_000,
+        val in any::<u8>(),
+    ) {
+        let snap = write_snapshot(&micro_dataset());
+        let pos = pos % snap.len();
+        prop_assume!(snap[pos] != val);
+        let mut corrupt = BytesMut::from(&snap[..]);
+        corrupt[pos] = val;
+        // Unlike the legacy format (where payload flips can decode), every
+        // snapshot byte is checksummed: any changed byte must error.
+        prop_assert!(read_snapshot(corrupt.freeze()).is_err());
+    }
+
+    #[test]
+    fn random_truncations_error(frac in 0.0f64..1.0) {
+        let snap = write_snapshot(&larger_dataset());
+        let cut = ((snap.len() as f64) * frac) as usize;
+        prop_assume!(cut < snap.len());
+        prop_assert!(read_snapshot(snap.slice(0..cut)).is_err());
+    }
+}

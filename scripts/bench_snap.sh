@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Snapshot-format benchmark: builds the reduced-scale dataset once, then
+# times encode + decode of the legacy binary format against the columnar
+# snapshot format and records both file sizes. The acceptance bar is the
+# size ratio: the snapshot must stay at or below 70% of legacy.
+#
+# Usage: scripts/bench_snap.sh
+# Emits BENCH_snap.json in the repo root (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_snap.json}"
+
+echo "==> cargo build --release --bin wwv"
+cargo build --release --bin wwv
+
+echo "==> wwv snapshot bench --metrics-out $OUT"
+target/release/wwv snapshot bench --metrics-out "$OUT" > /dev/null
+
+RATIO=$(awk -F: '/snap_to_legacy_ratio/ { gsub(/[ ,]/, "", $2); print $2 }' "$OUT")
+echo "==> wrote $OUT (snap/legacy size ratio ${RATIO})"
+awk -v r="$RATIO" 'BEGIN { exit (r <= 0.70 ? 0 : 1) }' || {
+    echo "FAIL: snapshot is ${RATIO}x legacy size, above the 0.70 ceiling" >&2
+    exit 1
+}

@@ -22,6 +22,17 @@ cargo test -q -p wwv-telemetry --test parallel_determinism
 echo "==> cargo test -q --test fault_matrix"
 cargo test -q --test fault_matrix
 
+# Snapshot-format gates, surfaced by name: the golden fixture pins the
+# byte-level encoding, the corruption battery proves every damaged byte or
+# truncation is a typed error, and the hot-swap test holds single-epoch
+# response consistency under 100 concurrent catalog swaps.
+echo "==> cargo test -q --test golden_snapshot"
+cargo test -q --test golden_snapshot
+echo "==> cargo test -q -p wwv-telemetry --test snap_corruption"
+cargo test -q -p wwv-telemetry --test snap_corruption
+echo "==> cargo test -q -p wwv-serve --test hot_swap"
+cargo test -q -p wwv-serve --test hot_swap
+
 echo "==> wwv chaos --seed 42 --metrics-out CHAOS_matrix.json"
 cargo run --release -q --bin wwv -- chaos --seed 42 --metrics-out CHAOS_matrix.json > /dev/null
 

@@ -5,19 +5,27 @@
 //! wwv category  <domain>            # categorize a domain (API + truth)
 //! wwv curve     <site-key>          # popularity curve + endemicity
 //! wwv similar   --country FR [--n 5]
-//! wwv save      <path.bin>          # snapshot the dataset (binary format)
+//! wwv save      <path.snap>         # snapshot the dataset (columnar format)
+//! wwv snapshot  migrate <in> <out>  # re-encode legacy/snap file as snap
+//! wwv snapshot  bench [--metrics-out P]   # snap vs legacy size + timing
 //! wwv serve     [--listen ADDR]     # TCP rank-list query service
+//! wwv serve     [--snapshot P] [--watch-snapshot P]   # serve from a file
 //! wwv serve     --loadgen [--threads N] [--requests N] [--metrics-out P]
 //! wwv chaos     [--seed N] [--metrics-out P]   # fault-injection matrix
 //! ```
 //!
-//! All subcommands build the reduced-scale world on the fly (deterministic,
-//! a few seconds). `--threads N` sets the `wwv-par` worker count used for
+//! Most subcommands build the reduced-scale world on the fly (deterministic,
+//! a few seconds); `snapshot migrate` and `serve --snapshot` work from a
+//! snapshot file instead. `--watch-snapshot P` additionally polls `P` for
+//! changes and hot-swaps the served catalog in place — queries keep flowing
+//! through the swap. `--threads N` sets the `wwv-par` worker count used for
 //! the dataset build and analyses (default: available parallelism; output
 //! is identical at any count). For `serve --loadgen` the same flag also
 //! sizes the load-generator thread pool.
 
 use std::sync::Arc;
+use std::time::Instant;
+use bytes::Bytes;
 use wwv::core::endemicity::popularity_curves;
 use wwv::obs::{error, info};
 use wwv::core::similarity::similarity_matrix;
@@ -41,6 +49,8 @@ struct Args {
     requests: usize,
     metrics_out: Option<String>,
     seed: u64,
+    snapshot: Option<String>,
+    watch_snapshot: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +66,8 @@ fn parse_args() -> Args {
         requests: 250,
         metrics_out: None,
         seed: 42,
+        snapshot: None,
+        watch_snapshot: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -82,6 +94,8 @@ fn parse_args() -> Args {
             }
             "--metrics-out" => args.metrics_out = iter.next(),
             "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--snapshot" => args.snapshot = iter.next(),
+            "--watch-snapshot" => args.watch_snapshot = iter.next(),
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -89,20 +103,184 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save|serve|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
-    eprintln!("       wwv serve [--listen ADDR] | wwv serve --loadgen [--threads N] [--requests N] [--metrics-out PATH]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("       wwv snapshot migrate <in> <out> | wwv snapshot bench [--metrics-out PATH]");
+    eprintln!("       wwv serve [--listen ADDR] [--snapshot PATH] [--watch-snapshot PATH]");
+    eprintln!("       wwv serve --loadgen [--threads N] [--requests N] [--metrics-out PATH]");
     eprintln!("       wwv chaos [--seed N] [--metrics-out PATH]");
     std::process::exit(2)
 }
 
-/// `wwv serve`: expose the freshly built dataset over TCP, or replay a
-/// Zipf query mix against it in-process and print a JSON summary.
-fn serve(dataset: &wwv::telemetry::ChromeDataset, args: &Args) {
-    let store = Arc::new(ShardedStore::build(dataset, DEFAULT_SHARDS));
+/// The reduced-scale deterministic world every subcommand shares.
+fn build_world() -> World {
+    World::new(WorldConfig::small())
+}
+
+/// The default dataset built from [`build_world`].
+fn build_dataset(world: &World) -> wwv::telemetry::ChromeDataset {
+    DatasetBuilder::new(world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+        .build()
+}
+
+/// Reads a dataset from a snapshot file in either format (typed errors).
+fn load_snapshot_file(path: &str) -> wwv::telemetry::ChromeDataset {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => Bytes::from(b),
+        Err(e) => {
+            error!(target: "wwv", "cannot read snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match persist::read_auto(bytes) {
+        Ok(ds) => ds,
+        Err(e) => {
+            error!(target: "wwv", "cannot decode snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `wwv snapshot migrate|bench`: snapshot-file maintenance without a server.
+fn snapshot_cmd(args: &Args) {
+    match args.positional.get(1).map(String::as_str) {
+        Some("migrate") => {
+            let (Some(input), Some(output)) = (args.positional.get(2), args.positional.get(3))
+            else {
+                usage()
+            };
+            let dataset = load_snapshot_file(input);
+            let snap = persist::write_snapshot(&dataset);
+            std::fs::write(output, &snap).expect("write migrated snapshot");
+            let in_len = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "migrated {input} ({in_len} bytes) -> {output} ({} bytes, {:.1}% of input)",
+                snap.len(),
+                100.0 * snap.len() as f64 / in_len.max(1) as f64
+            );
+        }
+        Some("bench") => {
+            info!(target: "wwv", "building world + dataset for snapshot bench");
+            let world = build_world();
+            let dataset = build_dataset(&world);
+            let t = Instant::now();
+            let legacy = persist::to_binary(&dataset);
+            let legacy_write_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            persist::read_legacy(legacy.clone()).expect("legacy roundtrip");
+            let legacy_read_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let snap = persist::write_snapshot(&dataset);
+            let snap_write_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            persist::read_snapshot(snap.clone()).expect("snapshot roundtrip");
+            let snap_read_ms = t.elapsed().as_secs_f64() * 1e3;
+            // Hand-rolled JSON: the report shape is fixed and flat.
+            let json = format!(
+                concat!(
+                    "{{\n",
+                    "  \"legacy_bytes\": {},\n",
+                    "  \"snap_bytes\": {},\n",
+                    "  \"snap_to_legacy_ratio\": {:.4},\n",
+                    "  \"legacy_write_ms\": {:.3},\n",
+                    "  \"snap_write_ms\": {:.3},\n",
+                    "  \"legacy_read_ms\": {:.3},\n",
+                    "  \"snap_read_ms\": {:.3},\n",
+                    "  \"lists\": {},\n",
+                    "  \"domains\": {}\n",
+                    "}}\n"
+                ),
+                legacy.len(),
+                snap.len(),
+                snap.len() as f64 / legacy.len() as f64,
+                legacy_write_ms,
+                snap_write_ms,
+                legacy_read_ms,
+                snap_read_ms,
+                dataset.lists.len(),
+                dataset.domains.len(),
+            );
+            if let Some(path) = &args.metrics_out {
+                std::fs::write(path, &json).expect("write snapshot bench report");
+                info!(target: "wwv", "wrote snapshot bench report to {path}");
+            }
+            print!("{json}");
+        }
+        _ => usage(),
+    }
+}
+
+/// Polls a snapshot file's mtime and hot-swaps the served catalog whenever
+/// it changes. Runs detached for the lifetime of the process.
+fn spawn_snapshot_watcher(path: String, handle: wwv::serve::server::ServeHandle) {
+    std::thread::Builder::new()
+        .name("wwv-snap-watch".to_owned())
+        .spawn(move || {
+            let mtime_of = |p: &str| {
+                std::fs::metadata(p).and_then(|m| m.modified()).ok()
+            };
+            let mut last = mtime_of(&path);
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(2));
+                let now = mtime_of(&path);
+                if now.is_none() || now == last {
+                    continue;
+                }
+                last = now;
+                let bytes = match std::fs::read(&path) {
+                    Ok(b) => Bytes::from(b),
+                    Err(e) => {
+                        error!(target: "serve", "watch: cannot read {path}: {e}");
+                        continue;
+                    }
+                };
+                // A malformed file (e.g. a half-written snapshot) is skipped:
+                // the previous catalog keeps serving, nothing is torn down.
+                let dataset = match persist::read_auto(bytes) {
+                    Ok(ds) => ds,
+                    Err(e) => {
+                        error!(target: "serve", "watch: bad snapshot {path}: {e}");
+                        continue;
+                    }
+                };
+                let mut catalog = Catalog::new();
+                catalog
+                    .insert("full", Arc::new(ShardedStore::build(&dataset, DEFAULT_SHARDS)));
+                let epoch = handle.swap_snapshot(catalog);
+                info!(target: "serve", "hot-swapped snapshot from {path}"; epoch = epoch);
+            }
+        })
+        .expect("spawn snapshot watcher");
+}
+
+/// `wwv serve`: expose a dataset over TCP — freshly built, or loaded from
+/// `--snapshot`/`--watch-snapshot` — or replay a Zipf query mix against it
+/// in-process and print a JSON summary. With `--watch-snapshot`, the file
+/// is polled and hot-swapped into the live catalog on change.
+fn serve(args: &Args) {
+    let dataset = match args.snapshot.as_deref().or(args.watch_snapshot.as_deref()) {
+        // --snapshot requires the file; --watch-snapshot serves the built
+        // dataset until the file first appears.
+        Some(path) if args.snapshot.is_some() || std::path::Path::new(path).exists() => {
+            info!(target: "serve", "loading snapshot {path}");
+            load_snapshot_file(path)
+        }
+        _ => {
+            info!(target: "wwv", "building world + dataset"; threads = wwv::par::threads());
+            build_dataset(&build_world())
+        }
+    };
+    let store = Arc::new(ShardedStore::build(&dataset, DEFAULT_SHARDS));
     let mut catalog = Catalog::new();
     catalog.insert("full", Arc::clone(&store));
     let server = Server::start(Arc::new(catalog), ServerConfig::default());
     let handle = server.handle();
+    if let Some(path) = &args.watch_snapshot {
+        spawn_snapshot_watcher(path.clone(), server.handle());
+    }
 
     if args.loadgen {
         let config = LoadgenConfig {
@@ -137,14 +315,17 @@ fn main() {
         wwv::par::set_threads(args.threads);
     }
 
+    // These manage their own dataset: `snapshot migrate` and
+    // `serve --snapshot` read a file, so the world build may be skipped.
+    match command.as_str() {
+        "serve" => return serve(&args),
+        "snapshot" => return snapshot_cmd(&args),
+        _ => {}
+    }
+
     info!(target: "wwv", "building world + dataset"; threads = wwv::par::threads());
-    let world = World::new(WorldConfig::small());
-    let dataset = DatasetBuilder::new(&world)
-        .months(&[Month::February2022])
-        .base_volume(2.0e8)
-        .client_threshold(500)
-        .max_depth(3_000)
-        .build();
+    let world = build_world();
+    let dataset = build_dataset(&world);
     let ctx = AnalysisContext::with_depth(&world, &dataset, 2_000);
 
     match command.as_str() {
@@ -217,7 +398,6 @@ fn main() {
                 println!("  {other}: {s:.3}");
             }
         }
-        "serve" => serve(&dataset, &args),
         "chaos" => {
             let cfg = wwv::chaos::ChaosConfig { seed: args.seed, ..Default::default() };
             let report = wwv::chaos::run_matrix(&dataset, &cfg);
@@ -234,9 +414,9 @@ fn main() {
         }
         "save" => {
             let Some(path) = args.positional.get(1) else { usage() };
-            let bytes = persist::to_binary(&dataset);
+            let bytes = persist::write_snapshot(&dataset);
             std::fs::write(path, &bytes).expect("write dataset snapshot");
-            println!("wrote {} bytes to {path}", bytes.len());
+            println!("wrote {} bytes to {path} (columnar snapshot format)", bytes.len());
         }
         _ => usage(),
     }

@@ -1,0 +1,116 @@
+//! Golden snapshot fixture: a checked-in `.snap` file pins the byte-level
+//! snapshot format. If an encoder change shifts even one byte, this fails —
+//! deliberately, because readers in the wild would see a different file.
+//! Regenerate with:
+//!
+//! ```text
+//! WWV_REGEN_GOLDEN=1 cargo test --test golden_snapshot
+//! ```
+//!
+//! The fixture doubles as a paper-findings anchor: the decoded dataset must
+//! reproduce the §4.1.2 headline numbers (top-1 site ≈ 17% of global
+//! Windows page loads; Google leading nearly every country) exactly as
+//! `tests/paper_findings.rs` computes them on the full-size fixture.
+
+use std::path::PathBuf;
+use wwv::core::concentration::headline_stats;
+use wwv::core::AnalysisContext;
+use wwv::telemetry::{persist, ChromeDataset, DatasetBuilder};
+use wwv::world::{Month, World, WorldConfig};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tiny.snap")
+}
+
+/// The reduced-scale deterministic world the fixture freezes. Small pools
+/// and a shallow depth keep the checked-in file near 100 KB.
+fn golden_world() -> World {
+    World::new(WorldConfig {
+        global_pool: 100,
+        language_pool: 40,
+        regional_pool: 30,
+        national_pool: 80,
+        ..WorldConfig::small()
+    })
+}
+
+fn golden_dataset(world: &World) -> ChromeDataset {
+    DatasetBuilder::new(world)
+        .months(&[Month::February2022])
+        .base_volume(5.0e7)
+        .client_threshold(200)
+        .max_depth(64)
+        .build()
+}
+
+#[test]
+fn golden_snapshot_is_byte_stable_and_anchors_paper_findings() {
+    let world = golden_world();
+    let dataset = golden_dataset(&world);
+    let encoded = persist::write_snapshot(&dataset);
+
+    let path = golden_path();
+    if std::env::var_os("WWV_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &encoded).unwrap();
+        eprintln!("regenerated {} ({} bytes)", path.display(), encoded.len());
+    }
+
+    let golden = bytes::Bytes::from(
+        std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); regenerate with \
+                 WWV_REGEN_GOLDEN=1 cargo test --test golden_snapshot",
+                path.display()
+            )
+        }),
+    );
+
+    // 1. The deterministic build still encodes to the exact golden bytes:
+    //    any format or generator drift is a deliberate, reviewed change.
+    assert_eq!(
+        encoded.as_ref(),
+        golden.as_ref(),
+        "snapshot encoding drifted from the golden fixture \
+         (if intentional, regenerate with WWV_REGEN_GOLDEN=1)"
+    );
+
+    // 2. The golden file decodes, and re-encoding the decoded dataset is
+    //    byte-identical: decode is lossless w.r.t. the canonical encoding.
+    let decoded = persist::read_snapshot(golden.clone()).expect("golden snapshot decodes");
+    assert_eq!(persist::write_snapshot(&decoded).as_ref(), golden.as_ref());
+    assert_eq!(decoded, dataset, "decoded dataset differs from the built one");
+
+    // 3. Paper anchors hold on the decoded dataset (§4.1.2): the single top
+    //    site carries ≈17% of global Windows page loads, and Google leads
+    //    the Windows page-load ranking nearly everywhere.
+    let ctx = AnalysisContext::with_depth(&world, &decoded, 200);
+    let stats = headline_stats(&ctx);
+    assert!(
+        (stats.top1_share_windows_loads - 0.17).abs() < 0.005,
+        "top-1 Windows page-load share {} strayed from the paper's 17%",
+        stats.top1_share_windows_loads
+    );
+    let countries = ctx.countries().count();
+    assert!(
+        stats.google_top_loads_countries > countries / 2,
+        "google tops only {}/{countries} countries",
+        stats.google_top_loads_countries
+    );
+    let (lo, hi) = stats.country_top1_range;
+    assert!(lo > 0.0 && hi < 1.0, "degenerate per-country top-1 range ({lo}, {hi})");
+}
+
+#[test]
+fn golden_snapshot_survives_a_migrate_cycle() {
+    // `wwv snapshot migrate` is read_auto → write_snapshot; the golden file
+    // must pass through it unchanged (migration is idempotent on the new
+    // format).
+    let path = golden_path();
+    let Ok(bytes) = std::fs::read(&path) else {
+        panic!("missing golden fixture; see golden_snapshot test header")
+    };
+    let golden = bytes::Bytes::from(bytes);
+    let dataset = persist::read_auto(golden.clone()).expect("read_auto sniffs snap format");
+    assert_eq!(persist::write_snapshot(&dataset).as_ref(), golden.as_ref());
+}
