@@ -1,0 +1,95 @@
+//! Tracing overhead: the same loadgen replay with the `wwv-trace` layer
+//! enabled vs disabled. The acceptance bar for request-scoped tracing is
+//! <5% wall-time overhead on the serve path (same budget discipline as
+//! `obs_overhead`).
+//!
+//! Three configurations bracket the cost:
+//!
+//! * `disabled` — no recorder, no sampling: the baseline;
+//! * `sampled_1_16` — the recommended production setting (one request in
+//!   16 carries a trace id and records its timeline);
+//! * `sampled_all` — every request traced: the worst case, still bounded
+//!   because recording is a handful of mutex-guarded pushes per request.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use wwv_bench::bench_fixture;
+use wwv_serve::loadgen::{self, LoadgenConfig};
+use wwv_serve::server::{Server, ServerConfig};
+use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_trace::{ClockMode, LiveMetrics, TraceRecorder};
+
+fn bench(c: &mut Criterion) {
+    let (_, dataset) = bench_fixture();
+    let store = Arc::new(ShardedStore::build(dataset, 16));
+    let mut catalog = Catalog::new();
+    catalog.insert("full", Arc::clone(&store));
+    let catalog = Arc::new(catalog);
+
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 200;
+
+    let mut group = c.benchmark_group("trace_overhead/loadgen");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((THREADS * REQUESTS) as u64));
+    for (label, sample, traced) in
+        [("disabled", 0u64, false), ("sampled_1_16", 16, true), ("sampled_all", 1, true)]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = ServerConfig {
+                    tracer: traced
+                        .then(|| Arc::new(TraceRecorder::new(ClockMode::Wall))),
+                    live: traced.then(|| Arc::new(LiveMetrics::default_window())),
+                    ..ServerConfig::default()
+                };
+                let server = Server::start(Arc::clone(&catalog), config);
+                let handle = server.handle();
+                let config = LoadgenConfig {
+                    threads: THREADS,
+                    requests_per_thread: REQUESTS,
+                    trace_sample: sample,
+                    ..LoadgenConfig::default()
+                };
+                let report = loadgen::run(&handle, &store, &config);
+                server.shutdown();
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+
+    // Per-event micro-costs, for the <5% budget accounting.
+    let mut group = c.benchmark_group("trace_overhead/primitives");
+    let recorder = TraceRecorder::new(ClockMode::Wall);
+    let id = wwv_trace::TraceId::mint(1, 0, 0);
+    // `start` replaces the timeline each iteration, keeping memory bounded
+    // while measuring the full per-request recording cost.
+    group.bench_function("record_timeline", |b| {
+        b.iter(|| {
+            recorder.start(black_box(id), 0, 0, "top_k");
+            recorder.event(id, wwv_trace::Stage::Queue, 2);
+            recorder.event(id, wwv_trace::Stage::Engine, black_box(7));
+            recorder.event(id, wwv_trace::Stage::Serialize, 1);
+            recorder.finish(id, 11, true);
+        })
+    });
+    let sampler = wwv_trace::Sampler::new(16);
+    group.bench_function("mint_and_sample", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            let id = wwv_trace::TraceId::mint(1, 0, black_box(seq));
+            black_box(sampler.sample(id))
+        })
+    });
+    let live = LiveMetrics::default_window();
+    group.bench_function("window_record", |b| {
+        b.iter(|| live.record(black_box(250), true, Some(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -30,8 +30,17 @@ pub fn bucket_bound(i: usize) -> u64 {
     }
 }
 
-/// Representative value for bucket `i` (≈ geometric midpoint).
-fn bucket_midpoint(i: usize) -> f64 {
+/// Representative value for bucket `i`: the arithmetic midpoint
+/// `1.5 · 2^(i−1)` of its `[2^(i−1), 2^i)` range.
+///
+/// Quantile estimates resolve to this midpoint, which bounds the
+/// **worst-case relative error** of any reported quantile to the bucket
+/// geometry: a true value at the bucket floor `2^(i−1)` is over-reported by
+/// at most **+50%**, one just under the ceiling `2^i` under-reported by at
+/// most **−25%**. (Reporting the bucket *bound* instead would make the
+/// floor error +100%.) `wwv-trace` windowed quantiles use the same
+/// midpoints, so live and cumulative quantiles agree bucket-for-bucket.
+pub fn bucket_midpoint(i: usize) -> f64 {
     if i == 0 {
         0.0
     } else {
@@ -238,6 +247,33 @@ mod tests {
         let (p50, p90, p99) = (s.p50.unwrap(), s.p90.unwrap(), s.p99.unwrap());
         assert!(p50 <= p90 && p90 <= p99, "{s:?}");
         assert!(p99 <= s.max as f64);
+    }
+
+    /// Pins the midpoint estimator and its documented worst-case relative
+    /// error envelope: +50% at a bucket floor, −25% just under the ceiling.
+    #[test]
+    fn quantiles_report_bucket_midpoint_within_error_bounds() {
+        // 1025 and 2047 both land in bucket 11 ([1024, 2048), midpoint 1536).
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(2047), 11);
+        assert_eq!(bucket_midpoint(11), 1536.0);
+        let h = Histogram::unregistered();
+        h.record(1025);
+        h.record(2047);
+        let s = h.snapshot();
+        // Two same-bucket values: every quantile is the midpoint (the
+        // [min, max] clamp is a no-op since 1025 ≤ 1536 ≤ 2047).
+        assert_eq!(s.p50, Some(1536.0));
+        assert_eq!(s.p99, Some(1536.0));
+        // Worst-case relative error at the bucket extremes.
+        let floor_err = (1536.0 - 1025.0) / 1025.0;
+        let ceil_err = (1536.0 - 2047.0) / 2047.0;
+        assert!(floor_err > 0.0 && floor_err <= 0.50, "{floor_err}");
+        assert!((-0.25..0.0).contains(&ceil_err), "{ceil_err}");
+        // A lone value is clamped to the exact observation, not a midpoint.
+        let one = Histogram::unregistered();
+        one.record(1025);
+        assert_eq!(one.snapshot().p50, Some(1025.0));
     }
 
     #[test]

@@ -23,10 +23,22 @@ use crate::query::{
 use crate::store::{Catalog, ShardedStore, StoredList};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 use wwv_stats::ranking::RankedList;
 use wwv_stats::rbo::rbo_classic;
 use wwv_telemetry::crux::DEFAULT_BUCKETS;
 use wwv_world::{Breakdown, Metric, Month, Platform, TrafficCurve, COUNTRIES};
+
+/// Per-request execution metadata surfaced by [`QueryEngine::execute_info`]
+/// for the request-scoped trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecInfo {
+    /// `Some(true)` = result-cache hit, `Some(false)` = miss (computed and
+    /// memoized), `None` = not a cacheable query.
+    pub cache: Option<bool>,
+    /// Time spent inside the engine (lookup or compute), microseconds.
+    pub engine_us: u64,
+}
 
 /// Executes queries against the live catalog; supports zero-downtime swaps.
 pub struct QueryEngine {
@@ -87,8 +99,16 @@ impl QueryEngine {
 
     /// Executes one query, going through the result cache when applicable.
     pub fn execute(&self, query: &Query) -> Response {
+        self.execute_info(query).0
+    }
+
+    /// [`QueryEngine::execute`] plus per-request execution metadata for
+    /// tracing: cache disposition and time spent inside the engine.
+    pub fn execute_info(&self, query: &Query) -> (Response, ExecInfo) {
         let _span = wwv_obs::span!("serve.execute");
         let reg = wwv_obs::global();
+        let t0 = Instant::now();
+        let engine_us = |t0: Instant| t0.elapsed().as_micros() as u64;
         // Pin one catalog for the whole query: every lookup below resolves
         // against this epoch, so a concurrent swap can never produce a
         // response mixing two snapshots.
@@ -99,7 +119,7 @@ impl QueryEngine {
         if q.cacheable() {
             if let Some(hit) = self.cache.lock().get(&(epoch, q.clone())).cloned() {
                 reg.counter("serve.cache.hit").inc();
-                return hit;
+                return (hit, ExecInfo { cache: Some(true), engine_us: engine_us(t0) });
             }
             reg.counter("serve.cache.miss").inc();
             let resp = self.compute(&catalog, &q);
@@ -107,9 +127,10 @@ impl QueryEngine {
             if resp.is_ok() && self.cache.lock().insert((epoch, q), resp.clone()) {
                 reg.counter("serve.cache.eviction").inc();
             }
-            return resp;
+            return (resp, ExecInfo { cache: Some(false), engine_us: engine_us(t0) });
         }
-        self.compute(&catalog, &q)
+        let resp = self.compute(&catalog, &q);
+        (resp, ExecInfo { cache: None, engine_us: engine_us(t0) })
     }
 
     fn resolve<'a>(
@@ -437,6 +458,18 @@ mod tests {
         let Response::Rbo(r) = eng.execute(&rev) else { panic!() };
         assert_eq!(f, r);
         assert_eq!(eng.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn execute_info_reports_cache_disposition() {
+        let eng = engine();
+        let q = Query::Rbo { a: us_key(), b: us_key(), depth: 50, p_permille: 900 };
+        let (_, info) = eng.execute_info(&q);
+        assert_eq!(info.cache, Some(false), "first analysis query is a miss");
+        let (_, info) = eng.execute_info(&q);
+        assert_eq!(info.cache, Some(true), "second identical query hits");
+        let (_, info) = eng.execute_info(&Query::TopK { key: us_key(), k: 3 });
+        assert_eq!(info.cache, None, "point lookups bypass the cache");
     }
 
     #[test]

@@ -27,7 +27,14 @@
 //!   per-request deadlines, explicit overload rejection, graceful drain on
 //!   shutdown, and both in-process and `std::net` TCP transports;
 //! * [`loadgen`] — a deterministic Zipf-replay load generator reporting
-//!   qps, latency quantiles, and cache hit rate as JSON.
+//!   qps, latency quantiles, per-worker skew, and cache hit rate as JSON.
+//!
+//! The serve path is traceable end-to-end via `wwv-trace`: a sampled
+//! request carries a 64-bit trace id in the protocol's extension block,
+//! workers append queue/cache/engine stage events (plus injected-fault
+//! events), the response serialization is timed in the transport, and a
+//! [`ServerConfig::live`] rolling window answers "qps and p99 over the last
+//! minute" through the `wwv-trace` exposition endpoint.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -60,9 +67,13 @@ pub mod testutil;
 pub mod transport;
 
 pub use cache::{CacheStats, LruCache};
-pub use engine::QueryEngine;
-pub use loadgen::{LoadReport, LoadgenConfig, QueryMix};
-pub use protocol::{decode_request, decode_response, encode_request, encode_response, ProtoError};
+pub use engine::{ExecInfo, QueryEngine};
+pub use loadgen::{LoadReport, LoadgenConfig, QueryMix, WorkerLoad};
+pub use protocol::{
+    decode_request, decode_request_meta, decode_response, decode_response_meta, encode_request,
+    encode_request_traced, encode_response, encode_response_traced, ProtoError, RequestMeta,
+    ResponseMeta, EXT_TRACE_ID, FLAG_EXT,
+};
 pub use query::{ErrorCode, ListKey, Query, Response};
 pub use server::{ServeError, ServeHandle, Server, ServerConfig};
 pub use store::{Catalog, ShardedStore, StoredList};

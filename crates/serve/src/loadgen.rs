@@ -22,6 +22,7 @@ use crate::transport::{InProcTransport, Transport};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+use wwv_trace::{Sampler, TraceId};
 use wwv_world::Breakdown;
 
 /// Relative weights of each query kind in the generated mix.
@@ -78,6 +79,10 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Query-kind mix.
     pub mix: QueryMix,
+    /// Deterministic head sampling: trace one request in `N` (0 = off).
+    /// Trace ids are a pure function of `(seed, thread, seq)`, so the same
+    /// seed samples the same subset of requests on every run.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -88,8 +93,29 @@ impl Default for LoadgenConfig {
             zipf_exponent: 1.0,
             seed: 0xC0FFEE,
             mix: QueryMix::default(),
+            trace_sample: 0,
         }
     }
+}
+
+/// Per-worker summary inside a [`LoadReport`]: exposes load imbalance a
+/// pooled histogram hides (one slow client thread vs a uniformly slow run).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerLoad {
+    /// Worker (client thread) index.
+    pub thread: usize,
+    /// Requests this worker issued.
+    pub issued: u64,
+    /// Non-error responses.
+    pub ok: u64,
+    /// Error responses plus transport failures.
+    pub errors: u64,
+    /// This worker's throughput over its own wall time, queries per second.
+    pub qps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
 }
 
 /// JSON-serializable run summary.
@@ -121,6 +147,14 @@ pub struct LoadReport {
     pub cache: CacheStats,
     /// Cache hit rate in `[0, 1]`.
     pub cache_hit_rate: f64,
+    /// Requests carrying a sampled trace id.
+    pub traced: u64,
+    /// Per-worker breakdown, in thread order.
+    pub per_worker: Vec<WorkerLoad>,
+    /// Max/min ratio of per-worker qps (1.0 = perfectly balanced).
+    pub worker_qps_skew: f64,
+    /// Max/min ratio of per-worker p99 latency (1.0 = perfectly balanced).
+    pub worker_p99_skew: f64,
 }
 
 impl LoadReport {
@@ -183,6 +217,8 @@ struct WorkerTally {
     ok: u64,
     errors: u64,
     transport_errors: u64,
+    traced: u64,
+    elapsed_s: f64,
 }
 
 fn list_key(b: &Breakdown) -> ListKey {
@@ -250,32 +286,54 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
     let zipf = Arc::new(ZipfRanks::new(store.max_depth.clamp(1, 10_000), config.zipf_exponent));
     let latency_hist = wwv_obs::global().histogram("serve.loadgen.latency_us");
 
+    let sampler = Sampler::new(config.trace_sample);
+
     let start = Instant::now();
     let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.threads.max(1))
             .map(|t| {
+                let tracer = handle.tracer().cloned();
                 let mut transport = InProcTransport::new(handle.clone());
                 let breakdowns = Arc::clone(&breakdowns);
                 let zipf = Arc::clone(&zipf);
                 let store = Arc::clone(store);
                 let mix = config.mix;
                 let requests = config.requests_per_thread;
-                let mut rng = Rng(config.seed.wrapping_add(t as u64));
+                let seed = config.seed;
+                let mut rng = Rng(seed.wrapping_add(t as u64));
                 let latency_hist = latency_hist.clone();
                 scope.spawn(move || {
+                    let worker_start = Instant::now();
                     let mut tally = WorkerTally {
                         latencies_us: Vec::with_capacity(requests),
                         ok: 0,
                         errors: 0,
                         transport_errors: 0,
+                        traced: 0,
+                        elapsed_s: 0.0,
                     };
-                    for _ in 0..requests {
+                    for seq in 0..requests {
                         let query =
                             generate_query(&mut rng, &mix, &breakdowns, &store, &zipf);
+                        // Head sampling is a pure function of the minted id,
+                        // so reruns trace the exact same requests.
+                        let trace = if sampler.is_active() {
+                            let id = TraceId::mint(seed, t as u64, seq as u64);
+                            sampler.sample(id).then_some(id)
+                        } else {
+                            None
+                        };
+                        if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
+                            tally.traced += 1;
+                            rec.start(id, t as u32, seq as u64, query.kind());
+                        }
                         let begin = Instant::now();
-                        match transport.call(&query) {
+                        match transport.call_traced(&query, trace.map(|id| id.as_u64())) {
                             Ok(response) => {
                                 let us = begin.elapsed().as_micros() as u64;
+                                if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
+                                    rec.finish(id, us, response.is_ok());
+                                }
                                 tally.latencies_us.push(us);
                                 latency_hist.record(us);
                                 if response.is_ok() {
@@ -284,9 +342,15 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
                                     tally.errors += 1;
                                 }
                             }
-                            Err(_) => tally.transport_errors += 1,
+                            Err(_) => {
+                                if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
+                                    rec.finish(id, begin.elapsed().as_micros() as u64, false);
+                                }
+                                tally.transport_errors += 1;
+                            }
                         }
                     }
+                    tally.elapsed_s = worker_start.elapsed().as_secs_f64();
                     tally
                 })
             })
@@ -296,18 +360,48 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
     let elapsed = start.elapsed();
 
     let mut latencies: Vec<u64> = Vec::new();
-    let (mut ok, mut errors, mut transport_errors) = (0u64, 0u64, 0u64);
-    for t in tallies {
-        latencies.extend(t.latencies_us);
-        ok += t.ok;
-        errors += t.errors;
-        transport_errors += t.transport_errors;
+    let (mut ok, mut errors, mut transport_errors, mut traced) = (0u64, 0u64, 0u64, 0u64);
+    let mut per_worker = Vec::with_capacity(tallies.len());
+    for (t, tally) in tallies.into_iter().enumerate() {
+        let mut worker_sorted: Vec<f64> =
+            tally.latencies_us.iter().map(|l| *l as f64).collect();
+        worker_sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let wq = |p: f64| {
+            wwv_stats::quantile::quantile_sorted(&worker_sorted, p).unwrap_or(0.0)
+        };
+        per_worker.push(WorkerLoad {
+            thread: t,
+            issued: config.requests_per_thread as u64,
+            ok: tally.ok,
+            errors: tally.errors + tally.transport_errors,
+            qps: if tally.elapsed_s > 0.0 {
+                (tally.ok + tally.errors) as f64 / tally.elapsed_s
+            } else {
+                0.0
+            },
+            p50_us: wq(0.50),
+            p99_us: wq(0.99),
+        });
+        latencies.extend(tally.latencies_us);
+        ok += tally.ok;
+        errors += tally.errors;
+        transport_errors += tally.transport_errors;
+        traced += tally.traced;
     }
     latencies.sort_unstable();
     let sorted: Vec<f64> = latencies.iter().map(|l| *l as f64).collect();
     let q = |p: f64| wwv_stats::quantile::quantile_sorted(&sorted, p).unwrap_or(0.0);
     let issued = (config.threads.max(1) * config.requests_per_thread) as u64;
     let cache = handle.cache_stats();
+    let skew = |values: Vec<f64>| -> f64 {
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        if min > 0.0 {
+            max / min
+        } else {
+            0.0
+        }
+    };
     LoadReport {
         threads: config.threads.max(1),
         issued,
@@ -326,6 +420,10 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
         max_us: latencies.last().copied().unwrap_or(0),
         cache,
         cache_hit_rate: cache.hit_rate(),
+        traced,
+        worker_qps_skew: skew(per_worker.iter().map(|w| w.qps).collect()),
+        worker_p99_skew: skew(per_worker.iter().map(|w| w.p99_us).collect()),
+        per_worker,
     }
 }
 
@@ -359,6 +457,44 @@ mod tests {
         }
         let f = Rng(9).next_f64();
         assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn report_carries_per_worker_breakdown_and_skew() {
+        let catalog = Arc::new(
+            crate::store::Catalog::new().with_dataset("full", crate::testutil::tiny_dataset()),
+        );
+        let server = crate::server::Server::start(catalog, crate::server::ServerConfig::default());
+        let catalog = server.engine().catalog();
+        let store = Arc::clone(catalog.get("").expect("default snapshot"));
+        let config = LoadgenConfig {
+            threads: 3,
+            requests_per_thread: 40,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&server.handle(), &store, &config);
+        assert_eq!(report.per_worker.len(), 3);
+        assert_eq!(report.issued, 120);
+        for (i, w) in report.per_worker.iter().enumerate() {
+            assert_eq!(w.thread, i);
+            assert_eq!(w.issued, 40);
+            assert_eq!(w.ok + w.errors, 40, "every request accounted: {w:?}");
+            assert!(w.qps > 0.0, "{w:?}");
+        }
+        // Skews are max/min ratios: ≥ 1.0 whenever every worker has a
+        // nonzero denominator (0.0 is the degenerate-denominator sentinel).
+        assert!(report.worker_qps_skew >= 1.0, "{}", report.worker_qps_skew);
+        assert!(
+            report.worker_p99_skew == 0.0 || report.worker_p99_skew >= 1.0,
+            "{}",
+            report.worker_p99_skew
+        );
+        assert_eq!(report.traced, 0, "tracing defaults off");
+        let json = report.to_json();
+        assert!(json.contains("\"per_worker\""), "{json}");
+        assert!(json.contains("\"worker_qps_skew\""), "{json}");
+        assert!(json.contains("\"worker_p99_skew\""), "{json}");
+        server.shutdown();
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! before reading: a corrupt or truncated frame yields a typed
 //! [`ProtoError`], never a panic — the serve layer treats the network as
 //! hostile, exactly like the telemetry ingest path.
+//!
+//! **Extension byte.** Opcodes and error codes both live below `0x80`, so
+//! bit 7 of the opcode/status byte is reserved as [`FLAG_EXT`]: when set, a
+//! `u8` extension-flags byte follows, and each set bit introduces its
+//! fixed-size payload in bit order. The only assigned bit is
+//! [`EXT_TRACE_ID`] (a `u64` request-scoped trace id, little-endian).
+//! Encoders that attach nothing emit byte-identical pre-extension frames —
+//! old clients and servers interoperate unchanged — while unknown extension
+//! bits are rejected as [`ProtoError::Malformed`] rather than skipped, since
+//! a decoder cannot know their payload size.
 
 use crate::query::{
     ConcentrationInfo, ErrorCode, ListKey, ProfileInfo, Query, RankInfo, Response, SiteEntry,
@@ -27,6 +37,12 @@ use wwv_world::{Metric, Month, Platform};
 
 /// Maximum payload size accepted by either decoder (DoS guard).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bit 7 of the opcode/status byte: an extension-flags byte follows.
+pub const FLAG_EXT: u8 = 0x80;
+
+/// Extension bit 0: a `u64` trace id (little-endian) follows the flags.
+pub const EXT_TRACE_ID: u8 = 0x01;
 
 /// Decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +151,37 @@ fn get_list_key(p: &mut Bytes) -> Result<ListKey, ProtoError> {
     Ok(ListKey { snapshot, country, platform, metric, month })
 }
 
+/// Writes the opcode/status byte plus the optional extension block.
+fn put_tagged(out: &mut BytesMut, tag: u8, trace: Option<u64>) {
+    debug_assert!(tag & FLAG_EXT == 0, "tag collides with the extension bit");
+    match trace {
+        Some(t) => {
+            out.put_u8(tag | FLAG_EXT);
+            out.put_u8(EXT_TRACE_ID);
+            out.put_u64_le(t);
+        }
+        None => out.put_u8(tag),
+    }
+}
+
+/// Reads the extension block announced by [`FLAG_EXT`]. Unknown bits are a
+/// hard error: their payload size is unknowable, so skipping would desync.
+fn get_ext(p: &mut Bytes) -> Result<Option<u64>, ProtoError> {
+    if p.remaining() < 1 {
+        return Err(ProtoError::Malformed("truncated extension flags"));
+    }
+    let ext = p.get_u8();
+    if ext & !EXT_TRACE_ID != 0 {
+        return Err(ProtoError::Malformed("unknown extension flag"));
+    }
+    if ext & EXT_TRACE_ID != 0 {
+        need(p, 8, "truncated trace id")?;
+        Ok(Some(p.get_u64_le()))
+    } else {
+        Ok(None)
+    }
+}
+
 fn frame(payload: BytesMut) -> Bytes {
     let mut out = BytesMut::with_capacity(4 + payload.len());
     out.put_u32_le(payload.len() as u32);
@@ -168,45 +215,48 @@ const OP_SITE_PROFILE: u8 = 4;
 const OP_RBO: u8 = 5;
 const OP_CONCENTRATION: u8 = 6;
 
-/// Encodes a request frame.
-pub fn encode_request(id: u64, query: &Query) -> Bytes {
-    let mut p = BytesMut::with_capacity(64);
-    p.put_u64_le(id);
+fn opcode_of(query: &Query) -> u8 {
     match query {
-        Query::Ping => p.put_u8(OP_PING),
+        Query::Ping => OP_PING,
+        Query::TopK { .. } => OP_TOP_K,
+        Query::SiteRank { .. } => OP_SITE_RANK,
+        Query::RankBucket { .. } => OP_RANK_BUCKET,
+        Query::SiteProfile { .. } => OP_SITE_PROFILE,
+        Query::Rbo { .. } => OP_RBO,
+        Query::Concentration { .. } => OP_CONCENTRATION,
+    }
+}
+
+fn put_query_body(p: &mut BytesMut, query: &Query) {
+    match query {
+        Query::Ping => {}
         Query::TopK { key, k } => {
-            p.put_u8(OP_TOP_K);
-            put_list_key(&mut p, key);
+            put_list_key(p, key);
             p.put_u32_le(*k);
         }
         Query::SiteRank { key, domain } => {
-            p.put_u8(OP_SITE_RANK);
-            put_list_key(&mut p, key);
-            put_str8(&mut p, domain);
+            put_list_key(p, key);
+            put_str8(p, domain);
         }
         Query::RankBucket { key, domain } => {
-            p.put_u8(OP_RANK_BUCKET);
-            put_list_key(&mut p, key);
-            put_str8(&mut p, domain);
+            put_list_key(p, key);
+            put_str8(p, domain);
         }
         Query::SiteProfile { snapshot, platform, metric, month, domain } => {
-            p.put_u8(OP_SITE_PROFILE);
-            put_str8(&mut p, snapshot);
+            put_str8(p, snapshot);
             p.put_u8(platform_tag(*platform));
             p.put_u8(metric_tag(*metric));
             p.put_u8(month.index() as u8);
-            put_str8(&mut p, domain);
+            put_str8(p, domain);
         }
         Query::Rbo { a, b, depth, p_permille } => {
-            p.put_u8(OP_RBO);
-            put_list_key(&mut p, a);
-            put_list_key(&mut p, b);
+            put_list_key(p, a);
+            put_list_key(p, b);
             p.put_u32_le(*depth);
             p.put_u16_le(*p_permille);
         }
         Query::Concentration { key, depths } => {
-            p.put_u8(OP_CONCENTRATION);
-            put_list_key(&mut p, key);
+            put_list_key(p, key);
             debug_assert!(depths.len() <= u8::MAX as usize);
             p.put_u8(depths.len() as u8);
             for d in depths {
@@ -214,15 +264,51 @@ pub fn encode_request(id: u64, query: &Query) -> Bytes {
             }
         }
     }
+}
+
+/// Encodes a request frame. Byte-identical to the pre-extension encoding.
+pub fn encode_request(id: u64, query: &Query) -> Bytes {
+    encode_request_traced(id, query, None)
+}
+
+/// Encodes a request frame, optionally carrying a trace id in the
+/// extension block. `trace: None` emits a legacy frame.
+pub fn encode_request_traced(id: u64, query: &Query, trace: Option<u64>) -> Bytes {
+    let mut p = BytesMut::with_capacity(64);
+    p.put_u64_le(id);
+    put_tagged(&mut p, opcode_of(query), trace);
+    put_query_body(&mut p, query);
     frame(p)
+}
+
+/// A decoded request plus its extension metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMeta {
+    /// Request id.
+    pub id: u64,
+    /// The query itself.
+    pub query: Query,
+    /// Trace id from the extension block, if the client attached one.
+    pub trace: Option<u64>,
 }
 
 /// Decodes one request frame from the front of `buf`, advancing past it.
 pub fn decode_request(buf: &mut Bytes) -> Result<(u64, Query), ProtoError> {
+    decode_request_meta(buf).map(|m| (m.id, m.query))
+}
+
+/// [`decode_request`] keeping the extension metadata.
+pub fn decode_request_meta(buf: &mut Bytes) -> Result<RequestMeta, ProtoError> {
     let mut p = split_payload(buf)?;
     need(&p, 9, "truncated request header")?;
     let id = p.get_u64_le();
-    let op = p.get_u8();
+    let mut op = p.get_u8();
+    let trace = if op & FLAG_EXT != 0 {
+        op &= !FLAG_EXT;
+        get_ext(&mut p)?
+    } else {
+        None
+    };
     let query = match op {
         OP_PING => Query::Ping,
         OP_TOP_K => {
@@ -267,7 +353,7 @@ pub fn decode_request(buf: &mut Bytes) -> Result<(u64, Query), ProtoError> {
     if p.has_remaining() {
         return Err(ProtoError::Malformed("trailing request bytes"));
     }
-    Ok((id, query))
+    Ok(RequestMeta { id, query, trace })
 }
 
 // ---- responses ---------------------------------------------------------
@@ -280,20 +366,26 @@ const KIND_SITE_PROFILE: u8 = 4;
 const KIND_RBO: u8 = 5;
 const KIND_CONCENTRATION: u8 = 6;
 
-/// Encodes a response frame.
+/// Encodes a response frame. Byte-identical to the pre-extension encoding.
 pub fn encode_response(id: u64, response: &Response) -> Bytes {
+    encode_response_traced(id, response, None)
+}
+
+/// Encodes a response frame, optionally echoing a trace id in the
+/// extension block. `trace: None` emits a legacy frame.
+pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) -> Bytes {
     let mut p = BytesMut::with_capacity(64);
     p.put_u64_le(id);
     match response {
         Response::Error(code, msg) => {
-            p.put_u8(*code as u8);
+            put_tagged(&mut p, *code as u8, trace);
             let bytes = msg.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
             p.put_u16_le(len as u16);
             p.put_slice(&bytes[..len]);
         }
         ok => {
-            p.put_u8(0);
+            put_tagged(&mut p, 0, trace);
             match ok {
                 Response::Pong => p.put_u8(KIND_PONG),
                 Response::TopK(entries) => {
@@ -369,12 +461,34 @@ pub fn encode_response(id: u64, response: &Response) -> Bytes {
     frame(p)
 }
 
+/// A decoded response plus its extension metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseMeta {
+    /// Request id the response answers.
+    pub id: u64,
+    /// The response itself.
+    pub response: Response,
+    /// Trace id echoed from the request's extension block, if any.
+    pub trace: Option<u64>,
+}
+
 /// Decodes one response frame from the front of `buf`, advancing past it.
 pub fn decode_response(buf: &mut Bytes) -> Result<(u64, Response), ProtoError> {
+    decode_response_meta(buf).map(|m| (m.id, m.response))
+}
+
+/// [`decode_response`] keeping the extension metadata.
+pub fn decode_response_meta(buf: &mut Bytes) -> Result<ResponseMeta, ProtoError> {
     let mut p = split_payload(buf)?;
     need(&p, 9, "truncated response header")?;
     let id = p.get_u64_le();
-    let status = p.get_u8();
+    let mut status = p.get_u8();
+    let trace = if status & FLAG_EXT != 0 {
+        status &= !FLAG_EXT;
+        get_ext(&mut p)?
+    } else {
+        None
+    };
     if status != 0 {
         let code =
             ErrorCode::from_u8(status).ok_or(ProtoError::Malformed("unknown error code"))?;
@@ -387,7 +501,7 @@ pub fn decode_response(buf: &mut Bytes) -> Result<(u64, Response), ProtoError> {
         if p.has_remaining() {
             return Err(ProtoError::Malformed("trailing response bytes"));
         }
-        return Ok((id, Response::Error(code, msg)));
+        return Ok(ResponseMeta { id, response: Response::Error(code, msg), trace });
     }
     need(&p, 1, "truncated response kind")?;
     let kind = p.get_u8();
@@ -489,7 +603,7 @@ pub fn decode_response(buf: &mut Bytes) -> Result<(u64, Response), ProtoError> {
     if p.has_remaining() {
         return Err(ProtoError::Malformed("trailing response bytes"));
     }
-    Ok((id, response))
+    Ok(ResponseMeta { id, response, trace })
 }
 
 #[cfg(test)]
@@ -619,9 +733,9 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_yield_typed_errors() {
-        // Unknown opcode.
+        // Unknown opcode (bit 7 clear, so it's not an extension frame).
         let mut raw = BytesMut::from(&encode_request(1, &Query::Ping)[..]);
-        raw[12] = 0xEE; // opcode sits after len(4) + id(8)
+        raw[12] = 0x6E; // opcode sits after len(4) + id(8)
         assert!(matches!(
             decode_request(&mut raw.freeze()),
             Err(ProtoError::Malformed("unknown opcode"))
@@ -643,13 +757,82 @@ mod tests {
             decode_request(&mut raw.freeze()),
             Err(ProtoError::Malformed("trailing request bytes"))
         ));
-        // Unknown error status on a response.
+        // Unknown error status on a response (bit 7 clear).
         let mut raw = BytesMut::from(&encode_response(1, &sample_responses()[11])[..]);
-        raw[12] = 0xEE; // status byte
+        raw[12] = 0x6E; // status byte
         assert!(matches!(
             decode_response(&mut raw.freeze()),
             Err(ProtoError::Malformed("unknown error code"))
         ));
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_with_metadata() {
+        for (i, q) in sample_queries().into_iter().enumerate() {
+            let trace = 0xDEAD_BEEF_0000 + i as u64;
+            let mut bytes = encode_request_traced(i as u64, &q, Some(trace));
+            let meta = decode_request_meta(&mut bytes).expect("decodes");
+            assert_eq!(meta.id, i as u64);
+            assert_eq!(meta.query, q);
+            assert_eq!(meta.trace, Some(trace));
+            assert!(bytes.is_empty(), "frame fully consumed");
+        }
+        for (i, r) in sample_responses().into_iter().enumerate() {
+            let mut bytes = encode_response_traced(i as u64, &r, Some(7));
+            let meta = decode_response_meta(&mut bytes).expect("decodes");
+            assert_eq!(meta.id, i as u64);
+            assert_eq!(meta.response, r);
+            assert_eq!(meta.trace, Some(7));
+            assert!(bytes.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn untraced_encoders_emit_legacy_bytes() {
+        // Backward compatibility: a `None` trace must be byte-identical to
+        // the pre-extension encoding — old decoders keep working unchanged.
+        for (i, q) in sample_queries().into_iter().enumerate() {
+            assert_eq!(encode_request(i as u64, &q), encode_request_traced(i as u64, &q, None));
+            let frame = encode_request(i as u64, &q);
+            assert_eq!(frame[12] & FLAG_EXT, 0, "legacy opcode carries no ext bit");
+        }
+        for (i, r) in sample_responses().into_iter().enumerate() {
+            assert_eq!(
+                encode_response(i as u64, &r),
+                encode_response_traced(i as u64, &r, None)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_extension_bits_are_rejected_not_skipped() {
+        let mut raw = BytesMut::from(&encode_request_traced(1, &Query::Ping, Some(42))[..]);
+        // Extension-flags byte sits after len(4) + id(8) + opcode(1).
+        raw[13] |= 0x40;
+        assert!(matches!(
+            decode_request(&mut raw.freeze()),
+            Err(ProtoError::Malformed("unknown extension flag"))
+        ));
+        let mut raw = BytesMut::from(&encode_response_traced(1, &Response::Pong, Some(42))[..]);
+        raw[13] |= 0x02;
+        assert!(matches!(
+            decode_response(&mut raw.freeze()),
+            Err(ProtoError::Malformed("unknown extension flag"))
+        ));
+    }
+
+    #[test]
+    fn traced_frame_truncation_never_panics() {
+        let full = encode_request_traced(9, &sample_queries()[5], Some(0x1234_5678));
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            assert!(decode_request(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
+        }
+        let full = encode_response_traced(9, &sample_responses()[7], Some(0x1234_5678));
+        for cut in 0..full.len() {
+            let mut prefix = full.slice(0..cut);
+            assert!(decode_response(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wwv_fault::{points, FaultKind, FaultPlan};
+use wwv_trace::{LiveMetrics, Stage, TraceId, TraceRecorder};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -35,6 +36,14 @@ pub struct ServerConfig {
     /// consult the `serve.worker` point and honor injected `Delay`s, which
     /// exercises the post-evaluation deadline check.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Trace sink for sampled requests. When set, workers append
+    /// queue/cache/engine (and injected-fault) events for every job that
+    /// carries a trace id; `None` costs nothing on the hot path.
+    pub tracer: Option<Arc<TraceRecorder>>,
+    /// Rolling-window live metrics. When set, every completed job is
+    /// recorded (latency, outcome, cache disposition) and the window is
+    /// epoch-tagged across hot swaps.
+    pub live: Option<Arc<LiveMetrics>>,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +54,8 @@ impl Default for ServerConfig {
             cache_capacity: 1_024,
             default_deadline: None,
             faults: None,
+            tracer: None,
+            live: None,
         }
     }
 }
@@ -73,7 +84,13 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 enum Job {
-    Request { query: Query, deadline: Option<Instant>, reply: Sender<Response> },
+    Request {
+        query: Query,
+        deadline: Option<Instant>,
+        reply: Sender<Response>,
+        trace: Option<TraceId>,
+        enqueued: Instant,
+    },
     Shutdown,
 }
 
@@ -84,6 +101,8 @@ pub struct ServeHandle {
     engine: Arc<QueryEngine>,
     shutting_down: Arc<AtomicBool>,
     default_deadline: Option<Duration>,
+    tracer: Option<Arc<TraceRecorder>>,
+    live: Option<Arc<LiveMetrics>>,
 }
 
 impl ServeHandle {
@@ -93,13 +112,25 @@ impl ServeHandle {
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<Receiver<Response>, ServeError> {
+        self.submit_traced(query, deadline, None)
+    }
+
+    /// [`ServeHandle::submit`] carrying a trace id: workers append stage
+    /// events for this request to the server's recorder.
+    pub fn submit_traced(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+        trace: Option<TraceId>,
+    ) -> Result<Receiver<Response>, ServeError> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
         let (reply_tx, reply_rx) = bounded(1);
         let deadline =
             deadline.or(self.default_deadline).map(|d| Instant::now() + d);
-        let job = Job::Request { query, deadline, reply: reply_tx };
+        let job =
+            Job::Request { query, deadline, reply: reply_tx, trace, enqueued: Instant::now() };
         match self.tx.try_send(job) {
             Ok(()) => {
                 wwv_obs::global().gauge("serve.queue.depth").add(1);
@@ -117,6 +148,26 @@ impl ServeHandle {
     pub fn call(&self, query: Query) -> Result<Response, ServeError> {
         let rx = self.submit(query, None)?;
         rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// [`ServeHandle::call`] carrying a trace id.
+    pub fn call_traced(
+        &self,
+        query: Query,
+        trace: Option<TraceId>,
+    ) -> Result<Response, ServeError> {
+        let rx = self.submit_traced(query, None, trace)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// The trace recorder this server appends to, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
+    }
+
+    /// The rolling-window live metrics, if enabled.
+    pub fn live(&self) -> Option<&Arc<LiveMetrics>> {
+        self.live.as_ref()
     }
 
     /// [`ServeHandle::call`] with an explicit per-request deadline.
@@ -140,9 +191,15 @@ impl ServeHandle {
     }
 
     /// Hot-swaps the served catalog without draining in-flight requests;
-    /// returns the new epoch. See [`QueryEngine::swap_snapshot`].
+    /// returns the new epoch. See [`QueryEngine::swap_snapshot`]. The live
+    /// metrics window (if any) is re-tagged, so a concurrent scrape sees
+    /// either the old epoch or the new one, never a mix.
     pub fn swap_snapshot(&self, catalog: Catalog) -> u64 {
-        self.engine.swap_snapshot(catalog)
+        let next = self.engine.swap_snapshot(catalog);
+        if let Some(live) = &self.live {
+            live.set_epoch(next);
+        }
+        next
     }
 }
 
@@ -161,15 +218,28 @@ impl Server {
     /// later with [`Server::swap_snapshot`] without restarting the pool).
     pub fn start(catalog: Arc<Catalog>, config: ServerConfig) -> Server {
         let engine = Arc::new(QueryEngine::new(catalog, config.cache_capacity));
+        if let Some(live) = &config.live {
+            live.set_epoch(engine.epoch());
+        }
         let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
                 let engine = Arc::clone(&engine);
                 let faults = config.faults.clone();
+                let tracer = config.tracer.clone();
+                let live = config.live.clone();
                 std::thread::Builder::new()
                     .name(format!("wwv-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &engine, faults.as_deref()))
+                    .spawn(move || {
+                        worker_loop(
+                            &rx,
+                            &engine,
+                            faults.as_deref(),
+                            tracer.as_deref(),
+                            live.as_deref(),
+                        )
+                    })
                     .expect("spawn serve worker")
             })
             .collect();
@@ -191,6 +261,8 @@ impl Server {
             engine: Arc::clone(&self.engine),
             shutting_down: Arc::clone(&self.shutting_down),
             default_deadline: self.config.default_deadline,
+            tracer: self.config.tracer.clone(),
+            live: self.config.live.clone(),
         }
     }
 
@@ -202,7 +274,11 @@ impl Server {
     /// Hot-swaps the served catalog without stopping the worker pool;
     /// returns the new epoch. See [`QueryEngine::swap_snapshot`].
     pub fn swap_snapshot(&self, catalog: Catalog) -> u64 {
-        self.engine.swap_snapshot(catalog)
+        let next = self.engine.swap_snapshot(catalog);
+        if let Some(live) = &self.config.live {
+            live.set_epoch(next);
+        }
+        next
     }
 
     /// Graceful shutdown: refuse new work, drain the queue, join workers.
@@ -224,16 +300,38 @@ impl Server {
     }
 }
 
-fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine, faults: Option<&FaultPlan>) -> u64 {
+fn worker_loop(
+    rx: &Receiver<Job>,
+    engine: &QueryEngine,
+    faults: Option<&FaultPlan>,
+    tracer: Option<&TraceRecorder>,
+    live: Option<&LiveMetrics>,
+) -> u64 {
     let reg = wwv_obs::global();
     let latency = reg.histogram("serve.request_us");
     let mut processed = 0u64;
     while let Ok(job) = rx.recv() {
         match job {
             Job::Shutdown => break,
-            Job::Request { query, deadline, reply } => {
+            Job::Request { query, deadline, reply, trace, enqueued } => {
                 reg.gauge("serve.queue.depth").add(-1);
                 let start = Instant::now();
+                // Only sampled requests carry an id, so the closure is a
+                // no-op (one None check) on the untraced hot path.
+                let record = |stage: Stage, us: u64, detail: Option<&str>| {
+                    if let (Some(id), Some(rec)) = (trace, tracer) {
+                        match detail {
+                            Some(d) => rec.event_detail(id, stage, us, d),
+                            None => rec.event(id, stage, us),
+                        }
+                    }
+                };
+                record(
+                    Stage::Queue,
+                    start.saturating_duration_since(enqueued).as_micros() as u64,
+                    None,
+                );
+                let mut cache = None;
                 let response = match deadline {
                     Some(d) if start >= d => {
                         reg.counter("serve.deadline_exceeded").inc();
@@ -249,10 +347,24 @@ fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine, faults: Option<&FaultPl
                             if let Some((FaultKind::Delay(ms), _)) =
                                 plan.decide(points::SERVE_WORKER)
                             {
+                                record(
+                                    Stage::Fault,
+                                    ms * 1_000,
+                                    Some("serve.worker/delay"),
+                                );
                                 std::thread::sleep(Duration::from_millis(ms));
                             }
                         }
-                        let resp = engine.execute(&query);
+                        let (resp, info) = engine.execute_info(&query);
+                        cache = info.cache;
+                        match info.cache {
+                            Some(true) => record(Stage::CacheHit, info.engine_us, None),
+                            Some(false) => {
+                                record(Stage::CacheMiss, 0, None);
+                                record(Stage::Engine, info.engine_us, None);
+                            }
+                            None => record(Stage::Engine, info.engine_us, None),
+                        }
                         // Re-check after evaluation: a request that blew its
                         // deadline *while executing* must be answered with
                         // the typed error, not a stale success the client
@@ -269,7 +381,11 @@ fn worker_loop(rx: &Receiver<Job>, engine: &QueryEngine, faults: Option<&FaultPl
                         }
                     }
                 };
-                latency.record(start.elapsed().as_micros() as u64);
+                let us = start.elapsed().as_micros() as u64;
+                latency.record(us);
+                if let Some(l) = live {
+                    l.record(us, response.is_ok(), cache);
+                }
                 processed += 1;
                 // The client may have given up; a closed reply channel is
                 // its problem, not ours.
@@ -361,6 +477,8 @@ mod tests {
             engine: Arc::clone(server.engine()),
             shutting_down: Arc::new(AtomicBool::new(false)),
             default_deadline: None,
+            tracer: None,
+            live: None,
         };
         assert!(handle.submit(Query::Ping, None).is_ok(), "queue has room");
         assert_eq!(

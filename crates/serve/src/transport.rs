@@ -9,7 +9,8 @@
 //! threads honor the shared shutdown flag via read timeouts.
 
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, ProtoError, MAX_FRAME_LEN,
+    decode_request_meta, decode_response, decode_response_meta, encode_request_traced,
+    encode_response, encode_response_traced, ProtoError, MAX_FRAME_LEN,
 };
 use crate::query::{ErrorCode, Query, Response};
 use crate::server::{ServeError, ServeHandle};
@@ -20,7 +21,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use wwv_trace::{Stage, TraceId};
 
 /// Client-side transport errors.
 #[derive(Debug)]
@@ -71,14 +73,29 @@ impl From<std::io::Error> for TransportError {
 pub trait Transport {
     /// Issues a query and waits for its reply.
     fn call(&mut self, query: &Query) -> Result<Response, TransportError>;
+
+    /// [`Transport::call`] carrying a trace id in the frame's extension
+    /// block. Backends that predate tracing simply drop the id.
+    fn call_traced(
+        &mut self,
+        query: &Query,
+        trace: Option<u64>,
+    ) -> Result<Response, TransportError> {
+        let _ = trace;
+        self.call(query)
+    }
 }
 
 /// Turns one request frame into one response frame against a handle.
 /// Shared by every transport backend; queue-level failures become typed
-/// error *responses* so no accepted frame ever goes unanswered.
+/// error *responses* so no accepted frame ever goes unanswered. A trace id
+/// in the request's extension block is threaded through the worker pool
+/// (stage events land in the server's recorder), the response serialization
+/// is timed as its own stage, and the id is echoed back to the client.
 pub fn dispatch_frame(handle: &ServeHandle, buf: &mut Bytes) -> Result<Bytes, ProtoError> {
-    let (id, query) = decode_request(buf)?;
-    let response = match handle.call(query) {
+    let meta = decode_request_meta(buf)?;
+    let trace = meta.trace.map(TraceId);
+    let response = match handle.call_traced(meta.query, trace) {
         Ok(r) => r,
         Err(ServeError::Overloaded) => {
             Response::Error(ErrorCode::Overloaded, "request queue full".to_owned())
@@ -87,7 +104,14 @@ pub fn dispatch_frame(handle: &ServeHandle, buf: &mut Bytes) -> Result<Bytes, Pr
             Response::Error(ErrorCode::ShuttingDown, "server shutting down".to_owned())
         }
     };
-    Ok(encode_response(id, &response))
+    let t0 = Instant::now();
+    let frame = encode_response_traced(meta.id, &response, meta.trace);
+    if let (Some(id), Some(rec)) = (trace, handle.tracer()) {
+        // Worker events are already recorded (the reply arrived), so the
+        // serialize stage lands last in the causal timeline.
+        rec.event(id, Stage::Serialize, t0.elapsed().as_micros() as u64);
+    }
+    Ok(frame)
 }
 
 /// The in-process transport: full codec fidelity, zero sockets.
@@ -105,15 +129,23 @@ impl InProcTransport {
 
 impl Transport for InProcTransport {
     fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        self.call_traced(query, None)
+    }
+
+    fn call_traced(
+        &mut self,
+        query: &Query,
+        trace: Option<u64>,
+    ) -> Result<Response, TransportError> {
         self.next_id += 1;
         let sent = self.next_id;
-        let mut frame = encode_request(sent, query);
+        let mut frame = encode_request_traced(sent, query, trace);
         let mut reply = dispatch_frame(&self.handle, &mut frame)?;
-        let (got, response) = decode_response(&mut reply)?;
-        if got != sent {
-            return Err(TransportError::IdMismatch { sent, got });
+        let meta = decode_response_meta(&mut reply)?;
+        if meta.id != sent {
+            return Err(TransportError::IdMismatch { sent, got: meta.id });
         }
-        Ok(response)
+        Ok(meta.response)
     }
 }
 
@@ -144,43 +176,87 @@ impl FaultyInProcTransport {
 
 impl Transport for FaultyInProcTransport {
     fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        self.call_traced(query, None)
+    }
+
+    fn call_traced(
+        &mut self,
+        query: &Query,
+        trace: Option<u64>,
+    ) -> Result<Response, TransportError> {
         use wwv_fault::{points, FrameFate};
         self.next_id += 1;
         let sent = self.next_id;
-        let frame = encode_request(sent, query);
+        let frame = encode_request_traced(sent, query, trace);
+        // Traced requests record which frame fate the plan injected, so the
+        // analyzer can attribute a latency spike to its chaos event.
+        let tid = trace.map(TraceId);
+        let record = |what: &str| {
+            if let (Some(id), Some(rec)) = (tid, self.handle.tracer()) {
+                rec.event_detail(id, Stage::Fault, 0, what);
+            }
+        };
         let reply = match self.plan.apply_to_frame(points::SERVE_REQUEST, frame.to_vec()) {
-            FrameFate::Deliver(bytes) | FrameFate::HoldForReorder(bytes) => {
+            FrameFate::Deliver(bytes) => {
+                if bytes != frame.as_ref() {
+                    record("serve.request/corrupt");
+                }
+                dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
+            }
+            FrameFate::HoldForReorder(bytes) => {
                 // A single-call transport has no successor to swap a held
                 // frame with; reorder degenerates to plain delivery.
+                record("serve.request/reorder");
                 dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
             }
             FrameFate::DeliverTwice(bytes) => {
                 // The duplicate is dispatched too (the server must cope);
                 // the caller sees the final reply.
+                record("serve.request/duplicate");
                 let _ = dispatch_frame(&self.handle, &mut Bytes::from(bytes.clone()))?;
                 dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
             }
             FrameFate::Delayed(bytes, delay) => {
+                record("serve.request/delay");
                 std::thread::sleep(delay);
                 dispatch_frame(&self.handle, &mut Bytes::from(bytes))?
             }
-            FrameFate::Dropped => return Err(Self::injected_drop()),
+            FrameFate::Dropped => {
+                record("serve.request/drop");
+                return Err(Self::injected_drop());
+            }
         };
         let reply_bytes = reply.to_vec();
         let mut reply = match self.plan.apply_to_frame(points::SERVE_RESPONSE, reply_bytes) {
-            FrameFate::Deliver(bytes) | FrameFate::HoldForReorder(bytes) => Bytes::from(bytes),
-            FrameFate::DeliverTwice(bytes) => Bytes::from(bytes),
+            FrameFate::Deliver(bytes) => {
+                if bytes != reply.as_ref() {
+                    record("serve.response/corrupt");
+                }
+                Bytes::from(bytes)
+            }
+            FrameFate::HoldForReorder(bytes) => {
+                record("serve.response/reorder");
+                Bytes::from(bytes)
+            }
+            FrameFate::DeliverTwice(bytes) => {
+                record("serve.response/duplicate");
+                Bytes::from(bytes)
+            }
             FrameFate::Delayed(bytes, delay) => {
+                record("serve.response/delay");
                 std::thread::sleep(delay);
                 Bytes::from(bytes)
             }
-            FrameFate::Dropped => return Err(Self::injected_drop()),
+            FrameFate::Dropped => {
+                record("serve.response/drop");
+                return Err(Self::injected_drop());
+            }
         };
-        let (got, response) = decode_response(&mut reply)?;
-        if got != sent {
-            return Err(TransportError::IdMismatch { sent, got });
+        let meta = decode_response_meta(&mut reply)?;
+        if meta.id != sent {
+            return Err(TransportError::IdMismatch { sent, got: meta.id });
         }
-        Ok(response)
+        Ok(meta.response)
     }
 }
 
@@ -379,9 +455,17 @@ impl TcpClient {
 
 impl Transport for TcpClient {
     fn call(&mut self, query: &Query) -> Result<Response, TransportError> {
+        self.call_traced(query, None)
+    }
+
+    fn call_traced(
+        &mut self,
+        query: &Query,
+        trace: Option<u64>,
+    ) -> Result<Response, TransportError> {
         self.next_id += 1;
         let sent = self.next_id;
-        self.stream.write_all(&encode_request(sent, query))?;
+        self.stream.write_all(&encode_request_traced(sent, query, trace))?;
         let (got, response) = self.read_response()?;
         if got != sent {
             return Err(TransportError::IdMismatch { sent, got });
@@ -489,7 +573,7 @@ mod tests {
         let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
         let mut raw = TcpStream::connect(tcp.local_addr()).expect("connect");
         raw.set_nodelay(true).unwrap();
-        let frame = encode_request(42, &Query::TopK { key: us_key(), k: 4 });
+        let frame = crate::protocol::encode_request(42, &Query::TopK { key: us_key(), k: 4 });
         let step = (frame.len() / 5).max(1);
         for piece in frame.chunks(step) {
             raw.write_all(piece).unwrap();

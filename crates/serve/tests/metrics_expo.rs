@@ -1,0 +1,171 @@
+//! Exposition-endpoint gate: the `/metrics` listener must serve coherent
+//! snapshots while loadgen traffic is in flight and while the catalog is
+//! being hot-swapped underneath it.
+//!
+//! The mixed-epoch hazard: a scrape assembles its snapshot from many
+//! atomics while swaps bump the epoch concurrently. [`LiveMetrics`] uses a
+//! seqlock-style retry (epoch read before and after assembly), so every
+//! scraped body must carry exactly one epoch — and across sequential
+//! scrapes that epoch must be monotone.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wwv_serve::loadgen::{self, LoadgenConfig};
+use wwv_serve::server::{Server, ServerConfig};
+use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_trace::{LiveMetrics, MetricsServer};
+
+const SWAPS: u64 = 100;
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics listener");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: wwv\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().expect("status line").to_owned(), body.to_owned())
+}
+
+/// Epoch embedded in a `/metrics.json` body.
+fn epoch_of(json: &str) -> u64 {
+    let tail = json.split("\"epoch\":").nth(1).expect("epoch field");
+    tail.trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("epoch value")
+}
+
+fn start_server() -> (Server, Arc<ShardedStore>, Arc<LiveMetrics>) {
+    let live = Arc::new(LiveMetrics::default_window());
+    let catalog =
+        Arc::new(Catalog::new().with_dataset("full", wwv_serve::testutil::tiny_dataset()));
+    let server = Server::start(
+        catalog,
+        ServerConfig { live: Some(Arc::clone(&live)), ..ServerConfig::default() },
+    );
+    let store = {
+        let catalog = server.engine().catalog();
+        Arc::clone(catalog.get("").expect("default snapshot"))
+    };
+    (server, store, live)
+}
+
+#[test]
+fn scrape_is_live_during_loadgen() {
+    let (server, store, live) = start_server();
+    let metrics = MetricsServer::bind("127.0.0.1:0", live).expect("bind metrics");
+    let addr = metrics.local_addr();
+
+    let running = Arc::new(AtomicBool::new(true));
+    let handle = server.handle();
+    let loadgen_thread = {
+        let running = Arc::clone(&running);
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            let config = LoadgenConfig { threads: 2, requests_per_thread: 2_000, ..LoadgenConfig::default() };
+            let report = loadgen::run(&handle, &store, &config);
+            running.store(false, Ordering::Release);
+            report
+        })
+    };
+
+    // Scrape mid-run: the window must already show traffic.
+    let mut saw_traffic = false;
+    while running.load(Ordering::Acquire) {
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "bad status: {status}");
+        assert!(body.contains("wwv_window_qps"), "missing qps gauge:\n{body}");
+        assert!(body.contains("wwv_window_latency_us{quantile=\"0.99\"}"), "missing p99:\n{body}");
+        let requests: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix("wwv_window_requests "))
+            .expect("requests gauge")
+            .parse()
+            .expect("requests value");
+        if requests > 0 {
+            saw_traffic = true;
+            break;
+        }
+    }
+    let report = loadgen_thread.join().expect("loadgen thread");
+    assert!(saw_traffic || report.issued > 0, "no scrape observed the run");
+
+    // After the run the window still covers it: totals are consistent.
+    let (status, json) = http_get(addr, "/metrics.json");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert!(json.contains("\"requests\""), "{json}");
+    assert!(json.contains("\"p99_us\""), "{json}");
+    let (_, health) = http_get(addr, "/healthz");
+    assert!(health.contains("ok"), "{health}");
+    let (status, _) = http_get(addr, "/nope");
+    assert!(status.contains("404"), "unknown path must 404: {status}");
+
+    metrics.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn scrapes_never_observe_a_mixed_epoch_across_100_swaps() {
+    let (server, store, live) = start_server();
+    let metrics = MetricsServer::bind("127.0.0.1:0", Arc::clone(&live)).expect("bind metrics");
+    let addr = metrics.local_addr();
+    let server = Arc::new(server);
+
+    // Seed the window so snapshots carry real data through the swaps.
+    let config = LoadgenConfig { threads: 2, requests_per_thread: 100, ..LoadgenConfig::default() };
+    loadgen::run(&server.handle(), &store, &config);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let swapper = {
+        let server = Arc::clone(&server);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for swap in 1..=SWAPS {
+                let epoch = server.swap_snapshot(
+                    Catalog::new().with_dataset("full", wwv_serve::testutil::tiny_dataset()),
+                );
+                assert_eq!(epoch, swap, "epochs are strictly sequential");
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    // Scrape concurrently with the swap storm. Each body carries exactly
+    // one epoch (the seqlock guarantees assembly under a stable epoch) and
+    // the sequence of observed epochs never goes backwards.
+    let mut last = 0u64;
+    let mut scrapes = 0u64;
+    while !done.load(Ordering::Acquire) {
+        let (status, json) = http_get(addr, "/metrics.json");
+        assert!(status.contains("200"), "bad status: {status}");
+        let epoch = epoch_of(&json);
+        assert!(epoch <= SWAPS, "epoch {epoch} from the future");
+        assert!(epoch >= last, "epoch went backwards: {epoch} < {last}");
+        // The text endpoint agrees with itself too: one epoch per body.
+        let (_, text) = http_get(addr, "/metrics");
+        let epochs: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("wwv_serve_epoch "))
+            .collect();
+        assert_eq!(epochs.len(), 1, "exactly one epoch line per scrape:\n{text}");
+        last = epoch;
+        scrapes += 1;
+    }
+    swapper.join().expect("swapper thread");
+    assert!(scrapes > 0, "no scrape overlapped the swaps");
+    assert_eq!(epoch_of(&http_get(addr, "/metrics.json").1), SWAPS);
+
+    metrics.shutdown();
+    match Arc::try_unwrap(server) {
+        Ok(server) => {
+            server.shutdown();
+        }
+        Err(_) => panic!("all handles should be dropped"),
+    }
+}

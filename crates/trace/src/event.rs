@@ -1,0 +1,127 @@
+//! Typed trace events and the per-request timeline.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened at one point of a request's journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Stage {
+    /// Time spent waiting in the bounded worker queue.
+    Queue,
+    /// Result-cache lookup that hit (duration = lookup cost).
+    CacheHit,
+    /// Result-cache lookup that missed (duration = lookup cost).
+    CacheMiss,
+    /// Engine evaluation (compute against the pinned catalog).
+    Engine,
+    /// Response encoding at the transport boundary.
+    Serialize,
+    /// An injected `wwv-fault` event fired on this request's path.
+    Fault,
+}
+
+impl Stage {
+    /// Canonical reporting order for per-stage breakdowns.
+    pub const ALL: [Stage; 6] = [
+        Stage::Queue,
+        Stage::CacheHit,
+        Stage::CacheMiss,
+        Stage::Engine,
+        Stage::Serialize,
+        Stage::Fault,
+    ];
+
+    /// The snake_case name used in JSONL and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::CacheHit => "cache_hit",
+            Stage::CacheMiss => "cache_miss",
+            Stage::Engine => "engine",
+            Stage::Serialize => "serialize",
+            Stage::Fault => "fault",
+        }
+    }
+}
+
+/// One event on a request timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Which stage this measures.
+    pub stage: Stage,
+    /// Stage duration in microseconds (or the event index, under the
+    /// logical clock used by determinism tests).
+    pub us: u64,
+    /// Optional detail, e.g. the fault point and kind (`serve.worker/delay`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+}
+
+/// The full recorded timeline of one sampled request — one JSONL line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Trace ID as fixed-width lowercase hex.
+    pub trace: String,
+    /// Client thread that minted the ID (`u32::MAX` when unknown, e.g. a
+    /// server-side trace for a remote client the recorder never saw start).
+    pub thread: u32,
+    /// Per-thread request sequence number.
+    pub seq: u64,
+    /// Query kind label (`top_k`, `rbo`, …; empty when unknown).
+    pub kind: String,
+    /// Whether the response was a success (`None` until finished).
+    pub ok: Option<bool>,
+    /// Client-observed end-to-end latency in microseconds (`None` until
+    /// finished; the event index count under the logical clock).
+    pub total_us: Option<u64>,
+    /// Stage events in causal order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RequestTrace {
+    /// Sum of recorded stage durations (fault events excluded: an injected
+    /// delay already shows up inside the stage it stalled).
+    pub fn stage_sum_us(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.stage != Stage::Fault)
+            .map(|e| e.us)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_match_canonical_order() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            ["queue", "cache_hit", "cache_miss", "engine", "serialize", "fault"]
+        );
+    }
+
+    #[test]
+    fn stage_sum_skips_fault_events() {
+        let t = RequestTrace {
+            trace: "00".into(),
+            thread: 0,
+            seq: 0,
+            kind: "ping".into(),
+            ok: Some(true),
+            total_us: Some(10),
+            events: vec![
+                TraceEvent { stage: Stage::Queue, us: 3, detail: None },
+                TraceEvent {
+                    stage: Stage::Fault,
+                    us: 1_000,
+                    detail: Some("serve.worker/delay".into()),
+                },
+                TraceEvent { stage: Stage::Engine, us: 5, detail: None },
+            ],
+        };
+        assert_eq!(t.stage_sum_us(), 8);
+    }
+}

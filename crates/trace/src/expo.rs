@@ -1,0 +1,203 @@
+//! The metrics exposition endpoint: a second listener, scrape-safe.
+//!
+//! Serves the live [`LiveMetrics`] window over a minimal HTTP/1.0
+//! implementation (std-only, like the serve-layer TCP transport):
+//!
+//! * `GET /metrics` — Prometheus-style text: the window snapshot followed
+//!   by the cumulative `wwv-obs` counters and gauges (names mangled
+//!   `serve.cache.hit` → `wwv_counter_serve_cache_hit`);
+//! * `GET /metrics.json` (or `/json`) — the window snapshot as JSON;
+//! * `GET /healthz` — liveness probe.
+//!
+//! Scrapes are handled sequentially on the accept thread — a scrape is a
+//! few hundred bytes, and keeping the endpoint single-threaded means it can
+//! never amplify load on a server that is already melting. Snapshot
+//! assembly is epoch-consistent (see [`LiveMetrics::snapshot`]), so
+//! scraping mid-loadgen or across catalog hot swaps is safe by
+//! construction.
+
+use crate::window::LiveMetrics;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for the non-blocking accept loop.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Per-connection read budget: a scrape request head is tiny.
+const MAX_REQUEST_BYTES: usize = 4 * 1024;
+
+/// The exposition listener. Bind with [`MetricsServer::bind`], stop with
+/// [`MetricsServer::shutdown`].
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts answering scrapes
+    /// from the given live window.
+    pub fn bind(addr: &str, live: Arc<LiveMetrics>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("wwv-metrics".to_owned())
+            .spawn(move || {
+                wwv_obs::info!(target: "trace", "metrics endpoint on {local_addr}");
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            wwv_obs::global().counter("trace.expo.scrapes").inc();
+                            if serve_scrape(stream, &live).is_err() {
+                                wwv_obs::global().counter("trace.expo.errors").inc();
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn metrics thread");
+        Ok(MetricsServer { local_addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the endpoint thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads one request head, answers it, closes the connection.
+fn serve_scrape(mut stream: TcpStream, live: &LiveMetrics) -> std::io::Result<()> {
+    // A stalled client must not wedge the single accept thread.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1_024];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_owned();
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => {
+            let mut text = live.snapshot().to_prometheus();
+            text.push_str(&cumulative_text());
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", text)
+        }
+        "/metrics.json" | "/json" => {
+            ("200 OK", "application/json", live.snapshot().to_json())
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_owned()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Cumulative obs counters and gauges in exposition format, appended after
+/// the window block so one scrape carries both time scales.
+fn cumulative_text() -> String {
+    let report = wwv_obs::Report::capture();
+    let mut out = String::with_capacity(1_024);
+    for (name, value) in &report.counters {
+        out.push_str(&format!("wwv_counter_{} {value}\n", mangle(name)));
+    }
+    for (name, value) in &report.gauges {
+        out.push_str(&format!("wwv_gauge_{} {value}\n", mangle(name)));
+    }
+    out
+}
+
+/// `serve.cache.hit` → `serve_cache_hit` (exposition-safe metric names).
+fn mangle(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect metrics");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: wwv\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read scrape");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("http split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn endpoint_serves_text_json_health_and_404() {
+        let live = Arc::new(LiveMetrics::new(4, 1_000));
+        live.record(250, true, Some(false));
+        live.set_epoch(7);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&live)).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("wwv_window_requests 1"), "{body}");
+        assert!(body.contains("wwv_serve_epoch 7"), "{body}");
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"epoch\": 7"), "{body}");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn mangle_produces_exposition_safe_names() {
+        assert_eq!(mangle("serve.cache.hit"), "serve_cache_hit");
+        assert_eq!(mangle("a-b c"), "a_b_c");
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic trace IDs and head sampling.
+//!
+//! The whole pipeline is seed-reproducible (loadgen RNG, fault plans, world
+//! build), and tracing must not break that: a trace ID is a pure
+//! SplitMix64-style hash of `(seed, thread, seq)`, and the sampling
+//! decision is a pure function of the ID. Re-running with the same seed
+//! therefore traces the *same* requests, which is what makes byte-identical
+//! JSONL exports possible.
+
+/// One SplitMix64 output for input `x` (also used by `wwv-fault`).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 64-bit request-scoped trace identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mints the ID for request `seq` on client thread `thread` under
+    /// `seed`. Pure: the same triple always yields the same ID, and the
+    /// three mixing rounds keep distinct triples from colliding in practice
+    /// (64-bit avalanche per round).
+    pub fn mint(seed: u64, thread: u64, seq: u64) -> TraceId {
+        TraceId(splitmix64(seed ^ splitmix64(thread ^ splitmix64(seq))))
+    }
+
+    /// The raw 64-bit value (what travels on the wire).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Fixed-width lowercase hex, the JSONL representation.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses [`TraceId::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+/// Deterministic head sampler: keep 1 in `every` requests.
+///
+/// Trace IDs are uniform hashes, so `id % every == 0` selects an unbiased
+/// 1/N subset — and the *same* subset on every run with the same seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    every: u64,
+}
+
+impl Sampler {
+    /// `every = 0` disables sampling entirely; `1` keeps every request.
+    pub fn new(every: u64) -> Sampler {
+        Sampler { every }
+    }
+
+    /// Whether any request can ever be sampled.
+    pub fn is_active(&self) -> bool {
+        self.every != 0
+    }
+
+    /// The (pure) sampling decision for one ID.
+    pub fn sample(&self, id: TraceId) -> bool {
+        self.every != 0 && id.0.is_multiple_of(self.every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_deterministic_and_distinct() {
+        assert_eq!(TraceId::mint(1, 2, 3), TraceId::mint(1, 2, 3));
+        let mut seen = std::collections::HashSet::new();
+        for thread in 0..8u64 {
+            for seq in 0..256u64 {
+                assert!(seen.insert(TraceId::mint(42, thread, seq)), "collision");
+            }
+        }
+        // Different seeds diverge.
+        assert_ne!(TraceId::mint(1, 0, 0), TraceId::mint(2, 0, 0));
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let id = TraceId::mint(7, 1, 9);
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(id.to_hex().len(), 16);
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex(""), None);
+    }
+
+    #[test]
+    fn sampler_rates_and_determinism() {
+        assert!(!Sampler::new(0).sample(TraceId(0)), "0 disables");
+        assert!(Sampler::new(1).sample(TraceId(12345)), "1 keeps all");
+        let s = Sampler::new(16);
+        let picked: Vec<bool> =
+            (0..4_096).map(|i| s.sample(TraceId::mint(9, 0, i))).collect();
+        let again: Vec<bool> =
+            (0..4_096).map(|i| s.sample(TraceId::mint(9, 0, i))).collect();
+        assert_eq!(picked, again);
+        let kept = picked.iter().filter(|p| **p).count();
+        // 1/16 of 4096 = 256 expected; uniform hashing keeps it in range.
+        assert!((128..512).contains(&kept), "kept {kept} of 4096 at 1/16");
+    }
+}

@@ -1,0 +1,44 @@
+//! # wwv-trace
+//!
+//! Per-request visibility for the serve layer, in three pieces:
+//!
+//! * [`id`]/[`recorder`] — **request-scoped tracing**. A 64-bit trace ID is
+//!   minted deterministically from `(seed, thread, seq)` in the load
+//!   generator (or any client), carried through the binary protocol via the
+//!   backward-compatible extension byte (`wwv-serve::protocol`), and
+//!   threaded through queue → engine → cache → encode. Each component
+//!   appends a typed [`TraceEvent`] (queue wait, cache hit/miss, engine
+//!   eval, serialize, injected fault) to the [`TraceRecorder`], which
+//!   exports the per-request timelines as sorted JSONL. Head sampling is a
+//!   pure function of the ID ([`Sampler`]), so "1 in N" picks the same
+//!   requests on every run.
+//! * [`window`] — **rolling-window metrics**. A ring of per-slot
+//!   log2-histogram + rate buckets (default 12 × 5 s) layered over the
+//!   `wwv-obs` primitives, answering "qps / p50 / p95 / p99 / cache hit
+//!   rate *over the last minute*" instead of since process start. Window
+//!   snapshots are epoch-tagged and seqlock-consistent across catalog hot
+//!   swaps.
+//! * [`expo`]/[`report`] — **exposition + analysis**. [`MetricsServer`] is
+//!   a second listener serving the live window as Prometheus-style text and
+//!   JSON, safe to scrape mid-loadgen; [`TraceReport`] aggregates exported
+//!   JSONL into a per-stage latency breakdown, flags anomalous requests via
+//!   `wwv-stats` quantiles, and renders the critical path of the worst
+//!   exemplars.
+//!
+//! The crate deliberately depends only on `wwv-obs` + `wwv-stats`:
+//! `wwv-serve` depends on it (not the other way around), and the binary
+//! wires the two together.
+
+pub mod event;
+pub mod expo;
+pub mod id;
+pub mod recorder;
+pub mod report;
+pub mod window;
+
+pub use event::{RequestTrace, Stage, TraceEvent};
+pub use expo::MetricsServer;
+pub use id::{Sampler, TraceId};
+pub use recorder::{ClockMode, TraceRecorder};
+pub use report::{StageBreakdown, TraceReport};
+pub use window::{LiveMetrics, WindowSnapshot};

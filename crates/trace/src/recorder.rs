@@ -1,0 +1,237 @@
+//! The in-memory trace sink and its JSONL export.
+//!
+//! Components on a request's path append events keyed by [`TraceId`]; the
+//! recorder assembles them into per-request timelines. Events within one
+//! request form a causal chain (client start → queue → engine → serialize →
+//! client finish), so their order is deterministic even though different
+//! threads append them.
+//!
+//! **Export determinism.** JSONL lines are sorted by `(thread, seq, trace)`
+//! — independent of completion order. Under [`ClockMode::Logical`] every
+//! `us` value is replaced by the event's index in its timeline and
+//! `total_us` by the event count, removing wall-clock noise entirely: the
+//! same seed then produces byte-identical output at any worker count. Wall
+//! mode keeps real microseconds for `wwv trace report`.
+
+use crate::event::{RequestTrace, Stage, TraceEvent};
+use crate::id::TraceId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// How exported timestamps are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Real stage durations in microseconds (default; feeds the analyzer).
+    Wall,
+    /// Deterministic event indices (determinism tests, golden files).
+    Logical,
+}
+
+impl ClockMode {
+    /// Parses the `--trace-clock` CLI value.
+    pub fn parse(s: &str) -> Option<ClockMode> {
+        match s {
+            "wall" => Some(ClockMode::Wall),
+            "logical" => Some(ClockMode::Logical),
+            _ => None,
+        }
+    }
+}
+
+/// Collects events for sampled requests; exports sorted JSONL.
+pub struct TraceRecorder {
+    clock: ClockMode,
+    traces: Mutex<BTreeMap<u64, RequestTrace>>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceRecorder({} traces, {:?})", self.len(), self.clock)
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recorder exporting under the given clock.
+    pub fn new(clock: ClockMode) -> TraceRecorder {
+        TraceRecorder { clock, traces: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The export clock mode.
+    pub fn clock(&self) -> ClockMode {
+        self.clock
+    }
+
+    /// Number of requests with at least one recorded event.
+    pub fn len(&self) -> usize {
+        self.traces.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a sampled request at mint time (client side).
+    pub fn start(&self, id: TraceId, thread: u32, seq: u64, kind: &str) {
+        let mut traces = self.traces.lock();
+        traces.insert(
+            id.0,
+            RequestTrace {
+                trace: id.to_hex(),
+                thread,
+                seq,
+                kind: kind.to_owned(),
+                ok: None,
+                total_us: None,
+                events: Vec::with_capacity(4),
+            },
+        );
+    }
+
+    /// Appends a stage event. Unknown IDs get a stub entry (a server-side
+    /// trace for a remote client whose start this recorder never saw).
+    pub fn event(&self, id: TraceId, stage: Stage, us: u64) {
+        self.push(id, TraceEvent { stage, us, detail: None });
+    }
+
+    /// [`TraceRecorder::event`] with a detail string (fault point/kind).
+    pub fn event_detail(&self, id: TraceId, stage: Stage, us: u64, detail: &str) {
+        self.push(id, TraceEvent { stage, us, detail: Some(detail.to_owned()) });
+    }
+
+    fn push(&self, id: TraceId, event: TraceEvent) {
+        let mut traces = self.traces.lock();
+        traces
+            .entry(id.0)
+            .or_insert_with(|| RequestTrace {
+                trace: id.to_hex(),
+                thread: u32::MAX,
+                seq: id.0,
+                kind: String::new(),
+                ok: None,
+                total_us: None,
+                events: Vec::with_capacity(4),
+            })
+            .events
+            .push(event);
+    }
+
+    /// Records the client-observed outcome and end-to-end latency.
+    pub fn finish(&self, id: TraceId, total_us: u64, ok: bool) {
+        let mut traces = self.traces.lock();
+        if let Some(t) = traces.get_mut(&id.0) {
+            t.ok = Some(ok);
+            t.total_us = Some(total_us);
+        }
+    }
+
+    /// The recorded timelines, sorted by `(thread, seq, trace)` with the
+    /// clock mode applied.
+    pub fn export(&self) -> Vec<RequestTrace> {
+        let mut out: Vec<RequestTrace> = self.traces.lock().values().cloned().collect();
+        out.sort_by(|a, b| {
+            (a.thread, a.seq, &a.trace).cmp(&(b.thread, b.seq, &b.trace))
+        });
+        if self.clock == ClockMode::Logical {
+            for t in &mut out {
+                for (i, e) in t.events.iter_mut().enumerate() {
+                    e.us = i as u64;
+                }
+                if t.ok.is_some() {
+                    t.total_us = Some(t.events.len() as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON object per line, deterministic field order, trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in self.export() {
+            out.push_str(&serde_json::to_string(&t).expect("trace serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_one(rec: &TraceRecorder, thread: u32, seq: u64) -> TraceId {
+        let id = TraceId::mint(1, thread as u64, seq);
+        rec.start(id, thread, seq, "top_k");
+        rec.event(id, Stage::Queue, 12);
+        rec.event(id, Stage::Engine, 340);
+        rec.event(id, Stage::Serialize, 5);
+        rec.finish(id, 400, true);
+        id
+    }
+
+    #[test]
+    fn timeline_assembles_in_causal_order() {
+        let rec = TraceRecorder::new(ClockMode::Wall);
+        record_one(&rec, 0, 0);
+        let out = rec.export();
+        assert_eq!(out.len(), 1);
+        let t = &out[0];
+        assert_eq!(t.kind, "top_k");
+        assert_eq!(t.ok, Some(true));
+        assert_eq!(t.total_us, Some(400));
+        let stages: Vec<Stage> = t.events.iter().map(|e| e.stage).collect();
+        assert_eq!(stages, [Stage::Queue, Stage::Engine, Stage::Serialize]);
+        assert_eq!(t.stage_sum_us(), 357);
+    }
+
+    #[test]
+    fn export_sorts_by_thread_then_seq() {
+        let rec = TraceRecorder::new(ClockMode::Wall);
+        // Insert out of order; export must not care.
+        record_one(&rec, 1, 1);
+        record_one(&rec, 0, 1);
+        record_one(&rec, 1, 0);
+        record_one(&rec, 0, 0);
+        let keys: Vec<(u32, u64)> =
+            rec.export().iter().map(|t| (t.thread, t.seq)).collect();
+        assert_eq!(keys, [(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn logical_clock_erases_wall_time() {
+        let rec = TraceRecorder::new(ClockMode::Logical);
+        record_one(&rec, 0, 0);
+        let t = &rec.export()[0];
+        let us: Vec<u64> = t.events.iter().map(|e| e.us).collect();
+        assert_eq!(us, [0, 1, 2]);
+        assert_eq!(t.total_us, Some(3));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_is_line_per_trace() {
+        let rec = TraceRecorder::new(ClockMode::Wall);
+        record_one(&rec, 0, 0);
+        record_one(&rec, 0, 1);
+        let jsonl = rec.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let back: RequestTrace = serde_json::from_str(line).expect("line parses");
+            assert_eq!(back.events.len(), 3);
+        }
+    }
+
+    #[test]
+    fn orphan_events_get_a_stub_entry() {
+        let rec = TraceRecorder::new(ClockMode::Wall);
+        let id = TraceId(77);
+        rec.event(id, Stage::Engine, 9);
+        let out = rec.export();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].thread, u32::MAX);
+        assert_eq!(out[0].ok, None);
+        // finish on an unknown id is a silent no-op (client gave up).
+        rec.finish(TraceId(123), 1, true);
+        assert_eq!(rec.len(), 1);
+    }
+}

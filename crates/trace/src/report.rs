@@ -1,0 +1,383 @@
+//! `wwv trace report` — aggregate exported JSONL into a per-stage
+//! latency breakdown.
+//!
+//! Answers the question cumulative metrics cannot: *where* does a slow
+//! request spend its time? The analyzer groups stage events across all
+//! traces (queue vs cache vs engine vs serialize), computes per-stage
+//! quantiles via `wwv-stats`, flags anomalous requests with Tukey's fences
+//! over end-to-end latency, and renders the critical path of the worst
+//! exemplars — the requests a p99 investigation would start from.
+
+use crate::event::{RequestTrace, Stage};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use wwv_stats::outlier::{tukey_outliers, OutlierVerdict};
+use wwv_stats::quantile::{quantile_sorted, QuantileSummary};
+
+/// Tukey fence multiplier for anomaly flagging (3.0 = "far out" fence —
+/// conservative, so flagged requests are genuinely anomalous).
+const TUKEY_K: f64 = 3.0;
+/// Worst exemplars rendered with their critical path.
+const EXEMPLARS: usize = 5;
+
+/// Aggregate latency profile of one stage across all traces.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageBreakdown {
+    /// Stage name (`queue`, `engine`, …).
+    pub stage: String,
+    /// Events observed.
+    pub count: u64,
+    /// Total time attributed to this stage, microseconds.
+    pub total_us: u64,
+    /// Mean event duration, microseconds.
+    pub mean_us: f64,
+    /// Median event duration, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Share of the summed stage time across all stages, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// One worst-case request with its per-stage decomposition.
+#[derive(Debug, Clone, Serialize)]
+pub struct Exemplar {
+    /// Trace ID (hex).
+    pub trace: String,
+    /// Query kind.
+    pub kind: String,
+    /// End-to-end latency, microseconds.
+    pub total_us: u64,
+    /// `(stage, us)` in causal order.
+    pub stages: Vec<(String, u64)>,
+    /// The stage dominating this request (the critical path head).
+    pub critical_stage: String,
+    /// Fraction of the stage sum spent in the critical stage.
+    pub critical_share: f64,
+}
+
+/// The aggregated trace report (JSON-serializable).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceReport {
+    /// Traces parsed.
+    pub traces: u64,
+    /// Traces with a recorded client outcome (finished).
+    pub complete: u64,
+    /// Error-outcome traces.
+    pub errored: u64,
+    /// Traces per query kind.
+    pub kinds: BTreeMap<String, u64>,
+    /// End-to-end latency quantiles over complete traces, microseconds.
+    pub total_p50_us: f64,
+    /// 95th percentile end-to-end.
+    pub total_p95_us: f64,
+    /// 99th percentile end-to-end.
+    pub total_p99_us: f64,
+    /// Per-stage aggregate breakdown (canonical stage order).
+    pub stages: Vec<StageBreakdown>,
+    /// Requests whose end-to-end latency is a Tukey high outlier.
+    pub anomalies: u64,
+    /// The upper Tukey fence used, microseconds.
+    pub anomaly_threshold_us: f64,
+    /// Mean ratio of stage-sum to end-to-end latency (how much of the
+    /// client-observed time the recorded stages explain).
+    pub stage_coverage: f64,
+    /// Worst end-to-end requests with their critical paths.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl TraceReport {
+    /// Parses JSONL (one [`RequestTrace`] per non-empty line) and
+    /// aggregates. Malformed lines are typed errors, never panics.
+    pub fn from_jsonl(text: &str) -> Result<TraceReport, String> {
+        let mut traces = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let t: RequestTrace = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: {e}", no + 1))?;
+            traces.push(t);
+        }
+        Ok(TraceReport::from_traces(&traces))
+    }
+
+    /// Aggregates already-parsed traces.
+    pub fn from_traces(traces: &[RequestTrace]) -> TraceReport {
+        let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+        for t in traces {
+            let kind = if t.kind.is_empty() { "unknown".to_owned() } else { t.kind.clone() };
+            *kinds.entry(kind).or_insert(0) += 1;
+        }
+
+        // Per-stage event durations across every trace.
+        let mut per_stage: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        for t in traces {
+            for e in &t.events {
+                per_stage.entry(e.stage.as_str()).or_default().push(e.us as f64);
+            }
+        }
+        let grand_total: f64 =
+            per_stage.values().flat_map(|v| v.iter()).sum::<f64>().max(1.0);
+        let mut stages = Vec::new();
+        for stage in Stage::ALL {
+            let Some(values) = per_stage.get(stage.as_str()) else { continue };
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            let total: f64 = sorted.iter().sum();
+            let q = |p: f64| quantile_sorted(&sorted, p).unwrap_or(0.0);
+            stages.push(StageBreakdown {
+                stage: stage.as_str().to_owned(),
+                count: sorted.len() as u64,
+                total_us: total as u64,
+                mean_us: total / sorted.len().max(1) as f64,
+                p50_us: q(0.50),
+                p95_us: q(0.95),
+                p99_us: q(0.99),
+                share: total / grand_total,
+            });
+        }
+
+        // End-to-end latency distribution and anomaly flagging.
+        let complete: Vec<&RequestTrace> =
+            traces.iter().filter(|t| t.total_us.is_some()).collect();
+        let mut totals: Vec<f64> =
+            complete.iter().map(|t| t.total_us.unwrap_or(0) as f64).collect();
+        let verdicts = tukey_outliers(&totals, TUKEY_K);
+        let anomalies = verdicts
+            .as_ref()
+            .map(|v| v.iter().filter(|o| **o == OutlierVerdict::High).count() as u64)
+            .unwrap_or(0);
+        let anomaly_threshold_us = QuantileSummary::of(&totals)
+            .map(|s| s.q75 + TUKEY_K * s.iqr())
+            .unwrap_or(0.0);
+        totals.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let tq = |p: f64| quantile_sorted(&totals, p).unwrap_or(0.0);
+
+        // How much of the end-to-end time the recorded stages explain.
+        let coverages: Vec<f64> = complete
+            .iter()
+            .filter(|t| t.total_us.unwrap_or(0) > 0)
+            .map(|t| t.stage_sum_us() as f64 / t.total_us.unwrap_or(1) as f64)
+            .collect();
+        let stage_coverage = if coverages.is_empty() {
+            0.0
+        } else {
+            coverages.iter().sum::<f64>() / coverages.len() as f64
+        };
+
+        // Worst requests, decomposed.
+        let mut by_total: Vec<&&RequestTrace> = complete.iter().collect();
+        by_total.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        let exemplars = by_total
+            .iter()
+            .take(EXEMPLARS)
+            .map(|t| {
+                let stages: Vec<(String, u64)> = t
+                    .events
+                    .iter()
+                    .map(|e| (e.stage.as_str().to_owned(), e.us))
+                    .collect();
+                let sum = t.stage_sum_us().max(1);
+                let (critical_stage, critical_us) = t
+                    .events
+                    .iter()
+                    .filter(|e| e.stage != Stage::Fault)
+                    .map(|e| (e.stage.as_str().to_owned(), e.us))
+                    .max_by_key(|(_, us)| *us)
+                    .unwrap_or(("none".to_owned(), 0));
+                Exemplar {
+                    trace: t.trace.clone(),
+                    kind: t.kind.clone(),
+                    total_us: t.total_us.unwrap_or(0),
+                    stages,
+                    critical_stage,
+                    critical_share: critical_us as f64 / sum as f64,
+                }
+            })
+            .collect();
+
+        TraceReport {
+            traces: traces.len() as u64,
+            complete: complete.len() as u64,
+            errored: complete.iter().filter(|t| t.ok == Some(false)).count() as u64,
+            kinds,
+            total_p50_us: tq(0.50),
+            total_p95_us: tq(0.95),
+            total_p99_us: tq(0.99),
+            stages,
+            anomalies,
+            anomaly_threshold_us,
+            stage_coverage,
+            exemplars,
+        }
+    }
+
+    /// Pretty JSON for `--metrics-out`-style artifacts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// A human-readable rendering: per-stage table + worst exemplars.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2_048);
+        out.push_str(&format!(
+            "trace report: {} traces ({} complete, {} errored)\n",
+            self.traces, self.complete, self.errored
+        ));
+        let kinds: Vec<String> =
+            self.kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        out.push_str(&format!("kinds: {}\n", kinds.join(" ")));
+        out.push_str(&format!(
+            "end-to-end: p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  (stages explain {:.0}% of it)\n",
+            self.total_p50_us,
+            self.total_p95_us,
+            self.total_p99_us,
+            100.0 * self.stage_coverage
+        ));
+        out.push_str(&format!(
+            "anomalies: {} request(s) above the {:.0}us Tukey fence\n\n",
+            self.anomalies, self.anomaly_threshold_us
+        ));
+        out.push_str(&format!(
+            "{:<11} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+            "stage", "count", "total_us", "mean_us", "p50_us", "p95_us", "p99_us", "share"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<11} {:>8} {:>12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>6.1}%\n",
+                s.stage,
+                s.count,
+                s.total_us,
+                s.mean_us,
+                s.p50_us,
+                s.p95_us,
+                s.p99_us,
+                100.0 * s.share
+            ));
+        }
+        if !self.exemplars.is_empty() {
+            out.push_str("\nworst exemplars (critical path):\n");
+            for e in &self.exemplars {
+                let path: Vec<String> =
+                    e.stages.iter().map(|(s, us)| format!("{s} {us}us")).collect();
+                out.push_str(&format!(
+                    "  {} {} {}us: {}  [critical: {} {:.0}%]\n",
+                    &e.trace[..e.trace.len().min(8)],
+                    e.kind,
+                    e.total_us,
+                    path.join(" -> "),
+                    e.critical_stage,
+                    100.0 * e.critical_share
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn trace(seq: u64, kind: &str, queue: u64, engine: u64, total: u64) -> RequestTrace {
+        RequestTrace {
+            trace: format!("{seq:016x}"),
+            thread: 0,
+            seq,
+            kind: kind.to_owned(),
+            ok: Some(true),
+            total_us: Some(total),
+            events: vec![
+                TraceEvent { stage: Stage::Queue, us: queue, detail: None },
+                TraceEvent { stage: Stage::Engine, us: engine, detail: None },
+                TraceEvent { stage: Stage::Serialize, us: 2, detail: None },
+            ],
+        }
+    }
+
+    fn fixture() -> Vec<RequestTrace> {
+        let mut traces: Vec<RequestTrace> =
+            (0..40).map(|i| trace(i, "top_k", 5, 100 + i, 110 + i)).collect();
+        // One pathological request: queue-dominated, 100x slower.
+        traces.push(trace(99, "rbo", 9_000, 1_000, 10_050));
+        traces
+    }
+
+    #[test]
+    fn breakdown_aggregates_per_stage() {
+        let report = TraceReport::from_traces(&fixture());
+        assert_eq!(report.traces, 41);
+        assert_eq!(report.complete, 41);
+        assert_eq!(report.kinds["top_k"], 40);
+        assert_eq!(report.kinds["rbo"], 1);
+        let queue = report.stages.iter().find(|s| s.stage == "queue").unwrap();
+        let engine = report.stages.iter().find(|s| s.stage == "engine").unwrap();
+        assert_eq!(queue.count, 41);
+        assert_eq!(queue.total_us, 40 * 5 + 9_000);
+        assert_eq!(engine.count, 41);
+        // Shares sum to ~1 over present stages.
+        let share_sum: f64 = report.stages.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "{share_sum}");
+        // Stage order follows the canonical order.
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, ["queue", "engine", "serialize"]);
+    }
+
+    #[test]
+    fn anomaly_flagging_catches_the_outlier() {
+        let report = TraceReport::from_traces(&fixture());
+        assert_eq!(report.anomalies, 1, "exactly the 10ms request");
+        assert!(report.anomaly_threshold_us < 10_050.0);
+        assert!(report.total_p99_us > report.total_p50_us);
+    }
+
+    #[test]
+    fn exemplars_rank_worst_first_with_critical_path() {
+        let report = TraceReport::from_traces(&fixture());
+        let worst = &report.exemplars[0];
+        assert_eq!(worst.kind, "rbo");
+        assert_eq!(worst.total_us, 10_050);
+        assert_eq!(worst.critical_stage, "queue");
+        assert!(worst.critical_share > 0.8);
+        // Sorted descending by total.
+        let totals: Vec<u64> = report.exemplars.iter().map(|e| e.total_us).collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]), "{totals:?}");
+    }
+
+    #[test]
+    fn stage_coverage_tracks_stage_sums() {
+        // stage sum = 5 + 100 + 2 = 107 of total 110 → ~0.97 for the bulk.
+        let report = TraceReport::from_traces(&fixture());
+        assert!(report.stage_coverage > 0.9 && report.stage_coverage <= 1.0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_malformed_lines_are_typed_errors() {
+        let jsonl: String = fixture()
+            .iter()
+            .map(|t| serde_json::to_string(t).unwrap() + "\n")
+            .collect();
+        let report = TraceReport::from_jsonl(&jsonl).expect("parses");
+        assert_eq!(report.traces, 41);
+        let rendered = report.render();
+        assert!(rendered.contains("queue"), "{rendered}");
+        assert!(rendered.contains("worst exemplars"), "{rendered}");
+        assert!(report.to_json().contains("\"anomalies\": 1"));
+
+        let err = TraceReport::from_jsonl("{not json}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_report() {
+        let report = TraceReport::from_jsonl("").expect("empty ok");
+        assert_eq!(report.traces, 0);
+        assert_eq!(report.anomalies, 0);
+        assert!(report.stages.is_empty());
+        assert!(report.exemplars.is_empty());
+    }
+}

@@ -1,0 +1,534 @@
+//! Rolling-window metrics: a ring of per-slot log2-histogram + rate
+//! buckets over wall time.
+//!
+//! The cumulative `wwv-obs` registry answers "since process start"; this
+//! layer answers "over the last minute". Time is divided into fixed-width
+//! slots (default 12 × 5 s); each slot holds its own counts and log2
+//! latency buckets, tagged with the absolute slot number it belongs to. A
+//! recording thread that finds a stale tag zeroes the slot and re-tags it —
+//! the ring recycles itself with no sweeper thread. A snapshot merges only
+//! slots whose tag falls inside the window, so expired data vanishes
+//! without ever being touched.
+//!
+//! **Approximation contract.** Slot rotation is lock-free: a record racing
+//! a concurrent reset may be dropped, and a reader may observe a slot
+//! mid-zero. Live metrics trade per-event exactness at slot boundaries for
+//! zero contention on the hot path; the *cumulative* obs counters remain
+//! exact. Quantiles resolve to log2 bucket midpoints exactly like
+//! [`wwv_obs::histogram`] (see `bucket_midpoint` there for the ±error
+//! bounds).
+//!
+//! **Epoch tagging.** [`LiveMetrics`] carries the serve-layer swap epoch.
+//! [`LiveMetrics::snapshot`] is seqlock-style: it reads the epoch, merges
+//! the window, and retries if the epoch moved — a scrape concurrent with
+//! catalog hot swaps never reports a half-updated, mixed-epoch view.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wwv_obs::histogram::{bucket_index, bucket_midpoint, BUCKET_COUNT};
+
+/// Default slot count (together: a one-minute window).
+pub const DEFAULT_SLOTS: usize = 12;
+/// Default slot width in milliseconds.
+pub const DEFAULT_SLOT_MS: u64 = 5_000;
+
+/// Tag value marking a slot mid-reset.
+const RESETTING: u64 = u64::MAX;
+
+/// Claims `tag` for `slot_no`, running `zero` first when the slot held an
+/// older slot number. Returns whether the caller may record into the slot.
+fn claim<F: FnOnce()>(tag: &AtomicU64, slot_no: u64, zero: F) -> bool {
+    loop {
+        let cur = tag.load(Ordering::Acquire);
+        if cur == slot_no {
+            return true;
+        }
+        // Mid-reset by another thread, or a lagging writer whose slot the
+        // window already left behind: drop the event (see module docs).
+        if cur == RESETTING || cur > slot_no {
+            return false;
+        }
+        if tag
+            .compare_exchange(cur, RESETTING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            zero();
+            tag.store(slot_no, Ordering::Release);
+            return true;
+        }
+    }
+}
+
+/// Whether a slot tagged `tag` belongs to the window ending at `now_slot`.
+fn in_window(tag: u64, now_slot: u64, nslots: u64) -> bool {
+    tag <= now_slot && now_slot - tag < nslots
+}
+
+struct HistSlot {
+    tag: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl HistSlot {
+    fn new() -> HistSlot {
+        HistSlot {
+            tag: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A windowed log2 histogram (ring of [`HistSlot`]s).
+pub struct WindowHistogram {
+    slots: Vec<HistSlot>,
+    width_ms: u64,
+}
+
+impl WindowHistogram {
+    /// A ring of `nslots` slots, each `width_ms` wide.
+    pub fn new(nslots: usize, width_ms: u64) -> WindowHistogram {
+        WindowHistogram {
+            slots: (0..nslots.max(1)).map(|_| HistSlot::new()).collect(),
+            width_ms: width_ms.max(1),
+        }
+    }
+
+    /// Records `value` at absolute time `now_ms`.
+    pub fn record(&self, now_ms: u64, value: u64) {
+        let slot_no = now_ms / self.width_ms;
+        let slot = &self.slots[(slot_no % self.slots.len() as u64) as usize];
+        if claim(&slot.tag, slot_no, || slot.zero()) {
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            slot.sum.fetch_add(value, Ordering::Relaxed);
+            slot.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Merged `(count, sum, buckets)` over the window ending at `now_ms`.
+    pub fn merged(&self, now_ms: u64) -> (u64, u64, [u64; BUCKET_COUNT]) {
+        let now_slot = now_ms / self.width_ms;
+        let nslots = self.slots.len() as u64;
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for slot in &self.slots {
+            if !in_window(slot.tag.load(Ordering::Acquire), now_slot, nslots) {
+                continue;
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum += slot.sum.load(Ordering::Relaxed);
+            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        (count, sum, buckets)
+    }
+}
+
+struct CountSlot {
+    tag: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A windowed event counter (ring of tagged counters).
+pub struct WindowCounter {
+    slots: Vec<CountSlot>,
+    width_ms: u64,
+}
+
+impl WindowCounter {
+    /// A ring of `nslots` slots, each `width_ms` wide.
+    pub fn new(nslots: usize, width_ms: u64) -> WindowCounter {
+        WindowCounter {
+            slots: (0..nslots.max(1))
+                .map(|_| CountSlot { tag: AtomicU64::new(0), count: AtomicU64::new(0) })
+                .collect(),
+            width_ms: width_ms.max(1),
+        }
+    }
+
+    /// Adds `n` events at absolute time `now_ms`.
+    pub fn add(&self, now_ms: u64, n: u64) {
+        let slot_no = now_ms / self.width_ms;
+        let slot = &self.slots[(slot_no % self.slots.len() as u64) as usize];
+        if claim(&slot.tag, slot_no, || slot.count.store(0, Ordering::Relaxed)) {
+            slot.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total events in the window ending at `now_ms`.
+    pub fn total(&self, now_ms: u64) -> u64 {
+        let now_slot = now_ms / self.width_ms;
+        let nslots = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .filter(|s| in_window(s.tag.load(Ordering::Acquire), now_slot, nslots))
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Quantile over merged window buckets: cumulative walk to the target
+/// count, resolved at the bucket midpoint (same estimator family as
+/// [`wwv_obs::histogram`]; worst-case relative error +50%/−25%).
+fn bucket_quantile(buckets: &[u64; BUCKET_COUNT], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut acc = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        acc += n;
+        if acc >= target {
+            return Some(bucket_midpoint(i));
+        }
+    }
+    None
+}
+
+/// Point-in-time view of the rolling window, tagged with the swap epoch it
+/// was assembled under.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowSnapshot {
+    /// Serve-layer catalog swap epoch (stable across the whole assembly).
+    pub epoch: u64,
+    /// Seconds of traffic the window actually covers.
+    pub window_s: f64,
+    /// Requests completed in the window.
+    pub requests: u64,
+    /// Error responses in the window.
+    pub errors: u64,
+    /// Request rate over the covered window.
+    pub qps: f64,
+    /// Windowed latency quantiles, microseconds (None when idle).
+    pub p50_us: Option<f64>,
+    /// 95th percentile, microseconds.
+    pub p95_us: Option<f64>,
+    /// 99th percentile, microseconds.
+    pub p99_us: Option<f64>,
+    /// Mean latency, microseconds.
+    pub mean_us: Option<f64>,
+    /// Result-cache hits in the window.
+    pub cache_hits: u64,
+    /// Result-cache misses in the window.
+    pub cache_misses: u64,
+    /// Windowed hit rate in `[0, 1]` (0 when no cacheable traffic).
+    pub cache_hit_rate: f64,
+}
+
+impl WindowSnapshot {
+    /// Pretty JSON (the `/metrics.json` body).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Prometheus-style exposition text (the `/metrics` body).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1_024);
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v}"),
+            None => "NaN".to_owned(),
+        };
+        out.push_str("# HELP wwv_window_seconds Seconds covered by the rolling window.\n");
+        out.push_str("# TYPE wwv_window_seconds gauge\n");
+        out.push_str(&format!("wwv_window_seconds {}\n", self.window_s));
+        out.push_str("# HELP wwv_window_requests Requests completed in the window.\n");
+        out.push_str("# TYPE wwv_window_requests gauge\n");
+        out.push_str(&format!("wwv_window_requests {}\n", self.requests));
+        out.push_str("# HELP wwv_window_errors Error responses in the window.\n");
+        out.push_str("# TYPE wwv_window_errors gauge\n");
+        out.push_str(&format!("wwv_window_errors {}\n", self.errors));
+        out.push_str("# HELP wwv_window_qps Request rate over the window.\n");
+        out.push_str("# TYPE wwv_window_qps gauge\n");
+        out.push_str(&format!("wwv_window_qps {}\n", self.qps));
+        out.push_str("# HELP wwv_window_latency_us Windowed latency quantiles.\n");
+        out.push_str("# TYPE wwv_window_latency_us summary\n");
+        for (q, v) in
+            [("0.5", self.p50_us), ("0.95", self.p95_us), ("0.99", self.p99_us)]
+        {
+            out.push_str(&format!(
+                "wwv_window_latency_us{{quantile=\"{q}\"}} {}\n",
+                fmt_opt(v)
+            ));
+        }
+        out.push_str(&format!("wwv_window_latency_us_mean {}\n", fmt_opt(self.mean_us)));
+        out.push_str("# HELP wwv_window_cache_hit_rate Windowed result-cache hit rate.\n");
+        out.push_str("# TYPE wwv_window_cache_hit_rate gauge\n");
+        out.push_str(&format!("wwv_window_cache_hits {}\n", self.cache_hits));
+        out.push_str(&format!("wwv_window_cache_misses {}\n", self.cache_misses));
+        out.push_str(&format!("wwv_window_cache_hit_rate {}\n", self.cache_hit_rate));
+        out.push_str("# HELP wwv_serve_epoch Catalog swap epoch the window was read under.\n");
+        out.push_str("# TYPE wwv_serve_epoch gauge\n");
+        out.push_str(&format!("wwv_serve_epoch {}\n", self.epoch));
+        out
+    }
+}
+
+/// The serve layer's live, epoch-tagged rolling-window metrics.
+pub struct LiveMetrics {
+    origin: Instant,
+    nslots: usize,
+    width_ms: u64,
+    latency: WindowHistogram,
+    requests: WindowCounter,
+    errors: WindowCounter,
+    cache_hits: WindowCounter,
+    cache_misses: WindowCounter,
+    epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for LiveMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LiveMetrics({} x {}ms, epoch {})",
+            self.nslots,
+            self.width_ms,
+            self.epoch.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl LiveMetrics {
+    /// A window of `nslots` slots, each `width_ms` wide.
+    pub fn new(nslots: usize, width_ms: u64) -> LiveMetrics {
+        let (nslots, width_ms) = (nslots.max(1), width_ms.max(1));
+        LiveMetrics {
+            origin: Instant::now(),
+            nslots,
+            width_ms,
+            latency: WindowHistogram::new(nslots, width_ms),
+            requests: WindowCounter::new(nslots, width_ms),
+            errors: WindowCounter::new(nslots, width_ms),
+            cache_hits: WindowCounter::new(nslots, width_ms),
+            cache_misses: WindowCounter::new(nslots, width_ms),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The default 12 × 5 s one-minute window.
+    pub fn default_window() -> LiveMetrics {
+        LiveMetrics::new(DEFAULT_SLOTS, DEFAULT_SLOT_MS)
+    }
+
+    /// Milliseconds since this instance was created (the window clock).
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// Records one completed request (hot path: a handful of relaxed
+    /// atomics). `cache` is `Some(hit?)` for cacheable queries.
+    pub fn record(&self, latency_us: u64, ok: bool, cache: Option<bool>) {
+        self.record_at(self.now_ms(), latency_us, ok, cache);
+    }
+
+    /// [`LiveMetrics::record`] at an explicit window time (tests).
+    pub fn record_at(&self, now_ms: u64, latency_us: u64, ok: bool, cache: Option<bool>) {
+        self.latency.record(now_ms, latency_us);
+        self.requests.add(now_ms, 1);
+        if !ok {
+            self.errors.add(now_ms, 1);
+        }
+        match cache {
+            Some(true) => self.cache_hits.add(now_ms, 1),
+            Some(false) => self.cache_misses.add(now_ms, 1),
+            None => {}
+        }
+    }
+
+    /// Stamps the catalog swap epoch (called by the serve layer on swap).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// The current swap epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// An epoch-consistent snapshot of the current window (seqlock-style:
+    /// retried until the epoch is stable across the whole assembly).
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_ms())
+    }
+
+    /// [`LiveMetrics::snapshot`] at an explicit window time (tests).
+    pub fn snapshot_at(&self, now_ms: u64) -> WindowSnapshot {
+        loop {
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            let snap = self.assemble(now_ms, epoch);
+            if self.epoch.load(Ordering::SeqCst) == epoch {
+                return snap;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn assemble(&self, now_ms: u64, epoch: u64) -> WindowSnapshot {
+        let (count, sum, buckets) = self.latency.merged(now_ms);
+        let requests = self.requests.total(now_ms);
+        let errors = self.errors.total(now_ms);
+        let cache_hits = self.cache_hits.total(now_ms);
+        let cache_misses = self.cache_misses.total(now_ms);
+        // Covered time: full past slots plus the elapsed part of the
+        // current slot, capped by the process' actual lifetime.
+        let in_slot = now_ms % self.width_ms + 1;
+        let covered_ms =
+            ((self.nslots as u64 - 1) * self.width_ms + in_slot).min(now_ms + 1);
+        let window_s = covered_ms as f64 / 1e3;
+        let q = |p: f64| bucket_quantile(&buckets, count, p);
+        WindowSnapshot {
+            epoch,
+            window_s,
+            requests,
+            errors,
+            qps: if window_s > 0.0 { requests as f64 / window_s } else { 0.0 },
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+            mean_us: if count > 0 { Some(sum as f64 / count as f64) } else { None },
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if cache_hits + cache_misses > 0 {
+                cache_hits as f64 / (cache_hits + cache_misses) as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_counter_expires_old_slots() {
+        let c = WindowCounter::new(3, 1_000);
+        c.add(0, 5);
+        c.add(1_500, 2);
+        assert_eq!(c.total(1_500), 7, "both slots inside the 3s window");
+        // At t=3.5s the slot-0 data (t<1s) has left the 3-slot window.
+        assert_eq!(c.total(3_500), 2);
+        // At t=10s everything is gone — without any writer touching slots.
+        assert_eq!(c.total(10_000), 0);
+    }
+
+    #[test]
+    fn window_counter_recycles_slots() {
+        let c = WindowCounter::new(2, 100);
+        c.add(0, 1);
+        // Slot 0's ring position is reused by slot_no 2; old count must be
+        // zeroed by the claiming writer, not added to.
+        c.add(200, 3);
+        assert_eq!(c.total(200), 3);
+    }
+
+    #[test]
+    fn lagging_writer_is_dropped_not_resurrected() {
+        let c = WindowCounter::new(2, 100);
+        c.add(500, 4);
+        // A writer stuck in the past must not clobber the newer slot.
+        c.add(90, 9);
+        assert_eq!(c.total(500), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_bucket_midpoints() {
+        let h = WindowHistogram::new(4, 1_000);
+        for _ in 0..100 {
+            h.record(10, 1_025); // bucket 11, midpoint 1536
+        }
+        let (count, sum, buckets) = h.merged(10);
+        assert_eq!(count, 100);
+        assert_eq!(sum, 102_500);
+        assert_eq!(bucket_quantile(&buckets, count, 0.5), Some(1_536.0));
+        assert_eq!(bucket_quantile(&buckets, count, 0.99), Some(1_536.0));
+        assert_eq!(bucket_quantile(&buckets, 0, 0.5), None);
+    }
+
+    #[test]
+    fn snapshot_reports_windowed_rates() {
+        let m = LiveMetrics::new(12, 5_000);
+        // 600 requests spread over the first 30s, half cacheable.
+        for i in 0..600u64 {
+            let cache = match i % 4 {
+                0 => Some(true),
+                1 => Some(false),
+                _ => None,
+            };
+            m.record_at(i * 50, 100 + i, i % 10 != 0, cache);
+        }
+        let s = m.snapshot_at(30_000);
+        assert_eq!(s.requests, 600);
+        assert_eq!(s.errors, 60);
+        assert_eq!(s.cache_hits, 150);
+        assert_eq!(s.cache_misses, 150);
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert!(s.qps > 0.0);
+        assert!(s.p50_us.is_some() && s.p95_us.is_some() && s.p99_us.is_some());
+        assert!(s.p50_us.unwrap() <= s.p99_us.unwrap());
+        // A minute later the whole window has rolled over: idle.
+        let idle = m.snapshot_at(120_000);
+        assert_eq!(idle.requests, 0);
+        assert_eq!(idle.p50_us, None);
+        assert_eq!(idle.qps, 0.0);
+    }
+
+    #[test]
+    fn snapshot_epoch_is_stable_under_concurrent_swaps() {
+        use std::sync::Arc;
+        let m = Arc::new(LiveMetrics::new(4, 50));
+        m.record(100, true, None);
+        let swapper = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for e in 1..=500u64 {
+                    m.set_epoch(e);
+                }
+            })
+        };
+        let mut last = 0u64;
+        for _ in 0..200 {
+            let s = m.snapshot();
+            assert!(s.epoch >= last, "epoch went backwards: {} < {last}", s.epoch);
+            last = s.epoch;
+        }
+        swapper.join().unwrap();
+        assert_eq!(m.snapshot().epoch, 500);
+    }
+
+    #[test]
+    fn prometheus_text_and_json_expose_the_window() {
+        let m = LiveMetrics::new(4, 1_000);
+        m.record_at(10, 500, true, Some(true));
+        m.set_epoch(3);
+        let s = m.snapshot_at(20);
+        let text = s.to_prometheus();
+        for needle in [
+            "wwv_window_qps",
+            "wwv_window_requests 1",
+            "wwv_window_latency_us{quantile=\"0.99\"}",
+            "wwv_serve_epoch 3",
+            "wwv_window_cache_hit_rate 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = s.to_json();
+        assert!(json.contains("\"epoch\": 3"), "{json}");
+        assert!(json.contains("\"requests\": 1"), "{json}");
+    }
+}

@@ -33,8 +33,29 @@ cargo test -q -p wwv-telemetry --test snap_corruption
 echo "==> cargo test -q -p wwv-serve --test hot_swap"
 cargo test -q -p wwv-serve --test hot_swap
 
+# Tracing gates, surfaced by name: frozen PR-5-era wire bytes plus
+# extension-byte fuzz, byte-identical JSONL at any worker count, and
+# mixed-epoch-free scrapes under 100 concurrent hot swaps.
+echo "==> cargo test -q -p wwv-serve --test proto_compat"
+cargo test -q -p wwv-serve --test proto_compat
+echo "==> cargo test -q -p wwv-serve --test trace_determinism"
+cargo test -q -p wwv-serve --test trace_determinism
+echo "==> cargo test -q -p wwv-serve --test metrics_expo"
+cargo test -q -p wwv-serve --test metrics_expo
+
 echo "==> wwv chaos --seed 42 --metrics-out CHAOS_matrix.json"
 cargo run --release -q --bin wwv -- chaos --seed 42 --metrics-out CHAOS_matrix.json > /dev/null
+
+# A traced loadgen run end to end: deterministic head sampling, JSONL
+# dump, and the offline stage-breakdown report (TRACE_report.json is the
+# CI artifact).
+echo "==> wwv serve --loadgen --trace-sample 16 --trace-out TRACE_sample.jsonl"
+cargo run --release -q --bin wwv -- serve --loadgen --requests 250 \
+    --trace-sample 16 --trace-out TRACE_sample.jsonl \
+    --metrics-listen 127.0.0.1:0 > /dev/null
+echo "==> wwv trace report TRACE_sample.jsonl --metrics-out TRACE_report.json"
+cargo run --release -q --bin wwv -- trace report TRACE_sample.jsonl \
+    --metrics-out TRACE_report.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

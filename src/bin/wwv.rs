@@ -11,6 +11,9 @@
 //! wwv serve     [--listen ADDR]     # TCP rank-list query service
 //! wwv serve     [--snapshot P] [--watch-snapshot P]   # serve from a file
 //! wwv serve     --loadgen [--threads N] [--requests N] [--metrics-out P]
+//! wwv serve     --loadgen --trace-sample 16 --trace-out t.jsonl \
+//!               --metrics-listen 127.0.0.1:0   # traced run + live metrics
+//! wwv trace     report <t.jsonl> [--metrics-out P]   # stage breakdown
 //! wwv chaos     [--seed N] [--metrics-out P]   # fault-injection matrix
 //! ```
 //!
@@ -22,6 +25,14 @@
 //! the dataset build and analyses (default: available parallelism; output
 //! is identical at any count). For `serve --loadgen` the same flag also
 //! sizes the load-generator thread pool.
+//!
+//! Tracing (`wwv-trace`): `--trace-sample N` samples one request in N into
+//! a request-scoped timeline recorder, `--trace-out P` dumps the sorted
+//! JSONL on exit, and `--trace-clock wall|logical` picks real microseconds
+//! or deterministic event indices. `--metrics-listen ADDR` starts a second
+//! listener exposing the rolling one-minute window (`/metrics` Prometheus
+//! text, `/metrics.json`) — safe to scrape mid-loadgen and across hot
+//! swaps. `wwv trace report` analyzes a dumped JSONL file offline.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +46,7 @@ use wwv::serve::server::{Server, ServerConfig};
 use wwv::serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
 use wwv::serve::transport::TcpServer;
 use wwv::telemetry::{persist, DatasetBuilder};
+use wwv::trace::{ClockMode, LiveMetrics, MetricsServer, TraceRecorder, TraceReport};
 use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig, COUNTRIES};
 
 struct Args {
@@ -51,6 +63,10 @@ struct Args {
     seed: u64,
     snapshot: Option<String>,
     watch_snapshot: Option<String>,
+    trace_sample: u64,
+    trace_out: Option<String>,
+    trace_clock: ClockMode,
+    metrics_listen: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +84,10 @@ fn parse_args() -> Args {
         seed: 42,
         snapshot: None,
         watch_snapshot: None,
+        trace_sample: 0, // 0 = tracing off
+        trace_out: None,
+        trace_clock: ClockMode::Wall,
+        metrics_listen: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -96,6 +116,21 @@ fn parse_args() -> Args {
             "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(42),
             "--snapshot" => args.snapshot = iter.next(),
             "--watch-snapshot" => args.watch_snapshot = iter.next(),
+            "--trace-sample" => {
+                args.trace_sample = iter.next().and_then(|v| v.parse().ok()).unwrap_or(0)
+            }
+            "--trace-out" => args.trace_out = iter.next(),
+            "--trace-clock" => {
+                args.trace_clock = iter
+                    .next()
+                    .as_deref()
+                    .and_then(ClockMode::parse)
+                    .unwrap_or_else(|| {
+                        error!(target: "wwv", "--trace-clock takes wall|logical");
+                        std::process::exit(2);
+                    })
+            }
+            "--metrics-listen" => args.metrics_listen = iter.next(),
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -103,10 +138,12 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|trace|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
     eprintln!("       wwv snapshot migrate <in> <out> | wwv snapshot bench [--metrics-out PATH]");
     eprintln!("       wwv serve [--listen ADDR] [--snapshot PATH] [--watch-snapshot PATH]");
     eprintln!("       wwv serve --loadgen [--threads N] [--requests N] [--metrics-out PATH]");
+    eprintln!("       wwv serve ... [--trace-sample N] [--trace-out PATH] [--trace-clock wall|logical] [--metrics-listen ADDR]");
+    eprintln!("       wwv trace report <trace.jsonl> [--metrics-out PATH]");
     eprintln!("       wwv chaos [--seed N] [--metrics-out PATH]");
     std::process::exit(2)
 }
@@ -141,6 +178,35 @@ fn load_snapshot_file(path: &str) -> wwv::telemetry::ChromeDataset {
             error!(target: "wwv", "cannot decode snapshot {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `wwv trace report <jsonl>`: offline per-stage breakdown of a trace dump.
+fn trace_cmd(args: &Args) {
+    match args.positional.get(1).map(String::as_str) {
+        Some("report") => {
+            let Some(path) = args.positional.get(2) else { usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    error!(target: "trace", "cannot read trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let report = match TraceReport::from_jsonl(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    error!(target: "trace", "cannot parse trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some(out) = &args.metrics_out {
+                std::fs::write(out, report.to_json()).expect("write trace report");
+                info!(target: "trace", "wrote trace report to {out}");
+            }
+            print!("{}", report.render());
+        }
+        _ => usage(),
     }
 }
 
@@ -276,8 +342,27 @@ fn serve(args: &Args) {
     let store = Arc::new(ShardedStore::build(&dataset, DEFAULT_SHARDS));
     let mut catalog = Catalog::new();
     catalog.insert("full", Arc::clone(&store));
-    let server = Server::start(Arc::new(catalog), ServerConfig::default());
+    let tracer = (args.trace_sample > 0 || args.trace_out.is_some())
+        .then(|| Arc::new(TraceRecorder::new(args.trace_clock)));
+    let live = args
+        .metrics_listen
+        .as_ref()
+        .map(|_| Arc::new(LiveMetrics::default_window()));
+    let config = ServerConfig {
+        tracer: tracer.clone(),
+        live: live.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::new(catalog), config);
     let handle = server.handle();
+    let metrics = match (&args.metrics_listen, &live) {
+        (Some(addr), Some(live)) => {
+            let m = MetricsServer::bind(addr, Arc::clone(live)).expect("bind metrics address");
+            println!("wwv serve: metrics on http://{}/metrics", m.local_addr());
+            Some(m)
+        }
+        _ => None,
+    };
     if let Some(path) = &args.watch_snapshot {
         spawn_snapshot_watcher(path.clone(), server.handle());
     }
@@ -286,6 +371,8 @@ fn serve(args: &Args) {
         let config = LoadgenConfig {
             threads: if args.threads == 0 { 4 } else { args.threads },
             requests_per_thread: args.requests.max(1),
+            seed: args.seed,
+            trace_sample: args.trace_sample,
             ..LoadgenConfig::default()
         };
         let report = loadgen::run(&handle, &store, &config);
@@ -295,6 +382,13 @@ fn serve(args: &Args) {
             info!(target: "serve", "wrote loadgen summary to {path}");
         }
         println!("{json}");
+        if let (Some(path), Some(tracer)) = (&args.trace_out, &tracer) {
+            std::fs::write(path, tracer.to_jsonl()).expect("write trace jsonl");
+            info!(target: "serve", "wrote {} traces to {path}", tracer.len());
+        }
+        if let Some(m) = metrics {
+            m.shutdown();
+        }
         server.shutdown();
         return;
     }
@@ -315,11 +409,13 @@ fn main() {
         wwv::par::set_threads(args.threads);
     }
 
-    // These manage their own dataset: `snapshot migrate` and
-    // `serve --snapshot` read a file, so the world build may be skipped.
+    // These manage their own dataset (or none at all): `snapshot migrate`,
+    // `serve --snapshot`, and `trace report` read a file, so the world
+    // build may be skipped.
     match command.as_str() {
         "serve" => return serve(&args),
         "snapshot" => return snapshot_cmd(&args),
+        "trace" => return trace_cmd(&args),
         _ => {}
     }
 

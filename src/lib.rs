@@ -17,6 +17,7 @@ pub use wwv_serve as serve;
 pub use wwv_stats as stats;
 pub use wwv_taxonomy as taxonomy;
 pub use wwv_telemetry as telemetry;
+pub use wwv_trace as trace;
 pub use wwv_world as world;
 
 pub mod chaos;
