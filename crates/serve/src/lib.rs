@@ -65,6 +65,7 @@ pub mod server;
 pub mod store;
 pub mod testutil;
 pub mod transport;
+pub mod watch;
 
 pub use cache::{CacheStats, LruCache};
 pub use engine::{ExecInfo, QueryEngine};
@@ -80,6 +81,7 @@ pub use store::{Catalog, ShardedStore, StoredList};
 pub use transport::{
     FaultyInProcTransport, InProcTransport, TcpClient, TcpServer, Transport, TransportError,
 };
+pub use watch::{SnapshotWatcher, WatchConfig};
 
 /// Glob-import surface for examples and the umbrella binary.
 pub mod prelude {

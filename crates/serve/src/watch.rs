@@ -1,0 +1,187 @@
+//! Snapshot file watcher: polls a snapshot path and hot-swaps the served
+//! catalog whenever the file's **content** changes.
+//!
+//! Change detection is by snapshot content fingerprint
+//! ([`wwv_snap::fingerprint_file`]: footer + per-chunk checksums, a few
+//! hundred bytes of reads per poll), *not* by mtime. A fast tick loop — the
+//! `wwv stream` emitter rewrites its output every few hundred milliseconds —
+//! can replace the file several times inside one filesystem timestamp
+//! granule, which an mtime poll silently misses; a fingerprint never does,
+//! and identical-byte rewrites never trigger a spurious swap either.
+//!
+//! Failure posture: a missing, unreadable, torn, or corrupt file is
+//! *skipped* — counted on `serve.watch.skipped`, logged once per distinct
+//! content — and the previous catalog keeps serving. Only a file that
+//! fingerprints differently **and** fully decodes is swapped in.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use wwv_obs::{error, info};
+use wwv_snap::SnapIoError;
+use wwv_telemetry::persist;
+
+use crate::server::ServeHandle;
+use crate::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
+
+/// What a completed hot swap looked like, for callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapEvent {
+    /// The catalog epoch the new snapshot became live in.
+    pub epoch: u64,
+    /// Content fingerprint of the swapped-in file.
+    pub fingerprint: u64,
+    /// File size in bytes.
+    pub bytes: usize,
+}
+
+/// Called after every successful hot swap (e.g. to measure emit-to-visible
+/// latency in the stream bench).
+pub type SwapCallback = Box<dyn Fn(SwapEvent) + Send>;
+
+/// Tunables for [`SnapshotWatcher`].
+pub struct WatchConfig {
+    /// Poll interval. Swap latency is bounded by roughly one interval.
+    pub poll: Duration,
+    /// Catalog label the store is inserted under.
+    pub label: String,
+    /// Shard count for the rebuilt store.
+    pub shards: usize,
+    /// Fingerprint the caller already serves (e.g. the file loaded at
+    /// startup); `None` makes the first valid poll swap immediately.
+    pub initial_fingerprint: Option<u64>,
+}
+
+impl Default for WatchConfig {
+    fn default() -> WatchConfig {
+        WatchConfig {
+            poll: Duration::from_millis(250),
+            label: "full".to_owned(),
+            shards: DEFAULT_SHARDS,
+            initial_fingerprint: None,
+        }
+    }
+}
+
+/// A background thread that keeps a served catalog in sync with a snapshot
+/// file on disk. Stops (and joins) on [`SnapshotWatcher::stop`] or drop.
+pub struct SnapshotWatcher {
+    run: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Content fingerprint used for change detection: the cheap partial-read
+/// snapshot fingerprint when the file is a valid container, else a raw
+/// FNV-1a of the whole file (legacy-format or corrupt bytes still must not
+/// be re-decoded every poll). `None` means unreadable/absent.
+fn probe_fingerprint(path: &std::path::Path) -> Option<u64> {
+    match wwv_snap::fingerprint_file(path) {
+        Ok(fp) => Some(fp),
+        Err(SnapIoError::Io(_)) => None,
+        Err(SnapIoError::Snap(_)) => std::fs::read(path).ok().map(|b| wwv_snap::fnv1a64(&b)),
+    }
+}
+
+impl SnapshotWatcher {
+    /// Spawns a watcher that polls `path` and swaps through `handle`.
+    pub fn spawn(path: PathBuf, handle: ServeHandle, config: WatchConfig) -> SnapshotWatcher {
+        SnapshotWatcher::spawn_with_callback(path, handle, config, None)
+    }
+
+    /// [`SnapshotWatcher::spawn`] plus an `on_swap` hook invoked after each
+    /// successful swap.
+    pub fn spawn_with_callback(
+        path: PathBuf,
+        handle: ServeHandle,
+        config: WatchConfig,
+        on_swap: Option<SwapCallback>,
+    ) -> SnapshotWatcher {
+        let run = Arc::new(AtomicBool::new(true));
+        let run2 = Arc::clone(&run);
+        let thread = std::thread::Builder::new()
+            .name("wwv-snap-watch".to_owned())
+            .spawn(move || watch_loop(&path, &handle, &config, on_swap.as_deref(), &run2))
+            .expect("spawn snapshot watcher");
+        SnapshotWatcher { run, thread: Some(thread) }
+    }
+
+    /// Signals the watcher thread and joins it.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.run.store(false, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SnapshotWatcher {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn watch_loop(
+    path: &std::path::Path,
+    handle: &ServeHandle,
+    config: &WatchConfig,
+    on_swap: Option<&(dyn Fn(SwapEvent) + Send)>,
+    run: &AtomicBool,
+) {
+    let obs = wwv_obs::global();
+    // `last_seen` is the most recent content observed, valid or not: a
+    // corrupt file is decode-attempted once per distinct content, then left
+    // alone until its bytes change again.
+    let mut last_seen = config.initial_fingerprint;
+    while run.load(Ordering::Acquire) {
+        // Sleep in small slices so stop() never waits a full interval.
+        let mut remaining = config.poll;
+        while !remaining.is_zero() && run.load(Ordering::Acquire) {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if !run.load(Ordering::Acquire) {
+            break;
+        }
+        obs.counter("serve.watch.polls").inc();
+        let Some(fp) = probe_fingerprint(path) else { continue };
+        if last_seen == Some(fp) {
+            continue;
+        }
+        last_seen = Some(fp);
+        let bytes = match std::fs::read(path) {
+            Ok(b) => Bytes::from(b),
+            Err(e) => {
+                obs.counter("serve.watch.skipped").inc();
+                error!(target: "serve", "watch: cannot read {}: {e}", path.display());
+                continue;
+            }
+        };
+        let len = bytes.len();
+        // A malformed file (e.g. a torn non-atomic write) is skipped: the
+        // previous catalog keeps serving, nothing is torn down.
+        let dataset = match persist::read_auto(bytes) {
+            Ok(ds) => ds,
+            Err(e) => {
+                obs.counter("serve.watch.skipped").inc();
+                error!(target: "serve", "watch: bad snapshot {}: {e}", path.display());
+                continue;
+            }
+        };
+        let mut catalog = Catalog::new();
+        catalog.insert(&config.label, Arc::new(ShardedStore::build(&dataset, config.shards)));
+        let epoch = handle.swap_snapshot(catalog);
+        obs.counter("serve.watch.swaps").inc();
+        info!(target: "serve", "hot-swapped snapshot from {}", path.display(); epoch = epoch);
+        if let Some(cb) = on_swap {
+            cb(SwapEvent { epoch, fingerprint: fp, bytes: len });
+        }
+    }
+}

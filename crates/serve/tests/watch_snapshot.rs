@@ -1,0 +1,185 @@
+//! Snapshot-watcher regression gate: change detection must be **content**
+//! based, not mtime based.
+//!
+//! The PR-5 watcher polled `fs::metadata(..).modified()`; a tick loop that
+//! rewrites the snapshot within one filesystem timestamp granule (ext4
+//! defaults to 1 s granularity on many kernels, coarse-grained clocks are
+//! worse) silently lost updates. The first test reproduces exactly that —
+//! rewrite the file and pin the old mtime back onto it — and requires the
+//! swap to happen anyway. The others pin the failure posture: corrupt
+//! rewrites are skipped while the old catalog keeps serving, and
+//! identical-byte rewrites never trigger a spurious swap.
+
+use std::fs::{File, FileTimes};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wwv_serve::query::{ListKey, Query, Response};
+use wwv_serve::store::Catalog;
+use wwv_serve::watch::{SnapshotWatcher, WatchConfig};
+use wwv_serve::{Server, ServerConfig};
+use wwv_telemetry::dataset::{ChromeDataset, DomainTable, RankListData};
+use wwv_telemetry::persist;
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId};
+
+const N_DOMAINS: usize = 8;
+
+/// A dataset whose every TopK count is `≡ tag (mod 1000)`, so a query
+/// reveals which snapshot generation is being served.
+fn tagged_dataset(tag: u64) -> ChromeDataset {
+    let mut domains = DomainTable::new();
+    let ids: Vec<_> = (0..N_DOMAINS)
+        .map(|i| domains.intern(&format!("w{i:02}.example"), SiteId(i as u32)))
+        .collect();
+    let mut lists = std::collections::HashMap::new();
+    let entries: Vec<_> = (0..N_DOMAINS)
+        .map(|rank| (ids[rank], (N_DOMAINS - rank) as u64 * 1000 + tag))
+        .collect();
+    let b = Breakdown {
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    };
+    lists.insert(b, RankListData { entries });
+    ChromeDataset { domains, lists, client_threshold: 200, max_depth: N_DOMAINS }
+}
+
+fn temp_snap(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wwv-watch-{}-{name}.snap", std::process::id()))
+}
+
+fn key() -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: 0,
+        platform: Platform::Windows,
+        metric: Metric::PageLoads,
+        month: Month::February2022,
+    }
+}
+
+/// The `mod 1000` tag of the currently served list, asserting the query
+/// itself succeeds.
+fn served_tag(handle: &wwv_serve::ServeHandle) -> u64 {
+    match handle.call(Query::TopK { key: key(), k: 1 }).expect("query failed") {
+        Response::TopK(entries) => entries[0].count % 1000,
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+fn wait_for_epoch(handle: &wwv_serve::ServeHandle, min_epoch: u64, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if handle.engine().epoch() >= min_epoch {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn start_watched(
+    path: &std::path::Path,
+    dataset: &ChromeDataset,
+) -> (Server, wwv_serve::ServeHandle, SnapshotWatcher) {
+    let fp = wwv_snap::fingerprint_file(path).expect("fingerprint initial snapshot");
+    let catalog = Catalog::new().with_dataset("full", dataset);
+    let server = Server::start(Arc::new(catalog), ServerConfig::default());
+    let handle = server.handle();
+    let watcher = SnapshotWatcher::spawn(
+        path.to_path_buf(),
+        server.handle(),
+        WatchConfig {
+            poll: Duration::from_millis(25),
+            initial_fingerprint: Some(fp),
+            ..WatchConfig::default()
+        },
+    );
+    (server, handle, watcher)
+}
+
+#[test]
+fn same_mtime_rewrite_is_detected() {
+    let path = temp_snap("samemtime");
+    let ds0 = tagged_dataset(0);
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    let (server, handle, watcher) = start_watched(&path, &ds0);
+    assert_eq!(served_tag(&handle), 0);
+    let epoch0 = handle.engine().epoch();
+    let mtime0 = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+    // Stage the new snapshot, pin the OLD mtime onto it, then rename it
+    // into place: the watcher only ever observes a file whose mtime never
+    // moved. An mtime-polling watcher can never notice this rewrite.
+    let bytes1 = persist::write_snapshot(&tagged_dataset(1));
+    let staged = path.with_extension("staged");
+    std::fs::write(&staged, &bytes1).unwrap();
+    let f = File::options().write(true).open(&staged).unwrap();
+    f.set_times(FileTimes::new().set_accessed(mtime0).set_modified(mtime0)).unwrap();
+    drop(f);
+    std::fs::rename(&staged, &path).unwrap();
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().modified().unwrap(),
+        mtime0,
+        "test setup: the rewrite must not move the mtime"
+    );
+
+    assert!(
+        wait_for_epoch(&handle, epoch0 + 1, Duration::from_secs(5)),
+        "watcher missed a same-mtime rewrite (content fingerprint regression)"
+    );
+    assert_eq!(served_tag(&handle), 1);
+
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_rewrite_keeps_serving_then_recovers() {
+    let path = temp_snap("corrupt");
+    let ds0 = tagged_dataset(0);
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    let (server, handle, watcher) = start_watched(&path, &ds0);
+    let epoch0 = handle.engine().epoch();
+
+    // A torn write: a valid snapshot truncated mid-frame (what a crashed
+    // non-atomic writer leaves behind).
+    let bytes1 = persist::write_snapshot(&tagged_dataset(1));
+    std::fs::write(&path, &bytes1[..bytes1.len() / 2]).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // several poll cycles
+    assert_eq!(handle.engine().epoch(), epoch0, "corrupt file must not swap");
+    assert_eq!(served_tag(&handle), 0, "old catalog must keep serving");
+
+    // The writer finishes properly: the watcher must pick it up.
+    wwv_snap::write_atomic(&path, &bytes1).unwrap();
+    assert!(wait_for_epoch(&handle, epoch0 + 1, Duration::from_secs(5)));
+    assert_eq!(served_tag(&handle), 1);
+
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn identical_rewrite_does_not_swap() {
+    let path = temp_snap("identical");
+    let ds0 = tagged_dataset(0);
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    let (server, handle, watcher) = start_watched(&path, &ds0);
+    let epoch0 = handle.engine().epoch();
+
+    // Rewriting identical bytes bumps the mtime but not the content; a
+    // fingerprint watcher must not churn the catalog (each spurious swap
+    // would purge the result cache).
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(handle.engine().epoch(), epoch0, "identical rewrite must not swap");
+    assert_eq!(served_tag(&handle), 0);
+
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

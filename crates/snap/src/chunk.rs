@@ -34,10 +34,10 @@ pub const TAIL_MAGIC: &[u8; 4] = b"SNAP";
 /// Container format version.
 pub const FORMAT_VERSION: u16 = 1;
 
-const HEADER_LEN: usize = 6;
-const FOOTER_LEN: usize = 24;
+pub(crate) const HEADER_LEN: usize = 6;
+pub(crate) const FOOTER_LEN: usize = 24;
 /// Frame overhead besides the key: kind + key_len + payload_len + checksum.
-const FRAME_OVERHEAD: usize = 2 + 2 + 4 + 8;
+pub(crate) const FRAME_OVERHEAD: usize = 2 + 2 + 4 + 8;
 
 /// One catalog row: where a chunk lives and what it is.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +129,79 @@ fn read_u64(b: &[u8]) -> u64 {
     u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
+/// Validates the 24-byte footer (checksum + tail magic) and returns
+/// `(catalog_offset, catalog_len)`. Shared by the in-memory parser and the
+/// partial-read fingerprint path in [`crate::fsio`].
+pub(crate) fn parse_footer(tail: &[u8]) -> Result<(u64, u32), SnapError> {
+    debug_assert_eq!(tail.len(), FOOTER_LEN);
+    if &tail[FOOTER_LEN - 4..] != TAIL_MAGIC {
+        return Err(SnapError::TailMagic);
+    }
+    let footer = &tail[..12];
+    let stored = read_u64(&tail[12..20]);
+    if fnv1a64(footer) != stored {
+        return Err(SnapError::FooterChecksum);
+    }
+    Ok((read_u64(&footer[..8]), read_u32(&footer[8..12])))
+}
+
+/// Parses the checksummed catalog region (`count` + rows + checksum) into
+/// entries. `catalog` is the full region of `catalog_len` bytes.
+pub(crate) fn parse_catalog(catalog: &[u8]) -> Result<Vec<ChunkEntry>, SnapError> {
+    if catalog.len() < 12 {
+        return Err(SnapError::Malformed("catalog bounds"));
+    }
+    let (body, stored) = catalog.split_at(catalog.len() - 8);
+    if fnv1a64(body) != read_u64(stored) {
+        return Err(SnapError::CatalogChecksum);
+    }
+    let mut cur = body;
+    if cur.len() < 4 {
+        return Err(SnapError::Malformed("catalog count"));
+    }
+    let count = read_u32(cur) as usize;
+    cur = &cur[4..];
+    let mut entries = Vec::with_capacity(count.min(4_096));
+    for _ in 0..count {
+        if cur.len() < 4 {
+            return Err(SnapError::Malformed("catalog entry header"));
+        }
+        let kind = read_u16(cur);
+        let key_len = read_u16(&cur[2..]) as usize;
+        cur = &cur[4..];
+        if cur.len() < key_len + 12 {
+            return Err(SnapError::Malformed("catalog entry body"));
+        }
+        let key = cur[..key_len].to_vec();
+        let offset = read_u64(&cur[key_len..]);
+        let frame_len = read_u32(&cur[key_len + 8..]);
+        cur = &cur[key_len + 12..];
+        entries.push(ChunkEntry { kind, key, offset, frame_len });
+    }
+    if !cur.is_empty() {
+        return Err(SnapError::Malformed("catalog trailing bytes"));
+    }
+    Ok(entries)
+}
+
+/// Checks that the chunks tile `[header, catalog)` exactly: every byte of
+/// the file is then covered by some checksum or equality check.
+pub(crate) fn check_tiling(entries: &[ChunkEntry], catalog_offset: u64) -> Result<(), SnapError> {
+    let mut at = HEADER_LEN as u64;
+    for e in entries {
+        if e.offset != at || (e.frame_len as usize) < FRAME_OVERHEAD {
+            return Err(SnapError::Malformed("chunks do not tile the file"));
+        }
+        at = at
+            .checked_add(e.frame_len as u64)
+            .ok_or(SnapError::Malformed("chunk length overflow"))?;
+    }
+    if at != catalog_offset {
+        return Err(SnapError::Malformed("chunks do not tile the file"));
+    }
+    Ok(())
+}
+
 /// A parsed snapshot file: header/footer/catalog verified eagerly, chunk
 /// payloads verified lazily on access (so a single-list read costs one
 /// checksum pass over one chunk, not the whole file).
@@ -159,69 +232,38 @@ impl SnapshotFile {
             return Err(SnapError::Truncated("footer"));
         }
         let footer_start = bytes.len() - FOOTER_LEN;
-        if &bytes[bytes.len() - 4..] != TAIL_MAGIC {
-            return Err(SnapError::TailMagic);
-        }
-        let footer = &bytes[footer_start..footer_start + 12];
-        let stored = read_u64(&bytes[footer_start + 12..footer_start + 20]);
-        if fnv1a64(footer) != stored {
-            return Err(SnapError::FooterChecksum);
-        }
-        let catalog_offset = read_u64(&footer[..8]) as usize;
-        let catalog_len = read_u32(&footer[8..12]) as usize;
+        let (catalog_offset, catalog_len) = parse_footer(&bytes[footer_start..])?;
+        let catalog_offset = catalog_offset as usize;
+        let catalog_len = catalog_len as usize;
         if catalog_len < 12
             || catalog_offset < HEADER_LEN
             || catalog_offset.checked_add(catalog_len) != Some(footer_start)
         {
             return Err(SnapError::Malformed("catalog bounds"));
         }
-        let catalog = &bytes[catalog_offset..footer_start];
-        let (body, stored) = catalog.split_at(catalog_len - 8);
-        if fnv1a64(body) != read_u64(stored) {
-            return Err(SnapError::CatalogChecksum);
-        }
-        // Parse the (now trusted) catalog entries.
-        let mut cur = body;
-        if cur.len() < 4 {
-            return Err(SnapError::Malformed("catalog count"));
-        }
-        let count = read_u32(cur) as usize;
-        cur = &cur[4..];
-        let mut entries = Vec::with_capacity(count.min(4_096));
-        for _ in 0..count {
-            if cur.len() < 4 {
-                return Err(SnapError::Malformed("catalog entry header"));
-            }
-            let kind = read_u16(cur);
-            let key_len = read_u16(&cur[2..]) as usize;
-            cur = &cur[4..];
-            if cur.len() < key_len + 12 {
-                return Err(SnapError::Malformed("catalog entry body"));
-            }
-            let key = cur[..key_len].to_vec();
-            let offset = read_u64(&cur[key_len..]);
-            let frame_len = read_u32(&cur[key_len + 8..]);
-            cur = &cur[key_len + 12..];
-            entries.push(ChunkEntry { kind, key, offset, frame_len });
-        }
-        if !cur.is_empty() {
-            return Err(SnapError::Malformed("catalog trailing bytes"));
-        }
-        // The chunks must tile [header, catalog) exactly: every byte of the
-        // file is then covered by some checksum or equality check.
-        let mut at = HEADER_LEN as u64;
-        for e in &entries {
-            if e.offset != at || (e.frame_len as usize) < FRAME_OVERHEAD {
-                return Err(SnapError::Malformed("chunks do not tile the file"));
-            }
-            at = at
-                .checked_add(e.frame_len as u64)
-                .ok_or(SnapError::Malformed("chunk length overflow"))?;
-        }
-        if at != catalog_offset as u64 {
-            return Err(SnapError::Malformed("chunks do not tile the file"));
-        }
+        let entries = parse_catalog(&bytes[catalog_offset..footer_start])?;
+        check_tiling(&entries, catalog_offset as u64)?;
         Ok(SnapshotFile { bytes, entries })
+    }
+
+    /// Content fingerprint of the whole file: FNV-1a folded over the footer
+    /// plus every chunk frame's stored checksum, in catalog order.
+    ///
+    /// The footer covers the catalog location, the (checksummed) catalog
+    /// covers the layout, and each frame checksum covers that chunk's kind,
+    /// key, and payload bytes — so any change to any content byte of a valid
+    /// snapshot changes the fingerprint, without hashing payloads again.
+    /// Unlike an mtime this is stable across rewrites of identical bytes and
+    /// always moves when bytes move, which is what the snapshot watcher's
+    /// change detection needs. [`crate::fsio::fingerprint_file`] computes
+    /// the identical value from a file with a few small reads.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a64(&self.bytes[self.bytes.len() - FOOTER_LEN..]);
+        for e in &self.entries {
+            let end = (e.offset + e.frame_len as u64) as usize;
+            h = crate::fnv1a64_extend(h, &self.bytes[end - 8..end]);
+        }
+        h
     }
 
     /// The catalog rows, in file order.

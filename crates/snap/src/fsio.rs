@@ -1,0 +1,224 @@
+//! Filesystem glue for snapshot files: crash-safe atomic writes and cheap
+//! change detection for watchers.
+//!
+//! Two invariants drive this module:
+//!
+//! * **A reader never sees a torn file.** [`write_atomic`] writes to a
+//!   sibling temp file, fsyncs it, and `rename(2)`s it over the target —
+//!   the destination path only ever holds either the old complete snapshot
+//!   or the new complete snapshot, never a prefix. A crashed writer leaves
+//!   at worst a stale `*.wwvtmp` sibling, which the next write overwrites.
+//! * **Change detection is content-based, not mtime-based.** A fast tick
+//!   loop can rewrite a snapshot several times within one filesystem
+//!   timestamp granule, so an mtime poll silently misses updates.
+//!   [`fingerprint_file`] reads only the footer, the catalog, and each
+//!   frame's stored 8-byte checksum (a few hundred bytes, independent of
+//!   payload size) and folds them into the same content fingerprint that
+//!   [`SnapshotFile::fingerprint`](crate::SnapshotFile::fingerprint)
+//!   computes in memory — any content change anywhere in a valid file moves
+//!   the fingerprint.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::chunk::{check_tiling, parse_catalog, parse_footer, FOOTER_LEN, HEADER_LEN};
+use crate::{fnv1a64, fnv1a64_extend, SnapError, FORMAT_VERSION, MAGIC};
+
+/// Failure modes of the filesystem helpers: either the OS said no, or the
+/// file's snapshot structure is invalid.
+#[derive(Debug)]
+pub enum SnapIoError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file's bytes do not form a valid snapshot container.
+    Snap(SnapError),
+}
+
+impl std::fmt::Display for SnapIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapIoError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapIoError::Snap(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapIoError {}
+
+impl From<io::Error> for SnapIoError {
+    fn from(e: io::Error) -> SnapIoError {
+        SnapIoError::Io(e)
+    }
+}
+
+impl From<SnapError> for SnapIoError {
+    fn from(e: SnapError) -> SnapIoError {
+        SnapIoError::Snap(e)
+    }
+}
+
+/// The sibling temp path used by [`write_atomic`]: `<name>.wwvtmp` in the
+/// same directory (same filesystem, so the rename is atomic).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".wwvtmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, `rename` over the target, then a best-effort directory fsync so
+/// the rename itself survives a power cut. Concurrent watchers polling
+/// `path` observe either the previous complete file or the new complete
+/// file — never a partial write. Assumes a single writer per target path
+/// (concurrent writers race on the temp name; last rename wins, and the
+/// target is still never torn).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut f = File::create(&tmp)?;
+    if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
+        drop(f);
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    drop(f);
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename needs the directory entry flushed too; a
+    // failure here cannot tear the file, so it is deliberately ignored.
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Computes the snapshot content fingerprint of a file with partial reads:
+/// footer, catalog, and one 8-byte read per chunk — no payload bytes are
+/// touched. Returns the same value as parsing the whole file and calling
+/// [`SnapshotFile::fingerprint`](crate::SnapshotFile::fingerprint).
+///
+/// Structural errors ([`SnapIoError::Snap`]) mean the file is not (yet) a
+/// valid snapshot — e.g. a legacy-format file or a corrupt write — and the
+/// caller should fall back or skip; they do not verify payload checksums,
+/// which the subsequent full decode re-checks anyway.
+pub fn fingerprint_file(path: &Path) -> Result<u64, SnapIoError> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    if len < (HEADER_LEN + 12 + FOOTER_LEN) as u64 {
+        return Err(SnapError::Truncated("footer").into());
+    }
+    let mut header = [0u8; HEADER_LEN];
+    f.read_exact(&mut header)?;
+    if &header[..4] != MAGIC {
+        return Err(SnapError::Magic.into());
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != FORMAT_VERSION {
+        return Err(SnapError::Version(version).into());
+    }
+    let footer_start = len - FOOTER_LEN as u64;
+    let mut tail = [0u8; FOOTER_LEN];
+    f.seek(SeekFrom::Start(footer_start))?;
+    f.read_exact(&mut tail)?;
+    let (catalog_offset, catalog_len) = parse_footer(&tail)?;
+    if catalog_len < 12
+        || catalog_offset < HEADER_LEN as u64
+        || catalog_offset.checked_add(catalog_len as u64) != Some(footer_start)
+    {
+        return Err(SnapError::Malformed("catalog bounds").into());
+    }
+    let mut catalog = vec![0u8; catalog_len as usize];
+    f.seek(SeekFrom::Start(catalog_offset))?;
+    f.read_exact(&mut catalog)?;
+    let entries = parse_catalog(&catalog)?;
+    check_tiling(&entries, catalog_offset)?;
+    let mut h = fnv1a64(&tail);
+    let mut checksum = [0u8; 8];
+    for e in &entries {
+        f.seek(SeekFrom::Start(e.offset + e.frame_len as u64 - 8))?;
+        f.read_exact(&mut checksum)?;
+        h = fnv1a64_extend(h, &checksum);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SnapshotFile, SnapshotWriter};
+    use bytes::Bytes;
+
+    fn sample(tag: u8) -> Bytes {
+        let mut w = SnapshotWriter::new();
+        w.add_chunk(1, b"", &[tag, 1, 2, 3]);
+        w.add_chunk(2, b"\x00\x01", &[tag; 200]);
+        w.finish()
+    }
+
+    fn temp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wwv-snap-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_cleans_tmp() {
+        let path = temp_file("roundtrip.snap");
+        let bytes = sample(7);
+        write_atomic(&path, &bytes).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), bytes[..]);
+        assert!(!tmp_path(&path).exists(), "temp sibling left behind");
+        // Overwriting in place works and replaces the content wholesale.
+        let bytes2 = sample(8);
+        write_atomic(&path, &bytes2).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), bytes2[..]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_overwrites_stale_tmp() {
+        let path = temp_file("staletmp.snap");
+        fs::write(tmp_path(&path), b"half-written garbage from a crash").unwrap();
+        let bytes = sample(9);
+        write_atomic(&path, &bytes).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), bytes[..]);
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_fingerprint_matches_in_memory_fingerprint() {
+        let path = temp_file("fp.snap");
+        for tag in [1u8, 2, 3] {
+            let bytes = sample(tag);
+            write_atomic(&path, &bytes).unwrap();
+            let in_memory = SnapshotFile::parse(bytes).unwrap().fingerprint();
+            assert_eq!(fingerprint_file(&path).unwrap(), in_memory);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_single_byte_payload_change() {
+        let a = SnapshotFile::parse(sample(1)).unwrap().fingerprint();
+        let b = SnapshotFile::parse(sample(2)).unwrap().fingerprint();
+        assert_ne!(a, b, "payload change must move the fingerprint");
+        // Same bytes → same fingerprint (rewrite detection must not flap).
+        let a2 = SnapshotFile::parse(sample(1)).unwrap().fingerprint();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn fingerprint_file_rejects_non_snapshots() {
+        let path = temp_file("bogus.snap");
+        fs::write(&path, b"definitely not a snapshot, far too short-ish but long enough").unwrap();
+        assert!(matches!(
+            fingerprint_file(&path),
+            Err(SnapIoError::Snap(SnapError::Magic))
+        ));
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(fingerprint_file(&path), Err(SnapIoError::Io(_))));
+    }
+}

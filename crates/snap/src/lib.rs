@@ -29,9 +29,11 @@
 //! checksums are verified **before** any payload parsing.
 
 pub mod chunk;
+pub mod fsio;
 pub mod varint;
 
 pub use chunk::{ChunkEntry, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC, TAIL_MAGIC};
+pub use fsio::{fingerprint_file, write_atomic, SnapIoError};
 
 use std::fmt;
 
@@ -87,7 +89,13 @@ impl std::error::Error for SnapError {}
 /// FNV-1a 64-bit over a byte slice — the frame checksum. Not
 /// cryptographic; it guards against bit rot and truncation, not attackers.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a64_extend(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a 64-bit hash from a previous state — lets callers
+/// fold several discontiguous slices into one digest (the snapshot content
+/// fingerprint chains the footer and every frame checksum this way).
+pub fn fnv1a64_extend(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

@@ -1,0 +1,240 @@
+//! Tick-over-tick category-share anomaly detection.
+//!
+//! The paper's §4.5 temporal analysis observes that category shares are
+//! stable month-over-month *except* under shocks (the December e-commerce
+//! bump). The streaming analogue: compute the category share vector of the
+//! emitted window every tick, difference it against the previous tick, and
+//! flag categories whose share delta is a MAD outlier among this tick's
+//! deltas (`wwv_stats::mad_outliers`) *and* exceeds an absolute floor —
+//! the floor keeps the detector quiet on steady streams, where even the
+//! largest of 12 near-zero deltas is technically an "outlier".
+
+use std::collections::HashMap;
+
+use wwv_stats::{mad_outliers, median, OutlierVerdict};
+use wwv_taxonomy::Category;
+use wwv_world::{SiteId, World};
+
+/// Domain → (site, category) lookup covering every domain the generator can
+/// emit for the active countries. Built once per run; snapshot assembly and
+/// share computation both resolve through it.
+pub struct DomainIndex {
+    map: HashMap<String, (SiteId, Category)>,
+}
+
+impl DomainIndex {
+    /// Indexes all domains of `world`'s universe as rendered in the first
+    /// `countries` countries (ccTLD sites render a different domain per
+    /// country).
+    pub fn build(world: &World, countries: usize) -> DomainIndex {
+        let universe = world.universe();
+        let mut map = HashMap::new();
+        for (i, site) in universe.sites.iter().enumerate() {
+            let id = SiteId(i as u32);
+            if site.cctld {
+                for country in 0..countries {
+                    map.insert(site.domain_in(country), (id, site.category));
+                }
+            } else {
+                map.insert(site.domain_in(0), (id, site.category));
+            }
+        }
+        DomainIndex { map }
+    }
+
+    /// Resolves a domain to its site, if it belongs to the universe.
+    pub fn site(&self, domain: &str) -> Option<SiteId> {
+        self.map.get(domain).map(|&(id, _)| id)
+    }
+
+    /// Resolves a domain to its category, if it belongs to the universe.
+    pub fn category(&self, domain: &str) -> Option<Category> {
+        self.map.get(domain).map(|&(_, c)| c)
+    }
+
+    /// Number of indexed domains.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The load-weighted category share vector (one entry per `Category::ALL`,
+/// in that order) of a set of `(domain, count)` rank entries. Domains
+/// outside the universe contribute nothing. All-zero input yields all-zero
+/// shares.
+pub fn category_shares<'a, I>(entries: I, index: &DomainIndex) -> Vec<f64>
+where
+    I: IntoIterator<Item = (&'a str, u64)>,
+{
+    let mut counts = vec![0u64; Category::ALL.len()];
+    for (domain, n) in entries {
+        if let Some(cat) = index.category(domain) {
+            let slot = Category::ALL.iter().position(|c| *c == cat).expect("category in ALL");
+            counts[slot] += n;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; Category::ALL.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// One flagged category-share shift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Tick the shift was observed at.
+    pub tick: u64,
+    /// The shifting category.
+    pub category: Category,
+    /// Share at the previous tick.
+    pub before: f64,
+    /// Share at this tick.
+    pub after: f64,
+    /// `after − before`.
+    pub delta: f64,
+    /// Modified z-score of the delta among this tick's deltas (0 when the
+    /// MAD degenerates).
+    pub z: f64,
+}
+
+/// Stateful tick-over-tick detector. Feed it the emitted share vector once
+/// per tick; it returns the categories whose shift is anomalous.
+pub struct AnomalyDetector {
+    min_share_delta: f64,
+    mad_threshold: f64,
+    prev: Option<Vec<f64>>,
+    flagged_total: u64,
+}
+
+impl AnomalyDetector {
+    /// A detector flagging deltas that are MAD outliers beyond
+    /// `mad_threshold` and at least `min_share_delta` in magnitude.
+    pub fn new(min_share_delta: f64, mad_threshold: f64) -> AnomalyDetector {
+        AnomalyDetector { min_share_delta, mad_threshold, prev: None, flagged_total: 0 }
+    }
+
+    /// Observes tick `tick`'s share vector (in `Category::ALL` order) and
+    /// returns any flagged shifts. The first observation only establishes
+    /// the baseline.
+    pub fn observe(&mut self, tick: u64, shares: &[f64]) -> Vec<AnomalyEvent> {
+        debug_assert_eq!(shares.len(), Category::ALL.len());
+        let Some(prev) = self.prev.replace(shares.to_vec()) else {
+            return Vec::new();
+        };
+        let deltas: Vec<f64> = shares.iter().zip(&prev).map(|(a, b)| a - b).collect();
+        let Some(verdicts) = mad_outliers(&deltas, self.mad_threshold) else {
+            return Vec::new();
+        };
+        let med = median(&deltas).unwrap_or(0.0);
+        let mad = {
+            let dev: Vec<f64> = deltas.iter().map(|d| (d - med).abs()).collect();
+            median(&dev).unwrap_or(0.0)
+        };
+        let mut out = Vec::new();
+        for (slot, (&delta, verdict)) in deltas.iter().zip(verdicts).enumerate() {
+            if verdict == OutlierVerdict::Inlier || delta.abs() < self.min_share_delta {
+                continue;
+            }
+            let z = if mad > 0.0 { 0.6745 * (delta - med) / mad } else { 0.0 };
+            out.push(AnomalyEvent {
+                tick,
+                category: Category::ALL[slot],
+                before: prev[slot],
+                after: shares[slot],
+                delta,
+                z,
+            });
+            self.flagged_total += 1;
+        }
+        out
+    }
+
+    /// Total flags emitted over the detector's lifetime.
+    pub fn flagged_total(&self) -> u64 {
+        self.flagged_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::WorldConfig;
+
+    fn even_shares() -> Vec<f64> {
+        vec![1.0 / Category::ALL.len() as f64; Category::ALL.len()]
+    }
+
+    #[test]
+    fn index_covers_universe_domains() {
+        let world = World::new(WorldConfig::small());
+        let index = DomainIndex::build(&world, 3);
+        assert!(!index.is_empty());
+        let domain = world.domain_of(SiteId(0), 0);
+        assert_eq!(index.site(&domain), Some(SiteId(0)));
+        assert!(index.category(&domain).is_some());
+        assert_eq!(index.site("not-in-universe.example"), None);
+    }
+
+    #[test]
+    fn steady_shares_are_never_flagged() {
+        let mut det = AnomalyDetector::new(0.004, 6.0);
+        for tick in 0..10 {
+            assert!(det.observe(tick, &even_shares()).is_empty(), "flag at tick {tick}");
+        }
+        assert_eq!(det.flagged_total(), 0);
+    }
+
+    #[test]
+    fn a_share_shock_is_flagged_on_the_next_tick() {
+        let mut det = AnomalyDetector::new(0.004, 6.0);
+        let base = even_shares();
+        assert!(det.observe(0, &base).is_empty());
+        // Move 10 points of share into category 0, draining the rest evenly.
+        let n = base.len();
+        let mut shocked = base.clone();
+        shocked[0] += 0.10;
+        for s in shocked.iter_mut().skip(1) {
+            *s -= 0.10 / (n - 1) as f64;
+        }
+        let events = det.observe(1, &shocked);
+        assert_eq!(events.len(), 1, "exactly the shocked category flags: {events:?}");
+        assert_eq!(events[0].category, Category::ALL[0]);
+        assert!(events[0].delta > 0.09);
+        assert_eq!(events[0].tick, 1);
+        // Stabilizing at the new level stops the flagging.
+        assert!(det.observe(2, &shocked).is_empty());
+    }
+
+    #[test]
+    fn sub_floor_shifts_stay_quiet() {
+        let mut det = AnomalyDetector::new(0.05, 6.0);
+        let base = even_shares();
+        assert!(det.observe(0, &base).is_empty());
+        let n = base.len();
+        let mut nudged = base.clone();
+        nudged[0] += 0.01;
+        for s in nudged.iter_mut().skip(1) {
+            *s -= 0.01 / (n - 1) as f64;
+        }
+        assert!(det.observe(1, &nudged).is_empty(), "1-point shift is below the 5-point floor");
+    }
+
+    #[test]
+    fn shares_are_normalized_and_aligned_to_category_all() {
+        let world = World::new(WorldConfig::small());
+        let index = DomainIndex::build(&world, 1);
+        let d0 = world.domain_of(SiteId(0), 0);
+        let shares = category_shares([(d0.as_str(), 10u64)], &index);
+        assert_eq!(shares.len(), Category::ALL.len());
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let cat = index.category(&d0).unwrap();
+        let slot = Category::ALL.iter().position(|c| *c == cat).unwrap();
+        assert_eq!(shares[slot], 1.0);
+    }
+}

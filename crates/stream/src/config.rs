@@ -1,0 +1,168 @@
+//! Stream run configuration: window geometry, tick pacing, scenarios.
+
+use std::time::Duration;
+
+/// Mid-run perturbation of the generated client stream (the §4.5 temporal
+/// scenarios, compressed from months to ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// No perturbation.
+    None,
+    /// From the shock tick on, every site's demand weight is multiplied by
+    /// its December seasonal factor (e-commerce up, education down) — the
+    /// paper's holiday-season shift, compressed into one tick boundary.
+    Seasonality,
+    /// From the shock tick on, one country's client volume collapses to 5%
+    /// (a national network outage).
+    Outage,
+    /// From the shock tick on, one globally-available site's demand weight
+    /// is multiplied 50× (a viral flash crowd).
+    FlashCrowd,
+}
+
+impl Scenario {
+    /// Parses a CLI scenario name.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        match s {
+            "none" => Some(Scenario::None),
+            "seasonality" => Some(Scenario::Seasonality),
+            "outage" => Some(Scenario::Outage),
+            "flashcrowd" => Some(Scenario::FlashCrowd),
+            _ => None,
+        }
+    }
+
+    /// Stable name (reports, metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::None => "none",
+            Scenario::Seasonality => "seasonality",
+            Scenario::Outage => "outage",
+            Scenario::FlashCrowd => "flashcrowd",
+        }
+    }
+}
+
+/// How ticks advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickClock {
+    /// Ticks run back-to-back with no pacing — the deterministic mode used
+    /// by the byte-identity gates (no wall time enters the data path).
+    Logical,
+    /// Each tick is paced to `tick_interval` of wall time — the live mode
+    /// used when a server watches the emitted snapshot.
+    Wall,
+}
+
+impl TickClock {
+    /// Parses a CLI clock name.
+    pub fn parse(s: &str) -> Option<TickClock> {
+        match s {
+            "logical" => Some(TickClock::Logical),
+            "wall" => Some(TickClock::Wall),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration for a stream run. Everything that influences the emitted
+/// bytes is deterministic; only pacing ([`TickClock::Wall`]) touches wall
+/// time.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Stream-level seed, folded into every generation draw (lets several
+    /// distinct streams run against one world seed).
+    pub seed: u64,
+    /// Number of countries covered (the first `countries` of `COUNTRIES`);
+    /// cells = countries × 2 platforms.
+    pub countries: usize,
+    /// Ticks to run.
+    pub ticks: u64,
+    /// Rolling window length in ticks (ring of tick-buckets).
+    pub window: usize,
+    /// Rank-list depth emitted per (country, platform, metric).
+    pub top_k: usize,
+    /// Simulated clients per cell per tick.
+    pub clients_per_tick: u64,
+    /// Mean page loads per client per tick (Poisson).
+    pub mean_loads: f64,
+    /// Foreground-event upload probability. Deliberately higher than the
+    /// production 0.35% so tick-scale TimeOnPage lists are non-degenerate.
+    pub fg_rate: f64,
+    /// Probability a load targets a non-public domain (dropped at ingest).
+    pub non_public_rate: f64,
+    /// Privacy floor: windowed counts below this are not emitted.
+    pub min_count: u64,
+    /// Wall-clock tick pacing (ignored under [`TickClock::Logical`]).
+    pub tick_interval: Duration,
+    /// Tick pacing mode.
+    pub clock: TickClock,
+    /// Mid-run perturbation.
+    pub scenario: Scenario,
+    /// First tick the scenario is active in.
+    pub shock_tick: u64,
+    /// Country index whose volume collapses under [`Scenario::Outage`].
+    pub outage_country: usize,
+    /// Anomaly floor: category share deltas below this are never flagged.
+    pub anomaly_min_share_delta: f64,
+    /// MAD modified-z threshold for flagging a category share delta.
+    pub anomaly_mad_threshold: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            seed: 42,
+            countries: 8,
+            ticks: 12,
+            window: 4,
+            top_k: 200,
+            clients_per_tick: 24,
+            mean_loads: 40.0,
+            fg_rate: 0.05,
+            non_public_rate: 0.01,
+            min_count: 1,
+            tick_interval: Duration::from_millis(250),
+            clock: TickClock::Logical,
+            scenario: Scenario::None,
+            shock_tick: 0,
+            outage_country: 0,
+            anomaly_min_share_delta: 0.004,
+            anomaly_mad_threshold: 6.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Whether the scenario perturbs tick `tick`.
+    pub fn shock_active(&self, tick: u64) -> bool {
+        self.scenario != Scenario::None && tick >= self.shock_tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_roundtrip() {
+        for s in [Scenario::None, Scenario::Seasonality, Scenario::Outage, Scenario::FlashCrowd] {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("tsunami"), None);
+    }
+
+    #[test]
+    fn clock_parses() {
+        assert_eq!(TickClock::parse("logical"), Some(TickClock::Logical));
+        assert_eq!(TickClock::parse("wall"), Some(TickClock::Wall));
+        assert_eq!(TickClock::parse("sundial"), None);
+    }
+
+    #[test]
+    fn default_shock_is_inert() {
+        let cfg = StreamConfig::default();
+        assert!(!cfg.shock_active(0));
+        assert!(!cfg.shock_active(100));
+    }
+}

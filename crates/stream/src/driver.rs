@@ -1,0 +1,465 @@
+//! The tick loop: generate → (faults) → ingest → assemble → emit → detect.
+//!
+//! Parallelism vs determinism, stage by stage:
+//!
+//! * **generate** — `par_map` over cells; each cell's batches are a pure
+//!   function of `(seeds, tick, cell)`, and `par_map` returns index order.
+//! * **faults** — [`FaultPlan::decide`] advances a global per-point arrival
+//!   counter, so decisions are taken *serially*, in canonical cell/batch
+//!   order, before ingest. The same plan therefore drops/delays the same
+//!   batches at any worker count.
+//! * **ingest** — `par_map` over cells again; state is cell-local (one
+//!   mutex per cell, locked only by its own index — never contended, just
+//!   satisfying the shared-reference bound), and within a cell batches
+//!   apply in generation order.
+//! * **assemble + emit** — serial: one pass in canonical cell order interns
+//!   domains in deterministic first-seen order and builds the
+//!   `ChromeDataset`, so `persist::write_snapshot` emits identical bytes
+//!   for identical window state.
+//!
+//! Wall time never touches the data path: it is only *measured* (tick
+//! latency histogram) and, under [`TickClock::Wall`], *spent* (pacing,
+//! delay faults).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wwv_fault::{FaultKind, FaultPlan};
+use wwv_par::Pool;
+use wwv_telemetry::dataset::{ChromeDataset, DomainTable, RankListData};
+use wwv_telemetry::event::ClientBatch;
+use wwv_telemetry::persist;
+use wwv_world::{Breakdown, Metric, Month, SiteId, World};
+
+use crate::anomaly::{category_shares, AnomalyDetector, AnomalyEvent, DomainIndex};
+use crate::config::{StreamConfig, TickClock};
+use crate::gen::TickGenerator;
+use crate::rolling::CellAggregator;
+use crate::sink::SnapshotSink;
+use crate::STREAM_INGEST;
+
+/// Delay faults sleep at most this long per batch (wall mode only), so a
+/// hostile plan slows a tick without stalling the run.
+const MAX_DELAY_SLEEP_MS: u64 = 100;
+
+/// What a stream run did. `to_json` is hand-rolled (no serde at runtime) —
+/// this is the payload `wwv stream --metrics-out` writes and
+/// `scripts/bench_stream.sh` consumes.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Ticks completed.
+    pub ticks: u64,
+    /// Cells (countries × platforms).
+    pub cells: usize,
+    /// Events generated before faults.
+    pub events_generated: u64,
+    /// Events reaching the aggregators.
+    pub events_ingested: u64,
+    /// Events rejected at ingest as non-public.
+    pub non_public_drops: u64,
+    /// Client batches lost to `Drop` faults.
+    pub batches_dropped: u64,
+    /// Client batches held by `Delay` faults (still delivered).
+    pub batches_delayed: u64,
+    /// Fault firings of any kind (from the plan's counters).
+    pub faults_fired: u64,
+    /// Snapshots emitted (one per tick).
+    pub snapshots_emitted: u64,
+    /// Size of the last emitted snapshot.
+    pub last_snapshot_bytes: usize,
+    /// Full top-K rebuilds across all cells and metrics (the incremental
+    /// path's miss count).
+    pub topk_rebuilds: u64,
+    /// Every anomaly flagged, in tick order.
+    pub anomalies: Vec<AnomalyEvent>,
+    /// Wall-clock duration of the run.
+    pub elapsed_ms: u64,
+    /// Ingest throughput over the whole run.
+    pub events_per_sec: f64,
+    /// Median tick latency (generate→emit, excluding pacing sleep).
+    pub tick_ms_p50: f64,
+    /// p99 tick latency.
+    pub tick_ms_p99: f64,
+}
+
+impl StreamReport {
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        let anomalies: Vec<String> = self
+            .anomalies
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"tick\":{},\"category\":\"{}\",\"before\":{:.6},\"after\":{:.6},\"delta\":{:.6},\"z\":{:.3}}}",
+                    a.tick,
+                    a.category.name(),
+                    a.before,
+                    a.after,
+                    a.delta,
+                    a.z
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scenario\": \"{}\",\n",
+                "  \"ticks\": {},\n",
+                "  \"cells\": {},\n",
+                "  \"events_generated\": {},\n",
+                "  \"events_ingested\": {},\n",
+                "  \"non_public_drops\": {},\n",
+                "  \"batches_dropped\": {},\n",
+                "  \"batches_delayed\": {},\n",
+                "  \"faults_fired\": {},\n",
+                "  \"snapshots_emitted\": {},\n",
+                "  \"last_snapshot_bytes\": {},\n",
+                "  \"topk_rebuilds\": {},\n",
+                "  \"elapsed_ms\": {},\n",
+                "  \"events_per_sec\": {:.1},\n",
+                "  \"tick_ms_p50\": {:.3},\n",
+                "  \"tick_ms_p99\": {:.3},\n",
+                "  \"anomalies\": [{}]\n",
+                "}}"
+            ),
+            self.scenario,
+            self.ticks,
+            self.cells,
+            self.events_generated,
+            self.events_ingested,
+            self.non_public_drops,
+            self.batches_dropped,
+            self.batches_delayed,
+            self.faults_fired,
+            self.snapshots_emitted,
+            self.last_snapshot_bytes,
+            self.topk_rebuilds,
+            self.elapsed_ms,
+            self.events_per_sec,
+            self.tick_ms_p50,
+            self.tick_ms_p99,
+            anomalies.join(",")
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs a full stream: `config.ticks` ticks of generate→ingest→emit against
+/// `world`, pushing one snapshot per tick into `sink`. `plan` injects
+/// faults at [`STREAM_INGEST`] (one arrival per generated client batch);
+/// pass `FaultPlan::none()` for a clean run.
+pub fn run(
+    world: &World,
+    config: &StreamConfig,
+    plan: &FaultPlan,
+    sink: &mut dyn SnapshotSink,
+    pool: &Pool,
+) -> std::io::Result<StreamReport> {
+    let _span = wwv_obs::span!("stream.run");
+    let generator = TickGenerator::new(world, config);
+    let index = DomainIndex::build(world, config.countries.min(wwv_world::COUNTRIES.len()));
+    let cells = generator.cells().to_vec();
+    let aggs: Vec<Mutex<CellAggregator>> = cells
+        .iter()
+        .map(|_| Mutex::new(CellAggregator::new(config.window, config.top_k)))
+        .collect();
+    let mut detector =
+        AnomalyDetector::new(config.anomaly_min_share_delta, config.anomaly_mad_threshold);
+
+    let reg = wwv_obs::global();
+    let ticks_ctr = reg.counter("stream.ticks");
+    let ingested_ctr = reg.counter("stream.events_ingested");
+    let dropped_ctr = reg.counter("stream.batches_dropped");
+    let anomaly_ctr = reg.counter("stream.anomaly.flagged");
+    let swap_ctr = reg.counter("stream.snapshots_emitted");
+    let tick_hist = reg.histogram("stream.tick_ms");
+
+    let started = Instant::now();
+    let mut report = StreamReport {
+        scenario: config.scenario.name().to_owned(),
+        ticks: 0,
+        cells: cells.len(),
+        events_generated: 0,
+        events_ingested: 0,
+        non_public_drops: 0,
+        batches_dropped: 0,
+        batches_delayed: 0,
+        faults_fired: 0,
+        snapshots_emitted: 0,
+        last_snapshot_bytes: 0,
+        topk_rebuilds: 0,
+        anomalies: Vec::new(),
+        elapsed_ms: 0,
+        events_per_sec: 0.0,
+        tick_ms_p50: 0.0,
+        tick_ms_p99: 0.0,
+    };
+    let mut tick_ms: Vec<f64> = Vec::with_capacity(config.ticks as usize);
+
+    for tick in 0..config.ticks {
+        let tick_started = Instant::now();
+
+        // 1. Generate (parallel, pure per cell).
+        let generated: Vec<Vec<ClientBatch>> =
+            pool.par_map("stream.gen", &cells, |i, _| generator.tick_batches(tick, i));
+        report.events_generated +=
+            generated.iter().flatten().map(|b| b.events.len() as u64).sum::<u64>();
+
+        // 2. Fault decisions — strictly serial, canonical cell/batch order.
+        let mut delay_budget_ms = 0u64;
+        let kept: Vec<Vec<ClientBatch>> = generated
+            .into_iter()
+            .map(|batches| {
+                batches
+                    .into_iter()
+                    .filter(|_| match plan.decide(STREAM_INGEST) {
+                        Some((FaultKind::Drop, _)) => {
+                            report.batches_dropped += 1;
+                            dropped_ctr.inc();
+                            false
+                        }
+                        Some((FaultKind::Delay(ms), _)) => {
+                            report.batches_delayed += 1;
+                            delay_budget_ms += ms.min(MAX_DELAY_SLEEP_MS);
+                            true
+                        }
+                        // Byte-level faults don't apply to structured
+                        // batches; the batch is delivered intact.
+                        Some(_) | None => true,
+                    })
+                    .collect()
+            })
+            .collect();
+        if config.clock == TickClock::Wall && delay_budget_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_budget_ms.min(MAX_DELAY_SLEEP_MS * 4)));
+        }
+
+        // 3. Ingest (parallel, cell-local state) and seal the tick.
+        let sealed: Vec<(u64, u64)> = pool.par_map("stream.ingest", &kept, |i, batches| {
+            let mut agg = aggs[i].lock().expect("cell aggregator lock");
+            for batch in batches {
+                agg.ingest(batch);
+            }
+            agg.seal_tick()
+        });
+        for (events, np) in sealed {
+            report.events_ingested += events;
+            report.non_public_drops += np;
+            ingested_ctr.add(events);
+        }
+
+        // 4. Assemble the window into a dataset (serial, canonical order)
+        //    and collect the PageLoads mass for share computation.
+        let mut domains = DomainTable::new();
+        let mut lists = std::collections::HashMap::new();
+        let mut load_mass: Vec<(String, u64)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let mut agg = aggs[i].lock().expect("cell aggregator lock");
+            for metric in Metric::ALL {
+                let top = agg.top_k(metric, config.top_k, config.min_count);
+                if top.is_empty() {
+                    continue;
+                }
+                let entries: Vec<_> = top
+                    .iter()
+                    .map(|&(domain, count)| {
+                        // Domains outside the universe (shouldn't survive
+                        // the public filter, but belt and braces) get a
+                        // sentinel site id; serve queries never resolve it.
+                        let site = index.site(domain).unwrap_or(SiteId(u32::MAX));
+                        (domains.intern(domain, site), count)
+                    })
+                    .collect();
+                if metric == Metric::PageLoads {
+                    load_mass
+                        .extend(top.iter().map(|&(d, c)| (d.to_owned(), c)));
+                }
+                let b = Breakdown {
+                    country: cell.country,
+                    platform: cell.platform,
+                    metric,
+                    month: Month::reference(),
+                };
+                lists.insert(b, RankListData { entries });
+            }
+        }
+        let dataset = ChromeDataset {
+            domains,
+            lists,
+            client_threshold: config.min_count,
+            max_depth: config.top_k,
+        };
+
+        // 5. Anomaly detection on the emitted window's category shares.
+        // Shares over a partially-filled window are high-variance (fewer
+        // buckets averaged), so the detector only starts observing once the
+        // ring is full — tick `window - 1` becomes its baseline.
+        let shares = if tick + 1 >= config.window as u64 {
+            category_shares(load_mass.iter().map(|(d, c)| (d.as_str(), *c)), &index)
+        } else {
+            Vec::new()
+        };
+        let events =
+            if shares.is_empty() { Vec::new() } else { detector.observe(tick, &shares) };
+        for event in events {
+            anomaly_ctr.inc();
+            wwv_obs::info!(
+                target: "stream",
+                "anomaly: {} share {:.4} -> {:.4} at tick {}",
+                event.category.name(),
+                event.before,
+                event.after,
+                tick;
+                delta = format!("{:.4}", event.delta)
+            );
+            report.anomalies.push(event);
+        }
+
+        // 6. Emit atomically.
+        let bytes = persist::write_snapshot(&dataset);
+        sink.emit(tick, &bytes)?;
+        report.last_snapshot_bytes = bytes.len();
+        report.snapshots_emitted += 1;
+        swap_ctr.inc();
+        ticks_ctr.inc();
+        report.ticks += 1;
+
+        let spent = tick_started.elapsed();
+        tick_ms.push(spent.as_secs_f64() * 1e3);
+        tick_hist.record(spent.as_millis() as u64);
+
+        // 7. Pace (wall clock only).
+        if config.clock == TickClock::Wall && spent < config.tick_interval {
+            std::thread::sleep(config.tick_interval - spent);
+        }
+    }
+
+    report.topk_rebuilds = aggs
+        .iter()
+        .map(|m| m.lock().expect("cell aggregator lock").rebuilds())
+        .sum();
+    report.faults_fired = plan.fired_total();
+    report.elapsed_ms = started.elapsed().as_millis() as u64;
+    let secs = started.elapsed().as_secs_f64();
+    report.events_per_sec =
+        if secs > 0.0 { report.events_ingested as f64 / secs } else { 0.0 };
+    tick_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite tick latency"));
+    report.tick_ms_p50 = percentile(&tick_ms, 0.50);
+    report.tick_ms_p99 = percentile(&tick_ms, 0.99);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scenario;
+    use crate::sink::MemSink;
+    use bytes::Bytes;
+    use wwv_world::WorldConfig;
+
+    fn small_cfg() -> StreamConfig {
+        StreamConfig {
+            countries: 2,
+            ticks: 5,
+            window: 3,
+            top_k: 50,
+            clients_per_tick: 10,
+            mean_loads: 12.0,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn emits_one_parseable_snapshot_per_tick() {
+        let world = World::new(WorldConfig::small());
+        let mut sink = MemSink::new();
+        let report =
+            run(&world, &small_cfg(), &FaultPlan::none(), &mut sink, &Pool::new(2)).unwrap();
+        assert_eq!(report.ticks, 5);
+        assert_eq!(report.snapshots_emitted, 5);
+        assert_eq!(sink.snapshots.len(), 5);
+        for (tick, bytes) in &sink.snapshots {
+            let ds = persist::read_auto(Bytes::from(bytes.clone()))
+                .unwrap_or_else(|e| panic!("tick {tick} snapshot unreadable: {e:?}"));
+            assert!(!ds.lists.is_empty(), "tick {tick} emitted an empty dataset");
+        }
+        assert!(report.events_ingested > 0);
+        assert_eq!(report.batches_dropped, 0);
+    }
+
+    #[test]
+    fn drop_faults_shrink_ingest_deterministically() {
+        let world = World::new(WorldConfig::small());
+        let plan = || {
+            FaultPlan::new(7).with(wwv_fault::FaultRule {
+                point: STREAM_INGEST,
+                kind: FaultKind::Drop,
+                rate: 0.5,
+            })
+        };
+        let mut s1 = MemSink::new();
+        let r1 = run(&world, &small_cfg(), &plan(), &mut s1, &Pool::new(1)).unwrap();
+        let mut s2 = MemSink::new();
+        let r2 = run(&world, &small_cfg(), &plan(), &mut s2, &Pool::new(4)).unwrap();
+        assert!(r1.batches_dropped > 0, "a 50% drop plan must fire");
+        assert_eq!(r1.batches_dropped, r2.batches_dropped);
+        assert_eq!(r1.events_ingested, r2.events_ingested);
+        assert_eq!(s1.snapshots, s2.snapshots, "fault schedule must not depend on workers");
+        let mut clean = MemSink::new();
+        let rc = run(&world, &small_cfg(), &FaultPlan::none(), &mut clean, &Pool::new(2)).unwrap();
+        assert!(r1.events_ingested < rc.events_ingested);
+    }
+
+    #[test]
+    fn seasonality_scenario_is_flagged_within_two_ticks() {
+        let world = World::new(WorldConfig::small());
+        let cfg = StreamConfig {
+            countries: 3,
+            ticks: 8,
+            window: 2,
+            clients_per_tick: 30,
+            mean_loads: 30.0,
+            scenario: Scenario::Seasonality,
+            shock_tick: 4,
+            ..StreamConfig::default()
+        };
+        let mut sink = MemSink::new();
+        let report = run(&world, &cfg, &FaultPlan::none(), &mut sink, &Pool::new(2)).unwrap();
+        assert!(
+            report
+                .anomalies
+                .iter()
+                .any(|a| a.tick >= 4 && a.tick <= 5),
+            "seasonality shock at tick 4 must flag by tick 5; got {:?}",
+            report.anomalies
+        );
+        assert!(
+            report.anomalies.iter().all(|a| a.tick >= 4),
+            "no anomalies may fire before the shock: {:?}",
+            report.anomalies
+        );
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let world = World::new(WorldConfig::small());
+        let mut sink = MemSink::new();
+        let report =
+            run(&world, &small_cfg(), &FaultPlan::none(), &mut sink, &Pool::new(1)).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in ["events_per_sec", "tick_ms_p50", "tick_ms_p99", "anomalies", "scenario"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

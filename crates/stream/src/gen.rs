@@ -1,0 +1,339 @@
+//! Deterministic per-tick telemetry generation.
+//!
+//! Each (country, platform) **cell** generates its own client batches for a
+//! tick as a pure function of `(world seed, stream seed, tick, cell)` — no
+//! shared mutable state, so cells parallelize freely and any `wwv-par`
+//! worker count produces identical batches. The sampling idiom mirrors
+//! `wwv_telemetry::ClientSimulator` (cumulative demand weights +
+//! `partition_point`), with the tick index folded into every draw stream.
+//!
+//! Scenario perturbations reweight the demand table ([`Scenario::Seasonality`]
+//! multiplies every site by its December factor, [`Scenario::FlashCrowd`]
+//! boosts one global site 50×) or scale client volume
+//! ([`Scenario::Outage`]); the perturbed table is itself deterministic and
+//! cached per cell.
+
+use std::sync::OnceLock;
+
+use wwv_telemetry::event::{ClientBatch, TelemetryEvent};
+use wwv_telemetry::sampling::{bernoulli, poisson};
+use wwv_world::season::seasonal_multiplier;
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId, World, COUNTRIES};
+
+use crate::config::{Scenario, StreamConfig};
+
+/// One generation/aggregation cell: a (country, platform) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Country index into `COUNTRIES`.
+    pub country: usize,
+    /// Client platform.
+    pub platform: Platform,
+}
+
+/// The canonical cell order: country-major, Windows before Android. Every
+/// serial pass (fault decisions, snapshot assembly) iterates in this order.
+pub fn cells(config: &StreamConfig) -> Vec<Cell> {
+    let countries = config.countries.clamp(1, COUNTRIES.len());
+    let mut out = Vec::with_capacity(countries * 2);
+    for country in 0..countries {
+        for platform in [Platform::Windows, Platform::Android] {
+            out.push(Cell { country, platform });
+        }
+    }
+    out
+}
+
+/// A demand distribution prepared for weighted sampling.
+struct DemandTable {
+    sites: Vec<SiteId>,
+    /// Cumulative weights; the last element is the total.
+    cumulative: Vec<f64>,
+}
+
+impl DemandTable {
+    fn from_weights(weights: &[(SiteId, f64)]) -> DemandTable {
+        let mut sites = Vec::with_capacity(weights.len());
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for (id, w) in weights {
+            acc += *w;
+            sites.push(*id);
+            cumulative.push(acc);
+        }
+        DemandTable { sites, cumulative }
+    }
+}
+
+/// Per-cell demand state: the unperturbed table plus the lazily-built
+/// scenario-perturbed variant.
+struct CellDemand {
+    base_weights: Vec<(SiteId, f64)>,
+    base: DemandTable,
+    shocked: OnceLock<DemandTable>,
+}
+
+/// Generates client event batches per (tick, cell). Shared immutably across
+/// workers; see the module docs for the determinism argument.
+pub struct TickGenerator<'w> {
+    world: &'w World,
+    config: StreamConfig,
+    cells: Vec<Cell>,
+    demand: Vec<CellDemand>,
+    /// The flash-crowd target: first non-ccTLD site in universe order.
+    flash_site: Option<SiteId>,
+}
+
+/// SplitMix64 finalizer — mixes tick/cell/client coordinates into one draw
+/// stream index.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(parts: &[u64]) -> u64 {
+    parts.iter().fold(0xA076_1D64_78BD_642F, |h, &p| splitmix64(h ^ p))
+}
+
+impl<'w> TickGenerator<'w> {
+    /// Builds the per-cell demand tables (one `World::demand` call per
+    /// cell; the month axis is fixed to [`Month::reference`] — the stream
+    /// models *ticks*, not months).
+    pub fn new(world: &'w World, config: &StreamConfig) -> TickGenerator<'w> {
+        let cells = cells(config);
+        let demand = cells
+            .iter()
+            .map(|cell| {
+                let b = Breakdown {
+                    country: cell.country,
+                    platform: cell.platform,
+                    metric: Metric::PageLoads,
+                    month: Month::reference(),
+                };
+                let base_weights = world.demand(b);
+                let base = DemandTable::from_weights(&base_weights);
+                CellDemand { base_weights, base, shocked: OnceLock::new() }
+            })
+            .collect();
+        let flash_site = world
+            .universe()
+            .sites
+            .iter()
+            .position(|s| !s.cctld)
+            .map(|i| SiteId(i as u32));
+        TickGenerator { world, config: config.clone(), cells, demand, flash_site }
+    }
+
+    /// The canonical cell list (see [`cells`]).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The site a [`Scenario::FlashCrowd`] run boosts.
+    pub fn flash_site(&self) -> Option<SiteId> {
+        self.flash_site
+    }
+
+    /// The scenario's demand-weight multiplier for one site.
+    fn scenario_multiplier(&self, id: SiteId) -> f64 {
+        match self.config.scenario {
+            Scenario::Seasonality => {
+                let site = self.world.universe().site(id);
+                seasonal_multiplier(site.category, Month::December2021)
+            }
+            Scenario::FlashCrowd if Some(id) == self.flash_site => 50.0,
+            _ => 1.0,
+        }
+    }
+
+    /// The demand table for a cell at a tick: base, or the perturbed table
+    /// once the shock is active (built once per cell, deterministically).
+    fn table(&self, tick: u64, cell_idx: usize) -> &DemandTable {
+        let d = &self.demand[cell_idx];
+        let reweights = matches!(
+            self.config.scenario,
+            Scenario::Seasonality | Scenario::FlashCrowd
+        );
+        if !(reweights && self.config.shock_active(tick)) {
+            return &d.base;
+        }
+        d.shocked.get_or_init(|| {
+            let perturbed: Vec<(SiteId, f64)> = d
+                .base_weights
+                .iter()
+                .map(|&(id, w)| (id, w * self.scenario_multiplier(id)))
+                .collect();
+            DemandTable::from_weights(&perturbed)
+        })
+    }
+
+    /// Clients generated by a cell at a tick (outage scenarios collapse the
+    /// target country's volume to 5%).
+    pub fn clients_at(&self, tick: u64, cell: Cell) -> u64 {
+        let base = self.config.clients_per_tick;
+        if self.config.scenario == Scenario::Outage
+            && self.config.shock_active(tick)
+            && cell.country == self.config.outage_country
+        {
+            (base / 20).max(1)
+        } else {
+            base
+        }
+    }
+
+    /// Generates one cell's client batches for one tick. Pure: the result
+    /// depends only on seeds, tick, and cell.
+    ///
+    /// Only `PageLoadCompleted` and `ForegroundTime` events are emitted —
+    /// the rolling aggregator never consumes `PageLoadInitiated`, and at
+    /// tick cadence the abandoned-load distinction adds allocations without
+    /// adding signal.
+    pub fn tick_batches(&self, tick: u64, cell_idx: usize) -> Vec<ClientBatch> {
+        let cell = self.cells[cell_idx];
+        let table = self.table(tick, cell_idx);
+        let seed = self.world.config().seed;
+        let clients = self.clients_at(tick, cell);
+        let mut out = Vec::with_capacity(clients as usize);
+        for c in 0..clients {
+            let client_id = seed.derive_indexed(
+                "stream-client",
+                mix(&[self.config.seed, tick, cell_idx as u64, c]),
+            );
+            let stream = client_id;
+            let n_loads = poisson(seed, "stream-loads", stream, self.config.mean_loads);
+            let mut events = Vec::with_capacity((n_loads as usize).min(4096) * 2);
+            for l in 0..n_loads {
+                let draw_idx = stream.wrapping_mul(1 + l).wrapping_add(l);
+                let site = if bernoulli(seed, "stream-np", draw_idx, self.config.non_public_rate) {
+                    None
+                } else {
+                    Some(self.sample_site(table, draw_idx))
+                };
+                let domain = match site {
+                    Some(id) => self.world.domain_of(id, cell.country),
+                    None => format!("host{}.corp", draw_idx % 50),
+                };
+                events.push(TelemetryEvent::PageLoadCompleted { domain: domain.clone() });
+                if bernoulli(seed, "stream-fg", draw_idx, self.config.fg_rate) {
+                    let millis = match site {
+                        Some(id) => {
+                            (self.world.universe().site(id).dwell * 1000.0).round() as u64
+                        }
+                        None => 30_000,
+                    };
+                    events.push(TelemetryEvent::ForegroundTime { domain, millis });
+                }
+            }
+            out.push(ClientBatch {
+                client_id,
+                country: cell.country as u8,
+                platform: cell.platform,
+                month: Month::reference(),
+                events,
+            });
+        }
+        out
+    }
+
+    fn sample_site(&self, table: &DemandTable, idx: u64) -> SiteId {
+        let seed = self.world.config().seed;
+        let total = *table.cumulative.last().expect("non-empty demand");
+        let u =
+            ((seed.derive_indexed("stream-draw", idx) >> 11) as f64 / (1u64 << 53) as f64) * total;
+        let pos = table.cumulative.partition_point(|c| *c < u);
+        table.sites[pos.min(table.sites.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TickClock;
+    use wwv_world::WorldConfig;
+
+    fn world() -> World {
+        World::new(WorldConfig::small())
+    }
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            countries: 3,
+            clients_per_tick: 6,
+            mean_loads: 10.0,
+            clock: TickClock::Logical,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn cell_order_is_canonical() {
+        let cs = cells(&cfg());
+        assert_eq!(cs.len(), 6);
+        assert_eq!(cs[0], Cell { country: 0, platform: Platform::Windows });
+        assert_eq!(cs[1], Cell { country: 0, platform: Platform::Android });
+        assert_eq!(cs[5], Cell { country: 2, platform: Platform::Android });
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_tick_and_differ_across_ticks() {
+        let w = world();
+        let gen = TickGenerator::new(&w, &cfg());
+        let a = gen.tick_batches(3, 1);
+        let b = gen.tick_batches(3, 1);
+        assert_eq!(a, b);
+        let c = gen.tick_batches(4, 1);
+        assert_ne!(a, c, "distinct ticks must draw distinct traffic");
+    }
+
+    #[test]
+    fn seasonality_shock_changes_traffic_only_after_shock_tick() {
+        let w = world();
+        let quiet = TickGenerator::new(&w, &cfg());
+        let shocked = TickGenerator::new(
+            &w,
+            &StreamConfig { scenario: Scenario::Seasonality, shock_tick: 5, ..cfg() },
+        );
+        assert_eq!(quiet.tick_batches(4, 0), shocked.tick_batches(4, 0));
+        assert_ne!(quiet.tick_batches(5, 0), shocked.tick_batches(5, 0));
+    }
+
+    #[test]
+    fn outage_collapses_client_volume() {
+        let w = world();
+        let gen = TickGenerator::new(
+            &w,
+            &StreamConfig { scenario: Scenario::Outage, shock_tick: 2, outage_country: 1, ..cfg() },
+        );
+        let hit = Cell { country: 1, platform: Platform::Windows };
+        let spared = Cell { country: 0, platform: Platform::Windows };
+        assert_eq!(gen.clients_at(1, hit), 6);
+        assert_eq!(gen.clients_at(2, hit), 1);
+        assert_eq!(gen.clients_at(2, spared), 6);
+    }
+
+    #[test]
+    fn flashcrowd_boosts_target_site_share() {
+        let w = world();
+        let base_cfg = StreamConfig { clients_per_tick: 40, ..cfg() };
+        let gen = TickGenerator::new(
+            &w,
+            &StreamConfig { scenario: Scenario::FlashCrowd, shock_tick: 0, ..base_cfg.clone() },
+        );
+        let quiet = TickGenerator::new(&w, &base_cfg);
+        let target = gen.flash_site().expect("universe has a global site");
+        let domain = w.domain_of(target, 0);
+        let count = |batches: &[ClientBatch]| {
+            batches
+                .iter()
+                .flat_map(|b| &b.events)
+                .filter(|e| e.domain() == domain)
+                .count()
+        };
+        assert!(
+            count(&gen.tick_batches(0, 0)) > count(&quiet.tick_batches(0, 0)),
+            "a 50x weight boost must raise the target's traffic"
+        );
+    }
+}

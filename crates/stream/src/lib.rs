@@ -1,0 +1,49 @@
+//! # wwv-stream
+//!
+//! The streaming half of the reproduction: turns the batch-monthly pipeline
+//! into a continuously-evolving one, reproducing the paper's §4.5 temporal
+//! analysis (seasonality, category-share shifts) as a *live* process
+//! instead of six frozen monthly builds.
+//!
+//! Every tick the driver:
+//!
+//! 1. **generates** a deterministic slice of client telemetry per
+//!    (country, platform) cell ([`gen`]) — optionally perturbed mid-run by
+//!    a [`Scenario`] (seasonality shock, country outage, flash crowd);
+//! 2. **ingests** it into per-cell rolling rank state ([`rolling`]): a ring
+//!    of `window` tick-buckets whose oldest bucket retires on rotate, with
+//!    the per-metric top-K maintained *incrementally* (bench + high-water
+//!    mark, exactness-triggered rebuilds) instead of re-sorting all totals;
+//! 3. **emits** a fresh columnar `wwv-snap` snapshot of the window
+//!    ([`driver`]) through an atomic tmp+fsync+rename ([`SnapshotSink`]),
+//!    which `wwv serve --watch-snapshot` hot-swaps with zero downtime;
+//! 4. **detects** tick-over-tick category-share anomalies ([`anomaly`])
+//!    with the `wwv-stats` MAD rule, surfacing flags through `wwv-obs`
+//!    counters (and therefore the live `/metrics` endpoint).
+//!
+//! Determinism: with the logical clock, the emitted snapshot byte sequence
+//! is a pure function of `(world seed, stream seed, tick schedule)` at any
+//! `wwv-par` worker count — generation is keyed draws per cell, ingestion
+//! is cell-local in event order, fault decisions are applied serially in
+//! canonical cell order, and emission re-interns domains serially in
+//! canonical order. `tests/stream_determinism.rs` (workspace root) is the
+//! gate.
+
+pub mod anomaly;
+pub mod config;
+pub mod driver;
+pub mod gen;
+pub mod rolling;
+pub mod sink;
+
+pub use anomaly::{category_shares, AnomalyDetector, AnomalyEvent, DomainIndex};
+pub use config::{Scenario, StreamConfig, TickClock};
+pub use driver::{run, StreamReport};
+pub use gen::{Cell, TickGenerator};
+pub use rolling::CellAggregator;
+pub use sink::{FileSink, MemSink, SnapshotSink};
+
+/// Fault-injection point for the stream ingest path: one arrival per
+/// generated client batch, decided serially in canonical cell order (so a
+/// seeded plan reproduces the identical drop/delay schedule every run).
+pub const STREAM_INGEST: &str = "stream.ingest";

@@ -1,0 +1,414 @@
+//! Rolling-window rank state with incremental top-K maintenance.
+//!
+//! [`Rolling`] keeps a ring of `window` tick-buckets per metric. On every
+//! tick the newest bucket is pushed, the bucket falling off the back
+//! retires, and the windowed totals absorb both deltas — O(changed keys),
+//! never O(all keys).
+//!
+//! The top-K is **not** recomputed from all totals each tick. A *bench* (a
+//! bounded superset of the true top-K, capacity `2k`) is maintained
+//! incrementally alongside a *high-water mark* `static_max`: the largest
+//! windowed count any key held at the moment it was evicted from the bench.
+//!
+//! Exactness argument: a key outside the bench has not had its count change
+//! since eviction (any delta to a key makes it *dirty*, and every dirty key
+//! is readmitted), so every off-bench count is ≤ `static_max`. Therefore if
+//! the k-th count inside the bench exceeds `static_max`, no off-bench key
+//! can belong in the top-K and the bench answer is exact. When that check
+//! fails (or the bench ran dry), [`Rolling::top_k`] falls back to one full
+//! rebuild from the totals — counted, so the determinism gate and the bench
+//! report can show how rarely the slow path runs.
+
+use std::collections::{HashMap, VecDeque};
+
+use wwv_telemetry::event::{ClientBatch, TelemetryEvent};
+use wwv_telemetry::privacy::is_public_domain;
+use wwv_world::Metric;
+
+/// Bench capacity as a multiple of K.
+const BENCH_FACTOR: usize = 2;
+
+/// Count-descending, id-ascending: the strict total order used everywhere a
+/// rank list is materialized (ids are per-cell intern order, so the order —
+/// and the emitted bytes — are deterministic).
+fn rank_cmp(a: &(u32, u64), b: &(u32, u64)) -> std::cmp::Ordering {
+    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Rolling window over one metric of one cell.
+#[derive(Debug)]
+pub struct Rolling {
+    window: usize,
+    cap: usize,
+    buckets: VecDeque<HashMap<u32, u64>>,
+    totals: HashMap<u32, u64>,
+    bench: HashMap<u32, u64>,
+    static_max: u64,
+    rebuilds: u64,
+}
+
+impl Rolling {
+    /// A window of `window` ticks serving top-`k` queries.
+    pub fn new(window: usize, k: usize) -> Rolling {
+        let window = window.max(1);
+        Rolling {
+            window,
+            cap: (k.max(1) * BENCH_FACTOR).max(k + 1),
+            buckets: VecDeque::with_capacity(window + 1),
+            totals: HashMap::new(),
+            bench: HashMap::new(),
+            static_max: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Rotates the window: admits `bucket` as the newest tick, retires the
+    /// oldest beyond `window`, and folds both deltas into the totals and
+    /// the bench.
+    pub fn push_bucket(&mut self, bucket: HashMap<u32, u64>) {
+        let retiring = if self.buckets.len() == self.window {
+            self.buckets.pop_front()
+        } else {
+            None
+        };
+        // Every key whose windowed count changes this tick is dirty and
+        // must be re-benched — that invariant is what freezes off-bench
+        // counts at ≤ static_max.
+        let mut dirty: Vec<u32> = bucket.keys().copied().collect();
+        if let Some(r) = &retiring {
+            dirty.extend(r.keys().copied());
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        for (&id, &n) in &bucket {
+            *self.totals.entry(id).or_insert(0) += n;
+        }
+        if let Some(r) = &retiring {
+            for (&id, &n) in r {
+                if let Some(t) = self.totals.get_mut(&id) {
+                    *t = t.saturating_sub(n);
+                    if *t == 0 {
+                        self.totals.remove(&id);
+                    }
+                }
+            }
+        }
+        self.buckets.push_back(bucket);
+
+        for id in dirty {
+            match self.totals.get(&id) {
+                Some(&t) => {
+                    self.bench.insert(id, t);
+                }
+                None => {
+                    self.bench.remove(&id);
+                }
+            }
+        }
+        if self.bench.len() > self.cap {
+            self.evict_overflow();
+        }
+    }
+
+    /// Shrinks an overgrown bench back to capacity, raising the high-water
+    /// mark to the largest evicted count.
+    fn evict_overflow(&mut self) {
+        let mut all: Vec<(u32, u64)> = self.bench.iter().map(|(&i, &c)| (i, c)).collect();
+        all.select_nth_unstable_by(self.cap - 1, rank_cmp);
+        for &(_, c) in &all[self.cap..] {
+            self.static_max = self.static_max.max(c);
+        }
+        all.truncate(self.cap);
+        self.bench = all.into_iter().collect();
+    }
+
+    /// The exact top-`k` of the current window, `(id, windowed count)`,
+    /// ordered count-descending then id-ascending. `k` must be ≤ the `k`
+    /// the state was built for.
+    pub fn top_k(&mut self, k: usize) -> Vec<(u32, u64)> {
+        let need = k.min(self.totals.len());
+        let mut top = self.bench_top(need);
+        let exact = top.len() >= need
+            && (self.totals.len() <= self.bench.len()
+                || top.last().map(|&(_, c)| c > self.static_max).unwrap_or(true));
+        if !exact {
+            self.rebuild();
+            top = self.bench_top(need);
+        }
+        top
+    }
+
+    fn bench_top(&self, need: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.bench.iter().map(|(&i, &c)| (i, c)).collect();
+        v.sort_unstable_by(rank_cmp);
+        v.truncate(need);
+        v
+    }
+
+    /// Full rebuild from the totals: the bench becomes the true top-`cap`
+    /// and the high-water mark drops to the (cap+1)-th count.
+    fn rebuild(&mut self) {
+        let mut all: Vec<(u32, u64)> = self.totals.iter().map(|(&i, &c)| (i, c)).collect();
+        if all.len() > self.cap {
+            all.select_nth_unstable_by(self.cap - 1, rank_cmp);
+            self.static_max = all[self.cap..].iter().map(|&(_, c)| c).max().unwrap_or(0);
+            all.truncate(self.cap);
+        } else {
+            self.static_max = 0;
+        }
+        self.bench = all.into_iter().collect();
+        self.rebuilds += 1;
+    }
+
+    /// Full-rebuild count so far (the incremental path's miss rate).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of distinct keys currently in the window.
+    pub fn distinct(&self) -> usize {
+        self.totals.len()
+    }
+}
+
+/// Per-tick accumulation for one cell: both metric buckets plus drop
+/// accounting, before the tick is sealed into the rings.
+#[derive(Debug, Default)]
+struct TickAccum {
+    loads: HashMap<u32, u64>,
+    fg_ms: HashMap<u32, u64>,
+    non_public_drops: u64,
+    events: u64,
+}
+
+/// All rolling state for one (country, platform) cell: a per-cell domain
+/// interner (ids are dense, assigned in first-seen event order — which is
+/// deterministic because ingest is cell-local and event order is
+/// generation order) and one [`Rolling`] per metric.
+#[derive(Debug)]
+pub struct CellAggregator {
+    ids: HashMap<String, u32>,
+    domains: Vec<String>,
+    public: Vec<bool>,
+    accum: TickAccum,
+    loads: Rolling,
+    fg_ms: Rolling,
+}
+
+impl CellAggregator {
+    /// Fresh state for a `window`-tick ring serving top-`k`.
+    pub fn new(window: usize, k: usize) -> CellAggregator {
+        CellAggregator {
+            ids: HashMap::new(),
+            domains: Vec::new(),
+            public: Vec::new(),
+            accum: TickAccum::default(),
+            loads: Rolling::new(window, k),
+            fg_ms: Rolling::new(window, k),
+        }
+    }
+
+    fn intern(&mut self, domain: &str) -> u32 {
+        if let Some(&id) = self.ids.get(domain) {
+            return id;
+        }
+        let id = self.domains.len() as u32;
+        self.ids.insert(domain.to_owned(), id);
+        self.domains.push(domain.to_owned());
+        // The privacy check is cached per distinct domain — it also feeds
+        // the global rejection counter, which must count distinct domains,
+        // not raw event volume.
+        self.public.push(is_public_domain(domain));
+        id
+    }
+
+    /// Ingests one client batch into the current (unsealed) tick. Events on
+    /// non-public domains are dropped and counted.
+    pub fn ingest(&mut self, batch: &ClientBatch) {
+        for event in &batch.events {
+            self.accum.events += 1;
+            let id = self.intern(event.domain());
+            if !self.public[id as usize] {
+                self.accum.non_public_drops += 1;
+                continue;
+            }
+            match event {
+                TelemetryEvent::PageLoadInitiated { .. } => {}
+                TelemetryEvent::PageLoadCompleted { .. } => {
+                    *self.accum.loads.entry(id).or_insert(0) += 1;
+                }
+                TelemetryEvent::ForegroundTime { millis, .. } => {
+                    *self.accum.fg_ms.entry(id).or_insert(0) += millis;
+                }
+            }
+        }
+    }
+
+    /// Seals the current tick: rotates both rings and resets the
+    /// accumulator. Returns `(events ingested, non-public drops)` for the
+    /// tick.
+    pub fn seal_tick(&mut self) -> (u64, u64) {
+        let accum = std::mem::take(&mut self.accum);
+        self.loads.push_bucket(accum.loads);
+        self.fg_ms.push_bucket(accum.fg_ms);
+        (accum.events, accum.non_public_drops)
+    }
+
+    /// The exact windowed top-`k` for one metric, as
+    /// `(domain, windowed count)` in rank order, counts below `min_count`
+    /// filtered (the stream's privacy floor).
+    pub fn top_k(&mut self, metric: Metric, k: usize, min_count: u64) -> Vec<(&str, u64)> {
+        let rolling = match metric {
+            Metric::PageLoads => &mut self.loads,
+            Metric::TimeOnPage => &mut self.fg_ms,
+        };
+        let top = rolling.top_k(k);
+        top.into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(id, c)| (self.domains[id as usize].as_str(), c))
+            .collect()
+    }
+
+    /// Total full rebuilds across both metric rings.
+    pub fn rebuilds(&self) -> u64 {
+        self.loads.rebuilds() + self.fg_ms.rebuilds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::{Month, Platform};
+
+    /// Reference implementation: naive window totals + full sort.
+    struct Naive {
+        window: usize,
+        buckets: VecDeque<HashMap<u32, u64>>,
+    }
+
+    impl Naive {
+        fn new(window: usize) -> Naive {
+            Naive { window, buckets: VecDeque::new() }
+        }
+
+        fn push_bucket(&mut self, bucket: HashMap<u32, u64>) {
+            self.buckets.push_back(bucket);
+            if self.buckets.len() > self.window {
+                self.buckets.pop_front();
+            }
+        }
+
+        fn top_k(&self, k: usize) -> Vec<(u32, u64)> {
+            let mut totals: HashMap<u32, u64> = HashMap::new();
+            for b in &self.buckets {
+                for (&id, &n) in b {
+                    *totals.entry(id).or_insert(0) += n;
+                }
+            }
+            let mut v: Vec<(u32, u64)> = totals.into_iter().collect();
+            v.sort_unstable_by(rank_cmp);
+            v.truncate(k);
+            v
+        }
+    }
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A deterministic adversarial bucket: many keys relative to the bench
+    /// capacity, skewed counts that shuffle ranks every tick.
+    fn bucket(tick: u64, keys: u32) -> HashMap<u32, u64> {
+        let mut b = HashMap::new();
+        for i in 0..keys {
+            let r = mix(tick.wrapping_mul(10_007).wrapping_add(i as u64));
+            if r.is_multiple_of(3) {
+                continue; // sparse: not every key appears every tick
+            }
+            b.insert(i, 1 + r % 97);
+        }
+        b
+    }
+
+    #[test]
+    fn incremental_matches_naive_rebuild_every_tick() {
+        let (window, k, keys) = (4, 5, 120);
+        let mut fast = Rolling::new(window, k);
+        let mut slow = Naive::new(window);
+        for tick in 0..60 {
+            let b = bucket(tick, keys);
+            fast.push_bucket(b.clone());
+            slow.push_bucket(b);
+            assert_eq!(fast.top_k(k), slow.top_k(k), "divergence at tick {tick}");
+        }
+        // With 120 keys against a bench of 10, the test only means
+        // something if both paths actually ran.
+        assert!(fast.rebuilds() > 0, "rebuild path never exercised");
+        assert!(fast.rebuilds() < 60, "incremental path never exercised");
+    }
+
+    #[test]
+    fn retired_ticks_leave_the_window() {
+        let mut r = Rolling::new(2, 3);
+        r.push_bucket(HashMap::from([(1, 100)]));
+        r.push_bucket(HashMap::from([(2, 50)]));
+        assert_eq!(r.top_k(3), vec![(1, 100), (2, 50)]);
+        r.push_bucket(HashMap::from([(2, 5)]));
+        // Tick 0 (key 1) has retired; key 2's windowed total is 55.
+        assert_eq!(r.top_k(3), vec![(2, 55)]);
+        assert_eq!(r.distinct(), 1);
+    }
+
+    #[test]
+    fn ties_break_by_id_ascending() {
+        let mut r = Rolling::new(3, 4);
+        r.push_bucket(HashMap::from([(7, 10), (3, 10), (9, 10), (1, 2)]));
+        assert_eq!(r.top_k(4), vec![(3, 10), (7, 10), (9, 10), (1, 2)]);
+    }
+
+    #[test]
+    fn aggregator_filters_non_public_and_floors_counts() {
+        let mut agg = CellAggregator::new(4, 8);
+        let batch = ClientBatch {
+            client_id: 1,
+            country: 0,
+            platform: Platform::Windows,
+            month: Month::February2022,
+            events: vec![
+                TelemetryEvent::PageLoadCompleted { domain: "a.example".into() },
+                TelemetryEvent::PageLoadCompleted { domain: "a.example".into() },
+                TelemetryEvent::PageLoadCompleted { domain: "intranet.corp".into() },
+                TelemetryEvent::PageLoadCompleted { domain: "b.example".into() },
+                TelemetryEvent::ForegroundTime { domain: "a.example".into(), millis: 1234 },
+            ],
+        };
+        agg.ingest(&batch);
+        let (events, drops) = agg.seal_tick();
+        assert_eq!((events, drops), (5, 1));
+        assert_eq!(agg.top_k(Metric::PageLoads, 8, 1), vec![("a.example", 2), ("b.example", 1)]);
+        assert_eq!(agg.top_k(Metric::PageLoads, 8, 2), vec![("a.example", 2)]);
+        assert_eq!(agg.top_k(Metric::TimeOnPage, 8, 1), vec![("a.example", 1234)]);
+    }
+
+    #[test]
+    fn proptest_like_sweep_over_geometries() {
+        for &(window, k, keys) in &[(1usize, 1usize, 30u32), (2, 3, 40), (5, 8, 16), (3, 20, 10)] {
+            let mut fast = Rolling::new(window, k);
+            let mut slow = Naive::new(window);
+            for tick in 0u64..30 {
+                let b = bucket(tick.wrapping_mul(31).wrapping_add(keys as u64), keys);
+                fast.push_bucket(b.clone());
+                slow.push_bucket(b);
+                assert_eq!(
+                    fast.top_k(k),
+                    slow.top_k(k),
+                    "divergence: window={window} k={k} keys={keys} tick={tick}"
+                );
+            }
+        }
+    }
+}

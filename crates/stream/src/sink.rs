@@ -1,0 +1,83 @@
+//! Where emitted snapshots go: an atomic file (for a watching server) or
+//! memory (for the determinism gates).
+
+use std::path::PathBuf;
+
+/// Receives one complete snapshot per tick.
+pub trait SnapshotSink {
+    /// Emits the snapshot for `tick`. `bytes` is a complete, checksummed
+    /// `wwv-snap` container.
+    fn emit(&mut self, tick: u64, bytes: &[u8]) -> std::io::Result<()>;
+}
+
+/// Writes each snapshot to one path via `wwv_snap::write_atomic`
+/// (tmp + fsync + rename), so a concurrent `--watch-snapshot` reader never
+/// observes a torn file.
+pub struct FileSink {
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// A sink replacing `path` atomically every tick.
+    pub fn new(path: PathBuf) -> FileSink {
+        FileSink { path }
+    }
+
+    /// The sink's target path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl SnapshotSink for FileSink {
+    fn emit(&mut self, _tick: u64, bytes: &[u8]) -> std::io::Result<()> {
+        wwv_snap::write_atomic(&self.path, bytes)
+    }
+}
+
+/// Retains every emitted snapshot in memory — the determinism gate compares
+/// the full byte sequences across worker counts.
+#[derive(Default)]
+pub struct MemSink {
+    /// `(tick, snapshot bytes)` in emission order.
+    pub snapshots: Vec<(u64, Vec<u8>)>,
+}
+
+impl MemSink {
+    /// An empty sink.
+    pub fn new() -> MemSink {
+        MemSink::default()
+    }
+}
+
+impl SnapshotSink for MemSink {
+    fn emit(&mut self, tick: u64, bytes: &[u8]) -> std::io::Result<()> {
+        self.snapshots.push((tick, bytes.to_vec()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_sink_retains_emission_order() {
+        let mut sink = MemSink::new();
+        sink.emit(0, b"aa").unwrap();
+        sink.emit(1, b"bb").unwrap();
+        assert_eq!(sink.snapshots, vec![(0, b"aa".to_vec()), (1, b"bb".to_vec())]);
+    }
+
+    #[test]
+    fn file_sink_replaces_atomically() {
+        let path = std::env::temp_dir()
+            .join(format!("wwv-stream-sink-{}.snap", std::process::id()));
+        let mut sink = FileSink::new(path.clone());
+        sink.emit(0, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        sink.emit(1, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -333,6 +333,19 @@ pub fn write_snapshot(dataset: &ChromeDataset) -> Bytes {
     bytes
 }
 
+/// Serializes a dataset and writes it to `path` atomically (temp sibling +
+/// fsync + rename, via [`wwv_snap::write_atomic`]), so a concurrent watcher
+/// or a crash mid-write can never observe a torn snapshot. Returns the
+/// number of bytes written.
+pub fn write_snapshot_atomic(
+    dataset: &ChromeDataset,
+    path: &std::path::Path,
+) -> std::io::Result<usize> {
+    let bytes = write_snapshot(dataset);
+    wwv_snap::write_atomic(path, &bytes)?;
+    Ok(bytes.len())
+}
+
 fn decode_meta(payload: &Bytes) -> Result<(u64, usize, usize, usize), PersistError> {
     let mut cur = &payload[..];
     let client_threshold = get_uvarint(&mut cur)?;

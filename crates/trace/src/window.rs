@@ -489,6 +489,68 @@ mod tests {
     }
 
     #[test]
+    fn fully_stale_ring_scrapes_as_zero_then_recovers() {
+        // A scrape after the ring has been idle longer than the whole
+        // window (the ">60s idle" case for the default geometry) must see
+        // zero everything — no writer has touched the slots, so expiry is
+        // purely the reader's in_window check on the absolute slot tags.
+        let m = LiveMetrics::new(12, 5_000);
+        for i in 0..100u64 {
+            m.record_at(i * 100, 250, i % 5 != 0, Some(i % 2 == 0));
+        }
+        assert_eq!(m.snapshot_at(10_000).requests, 100, "sanity: traffic visible live");
+        // 10 minutes later: every slot tag is stale.
+        let idle = m.snapshot_at(600_000);
+        assert_eq!(idle.requests, 0);
+        assert_eq!(idle.errors, 0);
+        assert_eq!(idle.cache_hits, 0);
+        assert_eq!(idle.cache_misses, 0);
+        assert_eq!(idle.cache_hit_rate, 0.0);
+        assert_eq!(idle.qps, 0.0);
+        assert_eq!(idle.p50_us, None);
+        assert_eq!(idle.mean_us, None);
+        // And the first write after the gap recycles its slot cleanly: the
+        // old generation's counts must not bleed into the new one.
+        m.record_at(600_100, 400, true, Some(true));
+        let woke = m.snapshot_at(600_200);
+        assert_eq!(woke.requests, 1);
+        assert_eq!(woke.errors, 0);
+        assert_eq!(woke.cache_hits, 1);
+        assert!(woke.p50_us.is_some());
+    }
+
+    #[test]
+    fn counter_ring_wraparound_across_idle_gap() {
+        // Slot 1 and slot 1+k·nslots share a ring position. After an idle
+        // gap of exactly whole ring revolutions, the new write must claim
+        // and zero the position — never add to the stale count — and the
+        // stale count must never have been readable in between.
+        let c = WindowCounter::new(4, 100);
+        c.add(150, 7); // slot 1
+        assert_eq!(c.total(150), 7);
+        // Mid-gap: slot 1 left the window, nothing wrote since.
+        assert_eq!(c.total(700), 0);
+        // One full revolution later: same ring position, new slot number.
+        c.add(950, 2); // slot 9 -> ring position 1
+        assert_eq!(c.total(950), 2, "stale count resurrected across wraparound");
+    }
+
+    #[test]
+    fn histogram_ring_wraparound_across_idle_gap() {
+        let h = WindowHistogram::new(4, 100);
+        h.record(150, 1_000); // slot 1
+        let (count, _, _) = h.merged(150);
+        assert_eq!(count, 1);
+        let (count, sum, _) = h.merged(700);
+        assert_eq!((count, sum), (0, 0), "stale slot readable after idle gap");
+        h.record(950, 3_000); // slot 9 -> same ring position as slot 1
+        let (count, sum, buckets) = h.merged(950);
+        assert_eq!(count, 1, "old observation resurrected across wraparound");
+        assert_eq!(sum, 3_000);
+        assert_eq!(bucket_quantile(&buckets, count, 0.5), Some(bucket_midpoint(bucket_index(3_000))));
+    }
+
+    #[test]
     fn snapshot_epoch_is_stable_under_concurrent_swaps() {
         use std::sync::Arc;
         let m = Arc::new(LiveMetrics::new(4, 50));

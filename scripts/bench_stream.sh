@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Streaming-aggregation benchmark: runs `wwv stream --serve` (wall clock,
+# in-process server + snapshot watcher) and records generator/aggregator
+# throughput (events/s), per-tick latency (p50/p99), and swap-to-visible
+# latency (snapshot emission -> live catalog swap).
+#
+# Usage: scripts/bench_stream.sh
+# Emits BENCH_stream.json in the repo root (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_stream.json}"
+SNAP="${STREAM_SNAP:-stream-bench.snap}"
+
+echo "==> cargo build --release --bin wwv"
+cargo build --release --bin wwv
+
+echo "==> wwv stream --serve --metrics-out $OUT"
+target/release/wwv stream --serve --ticks 20 --tick-ms 100 --window 4 \
+    --countries 4 --clients 40 --out "$SNAP" --metrics-out "$OUT" > /dev/null
+rm -f "$SNAP"
+
+field() {
+    awk -F: -v k="\"$1\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$OUT"
+}
+
+EPS=$(field events_per_sec)
+P50=$(field tick_ms_p50)
+P99=$(field tick_ms_p99)
+SWAPS=$(field swaps_observed)
+SWAP_P50=$(field swap_ms_p50)
+echo "==> wrote $OUT (events/s ${EPS}, tick p50/p99 ${P50}/${P99} ms, ${SWAPS} swaps, swap p50 ${SWAP_P50} ms)"
+
+# Sanity bars: the stream must actually move data and the watcher must see
+# a healthy majority of the 20 emitted snapshots.
+awk -v e="$EPS" 'BEGIN { exit (e > 0 ? 0 : 1) }' || {
+    echo "FAIL: stream reported no throughput (events_per_sec=$EPS)" >&2
+    exit 1
+}
+awk -v s="$SWAPS" 'BEGIN { exit (s >= 10 ? 0 : 1) }' || {
+    echo "FAIL: watcher observed only $SWAPS of 20 snapshots" >&2
+    exit 1
+}

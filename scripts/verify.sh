@@ -18,9 +18,21 @@ echo "==> cargo test -q -p wwv-telemetry --test parallel_determinism"
 cargo test -q -p wwv-telemetry --test parallel_determinism
 
 # Fault-matrix smoke at a fixed seed: every injection cell must recover or
-# fail typed — zero hangs, zero panics, zero silent data loss.
+# fail typed — zero hangs, zero panics, zero silent data loss. The matrix
+# now includes the stream→snapshot→swap chaos cell (dropped/delayed client
+# batches plus a corrupt snapshot mid-watch).
 echo "==> cargo test -q --test fault_matrix"
 cargo test -q --test fault_matrix
+
+# Streaming gates, surfaced by name: the same seed and tick schedule must
+# yield a byte-identical snapshot sequence at any worker count (logical
+# clock), and a watched server must stay fully available — zero failed
+# requests, epoch-monotone — across 20+ consecutive tick rewrites while the
+# anomaly detector flags the injected seasonality shock within two ticks.
+echo "==> cargo test -q --test stream_determinism"
+cargo test -q --test stream_determinism
+echo "==> cargo test -q --test stream_liveness"
+cargo test -q --test stream_liveness
 
 # Snapshot-format gates, surfaced by name: the golden fixture pins the
 # byte-level encoding, the corruption battery proves every damaged byte or

@@ -15,6 +15,9 @@
 //!               --metrics-listen 127.0.0.1:0   # traced run + live metrics
 //! wwv trace     report <t.jsonl> [--metrics-out P]   # stage breakdown
 //! wwv chaos     [--seed N] [--metrics-out P]   # fault-injection matrix
+//! wwv stream    [--scenario seasonality|outage|flashcrowd] [--ticks N]
+//!               [--window N] [--tick-ms N] [--clock logical|wall]
+//!               [--out P.snap] [--serve] [--metrics-out P]
 //! ```
 //!
 //! Most subcommands build the reduced-scale world on the fly (deterministic,
@@ -33,6 +36,14 @@
 //! listener exposing the rolling one-minute window (`/metrics` Prometheus
 //! text, `/metrics.json`) — safe to scrape mid-loadgen and across hot
 //! swaps. `wwv trace report` analyzes a dumped JSONL file offline.
+//!
+//! Streaming (`wwv-stream`): `wwv stream` runs the incremental
+//! rolling-window aggregator, emitting one atomic snapshot per tick to
+//! `--out`. `--clock logical` (the default) runs ticks back-to-back and is
+//! byte-deterministic at any thread count; `--clock wall` paces ticks to
+//! `--tick-ms`. `--serve` additionally stands up an in-process server
+//! watching the emitted file and reports swap-to-visible latency.
+//! `--scenario` injects a mid-run shock at `--shock-tick` (default: halfway).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,6 +56,8 @@ use wwv::serve::loadgen::{self, LoadgenConfig};
 use wwv::serve::server::{Server, ServerConfig};
 use wwv::serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
 use wwv::serve::transport::TcpServer;
+use wwv::serve::watch::{SnapshotWatcher, WatchConfig};
+use wwv::stream::{FileSink, MemSink, Scenario, SnapshotSink, StreamConfig, TickClock};
 use wwv::telemetry::{persist, DatasetBuilder};
 use wwv::trace::{ClockMode, LiveMetrics, MetricsServer, TraceRecorder, TraceReport};
 use wwv::world::{Country, Metric, Month, Platform, World, WorldConfig, COUNTRIES};
@@ -67,6 +80,16 @@ struct Args {
     trace_out: Option<String>,
     trace_clock: ClockMode,
     metrics_listen: Option<String>,
+    scenario: String,
+    ticks: u64,
+    window: usize,
+    tick_ms: u64,
+    stream_clock: String,
+    out: Option<String>,
+    stream_countries: usize,
+    clients: u64,
+    shock_tick: Option<u64>,
+    stream_serve: bool,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +111,16 @@ fn parse_args() -> Args {
         trace_out: None,
         trace_clock: ClockMode::Wall,
         metrics_listen: None,
+        scenario: "none".to_owned(),
+        ticks: 12,
+        window: 4,
+        tick_ms: 250,
+        stream_clock: String::new(), // empty = logical, or wall under --serve
+        out: None,
+        stream_countries: 8,
+        clients: 24,
+        shock_tick: None,
+        stream_serve: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -131,6 +164,18 @@ fn parse_args() -> Args {
                     })
             }
             "--metrics-listen" => args.metrics_listen = iter.next(),
+            "--scenario" => args.scenario = iter.next().unwrap_or(args.scenario),
+            "--ticks" => args.ticks = iter.next().and_then(|v| v.parse().ok()).unwrap_or(12),
+            "--window" => args.window = iter.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--tick-ms" => args.tick_ms = iter.next().and_then(|v| v.parse().ok()).unwrap_or(250),
+            "--clock" => args.stream_clock = iter.next().unwrap_or_default(),
+            "--out" => args.out = iter.next(),
+            "--countries" => {
+                args.stream_countries = iter.next().and_then(|v| v.parse().ok()).unwrap_or(8)
+            }
+            "--clients" => args.clients = iter.next().and_then(|v| v.parse().ok()).unwrap_or(24),
+            "--shock-tick" => args.shock_tick = iter.next().and_then(|v| v.parse().ok()),
+            "--serve" => args.stream_serve = true,
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -145,6 +190,9 @@ fn usage() -> ! {
     eprintln!("       wwv serve ... [--trace-sample N] [--trace-out PATH] [--trace-clock wall|logical] [--metrics-listen ADDR]");
     eprintln!("       wwv trace report <trace.jsonl> [--metrics-out PATH]");
     eprintln!("       wwv chaos [--seed N] [--metrics-out PATH]");
+    eprintln!("       wwv stream [--scenario none|seasonality|outage|flashcrowd] [--ticks N] [--window N]");
+    eprintln!("                  [--tick-ms N] [--clock logical|wall] [--out PATH.snap] [--serve]");
+    eprintln!("                  [--countries N] [--clients N] [--shock-tick N] [--metrics-out PATH]");
     std::process::exit(2)
 }
 
@@ -279,47 +327,159 @@ fn snapshot_cmd(args: &Args) {
     }
 }
 
-/// Polls a snapshot file's mtime and hot-swaps the served catalog whenever
-/// it changes. Runs detached for the lifetime of the process.
-fn spawn_snapshot_watcher(path: String, handle: wwv::serve::server::ServeHandle) {
-    std::thread::Builder::new()
-        .name("wwv-snap-watch".to_owned())
-        .spawn(move || {
-            let mtime_of = |p: &str| {
-                std::fs::metadata(p).and_then(|m| m.modified()).ok()
-            };
-            let mut last = mtime_of(&path);
-            loop {
-                std::thread::sleep(std::time::Duration::from_secs(2));
-                let now = mtime_of(&path);
-                if now.is_none() || now == last {
-                    continue;
-                }
-                last = now;
-                let bytes = match std::fs::read(&path) {
-                    Ok(b) => Bytes::from(b),
-                    Err(e) => {
-                        error!(target: "serve", "watch: cannot read {path}: {e}");
-                        continue;
+/// Starts the content-fingerprint snapshot watcher (`wwv_serve::watch`):
+/// the file is polled, compared by footer/frame checksums (same-second
+/// rewrites are still seen; identical bytes never churn the catalog), and
+/// hot-swapped on change. Malformed rewrites are skipped while the old
+/// catalog keeps serving.
+fn spawn_snapshot_watcher(
+    path: &str,
+    handle: wwv::serve::server::ServeHandle,
+) -> SnapshotWatcher {
+    let initial = wwv::snap::fingerprint_file(std::path::Path::new(path)).ok();
+    SnapshotWatcher::spawn(
+        std::path::PathBuf::from(path),
+        handle,
+        WatchConfig { initial_fingerprint: initial, ..WatchConfig::default() },
+    )
+}
+
+/// A [`FileSink`] that also timestamps every emission, so the `--serve`
+/// mode can pair snapshot emissions with catalog swaps.
+struct TimedFileSink {
+    inner: FileSink,
+    emits: Arc<std::sync::Mutex<Vec<Instant>>>,
+}
+
+impl SnapshotSink for TimedFileSink {
+    fn emit(&mut self, tick: u64, bytes: &[u8]) -> std::io::Result<()> {
+        let r = self.inner.emit(tick, bytes);
+        if r.is_ok() {
+            self.emits.lock().expect("emit times lock").push(Instant::now());
+        }
+        r
+    }
+}
+
+fn stream_percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `wwv stream`: run the incremental rolling-window aggregator, emitting
+/// one snapshot per tick. With `--serve`, an in-process server watches the
+/// emitted file and the run reports swap-to-visible latency (emission →
+/// catalog swap) alongside the stream report.
+fn stream_cmd(args: &Args) {
+    let Some(scenario) = Scenario::parse(&args.scenario) else {
+        error!(target: "stream", "--scenario takes none|seasonality|outage|flashcrowd");
+        std::process::exit(2);
+    };
+    let clock = match args.stream_clock.as_str() {
+        // --serve needs real time between ticks for the watcher to observe.
+        "" if args.stream_serve => TickClock::Wall,
+        "" => TickClock::Logical,
+        s => TickClock::parse(s).unwrap_or_else(|| {
+            error!(target: "stream", "--clock takes logical|wall");
+            std::process::exit(2);
+        }),
+    };
+    if args.stream_serve && clock == TickClock::Logical {
+        error!(target: "stream", "--serve requires --clock wall (watcher needs real time)");
+        std::process::exit(2);
+    }
+    let config = StreamConfig {
+        seed: args.seed,
+        countries: args.stream_countries.max(1),
+        ticks: args.ticks.max(1),
+        window: args.window.max(1),
+        clients_per_tick: args.clients.max(1),
+        tick_interval: std::time::Duration::from_millis(args.tick_ms.max(1)),
+        clock,
+        scenario,
+        shock_tick: args.shock_tick.unwrap_or(args.ticks.max(1) / 2),
+        ..StreamConfig::default()
+    };
+    info!(target: "stream", "building world for stream run"; scenario = scenario.name());
+    let world = build_world();
+    let pool = wwv::par::Pool::global();
+    let plan = wwv::fault::FaultPlan::none();
+
+    let out_path = args.out.clone().unwrap_or_else(|| "stream.snap".to_owned());
+    let (report, swap_json) = if args.stream_serve {
+        // Serve an empty catalog; the watcher fills it from the first tick.
+        let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default());
+        let emits = Arc::new(std::sync::Mutex::new(Vec::<Instant>::new()));
+        let swap_lat: Arc<std::sync::Mutex<Vec<f64>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let watcher = {
+            let emits = Arc::clone(&emits);
+            let swap_lat = Arc::clone(&swap_lat);
+            SnapshotWatcher::spawn_with_callback(
+                std::path::PathBuf::from(&out_path),
+                server.handle(),
+                WatchConfig {
+                    poll: std::time::Duration::from_millis(args.tick_ms.max(1) / 5 + 1),
+                    ..WatchConfig::default()
+                },
+                Some(Box::new(move |_event| {
+                    let now = Instant::now();
+                    // The swap corresponds to the newest emission at or
+                    // before it (polling may legitimately skip versions).
+                    if let Some(last) = emits.lock().expect("emit times lock").last() {
+                        swap_lat
+                            .lock()
+                            .expect("swap latency lock")
+                            .push(now.duration_since(*last).as_secs_f64() * 1e3);
                     }
-                };
-                // A malformed file (e.g. a half-written snapshot) is skipped:
-                // the previous catalog keeps serving, nothing is torn down.
-                let dataset = match persist::read_auto(bytes) {
-                    Ok(ds) => ds,
-                    Err(e) => {
-                        error!(target: "serve", "watch: bad snapshot {path}: {e}");
-                        continue;
-                    }
-                };
-                let mut catalog = Catalog::new();
-                catalog
-                    .insert("full", Arc::new(ShardedStore::build(&dataset, DEFAULT_SHARDS)));
-                let epoch = handle.swap_snapshot(catalog);
-                info!(target: "serve", "hot-swapped snapshot from {path}"; epoch = epoch);
-            }
-        })
-        .expect("spawn snapshot watcher");
+                })),
+            )
+        };
+        let mut sink =
+            TimedFileSink { inner: FileSink::new(out_path.clone().into()), emits };
+        let report =
+            wwv::stream::run(&world, &config, &plan, &mut sink, &pool).expect("stream run");
+        // Give the watcher one last poll cycle to observe the final tick.
+        std::thread::sleep(std::time::Duration::from_millis(args.tick_ms.max(1)));
+        watcher.stop();
+        server.shutdown();
+        let mut lat = swap_lat.lock().expect("swap latency lock").clone();
+        lat.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let swap_json = format!(
+            ",\n  \"swaps_observed\": {},\n  \"swap_ms_p50\": {:.3},\n  \"swap_ms_p99\": {:.3}\n}}",
+            lat.len(),
+            stream_percentile(&lat, 0.50),
+            stream_percentile(&lat, 0.99),
+        );
+        (report, Some(swap_json))
+    } else if args.out.is_some() {
+        let mut sink = FileSink::new(out_path.clone().into());
+        let report =
+            wwv::stream::run(&world, &config, &plan, &mut sink, &pool).expect("stream run");
+        (report, None)
+    } else {
+        let mut sink = MemSink::new();
+        let report =
+            wwv::stream::run(&world, &config, &plan, &mut sink, &pool).expect("stream run");
+        (report, None)
+    };
+
+    let json = match swap_json {
+        Some(extra) => {
+            let base = report.to_json();
+            let trimmed = base.trim_end_matches('}').trim_end_matches(['\n', ' ']).to_owned();
+            format!("{trimmed}{extra}")
+        }
+        None => report.to_json(),
+    };
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, &json).expect("write stream report");
+        info!(target: "stream", "wrote stream report to {path}");
+    }
+    println!("{json}");
 }
 
 /// `wwv serve`: expose a dataset over TCP — freshly built, or loaded from
@@ -363,9 +523,10 @@ fn serve(args: &Args) {
         }
         _ => None,
     };
-    if let Some(path) = &args.watch_snapshot {
-        spawn_snapshot_watcher(path.clone(), server.handle());
-    }
+    let _watcher = args
+        .watch_snapshot
+        .as_deref()
+        .map(|path| spawn_snapshot_watcher(path, server.handle()));
 
     if args.loadgen {
         let config = LoadgenConfig {
@@ -416,6 +577,7 @@ fn main() {
         "serve" => return serve(&args),
         "snapshot" => return snapshot_cmd(&args),
         "trace" => return trace_cmd(&args),
+        "stream" => return stream_cmd(&args),
         _ => {}
     }
 
@@ -510,9 +672,11 @@ fn main() {
         }
         "save" => {
             let Some(path) = args.positional.get(1) else { usage() };
-            let bytes = persist::write_snapshot(&dataset);
-            std::fs::write(path, &bytes).expect("write dataset snapshot");
-            println!("wrote {} bytes to {path} (columnar snapshot format)", bytes.len());
+            // Atomic (tmp + fsync + rename): a concurrent `serve
+            // --watch-snapshot` of the same path never sees a torn file.
+            let len = persist::write_snapshot_atomic(&dataset, std::path::Path::new(path))
+                .expect("write dataset snapshot");
+            println!("wrote {len} bytes to {path} (columnar snapshot format, atomic)");
         }
         _ => usage(),
     }

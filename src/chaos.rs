@@ -18,6 +18,7 @@
 //! byte for byte. The `wwv chaos` subcommand prints the report as JSON and
 //! exits nonzero when any cell fails.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wwv_fault::{points, FaultKind, FaultPlan, FaultRule, RetryPolicy};
@@ -25,11 +26,13 @@ use wwv_serve::query::{ErrorCode, Query, Response};
 use wwv_serve::server::{ServeError, Server, ServerConfig};
 use wwv_serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
 use wwv_serve::transport::{FaultyInProcTransport, Transport, TransportError};
+use wwv_serve::watch::{SnapshotWatcher, WatchConfig};
+use wwv_stream::{FileSink, StreamConfig, TickClock, STREAM_INGEST};
 use wwv_telemetry::collector::{Aggregate, Collector, CollectorOptions, CollectorStats};
 use wwv_telemetry::event::{ClientBatch, TelemetryEvent};
 use wwv_telemetry::upload::{UploadError, Uploader};
 use wwv_telemetry::ChromeDataset;
-use wwv_world::{Month, Platform};
+use wwv_world::{Month, Platform, World, WorldConfig};
 
 /// Chaos-run tuning (kept small enough for a CI smoke).
 #[derive(Debug, Clone)]
@@ -614,6 +617,149 @@ fn overload_shed_cell(cfg: &ChaosConfig, catalog: &Arc<Catalog>) -> CellResult {
     }
 }
 
+/// The streaming loop under fire: a faulted `wwv-stream` run (dropped and
+/// delayed client batches at [`STREAM_INGEST`]) emits snapshots into a file
+/// a live server watches, while a query thread hammers the server
+/// throughout. Invariants: zero failed queries end to end, the serve epoch
+/// only ever moves forward, the watcher swaps at least once, and a corrupt
+/// rewrite of the snapshot mid-watch leaves the old catalog serving until a
+/// good snapshot replaces it.
+fn stream_swap_chaos_cell(cfg: &ChaosConfig) -> CellResult {
+    let path = std::env::temp_dir().join(format!(
+        "wwv-chaos-stream-{}-{:x}.snap",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_file(&path);
+    let plan = FaultPlan::new(cfg.seed ^ 0x57E4)
+        .with(FaultRule { point: STREAM_INGEST, kind: FaultKind::Drop, rate: 0.2 })
+        .with(FaultRule { point: STREAM_INGEST, kind: FaultKind::Delay(2), rate: 0.2 });
+    // A deliberately tiny world: the cell tests plumbing, not statistics.
+    let world = World::new(WorldConfig {
+        global_pool: 150,
+        language_pool: 80,
+        regional_pool: 50,
+        national_pool: 300,
+        ..WorldConfig::default()
+    });
+    let stream_cfg = StreamConfig {
+        seed: cfg.seed,
+        countries: 2,
+        ticks: 6,
+        window: 2,
+        top_k: 50,
+        clients_per_tick: 6,
+        mean_loads: 8.0,
+        tick_interval: Duration::from_millis(60),
+        clock: TickClock::Wall,
+        ..StreamConfig::default()
+    };
+
+    let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default());
+    let handle = server.handle();
+    let swaps = Arc::new(AtomicU64::new(0));
+    let watcher = {
+        let swaps = Arc::clone(&swaps);
+        SnapshotWatcher::spawn_with_callback(
+            path.clone(),
+            server.handle(),
+            WatchConfig { poll: Duration::from_millis(15), ..WatchConfig::default() },
+            Some(Box::new(move |_| {
+                swaps.fetch_add(1, Ordering::Relaxed);
+            })),
+        )
+    };
+
+    // Background query load across every swap; Ping isolates serve liveness
+    // from catalog content.
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_thread = {
+        let handle = server.handle();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut ok, mut failed) = (0u64, 0u64);
+            let mut last_epoch = 0u64;
+            let mut monotone = true;
+            while !stop.load(Ordering::Acquire) {
+                match handle.call(Query::Ping) {
+                    Ok(Response::Pong) => ok += 1,
+                    _ => failed += 1,
+                }
+                let epoch = handle.engine().epoch();
+                if epoch < last_epoch {
+                    monotone = false;
+                }
+                last_epoch = epoch;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (ok, failed, monotone)
+        })
+    };
+
+    let mut sink = FileSink::new(path.clone());
+    let run_result =
+        wwv_stream::run(&world, &stream_cfg, &plan, &mut sink, &wwv_par::Pool::new(2));
+    // Let the watcher observe the final tick.
+    std::thread::sleep(Duration::from_millis(60));
+    let swaps_after_stream = swaps.load(Ordering::Relaxed);
+    let epoch_after_stream = handle.engine().epoch();
+
+    // Corrupt rewrite mid-watch: garbage bytes (what a crashed non-atomic
+    // writer could leave). The watcher must skip it and keep serving.
+    let good_bytes = std::fs::read(&path).unwrap_or_default();
+    let _ = std::fs::write(&path, b"not a snapshot at all");
+    std::thread::sleep(Duration::from_millis(80));
+    let epoch_after_corrupt = handle.engine().epoch();
+    // The writer comes back with a good snapshot: the watcher must recover.
+    let _ = wwv_snap::write_atomic(&path, &good_bytes);
+    std::thread::sleep(Duration::from_millis(120));
+    let epoch_after_recover = handle.engine().epoch();
+
+    stop.store(true, Ordering::Release);
+    let (ok, failed, monotone) = query_thread.join().expect("query thread");
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+
+    let injected = plan.fired_total();
+    let outcome = match run_result {
+        Err(e) => CellOutcome::Failed(format!("stream run failed: {e}")),
+        Ok(report) => {
+            if report.snapshots_emitted != stream_cfg.ticks {
+                CellOutcome::Failed(format!(
+                    "emitted {} snapshots for {} ticks",
+                    report.snapshots_emitted, stream_cfg.ticks
+                ))
+            } else if report.batches_dropped == 0 {
+                CellOutcome::Failed("a 20% drop plan never fired".to_owned())
+            } else if swaps_after_stream == 0 {
+                CellOutcome::Failed("watcher never swapped an emitted snapshot".to_owned())
+            } else if failed > 0 {
+                CellOutcome::Failed(format!("{failed} queries failed across swaps"))
+            } else if !monotone {
+                CellOutcome::Failed("serve epoch moved backwards".to_owned())
+            } else if epoch_after_corrupt != epoch_after_stream {
+                CellOutcome::Failed("corrupt snapshot was swapped in".to_owned())
+            } else if epoch_after_recover <= epoch_after_corrupt {
+                CellOutcome::Failed("watcher never recovered after corruption".to_owned())
+            } else {
+                CellOutcome::Recovered
+            }
+        }
+    };
+    CellResult {
+        name: "stream_swap_chaos",
+        point: STREAM_INGEST,
+        fault: "drop+delay",
+        rate: 0.2,
+        injected,
+        outcome,
+        detail: format!(
+            "{swaps_after_stream} swaps, {ok} queries ok, {failed} failed, {injected} faults"
+        ),
+    }
+}
+
 /// Runs the full fault matrix against a built dataset and returns the
 /// per-cell report. Deterministic in `cfg.seed`.
 pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
@@ -656,6 +802,7 @@ pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
     cells.push(serve_response_bitflip_cell(cfg, &catalog));
     cells.push(worker_deadline_cell(cfg, &catalog));
     cells.push(overload_shed_cell(cfg, &catalog));
+    cells.push(stream_swap_chaos_cell(cfg));
 
     ChaosReport { seed: cfg.seed, cells }
 }

@@ -14,7 +14,9 @@ pub use wwv_fault as fault;
 pub use wwv_obs as obs;
 pub use wwv_par as par;
 pub use wwv_serve as serve;
+pub use wwv_snap as snap;
 pub use wwv_stats as stats;
+pub use wwv_stream as stream;
 pub use wwv_taxonomy as taxonomy;
 pub use wwv_telemetry as telemetry;
 pub use wwv_trace as trace;

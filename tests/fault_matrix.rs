@@ -35,9 +35,12 @@ fn fault_matrix_has_no_failed_cells() {
 #[test]
 fn fault_matrix_is_seed_deterministic() {
     // The overload and worker-deadline cells are timing-dependent by
-    // design (they race a stalled worker); every other cell must reproduce
-    // its injections and accounting exactly under the same seed.
-    const TIMING_CELLS: [&str; 2] = ["worker_delay_deadline", "overload_shed"];
+    // design (they race a stalled worker), and the stream-swap cell races
+    // a live snapshot watcher against a wall-clock tick loop; every other
+    // cell must reproduce its injections and accounting exactly under the
+    // same seed.
+    const TIMING_CELLS: [&str; 3] =
+        ["worker_delay_deadline", "overload_shed", "stream_swap_chaos"];
     let (_, dataset) = common::fixture();
     let cfg = ChaosConfig { seed: 7, frames: 12, requests: 16 };
     let a = run_matrix(dataset, &cfg);

@@ -1,0 +1,139 @@
+//! Liveness gate for the stream→snapshot→swap loop: a `wwv serve
+//! --watch-snapshot`-shaped server stays fully available while the streaming
+//! aggregator rewrites its snapshot every tick. Run by name from
+//! `scripts/verify.sh`.
+//!
+//! Over ≥20 consecutive ticks, concurrent query threads must see zero
+//! failed requests and a monotonically non-decreasing engine epoch, and the
+//! anomaly detector must flag the injected seasonality shock within two
+//! ticks of its onset.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use wwv::fault::FaultPlan;
+use wwv::par::Pool;
+use wwv::serve::query::{Query, Response};
+use wwv::serve::store::Catalog;
+use wwv::serve::watch::{SnapshotWatcher, WatchConfig};
+use wwv::serve::{Server, ServerConfig};
+use wwv::stream::{run, FileSink, Scenario, StreamConfig, TickClock};
+use wwv::world::{World, WorldConfig};
+
+const TICKS: u64 = 22;
+const SHOCK_TICK: u64 = 10;
+const TICK_MS: u64 = 40;
+
+fn temp_snap() -> PathBuf {
+    std::env::temp_dir().join(format!("wwv-liveness-{}.snap", std::process::id()))
+}
+
+#[test]
+fn serve_stays_live_across_twenty_ticks_of_snapshot_churn() {
+    let path = temp_snap();
+    let _ = std::fs::remove_file(&path);
+
+    // Server starts on an empty catalog; the watcher installs each emitted
+    // snapshot as it lands. Ping queries exercise the full request path
+    // without depending on any particular snapshot being installed yet.
+    let server = Server::start(Arc::new(Catalog::new()), ServerConfig::default());
+    let handle = server.handle();
+    let watcher = SnapshotWatcher::spawn(
+        path.clone(),
+        server.handle(),
+        WatchConfig { poll: Duration::from_millis(10), ..WatchConfig::default() },
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut querents = Vec::new();
+    for _ in 0..3 {
+        let handle = server.handle();
+        let stop = Arc::clone(&stop);
+        querents.push(thread::spawn(move || {
+            let (mut ok, mut failed) = (0u64, 0u64);
+            let mut last_epoch = 0u64;
+            let mut monotone = true;
+            while !stop.load(Ordering::Relaxed) {
+                match handle.call(Query::Ping) {
+                    Ok(Response::Pong) => ok += 1,
+                    Ok(_) | Err(_) => failed += 1,
+                }
+                let epoch = handle.engine().epoch();
+                if epoch < last_epoch {
+                    monotone = false;
+                }
+                last_epoch = epoch;
+                thread::sleep(Duration::from_millis(2));
+            }
+            (ok, failed, monotone)
+        }));
+    }
+
+    let world = World::new(WorldConfig::small());
+    // Sample sizes are chosen so tick-over-tick share noise sits well below
+    // the detector's 0.4 pp floor (noise scales ~1/sqrt(events per tick))
+    // while the December seasonality shift stays above it.
+    let config = StreamConfig {
+        countries: 3,
+        ticks: TICKS,
+        window: 3,
+        top_k: 400,
+        clients_per_tick: 120,
+        mean_loads: 40.0,
+        tick_interval: Duration::from_millis(TICK_MS),
+        clock: TickClock::Wall,
+        scenario: Scenario::Seasonality,
+        shock_tick: SHOCK_TICK,
+        ..StreamConfig::default()
+    };
+    let mut sink = FileSink::new(path.clone());
+    let report = run(&world, &config, &FaultPlan::none(), &mut sink, &Pool::new(2))
+        .expect("stream run failed");
+
+    // Let the watcher catch the final snapshot before tearing down.
+    thread::sleep(Duration::from_millis(TICK_MS * 3));
+    stop.store(true, Ordering::Relaxed);
+    let final_epoch = handle.engine().epoch();
+    watcher.stop();
+
+    assert_eq!(report.ticks, TICKS, "stream must complete all ticks");
+    assert_eq!(report.snapshots_emitted, TICKS, "one snapshot per tick");
+
+    let mut total_ok = 0u64;
+    for q in querents {
+        let (ok, failed, monotone) = q.join().expect("query thread panicked");
+        assert_eq!(failed, 0, "query thread saw {failed} failed requests");
+        assert!(monotone, "engine epoch went backwards under snapshot churn");
+        total_ok += ok;
+    }
+    assert!(
+        total_ok >= TICKS * 3,
+        "query threads barely ran ({total_ok} requests over {TICKS} ticks)"
+    );
+
+    // The watcher polls at a quarter of the tick interval, so it must have
+    // installed a healthy majority of the emitted snapshots.
+    assert!(
+        final_epoch >= TICKS / 2,
+        "only {final_epoch} swaps observed across {TICKS} ticks"
+    );
+
+    // The seasonality shock lands at SHOCK_TICK; the detector compares
+    // tick-over-tick shares, so it must flag by SHOCK_TICK + 1.
+    assert!(
+        report.anomalies.iter().any(|a| a.tick >= SHOCK_TICK && a.tick <= SHOCK_TICK + 1),
+        "seasonality shock at tick {SHOCK_TICK} not flagged within 2 ticks: {:?}",
+        report.anomalies
+    );
+    assert!(
+        report.anomalies.iter().all(|a| a.tick >= SHOCK_TICK),
+        "anomaly fired before the shock: {:?}",
+        report.anomalies
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
