@@ -8,7 +8,7 @@ use wwv_bench::bench_fixture;
 use wwv_serve::loadgen::{self, LoadgenConfig};
 use wwv_serve::query::{ListKey, Query};
 use wwv_serve::server::{Server, ServerConfig};
-use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_serve::store::{Catalog, RankSource, ShardedStore};
 use wwv_world::{Metric, Month, Platform};
 
 fn us_key() -> ListKey {
@@ -23,7 +23,7 @@ fn us_key() -> ListKey {
 
 fn bench(c: &mut Criterion) {
     let (_, dataset) = bench_fixture();
-    let store = Arc::new(ShardedStore::build(dataset, 16));
+    let store: Arc<dyn RankSource> = Arc::new(ShardedStore::build(dataset, 16));
     let mut catalog = Catalog::new();
     catalog.insert("full", Arc::clone(&store));
     let catalog = Arc::new(catalog);
@@ -76,6 +76,32 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+
+    // Open-loop pipelined throughput: D requests in flight per client over
+    // the batched framed protocol, rank-lookup mix (the BENCH_serve shape).
+    let mut group = c.benchmark_group("serve/pipelined");
+    group.sample_size(10);
+    for depth in [8usize, 32] {
+        const REQUESTS: usize = 400;
+        group.throughput(Throughput::Elements((2 * REQUESTS) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let server = Server::start(Arc::clone(&catalog), ServerConfig::default());
+                let handle = server.handle();
+                let config = LoadgenConfig {
+                    threads: 2,
+                    requests_per_thread: REQUESTS,
+                    mix: loadgen::QueryMix::lookups_only(),
+                    pipeline_depth: depth,
+                    ..LoadgenConfig::default()
+                };
+                let report = loadgen::run(&handle, &store, &config);
+                server.shutdown();
+                black_box(report)
+            })
+        });
     }
     group.finish();
 }

@@ -17,12 +17,12 @@ use std::sync::Arc;
 use wwv_bench::bench_fixture;
 use wwv_serve::loadgen::{self, LoadgenConfig};
 use wwv_serve::server::{Server, ServerConfig};
-use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_serve::store::{Catalog, RankSource, ShardedStore};
 use wwv_trace::{ClockMode, LiveMetrics, TraceRecorder};
 
 fn bench(c: &mut Criterion) {
     let (_, dataset) = bench_fixture();
-    let store = Arc::new(ShardedStore::build(dataset, 16));
+    let store: Arc<dyn RankSource> = Arc::new(ShardedStore::build(dataset, 16));
     let mut catalog = Catalog::new();
     catalog.insert("full", Arc::clone(&store));
     let catalog = Arc::new(catalog);

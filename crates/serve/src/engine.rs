@@ -1,27 +1,37 @@
-//! The query engine: hot-swappable catalog + epoch-tagged cache + execution.
+//! The query engine: shard-per-core execution with lock-free hot paths.
 //!
-//! [`QueryEngine::execute`] is the single entry point workers call. It pins
-//! the **current catalog epoch** once, canonicalizes the query, consults the
-//! LRU cache for the expensive analysis queries, and otherwise answers point
-//! lookups straight from the lock-free [`crate::store::ShardedStore`].
-//! Analysis queries call into `wwv-stats` (RBO) and `wwv-core`/`wwv-world`
-//! (concentration model), the same machinery the offline experiment suite
-//! uses, so served numbers match the reproduction's figures exactly.
+//! [`QueryEngine::execute`] is the single entry point workers call. The
+//! engine is split into N **shards**: each shard owns its own epoch-tagged
+//! catalog handle (an [`ArcCell`], swapped by lock-free publish) and its own
+//! bounded LRU result cache. A query is routed to shard
+//! `hash(country, platform, metric) % N`, so the server can pin one worker
+//! per shard and the hot path takes **zero shared locks**: pinning the
+//! catalog is an announce-counter snapshot, the per-shard cache mutex is
+//! only ever contended by that shard's own (single) worker, and every
+//! introspection accessor ([`QueryEngine::epoch`],
+//! [`QueryEngine::cache_stats`], [`QueryEngine::shard_stats`]) reads plain
+//! atomics.
 //!
-//! **Hot swap.** [`QueryEngine::swap_snapshot`] atomically replaces the
-//! catalog with a new one stamped `epoch + 1` and purges the result cache.
-//! In-flight queries finish against the `Arc` they pinned — no request is
-//! drained or answered from a half-swapped state — while new queries see the
-//! new epoch. Cache keys carry the epoch, so even a straggling pre-swap
-//! computation that inserts its result *after* the swap leaves an
-//! unreachable dead entry, never a wrong answer.
+//! Routing by the breakdown key also gives perfect cache affinity: two
+//! identical analysis queries always land on the same shard, so the split
+//! caches lose nothing over a shared one while dropping its global mutex.
+//!
+//! **Hot swap.** [`QueryEngine::swap_snapshot`] stamps the new catalog
+//! `epoch + 1` and publishes it to every shard cell; writers serialize, but
+//! readers are never blocked. In-flight queries finish against the `Arc`
+//! they pinned — no request is drained or answered from a half-swapped
+//! state — while new queries see the new epoch. Cache keys carry the epoch,
+//! so even a straggling pre-swap computation that inserts its result
+//! *after* the swap leaves an unreachable dead entry, never a wrong answer.
 
 use crate::cache::{CacheStats, LruCache};
 use crate::query::{
     ConcentrationInfo, ErrorCode, ListKey, ProfileInfo, Query, RankInfo, Response, SiteEntry,
 };
-use crate::store::{Catalog, ShardedStore, StoredList};
+use crate::store::{mix64, Catalog, RankSource, StoredList};
+use crate::swap::ArcCell;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wwv_stats::ranking::RankedList;
@@ -40,50 +50,184 @@ pub struct ExecInfo {
     pub engine_us: u64,
 }
 
-/// Executes queries against the live catalog; supports zero-downtime swaps.
-pub struct QueryEngine {
-    catalog: Mutex<Arc<Catalog>>,
-    cache: Mutex<LruCache<(u64, Query), Response>>,
+/// Point-in-time, lock-free snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Queries executed on this shard.
+    pub requests: u64,
+    /// Result-cache hits.
+    pub hits: u64,
+    /// Result-cache misses.
+    pub misses: u64,
+    /// Result-cache capacity evictions.
+    pub evictions: u64,
 }
 
-impl QueryEngine {
-    /// Creates an engine over a catalog with the given result-cache bound.
-    pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> QueryEngine {
-        QueryEngine {
-            catalog: Mutex::new(catalog),
+/// One engine shard: its own catalog cell, result cache, and counters.
+///
+/// The local `AtomicU64`s back the engine's lock-free stats accessors
+/// (engine-scoped, so tests see exact counts); the `wwv_obs` handles mirror
+/// them into the process-wide registry as `serve.shard.{i}.*`, which the
+/// `/metrics` exposition endpoint dumps — shard skew is a scrape away.
+struct EngineShard {
+    catalog: ArcCell<Catalog>,
+    cache: Mutex<LruCache<(u64, Query), Response>>,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    obs_requests: wwv_obs::Counter,
+    obs_hits: wwv_obs::Counter,
+    obs_misses: wwv_obs::Counter,
+}
+
+impl EngineShard {
+    fn new(index: usize, catalog: Arc<Catalog>, cache_capacity: usize) -> EngineShard {
+        let reg = wwv_obs::global();
+        EngineShard {
+            catalog: ArcCell::new(catalog),
             cache: Mutex::new(LruCache::new(cache_capacity)),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            obs_requests: reg.counter(&format!("serve.shard.{index}.requests")),
+            obs_hits: reg.counter(&format!("serve.shard.{index}.hits")),
+            obs_misses: reg.counter(&format!("serve.shard.{index}.misses")),
         }
     }
 
-    /// The currently served catalog. The returned `Arc` stays valid (and
-    /// keeps serving its own epoch) even if a swap happens after the call.
-    pub fn catalog(&self) -> Arc<Catalog> {
-        Arc::clone(&self.catalog.lock())
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pre-resolved global counter handles: the per-query registry lookups
+/// (name `format!` + registry mutex) were measurable at pipelined rates, so
+/// the engine fetches every handle it will ever need once, up front.
+struct ObsHandles {
+    query_kind: [wwv_obs::Counter; 7],
+    cache_hit: wwv_obs::Counter,
+    cache_miss: wwv_obs::Counter,
+    cache_eviction: wwv_obs::Counter,
+}
+
+/// Index into [`ObsHandles::query_kind`]; order matches [`KIND_NAMES`].
+fn kind_index(q: &Query) -> usize {
+    match q {
+        Query::Ping => 0,
+        Query::TopK { .. } => 1,
+        Query::SiteRank { .. } => 2,
+        Query::RankBucket { .. } => 3,
+        Query::SiteProfile { .. } => 4,
+        Query::Rbo { .. } => 5,
+        Query::Concentration { .. } => 6,
+    }
+}
+
+const KIND_NAMES: [&str; 7] =
+    ["ping", "top_k", "site_rank", "rank_bucket", "site_profile", "rbo", "concentration"];
+
+/// Executes queries against the live catalog; supports zero-downtime swaps.
+pub struct QueryEngine {
+    shards: Vec<EngineShard>,
+    epoch: AtomicU64,
+    /// Serializes swaps; never touched on the query path.
+    swap_lock: Mutex<()>,
+    obs: ObsHandles,
+}
+
+impl QueryEngine {
+    /// Creates a single-shard engine (the default for small deployments and
+    /// tests) with the given result-cache bound.
+    pub fn new(catalog: Arc<Catalog>, cache_capacity: usize) -> QueryEngine {
+        QueryEngine::new_sharded(catalog, cache_capacity, 1)
     }
 
-    /// The current swap epoch.
+    /// Creates an engine with `shards` independent shards. `cache_capacity`
+    /// is the total budget, split evenly across shards. Pair the shard
+    /// count with the server's worker count so each shard has exactly one
+    /// pinned worker and its cache mutex is never contended.
+    pub fn new_sharded(
+        catalog: Arc<Catalog>,
+        cache_capacity: usize,
+        shards: usize,
+    ) -> QueryEngine {
+        let n = shards.max(1);
+        let per_shard = (cache_capacity / n).max(1);
+        let reg = wwv_obs::global();
+        let epoch = catalog.epoch();
+        QueryEngine {
+            shards: (0..n).map(|i| EngineShard::new(i, Arc::clone(&catalog), per_shard)).collect(),
+            epoch: AtomicU64::new(epoch),
+            swap_lock: Mutex::new(()),
+            obs: ObsHandles {
+                query_kind: KIND_NAMES
+                    .map(|kind| reg.counter(&format!("serve.query.{kind}"))),
+                cache_hit: reg.counter("serve.cache.hit"),
+                cache_miss: reg.counter("serve.cache.miss"),
+                cache_eviction: reg.counter("serve.cache.eviction"),
+            },
+        }
+    }
+
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a query routes to: a SplitMix64 hash of its
+    /// `(country, platform, metric)` triple. Deterministic and invariant
+    /// under [`Query::canonicalize`], so the server can route a raw request
+    /// at submission and land on the same shard the engine attributes it
+    /// to — and repeated queries always hit the same shard's cache.
+    pub fn shard_of(&self, q: &Query) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (route_hash(q) % self.shards.len() as u64) as usize
+    }
+
+    /// The currently served catalog, snapshotted lock-free. The returned
+    /// `Arc` stays valid (and keeps serving its own epoch) even if a swap
+    /// happens after the call.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.shards[0].catalog.load()
+    }
+
+    /// The current swap epoch — a single atomic load, no lock.
     pub fn epoch(&self) -> u64 {
-        self.catalog.lock().epoch()
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Atomically replaces the served catalog (zero-downtime hot swap).
     ///
-    /// The new catalog is stamped with the next epoch and installed;
-    /// in-flight queries keep the `Arc` they already pinned and finish
-    /// against the old epoch, while every subsequent [`QueryEngine::execute`]
-    /// sees the new one. The result cache is purged (counted under
-    /// `serve.cache.swap_evicted`). Returns the new epoch.
+    /// The new catalog is stamped with the next epoch and published to
+    /// every shard cell via lock-free store; in-flight queries keep the
+    /// `Arc` they already pinned and finish against the old epoch, while
+    /// every subsequent [`QueryEngine::execute`] sees the new one. The
+    /// result caches are purged (counted under `serve.cache.swap_evicted`).
+    /// Returns the new epoch.
     pub fn swap_snapshot(&self, mut catalog: Catalog) -> u64 {
         let _span = wwv_obs::span!("serve.swap");
         let reg = wwv_obs::global();
-        let next = {
-            let mut slot = self.catalog.lock();
-            let next = slot.epoch() + 1;
-            catalog.set_epoch(next);
-            *slot = Arc::new(catalog);
-            next
-        };
-        let evicted = self.cache.lock().clear();
+        let _guard = self.swap_lock.lock();
+        let next = self.epoch.load(Ordering::SeqCst) + 1;
+        catalog.set_epoch(next);
+        let shared = Arc::new(catalog);
+        for shard in &self.shards {
+            shard.catalog.store(Arc::clone(&shared));
+        }
+        self.epoch.store(next, Ordering::SeqCst);
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            evicted += shard.cache.lock().clear();
+        }
         reg.counter("serve.cache.swap_evicted").add(evicted as u64);
         reg.counter("serve.swap.total").inc();
         reg.gauge("serve.swap.epoch").set(next as i64);
@@ -92,9 +236,22 @@ impl QueryEngine {
         next
     }
 
-    /// Running cache totals.
+    /// Running cache totals, aggregated across shards from plain atomics —
+    /// read-only introspection takes no lock.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        let mut out = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+        }
+        out
+    }
+
+    /// Per-shard counter snapshots (skew diagnosis), lock-free.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
     }
 
     /// Executes one query, going through the result cache when applicable.
@@ -106,26 +263,33 @@ impl QueryEngine {
     /// tracing: cache disposition and time spent inside the engine.
     pub fn execute_info(&self, query: &Query) -> (Response, ExecInfo) {
         let _span = wwv_obs::span!("serve.execute");
-        let reg = wwv_obs::global();
         let t0 = Instant::now();
         let engine_us = |t0: Instant| t0.elapsed().as_micros() as u64;
+        let q = query.canonicalize();
+        self.obs.query_kind[kind_index(&q)].inc();
+        let shard = &self.shards[self.shard_of(&q)];
+        shard.requests.fetch_add(1, Ordering::Relaxed);
+        shard.obs_requests.inc();
         // Pin one catalog for the whole query: every lookup below resolves
         // against this epoch, so a concurrent swap can never produce a
-        // response mixing two snapshots.
-        let catalog = self.catalog();
+        // response mixing two snapshots. The pin is lock-free.
+        let catalog = shard.catalog.load();
         let epoch = catalog.epoch();
-        let q = query.canonicalize();
-        reg.counter(&format!("serve.query.{}", q.kind())).inc();
         if q.cacheable() {
-            if let Some(hit) = self.cache.lock().get(&(epoch, q.clone())).cloned() {
-                reg.counter("serve.cache.hit").inc();
+            if let Some(hit) = shard.cache.lock().get(&(epoch, q.clone())).cloned() {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                shard.obs_hits.inc();
+                self.obs.cache_hit.inc();
                 return (hit, ExecInfo { cache: Some(true), engine_us: engine_us(t0) });
             }
-            reg.counter("serve.cache.miss").inc();
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            shard.obs_misses.inc();
+            self.obs.cache_miss.inc();
             let resp = self.compute(&catalog, &q);
             // Only memoize successes; errors should retry on next ask.
-            if resp.is_ok() && self.cache.lock().insert((epoch, q), resp.clone()) {
-                reg.counter("serve.cache.eviction").inc();
+            if resp.is_ok() && shard.cache.lock().insert((epoch, q), resp.clone()) {
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.cache_eviction.inc();
             }
             return (resp, ExecInfo { cache: Some(false), engine_us: engine_us(t0) });
         }
@@ -137,17 +301,17 @@ impl QueryEngine {
         &self,
         catalog: &'a Catalog,
         snapshot: &str,
-    ) -> Result<&'a Arc<ShardedStore>, Response> {
+    ) -> Result<&'a Arc<dyn RankSource>, Response> {
         catalog.get(snapshot).ok_or_else(|| {
             Response::Error(ErrorCode::UnknownSnapshot, format!("no snapshot {snapshot:?}"))
         })
     }
 
-    fn list<'a>(
+    fn list(
         &self,
-        store: &'a ShardedStore,
+        store: &dyn RankSource,
         key: &ListKey,
-    ) -> Result<&'a Arc<StoredList>, Response> {
+    ) -> Result<Arc<StoredList>, Response> {
         if key.country as usize >= COUNTRIES.len() {
             return Err(Response::Error(
                 ErrorCode::BadRequest,
@@ -181,7 +345,7 @@ impl QueryEngine {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let list = match self.list(store, key) {
+        let list = match self.list(store.as_ref(), key) {
             Ok(l) => l,
             Err(e) => return e,
         };
@@ -204,7 +368,7 @@ impl QueryEngine {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let list = match self.list(store, key) {
+        let list = match self.list(store.as_ref(), key) {
             Ok(l) => l,
             Err(e) => return e,
         };
@@ -219,7 +383,7 @@ impl QueryEngine {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let list = match self.list(store, key) {
+        let list = match self.list(store.as_ref(), key) {
             Ok(l) => l,
             Err(e) => return e,
         };
@@ -285,11 +449,11 @@ impl QueryEngine {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let list_a = match self.list(store_a, a) {
+        let list_a = match self.list(store_a.as_ref(), a) {
             Ok(l) => l,
             Err(e) => return e,
         };
-        let list_b = match self.list(store_b, b) {
+        let list_b = match self.list(store_b.as_ref(), b) {
             Ok(l) => l,
             Err(e) => return e,
         };
@@ -321,7 +485,7 @@ impl QueryEngine {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let list = match self.list(store, key) {
+        let list = match self.list(store.as_ref(), key) {
             Ok(l) => l,
             Err(e) => return e,
         };
@@ -346,6 +510,35 @@ impl QueryEngine {
             sites_for_quarter: wwv_core::concentration::sites_for_share(&curve, 0.25),
             sites_for_half: wwv_core::concentration::sites_for_share(&curve, 0.50),
         })
+    }
+}
+
+/// Routing hash: `(country, platform, metric)` — the paper's primary access
+/// pattern key — mixed through SplitMix64. Month and snapshot label are
+/// deliberately excluded: all months of one breakdown share a shard, which
+/// keeps the routing key computable from any query variant.
+fn route_hash(q: &Query) -> u64 {
+    fn key(country: u64, platform: Platform, metric: Metric) -> u64 {
+        mix64(country | ((platform as u64) << 8) | ((metric as u64) << 9))
+    }
+    match q {
+        Query::Ping => 0,
+        Query::TopK { key: k, .. }
+        | Query::SiteRank { key: k, .. }
+        | Query::RankBucket { key: k, .. }
+        | Query::Concentration { key: k, .. } => key(k.country as u64, k.platform, k.metric),
+        // XOR is symmetric, so (a,b) and (b,a) route alike *without*
+        // canonicalizing — the server routes raw queries at submission and
+        // must agree with the engine's canonical-form routing.
+        Query::Rbo { a, b, .. } => {
+            key(a.country as u64, a.platform, a.metric)
+                ^ key(b.country as u64, b.platform, b.metric)
+        }
+        // Profiles span all countries; route by the platform/metric plane
+        // (sentinel country index keeps them off the Ping shard).
+        Query::SiteProfile { platform, metric, .. } => {
+            key(COUNTRIES.len() as u64, *platform, *metric)
+        }
     }
 }
 
@@ -553,5 +746,40 @@ mod tests {
         let Response::Concentration(after) = eng.execute(&q) else { panic!("expected conc") };
         assert_eq!(eng.cache_stats().misses, misses_before + 1, "stale cache served");
         assert_eq!(before.depths, after.depths);
+    }
+
+    /// Sharded engines must behave identically to the single-shard one:
+    /// identical queries route to one shard (cache affinity), stats
+    /// aggregate exactly, and swaps reach every shard cell.
+    #[test]
+    fn sharded_engine_routes_consistently_and_swaps_everywhere() {
+        let catalog = Catalog::new().with_dataset("full", tiny_dataset());
+        let eng = QueryEngine::new_sharded(Arc::new(catalog), 64, 4);
+        assert_eq!(eng.shard_count(), 4);
+        let q = Query::Rbo { a: us_key(), b: us_key(), depth: 40, p_permille: 900 };
+        let canonical = q.canonicalize();
+        let home = eng.shard_of(&canonical);
+        assert!(eng.execute(&q).is_ok());
+        assert!(eng.execute(&q).is_ok());
+        assert_eq!(eng.cache_stats().hits, 1, "second ask must hit its home shard cache");
+        let per_shard = eng.shard_stats();
+        assert_eq!(per_shard[home].hits, 1, "hit must land on the routed shard");
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 1);
+        // Different countries spread across shards.
+        let used: std::collections::HashSet<usize> = (0..COUNTRIES.len())
+            .map(|ci| {
+                let mut key = us_key();
+                key.country = ci as u8;
+                eng.shard_of(&Query::TopK { key, k: 5 })
+            })
+            .collect();
+        assert!(used.len() > 1, "all countries routed to one shard");
+        // A swap must be visible on every shard: the warmed entry cannot
+        // serve post-swap.
+        eng.swap_snapshot(Catalog::new().with_dataset("full", tiny_dataset()));
+        assert_eq!(eng.epoch(), 1);
+        let misses = eng.cache_stats().misses;
+        assert!(eng.execute(&q).is_ok());
+        assert_eq!(eng.cache_stats().misses, misses + 1, "post-swap ask must recompute");
     }
 }

@@ -6,28 +6,40 @@
 //!
 //! Five pieces:
 //!
-//! * [`store`] — [`ShardedStore`]: per-breakdown rank lists with O(1)
-//!   rank-reverse indexes, hashed across N shards, immutable after build
-//!   (lock-free concurrent reads); [`Catalog`] layers labelled snapshots
-//!   and carries the **swap epoch** it became live in;
+//! * [`store`] — the [`RankSource`] trait with two interchangeable
+//!   backends: [`ShardedStore`] (fully materialized: per-breakdown rank
+//!   lists with O(1) rank-reverse indexes, hashed across N shards) and the
+//!   zero-copy [`SnapshotStore`] ([`snapstore`]: checksum-verified once at
+//!   open, then catalog seeks straight into the snapshot bytes with lazy
+//!   per-list decode). Both are immutable after construction (lock-free
+//!   concurrent reads) and provably byte-equivalent on the wire
+//!   (`tests/snapshot_equivalence.rs`); [`Catalog`] layers labelled
+//!   snapshots and carries the **swap epoch** it became live in;
 //! * [`query`]/[`engine`] — the query API: top-K slices, site-rank and
 //!   CrUX-style rank-bucket lookups, cross-country site profiles, and
 //!   cached analysis queries (pairwise RBO via `wwv-stats`, concentration
-//!   shares via `wwv-core`/`wwv-world`). The engine supports zero-downtime
+//!   shares via `wwv-core`/`wwv-world`). The engine is **shard-per-core**:
+//!   requests route by `hash(country, platform, metric)`, each shard owns
+//!   its catalog handle (a lock-free [`ArcCell`]), its own LRU, and its
+//!   own counters — the query path takes zero shared locks. Zero-downtime
 //!   catalog hot-swaps ([`QueryEngine::swap_snapshot`]): in-flight queries
 //!   pin the catalog `Arc` they started on and finish against that epoch,
 //!   new queries see the new one, and no request is ever drained;
-//! * [`cache`] — a hand-rolled bounded [`LruCache`] memoizing analysis
-//!   results under `(epoch, canonicalized query)` keys — the epoch tag plus
-//!   a purge on swap make stale post-swap answers impossible — with
-//!   hit/miss/eviction counted;
+//! * [`cache`] — a hand-rolled bounded [`LruCache`] (one per shard)
+//!   memoizing analysis results under `(epoch, canonicalized query)` keys
+//!   — the epoch tag plus a purge on swap make stale post-swap answers
+//!   impossible — with hit/miss/eviction counted;
 //! * [`protocol`]/[`server`]/[`transport`] — a length-prefixed binary
 //!   request/response protocol (in the `wwv-telemetry::wire` frame style)
-//!   served by a bounded worker pool over crossbeam channels, with
+//!   served by one bounded queue + worker per engine shard, with
 //!   per-request deadlines, explicit overload rejection, graceful drain on
-//!   shutdown, and both in-process and `std::net` TCP transports;
-//! * [`loadgen`] — a deterministic Zipf-replay load generator reporting
-//!   qps, latency quantiles, per-worker skew, and cache hit rate as JSON.
+//!   shutdown, and both in-process and `std::net` TCP transports. Clients
+//!   may **pipeline**: all complete buffered frames are drained, submitted
+//!   as one batch ([`ServeHandle::submit_batch`]), and answered in request
+//!   order with batched writes;
+//! * [`loadgen`] — a deterministic Zipf-replay load generator (closed-loop
+//!   or open-loop pipelined batches) reporting qps, latency quantiles,
+//!   per-worker skew, and cache hit rate as JSON.
 //!
 //! The serve path is traceable end-to-end via `wwv-trace`: a sampled
 //! request carries a 64-bit trace id in the protocol's extension block,
@@ -62,7 +74,9 @@ pub mod loadgen;
 pub mod protocol;
 pub mod query;
 pub mod server;
+pub mod snapstore;
 pub mod store;
+pub mod swap;
 pub mod testutil;
 pub mod transport;
 pub mod watch;
@@ -72,12 +86,14 @@ pub use engine::{ExecInfo, QueryEngine};
 pub use loadgen::{LoadReport, LoadgenConfig, QueryMix, WorkerLoad};
 pub use protocol::{
     decode_request, decode_request_meta, decode_response, decode_response_meta, encode_request,
-    encode_request_traced, encode_response, encode_response_traced, ProtoError, RequestMeta,
-    ResponseMeta, EXT_TRACE_ID, FLAG_EXT,
+    encode_request_traced, encode_request_traced_into, encode_response, encode_response_traced,
+    ProtoError, RequestMeta, ResponseMeta, EXT_TRACE_ID, FLAG_EXT,
 };
 pub use query::{ErrorCode, ListKey, Query, Response};
 pub use server::{ServeError, ServeHandle, Server, ServerConfig};
-pub use store::{Catalog, ShardedStore, StoredList};
+pub use snapstore::SnapshotStore;
+pub use store::{Catalog, RankSource, ShardedStore, StoredList};
+pub use swap::ArcCell;
 pub use transport::{
     FaultyInProcTransport, InProcTransport, TcpClient, TcpServer, Transport, TransportError,
 };
@@ -89,6 +105,7 @@ pub mod prelude {
     pub use crate::loadgen::{LoadReport, LoadgenConfig};
     pub use crate::query::{ErrorCode, ListKey, Query, Response};
     pub use crate::server::{ServeHandle, Server, ServerConfig};
-    pub use crate::store::{Catalog, ShardedStore};
+    pub use crate::snapstore::SnapshotStore;
+    pub use crate::store::{Catalog, RankSource, ShardedStore};
     pub use crate::transport::{InProcTransport, TcpClient, TcpServer, Transport};
 }

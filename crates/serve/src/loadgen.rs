@@ -8,6 +8,22 @@
 //! weight — point lookups dominating, analysis queries as a heavy-tailed
 //! minority, mirroring a CrUX-style serving workload.
 //!
+//! Two issue disciplines:
+//!
+//! * **closed loop** (`pipeline_depth = 1`): each thread waits for every
+//!   reply before issuing the next request — the classic latency-probe
+//!   shape;
+//! * **open-loop pipelining** (`pipeline_depth = D > 1`): each thread keeps
+//!   `D` requests in flight per batch through the transport's pipelined
+//!   path ([`crate::transport::Transport::call_batch_traced`]), the
+//!   throughput shape a real framed-protocol client produces. Latency is
+//!   recorded per request as its batch-completion time — the time from
+//!   issuing the burst to having its answer.
+//!
+//! Targets are drawn through the [`RankSource`] trait, so the same replay
+//! drives a materialized [`ShardedStore`](crate::store::ShardedStore) or a
+//! zero-copy [`SnapshotStore`](crate::snapstore::SnapshotStore) catalog.
+//!
 //! Each client thread owns a deterministic SplitMix64 stream (seed + thread
 //! id), so a run is exactly reproducible. Latencies land both in the
 //! `serve.loadgen.latency_us` obs histogram and in exact per-run vectors,
@@ -17,8 +33,8 @@
 use crate::cache::CacheStats;
 use crate::query::{ListKey, Query};
 use crate::server::ServeHandle;
-use crate::store::ShardedStore;
-use crate::transport::{InProcTransport, Transport};
+use crate::store::RankSource;
+use crate::transport::{InProcTransport, TcpClient, Transport};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,6 +72,35 @@ impl Default for QueryMix {
 }
 
 impl QueryMix {
+    /// A mix of only cheap rank lookups (top-K, site-rank, bucket) — the
+    /// benchmark workload for the pipelined hot path.
+    pub fn lookups_only() -> QueryMix {
+        QueryMix {
+            top_k: 30,
+            site_rank: 50,
+            rank_bucket: 20,
+            site_profile: 0,
+            rbo: 0,
+            concentration: 0,
+        }
+    }
+
+    /// Point rank lookups only (site-rank and bucket, no top-K slices):
+    /// single-domain requests with single-value responses. This is the
+    /// serve benchmark's workload — with per-request marshaling this small,
+    /// what a closed loop pays per request is dominated by wire overhead,
+    /// which is exactly what pipelining amortizes.
+    pub fn point_lookups() -> QueryMix {
+        QueryMix {
+            top_k: 0,
+            site_rank: 70,
+            rank_bucket: 30,
+            site_profile: 0,
+            rbo: 0,
+            concentration: 0,
+        }
+    }
+
     fn total(&self) -> u32 {
         self.top_k
             + self.site_rank
@@ -83,6 +128,10 @@ pub struct LoadgenConfig {
     /// Trace ids are a pure function of `(seed, thread, seq)`, so the same
     /// seed samples the same subset of requests on every run.
     pub trace_sample: u64,
+    /// Requests kept in flight per thread: 1 = closed loop (wait for each
+    /// reply), `D > 1` = open-loop batches of `D` through the pipelined
+    /// transport path.
+    pub pipeline_depth: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -94,6 +143,7 @@ impl Default for LoadgenConfig {
             seed: 0xC0FFEE,
             mix: QueryMix::default(),
             trace_sample: 0,
+            pipeline_depth: 1,
         }
     }
 }
@@ -123,6 +173,8 @@ pub struct WorkerLoad {
 pub struct LoadReport {
     /// Client threads used.
     pub threads: usize,
+    /// Requests kept in flight per thread (1 = closed loop).
+    pub pipeline_depth: usize,
     /// Requests issued in total.
     pub issued: u64,
     /// Non-error responses.
@@ -235,7 +287,7 @@ fn generate_query(
     rng: &mut Rng,
     mix: &QueryMix,
     breakdowns: &[Breakdown],
-    store: &ShardedStore,
+    store: &dyn RankSource,
     zipf: &ZipfRanks,
 ) -> Query {
     let b = breakdowns[rng.below(breakdowns.len())];
@@ -279,12 +331,53 @@ fn generate_query(
 }
 
 /// Replays a Zipf query mix through the in-process transport and summarizes.
-pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConfig) -> LoadReport {
+pub fn run(
+    handle: &ServeHandle,
+    store: &Arc<dyn RankSource>,
+    config: &LoadgenConfig,
+) -> LoadReport {
+    run_with(store, config, Some(handle), |_| InProcTransport::new(handle.clone()))
+}
+
+/// [`run`] over real sockets: each client thread owns its own framed TCP
+/// connection to `addr` and drives the identical deterministic workload —
+/// closed loop per request, or pipelined bursts where the whole batch goes
+/// out in one write and the server batches its response writes
+/// ([`Transport::call_batch_traced`]). This is the shape that shows the
+/// syscall amortization of pipelining, which the in-process transport (no
+/// sockets) cannot. `handle` — available when the server lives in this
+/// process — supplies the tracer and end-of-run cache stats; pass `None`
+/// for a remote server (cache stats then report zero).
+pub fn run_tcp(
+    addr: &str,
+    store: &Arc<dyn RankSource>,
+    config: &LoadgenConfig,
+    handle: Option<&ServeHandle>,
+) -> LoadReport {
+    run_with(store, config, handle, |_| {
+        TcpClient::connect(addr).expect("connect to serve address")
+    })
+}
+
+/// The shared worker loop behind [`run`] and [`run_tcp`], generic over how
+/// each client thread gets its transport.
+fn run_with<T, F>(
+    store: &Arc<dyn RankSource>,
+    config: &LoadgenConfig,
+    handle: Option<&ServeHandle>,
+    make_transport: F,
+) -> LoadReport
+where
+    T: Transport + Send,
+    F: Fn(usize) -> T,
+{
     let _span = wwv_obs::span!("serve.loadgen");
-    let breakdowns: Arc<Vec<Breakdown>> = Arc::new(store.breakdowns().collect());
+    let breakdowns: Arc<Vec<Breakdown>> = Arc::new(store.breakdowns());
     assert!(!breakdowns.is_empty(), "store has no lists to query");
-    let zipf = Arc::new(ZipfRanks::new(store.max_depth.clamp(1, 10_000), config.zipf_exponent));
+    let zipf =
+        Arc::new(ZipfRanks::new(store.max_depth().clamp(1, 10_000), config.zipf_exponent));
     let latency_hist = wwv_obs::global().histogram("serve.loadgen.latency_us");
+    let depth = config.pipeline_depth.max(1);
 
     let sampler = Sampler::new(config.trace_sample);
 
@@ -292,11 +385,12 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
     let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.threads.max(1))
             .map(|t| {
-                let tracer = handle.tracer().cloned();
-                let mut transport = InProcTransport::new(handle.clone());
+                let tracer = handle.and_then(|h| h.tracer().cloned());
+                let mut transport = make_transport(t);
                 let breakdowns = Arc::clone(&breakdowns);
                 let zipf = Arc::clone(&zipf);
                 let store = Arc::clone(store);
+                let sampler = &sampler;
                 let mix = config.mix;
                 let requests = config.requests_per_thread;
                 let seed = config.seed;
@@ -312,43 +406,103 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
                         traced: 0,
                         elapsed_s: 0.0,
                     };
-                    for seq in 0..requests {
-                        let query =
-                            generate_query(&mut rng, &mix, &breakdowns, &store, &zipf);
-                        // Head sampling is a pure function of the minted id,
-                        // so reruns trace the exact same requests.
-                        let trace = if sampler.is_active() {
-                            let id = TraceId::mint(seed, t as u64, seq as u64);
-                            sampler.sample(id).then_some(id)
-                        } else {
-                            None
-                        };
-                        if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
-                            tally.traced += 1;
-                            rec.start(id, t as u32, seq as u64, query.kind());
+                    let mut seq = 0usize;
+                    while seq < requests {
+                        let batch_len = depth.min(requests - seq);
+                        let mut batch = Vec::with_capacity(batch_len);
+                        let mut traces = Vec::with_capacity(batch_len);
+                        for j in 0..batch_len {
+                            let query = generate_query(
+                                &mut rng,
+                                &mix,
+                                &breakdowns,
+                                store.as_ref(),
+                                &zipf,
+                            );
+                            // Head sampling is a pure function of the minted
+                            // id, so reruns trace the exact same requests.
+                            let trace = if sampler.is_active() {
+                                let id = TraceId::mint(seed, t as u64, (seq + j) as u64);
+                                sampler.sample(id).then_some(id)
+                            } else {
+                                None
+                            };
+                            if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
+                                tally.traced += 1;
+                                rec.start(id, t as u32, (seq + j) as u64, query.kind());
+                            }
+                            traces.push(trace);
+                            batch.push((query, trace.map(|id| id.as_u64())));
                         }
                         let begin = Instant::now();
-                        match transport.call_traced(&query, trace.map(|id| id.as_u64())) {
-                            Ok(response) => {
-                                let us = begin.elapsed().as_micros() as u64;
-                                if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
-                                    rec.finish(id, us, response.is_ok());
+                        if batch_len == 1 {
+                            // Closed loop: one blocking call per request.
+                            let (query, trace_u64) = batch.pop().expect("one request");
+                            match transport.call_traced(&query, trace_u64) {
+                                Ok(response) => {
+                                    let us = begin.elapsed().as_micros() as u64;
+                                    if let (Some(id), Some(rec)) =
+                                        (traces[0], tracer.as_deref())
+                                    {
+                                        rec.finish(id, us, response.is_ok());
+                                    }
+                                    tally.latencies_us.push(us);
+                                    latency_hist.record(us);
+                                    if response.is_ok() {
+                                        tally.ok += 1;
+                                    } else {
+                                        tally.errors += 1;
+                                    }
                                 }
-                                tally.latencies_us.push(us);
-                                latency_hist.record(us);
-                                if response.is_ok() {
-                                    tally.ok += 1;
-                                } else {
-                                    tally.errors += 1;
+                                Err(_) => {
+                                    if let (Some(id), Some(rec)) =
+                                        (traces[0], tracer.as_deref())
+                                    {
+                                        rec.finish(
+                                            id,
+                                            begin.elapsed().as_micros() as u64,
+                                            false,
+                                        );
+                                    }
+                                    tally.transport_errors += 1;
                                 }
                             }
-                            Err(_) => {
-                                if let (Some(id), Some(rec)) = (trace, tracer.as_deref()) {
-                                    rec.finish(id, begin.elapsed().as_micros() as u64, false);
+                        } else {
+                            // Open loop: the whole batch is in flight at
+                            // once; each request's latency is its
+                            // batch-completion time.
+                            match transport.call_batch_traced(&batch) {
+                                Ok(responses) => {
+                                    let us = begin.elapsed().as_micros() as u64;
+                                    for (response, trace) in responses.iter().zip(&traces) {
+                                        if let (Some(id), Some(rec)) =
+                                            (trace, tracer.as_deref())
+                                        {
+                                            rec.finish(*id, us, response.is_ok());
+                                        }
+                                        tally.latencies_us.push(us);
+                                        latency_hist.record(us);
+                                        if response.is_ok() {
+                                            tally.ok += 1;
+                                        } else {
+                                            tally.errors += 1;
+                                        }
+                                    }
                                 }
-                                tally.transport_errors += 1;
+                                Err(_) => {
+                                    let us = begin.elapsed().as_micros() as u64;
+                                    for trace in &traces {
+                                        if let (Some(id), Some(rec)) =
+                                            (trace, tracer.as_deref())
+                                        {
+                                            rec.finish(*id, us, false);
+                                        }
+                                    }
+                                    tally.transport_errors += batch_len as u64;
+                                }
                             }
                         }
+                        seq += batch_len;
                     }
                     tally.elapsed_s = worker_start.elapsed().as_secs_f64();
                     tally
@@ -392,7 +546,7 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
     let sorted: Vec<f64> = latencies.iter().map(|l| *l as f64).collect();
     let q = |p: f64| wwv_stats::quantile::quantile_sorted(&sorted, p).unwrap_or(0.0);
     let issued = (config.threads.max(1) * config.requests_per_thread) as u64;
-    let cache = handle.cache_stats();
+    let cache = handle.map(|h| h.cache_stats()).unwrap_or_default();
     let skew = |values: Vec<f64>| -> f64 {
         let max = values.iter().cloned().fold(f64::MIN, f64::max);
         let min = values.iter().cloned().fold(f64::MAX, f64::min);
@@ -404,6 +558,7 @@ pub fn run(handle: &ServeHandle, store: &Arc<ShardedStore>, config: &LoadgenConf
     };
     LoadReport {
         threads: config.threads.max(1),
+        pipeline_depth: depth,
         issued,
         ok,
         errors,
@@ -475,6 +630,7 @@ mod tests {
         let report = run(&server.handle(), &store, &config);
         assert_eq!(report.per_worker.len(), 3);
         assert_eq!(report.issued, 120);
+        assert_eq!(report.pipeline_depth, 1);
         for (i, w) in report.per_worker.iter().enumerate() {
             assert_eq!(w.thread, i);
             assert_eq!(w.issued, 40);
@@ -492,8 +648,33 @@ mod tests {
         assert_eq!(report.traced, 0, "tracing defaults off");
         let json = report.to_json();
         assert!(json.contains("\"per_worker\""), "{json}");
+        assert!(json.contains("\"pipeline_depth\""), "{json}");
         assert!(json.contains("\"worker_qps_skew\""), "{json}");
         assert!(json.contains("\"worker_p99_skew\""), "{json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_run_answers_every_request() {
+        let catalog = Arc::new(
+            crate::store::Catalog::new().with_dataset("full", crate::testutil::tiny_dataset()),
+        );
+        let server = crate::server::Server::start(catalog, crate::server::ServerConfig::default());
+        let catalog = server.engine().catalog();
+        let store = Arc::clone(catalog.get("").expect("default snapshot"));
+        let config = LoadgenConfig {
+            threads: 2,
+            requests_per_thread: 50,
+            pipeline_depth: 16,
+            mix: QueryMix::lookups_only(),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&server.handle(), &store, &config);
+        assert_eq!(report.pipeline_depth, 16);
+        assert_eq!(report.issued, 100);
+        assert_eq!(report.ok + report.errors, 100, "{report:?}");
+        assert_eq!(report.transport_errors, 0, "{report:?}");
+        assert!(report.qps > 0.0);
         server.shutdown();
     }
 
@@ -503,13 +684,15 @@ mod tests {
             crate::testutil::tiny_dataset(),
             4,
         ));
-        let breakdowns: Vec<Breakdown> = store.breakdowns().collect();
+        let breakdowns: Vec<Breakdown> = RankSource::breakdowns(store.as_ref());
         let zipf = ZipfRanks::new(100, 1.0);
         let mut rng = Rng(1);
         let mix = QueryMix::default();
         let mut kinds = std::collections::HashSet::new();
         for _ in 0..500 {
-            kinds.insert(generate_query(&mut rng, &mix, &breakdowns, &store, &zipf).kind());
+            kinds.insert(
+                generate_query(&mut rng, &mix, &breakdowns, store.as_ref(), &zipf).kind(),
+            );
         }
         for expected in
             ["top_k", "site_rank", "rank_bucket", "site_profile", "rbo", "concentration"]

@@ -274,11 +274,23 @@ pub fn encode_request(id: u64, query: &Query) -> Bytes {
 /// Encodes a request frame, optionally carrying a trace id in the
 /// extension block. `trace: None` emits a legacy frame.
 pub fn encode_request_traced(id: u64, query: &Query, trace: Option<u64>) -> Bytes {
-    let mut p = BytesMut::with_capacity(64);
-    p.put_u64_le(id);
-    put_tagged(&mut p, opcode_of(query), trace);
-    put_query_body(&mut p, query);
-    frame(p)
+    let mut buf = BytesMut::with_capacity(64);
+    encode_request_traced_into(&mut buf, id, query, trace);
+    buf.freeze()
+}
+
+/// [`encode_request_traced`] appending the frame to an existing buffer: the
+/// length prefix is back-patched after the body is written, so a pipelined
+/// burst encodes straight into one write buffer with no per-request frame
+/// allocation.
+pub fn encode_request_traced_into(buf: &mut BytesMut, id: u64, query: &Query, trace: Option<u64>) {
+    let at = buf.len();
+    buf.put_u32_le(0);
+    buf.put_u64_le(id);
+    put_tagged(buf, opcode_of(query), trace);
+    put_query_body(buf, query);
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
 }
 
 /// A decoded request plus its extension metadata.

@@ -1,13 +1,23 @@
-//! Worker-pool server over crossbeam channels.
+//! Shard-per-core worker pool over crossbeam channels.
 //!
-//! Requests flow through a **bounded** queue: [`ServeHandle::submit`]
-//! `try_send`s a job and fails fast with [`ServeError::Overloaded`] when the
-//! queue is full — backpressure is explicit, never silent. Every job that
-//! enters the queue produces exactly one reply on its private response
-//! channel: workers answer expired deadlines with a typed
-//! `DeadlineExceeded` error instead of dropping them, and graceful shutdown
-//! enqueues one poison pill per worker *behind* all pending work, so the
-//! queue drains fully before the pool exits.
+//! The pool owns one **bounded queue per engine shard**, each drained by
+//! exactly one dedicated worker thread. [`ServeHandle::submit`] routes a
+//! request to its shard queue by the engine's deterministic
+//! `(country, platform, metric)` hash, so a shard's cache mutex is only
+//! ever taken by its own worker and the hot path crosses zero shared
+//! locks. `try_send` fails fast with [`ServeError::Overloaded`] when that
+//! shard's queue is full — backpressure is explicit and per-shard, never
+//! silent.
+//!
+//! Every job that enters a queue produces exactly one reply: single
+//! requests on a private channel, pipelined batches
+//! ([`ServeHandle::submit_batch`]) on one shared channel tagged with the
+//! request's sequence number, so a transport can submit N requests in one
+//! pass and collect N replies without per-request wakeups. Workers answer
+//! expired deadlines with a typed `DeadlineExceeded` error instead of
+//! dropping them, and graceful shutdown enqueues one poison pill per queue
+//! *behind* all pending work, so every queue drains fully before the pool
+//! exits.
 
 use crate::cache::CacheStats;
 use crate::engine::QueryEngine;
@@ -24,11 +34,12 @@ use wwv_trace::{LiveMetrics, Stage, TraceId, TraceRecorder};
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing queries.
+    /// Worker threads — one per engine shard (the engine is built with
+    /// exactly this many shards, so each worker owns its shard's cache).
     pub workers: usize,
-    /// Bounded request-queue depth (backpressure point).
+    /// Bounded request-queue depth **per shard** (backpressure point).
     pub queue_depth: usize,
-    /// Result-cache capacity (entries).
+    /// Result-cache capacity in entries, split across shards.
     pub cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
@@ -83,21 +94,40 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Where a job's single reply goes: a private channel (plain calls) or a
+/// shared batch channel tagged with the request's sequence number
+/// (pipelined connections collect N replies off one receiver).
+enum Reply {
+    Single(Sender<Response>),
+    Batch { tx: Sender<(u32, Response)>, seq: u32 },
+}
+
+impl Reply {
+    fn send(self, response: Response) {
+        // The client may have given up; a closed reply channel is its
+        // problem, not ours.
+        match self {
+            Reply::Single(tx) => drop(tx.send(response)),
+            Reply::Batch { tx, seq } => drop(tx.send((seq, response))),
+        }
+    }
+}
+
 enum Job {
     Request {
         query: Query,
         deadline: Option<Instant>,
-        reply: Sender<Response>,
+        reply: Reply,
         trace: Option<TraceId>,
         enqueued: Instant,
     },
     Shutdown,
 }
 
-/// A cloneable client handle to the in-process queue.
+/// A cloneable client handle to the per-shard queues.
 #[derive(Clone)]
 pub struct ServeHandle {
-    tx: Sender<Job>,
+    txs: Arc<[Sender<Job>]>,
     engine: Arc<QueryEngine>,
     shutting_down: Arc<AtomicBool>,
     default_deadline: Option<Duration>,
@@ -129,12 +159,71 @@ impl ServeHandle {
         let (reply_tx, reply_rx) = bounded(1);
         let deadline =
             deadline.or(self.default_deadline).map(|d| Instant::now() + d);
-        let job =
-            Job::Request { query, deadline, reply: reply_tx, trace, enqueued: Instant::now() };
-        match self.tx.try_send(job) {
+        let job = Job::Request {
+            query,
+            deadline,
+            reply: Reply::Single(reply_tx),
+            trace,
+            enqueued: Instant::now(),
+        };
+        self.route(job)?;
+        Ok(reply_rx)
+    }
+
+    /// Enqueues a whole pipeline batch sharing **one** reply channel:
+    /// request `i` is answered as `(i, response)` in completion order, and
+    /// every request gets exactly one reply. Per-request failures
+    /// (overloaded shard queue) are answered inline as typed error
+    /// *responses* on the same channel, so a transport never has to match
+    /// partial successes against partial submission errors. Returns the
+    /// shared receiver; the whole batch is refused only when the server is
+    /// shutting down.
+    pub fn submit_batch(
+        &self,
+        requests: Vec<(Query, Option<TraceId>)>,
+        deadline: Option<Duration>,
+    ) -> Result<Receiver<(u32, Response)>, ServeError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let now = Instant::now();
+        let deadline = deadline.or(self.default_deadline).map(|d| now + d);
+        // Capacity covers every reply (worker or inline error), so no send
+        // below ever blocks a worker on a slow batch collector.
+        let (tx, rx) = bounded(requests.len().max(1));
+        for (seq, (query, trace)) in requests.into_iter().enumerate() {
+            let job = Job::Request {
+                query,
+                deadline,
+                reply: Reply::Batch { tx: tx.clone(), seq: seq as u32 },
+                trace,
+                enqueued: now,
+            };
+            if let Err(e) = self.route(job) {
+                let (code, msg) = match e {
+                    ServeError::Overloaded => {
+                        (ErrorCode::Overloaded, "request queue full")
+                    }
+                    _ => (ErrorCode::ShuttingDown, "server shutting down"),
+                };
+                Reply::Batch { tx: tx.clone(), seq: seq as u32 }
+                    .send(Response::Error(code, msg.to_owned()));
+            }
+        }
+        Ok(rx)
+    }
+
+    /// Routes one job to its shard queue by the engine's deterministic
+    /// query hash.
+    fn route(&self, job: Job) -> Result<(), ServeError> {
+        let shard = match &job {
+            Job::Request { query, .. } => self.engine.shard_of(query),
+            Job::Shutdown => 0,
+        };
+        match self.txs[shard].try_send(job) {
             Ok(()) => {
                 wwv_obs::global().gauge("serve.queue.depth").add(1);
-                Ok(reply_rx)
+                Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 wwv_obs::global().counter("serve.rejected.overload").inc();
@@ -180,7 +269,7 @@ impl ServeHandle {
         rx.recv().map_err(|_| ServeError::Disconnected)
     }
 
-    /// Running result-cache totals.
+    /// Running result-cache totals (lock-free shard aggregation).
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
     }
@@ -206,7 +295,7 @@ impl ServeHandle {
 /// The worker pool. Create with [`Server::start`], stop with
 /// [`Server::shutdown`].
 pub struct Server {
-    tx: Sender<Job>,
+    txs: Arc<[Sender<Job>]>,
     workers: Vec<JoinHandle<u64>>,
     engine: Arc<QueryEngine>,
     shutting_down: Arc<AtomicBool>,
@@ -214,21 +303,30 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the worker pool over an initial catalog (it can be replaced
-    /// later with [`Server::swap_snapshot`] without restarting the pool).
+    /// Spawns one worker (and one bounded queue) per engine shard over an
+    /// initial catalog; the catalog can be replaced later with
+    /// [`Server::swap_snapshot`] without restarting the pool.
     pub fn start(catalog: Arc<Catalog>, config: ServerConfig) -> Server {
-        let engine = Arc::new(QueryEngine::new(catalog, config.cache_capacity));
+        let shards = config.workers.max(1);
+        let engine = Arc::new(QueryEngine::new_sharded(
+            catalog,
+            config.cache_capacity,
+            shards,
+        ));
         if let Some(live) = &config.live {
             live.set_epoch(engine.epoch());
         }
-        let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                let engine = Arc::clone(&engine);
-                let faults = config.faults.clone();
-                let tracer = config.tracer.clone();
-                let live = config.live.clone();
+        let depth = config.queue_depth.max(1);
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = bounded::<Job>(depth);
+            txs.push(tx);
+            let engine = Arc::clone(&engine);
+            let faults = config.faults.clone();
+            let tracer = config.tracer.clone();
+            let live = config.live.clone();
+            workers.push(
                 std::thread::Builder::new()
                     .name(format!("wwv-serve-{i}"))
                     .spawn(move || {
@@ -240,13 +338,13 @@ impl Server {
                             live.as_deref(),
                         )
                     })
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        wwv_obs::info!(target: "serve", "serving with {} workers, queue depth {}",
-            config.workers.max(1), config.queue_depth.max(1));
+                    .expect("spawn serve worker"),
+            );
+        }
+        wwv_obs::info!(target: "serve",
+            "serving with {shards} shard workers, queue depth {depth} each");
         Server {
-            tx,
+            txs: Arc::from(txs),
             workers,
             engine,
             shutting_down: Arc::new(AtomicBool::new(false)),
@@ -257,7 +355,7 @@ impl Server {
     /// A new client handle.
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
-            tx: self.tx.clone(),
+            txs: Arc::clone(&self.txs),
             engine: Arc::clone(&self.engine),
             shutting_down: Arc::clone(&self.shutting_down),
             default_deadline: self.config.default_deadline,
@@ -281,15 +379,15 @@ impl Server {
         next
     }
 
-    /// Graceful shutdown: refuse new work, drain the queue, join workers.
-    /// Returns the total number of requests processed.
+    /// Graceful shutdown: refuse new work, drain every shard queue, join
+    /// workers. Returns the total number of requests processed.
     pub fn shutdown(self) -> u64 {
         let _span = wwv_obs::span!("serve.shutdown");
         self.shutting_down.store(true, Ordering::Release);
-        // One pill per worker, enqueued behind all pending requests. A
-        // blocking send is safe: workers are still draining the queue.
-        for _ in &self.workers {
-            let _ = self.tx.send(Job::Shutdown);
+        // One pill per shard queue, enqueued behind all pending requests. A
+        // blocking send is safe: each worker is still draining its queue.
+        for tx in self.txs.iter() {
+            let _ = tx.send(Job::Shutdown);
         }
         let mut processed = 0;
         for w in self.workers {
@@ -309,12 +407,14 @@ fn worker_loop(
 ) -> u64 {
     let reg = wwv_obs::global();
     let latency = reg.histogram("serve.request_us");
+    let queue_depth = reg.gauge("serve.queue.depth");
+    let deadline_exceeded = reg.counter("serve.deadline_exceeded");
     let mut processed = 0u64;
     while let Ok(job) = rx.recv() {
         match job {
             Job::Shutdown => break,
             Job::Request { query, deadline, reply, trace, enqueued } => {
-                reg.gauge("serve.queue.depth").add(-1);
+                queue_depth.add(-1);
                 let start = Instant::now();
                 // Only sampled requests carry an id, so the closure is a
                 // no-op (one None check) on the untraced hot path.
@@ -334,7 +434,7 @@ fn worker_loop(
                 let mut cache = None;
                 let response = match deadline {
                     Some(d) if start >= d => {
-                        reg.counter("serve.deadline_exceeded").inc();
+                        deadline_exceeded.inc();
                         Response::Error(
                             ErrorCode::DeadlineExceeded,
                             "deadline expired in queue".to_owned(),
@@ -371,7 +471,7 @@ fn worker_loop(
                         // already gave up on.
                         match deadline {
                             Some(d) if Instant::now() >= d => {
-                                reg.counter("serve.deadline_exceeded").inc();
+                                deadline_exceeded.inc();
                                 Response::Error(
                                     ErrorCode::DeadlineExceeded,
                                     "deadline expired during evaluation".to_owned(),
@@ -387,9 +487,7 @@ fn worker_loop(
                     l.record(us, response.is_ok(), cache);
                 }
                 processed += 1;
-                // The client may have given up; a closed reply channel is
-                // its problem, not ours.
-                let _ = reply.send(response);
+                reply.send(response);
             }
         }
     }
@@ -469,23 +567,100 @@ mod tests {
 
     #[test]
     fn overload_rejects_at_submission() {
-        // Deterministic overload: a depth-1 queue with no consumer behind it.
-        let (tx, _rx) = bounded::<Job>(1);
-        let server = Server::start(catalog(), ServerConfig::default());
-        let handle = ServeHandle {
-            tx,
-            engine: Arc::clone(server.engine()),
-            shutting_down: Arc::new(AtomicBool::new(false)),
-            default_deadline: None,
-            tracer: None,
-            live: None,
-        };
-        assert!(handle.submit(Query::Ping, None).is_ok(), "queue has room");
-        assert_eq!(
-            handle.submit(Query::Ping, None).map(|_| ()),
-            Err(ServeError::Overloaded),
-            "second submit must hit the bounded queue"
+        // Deterministic overload: one shard with a depth-1 queue whose
+        // worker is wedged by a long injected stall, so a burst of submits
+        // must find the queue full.
+        use wwv_fault::FaultRule;
+        let plan = Arc::new(FaultPlan::new(5).with(FaultRule {
+            point: points::SERVE_WORKER,
+            kind: FaultKind::Delay(300),
+            rate: 1.0,
+        }));
+        let server = Server::start(
+            catalog(),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                faults: Some(plan),
+                ..ServerConfig::default()
+            },
         );
+        let handle = server.handle();
+        // The first submit may be dequeued immediately (the worker stalls on
+        // it) and the second then fills the depth-1 queue; by the third, the
+        // queue cannot have drained behind a 300ms stall.
+        let results = [
+            handle.submit(Query::Ping, None).map(|_| ()),
+            handle.submit(Query::Ping, None).map(|_| ()),
+            handle.submit(Query::Ping, None).map(|_| ()),
+        ];
+        assert!(results[0].is_ok(), "first submit must be accepted");
+        assert!(
+            results.contains(&Err(ServeError::Overloaded)),
+            "a depth-1 queue behind a stalled worker must overload: {results:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_answers_every_sequence_number_exactly_once() {
+        let server = Server::start(
+            catalog(),
+            ServerConfig { workers: 3, ..ServerConfig::default() },
+        );
+        let handle = server.handle();
+        let requests: Vec<(Query, Option<TraceId>)> = (0..16)
+            .map(|i| {
+                let mut key = us_key();
+                key.country = (i % 8) as u8;
+                (Query::TopK { key, k: 3 }, None)
+            })
+            .collect();
+        let n = requests.len();
+        let rx = handle.submit_batch(requests, None).expect("batch accepted");
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let (seq, resp) = rx.recv().expect("every request answered");
+            assert!(!seen[seq as usize], "seq {seq} answered twice");
+            seen[seq as usize] = true;
+            assert!(resp.is_ok(), "{resp:?}");
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert!(rx.try_recv().is_err(), "exactly one reply per request");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_overload_is_an_inline_typed_response() {
+        // One shard, depth-1 queue, stalled worker: a large batch must come
+        // back complete, with the overflow answered as typed Overloaded
+        // errors rather than lost sequence numbers.
+        use wwv_fault::FaultRule;
+        let plan = Arc::new(FaultPlan::new(11).with(FaultRule {
+            point: points::SERVE_WORKER,
+            kind: FaultKind::Delay(200),
+            rate: 1.0,
+        }));
+        let server = Server::start(
+            catalog(),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                faults: Some(plan),
+                ..ServerConfig::default()
+            },
+        );
+        let handle = server.handle();
+        let requests = (0..8).map(|_| (Query::Ping, None)).collect();
+        let rx = handle.submit_batch(requests, None).expect("batch accepted");
+        let mut overloaded = 0;
+        for _ in 0..8 {
+            let (_, resp) = rx.recv().expect("every request answered");
+            if matches!(resp, Response::Error(ErrorCode::Overloaded, _)) {
+                overloaded += 1;
+            }
+        }
+        assert!(overloaded >= 6, "only {overloaded}/8 rejected by a depth-1 queue");
         server.shutdown();
     }
 
@@ -497,7 +672,11 @@ mod tests {
         );
         let handle = server.handle();
         let pending: Vec<_> = (0..20)
-            .map(|_| handle.submit(Query::TopK { key: us_key(), k: 10 }, None).unwrap())
+            .map(|i| {
+                let mut key = us_key();
+                key.country = (i % 10) as u8;
+                handle.submit(Query::TopK { key, k: 10 }, None).unwrap()
+            })
             .collect();
         let processed = server.shutdown();
         assert!(processed >= 20, "all pending requests drained, got {processed}");

@@ -1,0 +1,199 @@
+//! Zero-copy snapshot catalog: serve queries straight from snapshot bytes.
+//!
+//! [`SnapshotStore`] is the second [`RankSource`] implementation. Where
+//! [`ShardedStore`](crate::store::ShardedStore) materializes a full
+//! `ChromeDataset` before serving anything, this store opens the WWVS
+//! container **once** — parsing the header/catalog/footer, verifying every
+//! chunk checksum, and decoding only the domain string table — and then
+//! answers queries by seeking directly into the retained byte arena:
+//!
+//! * the file is held as one refcounted [`Bytes`] arena (see
+//!   [`wwv_snap::load_bytes`]); no per-query reads or copies;
+//! * each rank list decodes **lazily on first touch** through the O(1)
+//!   catalog seek, and the decoded [`StoredList`] (with its reverse rank
+//!   index) is cached in a per-list [`OnceLock`] — a cold list costs one
+//!   column decode, a warm list is a lock-free pointer clone;
+//! * checksums were verified at open, so the lazy decode never re-hashes.
+//!
+//! A server for the paper's 45-country × 2-platform × 2-metric key space
+//! therefore starts serving after reading ~1 domain table instead of
+//! decoding 180 rank lists, and lists nobody queries are never decoded at
+//! all. The equivalence proptest (`tests/snapshot_equivalence.rs`) pins
+//! byte-identical responses against the materialized path.
+
+use crate::store::{RankSource, StoredList};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use wwv_telemetry::dataset::DomainId;
+use wwv_telemetry::persist::{PersistError, SnapshotReader};
+use wwv_world::Breakdown;
+
+/// A lazily-decoding, zero-copy rank source over snapshot bytes.
+pub struct SnapshotStore {
+    reader: SnapshotReader,
+    /// Breakdown keys in file order (the catalog's list chunks).
+    keys: Vec<Breakdown>,
+    index: HashMap<Breakdown, usize>,
+    slots: Vec<OnceLock<Option<Arc<StoredList>>>>,
+}
+
+impl SnapshotStore {
+    /// Opens a snapshot from its raw bytes: parses the container, verifies
+    /// every chunk checksum, and decodes the domain table. Rank lists stay
+    /// encoded until first queried.
+    pub fn open(bytes: Bytes) -> Result<SnapshotStore, PersistError> {
+        let _span = wwv_obs::span!("serve.snapcat.open");
+        let reader = SnapshotReader::open(bytes)?;
+        // One full checksum pass up front buys trust for every later lazy
+        // decode: a torn or bit-flipped file is rejected here, not at
+        // query time.
+        reader.verify_all()?;
+        let keys: Vec<Breakdown> = reader.breakdowns().collect();
+        let index = keys.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let slots = keys.iter().map(|_| OnceLock::new()).collect();
+        wwv_obs::global().counter("serve.snapcat.opened").inc();
+        Ok(SnapshotStore { reader, keys, index, slots })
+    }
+
+    /// Number of lists decoded so far (observability/testing).
+    pub fn lists_decoded(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// The snapshot's content fingerprint (checksum-of-checksums).
+    pub fn fingerprint(&self) -> u64 {
+        self.reader.fingerprint()
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("lists", &self.keys.len())
+            .field("decoded", &self.lists_decoded())
+            .field("domains", &self.reader.domains.len())
+            .finish()
+    }
+}
+
+impl RankSource for SnapshotStore {
+    fn list(&self, b: &Breakdown) -> Option<Arc<StoredList>> {
+        let slot = &self.slots[*self.index.get(b)?];
+        slot.get_or_init(|| match self.reader.list(b) {
+            Ok(Some(data)) => {
+                wwv_obs::global().counter("serve.snapcat.lazy_decodes").inc();
+                Some(Arc::new(StoredList::new(*b, data.entries)))
+            }
+            // Checksums were verified at open, so a decode failure here is
+            // a schema-level defect; surface it as a missing list (typed
+            // UnknownList at the engine) rather than a panic.
+            Ok(None) | Err(_) => {
+                wwv_obs::global().counter("serve.snapcat.decode_errors").inc();
+                None
+            }
+        })
+        .clone()
+    }
+
+    fn domain_id(&self, name: &str) -> Option<DomainId> {
+        self.reader.domains.get(name)
+    }
+
+    fn domain_name(&self, id: DomainId) -> &str {
+        self.reader.domains.name(id)
+    }
+
+    fn domain_count(&self) -> usize {
+        self.reader.domains.len()
+    }
+
+    fn list_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn breakdowns(&self) -> Vec<Breakdown> {
+        self.keys.clone()
+    }
+
+    fn client_threshold(&self) -> u64 {
+        self.reader.client_threshold
+    }
+
+    fn max_depth(&self) -> usize {
+        self.reader.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardedStore;
+    use crate::testutil::tiny_dataset;
+    use wwv_telemetry::persist::write_snapshot;
+
+    fn open_tiny() -> SnapshotStore {
+        SnapshotStore::open(write_snapshot(tiny_dataset())).expect("open snapshot")
+    }
+
+    #[test]
+    fn opens_without_decoding_any_list() {
+        let store = open_tiny();
+        assert_eq!(store.lists_decoded(), 0, "open must not touch list chunks");
+        assert_eq!(store.list_count(), tiny_dataset().lists.len());
+        assert_eq!(store.domain_count(), tiny_dataset().domains.len());
+    }
+
+    #[test]
+    fn lazy_decode_happens_once_and_matches_materialized() {
+        let snap = open_tiny();
+        let materialized = ShardedStore::build(tiny_dataset(), 4);
+        for b in snap.breakdowns() {
+            let lazy = snap.list(&b).expect("list present");
+            let full = RankSource::list(&materialized, &b).expect("list present");
+            assert_eq!(lazy.entries, full.entries);
+            assert_eq!(lazy.total, full.total);
+        }
+        let decoded = snap.lists_decoded();
+        assert_eq!(decoded, snap.list_count());
+        // A second pass reuses the cached decodes.
+        for b in snap.breakdowns() {
+            let first = snap.list(&b).unwrap();
+            let second = snap.list(&b).unwrap();
+            assert!(Arc::ptr_eq(&first, &second), "re-decode instead of cache");
+        }
+        assert_eq!(snap.lists_decoded(), decoded);
+    }
+
+    #[test]
+    fn domain_lookups_roundtrip() {
+        let store = open_tiny();
+        let b = store.breakdowns()[0];
+        let list = store.list(&b).unwrap();
+        let (d, _) = list.entries[0];
+        let name = store.domain_name(d).to_owned();
+        assert_eq!(store.domain_id(&name), Some(d));
+        assert_eq!(store.domain_id("no.such.domain.example"), None);
+    }
+
+    #[test]
+    fn unknown_breakdown_is_none() {
+        let store = open_tiny();
+        let mut b = store.breakdowns()[0];
+        b.month = wwv_world::Month::September2021;
+        assert!(store.list(&b).is_none());
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected_at_open() {
+        let snap = write_snapshot(tiny_dataset());
+        // Truncation.
+        assert!(SnapshotStore::open(snap.slice(..snap.len() / 2)).is_err());
+        // A payload bit flip deep in some list chunk: caught by the open-time
+        // checksum sweep even though no list is decoded yet.
+        let mut corrupt = snap.to_vec();
+        let mid = corrupt.len() * 2 / 3;
+        corrupt[mid] ^= 0x04;
+        assert!(SnapshotStore::open(Bytes::from(corrupt)).is_err());
+    }
+}

@@ -36,7 +36,7 @@ pub struct StoredList {
 }
 
 impl StoredList {
-    fn new(breakdown: Breakdown, entries: Vec<(DomainId, u64)>) -> StoredList {
+    pub(crate) fn new(breakdown: Breakdown, entries: Vec<(DomainId, u64)>) -> StoredList {
         let total = entries.iter().map(|(_, c)| c).sum();
         let rank_of =
             entries.iter().enumerate().map(|(i, (d, _))| (*d, i as u32)).collect();
@@ -81,7 +81,7 @@ struct Shard {
 }
 
 /// SplitMix64 finalizer — cheap, well-mixed shard selection.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
@@ -135,34 +135,70 @@ impl ShardedStore {
         (mix64(pack_breakdown(b)) as usize) & (self.shards.len() - 1)
     }
 
-    /// The stored list for a breakdown.
-    pub fn list(&self, b: &Breakdown) -> Option<&Arc<StoredList>> {
+    /// The stored list for a breakdown, without cloning the `Arc`.
+    pub fn list_ref(&self, b: &Breakdown) -> Option<&Arc<StoredList>> {
         self.shards[self.shard_of(b)].lists.get(b)
     }
+}
 
-    /// Total number of lists across all shards.
-    pub fn list_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lists.len()).sum()
+/// The abstract query surface the engine executes against: anything that
+/// can resolve rank lists and domain names. Two live implementations:
+///
+/// * [`ShardedStore`] — fully materialized from a [`ChromeDataset`];
+/// * [`SnapshotStore`](crate::snapstore::SnapshotStore) — zero-copy over
+///   snapshot bytes, decoding each list lazily on first touch.
+///
+/// Both are immutable after construction, so `&self` access is lock-free.
+pub trait RankSource: Send + Sync + std::fmt::Debug {
+    /// The rank list for a breakdown, if this source carries it.
+    fn list(&self, b: &Breakdown) -> Option<Arc<StoredList>>;
+    /// Looks up an interned domain by name.
+    fn domain_id(&self, name: &str) -> Option<DomainId>;
+    /// The name behind a domain id.
+    fn domain_name(&self, id: DomainId) -> &str;
+    /// Number of interned domains.
+    fn domain_count(&self) -> usize;
+    /// Total number of rank lists.
+    fn list_count(&self) -> usize;
+    /// All breakdown keys carried by this source.
+    fn breakdowns(&self) -> Vec<Breakdown>;
+    /// Unique-client threshold the snapshot was built with.
+    fn client_threshold(&self) -> u64;
+    /// Maximum list depth retained in the snapshot.
+    fn max_depth(&self) -> usize;
+}
+
+impl RankSource for ShardedStore {
+    fn list(&self, b: &Breakdown) -> Option<Arc<StoredList>> {
+        self.list_ref(b).cloned()
     }
 
-    /// Looks up an interned domain by name.
-    pub fn domain_id(&self, name: &str) -> Option<DomainId> {
+    fn domain_id(&self, name: &str) -> Option<DomainId> {
         self.domains.get(name)
     }
 
-    /// The name behind a domain id.
-    pub fn domain_name(&self, id: DomainId) -> &str {
+    fn domain_name(&self, id: DomainId) -> &str {
         self.domains.name(id)
     }
 
-    /// Number of interned domains.
-    pub fn domain_count(&self) -> usize {
+    fn domain_count(&self) -> usize {
         self.domains.len()
     }
 
-    /// All breakdown keys, in shard order.
-    pub fn breakdowns(&self) -> impl Iterator<Item = Breakdown> + '_ {
-        self.shards.iter().flat_map(|s| s.lists.keys().copied())
+    fn list_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lists.len()).sum()
+    }
+
+    fn breakdowns(&self) -> Vec<Breakdown> {
+        self.shards.iter().flat_map(|s| s.lists.keys().copied()).collect()
+    }
+
+    fn client_threshold(&self) -> u64 {
+        self.client_threshold
+    }
+
+    fn max_depth(&self) -> usize {
+        self.max_depth
     }
 }
 
@@ -174,7 +210,7 @@ impl ShardedStore {
 /// never satisfy queries against the new one.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    snapshots: Vec<(String, Arc<ShardedStore>)>,
+    snapshots: Vec<(String, Arc<dyn RankSource>)>,
     epoch: u64,
 }
 
@@ -194,8 +230,10 @@ impl Catalog {
         self.epoch = epoch;
     }
 
-    /// Adds a labelled snapshot (replaces any existing label).
-    pub fn insert(&mut self, label: &str, store: Arc<ShardedStore>) {
+    /// Adds a labelled snapshot (replaces any existing label). Accepts any
+    /// [`RankSource`]: a materialized [`ShardedStore`] or a zero-copy
+    /// [`SnapshotStore`](crate::snapstore::SnapshotStore).
+    pub fn insert(&mut self, label: &str, store: Arc<dyn RankSource>) {
         if let Some(slot) = self.snapshots.iter_mut().find(|(l, _)| l == label) {
             slot.1 = store;
         } else {
@@ -210,7 +248,7 @@ impl Catalog {
     }
 
     /// Resolves a label; the empty string means the default (first) snapshot.
-    pub fn get(&self, label: &str) -> Option<&Arc<ShardedStore>> {
+    pub fn get(&self, label: &str) -> Option<&Arc<dyn RankSource>> {
         if label.is_empty() {
             return self.default_store();
         }
@@ -218,7 +256,7 @@ impl Catalog {
     }
 
     /// The default (first-inserted) snapshot.
-    pub fn default_store(&self) -> Option<&Arc<ShardedStore>> {
+    pub fn default_store(&self) -> Option<&Arc<dyn RankSource>> {
         self.snapshots.first().map(|(_, s)| s)
     }
 
@@ -281,7 +319,7 @@ mod tests {
         let ds = tiny_dataset();
         let store = ShardedStore::build(ds, 8);
         let used: std::collections::HashSet<usize> =
-            store.breakdowns().map(|b| store.shard_of(&b)).collect();
+            store.breakdowns().into_iter().map(|b| store.shard_of(&b)).collect();
         assert!(used.len() > 1, "all lists landed in one shard");
     }
 

@@ -9,8 +9,9 @@
 //! threads honor the shared shutdown flag via read timeouts.
 
 use crate::protocol::{
-    decode_request_meta, decode_response, decode_response_meta, encode_request_traced,
-    encode_response, encode_response_traced, ProtoError, MAX_FRAME_LEN,
+    decode_request_meta, decode_response, decode_response_meta, encode_request,
+    encode_request_traced, encode_request_traced_into, encode_response, encode_response_traced,
+    ProtoError, RequestMeta, MAX_FRAME_LEN,
 };
 use crate::query::{ErrorCode, Query, Response};
 use crate::server::{ServeError, ServeHandle};
@@ -84,6 +85,17 @@ pub trait Transport {
         let _ = trace;
         self.call(query)
     }
+
+    /// Pipelined call: issues the whole batch before awaiting any reply and
+    /// returns the responses in request order. The default degrades to one
+    /// blocking [`Transport::call_traced`] per request; backends with a
+    /// real pipelined path (batched frames, batched dispatch) override it.
+    fn call_batch_traced(
+        &mut self,
+        queries: &[(Query, Option<u64>)],
+    ) -> Result<Vec<Response>, TransportError> {
+        queries.iter().map(|(q, trace)| self.call_traced(q, *trace)).collect()
+    }
 }
 
 /// Turns one request frame into one response frame against a handle.
@@ -112,6 +124,61 @@ pub fn dispatch_frame(handle: &ServeHandle, buf: &mut Bytes) -> Result<Bytes, Pr
         rec.event(id, Stage::Serialize, t0.elapsed().as_micros() as u64);
     }
     Ok(frame)
+}
+
+/// Turns a whole pipeline of decoded request frames into response frames,
+/// in request order. Every request is submitted to its shard queue in one
+/// pass — sharing a single reply channel — before any reply is awaited, so
+/// queue wakeups and reply allocations amortize across the batch instead of
+/// costing one blocking round-trip each. Queue-level failures become typed
+/// error responses per request: every frame in is answered by exactly one
+/// frame out, in order.
+pub fn dispatch_batch(handle: &ServeHandle, metas: Vec<RequestMeta>) -> Vec<Bytes> {
+    let n = metas.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut requests = Vec::with_capacity(n);
+    for m in metas {
+        ids.push((m.id, m.trace));
+        requests.push((m.query, m.trace.map(TraceId)));
+    }
+    let mut responses: Vec<Option<Response>> = vec![None; n];
+    if let Ok(rx) = handle.submit_batch(requests, None) {
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((seq, resp)) => {
+                    if let Some(slot) = responses.get_mut(seq as usize) {
+                        *slot = Some(resp);
+                    }
+                }
+                // The pool went away mid-batch; the remaining slots get the
+                // typed shutdown error below.
+                Err(_) => break,
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let frames: Vec<Bytes> = ids
+        .iter()
+        .zip(responses)
+        .map(|(&(id, trace), resp)| {
+            let resp = resp.unwrap_or_else(|| {
+                Response::Error(ErrorCode::ShuttingDown, "server shutting down".to_owned())
+            });
+            encode_response_traced(id, &resp, trace)
+        })
+        .collect();
+    if let Some(rec) = handle.tracer() {
+        // One serialize stamp for the whole batch encode: pipelined frames
+        // are serialized together, so the shared cost is what a trace of
+        // any one of them should show.
+        let us = t0.elapsed().as_micros() as u64;
+        for &(_, trace) in &ids {
+            if let Some(t) = trace {
+                rec.event(TraceId(t), Stage::Serialize, us);
+            }
+        }
+    }
+    frames
 }
 
 /// The in-process transport: full codec fidelity, zero sockets.
@@ -146,6 +213,34 @@ impl Transport for InProcTransport {
             return Err(TransportError::IdMismatch { sent, got: meta.id });
         }
         Ok(meta.response)
+    }
+
+    /// Pipelined call: encodes every request frame, dispatches the whole
+    /// batch through the worker pool in one submission pass, and decodes
+    /// the replies in order — full codec fidelity, zero sockets. This is
+    /// what the load generator's open-loop pipelined mode drives in
+    /// process.
+    fn call_batch_traced(
+        &mut self,
+        queries: &[(Query, Option<u64>)],
+    ) -> Result<Vec<Response>, TransportError> {
+        let first = self.next_id + 1;
+        let mut metas = Vec::with_capacity(queries.len());
+        for (q, trace) in queries {
+            self.next_id += 1;
+            let mut frame = encode_request_traced(self.next_id, q, *trace);
+            metas.push(decode_request_meta(&mut frame)?);
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, mut frame) in dispatch_batch(&self.handle, metas).into_iter().enumerate() {
+            let meta = decode_response_meta(&mut frame)?;
+            let sent = first + i as u64;
+            if meta.id != sent {
+                return Err(TransportError::IdMismatch { sent, got: meta.id });
+            }
+            out.push(meta.response);
+        }
+        Ok(out)
     }
 }
 
@@ -377,40 +472,76 @@ fn serve_connection(
     Ok(())
 }
 
-/// Processes every complete frame in `acc`. Returns `false` when the
-/// connection should close (protocol violation or write failure).
+/// Flush threshold for batched response writes: big enough to amortize
+/// syscalls across a deep pipeline, small enough to bound per-connection
+/// buffering.
+const WRITE_FLUSH_BYTES: usize = 256 * 1024;
+
+/// Processes every complete frame in `acc` as **one pipelined batch**: all
+/// buffered frames are decoded and submitted to their shard queues before
+/// any reply is awaited, and the response frames are written back in
+/// request order with as few syscalls as possible (batched until
+/// [`WRITE_FLUSH_BYTES`]). Returns `false` when the connection should
+/// close (protocol violation or write failure); requests decoded before a
+/// malformed frame are still answered first.
 fn drain_frames(acc: &mut BytesMut, handle: &ServeHandle, stream: &mut TcpStream) -> bool {
+    let mut metas: Vec<RequestMeta> = Vec::new();
+    // An unrecoverable frame closes the connection — but only after the
+    // valid prefix of the pipeline has been answered.
+    let mut fatal: Option<Bytes> = None;
     loop {
         if acc.len() < 4 {
-            return true;
+            break;
         }
         let len = u32::from_le_bytes([acc[0], acc[1], acc[2], acc[3]]) as usize;
         if len > MAX_FRAME_LEN {
             wwv_obs::global().counter("serve.tcp.bad_frames").inc();
             let err =
                 Response::Error(ErrorCode::BadRequest, "frame exceeds size limit".to_owned());
-            let _ = stream.write_all(&encode_response(0, &err));
-            return false;
+            fatal = Some(encode_response(0, &err));
+            break;
         }
         if acc.len() < 4 + len {
-            return true;
+            break;
         }
         let mut frame = acc.split_to(4 + len).freeze();
-        match dispatch_frame(handle, &mut frame) {
-            Ok(reply) => {
-                if stream.write_all(&reply).is_err() {
-                    return false;
-                }
-            }
+        match decode_request_meta(&mut frame) {
+            Ok(meta) => metas.push(meta),
             Err(e) => {
                 // Can't recover the request id from a malformed frame.
                 wwv_obs::global().counter("serve.tcp.bad_frames").inc();
                 let err = Response::Error(ErrorCode::BadRequest, e.to_string());
-                let _ = stream.write_all(&encode_response(0, &err));
-                return false;
+                fatal = Some(encode_response(0, &err));
+                break;
             }
         }
     }
+    if metas.len() > 1 {
+        let reg = wwv_obs::global();
+        reg.counter("serve.tcp.pipelined_batches").inc();
+        reg.counter("serve.tcp.pipelined_requests").add(metas.len() as u64);
+    }
+    let mut out = BytesMut::new();
+    if !metas.is_empty() {
+        for frame in dispatch_batch(handle, metas) {
+            out.extend_from_slice(&frame);
+            if out.len() >= WRITE_FLUSH_BYTES {
+                if stream.write_all(&out).is_err() {
+                    return false;
+                }
+                out = BytesMut::new();
+            }
+        }
+    }
+    if let Some(err) = fatal {
+        out.extend_from_slice(&err);
+        let _ = stream.write_all(&out);
+        return false;
+    }
+    if !out.is_empty() && stream.write_all(&out).is_err() {
+        return false;
+    }
+    true
 }
 
 /// A blocking TCP client speaking the framed protocol.
@@ -428,18 +559,45 @@ impl TcpClient {
         Ok(TcpClient { stream, acc: BytesMut::new(), next_id: 0 })
     }
 
+    /// Issues `queries` as one pipelined burst: every request frame is
+    /// written before any response is read (a single buffered write), then
+    /// the replies are collected in order. With N requests in flight the
+    /// connection pays one request syscall and the server batches its
+    /// response writes — this is the wire half of the ~1M qps serve path.
+    pub fn call_batch(&mut self, queries: &[Query]) -> Result<Vec<Response>, TransportError> {
+        let first = self.next_id + 1;
+        let mut buf = BytesMut::new();
+        for q in queries {
+            self.next_id += 1;
+            buf.extend_from_slice(&encode_request(self.next_id, q));
+        }
+        self.stream.write_all(&buf)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for i in 0..queries.len() {
+            let sent = first + i as u64;
+            let (got, response) = self.read_response()?;
+            if got != sent {
+                return Err(TransportError::IdMismatch { sent, got });
+            }
+            out.push(response);
+        }
+        Ok(out)
+    }
+
     fn read_response(&mut self) -> Result<(u64, Response), TransportError> {
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            let mut view = Bytes::copy_from_slice(&self.acc);
-            match decode_response(&mut view) {
-                Ok((id, response)) => {
-                    let consumed = self.acc.len() - view.len();
-                    let _ = self.acc.split_to(consumed);
-                    return Ok((id, response));
+            // Split one exact frame off the accumulator instead of handing
+            // the decoder a copy of everything buffered: a pipelined burst
+            // parks hundreds of response frames here, and re-copying the
+            // tail per response would make the drain quadratic.
+            if self.acc.len() >= 4 {
+                let len = u32::from_le_bytes([self.acc[0], self.acc[1], self.acc[2], self.acc[3]])
+                    as usize;
+                if self.acc.len() >= 4 + len {
+                    let mut frame = self.acc.split_to(4 + len).freeze();
+                    return Ok(decode_response(&mut frame)?);
                 }
-                Err(ProtoError::Incomplete) => {}
-                Err(e) => return Err(e.into()),
             }
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -471,6 +629,32 @@ impl Transport for TcpClient {
             return Err(TransportError::IdMismatch { sent, got });
         }
         Ok(response)
+    }
+
+    /// The wire half of the pipelined path: every request frame of the
+    /// batch goes out in one buffered write (trace ids included), then the
+    /// replies — which the server also batches — are drained in order.
+    fn call_batch_traced(
+        &mut self,
+        queries: &[(Query, Option<u64>)],
+    ) -> Result<Vec<Response>, TransportError> {
+        let first = self.next_id + 1;
+        let mut buf = BytesMut::with_capacity(64 * queries.len());
+        for (q, trace) in queries {
+            self.next_id += 1;
+            encode_request_traced_into(&mut buf, self.next_id, q, *trace);
+        }
+        self.stream.write_all(&buf)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for i in 0..queries.len() {
+            let sent = first + i as u64;
+            let (got, response) = self.read_response()?;
+            if got != sent {
+                return Err(TransportError::IdMismatch { sent, got });
+            }
+            out.push(response);
+        }
+        Ok(out)
     }
 }
 
@@ -588,6 +772,50 @@ mod tests {
         assert_eq!(entries.len(), 4);
         drop(client);
         tcp.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_pipelined_batch_answers_in_order() {
+        let server = server();
+        let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
+        let mut client = TcpClient::connect(tcp.local_addr()).expect("connect");
+        let queries: Vec<Query> = (0..32)
+            .map(|i| {
+                let mut key = us_key();
+                key.country = (i % 8) as u8;
+                Query::TopK { key, k: 2 + (i % 5) as u32 }
+            })
+            .collect();
+        let responses = client.call_batch(&queries).expect("pipelined batch");
+        assert_eq!(responses.len(), queries.len());
+        for (q, r) in queries.iter().zip(&responses) {
+            let Query::TopK { k, .. } = q else { unreachable!() };
+            let Response::TopK(entries) = r else { panic!("expected TopK: {r:?}") };
+            assert_eq!(entries.len(), *k as usize, "response order lost");
+        }
+        // A plain call still works on the same connection afterwards.
+        assert_eq!(client.call(&Query::Ping).unwrap(), Response::Pong);
+        drop(client);
+        tcp.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn inproc_pipelined_batch_matches_sequential_calls() {
+        let server = server();
+        let mut t = InProcTransport::new(server.handle());
+        let queries: Vec<(Query, Option<u64>)> = (0..10)
+            .map(|i| {
+                let mut key = us_key();
+                key.country = (i % 4) as u8;
+                (Query::TopK { key, k: 4 }, None)
+            })
+            .collect();
+        let batched = t.call_batch_traced(&queries).expect("batch");
+        let sequential: Vec<Response> =
+            queries.iter().map(|(q, _)| t.call(q).unwrap()).collect();
+        assert_eq!(batched, sequential, "pipelining must not change answers");
         server.shutdown();
     }
 

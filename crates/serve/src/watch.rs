@@ -53,6 +53,11 @@ pub struct WatchConfig {
     /// Fingerprint the caller already serves (e.g. the file loaded at
     /// startup); `None` makes the first valid poll swap immediately.
     pub initial_fingerprint: Option<u64>,
+    /// Swap in a zero-copy [`SnapshotStore`](crate::SnapshotStore) that
+    /// answers queries straight from the snapshot bytes, instead of
+    /// materializing a [`ShardedStore`]. Legacy-format files fall back to
+    /// materialization (they have no seekable catalog).
+    pub zero_copy: bool,
 }
 
 impl Default for WatchConfig {
@@ -62,6 +67,7 @@ impl Default for WatchConfig {
             label: "full".to_owned(),
             shards: DEFAULT_SHARDS,
             initial_fingerprint: None,
+            zero_copy: false,
         }
     }
 }
@@ -167,16 +173,32 @@ fn watch_loop(
         let len = bytes.len();
         // A malformed file (e.g. a torn non-atomic write) is skipped: the
         // previous catalog keeps serving, nothing is torn down.
-        let dataset = match persist::read_auto(bytes) {
-            Ok(ds) => ds,
-            Err(e) => {
-                obs.counter("serve.watch.skipped").inc();
-                error!(target: "serve", "watch: bad snapshot {}: {e}", path.display());
-                continue;
+        let store: Arc<dyn crate::store::RankSource> = if config.zero_copy {
+            // Serve the snapshot bytes directly; legacy files (no seekable
+            // catalog) fall back to materialization below.
+            match crate::SnapshotStore::open(bytes.clone()) {
+                Ok(s) => Arc::new(s),
+                Err(_) => match persist::read_auto(bytes) {
+                    Ok(ds) => Arc::new(ShardedStore::build(&ds, config.shards)),
+                    Err(e) => {
+                        obs.counter("serve.watch.skipped").inc();
+                        error!(target: "serve", "watch: bad snapshot {}: {e}", path.display());
+                        continue;
+                    }
+                },
+            }
+        } else {
+            match persist::read_auto(bytes) {
+                Ok(ds) => Arc::new(ShardedStore::build(&ds, config.shards)),
+                Err(e) => {
+                    obs.counter("serve.watch.skipped").inc();
+                    error!(target: "serve", "watch: bad snapshot {}: {e}", path.display());
+                    continue;
+                }
             }
         };
         let mut catalog = Catalog::new();
-        catalog.insert(&config.label, Arc::new(ShardedStore::build(&dataset, config.shards)));
+        catalog.insert(&config.label, store);
         let epoch = handle.swap_snapshot(catalog);
         obs.counter("serve.watch.swaps").inc();
         info!(target: "serve", "hot-swapped snapshot from {}", path.display(); epoch = epoch);

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use wwv_serve::loadgen::{self, LoadgenConfig};
 use wwv_serve::server::{Server, ServerConfig};
-use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_serve::store::{Catalog, RankSource};
 use wwv_trace::{LiveMetrics, MetricsServer};
 
 const SWAPS: u64 = 100;
@@ -40,7 +40,7 @@ fn epoch_of(json: &str) -> u64 {
         .expect("epoch value")
 }
 
-fn start_server() -> (Server, Arc<ShardedStore>, Arc<LiveMetrics>) {
+fn start_server() -> (Server, Arc<dyn RankSource>, Arc<LiveMetrics>) {
     let live = Arc::new(LiveMetrics::default_window());
     let catalog =
         Arc::new(Catalog::new().with_dataset("full", wwv_serve::testutil::tiny_dataset()));

@@ -27,7 +27,7 @@ fn concurrent_clients_get_correct_answers_and_cache_hits() {
     let dataset = tiny_dataset();
     let store = Arc::new(ShardedStore::build(dataset, 8));
     let mut catalog = Catalog::new();
-    catalog.insert("full", Arc::clone(&store));
+    catalog.insert("full", store);
     let server = Server::start(
         Arc::new(catalog),
         ServerConfig { workers: 4, queue_depth: 128, ..ServerConfig::default() },
@@ -127,7 +127,8 @@ fn concurrent_clients_get_correct_answers_and_cache_hits() {
 #[test]
 fn loadgen_reports_consistent_totals() {
     let dataset = tiny_dataset();
-    let store = Arc::new(ShardedStore::build(dataset, 8));
+    let store: Arc<dyn wwv_serve::store::RankSource> =
+        Arc::new(ShardedStore::build(dataset, 8));
     let mut catalog = Catalog::new();
     catalog.insert("full", Arc::clone(&store));
     let server = Server::start(

@@ -1,0 +1,216 @@
+//! Zero-copy ↔ materialized equivalence: for ANY dataset, every query type
+//! answered by the mmap-backed [`SnapshotStore`] (catalog seeks straight
+//! into the snapshot bytes) must be **byte-identical** on the wire to the
+//! answer computed from the fully materialized [`ShardedStore`] built from
+//! the same dataset — including while a hot swap lands mid-stream.
+//!
+//! Byte equality is checked on the encoded response frame, not on the
+//! decoded struct: the wire bytes are what a client sees, and they also pin
+//! float formatting, entry order, and error codes.
+//!
+//! `DomainId` identity holds across the two paths because
+//! `persist::write_snapshot` preserves the intern order of the domain
+//! table, so unknown-domain and unknown-list probes agree too.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wwv_serve::engine::QueryEngine;
+use wwv_serve::protocol::encode_response;
+use wwv_serve::query::{ListKey, Query};
+use wwv_serve::store::{Catalog, RankSource, ShardedStore};
+use wwv_serve::SnapshotStore;
+use wwv_telemetry::dataset::{ChromeDataset, DomainTable, RankListData};
+use wwv_telemetry::persist;
+use wwv_world::{Breakdown, Metric, Month, Platform, SiteId};
+
+/// `(country, windows?, page_loads?, month_index, counts)` — one rank list.
+type ListSpec = (u8, bool, bool, usize, Vec<u64>);
+
+/// A dataset built directly (no world sim): every listed domain gets a
+/// strictly decreasing count so rank order is unambiguous.
+fn build_dataset(n_domains: usize, list_specs: &[ListSpec], salt: u64) -> ChromeDataset {
+    let n_domains = n_domains.clamp(1, 20);
+    let mut domains = DomainTable::new();
+    let ids: Vec<_> = (0..n_domains)
+        .map(|i| domains.intern(&format!("d{i:02}.example"), SiteId(i as u32)))
+        .collect();
+    let mut lists = std::collections::HashMap::new();
+    for (country, plat, met, month_idx, counts) in list_specs {
+        let b = Breakdown {
+            country: (*country as usize) % 8,
+            platform: if *plat { Platform::Windows } else { Platform::Android },
+            metric: if *met { Metric::PageLoads } else { Metric::TimeOnPage },
+            month: Month::ALL[month_idx % Month::ALL.len()],
+        };
+        // Strictly decreasing, salt-dependent counts over a rotated domain
+        // order: lists differ across breakdowns and across salts.
+        let entries: Vec<_> = counts
+            .iter()
+            .take(n_domains)
+            .enumerate()
+            .map(|(rank, c)| {
+                let slot = (rank + *country as usize) % n_domains;
+                (ids[slot], (counts.len() - rank) as u64 * 1000 + (c + salt) % 999)
+            })
+            .collect();
+        if !entries.is_empty() {
+            lists.insert(b, RankListData { entries });
+        }
+    }
+    ChromeDataset { domains, lists, client_threshold: 100, max_depth: n_domains }
+}
+
+fn key(country: u8, windows: bool, loads: bool, month_idx: usize) -> ListKey {
+    ListKey {
+        snapshot: String::new(),
+        country: country % 8,
+        platform: if windows { Platform::Windows } else { Platform::Android },
+        metric: if loads { Metric::PageLoads } else { Metric::TimeOnPage },
+        month: Month::ALL[month_idx % Month::ALL.len()],
+    }
+}
+
+/// Every query type against one list address, plus unknown-domain and
+/// unknown-list probes. `probe` picks the domain names (valid and not).
+fn query_suite(k: &ListKey, probe: usize) -> Vec<Query> {
+    let known = format!("d{:02}.example", probe % 20);
+    let unknown = "nosuch.example".to_owned();
+    vec![
+        Query::Ping,
+        Query::TopK { key: k.clone(), k: 1 + (probe as u32 % 25) },
+        Query::SiteRank { key: k.clone(), domain: known.clone() },
+        Query::SiteRank { key: k.clone(), domain: unknown.clone() },
+        Query::RankBucket { key: k.clone(), domain: known.clone() },
+        Query::RankBucket { key: k.clone(), domain: unknown },
+        Query::SiteProfile {
+            snapshot: k.snapshot.clone(),
+            platform: k.platform,
+            metric: k.metric,
+            month: k.month,
+            domain: known,
+        },
+        Query::Rbo {
+            a: k.clone(),
+            b: ListKey { country: (k.country + 1) % 8, ..k.clone() },
+            depth: 1 + (probe as u32 % 40),
+            p_permille: 900,
+        },
+        Query::Concentration { key: k.clone(), depths: vec![1, 5, 10] },
+    ]
+}
+
+/// One engine per path over the same dataset. Caches hold one entry per
+/// shard, so near enough every ask recomputes — equivalence must hold on
+/// the compute path itself, not on a warmed cache.
+fn engines_for(dataset: &ChromeDataset) -> (QueryEngine, QueryEngine) {
+    let snap = persist::write_snapshot(dataset);
+    let zero: Arc<dyn RankSource> =
+        Arc::new(SnapshotStore::open(snap).expect("snapshot just written"));
+    let mat: Arc<dyn RankSource> = Arc::new(ShardedStore::build(dataset, 4));
+    let mut zc = Catalog::new();
+    zc.insert("full", zero);
+    let mut mc = Catalog::new();
+    mc.insert("full", mat);
+    (
+        QueryEngine::new_sharded(Arc::new(zc), 1, 3),
+        QueryEngine::new_sharded(Arc::new(mc), 1, 3),
+    )
+}
+
+/// Asserts wire-level byte equality for the full suite on both engines.
+fn assert_equivalent(zero: &QueryEngine, mat: &QueryEngine, queries: &[Query]) {
+    for q in queries {
+        let a = zero.execute(q);
+        let b = mat.execute(q);
+        let wa = encode_response(7, &a);
+        let wb = encode_response(7, &b);
+        assert_eq!(wa, wb, "wire divergence on {q:?}: {a:?} vs {b:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary datasets: the zero-copy path answers every query type
+    /// byte-identically to the materialized path.
+    #[test]
+    fn zero_copy_matches_materialized(
+        n_domains in 1usize..20,
+        specs in prop::collection::vec(
+            (
+                0u8..8,
+                any::<bool>(),
+                any::<bool>(),
+                0usize..3,
+                prop::collection::vec(0u64..1_000_000, 1..20),
+            ),
+            1..6,
+        ),
+        salt in 0u64..1000,
+        probe in 0usize..32,
+    ) {
+        let dataset = build_dataset(n_domains, &specs, salt);
+        let (zero, mat) = engines_for(&dataset);
+        // Address both a list that exists (when any does) and the fixed
+        // probe address (often absent — unknown-list answers must agree
+        // too, including their error frames).
+        let mut queries = query_suite(&key(0, true, true, 0), probe);
+        if let Some((c, w, l, m, _)) = specs.first() {
+            queries.extend(query_suite(&key(*c, *w, *l, *m), probe));
+        }
+        assert_equivalent(&zero, &mat, &queries);
+    }
+
+    /// A hot swap landing mid-stream keeps the two paths in lockstep:
+    /// before the swap both answer from dataset A, after it both answer
+    /// from dataset B — byte-identically at every step.
+    #[test]
+    fn equivalence_survives_hot_swap_mid_stream(
+        n_domains in 2usize..20,
+        counts in prop::collection::vec(0u64..1_000_000, 2..20),
+        salt_a in 0u64..500,
+        salt_b in 500u64..1000,
+        probe in 0usize..32,
+    ) {
+        let spec: Vec<ListSpec> = (0..4u8)
+            .map(|c| (c, true, true, 0, counts.clone()))
+            .collect();
+        let ds_a = build_dataset(n_domains, &spec, salt_a);
+        let ds_b = build_dataset(n_domains, &spec, salt_b);
+        let (zero, mat) = engines_for(&ds_a);
+        let queries = query_suite(&key(0, true, true, 0), probe);
+        assert_equivalent(&zero, &mat, &queries);
+
+        // Swap BOTH engines to dataset B mid-stream, each via its own
+        // store flavor, and keep comparing.
+        let snap_b = persist::write_snapshot(&ds_b);
+        let zb: Arc<dyn RankSource> =
+            Arc::new(SnapshotStore::open(snap_b).expect("snapshot just written"));
+        let mb: Arc<dyn RankSource> = Arc::new(ShardedStore::build(&ds_b, 4));
+        let mut zc = Catalog::new();
+        zc.insert("full", zb);
+        let mut mc = Catalog::new();
+        mc.insert("full", mb);
+        prop_assert_eq!(zero.swap_snapshot(zc), 1);
+        prop_assert_eq!(mat.swap_snapshot(mc), 1);
+        assert_equivalent(&zero, &mat, &queries);
+    }
+}
+
+/// Deterministic smoke version of the property (runs even where the
+/// proptest harness is unavailable): one mid-size dataset, full suite over
+/// every list address it contains.
+#[test]
+fn equivalence_smoke_over_every_list() {
+    let specs: Vec<ListSpec> = (0..6u8)
+        .map(|c| {
+            (c, c % 2 == 0, c % 3 != 0, c as usize, (0..15).map(|i| (i * 37) as u64).collect())
+        })
+        .collect();
+    let dataset = build_dataset(16, &specs, 123);
+    assert!(!dataset.lists.is_empty());
+    let (zero, mat) = engines_for(&dataset);
+    for (c, w, l, m, _) in &specs {
+        assert_equivalent(&zero, &mat, &query_suite(&key(*c, *w, *l, *m), *c as usize));
+    }
+}

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use wwv_serve::loadgen::{self, LoadgenConfig, QueryMix};
 use wwv_serve::server::{Server, ServerConfig};
-use wwv_serve::store::{Catalog, ShardedStore};
+use wwv_serve::store::{Catalog, RankSource};
 use wwv_trace::{ClockMode, TraceRecorder};
 
 /// Point lookups only: no LRU traffic, so event sets are identical at any
@@ -44,7 +44,7 @@ fn traced_run(workers: usize, client_threads: usize, mix: QueryMix, sample: u64)
         catalog,
         ServerConfig { workers, tracer: Some(Arc::clone(&tracer)), ..ServerConfig::default() },
     );
-    let store: Arc<ShardedStore> = {
+    let store: Arc<dyn RankSource> = {
         let catalog = server.engine().catalog();
         Arc::clone(catalog.get("").expect("default snapshot"))
     };

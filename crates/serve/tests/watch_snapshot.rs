@@ -164,6 +164,91 @@ fn corrupt_rewrite_keeps_serving_then_recovers() {
 }
 
 #[test]
+fn sub_interval_watch_interval_sees_every_generation() {
+    // `wwv serve --watch-interval-ms 15` plumbs straight into
+    // `WatchConfig::poll`: with a poll much shorter than the gap between
+    // rewrites, EVERY generation must be observed — a watcher stuck on a
+    // coarser default would coalesce them.
+    let path = temp_snap("interval");
+    let ds0 = tagged_dataset(0);
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    let fp = wwv_snap::fingerprint_file(&path).expect("fingerprint initial snapshot");
+    let server = Server::start(
+        Arc::new(Catalog::new().with_dataset("full", &ds0)),
+        ServerConfig::default(),
+    );
+    let handle = server.handle();
+    let watcher = SnapshotWatcher::spawn(
+        path.to_path_buf(),
+        server.handle(),
+        WatchConfig {
+            poll: Duration::from_millis(15),
+            initial_fingerprint: Some(fp),
+            ..WatchConfig::default()
+        },
+    );
+
+    // Two distinct rewrites ~60 ms apart: with a 15 ms poll, each one must
+    // be swapped in before the next lands (epoch goes 1, then 2 — not a
+    // single coalesced swap).
+    wwv_snap::write_atomic(&path, &persist::write_snapshot(&tagged_dataset(1))).unwrap();
+    assert!(
+        wait_for_epoch(&handle, 1, Duration::from_millis(500)),
+        "15 ms poll took >500 ms to see a rewrite"
+    );
+    assert_eq!(served_tag(&handle), 1);
+    std::thread::sleep(Duration::from_millis(60));
+    wwv_snap::write_atomic(&path, &persist::write_snapshot(&tagged_dataset(2))).unwrap();
+    assert!(wait_for_epoch(&handle, 2, Duration::from_millis(500)));
+    assert_eq!(served_tag(&handle), 2, "second generation must be served");
+    assert_eq!(handle.engine().epoch(), 2, "each rewrite is its own swap");
+
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zero_copy_watcher_swaps_snapshot_store_in() {
+    // With `zero_copy`, the watcher swaps in a SnapshotStore answering
+    // straight from the file bytes — same answers, no materialization.
+    let path = temp_snap("zerocopy");
+    let ds0 = tagged_dataset(0);
+    persist::write_snapshot_atomic(&ds0, &path).unwrap();
+    let fp = wwv_snap::fingerprint_file(&path).expect("fingerprint initial snapshot");
+    let server = Server::start(
+        Arc::new(Catalog::new().with_dataset("full", &ds0)),
+        ServerConfig::default(),
+    );
+    let handle = server.handle();
+    let watcher = SnapshotWatcher::spawn(
+        path.to_path_buf(),
+        server.handle(),
+        WatchConfig {
+            poll: Duration::from_millis(25),
+            initial_fingerprint: Some(fp),
+            zero_copy: true,
+            ..WatchConfig::default()
+        },
+    );
+
+    wwv_snap::write_atomic(&path, &persist::write_snapshot(&tagged_dataset(1))).unwrap();
+    assert!(wait_for_epoch(&handle, 1, Duration::from_secs(5)));
+    assert_eq!(served_tag(&handle), 1, "zero-copy store must serve the new generation");
+    // The swapped-in store is the zero-copy flavor, not a rebuilt index.
+    let catalog = handle.engine().catalog();
+    let store = catalog.get("").expect("default snapshot");
+    assert!(
+        format!("{store:?}").contains("SnapshotStore"),
+        "expected a SnapshotStore, got {store:?}"
+    );
+
+    watcher.stop();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn identical_rewrite_does_not_swap() {
     let path = temp_snap("identical");
     let ds0 = tagged_dataset(0);

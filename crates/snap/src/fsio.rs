@@ -96,6 +96,18 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Reads a whole file into one contiguous refcounted arena ([`Bytes`]).
+///
+/// This is the zero-copy serve path's open primitive: the snapshot is
+/// loaded once, and every chunk payload handed out afterwards is a
+/// refcounted slice into this arena — no per-query copies, no further
+/// filesystem traffic. (A true `mmap(2)` would drop the one upfront read
+/// too, but needs a platform crate; the arena load keeps the same
+/// slice-sharing property with std only.)
+pub fn load_bytes(path: &Path) -> io::Result<bytes::Bytes> {
+    Ok(bytes::Bytes::from(fs::read(path)?))
+}
+
 /// Computes the snapshot content fingerprint of a file with partial reads:
 /// footer, catalog, and one 8-byte read per chunk — no payload bytes are
 /// touched. Returns the same value as parsing the whole file and calling

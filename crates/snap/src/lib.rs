@@ -33,7 +33,7 @@ pub mod fsio;
 pub mod varint;
 
 pub use chunk::{ChunkEntry, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC, TAIL_MAGIC};
-pub use fsio::{fingerprint_file, write_atomic, SnapIoError};
+pub use fsio::{fingerprint_file, load_bytes, write_atomic, SnapIoError};
 
 use std::fmt;
 

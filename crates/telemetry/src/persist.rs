@@ -463,6 +463,18 @@ impl SnapshotReader {
         Ok(SnapshotReader { file, domains, client_threshold, max_depth, n_lists })
     }
 
+    /// Verifies every chunk checksum in the underlying container without
+    /// decoding any payload. Zero-copy serving calls this once at open so
+    /// later per-list decodes can trust the bytes they seek to.
+    pub fn verify_all(&self) -> Result<(), PersistError> {
+        self.file.verify_all().map_err(PersistError::Snap)
+    }
+
+    /// The container's content fingerprint (checksum-of-checksums).
+    pub fn fingerprint(&self) -> u64 {
+        self.file.fingerprint()
+    }
+
     /// Breakdown keys present in the catalog, in file order.
     pub fn breakdowns(&self) -> impl Iterator<Item = Breakdown> + '_ {
         self.file

@@ -35,7 +35,7 @@ fn main() {
 
     let store = Arc::new(ShardedStore::build(&dataset, DEFAULT_SHARDS));
     let mut catalog = Catalog::new();
-    catalog.insert("full", Arc::clone(&store));
+    catalog.insert("full", store);
     let server = Server::start(Arc::new(catalog), ServerConfig::default());
     // Every call below round-trips through the framed binary protocol.
     let mut client = InProcTransport::new(server.handle());

@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Benchmark drift gate: compares a freshly produced bench report against the
+# previous CI run's artifact and fails on >15% adverse drift in any tracked
+# metric. Direction matters — throughput drifting DOWN and latency drifting
+# UP are regressions; improvements never fail the gate.
+#
+# Usage: scripts/bench_compare.sh <old.json> <new.json> <serve|snap>
+#
+# A missing or empty <old.json> (e.g. the first run on a branch, or an
+# expired CI cache) is not an error: there is nothing to drift from, the
+# gate passes with a note.
+set -eu
+
+OLD="${1:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
+NEW="${2:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
+KIND="${3:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
+LIMIT="${BENCH_DRIFT_LIMIT:-0.15}"
+
+# Tracked metrics per report kind, one per line: "<json_key> <direction>".
+# direction: up = higher is better (throughput), down = lower is better
+# (latency, size ratio).
+case "$KIND" in
+    serve)
+        METRICS="pipelined_qps up
+pipelined_p99_us down
+baseline_qps up"
+        ;;
+    snap)
+        METRICS="snap_to_legacy_ratio down
+snap_read_ms down"
+        ;;
+    *)
+        echo "bench_compare: unknown kind '$KIND' (serve|snap)" >&2
+        exit 2
+        ;;
+esac
+
+if [ ! -s "$OLD" ]; then
+    echo "bench_compare: no previous $KIND baseline at $OLD — nothing to compare, passing"
+    exit 0
+fi
+if [ ! -s "$NEW" ]; then
+    echo "bench_compare: fresh report $NEW is missing or empty" >&2
+    exit 1
+fi
+
+# Flat numeric field out of a hand-rolled or pretty-printed JSON file.
+field() {
+    awk -F: -v key="\"$2\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+}
+
+FAILED=0
+echo "$METRICS" | while read -r KEY DIR; do
+    [ -n "$KEY" ] || continue
+    OLDV=$(field "$OLD" "$KEY")
+    NEWV=$(field "$NEW" "$KEY")
+    if [ -z "$OLDV" ] || [ -z "$NEWV" ]; then
+        echo "bench_compare: $KEY absent in old or new report — skipping"
+        continue
+    fi
+    awk -v o="$OLDV" -v n="$NEWV" -v dir="$DIR" -v lim="$LIMIT" -v key="$KEY" '
+        BEGIN {
+            if (o <= 0) { printf "bench_compare: %s baseline %s unusable - skipping\n", key, o; exit 0 }
+            drift = (dir == "up") ? (o - n) / o : (n - o) / o
+            pct = drift * 100
+            if (drift > lim) {
+                printf "FAIL: %s regressed %.1f%% (%s -> %s, limit %.0f%%)\n", key, pct, o, n, lim * 100
+                exit 1
+            }
+            printf "bench_compare: %s ok (%s -> %s, adverse drift %.1f%%)\n", key, o, n, (pct > 0 ? pct : 0)
+        }
+    ' || FAILED=1
+    [ "$FAILED" = 0 ] || exit 1
+done || exit 1
+
+echo "bench_compare: $KIND within ${LIMIT} drift of previous run"

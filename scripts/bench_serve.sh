@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Serve-path benchmark: the zero-copy shard-per-core pipelined path against
+# the closed-loop materialized baseline, on the identical rank-lookup mix
+# and seed (workload frozen in BENCHMARKS.md). The acceptance bar is the
+# throughput ratio: pipelined must clear 5x the baseline.
+#
+# Usage: scripts/bench_serve.sh
+# Emits BENCH_serve.json in the repo root (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_serve.json}"
+
+echo "==> cargo build --release --bin wwv"
+cargo build --release --bin wwv
+
+echo "==> wwv serve --bench --metrics-out $OUT"
+target/release/wwv serve --bench --threads 2 --requests 20000 \
+    --pipeline 128 --shards 2 --metrics-out "$OUT" > /dev/null
+
+SPEEDUP=$(awk -F: '/"speedup"/ { gsub(/[ ,]/, "", $2); print $2 }' "$OUT")
+QPS=$(awk -F: '/"pipelined_qps"/ { gsub(/[ ,]/, "", $2); print $2 }' "$OUT")
+echo "==> wrote $OUT (pipelined ${QPS} qps, ${SPEEDUP}x over closed-loop baseline)"
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 5.0 ? 0 : 1) }' || {
+    echo "FAIL: pipelined path is only ${SPEEDUP}x baseline, below the 5.0x floor" >&2
+    exit 1
+}

@@ -45,6 +45,16 @@ cargo test -q -p wwv-telemetry --test snap_corruption
 echo "==> cargo test -q -p wwv-serve --test hot_swap"
 cargo test -q -p wwv-serve --test hot_swap
 
+# Zero-copy serve gates, surfaced by name: the mmap-backed SnapshotStore
+# must answer every query type byte-identically to the materialized store
+# on arbitrary datasets — including with a hot swap landing mid-stream —
+# and the snapshot watcher must honor sub-interval polls and the zero-copy
+# swap flavor.
+echo "==> cargo test -q -p wwv-serve --test snapshot_equivalence"
+cargo test -q -p wwv-serve --test snapshot_equivalence
+echo "==> cargo test -q -p wwv-serve --test watch_snapshot"
+cargo test -q -p wwv-serve --test watch_snapshot
+
 # Tracing gates, surfaced by name: frozen PR-5-era wire bytes plus
 # extension-byte fuzz, byte-identical JSONL at any worker count, and
 # mixed-epoch-free scrapes under 100 concurrent hot swaps.
