@@ -59,6 +59,23 @@ pub fn classic_similarity_matrix(
     }
 }
 
+/// The least-typical country: lowest mean off-diagonal similarity.
+/// `total_cmp` instead of `partial_cmp().expect(...)`: a NaN mean (a
+/// degenerate matrix) orders above every finite value, so it neither
+/// panics nor wins the outlier slot; an unknown label is treated the same
+/// way.
+fn outlier(m: &SimilarityMatrix) -> String {
+    m.labels
+        .iter()
+        .min_by(|a, b| {
+            let ma = m.mean_similarity(a).unwrap_or(f64::INFINITY);
+            let mb = m.mean_similarity(b).unwrap_or(f64::INFINITY);
+            ma.total_cmp(&mb)
+        })
+        .cloned()
+        .unwrap_or_default()
+}
+
 /// Runs the RBO-weighting ablation.
 pub fn rbo_ablation(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> RboAblation {
     let _span = wwv_obs::span!("core.ablation");
@@ -73,17 +90,6 @@ pub fn rbo_ablation(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metri
         .map(|(a, b)| (a - b).abs())
         .sum::<f64>()
         / w.len().max(1) as f64;
-    let outlier = |m: &SimilarityMatrix| {
-        m.labels
-            .iter()
-            .min_by(|a, b| {
-                m.mean_similarity(a)
-                    .partial_cmp(&m.mean_similarity(b))
-                    .expect("finite similarity")
-            })
-            .cloned()
-            .unwrap_or_default()
-    };
     RboAblation {
         pairwise_spearman: spearman,
         weighted_outlier: outlier(&weighted),
@@ -164,6 +170,23 @@ mod tests {
         assert!(ablation.pairwise_spearman > 0.5, "spearman {}", ablation.pairwise_spearman);
         // …but the numbers genuinely differ (the weighting matters).
         assert!(ablation.mean_abs_difference > 0.01, "MAD {}", ablation.mean_abs_difference);
+    }
+
+    #[test]
+    fn outlier_survives_nan_similarity() {
+        // Regression: a NaN mean similarity used to panic the
+        // `partial_cmp().expect(...)` comparator. NaN rows order above
+        // every finite mean, so a degenerate row never wins the slot.
+        use wwv_stats::SymmetricMatrix;
+        let mut matrix = SymmetricMatrix::new(3, 0.5);
+        matrix.set(0, 1, f64::NAN); // poisons the means of rows 0 and 1
+        let m = SimilarityMatrix {
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            labels: vec!["AA".into(), "BB".into(), "CC".into()],
+            matrix,
+        };
+        assert_eq!(outlier(&m), "CC", "the only finite mean wins");
     }
 
     #[test]

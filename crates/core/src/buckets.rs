@@ -32,6 +32,13 @@ impl BucketIntersections {
     }
 }
 
+/// Sorts intersections descending with `total_cmp`: a NaN (degenerate
+/// list pair) orders deterministically with the other "large" values
+/// instead of panicking the figure export.
+fn sort_desc(values: &mut [f64]) {
+    values.sort_by(|a, b| b.total_cmp(a));
+}
+
 /// Computes Fig. 12 for one (platform, metric).
 pub fn bucket_intersections(
     ctx: &AnalysisContext<'_>,
@@ -56,7 +63,7 @@ pub fn bucket_intersections(
                     values.push(lists[i].percent_intersection(&lists[j], bucket));
                 }
             }
-            values.sort_by(|a, b| b.partial_cmp(a).expect("finite intersections"));
+            sort_desc(&mut values);
             let cumulative = wwv_stats::descriptive::cumsum(&values);
             BucketIntersections { bucket, sorted: values, cumulative }
         })
@@ -71,6 +78,17 @@ mod tests {
         let (world, ds) = crate::testutil::small();
         let ctx = AnalysisContext::with_depth(world, ds, 2_000);
         bucket_intersections(&ctx, Platform::Windows, Metric::PageLoads, &[10, 100, 1_000])
+    }
+
+    #[test]
+    fn descending_sort_survives_nan() {
+        // Regression: a NaN intersection used to panic the
+        // `partial_cmp().expect(...)` comparator. `total_cmp` orders it
+        // deterministically (first, with the large values).
+        let mut values = vec![0.5, f64::NAN, 1.0, 0.0];
+        sort_desc(&mut values);
+        assert!(values[0].is_nan());
+        assert_eq!(&values[1..], &[1.0, 0.5, 0.0]);
     }
 
     #[test]

@@ -48,6 +48,16 @@ fn f(v: f64) -> String {
     format!("{v:.6}")
 }
 
+/// Sorts keyed rows by their numeric key, descending, and strips the keys.
+/// Rows used to be ordered by comparing *rendered* float strings, which
+/// both mis-sorts across magnitudes ("9.5" > "10.0") and cannot express a
+/// NaN policy; `total_cmp` gives a total order (NaN keys sort first, with
+/// the other "large" values) and never panics.
+fn sort_rows_by_key_desc(keyed: &mut Vec<(f64, Vec<String>)>) -> Vec<Vec<String>> {
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    std::mem::take(keyed).into_iter().map(|(_, row)| row).collect()
+}
+
 /// Fig. 1 — cumulative traffic share by rank, all four series.
 pub fn fig01(_ctx: &AnalysisContext<'_>) -> FigureData {
     let series: Vec<_> = [
@@ -85,7 +95,7 @@ pub fn fig01(_ctx: &AnalysisContext<'_>) -> FigureData {
 /// Fig. 2 — category composition of top-100/top-10K, sites and traffic.
 pub fn fig02(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> FigureData {
     let comp = composition(ctx, platform, metric);
-    let mut rows: Vec<Vec<String>> = Category::ALL
+    let mut keyed: Vec<(f64, Vec<String>)> = Category::ALL
         .iter()
         .filter_map(|c| {
             let s100 = comp.sites_top100.get(c.name()).copied().unwrap_or(0.0);
@@ -95,10 +105,10 @@ pub fn fig02(ctx: &AnalysisContext<'_>, platform: Platform, metric: Metric) -> F
             if s100 + s10k + t100 + t10k == 0.0 {
                 return None;
             }
-            Some(vec![c.name().to_owned(), f(s100), f(s10k), f(t100), f(t10k)])
+            Some((t10k, vec![c.name().to_owned(), f(s100), f(s10k), f(t100), f(t10k)]))
         })
         .collect();
-    rows.sort_by(|a, b| b[4].partial_cmp(&a[4]).expect("rendered floats"));
+    let rows = sort_rows_by_key_desc(&mut keyed);
     FigureData {
         name: format!("fig02_composition_{platform}_{metric}").replace(' ', "_").to_lowercase(),
         columns: vec![
@@ -353,6 +363,26 @@ mod tests {
     fn ctx() -> AnalysisContext<'static> {
         let (world, ds) = crate::testutil::small();
         AnalysisContext::with_depth(world, ds, 2_000)
+    }
+
+    #[test]
+    fn keyed_row_sort_survives_nan_keys() {
+        // Regression: rows were ordered by comparing rendered float
+        // strings, and a NaN key would have panicked a `partial_cmp`
+        // ordering. The keyed sort is total: NaN rows sort first (with the
+        // large values) and the call never panics.
+        let mut keyed = vec![
+            (1.0, vec!["a".to_owned()]),
+            (f64::NAN, vec!["n".to_owned()]),
+            (7.5, vec!["b".to_owned()]),
+            (0.25, vec!["c".to_owned()]),
+        ];
+        let rows = sort_rows_by_key_desc(&mut keyed);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec!["n".to_owned()], "NaN sorts with the large values");
+        assert_eq!(rows[1], vec!["b".to_owned()]);
+        assert_eq!(rows[2], vec!["a".to_owned()]);
+        assert_eq!(rows[3], vec!["c".to_owned()]);
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub fn metric_agreement(ctx: &AnalysisContext<'_>, platform: Platform) -> Metric
     }
 }
 
+/// Orders (ratio, category) pairs by ratio, descending. `total_cmp`
+/// instead of `partial_cmp().expect(...)`: a NaN ratio (0/0 weight
+/// corner) must not panic the leaning analysis.
+fn sort_ratios_desc(ratios: &mut [(f64, usize)]) {
+    ratios.sort_by(|a, b| b.0.total_cmp(&a.0));
+}
+
 /// Fig. 5/16: category counts among loads-leaning, time-leaning, and other
 /// sites (top/bottom 20% by the loads-share : time-share ratio).
 #[derive(Debug, Clone, Serialize)]
@@ -92,7 +99,7 @@ pub fn metric_leaning(ctx: &AnalysisContext<'_>, platform: Platform) -> MetricLe
         if ratios.len() < 10 {
             continue;
         }
-        ratios.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite ratios"));
+        sort_ratios_desc(&mut ratios);
         let q = ratios.len() / 5;
         let (loads_slice, rest) = ratios.split_at(q);
         let (other_slice, time_slice) = rest.split_at(rest.len() - q);
@@ -148,6 +155,18 @@ mod tests {
 
     fn fixtures() -> &'static (World, wwv_telemetry::ChromeDataset) {
         crate::testutil::small()
+    }
+
+    #[test]
+    fn ratio_sort_survives_nan() {
+        // Regression: a NaN loads/time ratio used to panic the
+        // `partial_cmp().expect(...)` comparator mid-analysis.
+        let mut ratios = vec![(2.0, 0), (f64::NAN, 1), (0.5, 2), (8.0, 3)];
+        sort_ratios_desc(&mut ratios);
+        assert!(ratios[0].0.is_nan());
+        assert_eq!(ratios[0].1, 1);
+        let rest: Vec<usize> = ratios[1..].iter().map(|(_, c)| *c).collect();
+        assert_eq!(rest, vec![3, 0, 2]);
     }
 
     #[test]

@@ -123,8 +123,16 @@ pub fn platform_differences(ctx: &AnalysisContext<'_>, metric: Metric) -> Vec<Pl
         });
     }
     // Most mobile-leaning first, as in the figure.
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    sort_most_mobile_first(&mut out);
     out
+}
+
+/// Orders diffs by score, descending. `total_cmp` instead of
+/// `partial_cmp().expect(...)`: a NaN score (degenerate shares) must not
+/// panic the whole analysis — it sorts deterministically with the other
+/// "large" values instead.
+fn sort_most_mobile_first(out: &mut [PlatformDiff]) {
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
 }
 
 #[cfg(test)]
@@ -138,6 +146,24 @@ mod tests {
 
     fn diff_of(rows: &[PlatformDiff], cat: Category) -> Option<&PlatformDiff> {
         rows.iter().find(|r| r.category == cat.name())
+    }
+
+    #[test]
+    fn score_sort_survives_nan() {
+        // Regression: a NaN difference score used to panic the
+        // `partial_cmp().expect(...)` comparator.
+        let row = |name: &str, score: f64| PlatformDiff {
+            category: name.to_owned(),
+            score,
+            significant_countries: 1,
+            android_share: 0.0,
+            windows_share: 0.0,
+        };
+        let mut rows = vec![row("a", -0.5), row("n", f64::NAN), row("b", 0.75)];
+        sort_most_mobile_first(&mut rows);
+        assert_eq!(rows[0].category, "n", "NaN sorts with the large values");
+        assert_eq!(rows[1].category, "b");
+        assert_eq!(rows[2].category, "a");
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub struct CoverageReport {
     pub worst: (String, f64),
 }
 
+/// The country with the lowest coverage. `total_cmp` instead of
+/// `partial_cmp().expect(...)`: a NaN coverage value (degenerate weights)
+/// sorts above every finite value here — it can never claim the "worst"
+/// slot, and it never panics the report.
+fn worst_coverage(per_country: &[(String, f64)]) -> Option<(String, f64)> {
+    per_country.iter().min_by(|a, b| a.1.total_cmp(&b.1)).cloned()
+}
+
 /// Measures how much of each country's traffic the set covers (weights from
 /// the Fig. 1 distribution at each site's local rank).
 pub fn coverage(
@@ -116,11 +124,7 @@ pub fn coverage(
     let values: Vec<f64> = per_country.iter().map(|(_, v)| *v).collect();
     let summary = QuantileSummary::of(&values)
         .unwrap_or(QuantileSummary { q25: 0.0, median: 0.0, q75: 0.0 });
-    let worst = per_country
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite coverage"))
-        .cloned()
-        .unwrap_or(("??".to_owned(), 0.0));
+    let worst = worst_coverage(&per_country).unwrap_or(("??".to_owned(), 0.0));
     CoverageReport { set_name: set.name.clone(), set_size: set.keys.len(), per_country, summary, worst }
 }
 
@@ -159,6 +163,21 @@ mod tests {
     fn ctx() -> AnalysisContext<'static> {
         let (world, ds) = crate::testutil::small();
         AnalysisContext::with_depth(world, ds, 2_000)
+    }
+
+    #[test]
+    fn worst_coverage_survives_nan() {
+        // Regression: a NaN coverage value used to panic the
+        // `partial_cmp().expect(...)` comparator. Under `total_cmp` a NaN
+        // orders above every finite value, so it can never claim "worst".
+        let per_country = vec![
+            ("US".to_owned(), 0.9),
+            ("NN".to_owned(), f64::NAN),
+            ("KR".to_owned(), 0.2),
+        ];
+        let worst = worst_coverage(&per_country).expect("non-empty");
+        assert_eq!(worst.0, "KR");
+        assert!(worst_coverage(&[]).is_none());
     }
 
     #[test]

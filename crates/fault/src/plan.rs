@@ -22,6 +22,10 @@ pub mod points {
     pub const SERVE_RESPONSE: &str = "serve.response";
     /// Query execution inside a serve worker (`Delay` models slow queries).
     pub const SERVE_WORKER: &str = "serve.worker";
+    /// A replication delta leaving a region replica's outbox.
+    pub const REGION_SYNC_SEND: &str = "region.sync.send";
+    /// A replication delta arriving at a peer replica, before decode.
+    pub const REGION_SYNC_RECV: &str = "region.sync.recv";
 
     /// Every canonical point, for sweeps.
     pub const ALL: &[&str] = &[
@@ -31,6 +35,8 @@ pub mod points {
         SERVE_REQUEST,
         SERVE_RESPONSE,
         SERVE_WORKER,
+        REGION_SYNC_SEND,
+        REGION_SYNC_RECV,
     ];
 }
 

@@ -1,0 +1,628 @@
+//! The multi-region run: partitioned ingest, faulted sync rounds, the
+//! convergence check against a single-collector reference, and GC.
+//!
+//! Every round is deterministic in `(world seed, config, fault plan)`:
+//! the generator draws, the client partition, the send order (including
+//! the shuffle plan's permutation), and every fault decision are pure
+//! functions of seeds and arrival indices — so a convergence failure
+//! replays exactly.
+
+use crate::replica::Replica;
+use crate::state::CellKey;
+use crate::sync::{Delta, SyncPlan};
+use std::collections::BTreeMap;
+use wwv_fault::{points, FaultPlan, FrameFate};
+use wwv_stream::{StreamConfig, TickClock, TickGenerator};
+use wwv_telemetry::client_partition;
+use wwv_world::{Month, World};
+
+/// Configuration for a region run.
+#[derive(Debug, Clone)]
+pub struct RegionConfig {
+    /// Stream seed (generator draws and the shuffle permutation).
+    pub seed: u64,
+    /// Number of collector replicas.
+    pub replicas: usize,
+    /// Sync ordering/topology plan.
+    pub plan: SyncPlan,
+    /// Ingest ticks.
+    pub ticks: u64,
+    /// Countries covered (cells = countries × platforms).
+    pub countries: usize,
+    /// Simulated clients per cell per tick.
+    pub clients_per_tick: u64,
+    /// Mean page loads per client per tick.
+    pub mean_loads: f64,
+    /// Post-ingest sync-round budget for convergence.
+    pub max_rounds: u64,
+    /// Replica to crash and restore from its checkpoint, if any.
+    pub crash_replica: Option<u8>,
+    /// Tick after which the crash happens.
+    pub crash_tick: u64,
+}
+
+impl Default for RegionConfig {
+    fn default() -> RegionConfig {
+        RegionConfig {
+            seed: 77,
+            replicas: 3,
+            plan: SyncPlan::Order,
+            ticks: 6,
+            countries: 3,
+            clients_per_tick: 12,
+            mean_loads: 8.0,
+            max_rounds: 64,
+            crash_replica: None,
+            crash_tick: 3,
+        }
+    }
+}
+
+/// Outcome of a region run.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// Replica count.
+    pub replicas: usize,
+    /// Plan name.
+    pub plan: &'static str,
+    /// Stream seed.
+    pub seed: u64,
+    /// Ingest ticks run.
+    pub ticks: u64,
+    /// Whether every replica's union matched the single-collector build.
+    pub converged: bool,
+    /// Sync rounds run while ingest was still producing.
+    pub ingest_rounds: u64,
+    /// Extra rounds needed after ingest stopped before every replica
+    /// matched the reference (0 = converged the moment ingest ended).
+    pub convergence_rounds: u64,
+    /// Events ingested across all replicas (equals the reference's count).
+    pub events: u64,
+    /// Deltas offered to the wire.
+    pub deltas_sent: u64,
+    /// Encoded delta bytes offered to the wire.
+    pub delta_bytes: u64,
+    /// Deltas merged as news by a receiver.
+    pub deltas_applied: u64,
+    /// Deltas ignored as stale (duplicates, echoes, reorderings).
+    pub stale_merges: u64,
+    /// Frames that failed typed decode (corruption faults).
+    pub decode_errors: u64,
+    /// Frames dropped by the fault plan.
+    pub dropped: u64,
+    /// Frames duplicated by the fault plan.
+    pub duplicated: u64,
+    /// Frames held and delivered out of order by the fault plan.
+    pub reordered: u64,
+    /// Frames delayed to the end of their round by the fault plan.
+    pub delayed: u64,
+    /// Cells retired by coordination-free GC after convergence.
+    pub gc_cells: u64,
+    /// Deltas still owed to any peer after GC (0 when converged: GC only
+    /// retires what every peer acknowledged).
+    pub pending_after_gc: u64,
+    /// Crash/restore cycles exercised.
+    pub crash_restores: u64,
+    /// Bytes the naive alternative would ship for the same round
+    /// structure: every replica's full current state to every reachable
+    /// peer, every round.
+    pub full_state_bytes: u64,
+    /// Size of the canonical converged state.
+    pub state_bytes: u64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Deltas offered to the wire per second of run time.
+    pub deltas_per_sec: f64,
+    /// Wire bytes actually shipped relative to the naive full-state
+    /// exchange (< 1.0 means delta sync beat the baseline).
+    pub delta_to_full_ratio: f64,
+}
+
+impl RegionReport {
+    /// Hand-rolled JSON (workspace idiom: no serde at runtime).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"replicas\": {},\n  \"plan\": \"{}\",\n  \"seed\": {},\n  \"ticks\": {},\n  \"converged\": {},\n  \"ingest_rounds\": {},\n  \"convergence_rounds\": {},\n  \"events\": {},\n  \"deltas_sent\": {},\n  \"delta_bytes\": {},\n  \"deltas_applied\": {},\n  \"stale_merges\": {},\n  \"decode_errors\": {},\n  \"dropped\": {},\n  \"duplicated\": {},\n  \"reordered\": {},\n  \"delayed\": {},\n  \"gc_cells\": {},\n  \"pending_after_gc\": {},\n  \"crash_restores\": {},\n  \"full_state_bytes\": {},\n  \"state_bytes\": {},\n  \"elapsed_ms\": {},\n  \"deltas_per_sec\": {:.1},\n  \"delta_to_full_ratio\": {:.4}\n}}\n",
+            self.replicas,
+            self.plan,
+            self.seed,
+            self.ticks,
+            self.converged,
+            self.ingest_rounds,
+            self.convergence_rounds,
+            self.events,
+            self.deltas_sent,
+            self.delta_bytes,
+            self.deltas_applied,
+            self.stale_merges,
+            self.decode_errors,
+            self.dropped,
+            self.duplicated,
+            self.reordered,
+            self.delayed,
+            self.gc_cells,
+            self.pending_after_gc,
+            self.crash_restores,
+            self.full_state_bytes,
+            self.state_bytes,
+            self.elapsed_ms,
+            self.deltas_per_sec,
+            self.delta_to_full_ratio,
+        )
+    }
+}
+
+/// Wire-stage tallies for one run.
+#[derive(Debug, Default)]
+struct WireStats {
+    deltas_sent: u64,
+    delta_bytes: u64,
+    /// What a full-state-every-round protocol would have shipped instead.
+    full_state_baseline: u64,
+    decode_errors: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    delayed: u64,
+}
+
+/// SplitMix64 for the shuffle plan's permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic Fisher–Yates keyed on `(seed, round)`.
+fn shuffle<T>(items: &mut [T], seed: u64, round: u64) {
+    let mut state = splitmix64(seed ^ round.wrapping_mul(0xA076_1D64_78BD_642F));
+    for i in (1..items.len()).rev() {
+        state = splitmix64(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Whether `from` can reach `to` in `round` under the plan: the partition
+/// plan splits the replica set into two halves (low ids vs high ids) for
+/// the ingest rounds and heals afterwards.
+fn reachable(plan: SyncPlan, n: usize, ingest_ticks: u64, round: u64, from: usize, to: usize) -> bool {
+    match plan {
+        SyncPlan::Order | SyncPlan::Shuffle => true,
+        SyncPlan::Partition => {
+            if round >= ingest_ticks {
+                return true; // healed
+            }
+            let half = n / 2;
+            (from < half) == (to < half)
+        }
+    }
+}
+
+/// Runs one faulted sync round over the full mesh the plan allows.
+fn sync_round(
+    replicas: &mut [Replica],
+    cfg: &RegionConfig,
+    plan: &FaultPlan,
+    round: u64,
+    stats: &mut WireStats,
+) {
+    let n = replicas.len();
+    let mut sends: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    for (from, sender) in replicas.iter().enumerate() {
+        let full_state = sender.merged_bytes().len() as u64;
+        for to in 0..n {
+            if to == from || !reachable(cfg.plan, n, cfg.ticks, round, from, to) {
+                continue;
+            }
+            // The naive alternative re-ships this replica's whole current
+            // state to this peer this round — the bar delta sync is
+            // measured against.
+            stats.full_state_baseline += full_state;
+            for delta in sender.deltas_for(to as u8) {
+                sends.push((from, to, delta.encode()));
+            }
+        }
+    }
+    if cfg.plan == SyncPlan::Shuffle {
+        shuffle(&mut sends, cfg.seed, round);
+    }
+
+    // Send stage: each frame consults the plan at region.sync.send. Fates
+    // reshape the delivery list; Dropped frames are simply absent (the
+    // missing ack retransmits them next round).
+    let mut deliveries: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    let mut end_of_round: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    let mut held: Option<(usize, usize, Vec<u8>)> = None;
+    for (from, to, frame) in sends {
+        stats.deltas_sent += 1;
+        stats.delta_bytes += frame.len() as u64;
+        match plan.apply_to_frame(points::REGION_SYNC_SEND, frame) {
+            FrameFate::Deliver(f) => deliveries.push((from, to, f)),
+            FrameFate::DeliverTwice(f) => {
+                stats.duplicated += 1;
+                deliveries.push((from, to, f.clone()));
+                deliveries.push((from, to, f));
+            }
+            FrameFate::HoldForReorder(f) => {
+                stats.reordered += 1;
+                if let Some(prev) = held.replace((from, to, f)) {
+                    deliveries.push(prev);
+                }
+            }
+            FrameFate::Delayed(f, _) => {
+                stats.delayed += 1;
+                end_of_round.push((from, to, f));
+            }
+            FrameFate::Dropped => stats.dropped += 1,
+        }
+        // A held frame is released right after the frame that overtook it.
+        if deliveries.len() >= 2 {
+            if let Some(prev) = held.take() {
+                deliveries.push(prev);
+            }
+        }
+    }
+    if let Some(prev) = held.take() {
+        deliveries.push(prev);
+    }
+    deliveries.append(&mut end_of_round);
+
+    // Receive stage: the same fate vocabulary at region.sync.recv, then a
+    // typed decode. A decode error yields no ack, so the sender simply
+    // offers the cell again next round.
+    let obs = wwv_obs::global();
+    let mut held_rx: Option<(usize, usize, Vec<u8>)> = None;
+    let mut arrivals: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    let mut delayed_rx: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    for (from, to, frame) in deliveries {
+        match plan.apply_to_frame(points::REGION_SYNC_RECV, frame) {
+            FrameFate::Deliver(f) => arrivals.push((from, to, f)),
+            FrameFate::DeliverTwice(f) => {
+                stats.duplicated += 1;
+                arrivals.push((from, to, f.clone()));
+                arrivals.push((from, to, f));
+            }
+            FrameFate::HoldForReorder(f) => {
+                stats.reordered += 1;
+                if let Some(prev) = held_rx.replace((from, to, f)) {
+                    arrivals.push(prev);
+                }
+            }
+            FrameFate::Delayed(f, _) => {
+                stats.delayed += 1;
+                delayed_rx.push((from, to, f));
+            }
+            FrameFate::Dropped => stats.dropped += 1,
+        }
+        if arrivals.len() >= 2 {
+            if let Some(prev) = held_rx.take() {
+                arrivals.push(prev);
+            }
+        }
+    }
+    if let Some(prev) = held_rx.take() {
+        arrivals.push(prev);
+    }
+    arrivals.append(&mut delayed_rx);
+
+    for (from, to, frame) in arrivals {
+        match Delta::decode(&frame) {
+            Ok(delta) => {
+                let cell = delta.cell;
+                let origin = delta.origin;
+                let acked_version = replicas[to].apply_delta(delta);
+                // Acks ride the reverse path un-faulted: losing an ack only
+                // delays retransmission/GC, it can never corrupt state, so
+                // the model keeps them reliable. Only the origin tracks
+                // acks (gossip forwards would ack to the forwarder).
+                if origin == replicas[from].id() {
+                    replicas[from].record_ack(replicas[to].id(), cell, acked_version);
+                }
+            }
+            Err(e) => {
+                stats.decode_errors += 1;
+                obs.counter("region.sync.decode_error").inc();
+                // Per-frame, so debug: the counter and report carry the
+                // aggregate signal; chaos corruption cells fire hundreds.
+                wwv_obs::debug!(target: "region", "delta decode failed: {e}");
+            }
+        }
+    }
+}
+
+/// Whether every replica's union aggregate matches the reference build.
+fn all_converged(replicas: &[Replica], target: &[u8]) -> bool {
+    replicas.iter().all(|r| r.merged_bytes() == target)
+}
+
+/// Runs the full multi-region scenario and checks convergence against a
+/// single-collector reference fed the identical stream.
+pub fn run_region(world: &World, cfg: &RegionConfig, plan: &FaultPlan) -> RegionReport {
+    let _span = wwv_obs::span!("region.run");
+    let started = std::time::Instant::now();
+    let obs = wwv_obs::global();
+    let n = cfg.replicas.max(1);
+    let stream_cfg = StreamConfig {
+        seed: cfg.seed,
+        countries: cfg.countries,
+        ticks: cfg.ticks,
+        clients_per_tick: cfg.clients_per_tick,
+        mean_loads: cfg.mean_loads,
+        clock: TickClock::Logical,
+        ..StreamConfig::default()
+    };
+    let gen = TickGenerator::new(world, &stream_cfg);
+    let cells = gen.cells().len();
+
+    let mut replicas: Vec<Replica> = (0..n).map(|id| Replica::new(id as u8, n as u8)).collect();
+    // The reference is the single-collector build: one replica that
+    // ingests the whole stream.
+    let mut reference = Replica::new(0, 1);
+    let mut stats = WireStats::default();
+    let mut crash_restores = 0u64;
+    let mut round = 0u64;
+
+    for tick in 0..cfg.ticks {
+        for cell_idx in 0..cells {
+            for batch in gen.tick_batches(tick, cell_idx) {
+                reference.ingest_batch(&batch);
+                let target = client_partition(batch.client_id, n);
+                replicas[target].ingest_batch(&batch);
+            }
+        }
+        sync_round(&mut replicas, cfg, plan, round, &mut stats);
+        round += 1;
+        if let Some(victim) = cfg.crash_replica {
+            if tick == cfg.crash_tick && (victim as usize) < n {
+                // Checkpoint after ingest, run one more (possibly faulted)
+                // sync round, then crash back to the checkpoint: the round's
+                // merges and outgoing acks are lost, exactly the window a
+                // real crash loses.
+                let checkpoint = replicas[victim as usize].checkpoint();
+                sync_round(&mut replicas, cfg, plan, round, &mut stats);
+                round += 1;
+                replicas[victim as usize] =
+                    Replica::restore(checkpoint).expect("own checkpoint restores");
+                for (i, r) in replicas.iter_mut().enumerate() {
+                    if i != victim as usize {
+                        // Peers reset their ack window for the restarted
+                        // replica: it may have lost state it acked.
+                        r.forget_acks_from(victim);
+                    }
+                }
+                crash_restores += 1;
+                obs.counter("region.crash_restores").inc();
+            }
+        }
+    }
+    let ingest_rounds = round;
+
+    for month in Month::ALL {
+        reference.seal(month);
+        for r in &mut replicas {
+            r.seal(month);
+        }
+    }
+
+    let target = reference.merged_bytes();
+    let mut convergence_rounds = 0u64;
+    while !all_converged(&replicas, &target) && convergence_rounds < cfg.max_rounds {
+        sync_round(&mut replicas, cfg, plan, round, &mut stats);
+        round += 1;
+        convergence_rounds += 1;
+    }
+    let converged = all_converged(&replicas, &target);
+
+    // GC only after convergence: it is driven purely by local acks, so
+    // running it earlier would also be safe — this just makes the report's
+    // pending_after_gc a meaningful "all bookkeeping drained" check.
+    let mut gc_cells = 0u64;
+    if converged {
+        for r in &mut replicas {
+            for month in Month::ALL {
+                gc_cells += r.gc_sealed(month) as u64;
+            }
+        }
+    }
+    let pending_after_gc: u64 = replicas
+        .iter()
+        .map(|r| {
+            r.peers()
+                .iter()
+                .map(|p| r.deltas_for(*p).len() as u64)
+                .sum::<u64>()
+        })
+        .sum();
+
+    let deltas_applied: u64 = replicas.iter().map(|r| r.deltas_applied()).sum();
+    let stale_merges: u64 = replicas.iter().map(|r| r.stale_merges()).sum();
+    let events: u64 = replicas.iter().map(|r| r.events_ingested()).sum();
+    debug_assert_eq!(events, reference.events_ingested(), "partition must be exact");
+
+    obs.counter("region.deltas_sent").add(stats.deltas_sent);
+    obs.counter("region.delta_bytes").add(stats.delta_bytes);
+    obs.counter("region.deltas_applied").add(deltas_applied);
+    obs.counter("region.merge_stale").add(stale_merges);
+    obs.counter("region.sync.dropped").add(stats.dropped);
+    obs.counter("region.sync.duplicated").add(stats.duplicated);
+    obs.counter("region.sync.reordered").add(stats.reordered);
+    obs.counter("region.sync.delayed").add(stats.delayed);
+    obs.counter("region.gc_cells").add(gc_cells);
+    if converged {
+        obs.counter("region.converged").inc();
+    } else {
+        obs.counter("region.diverged").inc();
+        wwv_obs::error!(target: "region", "run did not converge within {} rounds", cfg.max_rounds);
+    }
+
+    let elapsed = started.elapsed();
+    let full_state_bytes = stats.full_state_baseline;
+    RegionReport {
+        replicas: n,
+        plan: cfg.plan.name(),
+        seed: cfg.seed,
+        ticks: cfg.ticks,
+        converged,
+        ingest_rounds,
+        convergence_rounds,
+        events,
+        deltas_sent: stats.deltas_sent,
+        delta_bytes: stats.delta_bytes,
+        deltas_applied,
+        stale_merges,
+        decode_errors: stats.decode_errors,
+        dropped: stats.dropped,
+        duplicated: stats.duplicated,
+        reordered: stats.reordered,
+        delayed: stats.delayed,
+        gc_cells,
+        pending_after_gc,
+        crash_restores,
+        full_state_bytes,
+        state_bytes: target.len() as u64,
+        elapsed_ms: elapsed.as_millis() as u64,
+        deltas_per_sec: stats.deltas_sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        delta_to_full_ratio: stats.delta_bytes as f64 / (full_state_bytes as f64).max(1.0),
+    }
+}
+
+/// Replays a run's partitioned ingest without sync — exposed for tests
+/// that want the raw per-replica partials plus the reference build.
+pub fn partitioned_ingest(world: &World, cfg: &RegionConfig) -> (Vec<Replica>, Replica) {
+    let n = cfg.replicas.max(1);
+    let stream_cfg = StreamConfig {
+        seed: cfg.seed,
+        countries: cfg.countries,
+        ticks: cfg.ticks,
+        clients_per_tick: cfg.clients_per_tick,
+        mean_loads: cfg.mean_loads,
+        clock: TickClock::Logical,
+        ..StreamConfig::default()
+    };
+    let gen = TickGenerator::new(world, &stream_cfg);
+    let cells = gen.cells().len();
+    let mut replicas: Vec<Replica> = (0..n).map(|id| Replica::new(id as u8, n as u8)).collect();
+    let mut reference = Replica::new(0, 1);
+    for tick in 0..cfg.ticks {
+        for cell_idx in 0..cells {
+            for batch in gen.tick_batches(tick, cell_idx) {
+                reference.ingest_batch(&batch);
+                replicas[client_partition(batch.client_id, n)].ingest_batch(&batch);
+            }
+        }
+    }
+    (replicas, reference)
+}
+
+/// Convenience: merge every replica's own-origin deltas into every other
+/// replica in the given `(from, to)` order — the raw material for
+/// permutation tests.
+pub fn raw_deltas(replicas: &[Replica]) -> Vec<(u8, Delta)> {
+    let mut out = Vec::new();
+    for r in replicas {
+        for peer in r.peers() {
+            for d in r.deltas_for(*peer) {
+                out.push((*peer, d));
+            }
+        }
+    }
+    out
+}
+
+/// Per-cell union totals, for report-level sanity checks.
+pub fn union_cells(replica: &Replica) -> BTreeMap<CellKey, u64> {
+    let bytes = replica.merged_bytes();
+    let mut out = BTreeMap::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let cell = CellKey::unpack(&bytes[at..at + 4]).expect("canonical encoding");
+        at += 4;
+        let n = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        at += 4;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let len = u16::from_le_bytes(bytes[at..at + 2].try_into().expect("2 bytes")) as usize;
+            at += 2 + len;
+            total += u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+            at += 8;
+        }
+        out.insert(cell, total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::WorldConfig;
+
+    fn world() -> World {
+        World::new(WorldConfig::small())
+    }
+
+    fn cfg() -> RegionConfig {
+        RegionConfig { ticks: 4, countries: 2, clients_per_tick: 8, ..RegionConfig::default() }
+    }
+
+    #[test]
+    fn partition_union_equals_single_collector_stream() {
+        let world = world();
+        let (replicas, reference) = partitioned_ingest(&world, &cfg());
+        let events: u64 = replicas.iter().map(|r| r.events_ingested()).sum();
+        assert_eq!(events, reference.events_ingested(), "no client lost or double-counted");
+        assert!(replicas.iter().all(|r| r.events_ingested() > 0), "every replica got work");
+        // The union of the partials is the single-collector aggregate.
+        let mut merged = Replica::new(0, 1);
+        for (_, delta) in raw_deltas(&replicas) {
+            merged.apply_delta(delta);
+        }
+        assert_eq!(merged.merged_bytes(), reference.merged_bytes());
+    }
+
+    #[test]
+    fn clean_run_converges_with_zero_extra_rounds() {
+        let world = world();
+        let report = run_region(&world, &cfg(), &FaultPlan::none());
+        assert!(report.converged);
+        assert_eq!(report.convergence_rounds, 0, "per-tick rounds suffice unfaulted");
+        assert_eq!(report.decode_errors, 0);
+        assert_eq!(report.pending_after_gc, 0, "GC drained all bookkeeping");
+        assert!(report.gc_cells > 0, "sealed month retired its cells");
+        assert!(report.delta_bytes > 0);
+    }
+
+    #[test]
+    fn all_plans_converge_identically() {
+        let world = world();
+        let base = run_region(&world, &cfg(), &FaultPlan::none());
+        for plan in [SyncPlan::Shuffle, SyncPlan::Partition] {
+            let report =
+                run_region(&world, &RegionConfig { plan, ..cfg() }, &FaultPlan::none());
+            assert!(report.converged, "{} diverged", plan.name());
+            assert_eq!(report.state_bytes, base.state_bytes, "same converged state");
+            assert_eq!(report.events, base.events, "same stream either way");
+        }
+    }
+
+    #[test]
+    fn crash_and_catch_up_recovers() {
+        let world = world();
+        let config = RegionConfig { crash_replica: Some(1), crash_tick: 1, ..cfg() };
+        let report = run_region(&world, &config, &FaultPlan::none());
+        assert_eq!(report.crash_restores, 1);
+        assert!(report.converged, "restored replica must catch up");
+        assert_eq!(report.pending_after_gc, 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let world = world();
+        let report = run_region(&world, &cfg(), &FaultPlan::none());
+        let json = report.to_json();
+        assert!(json.contains("\"converged\": true"));
+        assert!(json.contains("\"plan\": \"order\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

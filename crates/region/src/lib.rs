@@ -1,0 +1,37 @@
+//! wwv-region — multi-region replicated collectors with deterministic
+//! delta sync.
+//!
+//! The paper's collection pipeline is logically one collector; a
+//! deployment would run several, one per region, each seeing only the
+//! clients routed to it. This crate models that split end to end and
+//! proves (by construction and by byte-identical comparison) that the
+//! distributed build equals the single-collector build:
+//!
+//! * **Partitioned ingest** — [`wwv_telemetry::client_partition`] routes
+//!   each client to exactly one replica, so the union of the partitions
+//!   is exactly the single-collector stream.
+//! * **Versioned cells** — each replica keeps per-`(country, platform,
+//!   metric, month)` partials stamped with an origin-assigned version
+//!   ([`state`]).
+//! * **Delta sync** — replicas exchange only changed cells over a
+//!   checksummed wire format; the merge is symmetric, commutative, and
+//!   idempotent, so any gossip order, topology, or duplication converges
+//!   ([`sync`], [`replica`]).
+//! * **Coordination-free GC** — once every peer acknowledged a sealed
+//!   cell's frozen version, its sync bookkeeping is dropped locally with
+//!   no extra protocol ([`Replica::gc_sealed`]).
+//! * **Faults & crash recovery** — sync frames route through `wwv-fault`
+//!   at `region.sync.send` / `region.sync.recv`; replicas checkpoint to
+//!   `wwv-snap` snapshots and catch up after a crash ([`driver`]).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod replica;
+pub mod state;
+pub mod sync;
+
+pub use driver::{partitioned_ingest, raw_deltas, run_region, union_cells, RegionConfig, RegionReport};
+pub use replica::{Replica, RestoreError};
+pub use state::{CellKey, VersionedCounts};
+pub use sync::{Delta, DeltaError, SyncPlan, DELTA_MAGIC};

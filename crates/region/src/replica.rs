@@ -1,0 +1,548 @@
+//! A region replica: partitioned ingest, versioned merge, ack-driven
+//! retransmission, coordination-free GC, and snapshot checkpointing.
+//!
+//! ## Merge semantics
+//!
+//! State is a map `(origin, cell) → (version, counts)`. A delta carries a
+//! full cell partial at one origin-assigned version, and the merge keeps
+//! whichever version is higher:
+//!
+//! * **Commutative** — `merge(a, b) = merge(b, a)`: max() doesn't care
+//!   about order.
+//! * **Idempotent** — applying a delta twice is a no-op the second time.
+//! * **Symmetric** — every replica runs the identical rule; there is no
+//!   leader.
+//!
+//! Because versions are assigned by a single writer (the origin) and only
+//! ever grow, the highest version seen *is* the newest state — no clock,
+//! no tie-break, no conflict. Any delivery order, any gossip topology, and
+//! any amount of duplication therefore converge to the same map, and the
+//! canonical [`Replica::merged_bytes`] encoding makes that convergence
+//! checkable byte for byte.
+
+use crate::state::{CellKey, VersionedCounts};
+use crate::sync::{Delta, DeltaError};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use wwv_snap::{SnapError, SnapshotFile, SnapshotWriter};
+use wwv_telemetry::privacy::is_public_domain;
+use wwv_telemetry::{ClientBatch, TelemetryEvent};
+use wwv_world::{Metric, Month};
+
+/// Snapshot chunk kinds for a replica checkpoint.
+const CHUNK_META: u16 = 0x5230;
+const CHUNK_CELL: u16 = 0x5231;
+const CHUNK_ACK: u16 = 0x5232;
+const CHUNK_SEAL: u16 = 0x5233;
+const CHUNK_RETIRED: u16 = 0x5234;
+
+/// A failure restoring a replica from a checkpoint.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The snapshot container itself is damaged.
+    Snap(SnapError),
+    /// A stored cell payload failed to decode.
+    Delta(DeltaError),
+    /// A bookkeeping chunk is structurally inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Snap(e) => write!(f, "checkpoint container: {e:?}"),
+            RestoreError::Delta(e) => write!(f, "checkpoint cell payload: {e}"),
+            RestoreError::Malformed(what) => write!(f, "checkpoint bookkeeping: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// One regional collector replica.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    id: u8,
+    peers: Vec<u8>,
+    /// `(origin, cell) → versioned partial`. Own cells use `origin == id`.
+    merged: BTreeMap<(u8, CellKey), VersionedCounts>,
+    /// Highest version each peer has acknowledged for each own-origin cell.
+    acked: HashMap<(u8, CellKey), u64>,
+    /// Months whose own-origin versions are frozen.
+    sealed: BTreeSet<Month>,
+    /// Own-origin cells fully acknowledged at their sealed version: all
+    /// sync bookkeeping for them has been dropped.
+    retired: BTreeSet<CellKey>,
+    deltas_applied: u64,
+    stale_merges: u64,
+    events_ingested: u64,
+}
+
+impl Replica {
+    /// A replica with id `id` out of `replicas` total.
+    pub fn new(id: u8, replicas: u8) -> Replica {
+        assert!(id < replicas.max(1), "replica id out of range");
+        Replica {
+            id,
+            peers: (0..replicas.max(1)).filter(|p| *p != id).collect(),
+            merged: BTreeMap::new(),
+            acked: HashMap::new(),
+            sealed: BTreeSet::new(),
+            retired: BTreeSet::new(),
+            deltas_applied: 0,
+            stale_merges: 0,
+            events_ingested: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Peer ids (everyone but self).
+    pub fn peers(&self) -> &[u8] {
+        &self.peers
+    }
+
+    /// Ingests one client batch into the own-origin partials, applying the
+    /// same privacy filter and metric mapping as the single collector:
+    /// completed loads count toward [`Metric::PageLoads`], foreground time
+    /// accumulates milliseconds under [`Metric::TimeOnPage`], and initiated
+    /// loads are carried but not analyzed (the paper drops them as nearly
+    /// identical to completed loads).
+    pub fn ingest_batch(&mut self, batch: &ClientBatch) {
+        debug_assert!(
+            !self.sealed.contains(&batch.month),
+            "ingest into a sealed month breaks version freezing"
+        );
+        let mut touched: BTreeSet<CellKey> = BTreeSet::new();
+        for event in &batch.events {
+            let domain = event.domain();
+            if !is_public_domain(domain) {
+                continue;
+            }
+            let (metric, amount) = match event {
+                TelemetryEvent::PageLoadInitiated { .. } => continue,
+                TelemetryEvent::PageLoadCompleted { .. } => (Metric::PageLoads, 1),
+                TelemetryEvent::ForegroundTime { millis, .. } => (Metric::TimeOnPage, *millis),
+            };
+            let cell = CellKey {
+                country: batch.country,
+                platform: batch.platform,
+                metric,
+                month: batch.month,
+            };
+            let entry = self.merged.entry((self.id, cell)).or_default();
+            *entry.counts.entry(domain.to_owned()).or_insert(0) += amount;
+            touched.insert(cell);
+            self.events_ingested += 1;
+        }
+        // One version bump per touched cell per batch: versions count
+        // states, not events, so a delta per batch is the worst case.
+        for cell in touched {
+            self.merged
+                .get_mut(&(self.id, cell))
+                .expect("touched cell exists")
+                .version += 1;
+        }
+    }
+
+    /// Freezes the own-origin versions of a month: no further ingest may
+    /// touch it, which is the precondition for [`Replica::gc_sealed`].
+    pub fn seal(&mut self, month: Month) {
+        self.sealed.insert(month);
+    }
+
+    /// The deltas this replica owes `peer`: every own-origin cell whose
+    /// current version the peer has not acknowledged. Drop faults need no
+    /// special handling — an unacked delta is simply offered again on the
+    /// next round.
+    pub fn deltas_for(&self, peer: u8) -> Vec<Delta> {
+        self.merged
+            .iter()
+            .filter(|((origin, cell), vc)| {
+                *origin == self.id
+                    && !self.retired.contains(cell)
+                    && self.acked.get(&(peer, *cell)).copied().unwrap_or(0) < vc.version
+            })
+            .map(|((origin, cell), vc)| Delta {
+                origin: *origin,
+                cell: *cell,
+                version: vc.version,
+                counts: vc.counts.clone(),
+            })
+            .collect()
+    }
+
+    /// Merges one delta. Returns the version now held for `(origin, cell)`
+    /// — the value the receiver acknowledges back to the sender.
+    pub fn apply_delta(&mut self, delta: Delta) -> u64 {
+        let key = (delta.origin, delta.cell);
+        let held = self.merged.get(&key).map(|vc| vc.version).unwrap_or(0);
+        if delta.version > held {
+            let version = delta.version;
+            self.merged.insert(key, delta.into_versioned());
+            self.deltas_applied += 1;
+            version
+        } else {
+            self.stale_merges += 1;
+            held
+        }
+    }
+
+    /// Records that `peer` acknowledged `version` of own-origin `cell`.
+    /// Acks are monotone: a late or duplicated ack can only be a no-op.
+    pub fn record_ack(&mut self, peer: u8, cell: CellKey, version: u64) {
+        let slot = self.acked.entry((peer, cell)).or_insert(0);
+        *slot = (*slot).max(version);
+    }
+
+    /// Forgets every acknowledgement received from `peer` — called when a
+    /// peer crashes and restores from a checkpoint. The restored peer may
+    /// have lost state it acked after its checkpoint, so the only safe
+    /// assumption is that it acked nothing; retransmission re-converges it
+    /// and the idempotent merge makes the re-sends harmless.
+    pub fn forget_acks_from(&mut self, peer: u8) {
+        self.acked.retain(|(p, _), _| *p != peer);
+        // Retired cells were retired on the strength of that peer's acks;
+        // un-retire everything so those cells are offered again too.
+        self.retired.clear();
+    }
+
+    /// Coordination-free GC of a sealed month: every own-origin cell of the
+    /// month whose frozen version all peers have acknowledged needs no
+    /// further sync bookkeeping, so its ack rows are dropped and the cell
+    /// is marked retired (never offered again). Safe because the seal
+    /// freezes the version and acks are monotone — no peer can ever need a
+    /// retired delta. Returns the number of cells retired.
+    pub fn gc_sealed(&mut self, month: Month) -> usize {
+        if !self.sealed.contains(&month) {
+            return 0;
+        }
+        let candidates: Vec<(CellKey, u64)> = self
+            .merged
+            .iter()
+            .filter(|((origin, cell), _)| {
+                *origin == self.id && cell.month == month && !self.retired.contains(cell)
+            })
+            .map(|((_, cell), vc)| (*cell, vc.version))
+            .collect();
+        let mut retired = 0;
+        for (cell, version) in candidates {
+            let all_acked = self
+                .peers
+                .iter()
+                .all(|p| self.acked.get(&(*p, cell)).copied().unwrap_or(0) >= version);
+            if all_acked {
+                self.retired.insert(cell);
+                self.acked.retain(|(_, c), _| *c != cell);
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Number of `(origin, cell)` entries held.
+    pub fn cells_held(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// Deltas successfully merged (non-stale).
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    /// Deltas that arrived at or below the held version (duplicates,
+    /// reorderings, gossip echoes) — all safely ignored.
+    pub fn stale_merges(&self) -> u64 {
+        self.stale_merges
+    }
+
+    /// Events ingested locally.
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
+    }
+
+    /// Canonical byte encoding of the *union* aggregate this replica
+    /// currently believes in: per cell, counts summed across all origins,
+    /// cells and domains in sorted order. Two replicas hold the same view
+    /// if and only if their `merged_bytes` are identical — the convergence
+    /// check the whole crate is built around.
+    pub fn merged_bytes(&self) -> Vec<u8> {
+        let mut union: BTreeMap<CellKey, BTreeMap<&str, u64>> = BTreeMap::new();
+        for ((_, cell), vc) in &self.merged {
+            let slot = union.entry(*cell).or_default();
+            for (domain, count) in &vc.counts {
+                *slot.entry(domain.as_str()).or_insert(0) += count;
+            }
+        }
+        let mut buf = Vec::new();
+        for (cell, counts) in &union {
+            if counts.is_empty() {
+                continue;
+            }
+            buf.extend_from_slice(&cell.packed());
+            buf.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+            for (domain, count) in counts {
+                buf.extend_from_slice(&(domain.len() as u16).to_le_bytes());
+                buf.extend_from_slice(domain.as_bytes());
+                buf.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Serializes the replica into a `wwv-snap` checkpoint. Every cell
+    /// payload reuses the checksummed delta encoding, so a damaged
+    /// checkpoint fails typed at restore rather than resurrecting garbage.
+    pub fn checkpoint(&self) -> Bytes {
+        let mut w = SnapshotWriter::new();
+        let mut meta = vec![self.id, self.peers.len() as u8 + 1];
+        // The ingest counter reflects persisted counts, so it rides along;
+        // the merge diagnostics (applied/stale) are process-lifetime only.
+        meta.extend_from_slice(&self.events_ingested.to_le_bytes());
+        w.add_chunk(CHUNK_META, b"replica", &meta);
+        for ((origin, cell), vc) in &self.merged {
+            let delta = Delta {
+                origin: *origin,
+                cell: *cell,
+                version: vc.version,
+                counts: vc.counts.clone(),
+            };
+            let mut key = vec![*origin];
+            key.extend_from_slice(&cell.packed());
+            w.add_chunk(CHUNK_CELL, &key, &delta.encode());
+        }
+        let mut acks: Vec<u8> = Vec::with_capacity(self.acked.len() * 13);
+        let mut rows: Vec<(u8, CellKey, u64)> =
+            self.acked.iter().map(|((p, c), v)| (*p, *c, *v)).collect();
+        rows.sort_by_key(|(p, c, _)| (*p, c.packed()));
+        for (peer, cell, version) in rows {
+            acks.push(peer);
+            acks.extend_from_slice(&cell.packed());
+            acks.extend_from_slice(&version.to_le_bytes());
+        }
+        w.add_chunk(CHUNK_ACK, b"acks", &acks);
+        let sealed: Vec<u8> = self.sealed.iter().map(|m| m.index() as u8).collect();
+        w.add_chunk(CHUNK_SEAL, b"sealed", &sealed);
+        let mut retired = Vec::with_capacity(self.retired.len() * 4);
+        for cell in &self.retired {
+            retired.extend_from_slice(&cell.packed());
+        }
+        w.add_chunk(CHUNK_RETIRED, b"retired", &retired);
+        w.finish()
+    }
+
+    /// Restores a replica from a [`Replica::checkpoint`], verifying every
+    /// chunk checksum and every cell payload end to end.
+    pub fn restore(bytes: Bytes) -> Result<Replica, RestoreError> {
+        let snap = SnapshotFile::parse(bytes).map_err(RestoreError::Snap)?;
+        snap.verify_all().map_err(RestoreError::Snap)?;
+        let meta = snap
+            .find(CHUNK_META, b"replica")
+            .map_err(RestoreError::Snap)?
+            .ok_or(RestoreError::Malformed("missing replica meta chunk"))?;
+        if meta.len() != 10 {
+            return Err(RestoreError::Malformed("meta chunk is not 10 bytes"));
+        }
+        let mut replica = Replica::new(meta[0], meta[1]);
+        replica.events_ingested =
+            u64::from_le_bytes(meta[2..10].try_into().expect("8-byte counter"));
+        for (i, entry) in snap.entries().iter().enumerate() {
+            if entry.kind != CHUNK_CELL {
+                continue;
+            }
+            let payload = snap.payload(i).map_err(RestoreError::Snap)?;
+            let delta = Delta::decode(&payload).map_err(RestoreError::Delta)?;
+            replica.merged.insert((delta.origin, delta.cell), delta.into_versioned());
+        }
+        if let Some(acks) = snap.find(CHUNK_ACK, b"acks").map_err(RestoreError::Snap)? {
+            if acks.len() % 13 != 0 {
+                return Err(RestoreError::Malformed("ack rows are 13 bytes each"));
+            }
+            for row in acks.chunks_exact(13) {
+                let cell = CellKey::unpack(&row[1..5])
+                    .ok_or(RestoreError::Malformed("bad cell key in ack row"))?;
+                let version =
+                    u64::from_le_bytes(row[5..13].try_into().expect("8-byte version"));
+                replica.acked.insert((row[0], cell), version);
+            }
+        }
+        if let Some(sealed) = snap.find(CHUNK_SEAL, b"sealed").map_err(RestoreError::Snap)? {
+            for idx in sealed.iter() {
+                let month = crate::state::month_from_index(*idx)
+                    .ok_or(RestoreError::Malformed("bad month index in seal chunk"))?;
+                replica.sealed.insert(month);
+            }
+        }
+        if let Some(retired) = snap.find(CHUNK_RETIRED, b"retired").map_err(RestoreError::Snap)? {
+            if retired.len() % 4 != 0 {
+                return Err(RestoreError::Malformed("retired rows are 4 bytes each"));
+            }
+            for row in retired.chunks_exact(4) {
+                let cell = CellKey::unpack(row)
+                    .ok_or(RestoreError::Malformed("bad cell key in retired chunk"))?;
+                replica.retired.insert(cell);
+            }
+        }
+        Ok(replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::Platform;
+
+    fn batch(client: u64, domain: &str, loads: u64, fg: u64) -> ClientBatch {
+        let mut events = Vec::new();
+        for _ in 0..loads {
+            events.push(TelemetryEvent::PageLoadCompleted { domain: domain.to_owned() });
+        }
+        if fg > 0 {
+            events.push(TelemetryEvent::ForegroundTime { domain: domain.to_owned(), millis: fg });
+        }
+        ClientBatch {
+            client_id: client,
+            country: 1,
+            platform: Platform::Windows,
+            month: Month::reference(),
+            events,
+        }
+    }
+
+    fn loads_cell() -> CellKey {
+        CellKey {
+            country: 1,
+            platform: Platform::Windows,
+            metric: Metric::PageLoads,
+            month: Month::reference(),
+        }
+    }
+
+    #[test]
+    fn ingest_maps_events_to_metric_cells_and_filters_privacy() {
+        let mut r = Replica::new(0, 1);
+        let mut b = batch(9, "site.example", 3, 250);
+        b.events.push(TelemetryEvent::PageLoadCompleted { domain: "localhost".to_owned() });
+        b.events.push(TelemetryEvent::PageLoadInitiated { domain: "site.example".to_owned() });
+        r.ingest_batch(&b);
+        let loads = r.merged.get(&(0, loads_cell())).expect("loads cell");
+        assert_eq!(loads.counts.get("site.example"), Some(&3));
+        assert_eq!(loads.counts.get("localhost"), None, "non-public dropped");
+        assert_eq!(loads.version, 1);
+        let fg_cell = CellKey { metric: Metric::TimeOnPage, ..loads_cell() };
+        let fg = r.merged.get(&(0, fg_cell)).expect("fg cell");
+        assert_eq!(fg.counts.get("site.example"), Some(&250));
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative_and_version_monotone() {
+        let mut a = Replica::new(0, 2);
+        a.ingest_batch(&batch(1, "one.example", 2, 0));
+        a.ingest_batch(&batch(2, "two.example", 1, 0));
+        let deltas = a.deltas_for(1);
+        assert_eq!(deltas.len(), 1, "one touched cell");
+
+        let mut fwd = Replica::new(1, 2);
+        let mut rev = Replica::new(1, 2);
+        for d in &deltas {
+            fwd.apply_delta(d.clone());
+        }
+        for d in deltas.iter().rev() {
+            rev.apply_delta(d.clone());
+        }
+        assert_eq!(fwd.merged_bytes(), rev.merged_bytes(), "commutative");
+
+        let before = fwd.merged_bytes();
+        for d in &deltas {
+            fwd.apply_delta(d.clone()); // duplicate delivery
+        }
+        assert_eq!(fwd.merged_bytes(), before, "idempotent");
+        assert_eq!(fwd.stale_merges(), 1);
+
+        // A stale (older-version) delta can never regress the state.
+        let mut old = deltas[0].clone();
+        old.version = 1;
+        old.counts.clear();
+        fwd.apply_delta(old);
+        assert_eq!(fwd.merged_bytes(), before, "stale delta ignored");
+    }
+
+    #[test]
+    fn acks_gate_retransmission() {
+        let mut a = Replica::new(0, 2);
+        a.ingest_batch(&batch(1, "one.example", 2, 0));
+        let d = a.deltas_for(1).remove(0);
+        assert_eq!(a.deltas_for(1).len(), 1, "unacked: offered again");
+        a.record_ack(1, d.cell, d.version);
+        assert!(a.deltas_for(1).is_empty(), "acked: nothing owed");
+        a.ingest_batch(&batch(2, "one.example", 1, 0));
+        assert_eq!(a.deltas_for(1).len(), 1, "new version: owed again");
+    }
+
+    #[test]
+    fn gc_retires_only_sealed_fully_acked_cells() {
+        let mut a = Replica::new(0, 3);
+        a.ingest_batch(&batch(1, "one.example", 2, 0));
+        let cell = loads_cell();
+        let version = a.merged.get(&(0, cell)).expect("cell").version;
+        assert_eq!(a.gc_sealed(Month::reference()), 0, "not sealed yet");
+        a.seal(Month::reference());
+        assert_eq!(a.gc_sealed(Month::reference()), 0, "no acks yet");
+        a.record_ack(1, cell, version);
+        assert_eq!(a.gc_sealed(Month::reference()), 0, "peer 2 missing");
+        a.record_ack(2, cell, version);
+        assert_eq!(a.gc_sealed(Month::reference()), 1, "fully acked: retired");
+        assert!(a.deltas_for(1).is_empty() && a.deltas_for(2).is_empty());
+        assert_eq!(a.gc_sealed(Month::reference()), 0, "gc is idempotent");
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_exactly() {
+        let mut a = Replica::new(1, 3);
+        a.ingest_batch(&batch(1, "one.example", 2, 500));
+        a.ingest_batch(&batch(2, "two.example", 4, 0));
+        let mut peer = Replica::new(0, 3);
+        peer.ingest_batch(&batch(3, "three.example", 1, 0));
+        for d in peer.deltas_for(1) {
+            a.apply_delta(d);
+        }
+        a.record_ack(0, loads_cell(), 1);
+        a.seal(Month::September2021);
+        let restored = Replica::restore(a.checkpoint()).expect("restore");
+        assert_eq!(restored.id(), 1);
+        assert_eq!(restored.merged, a.merged);
+        assert_eq!(restored.acked, a.acked);
+        assert_eq!(restored.sealed, a.sealed);
+        assert_eq!(restored.merged_bytes(), a.merged_bytes());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fails_typed() {
+        let mut a = Replica::new(0, 2);
+        a.ingest_batch(&batch(1, "one.example", 2, 0));
+        let bytes = a.checkpoint();
+        let mut bad = bytes.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let err = Replica::restore(Bytes::from(bad)).expect_err("corruption must fail");
+        // Either the container or the cell payload catches it — both typed.
+        match err {
+            RestoreError::Snap(_) | RestoreError::Delta(_) => {}
+            RestoreError::Malformed(w) => panic!("unexpected malformed: {w}"),
+        }
+    }
+
+    #[test]
+    fn forget_acks_forces_full_retransmit() {
+        let mut a = Replica::new(0, 2);
+        a.ingest_batch(&batch(1, "one.example", 2, 0));
+        let d = a.deltas_for(1).remove(0);
+        a.record_ack(1, d.cell, d.version);
+        assert!(a.deltas_for(1).is_empty());
+        a.forget_acks_from(1);
+        assert_eq!(a.deltas_for(1).len(), 1, "crashed peer is re-sent everything");
+    }
+}

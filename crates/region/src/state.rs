@@ -1,0 +1,149 @@
+//! Replication cells: the unit of versioning, delta exchange, and GC.
+//!
+//! A *cell* is one `(country, platform, metric, month)` corner of the
+//! monthly aggregate. Each replica keeps, per `(origin, cell)`, a
+//! version-stamped partial count map. The version is bumped by the origin
+//! on every local mutation and never by anyone else, so a delta tagged
+//! `(origin, version)` identifies one exact state of one replica's partial
+//! — the property the idempotent merge in [`crate::replica`] builds on.
+
+use std::collections::BTreeMap;
+use wwv_world::{Metric, Month, Platform};
+
+/// One replication cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Country index (into `wwv_world::COUNTRIES`).
+    pub country: u8,
+    /// Platform.
+    pub platform: Platform,
+    /// Metric the counts feed.
+    pub metric: Metric,
+    /// Month of the aggregate.
+    pub month: Month,
+}
+
+impl CellKey {
+    /// Canonical 4-byte encoding — the wire and snapshot key for the cell.
+    /// Derived `Ord` on the struct and byte order of `packed` agree, so
+    /// sorted iteration and sorted encodings line up.
+    pub fn packed(&self) -> [u8; 4] {
+        [
+            self.country,
+            platform_code(self.platform),
+            metric_code(self.metric),
+            self.month.index() as u8,
+        ]
+    }
+
+    /// Decodes a [`CellKey::packed`] encoding. `None` on any bad code.
+    pub fn unpack(bytes: &[u8]) -> Option<CellKey> {
+        if bytes.len() != 4 {
+            return None;
+        }
+        Some(CellKey {
+            country: bytes[0],
+            platform: platform_from_code(bytes[1])?,
+            metric: metric_from_code(bytes[2])?,
+            month: month_from_index(bytes[3])?,
+        })
+    }
+}
+
+/// Wire code for a platform.
+pub fn platform_code(p: Platform) -> u8 {
+    match p {
+        Platform::Windows => 0,
+        Platform::Android => 1,
+    }
+}
+
+/// Platform for a wire code.
+pub fn platform_from_code(code: u8) -> Option<Platform> {
+    match code {
+        0 => Some(Platform::Windows),
+        1 => Some(Platform::Android),
+        _ => None,
+    }
+}
+
+/// Wire code for a metric.
+pub fn metric_code(m: Metric) -> u8 {
+    match m {
+        Metric::PageLoads => 0,
+        Metric::TimeOnPage => 1,
+    }
+}
+
+/// Metric for a wire code.
+pub fn metric_from_code(code: u8) -> Option<Metric> {
+    match code {
+        0 => Some(Metric::PageLoads),
+        1 => Some(Metric::TimeOnPage),
+        _ => None,
+    }
+}
+
+/// Month for a chronological index.
+pub fn month_from_index(index: u8) -> Option<Month> {
+    Month::ALL.get(index as usize).copied()
+}
+
+/// One replica's partial aggregate for one cell, stamped with the version
+/// the origin assigned to this exact state. Counts are a `BTreeMap` so
+/// every encoding of the cell is canonical (domain-sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionedCounts {
+    /// Origin-assigned version: bumped on every local mutation, frozen
+    /// once the month is sealed.
+    pub version: u64,
+    /// Per-domain counts (page loads or foreground milliseconds).
+    pub counts: BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrips_every_cell() {
+        for country in [0u8, 7, 200] {
+            for platform in Platform::ALL {
+                for metric in Metric::ALL {
+                    for month in Month::ALL {
+                        let cell = CellKey { country, platform, metric, month };
+                        assert_eq!(CellKey::unpack(&cell.packed()), Some(cell));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_bad_codes_and_lengths() {
+        assert_eq!(CellKey::unpack(&[0, 2, 0, 0]), None, "bad platform");
+        assert_eq!(CellKey::unpack(&[0, 0, 9, 0]), None, "bad metric");
+        assert_eq!(CellKey::unpack(&[0, 0, 0, 6]), None, "bad month");
+        assert_eq!(CellKey::unpack(&[0, 0, 0]), None, "short");
+        assert_eq!(CellKey::unpack(&[0, 0, 0, 0, 0]), None, "long");
+    }
+
+    #[test]
+    fn derived_order_matches_packed_byte_order() {
+        let mut cells = Vec::new();
+        for country in [0u8, 1, 9] {
+            for platform in Platform::ALL {
+                for metric in Metric::ALL {
+                    for month in [Month::September2021, Month::February2022] {
+                        cells.push(CellKey { country, platform, metric, month });
+                    }
+                }
+            }
+        }
+        let mut by_derive = cells.clone();
+        by_derive.sort();
+        let mut by_bytes = cells;
+        by_bytes.sort_by_key(|c| c.packed());
+        assert_eq!(by_derive, by_bytes);
+    }
+}

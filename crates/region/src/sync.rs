@@ -1,0 +1,309 @@
+//! The delta wire format and sync plans.
+//!
+//! A delta carries one `(origin, cell)` partial **in full** at one version
+//! — not an increment. That choice is what makes the merge idempotent and
+//! duplication-safe: applying the same delta twice, or applying version 7
+//! after version 9, changes nothing. The frame is checksummed end to end,
+//! so a corrupted delta decodes to a typed [`DeltaError`] instead of
+//! poisoning a replica's state; the sender simply retransmits (no ack) on
+//! the next round.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "WWVD" | origin u8 | cell packed [u8;4] | version u64 | n u32
+//!        | n × (len u16 | domain utf8 | count u64) | fnv1a64 u64
+//! ```
+
+use crate::state::{CellKey, VersionedCounts};
+use std::collections::BTreeMap;
+use std::fmt;
+use wwv_snap::fnv1a64;
+
+/// Leading magic of a delta frame.
+pub const DELTA_MAGIC: &[u8; 4] = b"WWVD";
+
+/// Smallest possible frame: magic + header + count + checksum.
+const MIN_FRAME: usize = 4 + 1 + 4 + 8 + 4 + 8;
+
+/// One replication delta: a full cell partial at one version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Replica that owns (and versioned) this partial.
+    pub origin: u8,
+    /// The cell.
+    pub cell: CellKey,
+    /// Origin-assigned version of this state.
+    pub version: u64,
+    /// The full per-domain counts at that version.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl Delta {
+    /// Encodes the delta into a checksummed wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(MIN_FRAME + self.counts.len() * 24);
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.push(self.origin);
+        buf.extend_from_slice(&self.cell.packed());
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for (domain, count) in &self.counts {
+            let bytes = domain.as_bytes();
+            debug_assert!(bytes.len() <= u16::MAX as usize, "domain too long for wire");
+            buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            buf.extend_from_slice(bytes);
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a wire frame. Every failure is typed; the checksum is
+    /// verified before any structure is trusted, so in-flight corruption
+    /// surfaces as [`DeltaError::Checksum`] rather than garbage counts.
+    pub fn decode(frame: &[u8]) -> Result<Delta, DeltaError> {
+        if frame.len() >= 4 && &frame[..4] != DELTA_MAGIC {
+            return Err(DeltaError::Magic);
+        }
+        if frame.len() < MIN_FRAME {
+            return Err(DeltaError::Truncated);
+        }
+        let (body, tail) = frame.split_at(frame.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(body) != stored {
+            return Err(DeltaError::Checksum);
+        }
+        // The checksum matched, so the frame is exactly what the sender
+        // built: any structural inconsistency from here on is Malformed.
+        let mut at = 4;
+        let origin = body[at];
+        at += 1;
+        let cell_bytes = &body[at..at + 4];
+        at += 4;
+        let cell = CellKey::unpack(cell_bytes).ok_or_else(|| {
+            if cell_bytes[1] > 1 {
+                DeltaError::BadPlatform(cell_bytes[1])
+            } else if cell_bytes[2] > 1 {
+                DeltaError::BadMetric(cell_bytes[2])
+            } else {
+                DeltaError::BadMonth(cell_bytes[3])
+            }
+        })?;
+        let version = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+        at += 8;
+        let n = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes")) as usize;
+        at += 4;
+        let mut counts = BTreeMap::new();
+        for _ in 0..n {
+            if at + 2 > body.len() {
+                return Err(DeltaError::Malformed("domain length overruns frame"));
+            }
+            let len = u16::from_le_bytes(body[at..at + 2].try_into().expect("2 bytes")) as usize;
+            at += 2;
+            if at + len + 8 > body.len() {
+                return Err(DeltaError::Malformed("domain entry overruns frame"));
+            }
+            let domain = std::str::from_utf8(&body[at..at + len])
+                .map_err(|_| DeltaError::Malformed("domain is not utf-8"))?
+                .to_owned();
+            at += len;
+            let count = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+            at += 8;
+            if counts.insert(domain, count).is_some() {
+                return Err(DeltaError::Malformed("duplicate domain in delta"));
+            }
+        }
+        if at != body.len() {
+            return Err(DeltaError::Malformed("trailing bytes after entries"));
+        }
+        Ok(Delta { origin, cell, version, counts })
+    }
+
+    /// View of the payload as a [`VersionedCounts`].
+    pub fn into_versioned(self) -> VersionedCounts {
+        VersionedCounts { version: self.version, counts: self.counts }
+    }
+}
+
+/// Typed decode failures for a delta frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Frame shorter than the minimum layout.
+    Truncated,
+    /// Leading magic is not `WWVD`.
+    Magic,
+    /// End-to-end checksum mismatch (bit corruption or mid-frame cut).
+    Checksum,
+    /// Unknown platform code.
+    BadPlatform(u8),
+    /// Unknown metric code.
+    BadMetric(u8),
+    /// Unknown month index.
+    BadMonth(u8),
+    /// Checksum passed but the structure is inconsistent.
+    Malformed(&'static str),
+}
+
+impl DeltaError {
+    /// Stable short name, used as an obs counter suffix.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DeltaError::Truncated => "truncated",
+            DeltaError::Magic => "magic",
+            DeltaError::Checksum => "checksum",
+            DeltaError::BadPlatform(_) => "bad_platform",
+            DeltaError::BadMetric(_) => "bad_metric",
+            DeltaError::BadMonth(_) => "bad_month",
+            DeltaError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Truncated => write!(f, "delta frame truncated"),
+            DeltaError::Magic => write!(f, "not a delta frame (bad magic)"),
+            DeltaError::Checksum => write!(f, "delta checksum mismatch"),
+            DeltaError::BadPlatform(c) => write!(f, "unknown platform code {c}"),
+            DeltaError::BadMetric(c) => write!(f, "unknown metric code {c}"),
+            DeltaError::BadMonth(c) => write!(f, "unknown month index {c}"),
+            DeltaError::Malformed(what) => write!(f, "malformed delta: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// How a sync round orders (and routes) delta exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPlan {
+    /// Canonical order: replica 0's sends first, peers in id order.
+    Order,
+    /// Deterministic seeded shuffle of the round's sends — exercises the
+    /// claim that merge order is irrelevant.
+    Shuffle,
+    /// The replica set is split in two halves that cannot reach each other
+    /// while ingest is running; the partition heals afterwards.
+    Partition,
+}
+
+impl SyncPlan {
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<SyncPlan> {
+        match name {
+            "order" => Some(SyncPlan::Order),
+            "shuffle" => Some(SyncPlan::Shuffle),
+            "partition" => Some(SyncPlan::Partition),
+            _ => None,
+        }
+    }
+
+    /// Stable CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncPlan::Order => "order",
+            SyncPlan::Shuffle => "shuffle",
+            SyncPlan::Partition => "partition",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwv_world::{Metric, Month, Platform};
+
+    fn sample() -> Delta {
+        Delta {
+            origin: 2,
+            cell: CellKey {
+                country: 5,
+                platform: Platform::Android,
+                metric: Metric::TimeOnPage,
+                month: Month::December2021,
+            },
+            version: 41,
+            counts: BTreeMap::from([
+                ("news.example".to_owned(), 1_200),
+                ("video.example".to_owned(), 88),
+            ]),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let d = sample();
+        assert_eq!(Delta::decode(&d.encode()).expect("roundtrip"), d);
+        let empty = Delta { counts: BTreeMap::new(), ..sample() };
+        assert_eq!(Delta::decode(&empty.encode()).expect("empty roundtrip"), empty);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Same logical delta built in any insertion order encodes
+        // identically (BTreeMap sorts domains).
+        let mut a = sample();
+        a.counts = BTreeMap::new();
+        a.counts.insert("zz.example".to_owned(), 1);
+        a.counts.insert("aa.example".to_owned(), 2);
+        let mut b = sample();
+        b.counts = BTreeMap::new();
+        b.counts.insert("aa.example".to_owned(), 2);
+        b.counts.insert("zz.example".to_owned(), 1);
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let frame = sample().encode();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let err = Delta::decode(&bad).expect_err("flip must not decode clean");
+                assert!(
+                    matches!(err, DeltaError::Checksum | DeltaError::Magic),
+                    "byte {byte} bit {bit}: unexpected {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let frame = sample().encode();
+        for cut in 0..frame.len() {
+            let err = Delta::decode(&frame[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(err, DeltaError::Truncated | DeltaError::Checksum),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_codes_are_typed_when_authentically_sent() {
+        // A sender that legitimately signs a frame with unknown codes (a
+        // version skew, not corruption) gets a Bad* error, not Checksum.
+        let mut body = Vec::new();
+        body.extend_from_slice(DELTA_MAGIC);
+        body.push(0);
+        body.extend_from_slice(&[0, 7, 0, 0]); // platform code 7
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let sum = fnv1a64(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(Delta::decode(&body), Err(DeltaError::BadPlatform(7)));
+    }
+
+    #[test]
+    fn plan_names_roundtrip() {
+        for plan in [SyncPlan::Order, SyncPlan::Shuffle, SyncPlan::Partition] {
+            assert_eq!(SyncPlan::parse(plan.name()), Some(plan));
+        }
+        assert_eq!(SyncPlan::parse("ring"), None);
+    }
+}

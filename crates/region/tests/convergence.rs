@@ -1,0 +1,178 @@
+//! Convergence gate for multi-region replication: any delta delivery
+//! permutation — including duplicates, faulted wires, and a crashed then
+//! restored replica — must yield merged monthly aggregates byte-identical
+//! to the single-collector build. Run by name from `scripts/verify.sh`.
+//!
+//! The plain `#[test]` sweeps below enumerate deterministic seeded
+//! permutations so the gate also runs in environments where proptest
+//! generation is unavailable; the `proptest!` block widens the same
+//! property over generated orders.
+
+use proptest::prelude::*;
+use wwv_fault::{points, FaultKind, FaultPlan, FaultRule};
+use wwv_region::{
+    partitioned_ingest, raw_deltas, run_region, Delta, RegionConfig, Replica, SyncPlan,
+};
+use wwv_world::{World, WorldConfig};
+
+fn world() -> World {
+    World::new(WorldConfig::small())
+}
+
+fn cfg(seed: u64, replicas: usize) -> RegionConfig {
+    RegionConfig {
+        seed,
+        replicas,
+        ticks: 4,
+        countries: 2,
+        clients_per_tick: 8,
+        ..RegionConfig::default()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = splitmix64(seed);
+    for i in (1..items.len()).rev() {
+        state = splitmix64(state);
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Applies `deltas` to every replica in the given order (each replica sees
+/// the ones addressed to it) and asserts all of them land byte-identical
+/// to the reference.
+fn assert_converges(
+    replicas: &mut [Replica],
+    reference: &Replica,
+    deltas: &[(u8, Delta)],
+    label: &str,
+) {
+    for (peer, delta) in deltas {
+        replicas[*peer as usize].apply_delta(delta.clone());
+    }
+    let target = reference.merged_bytes();
+    for r in replicas.iter() {
+        assert_eq!(r.merged_bytes(), target, "{label}: replica {} diverged", r.id());
+    }
+}
+
+#[test]
+fn every_seeded_permutation_with_duplicates_converges() {
+    let world = world();
+    for replicas_n in [2usize, 3, 5] {
+        let (template, reference) = partitioned_ingest(&world, &cfg(0xC0FFEE, replicas_n));
+        let base = raw_deltas(&template);
+        assert!(!base.is_empty());
+        for perm_seed in 0..12u64 {
+            let mut deltas = base.clone();
+            // Duplicate every third delta, then shuffle the whole stream:
+            // redelivery in an arbitrary interleaving.
+            let dups: Vec<_> = deltas.iter().step_by(3).cloned().collect();
+            deltas.extend(dups);
+            shuffle(&mut deltas, perm_seed);
+            let mut fresh = template.clone();
+            assert_converges(
+                &mut fresh,
+                &reference,
+                &deltas,
+                &format!("n={replicas_n} perm={perm_seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_faults_converge_under_every_plan() {
+    let world = world();
+    for plan in [SyncPlan::Order, SyncPlan::Shuffle, SyncPlan::Partition] {
+        for kind in [
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Delay(1),
+        ] {
+            for point in [points::REGION_SYNC_SEND, points::REGION_SYNC_RECV] {
+                let faults = FaultPlan::new(0xFA11)
+                    .with(FaultRule { point, kind, rate: 0.3 });
+                let config = RegionConfig { plan, ..cfg(0xBEEF, 3) };
+                let report = run_region(&world, &config, &faults);
+                assert!(
+                    report.converged,
+                    "{}/{:?}@{point} diverged after {} extra rounds",
+                    plan.name(),
+                    kind,
+                    report.convergence_rounds
+                );
+                assert_eq!(report.decode_errors, 0, "recovery faults never corrupt");
+                assert_eq!(report.pending_after_gc, 0, "GC drained the bookkeeping");
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_faults_surface_typed_and_still_converge() {
+    let world = world();
+    for kind in [FaultKind::BitFlip, FaultKind::Truncate] {
+        let faults = FaultPlan::new(0xBAD)
+            .with(FaultRule { point: points::REGION_SYNC_SEND, kind, rate: 0.25 });
+        let report = run_region(&world, &cfg(0xFEED, 3), &faults);
+        assert!(report.converged, "{kind:?} diverged");
+        assert!(
+            report.decode_errors > 0,
+            "{kind:?} at 25% must surface typed decode errors"
+        );
+        assert_eq!(report.pending_after_gc, 0);
+    }
+}
+
+#[test]
+fn crashed_then_restored_replica_converges_under_drops() {
+    let world = world();
+    let faults = FaultPlan::new(0xC4A5)
+        .with(FaultRule { point: points::REGION_SYNC_SEND, kind: FaultKind::Drop, rate: 0.2 });
+    let config = RegionConfig {
+        crash_replica: Some(1),
+        crash_tick: 2,
+        ..cfg(0xD00D, 3)
+    };
+    let report = run_region(&world, &config, &faults);
+    assert_eq!(report.crash_restores, 1, "the crash must actually happen");
+    assert!(report.converged, "catch-up from the wwv-snap checkpoint failed");
+    assert_eq!(report.pending_after_gc, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated delivery order of the full delta stream (with a
+    /// generated duplicate fraction) converges byte-identically.
+    #[test]
+    fn generated_permutations_converge(
+        seed in 0u64..u64::MAX / 2,
+        replicas_n in 2usize..5,
+        dup_stride in 2usize..6,
+    ) {
+        let world = World::new(WorldConfig::small());
+        let (template, reference) = partitioned_ingest(&world, &cfg(seed, replicas_n));
+        let mut deltas = raw_deltas(&template);
+        let dups: Vec<_> = deltas.iter().step_by(dup_stride).cloned().collect();
+        deltas.extend(dups);
+        shuffle(&mut deltas, seed ^ 0x5eed);
+        let mut fresh = template.clone();
+        for (peer, delta) in &deltas {
+            fresh[*peer as usize].apply_delta(delta.clone());
+        }
+        let target = reference.merged_bytes();
+        for r in &fresh {
+            prop_assert_eq!(&r.merged_bytes(), &target, "replica {} diverged", r.id());
+        }
+    }
+}

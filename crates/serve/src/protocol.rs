@@ -56,6 +56,15 @@ pub enum ProtoError {
     },
     /// Payload is structurally invalid.
     Malformed(&'static str),
+    /// A field exceeds what its length prefix can carry. Surfaced at
+    /// *encode* time: emitting the frame anyway would wrap the length byte
+    /// and silently corrupt the stream.
+    TooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// Actual length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -64,6 +73,9 @@ impl fmt::Display for ProtoError {
             ProtoError::Incomplete => write!(f, "incomplete frame"),
             ProtoError::FrameTooLarge { len } => write!(f, "frame of {len} bytes exceeds limit"),
             ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtoError::TooLarge { what, len } => {
+                write!(f, "{what} of {len} bytes exceeds length prefix")
+            }
         }
     }
 }
@@ -72,11 +84,17 @@ impl std::error::Error for ProtoError {}
 
 // ---- primitive helpers -------------------------------------------------
 
-fn put_str8(out: &mut BytesMut, s: &str) {
+fn put_str8(out: &mut BytesMut, s: &str, what: &'static str) -> Result<(), ProtoError> {
     let bytes = s.as_bytes();
-    debug_assert!(bytes.len() <= u8::MAX as usize);
+    // A release build used to wrap this cast silently (`len as u8`),
+    // emitting a frame whose length byte lied about the payload; the
+    // overflow is now a typed encode error on every profile.
+    if bytes.len() > u8::MAX as usize {
+        return Err(ProtoError::TooLarge { what, len: bytes.len() });
+    }
     out.put_u8(bytes.len() as u8);
     out.put_slice(bytes);
+    Ok(())
 }
 
 fn get_str8(p: &mut Bytes) -> Result<String, ProtoError> {
@@ -133,12 +151,13 @@ fn month_from(idx: u8) -> Result<Month, ProtoError> {
     Month::ALL.get(idx as usize).copied().ok_or(ProtoError::Malformed("bad month index"))
 }
 
-fn put_list_key(out: &mut BytesMut, key: &ListKey) {
-    put_str8(out, &key.snapshot);
+fn put_list_key(out: &mut BytesMut, key: &ListKey) -> Result<(), ProtoError> {
+    put_str8(out, &key.snapshot, "snapshot label")?;
     out.put_u8(key.country);
     out.put_u8(platform_tag(key.platform));
     out.put_u8(metric_tag(key.metric));
     out.put_u8(key.month.index() as u8);
+    Ok(())
 }
 
 fn get_list_key(p: &mut Bytes) -> Result<ListKey, ProtoError> {
@@ -227,70 +246,126 @@ fn opcode_of(query: &Query) -> u8 {
     }
 }
 
-fn put_query_body(p: &mut BytesMut, query: &Query) {
+fn str8_fits(s: &str, what: &'static str) -> Result<(), ProtoError> {
+    if s.len() > u8::MAX as usize {
+        Err(ProtoError::TooLarge { what, len: s.len() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Rejects any query whose variable-size fields overflow their length
+/// prefixes. Running this *before* the body is written keeps the buffered
+/// pipelined encoder rollback-free: once it passes, [`put_query_body`]
+/// cannot fail.
+fn check_query(query: &Query) -> Result<(), ProtoError> {
+    match query {
+        Query::Ping => Ok(()),
+        Query::TopK { key, .. } => str8_fits(&key.snapshot, "snapshot label"),
+        Query::SiteRank { key, domain } | Query::RankBucket { key, domain } => {
+            str8_fits(&key.snapshot, "snapshot label")?;
+            str8_fits(domain, "domain")
+        }
+        Query::SiteProfile { snapshot, domain, .. } => {
+            str8_fits(snapshot, "snapshot label")?;
+            str8_fits(domain, "domain")
+        }
+        Query::Rbo { a, b, .. } => {
+            str8_fits(&a.snapshot, "snapshot label")?;
+            str8_fits(&b.snapshot, "snapshot label")
+        }
+        Query::Concentration { key, depths } => {
+            str8_fits(&key.snapshot, "snapshot label")?;
+            if depths.len() > u8::MAX as usize {
+                return Err(ProtoError::TooLarge { what: "depth list", len: depths.len() });
+            }
+            Ok(())
+        }
+    }
+}
+
+fn put_query_body(p: &mut BytesMut, query: &Query) -> Result<(), ProtoError> {
     match query {
         Query::Ping => {}
         Query::TopK { key, k } => {
-            put_list_key(p, key);
+            put_list_key(p, key)?;
             p.put_u32_le(*k);
         }
         Query::SiteRank { key, domain } => {
-            put_list_key(p, key);
-            put_str8(p, domain);
+            put_list_key(p, key)?;
+            put_str8(p, domain, "domain")?;
         }
         Query::RankBucket { key, domain } => {
-            put_list_key(p, key);
-            put_str8(p, domain);
+            put_list_key(p, key)?;
+            put_str8(p, domain, "domain")?;
         }
         Query::SiteProfile { snapshot, platform, metric, month, domain } => {
-            put_str8(p, snapshot);
+            put_str8(p, snapshot, "snapshot label")?;
             p.put_u8(platform_tag(*platform));
             p.put_u8(metric_tag(*metric));
             p.put_u8(month.index() as u8);
-            put_str8(p, domain);
+            put_str8(p, domain, "domain")?;
         }
         Query::Rbo { a, b, depth, p_permille } => {
-            put_list_key(p, a);
-            put_list_key(p, b);
+            put_list_key(p, a)?;
+            put_list_key(p, b)?;
             p.put_u32_le(*depth);
             p.put_u16_le(*p_permille);
         }
         Query::Concentration { key, depths } => {
-            put_list_key(p, key);
-            debug_assert!(depths.len() <= u8::MAX as usize);
+            put_list_key(p, key)?;
+            if depths.len() > u8::MAX as usize {
+                return Err(ProtoError::TooLarge { what: "depth list", len: depths.len() });
+            }
             p.put_u8(depths.len() as u8);
             for d in depths {
                 p.put_u32_le(*d);
             }
         }
     }
+    Ok(())
 }
 
 /// Encodes a request frame. Byte-identical to the pre-extension encoding.
-pub fn encode_request(id: u64, query: &Query) -> Bytes {
+/// Fails with [`ProtoError::TooLarge`] if a string field overflows its
+/// length prefix — nothing corrupt is ever emitted.
+pub fn encode_request(id: u64, query: &Query) -> Result<Bytes, ProtoError> {
     encode_request_traced(id, query, None)
 }
 
 /// Encodes a request frame, optionally carrying a trace id in the
 /// extension block. `trace: None` emits a legacy frame.
-pub fn encode_request_traced(id: u64, query: &Query, trace: Option<u64>) -> Bytes {
+pub fn encode_request_traced(
+    id: u64,
+    query: &Query,
+    trace: Option<u64>,
+) -> Result<Bytes, ProtoError> {
     let mut buf = BytesMut::with_capacity(64);
-    encode_request_traced_into(&mut buf, id, query, trace);
-    buf.freeze()
+    encode_request_traced_into(&mut buf, id, query, trace)?;
+    Ok(buf.freeze())
 }
 
 /// [`encode_request_traced`] appending the frame to an existing buffer: the
 /// length prefix is back-patched after the body is written, so a pipelined
 /// burst encodes straight into one write buffer with no per-request frame
-/// allocation.
-pub fn encode_request_traced_into(buf: &mut BytesMut, id: u64, query: &Query, trace: Option<u64>) {
+/// allocation. An oversized field is rejected *before* a single byte is
+/// written, so a failed encode never leaves a half-written frame in a
+/// pipelined burst.
+pub fn encode_request_traced_into(
+    buf: &mut BytesMut,
+    id: u64,
+    query: &Query,
+    trace: Option<u64>,
+) -> Result<(), ProtoError> {
+    check_query(query)?;
     let at = buf.len();
     buf.put_u32_le(0);
     buf.put_u64_le(id);
     put_tagged(buf, opcode_of(query), trace);
-    put_query_body(buf, query);
+    put_query_body(buf, query)?;
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
 /// A decoded request plus its extension metadata.
@@ -379,13 +454,21 @@ const KIND_RBO: u8 = 5;
 const KIND_CONCENTRATION: u8 = 6;
 
 /// Encodes a response frame. Byte-identical to the pre-extension encoding.
-pub fn encode_response(id: u64, response: &Response) -> Bytes {
+/// Fails with [`ProtoError::TooLarge`] if a string field overflows its
+/// length prefix. Error responses always encode (their message is
+/// truncated to the `u16` prefix, never rejected), so a failed encode can
+/// itself be reported to the peer as a typed error frame.
+pub fn encode_response(id: u64, response: &Response) -> Result<Bytes, ProtoError> {
     encode_response_traced(id, response, None)
 }
 
 /// Encodes a response frame, optionally echoing a trace id in the
 /// extension block. `trace: None` emits a legacy frame.
-pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) -> Bytes {
+pub fn encode_response_traced(
+    id: u64,
+    response: &Response,
+    trace: Option<u64>,
+) -> Result<Bytes, ProtoError> {
     let mut p = BytesMut::with_capacity(64);
     p.put_u64_le(id);
     match response {
@@ -405,7 +488,7 @@ pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) 
                     p.put_u32_le(entries.len() as u32);
                     for e in entries {
                         p.put_u32_le(e.rank);
-                        put_str8(&mut p, &e.domain);
+                        put_str8(&mut p, &e.domain, "domain")?;
                         p.put_u64_le(e.count);
                         p.put_f64_le(e.share);
                     }
@@ -434,19 +517,25 @@ pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) 
                 }
                 Response::SiteProfile(profile) => {
                     p.put_u8(KIND_SITE_PROFILE);
-                    put_str8(&mut p, &profile.domain);
+                    put_str8(&mut p, &profile.domain, "domain")?;
                     p.put_u32_le(profile.present_in);
                     match (profile.best_rank, &profile.best_country) {
                         (Some(rank), Some(code)) => {
                             p.put_u8(1);
                             p.put_u32_le(rank);
-                            put_str8(&mut p, code);
+                            put_str8(&mut p, code, "country code")?;
                         }
                         _ => p.put_u8(0),
                     }
+                    if profile.ranks.len() > u16::MAX as usize {
+                        return Err(ProtoError::TooLarge {
+                            what: "rank list",
+                            len: profile.ranks.len(),
+                        });
+                    }
                     p.put_u16_le(profile.ranks.len() as u16);
                     for (code, rank) in &profile.ranks {
-                        put_str8(&mut p, code);
+                        put_str8(&mut p, code, "country code")?;
                         p.put_u32_le(*rank);
                     }
                 }
@@ -456,6 +545,12 @@ pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) 
                 }
                 Response::Concentration(info) => {
                     p.put_u8(KIND_CONCENTRATION);
+                    if info.depths.len() > u8::MAX as usize {
+                        return Err(ProtoError::TooLarge {
+                            what: "depth list",
+                            len: info.depths.len(),
+                        });
+                    }
                     p.put_u8(info.depths.len() as u8);
                     for d in &info.depths {
                         p.put_u32_le(*d);
@@ -470,7 +565,7 @@ pub fn encode_response_traced(id: u64, response: &Response, trace: Option<u64>) 
             }
         }
     }
-    frame(p)
+    Ok(frame(p))
 }
 
 /// A decoded response plus its extension metadata.
@@ -696,7 +791,7 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         for (i, q) in sample_queries().into_iter().enumerate() {
-            let mut bytes = encode_request(i as u64, &q);
+            let mut bytes = encode_request(i as u64, &q).expect("encodes");
             let (id, back) = decode_request(&mut bytes).expect("decodes");
             assert_eq!(id, i as u64);
             assert_eq!(back, q);
@@ -707,7 +802,7 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         for (i, r) in sample_responses().into_iter().enumerate() {
-            let mut bytes = encode_response(i as u64, &r);
+            let mut bytes = encode_response(i as u64, &r).expect("encodes");
             let (id, back) = decode_response(&mut bytes).expect("decodes");
             assert_eq!(id, i as u64);
             assert_eq!(back, r);
@@ -719,7 +814,7 @@ mod tests {
     fn back_to_back_frames_stream() {
         let mut stream = BytesMut::new();
         for (i, q) in sample_queries().into_iter().enumerate() {
-            stream.extend_from_slice(&encode_request(i as u64, &q));
+            stream.extend_from_slice(&encode_request(i as u64, &q).expect("encodes"));
         }
         let mut stream = stream.freeze();
         for i in 0..sample_queries().len() {
@@ -731,12 +826,12 @@ mod tests {
 
     #[test]
     fn truncation_never_panics_and_errors() {
-        let full = encode_request(9, &sample_queries()[5]);
+        let full = encode_request(9, &sample_queries()[5]).expect("encodes");
         for cut in 0..full.len() {
             let mut prefix = full.slice(0..cut);
             assert!(decode_request(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
         }
-        let full = encode_response(9, &sample_responses()[7]);
+        let full = encode_response(9, &sample_responses()[7]).expect("encodes");
         for cut in 0..full.len() {
             let mut prefix = full.slice(0..cut);
             assert!(decode_response(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
@@ -746,7 +841,7 @@ mod tests {
     #[test]
     fn corrupt_bytes_yield_typed_errors() {
         // Unknown opcode (bit 7 clear, so it's not an extension frame).
-        let mut raw = BytesMut::from(&encode_request(1, &Query::Ping)[..]);
+        let mut raw = BytesMut::from(&encode_request(1, &Query::Ping).expect("encodes")[..]);
         raw[12] = 0x6E; // opcode sits after len(4) + id(8)
         assert!(matches!(
             decode_request(&mut raw.freeze()),
@@ -760,7 +855,7 @@ mod tests {
             Err(ProtoError::FrameTooLarge { .. })
         ));
         // Trailing garbage inside the declared payload.
-        let good = encode_request(1, &Query::Ping);
+        let good = encode_request(1, &Query::Ping).expect("encodes");
         let mut raw = BytesMut::from(&good[..]);
         let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) + 1;
         raw[0..4].copy_from_slice(&len.to_le_bytes());
@@ -770,7 +865,7 @@ mod tests {
             Err(ProtoError::Malformed("trailing request bytes"))
         ));
         // Unknown error status on a response (bit 7 clear).
-        let mut raw = BytesMut::from(&encode_response(1, &sample_responses()[11])[..]);
+        let mut raw = BytesMut::from(&encode_response(1, &sample_responses()[11]).expect("encodes")[..]);
         raw[12] = 0x6E; // status byte
         assert!(matches!(
             decode_response(&mut raw.freeze()),
@@ -782,7 +877,7 @@ mod tests {
     fn traced_frames_roundtrip_with_metadata() {
         for (i, q) in sample_queries().into_iter().enumerate() {
             let trace = 0xDEAD_BEEF_0000 + i as u64;
-            let mut bytes = encode_request_traced(i as u64, &q, Some(trace));
+            let mut bytes = encode_request_traced(i as u64, &q, Some(trace)).expect("encodes");
             let meta = decode_request_meta(&mut bytes).expect("decodes");
             assert_eq!(meta.id, i as u64);
             assert_eq!(meta.query, q);
@@ -790,7 +885,7 @@ mod tests {
             assert!(bytes.is_empty(), "frame fully consumed");
         }
         for (i, r) in sample_responses().into_iter().enumerate() {
-            let mut bytes = encode_response_traced(i as u64, &r, Some(7));
+            let mut bytes = encode_response_traced(i as u64, &r, Some(7)).expect("encodes");
             let meta = decode_response_meta(&mut bytes).expect("decodes");
             assert_eq!(meta.id, i as u64);
             assert_eq!(meta.response, r);
@@ -805,7 +900,7 @@ mod tests {
         // the pre-extension encoding — old decoders keep working unchanged.
         for (i, q) in sample_queries().into_iter().enumerate() {
             assert_eq!(encode_request(i as u64, &q), encode_request_traced(i as u64, &q, None));
-            let frame = encode_request(i as u64, &q);
+            let frame = encode_request(i as u64, &q).expect("encodes");
             assert_eq!(frame[12] & FLAG_EXT, 0, "legacy opcode carries no ext bit");
         }
         for (i, r) in sample_responses().into_iter().enumerate() {
@@ -818,14 +913,14 @@ mod tests {
 
     #[test]
     fn unknown_extension_bits_are_rejected_not_skipped() {
-        let mut raw = BytesMut::from(&encode_request_traced(1, &Query::Ping, Some(42))[..]);
+        let mut raw = BytesMut::from(&encode_request_traced(1, &Query::Ping, Some(42)).expect("encodes")[..]);
         // Extension-flags byte sits after len(4) + id(8) + opcode(1).
         raw[13] |= 0x40;
         assert!(matches!(
             decode_request(&mut raw.freeze()),
             Err(ProtoError::Malformed("unknown extension flag"))
         ));
-        let mut raw = BytesMut::from(&encode_response_traced(1, &Response::Pong, Some(42))[..]);
+        let mut raw = BytesMut::from(&encode_response_traced(1, &Response::Pong, Some(42)).expect("encodes")[..]);
         raw[13] |= 0x02;
         assert!(matches!(
             decode_response(&mut raw.freeze()),
@@ -835,12 +930,12 @@ mod tests {
 
     #[test]
     fn traced_frame_truncation_never_panics() {
-        let full = encode_request_traced(9, &sample_queries()[5], Some(0x1234_5678));
+        let full = encode_request_traced(9, &sample_queries()[5], Some(0x1234_5678)).expect("encodes");
         for cut in 0..full.len() {
             let mut prefix = full.slice(0..cut);
             assert!(decode_request(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
         }
-        let full = encode_response_traced(9, &sample_responses()[7], Some(0x1234_5678));
+        let full = encode_response_traced(9, &sample_responses()[7], Some(0x1234_5678)).expect("encodes");
         for cut in 0..full.len() {
             let mut prefix = full.slice(0..cut);
             assert!(decode_response(&mut prefix).is_err(), "prefix of {cut} bytes accepted");
@@ -848,8 +943,45 @@ mod tests {
     }
 
     #[test]
+    fn oversized_str8_is_typed_error_in_every_profile() {
+        // Regression: `put_str8` used to guard the `len as u8` cast with
+        // only a `debug_assert!`, so a release build wrapped a 256-byte
+        // domain to a length byte of 0 and emitted a corrupt frame. The
+        // overflow must now surface as `ProtoError::TooLarge` regardless
+        // of `debug_assertions` — this test runs in both profiles.
+        let domain: String = std::iter::repeat('a').take(256).collect();
+        let query = Query::SiteRank { key: key(), domain: domain.clone() };
+        assert_eq!(
+            encode_request(1, &query),
+            Err(ProtoError::TooLarge { what: "domain", len: 256 })
+        );
+        // The buffered pipelined encoder rolls back: no half-written frame.
+        let mut buf = BytesMut::new();
+        encode_request_traced_into(&mut buf, 1, &Query::Ping, None).expect("encodes");
+        let good = buf.len();
+        let err = encode_request_traced_into(&mut buf, 2, &query, Some(7));
+        assert_eq!(err, Err(ProtoError::TooLarge { what: "domain", len: 256 }));
+        assert_eq!(buf.len(), good, "failed encode must roll the buffer back");
+        // Responses are guarded the same way.
+        let resp = Response::TopK(vec![SiteEntry {
+            rank: 1,
+            domain,
+            count: 1,
+            share: 0.5,
+        }]);
+        assert_eq!(
+            encode_response(1, &resp),
+            Err(ProtoError::TooLarge { what: "domain", len: 256 })
+        );
+        // Error responses stay infallible (message uses a u16 prefix and
+        // truncates), so an encode failure is always reportable.
+        let msg: String = std::iter::repeat('x').take(70_000).collect();
+        encode_response(1, &Response::Error(ErrorCode::BadRequest, msg)).expect("encodes");
+    }
+
+    #[test]
     fn bad_enum_tags_rejected() {
-        let mut raw = BytesMut::from(&encode_request(2, &Query::TopK { key: key(), k: 5 })[..]);
+        let mut raw = BytesMut::from(&encode_request(2, &Query::TopK { key: key(), k: 5 }).expect("encodes")[..]);
         // Platform tag sits after len(4) + id(8) + op(1) + label len(1) + label(4) + country(1).
         raw[19] = 9;
         assert!(matches!(

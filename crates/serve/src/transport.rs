@@ -98,6 +98,18 @@ pub trait Transport {
     }
 }
 
+/// Encodes a response frame, downgrading an unencodable payload to a typed
+/// error *frame* so every accepted request is still answered. Error
+/// responses themselves always encode (`u16` message prefix, truncating),
+/// so the fallback cannot fail.
+fn encode_frame_or_error(id: u64, response: &Response, trace: Option<u64>) -> Bytes {
+    encode_response_traced(id, response, trace).unwrap_or_else(|e| {
+        wwv_obs::global().counter("serve.encode_errors").inc();
+        encode_response_traced(id, &Response::Error(ErrorCode::BadRequest, e.to_string()), trace)
+            .expect("error frames always encode")
+    })
+}
+
 /// Turns one request frame into one response frame against a handle.
 /// Shared by every transport backend; queue-level failures become typed
 /// error *responses* so no accepted frame ever goes unanswered. A trace id
@@ -117,7 +129,7 @@ pub fn dispatch_frame(handle: &ServeHandle, buf: &mut Bytes) -> Result<Bytes, Pr
         }
     };
     let t0 = Instant::now();
-    let frame = encode_response_traced(meta.id, &response, meta.trace);
+    let frame = encode_frame_or_error(meta.id, &response, meta.trace);
     if let (Some(id), Some(rec)) = (trace, handle.tracer()) {
         // Worker events are already recorded (the reply arrived), so the
         // serialize stage lands last in the causal timeline.
@@ -164,7 +176,7 @@ pub fn dispatch_batch(handle: &ServeHandle, metas: Vec<RequestMeta>) -> Vec<Byte
             let resp = resp.unwrap_or_else(|| {
                 Response::Error(ErrorCode::ShuttingDown, "server shutting down".to_owned())
             });
-            encode_response_traced(id, &resp, trace)
+            encode_frame_or_error(id, &resp, trace)
         })
         .collect();
     if let Some(rec) = handle.tracer() {
@@ -206,7 +218,7 @@ impl Transport for InProcTransport {
     ) -> Result<Response, TransportError> {
         self.next_id += 1;
         let sent = self.next_id;
-        let mut frame = encode_request_traced(sent, query, trace);
+        let mut frame = encode_request_traced(sent, query, trace)?;
         let mut reply = dispatch_frame(&self.handle, &mut frame)?;
         let meta = decode_response_meta(&mut reply)?;
         if meta.id != sent {
@@ -228,7 +240,7 @@ impl Transport for InProcTransport {
         let mut metas = Vec::with_capacity(queries.len());
         for (q, trace) in queries {
             self.next_id += 1;
-            let mut frame = encode_request_traced(self.next_id, q, *trace);
+            let mut frame = encode_request_traced(self.next_id, q, *trace)?;
             metas.push(decode_request_meta(&mut frame)?);
         }
         let mut out = Vec::with_capacity(queries.len());
@@ -282,7 +294,7 @@ impl Transport for FaultyInProcTransport {
         use wwv_fault::{points, FrameFate};
         self.next_id += 1;
         let sent = self.next_id;
-        let frame = encode_request_traced(sent, query, trace);
+        let frame = encode_request_traced(sent, query, trace)?;
         // Traced requests record which frame fate the plan injected, so the
         // analyzer can attribute a latency spike to its chaos event.
         let tid = trace.map(TraceId);
@@ -498,7 +510,7 @@ fn drain_frames(acc: &mut BytesMut, handle: &ServeHandle, stream: &mut TcpStream
             wwv_obs::global().counter("serve.tcp.bad_frames").inc();
             let err =
                 Response::Error(ErrorCode::BadRequest, "frame exceeds size limit".to_owned());
-            fatal = Some(encode_response(0, &err));
+            fatal = Some(encode_response(0, &err).expect("error frames always encode"));
             break;
         }
         if acc.len() < 4 + len {
@@ -511,7 +523,7 @@ fn drain_frames(acc: &mut BytesMut, handle: &ServeHandle, stream: &mut TcpStream
                 // Can't recover the request id from a malformed frame.
                 wwv_obs::global().counter("serve.tcp.bad_frames").inc();
                 let err = Response::Error(ErrorCode::BadRequest, e.to_string());
-                fatal = Some(encode_response(0, &err));
+                fatal = Some(encode_response(0, &err).expect("error frames always encode"));
                 break;
             }
         }
@@ -569,7 +581,7 @@ impl TcpClient {
         let mut buf = BytesMut::new();
         for q in queries {
             self.next_id += 1;
-            buf.extend_from_slice(&encode_request(self.next_id, q));
+            buf.extend_from_slice(&encode_request(self.next_id, q)?);
         }
         self.stream.write_all(&buf)?;
         let mut out = Vec::with_capacity(queries.len());
@@ -623,7 +635,7 @@ impl Transport for TcpClient {
     ) -> Result<Response, TransportError> {
         self.next_id += 1;
         let sent = self.next_id;
-        self.stream.write_all(&encode_request_traced(sent, query, trace))?;
+        self.stream.write_all(&encode_request_traced(sent, query, trace)?)?;
         let (got, response) = self.read_response()?;
         if got != sent {
             return Err(TransportError::IdMismatch { sent, got });
@@ -642,7 +654,7 @@ impl Transport for TcpClient {
         let mut buf = BytesMut::with_capacity(64 * queries.len());
         for (q, trace) in queries {
             self.next_id += 1;
-            encode_request_traced_into(&mut buf, self.next_id, q, *trace);
+            encode_request_traced_into(&mut buf, self.next_id, q, *trace)?;
         }
         self.stream.write_all(&buf)?;
         let mut out = Vec::with_capacity(queries.len());
@@ -757,7 +769,8 @@ mod tests {
         let tcp = TcpServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
         let mut raw = TcpStream::connect(tcp.local_addr()).expect("connect");
         raw.set_nodelay(true).unwrap();
-        let frame = crate::protocol::encode_request(42, &Query::TopK { key: us_key(), k: 4 });
+        let frame = crate::protocol::encode_request(42, &Query::TopK { key: us_key(), k: 4 })
+            .expect("encodes");
         let step = (frame.len() / 5).max(1);
         for piece in frame.chunks(step) {
             raw.write_all(piece).unwrap();

@@ -96,7 +96,7 @@ fn frozen_responses() -> Vec<(Bytes, u64, Response)> {
 fn legacy_request_bytes_are_frozen() {
     for (bytes, id, query) in frozen_requests() {
         assert_eq!(
-            encode_request(id, &query),
+            encode_request(id, &query).expect("encodes"),
             bytes,
             "encoder drifted from the frozen wire format for {query:?}"
         );
@@ -110,7 +110,7 @@ fn legacy_request_bytes_are_frozen() {
 fn legacy_response_bytes_are_frozen() {
     for (bytes, id, response) in frozen_responses() {
         assert_eq!(
-            encode_response(id, &response),
+            encode_response(id, &response).expect("encodes"),
             bytes,
             "encoder drifted from the frozen wire format for {response:?}"
         );
@@ -123,7 +123,7 @@ fn legacy_response_bytes_are_frozen() {
 #[test]
 fn traced_ping_frame_is_frozen() {
     // Extension layout: opcode|0x80, ext flags 0x01, u64 trace id LE.
-    let frame = encode_request_traced(7, &Query::Ping, Some(0x0102_0304_0506_0708));
+    let frame = encode_request_traced(7, &Query::Ping, Some(0x0102_0304_0506_0708)).expect("encodes");
     assert_eq!(frame, hex("12000000 0700000000000000 80 01 0807060504030201"));
     let meta = decode_request_meta(&mut frame.clone()).expect("decodes");
     assert_eq!(meta.trace, Some(0x0102_0304_0506_0708));
@@ -131,7 +131,8 @@ fn traced_ping_frame_is_frozen() {
 
 #[test]
 fn traced_request_survives_exhaustive_bit_flips() {
-    let full = encode_request_traced(11, &Query::SiteRank { key: key(), domain: "a.example".into() }, Some(0xABCD));
+    let full = encode_request_traced(11, &Query::SiteRank { key: key(), domain: "a.example".into() }, Some(0xABCD))
+        .expect("encodes");
     for pos in 4..full.len() {
         for bit in 0..8u8 {
             let mut raw = BytesMut::from(&full[..]);
@@ -147,7 +148,7 @@ fn traced_request_survives_exhaustive_bit_flips() {
 
 #[test]
 fn traced_response_survives_exhaustive_bit_flips() {
-    let full = encode_response_traced(11, &Response::RankBucket(Some(77)), Some(0xABCD));
+    let full = encode_response_traced(11, &Response::RankBucket(Some(77)), Some(0xABCD)).expect("encodes");
     for pos in 4..full.len() {
         for bit in 0..8u8 {
             let mut raw = BytesMut::from(&full[..]);
@@ -161,12 +162,12 @@ fn traced_response_survives_exhaustive_bit_flips() {
 
 #[test]
 fn traced_frames_survive_every_truncation() {
-    let req = encode_request_traced(3, &Query::TopK { key: key(), k: 50 }, Some(u64::MAX));
+    let req = encode_request_traced(3, &Query::TopK { key: key(), k: 50 }, Some(u64::MAX)).expect("encodes");
     for cut in 0..req.len() {
         let mut prefix = req.slice(0..cut);
         assert!(decode_request(&mut prefix).is_err(), "request prefix of {cut} bytes accepted");
     }
-    let resp = encode_response_traced(3, &Response::Pong, Some(u64::MAX));
+    let resp = encode_response_traced(3, &Response::Pong, Some(u64::MAX)).expect("encodes");
     for cut in 0..resp.len() {
         let mut prefix = resp.slice(0..cut);
         assert!(decode_response(&mut prefix).is_err(), "response prefix of {cut} bytes accepted");
@@ -178,8 +179,8 @@ fn length_extension_cannot_swallow_a_following_frame() {
     // Two back-to-back frames; growing the first frame's declared length
     // must not let its decode eat into the second frame silently.
     let mut stream = BytesMut::new();
-    stream.extend_from_slice(&encode_request_traced(1, &Query::Ping, Some(5)));
-    stream.extend_from_slice(&encode_request(2, &Query::Ping));
+    stream.extend_from_slice(&encode_request_traced(1, &Query::Ping, Some(5)).expect("encodes"));
+    stream.extend_from_slice(&encode_request(2, &Query::Ping).expect("encodes"));
     let grown = {
         let mut raw = stream.clone();
         let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) + 9;

@@ -122,8 +122,8 @@ fn assert_equivalent(zero: &QueryEngine, mat: &QueryEngine, queries: &[Query]) {
     for q in queries {
         let a = zero.execute(q);
         let b = mat.execute(q);
-        let wa = encode_response(7, &a);
-        let wb = encode_response(7, &b);
+        let wa = encode_response(7, &a).expect("encodes");
+        let wb = encode_response(7, &b).expect("encodes");
         assert_eq!(wa, wb, "wire divergence on {q:?}: {a:?} vs {b:?}");
     }
 }

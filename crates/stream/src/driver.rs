@@ -72,6 +72,10 @@ pub struct StreamReport {
     /// Full top-K rebuilds across all cells and metrics (the incremental
     /// path's miss count).
     pub topk_rebuilds: u64,
+    /// Retire-time underflow clamps across all cells and metrics: a
+    /// retiring bucket carried more count than the window total. Always
+    /// zero unless the ring and the totals have drifted apart.
+    pub retire_underflows: u64,
     /// Every anomaly flagged, in tick order.
     pub anomalies: Vec<AnomalyEvent>,
     /// Wall-clock duration of the run.
@@ -117,6 +121,7 @@ impl StreamReport {
                 "  \"snapshots_emitted\": {},\n",
                 "  \"last_snapshot_bytes\": {},\n",
                 "  \"topk_rebuilds\": {},\n",
+                "  \"retire_underflows\": {},\n",
                 "  \"elapsed_ms\": {},\n",
                 "  \"events_per_sec\": {:.1},\n",
                 "  \"tick_ms_p50\": {:.3},\n",
@@ -136,6 +141,7 @@ impl StreamReport {
             self.snapshots_emitted,
             self.last_snapshot_bytes,
             self.topk_rebuilds,
+            self.retire_underflows,
             self.elapsed_ms,
             self.events_per_sec,
             self.tick_ms_p50,
@@ -197,6 +203,7 @@ pub fn run(
         snapshots_emitted: 0,
         last_snapshot_bytes: 0,
         topk_rebuilds: 0,
+        retire_underflows: 0,
         anomalies: Vec::new(),
         elapsed_ms: 0,
         events_per_sec: 0.0,
@@ -347,6 +354,11 @@ pub fn run(
         .iter()
         .map(|m| m.lock().expect("cell aggregator lock").rebuilds())
         .sum();
+    report.retire_underflows = aggs
+        .iter()
+        .map(|m| m.lock().expect("cell aggregator lock").retire_underflow())
+        .sum();
+    reg.counter("stream.rolling.retire_underflow").add(report.retire_underflows);
     report.faults_fired = plan.fired_total();
     report.elapsed_ms = started.elapsed().as_millis() as u64;
     let secs = started.elapsed().as_secs_f64();

@@ -45,6 +45,7 @@ pub struct Rolling {
     bench: HashMap<u32, u64>,
     static_max: u64,
     rebuilds: u64,
+    retire_underflow: u64,
 }
 
 impl Rolling {
@@ -59,6 +60,7 @@ impl Rolling {
             bench: HashMap::new(),
             static_max: 0,
             rebuilds: 0,
+            retire_underflow: 0,
         }
     }
 
@@ -86,11 +88,24 @@ impl Rolling {
         }
         if let Some(r) = &retiring {
             for (&id, &n) in r {
-                if let Some(t) = self.totals.get_mut(&id) {
-                    *t = t.saturating_sub(n);
-                    if *t == 0 {
-                        self.totals.remove(&id);
+                match self.totals.get_mut(&id) {
+                    Some(t) => {
+                        // A retiring bucket can never carry more count than
+                        // the window total it once contributed to — if it
+                        // does, state has drifted. Clamp so the totals stay
+                        // non-negative, but *count* the clamp: a silent
+                        // saturating_sub here would mask the drift forever.
+                        if n > *t {
+                            self.retire_underflow += 1;
+                        }
+                        *t = t.saturating_sub(n);
+                        if *t == 0 {
+                            self.totals.remove(&id);
+                        }
                     }
+                    // The key's total is gone entirely while its bucket
+                    // entry still retires: the same drift, fully advanced.
+                    None => self.retire_underflow += 1,
                 }
             }
         }
@@ -164,6 +179,14 @@ impl Rolling {
     /// Full-rebuild count so far (the incremental path's miss rate).
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// Retire-time clamp count: how often a retiring bucket carried more
+    /// count than the window total (or a missing total). Nonzero means the
+    /// ring and the totals have drifted apart — always zero in a healthy
+    /// window.
+    pub fn retire_underflow(&self) -> u64 {
+        self.retire_underflow
     }
 
     /// Number of distinct keys currently in the window.
@@ -274,6 +297,11 @@ impl CellAggregator {
     pub fn rebuilds(&self) -> u64 {
         self.loads.rebuilds() + self.fg_ms.rebuilds()
     }
+
+    /// Total retire-time underflow clamps across both metric rings.
+    pub fn retire_underflow(&self) -> u64 {
+        self.loads.retire_underflow() + self.fg_ms.retire_underflow()
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +377,9 @@ mod tests {
         // something if both paths actually ran.
         assert!(fast.rebuilds() > 0, "rebuild path never exercised");
         assert!(fast.rebuilds() < 60, "incremental path never exercised");
+        // A healthy window never clamps at retire time: every retiring
+        // bucket count is exactly what it once contributed.
+        assert_eq!(fast.retire_underflow(), 0, "ring/totals drift detected");
     }
 
     #[test]
@@ -409,6 +440,29 @@ mod tests {
                     "divergence: window={window} k={k} keys={keys} tick={tick}"
                 );
             }
+            assert_eq!(
+                fast.retire_underflow(),
+                0,
+                "ring/totals drift: window={window} k={k} keys={keys}"
+            );
         }
+    }
+
+    #[test]
+    fn retire_underflow_counts_simulated_drift() {
+        // The counter must actually fire when state drifts. Simulate both
+        // drift shapes by corrupting the totals directly (the public API
+        // cannot produce them — that is the point of the counter).
+        let mut r = Rolling::new(2, 3);
+        r.push_bucket(HashMap::from([(1, 10), (2, 4)]));
+        // Drift shape 1: the total is smaller than what the bucket will
+        // retire. Shape 2: the total is gone entirely.
+        *r.totals.get_mut(&1).expect("key 1 tracked") = 3;
+        r.totals.remove(&2);
+        r.push_bucket(HashMap::new());
+        r.push_bucket(HashMap::new()); // retires tick 0: both keys clamp
+        assert_eq!(r.retire_underflow(), 2);
+        // Totals stay non-negative and the window keeps serving.
+        assert_eq!(r.top_k(3), vec![]);
     }
 }

@@ -234,6 +234,18 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic replica assignment for a client: which of `replicas`
+/// regional collectors ingests this client's batches. Hashing (rather than
+/// `client_id % replicas`) keeps the partition uncorrelated with how the
+/// generator allocates ids, and using the same SplitMix64 as the sampling
+/// path keeps the whole pipeline on one hash family. The invariant the
+/// region layer builds on: the union of the per-replica partitions is
+/// exactly the single-collector stream — every client lands on exactly one
+/// replica.
+pub fn client_partition(client_id: u64, replicas: usize) -> usize {
+    (splitmix64(client_id) % replicas.max(1) as u64) as usize
+}
+
 /// Deterministic keep/drop decision for one foreground event.
 fn keep_foreground(client_id: u64, seq: u64, keep_probability: f64) -> bool {
     let u = splitmix64(client_id ^ seq.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11;

@@ -43,6 +43,7 @@ pub mod upload;
 pub mod wire;
 
 pub use builder::DatasetBuilder;
+pub use collector::client_partition;
 pub use hll::HyperLogLog;
 pub use dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
 pub use event::{ClientBatch, TelemetryEvent};

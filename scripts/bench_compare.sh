@@ -11,9 +11,9 @@
 # gate passes with a note.
 set -eu
 
-OLD="${1:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
-NEW="${2:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
-KIND="${3:?usage: bench_compare.sh <old.json> <new.json> <serve|snap>}"
+OLD="${1:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
+NEW="${2:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
+KIND="${3:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
 LIMIT="${BENCH_DRIFT_LIMIT:-0.15}"
 
 # Tracked metrics per report kind, one per line: "<json_key> <direction>".
@@ -29,8 +29,13 @@ baseline_qps up"
         METRICS="snap_to_legacy_ratio down
 snap_read_ms down"
         ;;
+    region)
+        METRICS="deltas_per_sec up
+delta_to_full_ratio down
+delta_bytes down"
+        ;;
     *)
-        echo "bench_compare: unknown kind '$KIND' (serve|snap)" >&2
+        echo "bench_compare: unknown kind '$KIND' (serve|snap|region)" >&2
         exit 2
         ;;
 esac

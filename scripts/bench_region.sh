@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Multi-region replication benchmark: runs `wwv region` (3 replicas, the
+# canonical order plan) and records delta throughput (deltas/s), the wire
+# bytes shipped relative to a naive full-state exchange, and how many extra
+# sync rounds convergence needed after ingest stopped.
+#
+# Usage: scripts/bench_region.sh
+# Emits BENCH_region.json in the repo root (override with BENCH_OUT).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_region.json}"
+
+echo "==> cargo build --release --bin wwv"
+cargo build --release --bin wwv
+
+echo "==> wwv region --replicas 3 --sync-plan order --metrics-out $OUT"
+target/release/wwv region --replicas 3 --sync-plan order \
+    --ticks 8 --countries 4 --clients 24 --metrics-out "$OUT" > /dev/null
+
+field() {
+    awk -F: -v k="\"$1\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$OUT"
+}
+
+CONVERGED=$(field converged)
+DPS=$(field deltas_per_sec)
+RATIO=$(field delta_to_full_ratio)
+ROUNDS=$(field convergence_rounds)
+GC=$(field gc_cells)
+echo "==> wrote $OUT (deltas/s ${DPS}, delta/full-state ratio ${RATIO}, ${ROUNDS} extra rounds, ${GC} cells gc'd)"
+
+# Sanity bars: the run must converge, delta sync must actually move data,
+# and the bookkeeping must fully drain.
+[ "$CONVERGED" = "true" ] || {
+    echo "FAIL: region run did not converge" >&2
+    exit 1
+}
+awk -v d="$DPS" 'BEGIN { exit (d > 0 ? 0 : 1) }' || {
+    echo "FAIL: region run shipped no deltas (deltas_per_sec=$DPS)" >&2
+    exit 1
+}
+PENDING=$(field pending_after_gc)
+[ "$PENDING" = "0" ] || {
+    echo "FAIL: $PENDING deltas still owed after GC" >&2
+    exit 1
+}

@@ -65,6 +65,19 @@ cargo test -q -p wwv-serve --test trace_determinism
 echo "==> cargo test -q -p wwv-serve --test metrics_expo"
 cargo test -q -p wwv-serve --test metrics_expo
 
+# Multi-region replication gate, surfaced by name: any delta delivery
+# permutation (duplicates and a crashed-then-restored replica included)
+# must yield merged monthly aggregates byte-identical to the
+# single-collector build, under every sync plan and fault kind.
+echo "==> cargo test -q -p wwv-region --test convergence"
+cargo test -q -p wwv-region --test convergence
+
+# A region run end to end: 3 replicas, shuffled sync order — the command
+# exits nonzero if the replicas do not converge byte-identically.
+echo "==> wwv region --replicas 3 --sync-plan shuffle --metrics-out REGION_report.json"
+cargo run --release -q --bin wwv -- region --replicas 3 --sync-plan shuffle \
+    --ticks 6 --countries 3 --metrics-out REGION_report.json > /dev/null
+
 echo "==> wwv chaos --seed 42 --metrics-out CHAOS_matrix.json"
 cargo run --release -q --bin wwv -- chaos --seed 42 --metrics-out CHAOS_matrix.json > /dev/null
 

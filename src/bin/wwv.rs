@@ -22,6 +22,9 @@
 //! wwv stream    [--scenario seasonality|outage|flashcrowd] [--ticks N]
 //!               [--window N] [--tick-ms N] [--clock logical|wall]
 //!               [--out P.snap] [--serve] [--metrics-out P]
+//! wwv region    [--replicas N] [--sync-plan order|shuffle|partition]
+//!               [--ticks N] [--countries N] [--clients N] [--seed N]
+//!               [--metrics-out P]   # replicated collectors + convergence
 //! ```
 //!
 //! Most subcommands build the reduced-scale world on the fly (deterministic,
@@ -103,6 +106,8 @@ struct Args {
     pipeline: usize,
     watch_interval_ms: Option<u64>,
     bench: bool,
+    replicas: usize,
+    sync_plan: String,
 }
 
 fn parse_args() -> Args {
@@ -139,6 +144,8 @@ fn parse_args() -> Args {
         pipeline: 1,
         watch_interval_ms: None,
         bench: false,
+        replicas: 3,
+        sync_plan: "order".to_owned(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -203,6 +210,8 @@ fn parse_args() -> Args {
                 args.watch_interval_ms = iter.next().and_then(|v| v.parse().ok())
             }
             "--bench" => args.bench = true,
+            "--replicas" => args.replicas = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
+            "--sync-plan" => args.sync_plan = iter.next().unwrap_or(args.sync_plan),
             other => args.positional.push(other.to_owned()),
         }
     }
@@ -210,7 +219,7 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|trace|chaos> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|trace|chaos|stream|region> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
     eprintln!("       wwv snapshot migrate <in> <out> | wwv snapshot bench [--metrics-out PATH]");
     eprintln!("       wwv serve [--listen ADDR] [--snapshot PATH] [--watch-snapshot PATH]");
     eprintln!("                 [--zero-copy] [--shards N] [--watch-interval-ms N]");
@@ -222,6 +231,8 @@ fn usage() -> ! {
     eprintln!("       wwv stream [--scenario none|seasonality|outage|flashcrowd] [--ticks N] [--window N]");
     eprintln!("                  [--tick-ms N] [--clock logical|wall] [--out PATH.snap] [--serve]");
     eprintln!("                  [--countries N] [--clients N] [--shock-tick N] [--metrics-out PATH]");
+    eprintln!("       wwv region [--replicas N] [--sync-plan order|shuffle|partition] [--ticks N]");
+    eprintln!("                  [--countries N] [--clients N] [--seed N] [--metrics-out PATH]");
     std::process::exit(2)
 }
 
@@ -518,6 +529,41 @@ fn stream_cmd(args: &Args) {
     println!("{json}");
 }
 
+/// `wwv region`: run N replicated collectors over a deterministic
+/// partition of the client stream, sync them with versioned deltas under
+/// the chosen plan, and report whether every replica converged
+/// byte-identically to the single-collector build. Exits non-zero on
+/// divergence so scripts can gate on it.
+fn region_cmd(args: &Args) {
+    let Some(plan) = wwv::region::SyncPlan::parse(&args.sync_plan) else {
+        error!(target: "region", "--sync-plan takes order|shuffle|partition");
+        std::process::exit(2);
+    };
+    let config = wwv::region::RegionConfig {
+        seed: args.seed,
+        replicas: args.replicas.max(1),
+        plan,
+        ticks: args.ticks.max(1),
+        countries: args.stream_countries.clamp(1, 8),
+        clients_per_tick: args.clients.max(1),
+        ..wwv::region::RegionConfig::default()
+    };
+    info!(target: "region", "building world for region run";
+        replicas = config.replicas, plan = plan.name());
+    let world = build_world();
+    let report = wwv::region::run_region(&world, &config, &wwv::fault::FaultPlan::none());
+    let json = report.to_json();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, &json).expect("write region report");
+        info!(target: "region", "wrote region report to {path}");
+    }
+    println!("{json}");
+    if !report.converged {
+        error!(target: "region", "replicas did not converge to the single-collector build");
+        std::process::exit(1);
+    }
+}
+
 /// Builds the store `wwv serve` answers from. With `--zero-copy` the store
 /// is a [`SnapshotStore`](wwv::serve::SnapshotStore) answering every query
 /// type straight from the (checksum-verified) snapshot bytes — no
@@ -783,6 +829,7 @@ fn main() {
         "snapshot" => return snapshot_cmd(&args),
         "trace" => return trace_cmd(&args),
         "stream" => return stream_cmd(&args),
+        "region" => return region_cmd(&args),
         _ => {}
     }
 

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wwv_fault::{points, FaultKind, FaultPlan, FaultRule, RetryPolicy};
+use wwv_region::{run_region, RegionConfig, SyncPlan};
 use wwv_serve::query::{ErrorCode, Query, Response};
 use wwv_serve::server::{ServeError, Server, ServerConfig};
 use wwv_serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
@@ -760,6 +761,82 @@ fn stream_swap_chaos_cell(cfg: &ChaosConfig) -> CellResult {
     }
 }
 
+/// One multi-region replication cell: a faulted (or crashed) region run
+/// must still converge byte-identically to the single-collector build.
+/// Corruption kinds additionally must surface as typed decode errors —
+/// the frame checksum turning garbage into a counted, retransmitted miss.
+fn region_cell(
+    name: &'static str,
+    rule: FaultRule,
+    expect_typed: bool,
+    crash: bool,
+    cfg: &ChaosConfig,
+    salt: u64,
+) -> CellResult {
+    let world = World::new(WorldConfig {
+        global_pool: 150,
+        language_pool: 80,
+        regional_pool: 50,
+        national_pool: 300,
+        ..WorldConfig::default()
+    });
+    let plan = FaultPlan::new(cfg.seed ^ salt).with(rule);
+    let config = RegionConfig {
+        seed: cfg.seed,
+        replicas: 3,
+        plan: SyncPlan::Order,
+        ticks: 4,
+        countries: 2,
+        clients_per_tick: 6,
+        crash_replica: if crash { Some(1) } else { None },
+        crash_tick: 2,
+        ..RegionConfig::default()
+    };
+    let report = run_region(&world, &config, &plan);
+    let injected = plan.fired_at(rule.point);
+    let outcome = if !report.converged {
+        CellOutcome::Failed(format!(
+            "replicas diverged from the single-collector build after {} extra rounds",
+            report.convergence_rounds
+        ))
+    } else if crash && report.crash_restores != 1 {
+        CellOutcome::Failed("crash/restore cycle did not happen".to_owned())
+    } else if report.pending_after_gc != 0 {
+        CellOutcome::Failed(format!("{} deltas still owed after GC", report.pending_after_gc))
+    } else if expect_typed {
+        if report.decode_errors == 0 {
+            CellOutcome::Failed("corruption faults surfaced no typed decode errors".to_owned())
+        } else {
+            CellOutcome::TypedError
+        }
+    } else if report.decode_errors != 0 {
+        CellOutcome::Failed(format!(
+            "{} decode errors from a non-corrupting fault",
+            report.decode_errors
+        ))
+    } else {
+        CellOutcome::Recovered
+    };
+    CellResult {
+        name,
+        point: rule.point,
+        fault: rule.kind.name(),
+        rate: rule.rate,
+        injected,
+        outcome,
+        detail: format!(
+            "{} deltas sent, {} applied, {} stale, {} decode errors, {} gc'd, {} extra rounds, {} restores",
+            report.deltas_sent,
+            report.deltas_applied,
+            report.stale_merges,
+            report.decode_errors,
+            report.gc_cells,
+            report.convergence_rounds,
+            report.crash_restores,
+        ),
+    }
+}
+
 /// Runs the full fault matrix against a built dataset and returns the
 /// per-cell report. Deterministic in `cfg.seed`.
 pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
@@ -803,6 +880,18 @@ pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
     cells.push(worker_deadline_cell(cfg, &catalog));
     cells.push(overload_shed_cell(cfg, &catalog));
     cells.push(stream_swap_chaos_cell(cfg));
+
+    // Multi-region replication cells: deltas on the wire under fire.
+    let s = points::REGION_SYNC_SEND;
+    let r = points::REGION_SYNC_RECV;
+    let rule = |point, kind, rate| FaultRule { point, kind, rate };
+    cells.push(region_cell("region_sync_drop", rule(s, FaultKind::Drop, 0.3), false, false, cfg, 0x4E61));
+    cells.push(region_cell("region_sync_dup", rule(s, FaultKind::Duplicate, 0.3), false, false, cfg, 0x4E62));
+    cells.push(region_cell("region_sync_reorder", rule(r, FaultKind::Reorder, 0.4), false, false, cfg, 0x4E63));
+    cells.push(region_cell("region_sync_delay", rule(r, FaultKind::Delay(1), 0.3), false, false, cfg, 0x4E64));
+    cells.push(region_cell("region_sync_bitflip", rule(s, FaultKind::BitFlip, 0.25), true, false, cfg, 0x4E65));
+    cells.push(region_cell("region_sync_truncate", rule(s, FaultKind::Truncate, 0.25), true, false, cfg, 0x4E66));
+    cells.push(region_cell("region_crash_catchup", rule(s, FaultKind::Drop, 0.2), false, true, cfg, 0x4E67));
 
     ChaosReport { seed: cfg.seed, cells }
 }

@@ -13,6 +13,7 @@ pub use wwv_domains as domains;
 pub use wwv_fault as fault;
 pub use wwv_obs as obs;
 pub use wwv_par as par;
+pub use wwv_region as region;
 pub use wwv_serve as serve;
 pub use wwv_snap as snap;
 pub use wwv_stats as stats;

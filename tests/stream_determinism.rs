@@ -42,6 +42,10 @@ fn snapshot_sequence(scenario: Scenario, workers: usize, plan: &FaultPlan) -> Ve
     let mut sink = MemSink::new();
     let report = run(&world, &config, plan, &mut sink, &pool).expect("stream run failed");
     assert_eq!(report.snapshots_emitted, config.ticks, "one snapshot per tick");
+    assert_eq!(
+        report.retire_underflows, 0,
+        "rolling window drifted: retire-time clamps fired"
+    );
     sink.snapshots
 }
 
