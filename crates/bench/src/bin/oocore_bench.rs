@@ -1,0 +1,278 @@
+//! Out-of-core primitive throughput bench: drives each `wwv-oocore`
+//! component — the spill-to-disk work queue, the bloom-fronted seen
+//! tracker, and the external top-K run merger — through a synthetic
+//! paper-scale item stream under a fixed memory budget, and reports
+//! sustained items/second plus the spill accounting (peak tracked bytes,
+//! segments and bytes spilled, bloom hit/fallback counts).
+//!
+//! Usage:
+//!   oocore_bench [--scale small|full|paper] [--memory-budget BYTES]
+//!                [--spill-dir DIR] [--metrics-out PATH]
+//!
+//! `--scale paper` (the BENCH_oocore.json profile, frozen in
+//! BENCHMARKS.md) pushes 220M items total — 20M queue items, 100M seen
+//! probes over 1M distinct keys, 100M top-K entries — through a 64 MiB
+//! default budget, so every component spills for real. `small` is a
+//! seconds-long smoke with the same shape.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wwv_fault::FaultPlan;
+use wwv_obs::{error, info};
+use wwv_oocore::{
+    MemBudget, OocoreConfig, RunSpiller, SeenTracker, SpillEnv, SpillQueue,
+};
+
+/// Splitmix64: the deterministic item stream generator.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Parses a byte count with optional `k`/`m`/`g` suffix (`64m`, `512K`).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, shift) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 10),
+        'm' | 'M' => (&t[..t.len() - 1], 20),
+        'g' | 'G' => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    digits.parse::<usize>().ok().map(|n| n << shift)
+}
+
+struct BenchScale {
+    name: &'static str,
+    queue_items: u64,
+    seen_probes: u64,
+    seen_distinct: u64,
+    topk_entries: u64,
+}
+
+impl BenchScale {
+    fn parse(name: &str) -> Option<BenchScale> {
+        match name {
+            "small" => Some(BenchScale {
+                name: "small",
+                queue_items: 200_000,
+                seen_probes: 2_000_000,
+                seen_distinct: 50_000,
+                topk_entries: 2_000_000,
+            }),
+            "full" => Some(BenchScale {
+                name: "full",
+                queue_items: 2_000_000,
+                seen_probes: 10_000_000,
+                seen_distinct: 200_000,
+                topk_entries: 10_000_000,
+            }),
+            // The real target: 100M+ items through every spill path.
+            "paper" => Some(BenchScale {
+                name: "paper",
+                queue_items: 20_000_000,
+                seen_probes: 100_000_000,
+                seen_distinct: 1_000_000,
+                topk_entries: 100_000_000,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A fresh env per phase: each component gets the whole budget to itself,
+/// carved by the same percentage splits the dataset builder uses.
+fn env(dir: &std::path::Path, budget: usize) -> SpillEnv {
+    SpillEnv {
+        dir: dir.to_path_buf(),
+        budget: Arc::new(MemBudget::new(budget)),
+        plan: Arc::new(FaultPlan::none()),
+        max_attempts: 8,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = BenchScale::parse("paper").expect("paper scale exists");
+    let mut budget: usize = 64 << 20;
+    let mut spill_dir: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str).and_then(BenchScale::parse) {
+                    Some(s) => s,
+                    None => {
+                        error!(target: "oocore_bench", "--scale takes small|full|paper");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--memory-budget" => {
+                i += 1;
+                budget = match args.get(i).map(String::as_str).and_then(parse_bytes) {
+                    Some(b) if b > 0 => b,
+                    _ => {
+                        error!(target: "oocore_bench", "--memory-budget takes BYTES (k/m/g ok)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--spill-dir" => {
+                i += 1;
+                spill_dir = args.get(i).cloned();
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = args.get(i).cloned();
+            }
+            other => {
+                error!(target: "oocore_bench", "unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let dir = spill_dir.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("wwv-oocore-bench-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spill dir");
+    info!(target: "oocore_bench", "starting";
+        scale = scale.name, budget = budget, spill_dir = dir.display().to_string().as_str());
+
+    // Phase 1 — spill queue: push 16-byte items through the bounded buffer,
+    // then replay every one back in order.
+    let t = Instant::now();
+    let queue_env = env(&dir, budget);
+    let mut queue = SpillQueue::new(queue_env.clone(), "bench-queue", budget * 30 / 100);
+    for i in 0..scale.queue_items {
+        let word = splitmix64(i ^ 0x51EE);
+        let mut item = Vec::with_capacity(16);
+        item.extend_from_slice(&word.to_le_bytes());
+        item.extend_from_slice(&i.to_le_bytes());
+        queue.push(item).expect("queue push");
+    }
+    let mut replay = queue.finish().expect("queue finish");
+    let mut replayed = 0u64;
+    while replay.next_item().expect("queue replay").is_some() {
+        replayed += 1;
+    }
+    let queue_stats = replay.stats();
+    let queue_peak = queue_env.budget.peak();
+    drop(replay);
+    let queue_s = t.elapsed().as_secs_f64();
+    assert_eq!(replayed, scale.queue_items, "every queued item must replay");
+    info!(target: "oocore_bench", "queue phase done";
+        items = scale.queue_items, secs = format!("{queue_s:.2}").as_str(),
+        segments = queue_stats.spilled_segments);
+
+    // Phase 2 — seen tracker: a Zipf-free uniform probe stream over a
+    // pregenerated distinct-key pool; the tight shard allotment forces
+    // sorted-run spills so disk probes are part of the measured mix.
+    let pool: Vec<String> =
+        (0..scale.seen_distinct).map(|i| format!("site-{i}.example")).collect();
+    let cfg_for_bloom = OocoreConfig::new(budget, &dir);
+    let t = Instant::now();
+    let seen_env = env(&dir, budget);
+    let mut tracker = SeenTracker::new(
+        seen_env.clone(),
+        42,
+        cfg_for_bloom.bloom_bits_effective(),
+        256,
+        (budget / 32).max(4 << 10),
+    );
+    for i in 0..scale.seen_probes {
+        let key = &pool[(splitmix64(i ^ 0x5EE4) % scale.seen_distinct) as usize];
+        tracker.get_or_insert(key).expect("seen probe");
+    }
+    let seen_stats = tracker.stats();
+    let seen_len = tracker.len() as u64;
+    let seen_peak = seen_env.budget.peak();
+    drop(tracker);
+    let seen_s = t.elapsed().as_secs_f64();
+    assert!(seen_len <= scale.seen_distinct, "tracker over-assigned ids");
+    info!(target: "oocore_bench", "seen phase done";
+        probes = scale.seen_probes, secs = format!("{seen_s:.2}").as_str(),
+        distinct = seen_len, disk_probes = seen_stats.disk_probes);
+
+    // Phase 3 — external top-K: push (id, count) entries, spilling sorted
+    // runs, then merge every run down to the paper's 10K-entry head.
+    let t = Instant::now();
+    let topk_env = env(&dir, budget);
+    let mut spiller = RunSpiller::new(topk_env.clone(), "bench-topk", budget * 15 / 100);
+    for i in 0..scale.topk_entries {
+        let word = splitmix64(i ^ 0x709C);
+        spiller.push((word >> 32) as u32 % 5_000_000, word & 0xFFFF).expect("topk push");
+    }
+    let head = spiller.finish(10_000).expect("topk finish");
+    let topk_stats = spiller.stats();
+    let topk_peak = topk_env.budget.peak();
+    drop(spiller);
+    let topk_s = t.elapsed().as_secs_f64();
+    assert!(head.len() <= 10_000, "top-K head overflowed");
+    info!(target: "oocore_bench", "topk phase done";
+        entries = scale.topk_entries, secs = format!("{topk_s:.2}").as_str(),
+        runs = topk_stats.runs_spilled);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let total_items = scale.queue_items + scale.seen_probes + scale.topk_entries;
+    // Hand-rolled JSON: flat report, stable field order (see BENCHMARKS.md).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"budget_bytes\": {},\n",
+            "  \"total_items\": {},\n",
+            "  \"queue_items\": {},\n",
+            "  \"queue_events_per_sec\": {:.0},\n",
+            "  \"queue_spilled_segments\": {},\n",
+            "  \"queue_spilled_bytes\": {},\n",
+            "  \"queue_peak_bytes\": {},\n",
+            "  \"seen_probes\": {},\n",
+            "  \"seen_distinct\": {},\n",
+            "  \"seen_probes_per_sec\": {:.0},\n",
+            "  \"bloom_definite_new\": {},\n",
+            "  \"fp_fallbacks\": {},\n",
+            "  \"disk_probes\": {},\n",
+            "  \"seen_runs_spilled\": {},\n",
+            "  \"seen_peak_bytes\": {},\n",
+            "  \"topk_entries\": {},\n",
+            "  \"topk_entries_per_sec\": {:.0},\n",
+            "  \"topk_runs_spilled\": {},\n",
+            "  \"topk_spilled_bytes\": {},\n",
+            "  \"topk_peak_bytes\": {}\n",
+            "}}\n"
+        ),
+        scale.name,
+        budget,
+        total_items,
+        scale.queue_items,
+        scale.queue_items as f64 / queue_s.max(1e-9),
+        queue_stats.spilled_segments,
+        queue_stats.spilled_bytes,
+        queue_peak,
+        scale.seen_probes,
+        seen_len,
+        scale.seen_probes as f64 / seen_s.max(1e-9),
+        seen_stats.bloom_definite_new,
+        seen_stats.fp_fallbacks,
+        seen_stats.disk_probes,
+        seen_stats.runs_spilled,
+        seen_peak,
+        scale.topk_entries,
+        scale.topk_entries as f64 / topk_s.max(1e-9),
+        topk_stats.runs_spilled,
+        topk_stats.spilled_bytes,
+        topk_peak,
+    );
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, &json).expect("write oocore bench report");
+        info!(target: "oocore_bench", "wrote report to {path}");
+    }
+    print!("{json}");
+}

@@ -3,11 +3,19 @@
 //!
 //! Usage:
 //!   reproduce [--scale small|full] [--threads N] [--json PATH]
-//!             [--figures DIR] [--metrics-out PATH] [only-ids…]
+//!             [--figures DIR] [--metrics-out PATH]
+//!             [--out-of-core] [--memory-budget BYTES] [--spill-dir DIR]
+//!             [only-ids…]
 //!
 //! `--scale small` (default) runs on a reduced world in ~a minute;
 //! `--scale full` uses the paper-scale configuration (top-10K lists for all
 //! 45 countries across six months) and takes considerably longer.
+//! `--out-of-core` routes the dataset build through the bounded-memory
+//! collector (`wwv-oocore`): intermediate aggregation state is held under
+//! `--memory-budget` bytes (default 64 MiB) by spilling checksummed
+//! segments to `--spill-dir` (default: a per-process temp dir). The
+//! resulting dataset — and therefore every experiment row — is
+//! byte-identical to the in-memory build at any budget and thread count.
 //! `--threads N` sets the `wwv-par` worker count for the dataset build and
 //! the experiment battery (default: available parallelism; `1` forces the
 //! fully serial reference schedule — output is identical either way).
@@ -17,11 +25,26 @@
 //! Optional trailing arguments filter the *printed* rows to experiment-id
 //! prefixes (e.g. `F1 S4.5`); the JSON report always contains everything.
 
+use std::sync::Arc;
 use wwv_bench::{run_experiments, Scale};
 use wwv_core::{AnalysisContext, ExperimentReport, ReportRow};
+use wwv_fault::FaultPlan;
 use wwv_obs::{error, info};
+use wwv_oocore::OocoreConfig;
 use wwv_telemetry::DatasetBuilder;
 use wwv_world::World;
+
+/// Parses a byte count with optional `k`/`m`/`g` suffix (`64m`, `512K`).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, shift) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 10),
+        'm' | 'M' => (&t[..t.len() - 1], 20),
+        'g' | 'G' => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    digits.parse::<usize>().ok().map(|n| n << shift)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +53,9 @@ fn main() {
     let mut figures_dir: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
+    let mut out_of_core = false;
+    let mut memory_budget: usize = 64 << 20;
+    let mut spill_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,6 +92,21 @@ fn main() {
                 i += 1;
                 metrics_path = args.get(i).cloned();
             }
+            "--out-of-core" => out_of_core = true,
+            "--memory-budget" => {
+                i += 1;
+                memory_budget = match args.get(i).map(String::as_str).and_then(parse_bytes) {
+                    Some(b) if b > 0 => b,
+                    _ => {
+                        error!(target: "reproduce", "--memory-budget takes BYTES (k/m/g suffixes ok)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--spill-dir" => {
+                i += 1;
+                spill_dir = args.get(i).cloned();
+            }
             other => filters.push(other.to_owned()),
         }
         i += 1;
@@ -82,11 +123,37 @@ fn main() {
 
     let dataset = {
         let _span = wwv_obs::span!("collection");
-        DatasetBuilder::new(&world)
+        let builder = DatasetBuilder::new(&world)
             .base_volume(scale.base_volume)
             .client_threshold(scale.client_threshold)
-            .max_depth(scale.max_depth)
-            .build()
+            .max_depth(scale.max_depth);
+        if out_of_core {
+            let dir = spill_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("wwv-reproduce-oocore-{}", std::process::id()))
+                    .to_string_lossy()
+                    .into_owned()
+            });
+            info!(target: "reproduce", "out-of-core build";
+                budget = memory_budget, spill_dir = dir.as_str());
+            let cfg = OocoreConfig::new(memory_budget, dir.as_str());
+            let (ds, stats) = builder
+                .build_out_of_core(&cfg, Arc::new(FaultPlan::none()))
+                .unwrap_or_else(|e| {
+                    error!(target: "reproduce", "out-of-core build failed: {e}");
+                    std::process::exit(1);
+                });
+            info!(
+                target: "reproduce",
+                "out-of-core build done";
+                peak_bytes = stats.peak_bytes,
+                spilled_segments = stats.spilled_segments,
+                spilled_bytes = stats.spilled_bytes
+            );
+            ds
+        } else {
+            builder.build()
+        }
     };
     info!(
         target: "reproduce",

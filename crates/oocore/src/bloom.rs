@@ -1,0 +1,107 @@
+//! Seed-deterministic bloom filter.
+//!
+//! Fronts the exact seen tracker: `contains == false` proves a key was
+//! never inserted (blooms have no false negatives), letting the hot
+//! "definitely new" path skip the exact probe entirely. `contains == true`
+//! means *maybe* — the caller must fall back to the exact store. The bit
+//! positions are a pure function of `(seed, key)`, so the filter — and
+//! therefore the entire probe/fallback schedule — is identical across runs
+//! and worker counts.
+
+use wwv_snap::fnv1a64;
+
+/// Hash functions per key (classic double hashing).
+const HASHES: u32 = 4;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fixed-size bloom filter over string keys.
+#[derive(Debug)]
+pub struct Bloom {
+    seed: u64,
+    bits: Vec<u64>,
+    nbits: u64,
+}
+
+impl Bloom {
+    /// A filter with at least `bits` bits (rounded up to a whole word).
+    pub fn new(seed: u64, bits: usize) -> Bloom {
+        let words = bits.div_ceil(64).max(1);
+        Bloom { seed, bits: vec![0; words], nbits: (words * 64) as u64 }
+    }
+
+    fn positions(&self, key: &str) -> [u64; HASHES as usize] {
+        let h1 = splitmix64(fnv1a64(key.as_bytes()) ^ self.seed);
+        let h2 = splitmix64(h1 ^ 0xA076_1D64_78BD_642F) | 1;
+        let mut out = [0u64; HASHES as usize];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.nbits;
+        }
+        out
+    }
+
+    /// Marks a key as present.
+    pub fn insert(&mut self, key: &str) {
+        for pos in self.positions(key) {
+            self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+    }
+
+    /// `false` = definitely never inserted; `true` = maybe inserted.
+    pub fn contains(&self, key: &str) -> bool {
+        self.positions(key)
+            .iter()
+            .all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Heap bytes held by the bit array (what gets charged to the budget).
+    pub fn mem_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::new(7, 1 << 10);
+        let keys: Vec<String> = (0..200).map(|i| format!("site-{i}.example")).collect();
+        for k in &keys {
+            b.insert(k);
+        }
+        for k in &keys {
+            assert!(b.contains(k), "inserted key {k} must be maybe-present");
+        }
+    }
+
+    #[test]
+    fn tiny_filter_produces_false_positives() {
+        let mut b = Bloom::new(3, 64);
+        for i in 0..64 {
+            b.insert(&format!("k{i}"));
+        }
+        let fps = (0..1000).filter(|i| b.contains(&format!("fresh-{i}"))).count();
+        assert!(fps > 0, "a saturated 64-bit filter must report false positives");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Bloom::new(42, 512);
+        let mut b = Bloom::new(42, 512);
+        for i in 0..50 {
+            a.insert(&format!("d{i}"));
+            b.insert(&format!("d{i}"));
+        }
+        for i in 0..500 {
+            let k = format!("probe-{i}");
+            assert_eq!(a.contains(&k), b.contains(&k));
+        }
+    }
+}

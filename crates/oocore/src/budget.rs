@@ -1,0 +1,90 @@
+//! Shared memory-budget accounting.
+//!
+//! Every out-of-core component charges the bytes it holds against one
+//! [`MemBudget`] and releases them when the bytes are spilled or consumed.
+//! The budget does not allocate or enforce anything by itself — components
+//! enforce the bound by spilling when their allotment is exceeded — but the
+//! tracked `peak()` is what the `oocore_equivalence` gate asserts stays
+//! under `--memory-budget`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic current/peak byte accounting against a fixed limit.
+#[derive(Debug, Default)]
+pub struct MemBudget {
+    limit: u64,
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemBudget {
+    /// A budget with the given byte limit.
+    pub fn new(limit: usize) -> MemBudget {
+        MemBudget { limit: limit as u64, current: AtomicU64::new(0), peak: AtomicU64::new(0) }
+    }
+
+    /// Charges `n` bytes and folds the new total into the peak.
+    pub fn charge(&self, n: usize) {
+        let now = self.current.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `n` bytes (saturating: a release can never underflow).
+    pub fn release(&self, n: usize) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n as u64);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Currently charged bytes.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let b = MemBudget::new(100);
+        b.charge(40);
+        b.charge(30);
+        assert_eq!(b.current(), 70);
+        assert_eq!(b.peak(), 70);
+        b.release(50);
+        assert_eq!(b.current(), 20);
+        b.charge(10);
+        assert_eq!(b.peak(), 70, "peak must not fall on release");
+        assert_eq!(b.limit(), 100);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let b = MemBudget::new(10);
+        b.charge(5);
+        b.release(50);
+        assert_eq!(b.current(), 0);
+    }
+}

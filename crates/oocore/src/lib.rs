@@ -1,0 +1,252 @@
+//! Out-of-core aggregation primitives.
+//!
+//! The paper's aggregation runs over hundreds of millions of per-breakdown
+//! records — far more than a container's RAM. This crate provides the three
+//! building blocks that let the dataset build run under an explicit memory
+//! budget while staying **byte-identical** to the in-memory build:
+//!
+//! * [`SpillQueue`] — a hybrid RAM+disk work queue. Items buffer in RAM up
+//!   to an allotment, then spill as one checksummed, wwv-snap-framed
+//!   segment file; replay yields items in exact push order regardless of
+//!   how the budget carved them into segments.
+//! * [`SeenTracker`] — sharded first-appearance interning fronted by a
+//!   seed-deterministic bloom filter. A bloom "definitely new" skips the
+//!   exact probe entirely; a bloom false positive falls back to the exact
+//!   in-RAM shard and, when the shard has spilled, the exact on-disk run.
+//!   False positives are counted but can never change an assignment —
+//!   they only cost probe time (see DESIGN.md §16 for the argument).
+//! * [`RunSpiller`] — external top-K selection. Entries buffer up to an
+//!   allotment, spill as sorted runs, and [`RunSpiller::finish`] merges
+//!   the runs under the canonical `(count desc, id asc)` total order,
+//!   keeping only the top `k` at every step so merge state stays `O(k)`.
+//!
+//! All spill files share one format (a wwv-snap chunked container, so every
+//! truncation or bit flip at rest is a typed error) and one fault point,
+//! [`OOCORE_SPILL`]: spill writes are routed through a [`FaultPlan`], then
+//! read back and verified against the intended bytes. A faulted write is a
+//! counted retry; exhausting the retry cap is the typed
+//! [`OocoreError::SpillExhausted`] — never silent corruption.
+//!
+//! Every byte of intermediate aggregation state (queue buffers, shard
+//! tables, run buffers, and transient segment loads) is charged against a
+//! shared [`MemBudget`]; `peak()` after a build is the number the
+//! `oocore_equivalence` gate holds under `--memory-budget`.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub mod bloom;
+pub mod budget;
+pub mod queue;
+pub mod seen;
+pub mod segment;
+pub mod topk;
+
+pub use bloom::Bloom;
+pub use budget::MemBudget;
+pub use queue::{SpillQueue, SpillReplay};
+pub use seen::SeenTracker;
+pub use segment::{read_segment, write_segment};
+pub use topk::{merge_top_k, rank_cmp, RunSpiller};
+
+use wwv_fault::FaultPlan;
+use wwv_snap::SnapError;
+
+/// Fault-injection point for spill-segment writes (chaos matrix hook).
+/// Lives here rather than in `wwv_fault::points` because the point belongs
+/// to this subsystem, mirroring `wwv_stream::STREAM_INGEST`.
+pub const OOCORE_SPILL: &str = "oocore.spill";
+
+/// Errors from the out-of-core machinery. Corruption of at-rest spill
+/// segments is always surfaced as a typed error via the wwv-snap checksums;
+/// nothing is ever silently dropped or misread.
+#[derive(Debug)]
+pub enum OocoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A spill segment failed checksum or frame validation when read back.
+    Corrupt {
+        /// The segment file that failed to parse.
+        path: PathBuf,
+        /// The underlying typed snapshot error.
+        source: SnapError,
+    },
+    /// A spill write kept failing verification (injected or real fault on
+    /// every attempt) until the retry cap was exhausted.
+    SpillExhausted {
+        /// The segment file that could not be durably written.
+        path: PathBuf,
+        /// How many write attempts were made.
+        attempts: u32,
+    },
+    /// A decoded intermediate record did not have the expected shape. This
+    /// fires after checksum verification, so it indicates a logic error
+    /// rather than disk corruption.
+    Decode(&'static str),
+}
+
+impl fmt::Display for OocoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OocoreError::Io(e) => write!(f, "oocore io error: {e}"),
+            OocoreError::Corrupt { path, source } => {
+                write!(f, "corrupt spill segment {}: {source}", path.display())
+            }
+            OocoreError::SpillExhausted { path, attempts } => {
+                write!(
+                    f,
+                    "spill write to {} failed verification {attempts} times",
+                    path.display()
+                )
+            }
+            OocoreError::Decode(what) => write!(f, "malformed spilled record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OocoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocoreError::Io(e) => Some(e),
+            OocoreError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OocoreError {
+    fn from(e: std::io::Error) -> Self {
+        OocoreError::Io(e)
+    }
+}
+
+/// Configuration for an out-of-core build.
+#[derive(Debug, Clone)]
+pub struct OocoreConfig {
+    /// Peak bytes of tracked intermediate aggregation state. Spills keep
+    /// the tracked peak under this bound (see DESIGN.md §16 for what is
+    /// charged; the finished dataset itself is an output, not tracked).
+    pub memory_budget: usize,
+    /// Scratch directory for spill segments (created if absent; segment
+    /// files are removed as they are consumed).
+    pub spill_dir: PathBuf,
+    /// Bloom filter size in bits; 0 picks a budget-proportional default.
+    pub bloom_bits: usize,
+    /// Shard count for the seen tracker.
+    pub shards: usize,
+    /// Write attempts per spill segment before the typed
+    /// [`OocoreError::SpillExhausted`] gives up.
+    pub max_spill_attempts: u32,
+}
+
+impl OocoreConfig {
+    /// A config with default bloom/shard/retry settings.
+    pub fn new(memory_budget: usize, spill_dir: impl Into<PathBuf>) -> OocoreConfig {
+        OocoreConfig {
+            memory_budget,
+            spill_dir: spill_dir.into(),
+            bloom_bits: 0,
+            shards: 256,
+            max_spill_attempts: 8,
+        }
+    }
+
+    /// Effective bloom size: explicit if set, otherwise a tenth of the
+    /// budget (clamped to 4 KiB – 4 MiB of bits) so tight test budgets are
+    /// not eaten by the filter.
+    pub fn bloom_bits_effective(&self) -> usize {
+        if self.bloom_bits > 0 {
+            return self.bloom_bits;
+        }
+        let bytes = (self.memory_budget / 10).clamp(4 << 10, 4 << 20);
+        bytes * 8
+    }
+}
+
+/// Everything a spilling component needs to write segments: where, against
+/// which budget, through which fault plan, and how hard to retry.
+#[derive(Debug, Clone)]
+pub struct SpillEnv {
+    /// Scratch directory (must exist).
+    pub dir: PathBuf,
+    /// Shared budget every component charges.
+    pub budget: Arc<MemBudget>,
+    /// Fault plan consulted on every segment write at [`OOCORE_SPILL`].
+    pub plan: Arc<FaultPlan>,
+    /// Retry cap per segment write.
+    pub max_attempts: u32,
+}
+
+impl SpillEnv {
+    /// An env from a config: fresh budget, supplied plan.
+    pub fn new(cfg: &OocoreConfig, plan: Arc<FaultPlan>) -> SpillEnv {
+        SpillEnv {
+            dir: cfg.spill_dir.clone(),
+            budget: Arc::new(MemBudget::new(cfg.memory_budget)),
+            plan,
+            max_attempts: cfg.max_spill_attempts,
+        }
+    }
+}
+
+/// Counters accumulated across one out-of-core build, surfaced in CLI
+/// reports and asserted by the equivalence/chaos gates. All values are
+/// also mirrored to wwv-obs counters as they happen.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OocoreStats {
+    /// Configured budget.
+    pub budget_bytes: u64,
+    /// Peak tracked intermediate state.
+    pub peak_bytes: u64,
+    /// Spill segments written (queue + seen runs + top-K runs).
+    pub spilled_segments: u64,
+    /// Total bytes written to spill segments.
+    pub spilled_bytes: u64,
+    /// Spill writes that failed verification and were retried.
+    pub spill_retries: u64,
+    /// Keys the bloom filter proved unseen (exact probe skipped).
+    pub bloom_definite_new: u64,
+    /// Keys found in an in-RAM shard.
+    pub seen_exact_hits: u64,
+    /// Bloom false positives: "maybe seen" keys that the exact probe
+    /// proved new. Pure cost, never a different answer.
+    pub seen_fp_fallbacks: u64,
+    /// Exact probes that had to consult an on-disk shard run.
+    pub seen_disk_probes: u64,
+    /// Sorted top-K runs spilled by list builders.
+    pub topk_runs_spilled: u64,
+}
+
+impl OocoreStats {
+    /// Hand-rolled JSON (stable field order, no serializer dependency) —
+    /// the spill-accounting block embedded in CLI and bench reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"budget_bytes\": {},\n",
+                "  \"peak_bytes\": {},\n",
+                "  \"spilled_segments\": {},\n",
+                "  \"spilled_bytes\": {},\n",
+                "  \"spill_retries\": {},\n",
+                "  \"bloom_definite_new\": {},\n",
+                "  \"seen_exact_hits\": {},\n",
+                "  \"seen_fp_fallbacks\": {},\n",
+                "  \"seen_disk_probes\": {},\n",
+                "  \"topk_runs_spilled\": {}\n",
+                "}}"
+            ),
+            self.budget_bytes,
+            self.peak_bytes,
+            self.spilled_segments,
+            self.spilled_bytes,
+            self.spill_retries,
+            self.bloom_definite_new,
+            self.seen_exact_hits,
+            self.seen_fp_fallbacks,
+            self.seen_disk_probes,
+            self.topk_runs_spilled,
+        )
+    }
+}

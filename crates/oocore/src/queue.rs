@@ -1,0 +1,260 @@
+//! The hybrid RAM+disk work queue.
+//!
+//! Items buffer in RAM until the allotment is exceeded, then the whole
+//! buffer spills as one checksummed segment. Because spills always flush
+//! the oldest unspilled contiguous range, replay order is exactly push
+//! order no matter where the budget drew the segment boundaries — which is
+//! the determinism argument for the out-of-core build (DESIGN.md §16).
+//!
+//! Replay loads one segment at a time (charged transiently against the
+//! budget, released as items are consumed) and deletes each segment file
+//! once drained, so a replayed queue leaves no scratch behind.
+
+use crate::segment::{read_segment, write_segment};
+use crate::{OocoreError, SpillEnv};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::fs;
+use std::path::PathBuf;
+
+/// Fixed per-item accounting overhead (deque slot + charge bookkeeping).
+const ITEM_COST: usize = 24;
+
+/// Spill/replay counters carried from the queue into its replay handle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueueStats {
+    /// Segments written.
+    pub spilled_segments: u64,
+    /// Segment bytes written.
+    pub spilled_bytes: u64,
+    /// Faulted writes retried.
+    pub spill_retries: u64,
+    /// Items pushed.
+    pub items: u64,
+}
+
+/// Bounded-RAM FIFO of encoded items with spill-to-disk overflow.
+pub struct SpillQueue {
+    env: SpillEnv,
+    prefix: String,
+    allotment: usize,
+    buffered: VecDeque<Vec<u8>>,
+    buffered_bytes: usize,
+    segments: Vec<PathBuf>,
+    stats: QueueStats,
+}
+
+impl SpillQueue {
+    /// A queue spilling to `env.dir` with the given RAM allotment in bytes.
+    /// `prefix` namespaces this queue's segment files within the dir.
+    pub fn new(env: SpillEnv, prefix: &str, allotment: usize) -> SpillQueue {
+        SpillQueue {
+            env,
+            prefix: prefix.to_string(),
+            allotment: allotment.max(4 << 10),
+            buffered: VecDeque::new(),
+            buffered_bytes: 0,
+            segments: Vec::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Appends an item, spilling the buffer first if it is full.
+    pub fn push(&mut self, item: Vec<u8>) -> Result<(), OocoreError> {
+        let cost = item.len() + ITEM_COST;
+        if self.buffered_bytes + cost > self.allotment && !self.buffered.is_empty() {
+            self.spill()?;
+        }
+        self.env.budget.charge(cost);
+        self.buffered_bytes += cost;
+        self.buffered.push_back(item);
+        self.stats.items += 1;
+        Ok(())
+    }
+
+    /// Flushes the current buffer as one segment.
+    fn spill(&mut self) -> Result<(), OocoreError> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let path = self
+            .env
+            .dir
+            .join(format!("{}-{:05}.seg", self.prefix, self.segments.len()));
+        let items: Vec<Vec<u8>> = self.buffered.drain(..).collect();
+        let (bytes, retries) = write_segment(&path, &items, &self.env)?;
+        self.env.budget.release(self.buffered_bytes);
+        self.buffered_bytes = 0;
+        self.stats.spilled_segments += 1;
+        self.stats.spilled_bytes += bytes;
+        self.stats.spill_retries += retries;
+        self.segments.push(path);
+        Ok(())
+    }
+
+    /// Stats so far (the final figures live on the replay handle, since
+    /// `finish` may spill once more).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Seals the queue for replay. If anything already spilled, the RAM
+    /// tail spills too, so replay holds at most one loaded segment (≤ the
+    /// allotment) instead of a loaded segment *plus* a resident tail. A
+    /// queue that never spilled replays straight from RAM.
+    pub fn finish(mut self) -> Result<SpillReplay, OocoreError> {
+        if !self.segments.is_empty() {
+            self.spill()?;
+        }
+        Ok(SpillReplay {
+            env: self.env.clone(),
+            segments: std::mem::take(&mut self.segments),
+            next_segment: 0,
+            loaded: VecDeque::new(),
+            loaded_bytes: 0,
+            buffered: std::mem::take(&mut self.buffered),
+            buffered_bytes: self.buffered_bytes,
+            stats: self.stats,
+        })
+    }
+}
+
+/// Replays a sealed [`SpillQueue`] in exact push order.
+pub struct SpillReplay {
+    env: SpillEnv,
+    segments: Vec<PathBuf>,
+    next_segment: usize,
+    loaded: VecDeque<Bytes>,
+    loaded_bytes: usize,
+    buffered: VecDeque<Vec<u8>>,
+    buffered_bytes: usize,
+    stats: QueueStats,
+}
+
+impl SpillReplay {
+    /// The next item in push order, or `None` when drained. Corrupt
+    /// segments surface as typed errors here.
+    pub fn next_item(&mut self) -> Result<Option<Bytes>, OocoreError> {
+        loop {
+            if let Some(item) = self.loaded.pop_front() {
+                if self.loaded.is_empty() {
+                    self.env.budget.release(self.loaded_bytes);
+                    self.loaded_bytes = 0;
+                }
+                return Ok(Some(item));
+            }
+            if self.next_segment < self.segments.len() {
+                let path = &self.segments[self.next_segment];
+                let items = read_segment(path)?;
+                let bytes: usize = items.iter().map(|i| i.len() + ITEM_COST).sum();
+                self.env.budget.charge(bytes);
+                self.loaded_bytes = bytes;
+                self.loaded = items.into();
+                let _ = fs::remove_file(path);
+                self.next_segment += 1;
+                continue;
+            }
+            return match self.buffered.pop_front() {
+                Some(item) => {
+                    self.env.budget.release(item.len() + ITEM_COST);
+                    self.buffered_bytes =
+                        self.buffered_bytes.saturating_sub(item.len() + ITEM_COST);
+                    Ok(Some(Bytes::from(item)))
+                }
+                None => Ok(None),
+            };
+        }
+    }
+
+    /// Final queue stats, including any spill performed by `finish`.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+impl Drop for SpillReplay {
+    fn drop(&mut self) {
+        for path in &self.segments[self.next_segment..] {
+            let _ = fs::remove_file(path);
+        }
+        self.env.budget.release(self.loaded_bytes + self.buffered_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBudget;
+    use std::sync::Arc;
+    use wwv_fault::FaultPlan;
+
+    fn env(name: &str, budget: usize) -> SpillEnv {
+        let dir = std::env::temp_dir()
+            .join(format!("wwv-oocore-queuetest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        SpillEnv {
+            dir,
+            budget: Arc::new(MemBudget::new(budget)),
+            plan: Arc::new(FaultPlan::none()),
+            max_attempts: 3,
+        }
+    }
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| (i as u64).to_le_bytes().repeat(8)).collect()
+    }
+
+    #[test]
+    fn replay_is_push_order_across_spills() {
+        let e = env("order", 1 << 20);
+        let mut q = SpillQueue::new(e.clone(), "q", 4 << 10);
+        let want = items(500);
+        for item in &want {
+            q.push(item.clone()).unwrap();
+        }
+        assert!(q.stats().spilled_segments > 0, "allotment must force spills");
+        let mut replay = q.finish().unwrap();
+        for (i, want_item) in want.iter().enumerate() {
+            let got = replay.next_item().unwrap().unwrap();
+            assert_eq!(got.as_ref(), &want_item[..], "item {i}");
+        }
+        assert!(replay.next_item().unwrap().is_none());
+        assert_eq!(replay.stats().items, 500);
+        assert_eq!(e.budget.current(), 0, "all charges released after drain");
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn small_queue_stays_in_ram() {
+        let e = env("ram", 1 << 20);
+        let mut q = SpillQueue::new(e.clone(), "q", 1 << 19);
+        for item in items(10) {
+            q.push(item).unwrap();
+        }
+        assert_eq!(q.stats().spilled_segments, 0);
+        let mut replay = q.finish().unwrap();
+        assert_eq!(replay.stats().spilled_segments, 0, "finish must not force a spill");
+        let mut n = 0;
+        while replay.next_item().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn drop_cleans_unconsumed_segments() {
+        let e = env("cleanup", 1 << 20);
+        let mut q = SpillQueue::new(e.clone(), "q", 4 << 10);
+        for item in items(400) {
+            q.push(item).unwrap();
+        }
+        let replay = q.finish().unwrap();
+        drop(replay);
+        let leftover = fs::read_dir(&e.dir).unwrap().count();
+        assert_eq!(leftover, 0, "dropped replay must remove its segments");
+        assert_eq!(e.budget.current(), 0);
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+}

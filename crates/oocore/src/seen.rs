@@ -1,0 +1,347 @@
+//! Bloom-fronted sharded "seen" tracking (first-appearance interning).
+//!
+//! Assigns dense ids to string keys in first-appearance order — the same
+//! assignment a `HashMap` interner produces — while keeping the probe
+//! structures under a byte allotment. The layers, cheapest first:
+//!
+//! 1. **Bloom filter** (seed-deterministic): `contains == false` proves
+//!    the key is new, so the id is assigned with zero exact probes.
+//! 2. **In-RAM shard**: per-shard id vectors sorted by key; binary search.
+//! 3. **On-disk shard run**: when the shard tables outgrow the allotment,
+//!    the largest shard spills as a sorted, checksummed run; probes load
+//!    it transiently (charged, then released) and binary search it.
+//!
+//! A bloom false positive therefore costs probes (counted in
+//! `fp_fallbacks`) but can never change an assignment: the exact layers
+//! give the authoritative answer, and the bloom's lack of false negatives
+//! guarantees a "definitely new" verdict is always correct.
+
+use crate::segment::{read_segment, write_segment};
+use crate::{Bloom, OocoreError, SpillEnv};
+use std::fs;
+use std::path::{Path, PathBuf};
+use wwv_snap::fnv1a64;
+use wwv_snap::varint::{get_u32_column, put_u32_column};
+
+/// Bytes charged per tracked id (shard-table entry).
+const ID_COST: usize = 4;
+
+/// Probe/spill counters for one tracker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeenStats {
+    /// Keys the bloom proved unseen.
+    pub bloom_definite_new: u64,
+    /// Keys found by an exact probe (RAM or disk).
+    pub exact_hits: u64,
+    /// Bloom false positives resolved to "new" by the exact layers.
+    pub fp_fallbacks: u64,
+    /// Exact probes that consulted an on-disk run.
+    pub disk_probes: u64,
+    /// Shard runs spilled.
+    pub runs_spilled: u64,
+    /// Run bytes written.
+    pub spilled_bytes: u64,
+    /// Faulted run writes retried.
+    pub spill_retries: u64,
+}
+
+/// Sharded, budget-bounded first-appearance id assigner.
+pub struct SeenTracker {
+    env: SpillEnv,
+    allotment: usize,
+    /// id → key, in assignment order (the output table; not budget-tracked).
+    keys: Vec<String>,
+    bloom: Bloom,
+    /// Per-shard ids sorted by their key strings.
+    shards: Vec<Vec<u32>>,
+    /// One merged on-disk run per shard, once spilled.
+    runs: Vec<Option<PathBuf>>,
+    run_seq: u64,
+    aux_bytes: usize,
+    stats: SeenStats,
+}
+
+impl SeenTracker {
+    /// A tracker with `shard_count` shards and a `bloom_bits`-bit filter,
+    /// keeping at most ~`allotment` bytes of shard tables in RAM.
+    pub fn new(env: SpillEnv, seed: u64, bloom_bits: usize, shard_count: usize, allotment: usize) -> SeenTracker {
+        let bloom = Bloom::new(seed, bloom_bits);
+        env.budget.charge(bloom.mem_bytes());
+        let shard_count = shard_count.max(1);
+        SeenTracker {
+            env,
+            allotment: allotment.max(4 << 10),
+            keys: Vec::new(),
+            bloom,
+            shards: vec![Vec::new(); shard_count],
+            runs: vec![None; shard_count],
+            run_seq: 0,
+            aux_bytes: 0,
+            stats: SeenStats::default(),
+        }
+    }
+
+    fn shard_index(&self, key: &str) -> usize {
+        // High hash bits: decorrelated from the bloom positions, which mix
+        // the same base hash through splitmix.
+        ((fnv1a64(key.as_bytes()) >> 32) as usize) % self.shards.len()
+    }
+
+    /// The id for `key`, assigning the next dense id on first appearance.
+    /// Returns `(id, newly_inserted)`.
+    pub fn get_or_insert(&mut self, key: &str) -> Result<(u32, bool), OocoreError> {
+        if !self.bloom.contains(key) {
+            self.stats.bloom_definite_new += 1;
+            return Ok((self.insert_new(key)?, true));
+        }
+        let s = self.shard_index(key);
+        let keys = &self.keys;
+        if let Ok(pos) =
+            self.shards[s].binary_search_by(|&id| keys[id as usize].as_str().cmp(key))
+        {
+            self.stats.exact_hits += 1;
+            return Ok((self.shards[s][pos], false));
+        }
+        if let Some(path) = self.runs[s].clone() {
+            self.stats.disk_probes += 1;
+            if let Some(id) = self.probe_run(&path, key)? {
+                self.stats.exact_hits += 1;
+                return Ok((id, false));
+            }
+        }
+        self.stats.fp_fallbacks += 1;
+        Ok((self.insert_new(key)?, true))
+    }
+
+    /// Assigns the next id; callers must have proven the key absent.
+    fn insert_new(&mut self, key: &str) -> Result<u32, OocoreError> {
+        let id = self.keys.len() as u32;
+        let s = self.shard_index(key);
+        let keys = &self.keys;
+        let pos = self.shards[s]
+            .binary_search_by(|&i| keys[i as usize].as_str().cmp(key))
+            .unwrap_err();
+        self.shards[s].insert(pos, id);
+        self.keys.push(key.to_owned());
+        self.bloom.insert(key);
+        self.env.budget.charge(ID_COST);
+        self.aux_bytes += ID_COST;
+        if self.aux_bytes > self.allotment {
+            self.spill_largest_shard()?;
+        }
+        Ok(id)
+    }
+
+    /// Spills the largest in-RAM shard, merging it into the shard's
+    /// existing run so each shard keeps exactly one sorted run on disk.
+    fn spill_largest_shard(&mut self) -> Result<(), OocoreError> {
+        let s = (0..self.shards.len())
+            .max_by_key(|&i| self.shards[i].len())
+            .unwrap_or(0);
+        if self.shards[s].is_empty() {
+            return Ok(());
+        }
+        let ram = std::mem::take(&mut self.shards[s]);
+        let merged = match self.runs[s].clone() {
+            Some(old_path) => {
+                let old = self.load_run(&old_path)?;
+                self.merge_by_key(&old, &ram)
+            }
+            None => ram.clone(),
+        };
+        let mut payload = Vec::new();
+        put_u32_column(&mut payload, &merged);
+        let path = self.env.dir.join(format!("seen-{s:03}-{:04}.seg", self.run_seq));
+        self.run_seq += 1;
+        let (bytes, retries) = write_segment(&path, &[payload], &self.env)?;
+        if let Some(old) = self.runs[s].replace(path) {
+            let _ = fs::remove_file(old);
+        }
+        self.env.budget.release(ram.len() * ID_COST);
+        self.aux_bytes -= ram.len() * ID_COST;
+        self.stats.runs_spilled += 1;
+        self.stats.spilled_bytes += bytes;
+        self.stats.spill_retries += retries;
+        Ok(())
+    }
+
+    /// Merges two id lists, both sorted by key; inputs are disjoint by
+    /// construction (an id is inserted exactly once).
+    fn merge_by_key(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if self.keys[a[i] as usize] <= self.keys[b[j] as usize] {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Loads a shard run (transiently charged by callers as needed).
+    fn load_run(&self, path: &Path) -> Result<Vec<u32>, OocoreError> {
+        let items = read_segment(path)?;
+        let payload =
+            items.first().ok_or(OocoreError::Decode("seen run has no payload"))?;
+        let mut cur: &[u8] = payload;
+        get_u32_column(&mut cur, payload.len())
+            .map_err(|source| OocoreError::Corrupt { path: path.to_path_buf(), source })
+    }
+
+    /// Exact probe of a spilled run: load, binary search by key, release.
+    fn probe_run(&mut self, path: &Path, key: &str) -> Result<Option<u32>, OocoreError> {
+        let ids = self.load_run(path)?;
+        self.env.budget.charge(ids.len() * ID_COST);
+        let found = ids
+            .binary_search_by(|&id| self.keys[id as usize].as_str().cmp(key))
+            .ok()
+            .map(|pos| ids[pos]);
+        self.env.budget.release(ids.len() * ID_COST);
+        Ok(found)
+    }
+
+    /// Keys in id order.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Number of assigned ids.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no id has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Probe/spill counters so far.
+    pub fn stats(&self) -> SeenStats {
+        self.stats
+    }
+
+    /// Consumes the tracker, returning the key table in id order and
+    /// cleaning up any spilled runs.
+    pub fn into_keys(mut self) -> Vec<String> {
+        std::mem::take(&mut self.keys)
+    }
+}
+
+impl Drop for SeenTracker {
+    fn drop(&mut self) {
+        for run in self.runs.iter().flatten() {
+            let _ = fs::remove_file(run);
+        }
+        self.env.budget.release(self.aux_bytes + self.bloom.mem_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBudget;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use wwv_fault::FaultPlan;
+
+    fn env(name: &str) -> SpillEnv {
+        let dir = std::env::temp_dir()
+            .join(format!("wwv-oocore-seentest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        SpillEnv {
+            dir,
+            budget: Arc::new(MemBudget::new(1 << 20)),
+            plan: Arc::new(FaultPlan::none()),
+            max_attempts: 3,
+        }
+    }
+
+    /// Repeats and fresh keys, interleaved deterministically.
+    fn key_stream(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("site-{}.example", (i * 2_654_435_761) % (n / 2 + 1))).collect()
+    }
+
+    fn reference_ids(stream: &[String]) -> Vec<u32> {
+        let mut map: HashMap<&str, u32> = HashMap::new();
+        let mut next = 0u32;
+        stream
+            .iter()
+            .map(|k| {
+                *map.entry(k).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_hashmap_interner_without_spills() {
+        let e = env("nospill");
+        let mut t = SeenTracker::new(e.clone(), 7, 1 << 16, 16, 1 << 19);
+        let stream = key_stream(2_000);
+        let want = reference_ids(&stream);
+        for (k, &want_id) in stream.iter().zip(&want) {
+            let (id, _) = t.get_or_insert(k).unwrap();
+            assert_eq!(id, want_id, "key {k}");
+        }
+        assert_eq!(t.stats().runs_spilled, 0);
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn matches_hashmap_interner_with_spilled_shards() {
+        let e = env("spill");
+        // 4 KiB allotment over thousands of ids forces shard runs to disk.
+        let mut t = SeenTracker::new(e.clone(), 7, 1 << 16, 8, 1);
+        let stream = key_stream(6_000);
+        let want = reference_ids(&stream);
+        for (k, &want_id) in stream.iter().zip(&want) {
+            let (id, _) = t.get_or_insert(k).unwrap();
+            assert_eq!(id, want_id, "key {k}");
+        }
+        let stats = t.stats();
+        assert!(stats.runs_spilled > 0, "tiny allotment must spill shards");
+        assert!(stats.disk_probes > 0, "repeat keys must hit spilled runs");
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn tiny_bloom_fp_fallbacks_are_counted_and_harmless() {
+        let e = env("fp");
+        // 64-bit bloom saturates instantly: every new key after the first
+        // few is a false positive, forcing the exact fallback path.
+        let mut t = SeenTracker::new(e.clone(), 7, 64, 4, 1 << 19);
+        let stream = key_stream(3_000);
+        let want = reference_ids(&stream);
+        for (k, &want_id) in stream.iter().zip(&want) {
+            let (id, _) = t.get_or_insert(k).unwrap();
+            assert_eq!(id, want_id, "fp fallback changed an assignment for {k}");
+        }
+        assert!(t.stats().fp_fallbacks > 0, "saturated bloom must produce fallbacks");
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn drop_removes_runs_and_releases_budget() {
+        let e = env("drop");
+        {
+            let mut t = SeenTracker::new(e.clone(), 7, 1 << 12, 8, 1);
+            for k in key_stream(4_000) {
+                t.get_or_insert(&k).unwrap();
+            }
+            assert!(t.stats().runs_spilled > 0);
+        }
+        assert_eq!(fs::read_dir(&e.dir).unwrap().count(), 0);
+        assert_eq!(e.budget.current(), 0);
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+}

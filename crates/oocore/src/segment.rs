@@ -1,0 +1,166 @@
+//! Checksummed spill segments.
+//!
+//! A spill segment is an ordinary wwv-snap chunked container holding one
+//! chunk per spilled item, keyed by the item's index within the segment.
+//! Reusing the snapshot framing buys the full corruption story for free:
+//! magic, per-chunk FNV-1a checksums, a checksummed catalog, and a footer —
+//! any truncation or bit flip at rest parses as a typed [`SnapError`],
+//! surfaced here as [`OocoreError::Corrupt`].
+//!
+//! Writes are fault-injectable at [`OOCORE_SPILL`]: the plan may corrupt,
+//! truncate, or drop the write, after which the file is read back and
+//! compared against the intended bytes. A mismatch is one counted retry;
+//! running out of attempts is the typed [`OocoreError::SpillExhausted`].
+
+use crate::{OocoreError, SpillEnv, OOCORE_SPILL};
+use bytes::Bytes;
+use std::fs;
+use std::path::Path;
+use wwv_fault::FrameFate;
+use wwv_snap::{SnapshotFile, SnapshotWriter};
+
+/// Chunk kind for spilled items (segments are single-purpose files, so one
+/// kind suffices; the key carries the in-segment index).
+pub const KIND_SPILL_ITEM: u16 = 1;
+
+/// Writes `items` to `path` as one checksummed segment, injecting faults
+/// from the env's plan and verifying the bytes on disk after every attempt.
+/// Returns `(segment_bytes, retries)`.
+pub fn write_segment(
+    path: &Path,
+    items: &[Vec<u8>],
+    env: &SpillEnv,
+) -> Result<(u64, u64), OocoreError> {
+    let mut w = SnapshotWriter::new();
+    for (i, item) in items.iter().enumerate() {
+        w.add_chunk(KIND_SPILL_ITEM, &(i as u32).to_le_bytes(), item);
+    }
+    let clean = w.finish();
+    let mut retries = 0u64;
+    let attempts = env.max_attempts.max(1);
+    for _ in 0..attempts {
+        match env.plan.apply_to_frame(OOCORE_SPILL, clean.to_vec()) {
+            // A dropped write models the segment never reaching disk.
+            FrameFate::Dropped => {
+                let _ = fs::remove_file(path);
+            }
+            FrameFate::Deliver(bytes)
+            | FrameFate::DeliverTwice(bytes)
+            | FrameFate::HoldForReorder(bytes)
+            | FrameFate::Delayed(bytes, _) => fs::write(path, &bytes)?,
+        }
+        // Write-verify: the clean bytes are still in hand, so a straight
+        // byte comparison is both the cheapest and the strongest check
+        // (the checksums exist for corruption that happens *after* this).
+        match fs::read(path) {
+            Ok(on_disk) if on_disk == clean.as_ref() => {
+                wwv_obs::global().counter("oocore.spill.segments").inc();
+                wwv_obs::global().counter("oocore.spill.bytes").add(clean.len() as u64);
+                return Ok((clean.len() as u64, retries));
+            }
+            _ => {
+                retries += 1;
+                wwv_obs::global().counter("oocore.spill.retries").inc();
+            }
+        }
+    }
+    let _ = fs::remove_file(path);
+    Err(OocoreError::SpillExhausted { path: path.to_path_buf(), attempts })
+}
+
+/// Reads a segment back, verifying every checksum, and returns the item
+/// payloads in write order. Any damage is a typed [`OocoreError::Corrupt`].
+pub fn read_segment(path: &Path) -> Result<Vec<Bytes>, OocoreError> {
+    let raw = fs::read(path)?;
+    let corrupt =
+        |source| OocoreError::Corrupt { path: path.to_path_buf(), source };
+    let file = SnapshotFile::parse(Bytes::from(raw)).map_err(corrupt)?;
+    let mut items = Vec::with_capacity(file.entries().len());
+    for i in 0..file.entries().len() {
+        items.push(file.payload(i).map_err(
+            |source| OocoreError::Corrupt { path: path.to_path_buf(), source },
+        )?);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBudget;
+    use std::sync::Arc;
+    use wwv_fault::{FaultKind, FaultPlan, FaultRule};
+
+    fn env(plan: FaultPlan, attempts: u32, dir: &Path) -> SpillEnv {
+        SpillEnv {
+            dir: dir.to_path_buf(),
+            budget: Arc::new(MemBudget::new(1 << 20)),
+            plan: Arc::new(plan),
+            max_attempts: attempts,
+        }
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("wwv-oocore-segtest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_without_faults() {
+        let dir = scratch("roundtrip");
+        let e = env(FaultPlan::none(), 3, &dir);
+        let items: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1 + i as usize]).collect();
+        let path = dir.join("a.seg");
+        let (bytes, retries) = write_segment(&path, &items, &e).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(retries, 0);
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), items.len());
+        for (got, want) in back.iter().zip(&items) {
+            assert_eq!(got.as_ref(), &want[..]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_writes_retry_then_exhaust() {
+        let dir = scratch("exhaust");
+        let always_drop = FaultPlan::new(9).with(FaultRule {
+            point: OOCORE_SPILL,
+            kind: FaultKind::Drop,
+            rate: 1.0,
+        });
+        let e = env(always_drop, 3, &dir);
+        let err = write_segment(&dir.join("b.seg"), &[vec![1, 2, 3]], &e).unwrap_err();
+        match err {
+            OocoreError::SpillExhausted { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected SpillExhausted, got {other}"),
+        }
+        assert_eq!(e.plan.fired_at(OOCORE_SPILL), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn intermittent_faults_recover_with_counted_retries() {
+        let dir = scratch("retry");
+        let flaky = FaultPlan::new(4).with(FaultRule {
+            point: OOCORE_SPILL,
+            kind: FaultKind::BitFlip,
+            rate: 0.5,
+        });
+        let e = env(flaky, 16, &dir);
+        let mut total_retries = 0;
+        for i in 0..20 {
+            let path = dir.join(format!("c{i}.seg"));
+            let (_, retries) = write_segment(&path, &[vec![i as u8; 64]], &e).unwrap();
+            total_retries += retries;
+            assert_eq!(read_segment(&path).unwrap().len(), 1);
+        }
+        assert_eq!(total_retries, e.plan.fired_at(OOCORE_SPILL));
+        assert!(total_retries > 0, "rate 0.5 over 20 segments must fire");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,261 @@
+//! External top-K selection over sorted spill runs.
+//!
+//! Entries buffer in RAM up to an allotment; overflow sorts the buffer by
+//! the canonical rank order and spills it as one checksummed run.
+//! [`RunSpiller::finish`] then folds the runs together pairwise, keeping
+//! only the top `k` after each merge — which is exact, because an entry
+//! outside the running top `k` is preceded by `k` better entries that can
+//! only stay ahead as more runs arrive. Merge state is therefore `O(k)`
+//! plus one transiently-loaded run, never the full entry set.
+//!
+//! The comparator is [`rank_cmp`]: count descending, id ascending — the
+//! same strict total order as the in-memory builder's `top_k_desc`, so the
+//! external result is byte-identical to the in-memory one (the property
+//! battery pins this).
+
+use crate::segment::{read_segment, write_segment};
+use crate::{OocoreError, SpillEnv};
+use std::cmp::Ordering;
+use std::fs;
+use std::path::{Path, PathBuf};
+use wwv_snap::varint::{
+    get_u32_column, get_u64_delta_column, put_u32_column, put_u64_delta_column,
+};
+
+/// Bytes charged per buffered `(id, count)` entry.
+const ENTRY_COST: usize = 16;
+
+/// The canonical rank order: count descending, id ascending. Ids are
+/// unique within a list, so this is a strict total order.
+pub fn rank_cmp(a: &(u32, u64), b: &(u32, u64)) -> Ordering {
+    b.1.cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Merges two [`rank_cmp`]-sorted slices, keeping the best `k`.
+pub fn merge_top_k(a: &[(u32, u64)], b: &[(u32, u64)], k: usize) -> Vec<(u32, u64)> {
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut i, mut j) = (0, 0);
+    while out.len() < k {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if rank_cmp(x, y) != Ordering::Greater {
+                    out.push(*x);
+                    i += 1;
+                } else {
+                    out.push(*y);
+                    j += 1;
+                }
+            }
+            (Some(x), None) => {
+                out.push(*x);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(*y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Spill counters for one list build.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Sorted runs spilled.
+    pub runs_spilled: u64,
+    /// Run bytes written.
+    pub spilled_bytes: u64,
+    /// Faulted run writes retried.
+    pub spill_retries: u64,
+}
+
+/// Budget-bounded accumulator for one rank list.
+pub struct RunSpiller {
+    env: SpillEnv,
+    prefix: String,
+    allotment: usize,
+    buf: Vec<(u32, u64)>,
+    buf_bytes: usize,
+    runs: Vec<PathBuf>,
+    stats: RunStats,
+}
+
+impl RunSpiller {
+    /// A spiller writing runs named `prefix-NNN.seg` under the env dir.
+    pub fn new(env: SpillEnv, prefix: &str, allotment: usize) -> RunSpiller {
+        RunSpiller {
+            env,
+            prefix: prefix.to_string(),
+            allotment: allotment.max(4 << 10),
+            buf: Vec::new(),
+            buf_bytes: 0,
+            runs: Vec::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Adds one entry, spilling a sorted run if the buffer is full.
+    pub fn push(&mut self, id: u32, count: u64) -> Result<(), OocoreError> {
+        self.env.budget.charge(ENTRY_COST);
+        self.buf_bytes += ENTRY_COST;
+        self.buf.push((id, count));
+        if self.buf_bytes > self.allotment {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    fn spill_run(&mut self) -> Result<(), OocoreError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable_by(rank_cmp);
+        let ids: Vec<u32> = self.buf.iter().map(|e| e.0).collect();
+        let counts: Vec<u64> = self.buf.iter().map(|e| e.1).collect();
+        let mut payload = Vec::new();
+        put_u32_column(&mut payload, &ids);
+        put_u64_delta_column(&mut payload, &counts);
+        let path = self
+            .env
+            .dir
+            .join(format!("{}-{:04}.seg", self.prefix, self.runs.len()));
+        let (bytes, retries) = write_segment(&path, &[payload], &self.env)?;
+        self.env.budget.release(self.buf_bytes);
+        self.buf_bytes = 0;
+        self.buf.clear();
+        self.runs.push(path);
+        self.stats.runs_spilled += 1;
+        self.stats.spilled_bytes += bytes;
+        self.stats.spill_retries += retries;
+        wwv_obs::global().counter("oocore.topk.runs").inc();
+        Ok(())
+    }
+
+    /// Folds buffer and runs into the exact top `k` under [`rank_cmp`],
+    /// removing run files as they are consumed.
+    pub fn finish(&mut self, k: usize) -> Result<Vec<(u32, u64)>, OocoreError> {
+        self.buf.sort_unstable_by(rank_cmp);
+        self.env.budget.release(self.buf_bytes);
+        self.buf_bytes = 0;
+        let mut cur = std::mem::take(&mut self.buf);
+        cur.truncate(k);
+        for path in std::mem::take(&mut self.runs) {
+            let run = self.load_run(&path)?;
+            self.env.budget.charge(run.len() * ENTRY_COST);
+            cur = merge_top_k(&cur, &run, k);
+            self.env.budget.release(run.len() * ENTRY_COST);
+            let _ = fs::remove_file(&path);
+        }
+        Ok(cur)
+    }
+
+    fn load_run(&self, path: &Path) -> Result<Vec<(u32, u64)>, OocoreError> {
+        let corrupt = |source| OocoreError::Corrupt { path: path.to_path_buf(), source };
+        let items = read_segment(path)?;
+        let payload = items.first().ok_or(OocoreError::Decode("top-K run has no payload"))?;
+        let mut cur: &[u8] = payload;
+        let ids = get_u32_column(&mut cur, payload.len()).map_err(corrupt)?;
+        let counts = get_u64_delta_column(&mut cur, payload.len())
+            .map_err(|source| OocoreError::Corrupt { path: path.to_path_buf(), source })?;
+        if ids.len() != counts.len() {
+            return Err(OocoreError::Decode("top-K run column length mismatch"));
+        }
+        Ok(ids.into_iter().zip(counts).collect())
+    }
+
+    /// Spill counters so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+}
+
+impl Drop for RunSpiller {
+    fn drop(&mut self) {
+        for path in &self.runs {
+            let _ = fs::remove_file(path);
+        }
+        self.env.budget.release(self.buf_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBudget;
+    use std::sync::Arc;
+    use wwv_fault::FaultPlan;
+
+    fn env(name: &str) -> SpillEnv {
+        let dir = std::env::temp_dir()
+            .join(format!("wwv-oocore-topktest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        SpillEnv {
+            dir,
+            budget: Arc::new(MemBudget::new(1 << 20)),
+            plan: Arc::new(FaultPlan::none()),
+            max_attempts: 3,
+        }
+    }
+
+    /// Reference: full sort, then truncate — what the in-memory builder's
+    /// `top_k_desc` computes.
+    fn reference(mut entries: Vec<(u32, u64)>, k: usize) -> Vec<(u32, u64)> {
+        entries.sort_by(rank_cmp);
+        entries.truncate(k);
+        entries
+    }
+
+    fn entries(n: u32, mod_counts: u64) -> Vec<(u32, u64)> {
+        // Duplicated counts exercise the id tie-break.
+        (0..n).map(|i| (i, (i as u64).wrapping_mul(2_654_435_761) % mod_counts)).collect()
+    }
+
+    #[test]
+    fn external_merge_matches_reference_across_spills() {
+        for (n, k) in [(0u32, 5usize), (10, 0), (500, 7), (5_000, 100), (5_000, 10_000)] {
+            let e = env(&format!("m{n}k{k}"));
+            let input = entries(n, 40);
+            let mut sp = RunSpiller::new(e.clone(), "run", 1);
+            for &(id, c) in &input {
+                sp.push(id, c).unwrap();
+            }
+            let got = sp.finish(k).unwrap();
+            assert_eq!(got, reference(input, k), "n={n} k={k}");
+            let _ = fs::remove_dir_all(&e.dir);
+        }
+    }
+
+    #[test]
+    fn spills_occur_and_budget_drains() {
+        let e = env("drain");
+        let mut sp = RunSpiller::new(e.clone(), "run", 1);
+        for &(id, c) in &entries(3_000, 17) {
+            sp.push(id, c).unwrap();
+        }
+        assert!(sp.stats().runs_spilled > 1, "4 KiB floor over 3k entries must spill");
+        let top = sp.finish(50).unwrap();
+        assert_eq!(top.len(), 50);
+        drop(sp);
+        assert_eq!(e.budget.current(), 0);
+        assert_eq!(fs::read_dir(&e.dir).unwrap().count(), 0, "runs cleaned up");
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+
+    #[test]
+    fn drop_without_finish_cleans_runs() {
+        let e = env("abandon");
+        {
+            let mut sp = RunSpiller::new(e.clone(), "run", 1);
+            for &(id, c) in &entries(3_000, 17) {
+                sp.push(id, c).unwrap();
+            }
+            assert!(sp.stats().runs_spilled > 0);
+        }
+        assert_eq!(fs::read_dir(&e.dir).unwrap().count(), 0);
+        assert_eq!(e.budget.current(), 0);
+        let _ = fs::remove_dir_all(&e.dir);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property battery for the out-of-core primitives:
+//!
+//! * external top-K merge over spilled runs == an in-memory full sort +
+//!   truncate under the canonical `(count desc, id asc)` order — at every
+//!   allotment, i.e. every way of carving the input into runs;
+//! * spill-segment roundtrip under truncation and bit flips — every
+//!   damaged byte is a typed error, mirroring `snap_corruption.rs`;
+//! * bloom false-positive fallbacks never change assignments or counts —
+//!   a tiny saturated filter only costs probes.
+//!
+//! (The bodies also run as plain `#[test]`s below with fixed seeds so the
+//! suite has executable coverage even where proptest is stubbed out.)
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wwv_fault::FaultPlan;
+use wwv_oocore::{
+    rank_cmp, read_segment, write_segment, MemBudget, OocoreError, RunSpiller, SeenTracker,
+    SpillEnv,
+};
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch dir + env per exercise (tests run concurrently).
+fn env() -> SpillEnv {
+    let dir = std::env::temp_dir().join(format!(
+        "wwv-oocore-prop-{}-{}",
+        std::process::id(),
+        SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    SpillEnv {
+        dir,
+        budget: Arc::new(MemBudget::new(1 << 24)),
+        plan: Arc::new(FaultPlan::none()),
+        max_attempts: 3,
+    }
+}
+
+fn cleanup(e: &SpillEnv) {
+    let _ = std::fs::remove_dir_all(&e.dir);
+}
+
+/// External merge == full sort + truncate, for any entry set, k, and run
+/// carving (the allotment decides where runs split).
+fn assert_merge_matches_reference(entries: &[(u32, u64)], k: usize, allotment: usize) {
+    let e = env();
+    let mut spiller = RunSpiller::new(e.clone(), "prop", allotment);
+    for &(id, count) in entries {
+        spiller.push(id, count).expect("clean pushes");
+    }
+    let got = spiller.finish(k).expect("clean finish");
+    let mut want = entries.to_vec();
+    want.sort_by(rank_cmp);
+    want.truncate(k);
+    assert_eq!(got, want, "k={k} allotment={allotment} n={}", entries.len());
+    cleanup(&e);
+}
+
+/// Every truncation of a segment, and every flipped byte, is a typed
+/// error — never a silent short read.
+fn assert_segment_damage_is_typed(items: &[Vec<u8>], damage_seed: u64) {
+    let e = env();
+    let path = e.dir.join("seg.seg");
+    write_segment(&path, items, &e).expect("clean write");
+    let clean = std::fs::read(&path).unwrap();
+    let back = read_segment(&path).expect("clean read");
+    assert_eq!(back.len(), items.len());
+    for (got, want) in back.iter().zip(items) {
+        assert_eq!(got.as_ref(), &want[..], "roundtrip");
+    }
+
+    let cut = (damage_seed % clean.len() as u64) as usize;
+    std::fs::write(&path, &clean[..cut]).unwrap();
+    match read_segment(&path) {
+        Err(OocoreError::Corrupt { .. }) => {}
+        other => panic!("truncation to {cut} bytes must be typed, got {other:?}"),
+    }
+
+    let pos = ((damage_seed >> 16) % clean.len() as u64) as usize;
+    let mut flipped = clean.clone();
+    flipped[pos] ^= 1 << (damage_seed % 8);
+    std::fs::write(&path, &flipped).unwrap();
+    match read_segment(&path) {
+        Err(OocoreError::Corrupt { .. }) => {}
+        other => panic!("bit flip at {pos} must be typed, got {other:?}"),
+    }
+    cleanup(&e);
+}
+
+/// Tracker assignments and aggregated counts match a HashMap interner
+/// exactly, for any bloom size — false positives are pure cost.
+fn assert_fp_fallbacks_are_harmless(keys: &[String], bloom_bits: usize, allotment: usize) {
+    let e = env();
+    let mut tracker = SeenTracker::new(e.clone(), 7, bloom_bits, 4, allotment);
+    let mut got_counts: HashMap<u32, u64> = HashMap::new();
+    let mut ref_ids: HashMap<&str, u32> = HashMap::new();
+    let mut ref_counts: HashMap<u32, u64> = HashMap::new();
+    for (i, key) in keys.iter().enumerate() {
+        let (id, _) = tracker.get_or_insert(key).expect("clean tracking");
+        *got_counts.entry(id).or_default() += i as u64 + 1;
+        let next = ref_ids.len() as u32;
+        let want_id = *ref_ids.entry(key).or_insert(next);
+        *ref_counts.entry(want_id).or_default() += i as u64 + 1;
+        assert_eq!(id, want_id, "assignment for {key} diverged");
+    }
+    assert_eq!(got_counts, ref_counts, "fp fallbacks must never change counts");
+    let stats = tracker.stats();
+    assert_eq!(
+        stats.bloom_definite_new + stats.fp_fallbacks,
+        ref_ids.len() as u64,
+        "every distinct key is either bloom-new or an fp fallback"
+    );
+    cleanup(&e);
+}
+
+proptest! {
+    #[test]
+    fn external_merge_matches_top_k_desc(
+        entries in prop::collection::vec((any::<u32>(), 0u64..50), 0..2_000),
+        k in 0usize..2_500,
+        allotment in 1usize..(64 << 10),
+    ) {
+        // Duplicate ids collapse to the same (id, count) pairs under the
+        // total order, so arbitrary pairs are fair game.
+        assert_merge_matches_reference(&entries, k, allotment);
+    }
+
+    #[test]
+    fn damaged_segments_always_fail_typed(
+        items in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+        damage_seed in any::<u64>(),
+    ) {
+        assert_segment_damage_is_typed(&items, damage_seed);
+    }
+
+    #[test]
+    fn bloom_fp_fallbacks_never_change_counts(
+        raw in prop::collection::vec(0u32..400, 1..2_000),
+        bloom_bits in 32usize..4_096,
+    ) {
+        let keys: Vec<String> = raw.iter().map(|i| format!("site-{i}.example")).collect();
+        assert_fp_fallbacks_are_harmless(&keys, bloom_bits, 1);
+    }
+}
+
+#[test]
+fn fixed_merge_cases() {
+    // Ties everywhere: same count, id breaks; plus k beyond len and k=0.
+    let ties: Vec<(u32, u64)> = (0..600u32).map(|i| (599 - i, (i as u64) % 7)).collect();
+    for k in [0, 1, 13, 600, 10_000] {
+        for allotment in [1, 128, 1 << 12, 1 << 20] {
+            assert_merge_matches_reference(&ties, k, allotment);
+        }
+    }
+    assert_merge_matches_reference(&[], 5, 1);
+    assert_merge_matches_reference(&[(3, 9)], 1, 1);
+}
+
+#[test]
+fn fixed_segment_damage_sweep() {
+    let items: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 32 + i as usize]).collect();
+    for seed in [1u64, 0x5EED, 0xDEAD_BEEF, u64::MAX / 3, 0x1234_5678_9ABC_DEF0] {
+        assert_segment_damage_is_typed(&items, seed);
+    }
+    assert_segment_damage_is_typed(&[vec![]], 7);
+}
+
+#[test]
+fn exhaustive_truncation_of_a_small_segment_is_typed() {
+    // Mirrors snap_corruption.rs: every strict prefix must fail typed.
+    let e = env();
+    let path = e.dir.join("seg.seg");
+    write_segment(&path, &[b"abc".to_vec(), b"defg".to_vec()], &e).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+    for cut in 0..clean.len() {
+        std::fs::write(&path, &clean[..cut]).unwrap();
+        match read_segment(&path) {
+            Err(OocoreError::Corrupt { .. }) => {}
+            other => panic!("prefix of {cut} bytes must be typed, got {other:?}"),
+        }
+    }
+    cleanup(&e);
+}
+
+#[test]
+fn fixed_fp_fallback_streams() {
+    // 32-bit bloom: saturated after a handful of keys, so nearly every
+    // probe is a potential false positive.
+    let keys: Vec<String> =
+        (0..3_000).map(|i| format!("site-{}.example", (i * 31) % 500)).collect();
+    assert_fp_fallbacks_are_harmless(&keys, 32, 1);
+    // Roomy bloom + roomy allotment: the fast path.
+    assert_fp_fallbacks_are_harmless(&keys, 1 << 16, 1 << 20);
+    // Single repeated key.
+    let same: Vec<String> = (0..100).map(|_| "only.example".to_string()).collect();
+    assert_fp_fallbacks_are_harmless(&same, 64, 1);
+}

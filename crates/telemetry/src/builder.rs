@@ -41,8 +41,13 @@ use crate::dataset::{ChromeDataset, DomainId, DomainTable, RankListData};
 use crate::privacy::{self, FOREGROUND_UPLOAD_PROBABILITY};
 use crate::sampling::poisson;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use wwv_fault::FaultPlan;
+use wwv_oocore::{
+    OocoreConfig, OocoreError, OocoreStats, RunSpiller, SeenTracker, SpillEnv, SpillQueue,
+};
 use wwv_par::Pool;
+use wwv_snap::varint;
 use wwv_world::{Breakdown, Metric, Month, Platform, SiteId, SiteUniverse, World, COUNTRIES};
 
 /// Configurable dataset builder.
@@ -276,12 +281,7 @@ impl<'w> DatasetBuilder<'w> {
     /// Builds the dataset. Output is identical for every thread count.
     pub fn build(&self) -> ChromeDataset {
         let _span = wwv_obs::span!("dataset.build");
-        let obs = wwv_obs::global();
-        let counters = BuildCounters {
-            non_public_skipped: obs.counter("builder.non_public_skipped"),
-            threshold_dropped: obs.counter("builder.threshold_dropped"),
-            domains_kept: obs.counter("builder.domains_kept"),
-        };
+        let counters = BuildCounters::from_global();
         let pool =
             if self.threads == 0 { Pool::global() } else { Pool::new(self.threads) };
         let cache = SiteCache::build(self.world.universe());
@@ -363,6 +363,228 @@ struct BuildCounters {
     non_public_skipped: wwv_obs::Counter,
     threshold_dropped: wwv_obs::Counter,
     domains_kept: wwv_obs::Counter,
+}
+
+impl BuildCounters {
+    fn from_global() -> BuildCounters {
+        let obs = wwv_obs::global();
+        BuildCounters {
+            non_public_skipped: obs.counter("builder.non_public_skipped"),
+            threshold_dropped: obs.counter("builder.threshold_dropped"),
+            domains_kept: obs.counter("builder.domains_kept"),
+        }
+    }
+}
+
+/// Phase-1 chunk width for the out-of-core build: jobs are sampled in
+/// fixed-size chunks so the raw (unencoded) samples in flight stay small.
+/// The width is a constant — never derived from the worker count — so the
+/// queue sees the same push sequence, and therefore the same spill
+/// schedule, at any thread count.
+const OOCORE_SAMPLE_CHUNK: usize = 8;
+
+/// Budget split across the out-of-core components, in percent. The
+/// remainder is headroom for transient segment loads during replay.
+const QUEUE_BUDGET_PCT: usize = 30;
+const SEEN_BUDGET_PCT: usize = 10;
+const TOPK_BUDGET_PCT: usize = 15;
+
+/// One breakdown's kept sites as a compact varint record (the spill-queue
+/// item format).
+fn encode_kept(kept: &[(SiteId, u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(kept.len() * 6 + 4);
+    varint::put_uvarint(&mut out, kept.len() as u64);
+    for &(site, loads, fg_events) in kept {
+        varint::put_uvarint(&mut out, site.0 as u64);
+        varint::put_uvarint(&mut out, loads);
+        varint::put_uvarint(&mut out, fg_events);
+    }
+    out
+}
+
+fn decode_kept(mut buf: &[u8]) -> Result<Vec<(SiteId, u64, u64)>, OocoreError> {
+    let bad = |_| OocoreError::Decode("breakdown record varint");
+    let n = varint::get_uvarint(&mut buf).map_err(bad)? as usize;
+    // Each kept site is at least three varint bytes; reject absurd counts
+    // before allocating.
+    if n > buf.len() {
+        return Err(OocoreError::Decode("breakdown record count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let site = varint::get_uvarint(&mut buf).map_err(bad)? as u32;
+        let loads = varint::get_uvarint(&mut buf).map_err(bad)?;
+        let fg_events = varint::get_uvarint(&mut buf).map_err(bad)?;
+        out.push((SiteId(site), loads, fg_events));
+    }
+    if !buf.is_empty() {
+        return Err(OocoreError::Decode("trailing bytes in breakdown record"));
+    }
+    Ok(out)
+}
+
+impl DatasetBuilder<'_> {
+    /// Builds the dataset under an explicit memory budget, spilling
+    /// intermediate state to `cfg.spill_dir` as checksummed segments.
+    ///
+    /// The output is **byte-identical** to [`DatasetBuilder::build`] at any
+    /// budget and any worker count (the `oocore_equivalence` gate):
+    ///
+    /// 1. **Sample** (parallel, chunked): identical Poisson draws — every
+    ///    draw is keyed by `(seed, label, sample_idx)` — pushed through a
+    ///    [`SpillQueue`] in canonical job order. Budget pressure only moves
+    ///    segment boundaries, never items or their order.
+    /// 2. **Replay + intern** (serial): the queue replays in push order,
+    ///    and the bloom-fronted [`SeenTracker`] assigns first-appearance
+    ///    ids — exactly the ids the in-memory `HashMap` interner assigns.
+    /// 3. **Rank**: each list folds through a [`RunSpiller`] whose
+    ///    external merge realizes the same `(count desc, id asc)` total
+    ///    order as `top_k_desc`.
+    ///
+    /// Spill writes are fault-injectable at [`wwv_oocore::OOCORE_SPILL`];
+    /// a corrupt or dropped write is a counted retry, and exhausting the
+    /// retry cap (or corruption of a segment at rest) is a typed error.
+    pub fn build_out_of_core(
+        &self,
+        cfg: &OocoreConfig,
+        plan: Arc<FaultPlan>,
+    ) -> Result<(ChromeDataset, OocoreStats), OocoreError> {
+        let _span = wwv_obs::span!("dataset.build_oocore");
+        let counters = BuildCounters::from_global();
+        let pool =
+            if self.threads == 0 { Pool::global() } else { Pool::new(self.threads) };
+        let cache = SiteCache::build(self.world.universe());
+        let jobs = self.jobs();
+        std::fs::create_dir_all(&cfg.spill_dir)?;
+        let env = SpillEnv::new(cfg, plan);
+        let budget = Arc::clone(&env.budget);
+
+        // Phase 1: parallel sampling, pushed through the spill queue in
+        // canonical order.
+        let mut queue = SpillQueue::new(
+            env.clone(),
+            "queue",
+            cfg.memory_budget * QUEUE_BUDGET_PCT / 100,
+        );
+        for chunk in jobs.chunks(OOCORE_SAMPLE_CHUNK) {
+            let sampled = pool.par_map("oocore.sample", chunk, |_, job| {
+                self.sample_breakdown(job, &cache, &counters)
+            });
+            for kept in &sampled {
+                queue.push(encode_kept(kept))?;
+            }
+        }
+
+        // Phase 2: serial replay — intern and rank.
+        let mut tracker = SeenTracker::new(
+            env.clone(),
+            self.world.config().seed.0,
+            cfg.bloom_bits_effective(),
+            cfg.shards,
+            cfg.memory_budget * SEEN_BUDGET_PCT / 100,
+        );
+        let topk_allotment = cfg.memory_budget * TOPK_BUDGET_PCT / 100;
+        let mut sites: Vec<SiteId> = Vec::new();
+        let mut lists: HashMap<Breakdown, RankListData> =
+            HashMap::with_capacity(jobs.len() * 2);
+        let mut replay = queue.finish()?;
+        let mut run_seq = 0u32;
+        let mut topk = wwv_oocore::topk::RunStats::default();
+        for job in &jobs {
+            let record = replay
+                .next_item()?
+                .ok_or(OocoreError::Decode("queue drained before the job grid"))?;
+            let kept = decode_kept(&record)?;
+            drop(record);
+            let mut loads_sp =
+                RunSpiller::new(env.clone(), &format!("list-{run_seq:05}"), topk_allotment);
+            let mut time_sp = RunSpiller::new(
+                env.clone(),
+                &format!("list-{:05}", run_seq + 1),
+                topk_allotment,
+            );
+            run_seq += 2;
+            for (site_id, loads, fg_events) in kept {
+                let (domain, _) = cache.domain(site_id, job.country);
+                let (id, newly_seen) = tracker.get_or_insert(domain)?;
+                if newly_seen {
+                    sites.push(site_id);
+                }
+                loads_sp.push(id, loads)?;
+                let millis = fg_events.saturating_mul(cache.dwell_ms[site_id.0 as usize]);
+                if millis > 0 {
+                    time_sp.push(id, millis)?;
+                }
+            }
+            let b_loads = Breakdown {
+                country: job.country,
+                platform: job.platform,
+                metric: Metric::PageLoads,
+                month: job.month,
+            };
+            for (b, spiller) in [
+                (b_loads, &mut loads_sp),
+                (Breakdown { metric: Metric::TimeOnPage, ..b_loads }, &mut time_sp),
+            ] {
+                let entries = spiller.finish(self.max_depth)?;
+                let s = spiller.stats();
+                topk.runs_spilled += s.runs_spilled;
+                topk.spilled_bytes += s.spilled_bytes;
+                topk.spill_retries += s.spill_retries;
+                lists.insert(
+                    b,
+                    RankListData {
+                        entries: entries.into_iter().map(|(d, c)| (DomainId(d), c)).collect(),
+                    },
+                );
+            }
+        }
+        if replay.next_item()?.is_some() {
+            return Err(OocoreError::Decode("queue items outnumber the job grid"));
+        }
+        let queue_stats = replay.stats();
+        let seen_stats = tracker.stats();
+
+        // Assemble the domain table in id order: the tracker's key table
+        // *is* the first-appearance interning order.
+        let mut domains = DomainTable::new();
+        let keys = tracker.into_keys();
+        for (name, site) in keys.iter().zip(&sites) {
+            domains.intern(name, *site);
+        }
+
+        let stats = OocoreStats {
+            budget_bytes: budget.limit(),
+            peak_bytes: budget.peak(),
+            spilled_segments: queue_stats.spilled_segments
+                + seen_stats.runs_spilled
+                + topk.runs_spilled,
+            spilled_bytes: queue_stats.spilled_bytes
+                + seen_stats.spilled_bytes
+                + topk.spilled_bytes,
+            spill_retries: queue_stats.spill_retries
+                + seen_stats.spill_retries
+                + topk.spill_retries,
+            bloom_definite_new: seen_stats.bloom_definite_new,
+            seen_exact_hits: seen_stats.exact_hits,
+            seen_fp_fallbacks: seen_stats.fp_fallbacks,
+            seen_disk_probes: seen_stats.disk_probes,
+            topk_runs_spilled: topk.runs_spilled,
+        };
+        wwv_obs::global().gauge("oocore.mem.peak").set(stats.peak_bytes as i64);
+        wwv_obs::global().counter("oocore.seen.bloom_new").add(stats.bloom_definite_new);
+        wwv_obs::global().counter("oocore.seen.fp_fallbacks").add(stats.seen_fp_fallbacks);
+        wwv_obs::global().counter("oocore.seen.disk_probes").add(stats.seen_disk_probes);
+        Ok((
+            ChromeDataset {
+                domains,
+                lists,
+                client_threshold: self.client_threshold,
+                max_depth: self.max_depth,
+            },
+            stats,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -4,16 +4,17 @@
 # metric. Direction matters — throughput drifting DOWN and latency drifting
 # UP are regressions; improvements never fail the gate.
 #
-# Usage: scripts/bench_compare.sh <old.json> <new.json> <serve|snap>
+# Usage: scripts/bench_compare.sh <old.json> <new.json> <serve|snap|region|oocore>
 #
-# A missing or empty <old.json> (e.g. the first run on a branch, or an
-# expired CI cache) is not an error: there is nothing to drift from, the
-# gate passes with a note.
+# A missing or empty <old.json> (e.g. the first run on a branch, an expired
+# CI cache, or a previous artifact that predates a bench kind) is not an
+# error: there is nothing to drift from, the gate passes and says which
+# kind it skipped.
 set -eu
 
-OLD="${1:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
-NEW="${2:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
-KIND="${3:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region>}"
+OLD="${1:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region|oocore>}"
+NEW="${2:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region|oocore>}"
+KIND="${3:?usage: bench_compare.sh <old.json> <new.json> <serve|snap|region|oocore>}"
 LIMIT="${BENCH_DRIFT_LIMIT:-0.15}"
 
 # Tracked metrics per report kind, one per line: "<json_key> <direction>".
@@ -34,14 +35,19 @@ snap_read_ms down"
 delta_to_full_ratio down
 delta_bytes down"
         ;;
+    oocore)
+        METRICS="queue_events_per_sec up
+seen_probes_per_sec up
+topk_entries_per_sec up"
+        ;;
     *)
-        echo "bench_compare: unknown kind '$KIND' (serve|snap|region)" >&2
+        echo "bench_compare: unknown kind '$KIND' (serve|snap|region|oocore)" >&2
         exit 2
         ;;
 esac
 
 if [ ! -s "$OLD" ]; then
-    echo "bench_compare: no previous $KIND baseline at $OLD — nothing to compare, passing"
+    echo "bench_compare: skipping kind '$KIND' — no previous baseline at $OLD, nothing to compare, passing"
     exit 0
 fi
 if [ ! -s "$NEW" ]; then
@@ -60,7 +66,7 @@ echo "$METRICS" | while read -r KEY DIR; do
     OLDV=$(field "$OLD" "$KEY")
     NEWV=$(field "$NEW" "$KEY")
     if [ -z "$OLDV" ] || [ -z "$NEWV" ]; then
-        echo "bench_compare: $KEY absent in old or new report — skipping"
+        echo "bench_compare: skipping $KIND metric $KEY — absent in old or new report (previous artifact may predate this kind)"
         continue
     fi
     awk -v o="$OLDV" -v n="$NEWV" -v dir="$DIR" -v lim="$LIMIT" -v key="$KEY" '

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Out-of-core aggregation benchmark: drives the wwv-oocore primitives
+# (spill queue, bloom-fronted seen tracker, external top-K merge) through
+# the paper-scale synthetic stream — 220M items total under a 64 MiB
+# budget — and records sustained items/s per component plus the spill
+# accounting (peak tracked bytes, segments/bytes spilled, bloom hits and
+# false-positive fallbacks).
+#
+# Usage: scripts/bench_oocore.sh [small|full|paper]
+# Emits BENCH_oocore.json in the repo root (override with BENCH_OUT);
+# scale defaults to paper — the frozen BENCHMARKS.md profile.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_oocore.json}"
+SCALE="${1:-${BENCH_SCALE:-paper}}"
+
+echo "==> cargo build --release -p wwv-bench --bin oocore_bench"
+cargo build --release -p wwv-bench --bin oocore_bench
+
+echo "==> oocore_bench --scale $SCALE --metrics-out $OUT"
+target/release/oocore_bench --scale "$SCALE" --metrics-out "$OUT" > /dev/null
+
+field() {
+    awk -F: -v k="\"$1\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$OUT"
+}
+
+QPS=$(field queue_events_per_sec)
+SPS=$(field seen_probes_per_sec)
+TPS=$(field topk_entries_per_sec)
+SEGS=$(field queue_spilled_segments)
+RUNS=$(field topk_runs_spilled)
+PEAK=$(field queue_peak_bytes)
+BUDGET=$(field budget_bytes)
+echo "==> wrote $OUT (queue ${QPS}/s, seen ${SPS}/s, topk ${TPS}/s, ${SEGS} queue segments, ${RUNS} topk runs)"
+
+# Sanity bars: every component must move items, the run must actually
+# spill at this budget, and the tracked peak must respect the bound.
+for v in "$QPS" "$SPS" "$TPS"; do
+    awk -v x="$v" 'BEGIN { exit (x > 0 ? 0 : 1) }' || {
+        echo "FAIL: a component reported zero throughput" >&2
+        exit 1
+    }
+done
+awk -v s="$SEGS" -v r="$RUNS" 'BEGIN { exit (s + r > 0 ? 0 : 1) }' || {
+    echo "FAIL: nothing spilled at this scale/budget" >&2
+    exit 1
+}
+awk -v p="$PEAK" -v b="$BUDGET" 'BEGIN { exit (p <= b ? 0 : 1) }' || {
+    echo "FAIL: tracked queue peak $PEAK exceeded budget $BUDGET" >&2
+    exit 1
+}

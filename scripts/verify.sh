@@ -65,6 +65,14 @@ cargo test -q -p wwv-serve --test trace_determinism
 echo "==> cargo test -q -p wwv-serve --test metrics_expo"
 cargo test -q -p wwv-serve --test metrics_expo
 
+# Out-of-core aggregation gate, surfaced by name: the bounded-memory build
+# (spill-to-disk queue, bloom-fronted seen tracking, external top-K merge)
+# must produce a snapshot byte-identical to the in-memory build at a budget
+# of ~10% of the in-memory intermediate peak, at 1/2/4 workers, with real
+# spills and the tracked peak under the bound.
+echo "==> cargo test -q --test oocore_equivalence"
+cargo test -q --test oocore_equivalence
+
 # Multi-region replication gate, surfaced by name: any delta delivery
 # permutation (duplicates and a crashed-then-restored replica included)
 # must yield merged monthly aggregates byte-identical to the

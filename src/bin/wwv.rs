@@ -6,6 +6,8 @@
 //! wwv curve     <site-key>          # popularity curve + endemicity
 //! wwv similar   --country FR [--n 5]
 //! wwv save      <path.snap>         # snapshot the dataset (columnar format)
+//! wwv build     [--out P.snap] [--out-of-core] [--memory-budget BYTES]
+//!               [--spill-dir DIR] [--metrics-out P]   # (bounded-memory) build
 //! wwv snapshot  migrate <in> <out>  # re-encode legacy/snap file as snap
 //! wwv snapshot  bench [--metrics-out P]   # snap vs legacy size + timing
 //! wwv serve     [--listen ADDR] [--shards N]   # TCP rank-list query service
@@ -55,6 +57,16 @@
 //! `--tick-ms`. `--serve` additionally stands up an in-process server
 //! watching the emitted file and reports swap-to-visible latency.
 //! `--scenario` injects a mid-run shock at `--shock-tick` (default: halfway).
+//!
+//! Out-of-core (`wwv-oocore`): `wwv build --out-of-core` runs the dataset
+//! build through the bounded-memory collector — a spill-to-disk work queue,
+//! bloom-fronted seen tracking with exact fallbacks, and external top-K
+//! merge over sorted spill runs. The result is byte-identical to the
+//! in-memory build at any `--memory-budget` (bytes, `k`/`m`/`g` suffixes
+//! accepted) and any `--threads` count; spill segments land in
+//! `--spill-dir` (default: a per-process temp dir) and are deleted as they
+//! are consumed. The spill accounting prints as JSON (`--metrics-out`
+//! writes the same report).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -108,6 +120,21 @@ struct Args {
     bench: bool,
     replicas: usize,
     sync_plan: String,
+    out_of_core: bool,
+    memory_budget: usize,
+    spill_dir: Option<String>,
+}
+
+/// Parses a byte count with optional `k`/`m`/`g` suffix (`64m`, `512K`).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, shift) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 10),
+        'm' | 'M' => (&t[..t.len() - 1], 20),
+        'g' | 'G' => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    digits.parse::<usize>().ok().map(|n| n << shift)
 }
 
 fn parse_args() -> Args {
@@ -146,6 +173,9 @@ fn parse_args() -> Args {
         bench: false,
         replicas: 3,
         sync_plan: "order".to_owned(),
+        out_of_core: false,
+        memory_budget: 64 << 20,
+        spill_dir: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -210,6 +240,17 @@ fn parse_args() -> Args {
                 args.watch_interval_ms = iter.next().and_then(|v| v.parse().ok())
             }
             "--bench" => args.bench = true,
+            "--out-of-core" => args.out_of_core = true,
+            "--memory-budget" => {
+                args.memory_budget =
+                    iter.next().as_deref().and_then(parse_bytes).filter(|&b| b > 0).unwrap_or_else(
+                        || {
+                            error!(target: "wwv", "--memory-budget takes BYTES (k/m/g suffixes ok)");
+                            std::process::exit(2);
+                        },
+                    )
+            }
+            "--spill-dir" => args.spill_dir = iter.next(),
             "--replicas" => args.replicas = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
             "--sync-plan" => args.sync_plan = iter.next().unwrap_or(args.sync_plan),
             other => args.positional.push(other.to_owned()),
@@ -219,7 +260,9 @@ fn parse_args() -> Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: wwv <top|category|curve|similar|save|snapshot|serve|trace|chaos|stream|region> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("usage: wwv <top|category|curve|similar|save|build|snapshot|serve|trace|chaos|stream|region> [args] [--country CC] [--platform windows|android] [--metric loads|time] [--n N]");
+    eprintln!("       wwv build [--out PATH.snap] [--out-of-core] [--memory-budget BYTES]");
+    eprintln!("                 [--spill-dir DIR] [--threads N] [--metrics-out PATH]");
     eprintln!("       wwv snapshot migrate <in> <out> | wwv snapshot bench [--metrics-out PATH]");
     eprintln!("       wwv serve [--listen ADDR] [--snapshot PATH] [--watch-snapshot PATH]");
     eprintln!("                 [--zero-copy] [--shards N] [--watch-interval-ms N]");
@@ -249,6 +292,71 @@ fn build_dataset(world: &World) -> wwv::telemetry::ChromeDataset {
         .client_threshold(500)
         .max_depth(3_000)
         .build()
+}
+
+/// `wwv build`: build the default dataset — in memory, or with
+/// `--out-of-core` through the bounded-memory collector (spill-to-disk
+/// queue, bloom-fronted seen tracking, external top-K merge). Either path
+/// produces the same bytes; the out-of-core path additionally prints its
+/// spill accounting as JSON. `--out` snapshots the result atomically.
+fn build_cmd(args: &Args) {
+    info!(target: "wwv", "building world"; threads = wwv::par::threads());
+    let world = build_world();
+    let t = Instant::now();
+    let (dataset, stats) = if args.out_of_core {
+        let spill_dir = args.spill_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("wwv-oocore-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+        info!(target: "wwv", "out-of-core build";
+            budget = args.memory_budget, spill_dir = spill_dir.as_str());
+        let cfg = wwv::oocore::OocoreConfig::new(args.memory_budget, spill_dir.as_str());
+        let (dataset, stats) = DatasetBuilder::new(&world)
+            .months(&[Month::February2022])
+            .base_volume(2.0e8)
+            .client_threshold(500)
+            .max_depth(3_000)
+            .build_out_of_core(&cfg, Arc::new(wwv::fault::FaultPlan::none()))
+            .unwrap_or_else(|e| {
+                error!(target: "wwv", "out-of-core build failed: {e}");
+                std::process::exit(1);
+            });
+        (dataset, Some(stats))
+    } else {
+        (build_dataset(&world), None)
+    };
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"build_ms\": {:.1},\n",
+            "  \"lists\": {},\n",
+            "  \"domains\": {},\n",
+            "  \"oocore\": {}\n",
+            "}}\n"
+        ),
+        if args.out_of_core { "out-of-core" } else { "in-memory" },
+        build_ms,
+        dataset.lists.len(),
+        dataset.domains.len(),
+        match &stats {
+            Some(s) => s.to_json().replace('\n', "\n  "),
+            None => "null".to_owned(),
+        },
+    );
+    if let Some(path) = &args.out {
+        let len = persist::write_snapshot_atomic(&dataset, std::path::Path::new(path))
+            .expect("write dataset snapshot");
+        println!("wrote {len} bytes to {path} (columnar snapshot format, atomic)");
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, &json).expect("write build report");
+        info!(target: "wwv", "wrote build report to {path}");
+    }
+    print!("{json}");
 }
 
 /// Reads a dataset from a snapshot file in either format (typed errors).
@@ -826,6 +934,7 @@ fn main() {
     // build may be skipped.
     match command.as_str() {
         "serve" => return serve(&args),
+        "build" => return build_cmd(&args),
         "snapshot" => return snapshot_cmd(&args),
         "trace" => return trace_cmd(&args),
         "stream" => return stream_cmd(&args),

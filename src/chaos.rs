@@ -28,11 +28,12 @@ use wwv_serve::server::{ServeError, Server, ServerConfig};
 use wwv_serve::store::{Catalog, ShardedStore, DEFAULT_SHARDS};
 use wwv_serve::transport::{FaultyInProcTransport, Transport, TransportError};
 use wwv_serve::watch::{SnapshotWatcher, WatchConfig};
+use wwv_oocore::{OocoreConfig, OocoreError, OOCORE_SPILL};
 use wwv_stream::{FileSink, StreamConfig, TickClock, STREAM_INGEST};
 use wwv_telemetry::collector::{Aggregate, Collector, CollectorOptions, CollectorStats};
 use wwv_telemetry::event::{ClientBatch, TelemetryEvent};
 use wwv_telemetry::upload::{UploadError, Uploader};
-use wwv_telemetry::ChromeDataset;
+use wwv_telemetry::{persist, ChromeDataset, DatasetBuilder};
 use wwv_world::{Month, Platform, World, WorldConfig};
 
 /// Chaos-run tuning (kept small enough for a CI smoke).
@@ -837,6 +838,85 @@ fn region_cell(
     }
 }
 
+/// The tiny-world dataset builder shared by the out-of-core spill cells:
+/// small enough for a CI smoke, large enough that a 64 KiB budget forces
+/// every component (queue, seen shards, top-K runs) through the spill path.
+fn oocore_builder(world: &World) -> DatasetBuilder<'_> {
+    DatasetBuilder::new(world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+}
+
+/// One out-of-core spill cell: a bounded-memory build whose scratch writes
+/// are damaged at [`OOCORE_SPILL`]. Recovery cells must reproduce the
+/// in-memory snapshot byte for byte with every injection accounted as a
+/// counted write-verify retry — never a silent short read; the exhaustion
+/// cell must surface the typed `SpillExhausted` error once the retry cap
+/// is burned on a permanently dead scratch disk.
+#[allow(clippy::too_many_arguments)]
+fn oocore_spill_cell(
+    name: &'static str,
+    kind: FaultKind,
+    rate: f64,
+    max_spill_attempts: u32,
+    expect_typed: bool,
+    cfg: &ChaosConfig,
+    salt: u64,
+    world: &World,
+    reference: &[u8],
+) -> CellResult {
+    let dir = std::env::temp_dir().join(format!(
+        "wwv-chaos-oocore-{}-{:x}-{name}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Arc::new(
+        FaultPlan::new(cfg.seed ^ salt).with(FaultRule { point: OOCORE_SPILL, kind, rate }),
+    );
+    let mut oocfg = OocoreConfig::new(64 << 10, &dir);
+    oocfg.max_spill_attempts = max_spill_attempts;
+    let result = oocore_builder(world).build_out_of_core(&oocfg, Arc::clone(&plan));
+    let _ = std::fs::remove_dir_all(&dir);
+    let injected = plan.fired_at(OOCORE_SPILL);
+    let (outcome, detail) = match result {
+        Err(OocoreError::SpillExhausted { attempts, .. }) if expect_typed => (
+            CellOutcome::TypedError,
+            format!("SpillExhausted after {attempts} attempts, {injected} injections"),
+        ),
+        Err(e) => (
+            CellOutcome::Failed(format!("unexpected error shape: {e}")),
+            format!("{injected} injections"),
+        ),
+        Ok(_) if expect_typed => (
+            CellOutcome::Failed("a dead scratch disk must surface SpillExhausted".to_owned()),
+            format!("{injected} injections"),
+        ),
+        Ok((ds, stats)) => {
+            let detail = format!(
+                "{} segments / {} retries for {} injections",
+                stats.spilled_segments, stats.spill_retries, injected
+            );
+            let outcome = if persist::write_snapshot(&ds).as_ref() != reference {
+                CellOutcome::Failed("spill faults changed the built snapshot".to_owned())
+            } else if stats.spilled_segments == 0 {
+                CellOutcome::Failed("the budget never forced a spill".to_owned())
+            } else if stats.spill_retries != injected {
+                CellOutcome::Failed(format!(
+                    "{} retries for {injected} injections: damage must be counted exactly",
+                    stats.spill_retries
+                ))
+            } else {
+                CellOutcome::Recovered
+            };
+            (outcome, detail)
+        }
+    };
+    CellResult { name, point: OOCORE_SPILL, fault: kind.name(), rate, injected, outcome, detail }
+}
+
 /// Runs the full fault matrix against a built dataset and returns the
 /// per-cell report. Deterministic in `cfg.seed`.
 pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
@@ -892,6 +972,21 @@ pub fn run_matrix(dataset: &ChromeDataset, cfg: &ChaosConfig) -> ChaosReport {
     cells.push(region_cell("region_sync_bitflip", rule(s, FaultKind::BitFlip, 0.25), true, false, cfg, 0x4E65));
     cells.push(region_cell("region_sync_truncate", rule(s, FaultKind::Truncate, 0.25), true, false, cfg, 0x4E66));
     cells.push(region_cell("region_crash_catchup", rule(s, FaultKind::Drop, 0.2), false, true, cfg, 0x4E67));
+
+    // Out-of-core spill cells: bounded-memory builds on a damaged scratch
+    // disk, all compared against one in-memory reference snapshot.
+    let oo_world = World::new(WorldConfig {
+        global_pool: 150,
+        language_pool: 80,
+        regional_pool: 50,
+        national_pool: 300,
+        ..WorldConfig::default()
+    });
+    let oo_reference = persist::write_snapshot(&oocore_builder(&oo_world).build());
+    cells.push(oocore_spill_cell("oocore_spill_bitflip", FaultKind::BitFlip, 0.5, 64, false, cfg, 0x00C1, &oo_world, &oo_reference));
+    cells.push(oocore_spill_cell("oocore_spill_truncate", FaultKind::Truncate, 0.5, 64, false, cfg, 0x00C2, &oo_world, &oo_reference));
+    cells.push(oocore_spill_cell("oocore_spill_drop", FaultKind::Drop, 0.5, 64, false, cfg, 0x00C3, &oo_world, &oo_reference));
+    cells.push(oocore_spill_cell("oocore_spill_exhausted", FaultKind::Drop, 1.0, 2, true, cfg, 0x00C4, &oo_world, &oo_reference));
 
     ChaosReport { seed: cfg.seed, cells }
 }

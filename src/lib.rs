@@ -12,6 +12,7 @@ pub use wwv_core as core;
 pub use wwv_domains as domains;
 pub use wwv_fault as fault;
 pub use wwv_obs as obs;
+pub use wwv_oocore as oocore;
 pub use wwv_par as par;
 pub use wwv_region as region;
 pub use wwv_serve as serve;

@@ -1,0 +1,101 @@
+//! Out-of-core equivalence and budget-accounting gate (tier-1, run by name
+//! in `scripts/verify.sh`).
+//!
+//! The non-negotiable invariant of the out-of-core build: at **any** memory
+//! budget and **any** worker count, the spilling build produces a snapshot
+//! byte-identical to the in-memory build. The test first measures the
+//! accounted peak of an effectively-unbounded run, then re-runs with a
+//! budget of ~10% of that peak — forcing real spills through every
+//! component — at 1, 2, and 4 workers, asserting byte identity and that
+//! the tracked peak stayed under the bound.
+
+use std::sync::Arc;
+use wwv::fault::FaultPlan;
+use wwv::oocore::OocoreConfig;
+use wwv::telemetry::{persist, DatasetBuilder};
+use wwv::world::{Month, World, WorldConfig};
+
+fn builder(world: &World) -> DatasetBuilder<'_> {
+    DatasetBuilder::new(world)
+        .months(&[Month::February2022])
+        .base_volume(2.0e8)
+        .client_threshold(500)
+        .max_depth(3_000)
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("wwv-oocore-equiv-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn out_of_core_build_is_byte_identical_under_tight_budget() {
+    let world = World::new(WorldConfig::small());
+    let reference = persist::write_snapshot(&builder(&world).build());
+
+    // Pass 1: an effectively-unbounded budget measures the accounted peak
+    // of the intermediate state (and must already be byte-identical).
+    let dir = scratch("probe");
+    let cfg = OocoreConfig::new(1 << 30, &dir);
+    let (ds, stats) = builder(&world)
+        .build_out_of_core(&cfg, Arc::new(FaultPlan::none()))
+        .expect("unbounded out-of-core build");
+    assert_eq!(
+        persist::write_snapshot(&ds),
+        reference,
+        "unbounded out-of-core build must match the in-memory build"
+    );
+    assert!(stats.peak_bytes > 0, "the build must charge intermediate state");
+    assert!(
+        stats.peak_bytes < 1 << 30,
+        "accounted peak {} must be far under the probe budget",
+        stats.peak_bytes
+    );
+
+    // Pass 2: ~10% of the accounted peak forces real spills; every worker
+    // count must reproduce the reference bytes under the bound.
+    let budget = (stats.peak_bytes as usize / 10).max(256 << 10);
+    for workers in [1usize, 2, 4] {
+        let dir = scratch(&format!("w{workers}"));
+        let cfg = OocoreConfig::new(budget, &dir);
+        let (ds, stats) = builder(&world)
+            .threads(workers)
+            .build_out_of_core(&cfg, Arc::new(FaultPlan::none()))
+            .unwrap_or_else(|e| panic!("out-of-core build at {workers} workers: {e}"));
+        assert_eq!(
+            persist::write_snapshot(&ds),
+            reference,
+            "out-of-core build at budget {budget} and {workers} workers diverged"
+        );
+        assert!(
+            stats.spilled_segments > 0,
+            "a 10%-of-peak budget must force spills (workers {workers})"
+        );
+        assert!(
+            stats.peak_bytes <= budget as u64,
+            "tracked peak {} exceeded budget {budget} at {workers} workers",
+            stats.peak_bytes
+        );
+        assert!(
+            stats.spilled_bytes > 0 && stats.spill_retries == 0,
+            "clean run: spilled bytes yes, retries no"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_dir_is_left_clean_after_a_build() {
+    let world = World::new(WorldConfig::small());
+    let dir = scratch("clean");
+    let cfg = OocoreConfig::new(512 << 10, &dir);
+    builder(&world)
+        .build_out_of_core(&cfg, Arc::new(FaultPlan::none()))
+        .expect("bounded build");
+    let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "consumed spill segments must be deleted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
